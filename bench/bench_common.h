@@ -1,0 +1,116 @@
+#ifndef SPB_BENCH_BENCH_COMMON_H_
+#define SPB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/metric_index.h"
+#include "core/spb_tree.h"
+#include "data/datasets.h"
+
+namespace spb {
+namespace bench {
+
+/// Shared experiment configuration. Every bench binary accepts
+///   --scale=N     dataset cardinality (default per-bench, paper uses
+///                 112K-1M; defaults here are laptop-sized so the full
+///                 harness finishes in minutes)
+///   --queries=N   number of query objects (paper: 500; default 50)
+///   --seed=N
+/// following the paper's protocol: queries are the first N objects of each
+/// dataset and every reported number is the average over those queries with
+/// caches flushed before each query.
+struct BenchConfig {
+  size_t scale;
+  size_t queries;
+  uint64_t seed = 20150415;
+};
+
+inline BenchConfig ParseArgs(int argc, char** argv, size_t default_scale,
+                             size_t default_queries = 50) {
+  BenchConfig config{default_scale, default_queries, 20150415};
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      config.scale = size_t(std::atoll(arg + 8));
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      config.queries = size_t(std::atoll(arg + 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = uint64_t(std::atoll(arg + 7));
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: %s [--scale=N] [--queries=N] [--seed=N]\n",
+                  argv[0]);
+      std::exit(0);
+    }
+  }
+  return config;
+}
+
+/// Average per-query costs in the paper's three metrics.
+struct AvgCost {
+  double page_accesses = 0.0;
+  double distance_computations = 0.0;
+  double seconds = 0.0;
+
+  void Accumulate(const QueryStats& s) {
+    page_accesses += double(s.page_accesses);
+    distance_computations += double(s.distance_computations);
+    seconds += s.elapsed_seconds;
+  }
+  void Finish(size_t n) {
+    if (n == 0) return;
+    page_accesses /= double(n);
+    distance_computations /= double(n);
+    seconds /= double(n);
+  }
+};
+
+/// Runs kNN queries under the paper's protocol (flush caches before each
+/// query, average costs).
+inline AvgCost RunKnnQueries(MetricIndex& index,
+                             const std::vector<Blob>& queries, size_t k) {
+  AvgCost avg;
+  std::vector<Neighbor> result;
+  for (const Blob& q : queries) {
+    index.FlushCaches();
+    QueryStats stats;
+    if (!index.KnnQuery(q, k, &result, &stats).ok()) std::abort();
+    avg.Accumulate(stats);
+  }
+  avg.Finish(queries.size());
+  return avg;
+}
+
+/// Same for range queries with radius r.
+inline AvgCost RunRangeQueries(MetricIndex& index,
+                               const std::vector<Blob>& queries, double r) {
+  AvgCost avg;
+  std::vector<ObjectId> result;
+  for (const Blob& q : queries) {
+    index.FlushCaches();
+    QueryStats stats;
+    if (!index.RangeQuery(q, r, &result, &stats).ok()) std::abort();
+    avg.Accumulate(stats);
+  }
+  avg.Finish(queries.size());
+  return avg;
+}
+
+/// First `n` objects of the dataset, the paper's query workload.
+inline std::vector<Blob> QueryWorkload(const Dataset& ds, size_t n) {
+  n = std::min(n, ds.objects.size());
+  return std::vector<Blob>(ds.objects.begin(), ds.objects.begin() + n);
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace spb
+
+#endif  // SPB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,50 @@
+// Reproduces Fig. 11: effect of the delta-approximation granularity on the
+// SPB-tree (continuous metrics only: Color and Synthetic). delta in
+// {0.001, 0.003, 0.005, 0.007, 0.009}, kNN with k = 8.
+#include "bench/bench_common.h"
+
+namespace spb {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  std::printf("Fig. 11: effect of delta (kNN, k=8)\n");
+  std::printf("scale=%zu queries=%zu\n", config.scale, config.queries);
+  for (const char* name : {"color", "synthetic"}) {
+    Dataset ds = MakeDatasetByName(name, config.scale, config.seed);
+    const auto queries = QueryWorkload(ds, config.queries);
+    std::printf("\n[%s]\n", name);
+    PrintRule();
+    std::printf("%10s | %12s %12s %10s %10s\n", "delta", "compdists", "PA",
+                "time(ms)", "grid/dim");
+    PrintRule();
+    for (double delta : {0.001, 0.003, 0.005, 0.007, 0.009}) {
+      SpbTreeOptions opts;
+      opts.delta = delta;
+      opts.seed = config.seed;
+      std::unique_ptr<SpbTree> tree;
+      if (!SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok()) {
+        std::abort();
+      }
+      const AvgCost avg = RunKnnQueries(*tree, queries, 8);
+      std::printf("%10.3f | %12.1f %12.1f %10.3f %10u\n", delta,
+                  avg.distance_computations, avg.page_accesses,
+                  avg.seconds * 1000.0,
+                  tree->space().discretizer().num_cells());
+    }
+    PrintRule();
+  }
+  std::printf(
+      "\nExpected shape (paper): compdists rises with delta (coarser cells "
+      "collide more); PA and time first drop then stabilize as delta "
+      "grows.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spb
+
+int main(int argc, char** argv) {
+  spb::bench::Run(spb::bench::ParseArgs(argc, argv, /*default_scale=*/20000));
+  return 0;
+}

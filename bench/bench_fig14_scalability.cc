@@ -1,0 +1,52 @@
+// Reproduces Fig. 14: scalability of SPB-tree similarity search with the
+// dataset cardinality (the paper sweeps 200K..1000K on Synthetic; here the
+// sweep is 20%..100% of --scale, so --scale=1000000 reproduces the paper's
+// axis exactly).
+#include "bench/bench_common.h"
+
+namespace spb {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  std::printf("Fig. 14: scalability vs cardinality (Synthetic)\n");
+  std::printf("max scale=%zu queries=%zu\n", config.scale, config.queries);
+  PrintRule();
+  std::printf("%10s %-6s | %12s %12s %10s\n", "|O|", "query", "PA",
+              "compdists", "time(ms)");
+  PrintRule();
+  for (double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const size_t n = size_t(double(config.scale) * frac);
+    Dataset ds = MakeSynthetic(n, config.seed);
+    const auto queries = QueryWorkload(ds, config.queries);
+    SpbTreeOptions opts;
+    opts.seed = config.seed;
+    std::unique_ptr<SpbTree> tree;
+    if (!SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok()) {
+      std::abort();
+    }
+    const double r = 0.08 * ds.metric->max_distance();
+    const AvgCost range = RunRangeQueries(*tree, queries, r);
+    std::printf("%10zu %-6s | %12.1f %12.1f %10.3f\n", n, "range",
+                range.page_accesses, range.distance_computations,
+                range.seconds * 1000.0);
+    const AvgCost knn = RunKnnQueries(*tree, queries, 8);
+    std::printf("%10zu %-6s | %12.1f %12.1f %10.3f\n", n, "kNN",
+                knn.page_accesses, knn.distance_computations,
+                knn.seconds * 1000.0);
+  }
+  PrintRule();
+  std::printf(
+      "\nExpected shape (paper): all three costs grow roughly linearly with "
+      "cardinality for both query types.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spb
+
+int main(int argc, char** argv) {
+  spb::bench::Run(spb::bench::ParseArgs(argc, argv, /*default_scale=*/50000,
+                                        /*default_queries=*/25));
+  return 0;
+}

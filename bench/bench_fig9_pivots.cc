@@ -1,0 +1,59 @@
+// Reproduces Fig. 9: efficiency of pivot selection methods (HFI vs HF vs
+// Spacing vs PCA) as a function of the number of pivots |P| in {1,3,5,7,9}.
+// Workload: kNN (k=8); metrics: compdists, PA, CPU time, plus precision(P).
+#include "bench/bench_common.h"
+#include "pivots/selection.h"
+
+namespace spb {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  std::printf("Fig. 9: pivot selection methods vs |P| (kNN, k=8)\n");
+  std::printf("scale=%zu queries=%zu\n", config.scale, config.queries);
+  const PivotSelectorType selectors[] = {
+      PivotSelectorType::kHfi, PivotSelectorType::kHf,
+      PivotSelectorType::kSpacing, PivotSelectorType::kPca};
+  for (const char* name : {"words", "color"}) {
+    Dataset ds = MakeDatasetByName(name, config.scale, config.seed);
+    const auto queries = QueryWorkload(ds, config.queries);
+    std::printf("\n[%s]\n", name);
+    PrintRule();
+    std::printf("%-8s %3s | %12s %10s %10s %10s\n", "method", "|P|",
+                "compdists", "PA", "time(ms)", "precision");
+    PrintRule();
+    for (PivotSelectorType sel : selectors) {
+      for (size_t p : {1u, 3u, 5u, 7u, 9u}) {
+        SpbTreeOptions opts;
+        opts.num_pivots = p;
+        opts.pivot_selector = sel;
+        opts.seed = config.seed;
+        std::unique_ptr<SpbTree> tree;
+        if (!SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok()) {
+          std::abort();
+        }
+        const AvgCost avg = RunKnnQueries(*tree, queries, 8);
+        const double precision = PivotSetPrecision(
+            tree->space().pivots(), ds.objects, *ds.metric, 300, config.seed);
+        std::printf("%-8s %3zu | %12.1f %10.1f %10.3f %10.3f\n",
+                    PivotSelectorName(sel), p, avg.distance_computations,
+                    avg.page_accesses, avg.seconds * 1000.0, precision);
+      }
+    }
+    PrintRule();
+  }
+  std::printf(
+      "\nExpected shape (paper): HFI <= the other selectors in compdists at "
+      "every |P|; compdists falls as |P| grows; PA and time bottom out near "
+      "the intrinsic dimensionality (~3-6) and then flatten or rise.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spb
+
+int main(int argc, char** argv) {
+  spb::bench::Run(spb::bench::ParseArgs(argc, argv, /*default_scale=*/10000,
+                                        /*default_queries=*/30));
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Table 5: kNN search with the incremental vs the greedy
+// traversal strategy (Section 4.3). Incremental is optimal in distance
+// computations (Lemma 4); greedy avoids repeated RAF page visits and wins on
+// low-precision datasets such as DNA.
+#include "bench/bench_common.h"
+
+namespace spb {
+namespace bench {
+namespace {
+
+AvgCost RunKnnWithTraversal(SpbTree& tree, const std::vector<Blob>& queries,
+                            size_t k, KnnTraversal traversal) {
+  AvgCost avg;
+  std::vector<Neighbor> result;
+  for (const Blob& q : queries) {
+    tree.FlushCaches();
+    QueryStats stats;
+    if (!tree.KnnQuery(q, k, &result, &stats, traversal).ok()) std::abort();
+    avg.Accumulate(stats);
+  }
+  avg.Finish(queries.size());
+  return avg;
+}
+
+void Run(const BenchConfig& config) {
+  std::printf("Table 5: kNN search with different traversal strategies (k=8)\n");
+  std::printf("scale=%zu queries=%zu\n", config.scale, config.queries);
+  PrintRule();
+  std::printf("%-10s %-12s | %12s %12s %10s\n", "dataset", "traversal", "PA",
+              "compdists", "time(ms)");
+  PrintRule();
+  for (const char* name : {"color", "words", "dna"}) {
+    const size_t n = std::string(name) == "dna" ? config.scale / 2
+                                                : config.scale;
+    Dataset ds = MakeDatasetByName(name, n, config.seed);
+    const auto queries = QueryWorkload(ds, config.queries);
+    SpbTreeOptions opts;
+    opts.seed = config.seed;
+    std::unique_ptr<SpbTree> tree;
+    if (!SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok()) {
+      std::abort();
+    }
+    for (KnnTraversal t :
+         {KnnTraversal::kIncremental, KnnTraversal::kGreedy}) {
+      const AvgCost avg = RunKnnWithTraversal(*tree, queries, 8, t);
+      std::printf("%-10s %-12s | %12.1f %12.1f %10.3f\n", name,
+                  t == KnnTraversal::kIncremental ? "incremental" : "greedy",
+                  avg.page_accesses, avg.distance_computations,
+                  avg.seconds * 1000.0);
+    }
+  }
+  PrintRule();
+  std::printf(
+      "\nExpected shape (paper): incremental has the fewest compdists; "
+      "greedy has the fewest PA and wins overall on the low-precision DNA "
+      "dataset.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spb
+
+int main(int argc, char** argv) {
+  spb::bench::Run(spb::bench::ParseArgs(argc, argv, /*default_scale=*/20000));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Table 6: construction cost (PA, compdists, wall time) and
+// storage size of the four MAMs, built with their bulk-loading methods.
+#include "bench/mam_zoo.h"
+
+namespace spb {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  std::printf("Table 6: construction costs and storage sizes of MAMs\n");
+  std::printf("scale=%zu\n", config.scale);
+  for (const char* name : {"color", "words", "dna"}) {
+    const size_t n = std::string(name) == "dna" ? config.scale / 2
+                                                : config.scale;
+    Dataset ds = MakeDatasetByName(name, n, config.seed);
+    std::printf("\n[%s, |O|=%zu]\n", name, ds.objects.size());
+    PrintRule();
+    std::printf("%-12s | %12s %12s %10s %12s\n", "MAM", "PA", "compdists",
+                "time(s)", "storage(KB)");
+    PrintRule();
+    for (const char* mam : kAllMams) {
+      BuiltMam built = BuildMam(mam, ds, config.seed);
+      std::printf("%-12s | %12llu %12llu %10.3f %12.1f\n", mam,
+                  (unsigned long long)built.build_cost.page_accesses,
+                  (unsigned long long)built.build_cost.distance_computations,
+                  built.build_seconds,
+                  double(built.index->storage_bytes()) / 1024.0);
+    }
+    PrintRule();
+  }
+  std::printf(
+      "\nExpected shape (paper): SPB-tree has the lowest construction PA, "
+      "compdists and time, and the smallest storage; M-Index storage blows "
+      "up on string data (stores all pivot distances); M-tree has the most "
+      "construction distance computations.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spb
+
+int main(int argc, char** argv) {
+  spb::bench::Run(spb::bench::ParseArgs(argc, argv, /*default_scale=*/20000));
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Table 7: update cost — the average cost of inserting 100
+// random objects into each MAM built on Words.
+#include "bench/mam_zoo.h"
+
+namespace spb {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  std::printf("Table 7: update (insertion) cost of MAMs on Words\n");
+  std::printf("scale=%zu inserts=100\n", config.scale);
+  Dataset ds = MakeWords(config.scale, config.seed);
+  Dataset extra = MakeWords(100, config.seed + 1);
+  PrintRule();
+  std::printf("%-12s | %12s %12s %12s\n", "MAM", "PA", "compdists",
+              "time(ms)");
+  PrintRule();
+  for (const char* mam : kAllMams) {
+    BuiltMam built = BuildMam(mam, ds, config.seed);
+    built.index->FlushCaches();
+    built.index->ResetCounters();
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < extra.objects.size(); ++i) {
+      if (!built.index
+               ->Insert(extra.objects[i], ObjectId(ds.objects.size() + i))
+               .ok()) {
+        std::abort();
+      }
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const QueryStats cost = built.index->cumulative_stats();
+    const double n = double(extra.objects.size());
+    std::printf("%-12s | %12.2f %12.2f %12.4f\n", mam,
+                double(cost.page_accesses) / n,
+                double(cost.distance_computations) / n, secs * 1000.0 / n);
+  }
+  PrintRule();
+  std::printf(
+      "\nExpected shape (paper): SPB-tree has by far the lowest update time "
+      "and compdists (|P| per insert); its PA is relatively high because "
+      "both B+-tree and RAF pages are touched; M-tree needs the most "
+      "distance computations per insert.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spb
+
+int main(int argc, char** argv) {
+  spb::bench::Run(spb::bench::ParseArgs(argc, argv, /*default_scale=*/20000));
+  return 0;
+}

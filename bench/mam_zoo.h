@@ -1,0 +1,83 @@
+#ifndef SPB_BENCH_MAM_ZOO_H_
+#define SPB_BENCH_MAM_ZOO_H_
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/spb_tree.h"
+#include "mindex/m_index.h"
+#include "mtree/mtree.h"
+#include "omni/omni_rtree.h"
+#include "pivots/selection.h"
+
+namespace spb {
+namespace bench {
+
+/// A built MAM together with its construction cost — the rows of the
+/// paper's Table 6.
+struct BuiltMam {
+  std::unique_ptr<MetricIndex> index;
+  double build_seconds = 0.0;
+  QueryStats build_cost;  // page accesses + distance computations
+};
+
+/// Builds one of the four competitors with paper-faithful configurations:
+/// M-tree (bulk-loaded), OmniR-tree (intrinsic-dimensionality+1 HF foci),
+/// M-Index (20 random pivots), SPB-tree (5 HFI pivots, Hilbert).
+inline BuiltMam BuildMam(const std::string& which, const Dataset& ds,
+                         uint64_t seed) {
+  BuiltMam out;
+  const auto start = std::chrono::steady_clock::now();
+  if (which == "M-tree") {
+    MtreeOptions opts;
+    opts.seed = seed;
+    std::unique_ptr<MTree> t;
+    if (!MTree::Build(ds.objects, ds.metric.get(), opts, &t).ok()) {
+      std::abort();
+    }
+    out.index = std::move(t);
+  } else if (which == "OmniR-tree") {
+    OmniOptions opts;
+    opts.seed = seed;
+    const double rho =
+        IntrinsicDimensionality(ds.objects, *ds.metric, 500, seed);
+    opts.num_pivots = std::max<size_t>(2, size_t(rho) + 1);
+    std::unique_ptr<OmniRTree> t;
+    if (!OmniRTree::Build(ds.objects, ds.metric.get(), opts, &t).ok()) {
+      std::abort();
+    }
+    out.index = std::move(t);
+  } else if (which == "M-Index") {
+    MIndexOptions opts;
+    opts.seed = seed;
+    std::unique_ptr<MIndex> t;
+    if (!MIndex::Build(ds.objects, ds.metric.get(), opts, &t).ok()) {
+      std::abort();
+    }
+    out.index = std::move(t);
+  } else {  // SPB-tree
+    SpbTreeOptions opts;
+    opts.seed = seed;
+    std::unique_ptr<SpbTree> t;
+    if (!SpbTree::Build(ds.objects, ds.metric.get(), opts, &t).ok()) {
+      std::abort();
+    }
+    out.index = std::move(t);
+  }
+  out.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.build_cost = out.index->cumulative_stats();
+  out.index->ResetCounters();
+  return out;
+}
+
+inline const char* const kAllMams[] = {"M-tree", "OmniR-tree", "M-Index",
+                                       "SPB-tree"};
+
+}  // namespace bench
+}  // namespace spb
+
+#endif  // SPB_BENCH_MAM_ZOO_H_

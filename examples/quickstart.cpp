@@ -1,0 +1,83 @@
+// Quickstart: build an SPB-tree over a word collection, run a range query
+// and a kNN query, and inspect the cost counters and cost-model estimates.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "core/spb_tree.h"
+#include "data/datasets.h"
+#include "metrics/edit_distance.h"
+
+int main() {
+  using namespace spb;
+
+  // 1. A collection of objects and a metric. Objects are opaque byte blobs;
+  //    here they are words compared by edit distance.
+  Dataset words = MakeWords(20000, /*seed=*/42);
+  std::printf("indexing %zu words under %s distance (d+ = %.0f)\n",
+              words.objects.size(), words.metric->name().c_str(),
+              words.metric->max_distance());
+
+  // 2. Build the index. Defaults follow the paper: 5 HFI pivots, Hilbert
+  //    curve, delta = 0.005, 32-page LRU caches, in-memory page files (set
+  //    options.storage_dir to put the B+-tree and RAF on disk).
+  SpbTreeOptions options;
+  std::unique_ptr<SpbTree> index;
+  Status s = SpbTree::Build(words.objects, words.metric.get(), options,
+                            &index);
+  if (!s.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const QueryStats build_cost = index->cumulative_stats();
+  std::printf("built: %llu objects, %.1f KB storage, %llu compdists\n\n",
+              (unsigned long long)index->size(),
+              double(index->storage_bytes()) / 1024.0,
+              (unsigned long long)build_cost.distance_computations);
+
+  // 3. Range query: all words within edit distance 1 of a query word.
+  const Blob query = words.objects[17];
+  std::vector<ObjectId> in_range;
+  QueryStats stats;
+  index->FlushCaches();
+  s = index->RangeQuery(query, 1.0, &in_range, &stats);
+  if (!s.ok()) return 1;
+  std::printf("range query around \"%s\" (r=1): %zu hits using %llu "
+              "compdists, %llu page accesses\n",
+              BlobToString(query).c_str(), in_range.size(),
+              (unsigned long long)stats.distance_computations,
+              (unsigned long long)stats.page_accesses);
+  for (size_t i = 0; i < in_range.size() && i < 5; ++i) {
+    std::printf("  hit: %s\n",
+                BlobToString(words.objects[in_range[i]]).c_str());
+  }
+
+  // 4. kNN query: the 5 most similar words.
+  std::vector<Neighbor> nearest;
+  index->FlushCaches();
+  s = index->KnnQuery(query, 5, &nearest, &stats);
+  if (!s.ok()) return 1;
+  std::printf("\n5-NN of \"%s\" (%llu compdists vs %zu for a linear scan):\n",
+              BlobToString(query).c_str(),
+              (unsigned long long)stats.distance_computations,
+              words.objects.size());
+  for (const Neighbor& n : nearest) {
+    std::printf("  %-20s  d=%.0f\n",
+                BlobToString(words.objects[n.id]).c_str(), n.distance);
+  }
+
+  // 5. Cost model: predict before you pay.
+  const CostEstimate est = index->EstimateRangeCost(query, 2.0);
+  std::printf("\ncost model for r=2: ~%.0f compdists, ~%.0f page accesses\n",
+              est.distance_computations, est.page_accesses);
+
+  // 6. Updates: insert and delete are cheap B+-tree operations.
+  s = index->Insert(BlobFromString("spbtree"), ObjectId(words.objects.size()));
+  if (!s.ok()) return 1;
+  bool found;
+  s = index->Delete(BlobFromString("spbtree"),
+                    ObjectId(words.objects.size()), &found);
+  if (!s.ok() || !found) return 1;
+  std::printf("insert + delete round-trip OK\n");
+  return 0;
+}

@@ -1,0 +1,482 @@
+#include "bptree/bptree.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace spb {
+
+namespace {
+constexpr uint64_t kBptMagic = 0x5350424250543031ULL;  // "SPBBPT01"
+constexpr PageId kMetaPage = 0;
+}  // namespace
+
+Status BPlusTree::Create(std::unique_ptr<PageFile> file, size_t cache_pages,
+                         const SpaceFillingCurve* curve,
+                         std::unique_ptr<BPlusTree>* out) {
+  auto tree = std::unique_ptr<BPlusTree>(
+      new BPlusTree(std::move(file), cache_pages, curve));
+  PageId meta_id;
+  SPB_RETURN_IF_ERROR(tree->owned_file_->Allocate(&meta_id));
+  if (meta_id != kMetaPage) {
+    return Status::InvalidArgument("B+-tree requires a fresh page file");
+  }
+  BptNode root;
+  SPB_RETURN_IF_ERROR(tree->AllocateNode(/*is_leaf=*/true, &root));
+  SPB_RETURN_IF_ERROR(tree->WriteNode(root));
+  tree->root_ = root.id;
+  tree->first_leaf_ = root.id;
+  tree->height_ = 1;
+  tree->num_entries_ = 0;
+  SPB_RETURN_IF_ERROR(tree->WriteMeta());
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status BPlusTree::Open(std::unique_ptr<PageFile> file, size_t cache_pages,
+                       const SpaceFillingCurve* curve,
+                       std::unique_ptr<BPlusTree>* out) {
+  auto tree = std::unique_ptr<BPlusTree>(
+      new BPlusTree(std::move(file), cache_pages, curve));
+  SPB_RETURN_IF_ERROR(tree->ReadMeta());
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status BPlusTree::WriteMeta() {
+  Page meta;
+  EncodeFixed64(meta.bytes(), kBptMagic);
+  EncodeFixed32(meta.bytes() + 8, root_);
+  EncodeFixed32(meta.bytes() + 12, height_);
+  EncodeFixed64(meta.bytes() + 16, num_entries_);
+  EncodeFixed32(meta.bytes() + 24, first_leaf_);
+  return owned_file_->Write(kMetaPage, meta);
+}
+
+Status BPlusTree::ReadMeta() {
+  Page meta;
+  SPB_RETURN_IF_ERROR(owned_file_->Read(kMetaPage, &meta));
+  if (DecodeFixed64(meta.bytes()) != kBptMagic) {
+    return Status::Corruption("bad B+-tree magic");
+  }
+  root_ = DecodeFixed32(meta.bytes() + 8);
+  height_ = DecodeFixed32(meta.bytes() + 12);
+  num_entries_ = DecodeFixed64(meta.bytes() + 16);
+  first_leaf_ = DecodeFixed32(meta.bytes() + 24);
+  return Status::OK();
+}
+
+Status BPlusTree::ReadNode(PageId id, BptNode* node) {
+  Page page;
+  SPB_RETURN_IF_ERROR(pool_.Read(id, &page));
+  return node->DeserializeFrom(page, id);
+}
+
+Status BPlusTree::WriteNode(const BptNode& node) {
+  Page page;
+  node.SerializeTo(&page);
+  return pool_.Write(node.id, page);
+}
+
+Status BPlusTree::AllocateNode(bool is_leaf, BptNode* node) {
+  PageId id;
+  SPB_RETURN_IF_ERROR(pool_.Allocate(&id));
+  node->id = id;
+  node->is_leaf = is_leaf;
+  node->next_leaf = kInvalidPageId;
+  node->leaf_entries.clear();
+  node->internal_entries.clear();
+  return Status::OK();
+}
+
+void BPlusTree::ComputeLeafBox(const BptNode& node, uint64_t* mbb_min,
+                               uint64_t* mbb_max) const {
+  if (node.leaf_entries.empty()) {
+    *mbb_min = 0;
+    *mbb_max = 0;
+    return;
+  }
+  const size_t dims = curve_->dims();
+  std::vector<uint32_t> lo(dims, UINT32_MAX), hi(dims, 0), cell;
+  for (const LeafEntry& e : node.leaf_entries) {
+    curve_->Decode(e.key, &cell);
+    for (size_t i = 0; i < dims; ++i) {
+      lo[i] = std::min(lo[i], cell[i]);
+      hi[i] = std::max(hi[i], cell[i]);
+    }
+  }
+  *mbb_min = curve_->Encode(lo);
+  *mbb_max = curve_->Encode(hi);
+}
+
+void BPlusTree::ComputeInternalBox(const BptNode& node, uint64_t* mbb_min,
+                                   uint64_t* mbb_max) const {
+  const size_t dims = curve_->dims();
+  std::vector<uint32_t> lo(dims, UINT32_MAX), hi(dims, 0), corner;
+  for (const InternalEntry& e : node.internal_entries) {
+    curve_->Decode(e.mbb_min, &corner);
+    for (size_t i = 0; i < dims; ++i) lo[i] = std::min(lo[i], corner[i]);
+    curve_->Decode(e.mbb_max, &corner);
+    for (size_t i = 0; i < dims; ++i) hi[i] = std::max(hi[i], corner[i]);
+  }
+  if (node.internal_entries.empty()) {
+    *mbb_min = 0;
+    *mbb_max = 0;
+    return;
+  }
+  *mbb_min = curve_->Encode(lo);
+  *mbb_max = curve_->Encode(hi);
+}
+
+Status BPlusTree::BulkLoad(const std::vector<LeafEntry>& entries) {
+  if (num_entries_ != 0 || height_ != 1) {
+    return Status::InvalidArgument("BulkLoad requires a fresh tree");
+  }
+  if (!std::is_sorted(entries.begin(), entries.end(),
+                      [](const LeafEntry& a, const LeafEntry& b) {
+                        return a.key < b.key ||
+                               (a.key == b.key && a.ptr < b.ptr);
+                      })) {
+    return Status::InvalidArgument("BulkLoad input must be sorted");
+  }
+  if (entries.empty()) return Status::OK();
+
+  // ---- Leaf level. The existing (empty) root page becomes the first leaf.
+  const size_t num_leaves =
+      (entries.size() + BptNode::kLeafCapacity - 1) / BptNode::kLeafCapacity;
+  std::vector<PageId> leaf_ids(num_leaves);
+  leaf_ids[0] = root_;
+  for (size_t i = 1; i < num_leaves; ++i) {
+    SPB_RETURN_IF_ERROR(pool_.Allocate(&leaf_ids[i]));
+  }
+
+  std::vector<InternalEntry> level;
+  level.reserve(num_leaves);
+  size_t pos = 0;
+  for (size_t i = 0; i < num_leaves; ++i) {
+    BptNode leaf;
+    leaf.id = leaf_ids[i];
+    leaf.is_leaf = true;
+    leaf.next_leaf = (i + 1 < num_leaves) ? leaf_ids[i + 1] : kInvalidPageId;
+    const size_t take =
+        std::min(BptNode::kLeafCapacity, entries.size() - pos);
+    leaf.leaf_entries.assign(entries.begin() + ptrdiff_t(pos),
+                             entries.begin() + ptrdiff_t(pos + take));
+    pos += take;
+    SPB_RETURN_IF_ERROR(WriteNode(leaf));
+    uint64_t mbb_min, mbb_max;
+    ComputeLeafBox(leaf, &mbb_min, &mbb_max);
+    level.push_back(
+        InternalEntry{leaf.min_key(), leaf.id, mbb_min, mbb_max});
+  }
+  first_leaf_ = leaf_ids[0];
+  height_ = 1;
+
+  // ---- Internal levels, bottom-up.
+  while (level.size() > 1) {
+    std::vector<InternalEntry> next_level;
+    const size_t num_nodes = (level.size() + BptNode::kInternalCapacity - 1) /
+                             BptNode::kInternalCapacity;
+    next_level.reserve(num_nodes);
+    size_t lpos = 0;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      BptNode node;
+      SPB_RETURN_IF_ERROR(AllocateNode(/*is_leaf=*/false, &node));
+      const size_t take =
+          std::min(BptNode::kInternalCapacity, level.size() - lpos);
+      node.internal_entries.assign(level.begin() + ptrdiff_t(lpos),
+                                   level.begin() + ptrdiff_t(lpos + take));
+      lpos += take;
+      SPB_RETURN_IF_ERROR(WriteNode(node));
+      uint64_t mbb_min, mbb_max;
+      ComputeInternalBox(node, &mbb_min, &mbb_max);
+      next_level.push_back(
+          InternalEntry{node.min_key(), node.id, mbb_min, mbb_max});
+    }
+    level = std::move(next_level);
+    ++height_;
+  }
+  root_ = level[0].child;
+  num_entries_ = entries.size();
+  return WriteMeta();
+}
+
+Status BPlusTree::InsertRec(PageId node_id, uint64_t key, uint64_t ptr,
+                            ChildUpdate* up) {
+  BptNode node;
+  SPB_RETURN_IF_ERROR(ReadNode(node_id, &node));
+
+  if (node.is_leaf) {
+    auto it = std::upper_bound(
+        node.leaf_entries.begin(), node.leaf_entries.end(), key,
+        [](uint64_t k, const LeafEntry& e) { return k < e.key; });
+    node.leaf_entries.insert(it, LeafEntry{key, ptr});
+
+    if (node.leaf_entries.size() <= BptNode::kLeafCapacity) {
+      SPB_RETURN_IF_ERROR(WriteNode(node));
+      up->split = false;
+      up->min_key = node.min_key();
+      ComputeLeafBox(node, &up->mbb_min, &up->mbb_max);
+      return Status::OK();
+    }
+    // Split: left keeps the first half, right gets the rest.
+    BptNode right;
+    SPB_RETURN_IF_ERROR(AllocateNode(/*is_leaf=*/true, &right));
+    const size_t mid = node.leaf_entries.size() / 2;
+    right.leaf_entries.assign(node.leaf_entries.begin() + ptrdiff_t(mid),
+                              node.leaf_entries.end());
+    node.leaf_entries.resize(mid);
+    right.next_leaf = node.next_leaf;
+    node.next_leaf = right.id;
+    SPB_RETURN_IF_ERROR(WriteNode(node));
+    SPB_RETURN_IF_ERROR(WriteNode(right));
+    up->split = true;
+    up->min_key = node.min_key();
+    ComputeLeafBox(node, &up->mbb_min, &up->mbb_max);
+    up->split_key = right.min_key();
+    up->split_child = right.id;
+    ComputeLeafBox(right, &up->split_mbb_min, &up->split_mbb_max);
+    return Status::OK();
+  }
+
+  // Internal: descend into the last child whose separator key <= key.
+  size_t i = 0;
+  for (size_t j = 1; j < node.internal_entries.size(); ++j) {
+    if (node.internal_entries[j].key <= key) i = j;
+  }
+  ChildUpdate child_up;
+  SPB_RETURN_IF_ERROR(
+      InsertRec(node.internal_entries[i].child, key, ptr, &child_up));
+  node.internal_entries[i].key = child_up.min_key;
+  node.internal_entries[i].mbb_min = child_up.mbb_min;
+  node.internal_entries[i].mbb_max = child_up.mbb_max;
+  if (child_up.split) {
+    node.internal_entries.insert(
+        node.internal_entries.begin() + ptrdiff_t(i + 1),
+        InternalEntry{child_up.split_key, child_up.split_child,
+                      child_up.split_mbb_min, child_up.split_mbb_max});
+  }
+
+  if (node.internal_entries.size() <= BptNode::kInternalCapacity) {
+    SPB_RETURN_IF_ERROR(WriteNode(node));
+    up->split = false;
+    up->min_key = node.min_key();
+    ComputeInternalBox(node, &up->mbb_min, &up->mbb_max);
+    return Status::OK();
+  }
+  BptNode right;
+  SPB_RETURN_IF_ERROR(AllocateNode(/*is_leaf=*/false, &right));
+  const size_t mid = node.internal_entries.size() / 2;
+  right.internal_entries.assign(
+      node.internal_entries.begin() + ptrdiff_t(mid),
+      node.internal_entries.end());
+  node.internal_entries.resize(mid);
+  SPB_RETURN_IF_ERROR(WriteNode(node));
+  SPB_RETURN_IF_ERROR(WriteNode(right));
+  up->split = true;
+  up->min_key = node.min_key();
+  ComputeInternalBox(node, &up->mbb_min, &up->mbb_max);
+  up->split_key = right.min_key();
+  up->split_child = right.id;
+  ComputeInternalBox(right, &up->split_mbb_min, &up->split_mbb_max);
+  return Status::OK();
+}
+
+Status BPlusTree::Insert(uint64_t key, uint64_t ptr) {
+  ChildUpdate up;
+  SPB_RETURN_IF_ERROR(InsertRec(root_, key, ptr, &up));
+  if (up.split) {
+    BptNode new_root;
+    SPB_RETURN_IF_ERROR(AllocateNode(/*is_leaf=*/false, &new_root));
+    new_root.internal_entries.push_back(
+        InternalEntry{up.min_key, root_, up.mbb_min, up.mbb_max});
+    new_root.internal_entries.push_back(
+        InternalEntry{up.split_key, up.split_child, up.split_mbb_min,
+                      up.split_mbb_max});
+    SPB_RETURN_IF_ERROR(WriteNode(new_root));
+    root_ = new_root.id;
+    ++height_;
+  }
+  ++num_entries_;
+  return Status::OK();
+}
+
+Status BPlusTree::SeekLeaf(uint64_t key, BptNode* leaf, size_t* pos) {
+  PageId id = root_;
+  BptNode node;
+  for (uint32_t level = height_; level > 1; --level) {
+    SPB_RETURN_IF_ERROR(ReadNode(id, &node));
+    if (node.is_leaf) break;
+    // First entry >= key can only live in (or after) the last child whose
+    // separator is strictly below key.
+    size_t i = 0;
+    for (size_t j = 1; j < node.internal_entries.size(); ++j) {
+      if (node.internal_entries[j].key < key) i = j;
+    }
+    id = node.internal_entries[i].child;
+  }
+  SPB_RETURN_IF_ERROR(ReadNode(id, leaf));
+  while (true) {
+    auto it = std::lower_bound(
+        leaf->leaf_entries.begin(), leaf->leaf_entries.end(), key,
+        [](const LeafEntry& e, uint64_t k) { return e.key < k; });
+    if (it != leaf->leaf_entries.end()) {
+      *pos = size_t(it - leaf->leaf_entries.begin());
+      return Status::OK();
+    }
+    if (leaf->next_leaf == kInvalidPageId) {
+      *pos = leaf->leaf_entries.size();
+      leaf->id = kInvalidPageId;
+      return Status::OK();
+    }
+    SPB_RETURN_IF_ERROR(ReadNode(leaf->next_leaf, leaf));
+  }
+}
+
+Status BPlusTree::Delete(uint64_t key, uint64_t ptr, bool* found) {
+  *found = false;
+  BptNode leaf;
+  size_t pos;
+  SPB_RETURN_IF_ERROR(SeekLeaf(key, &leaf, &pos));
+  while (leaf.id != kInvalidPageId) {
+    for (; pos < leaf.leaf_entries.size(); ++pos) {
+      const LeafEntry& e = leaf.leaf_entries[pos];
+      if (e.key != key) return Status::OK();  // past all duplicates
+      if (e.ptr == ptr) {
+        leaf.leaf_entries.erase(leaf.leaf_entries.begin() + ptrdiff_t(pos));
+        SPB_RETURN_IF_ERROR(WriteNode(leaf));
+        --num_entries_;
+        *found = true;
+        return Status::OK();
+      }
+    }
+    if (leaf.next_leaf == kInvalidPageId) return Status::OK();
+    SPB_RETURN_IF_ERROR(ReadNode(leaf.next_leaf, &leaf));
+    pos = 0;
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::Sync() {
+  SPB_RETURN_IF_ERROR(WriteMeta());
+  return owned_file_->Sync();
+}
+
+Status BPlusTree::CheckInvariantsRec(PageId node_id, bool is_root,
+                                     uint64_t* min_key,
+                                     std::vector<uint32_t>* lo,
+                                     std::vector<uint32_t>* hi,
+                                     uint32_t* depth) {
+  BptNode node;
+  SPB_RETURN_IF_ERROR(ReadNode(node_id, &node));
+  const size_t dims = curve_->dims();
+  lo->assign(dims, UINT32_MAX);
+  hi->assign(dims, 0);
+
+  if (node.is_leaf) {
+    *depth = 1;
+    if (node.leaf_entries.empty()) {
+      if (!is_root) {
+        // Lazily-deleted-empty leaves are allowed; report a box that is
+        // contained in anything.
+        *min_key = UINT64_MAX;
+        return Status::OK();
+      }
+      *min_key = UINT64_MAX;
+      return Status::OK();
+    }
+    std::vector<uint32_t> cell;
+    uint64_t prev = 0;
+    bool first = true;
+    for (const LeafEntry& e : node.leaf_entries) {
+      if (!first && e.key < prev) {
+        return Status::Corruption("leaf keys out of order");
+      }
+      prev = e.key;
+      first = false;
+      curve_->Decode(e.key, &cell);
+      for (size_t i = 0; i < dims; ++i) {
+        (*lo)[i] = std::min((*lo)[i], cell[i]);
+        (*hi)[i] = std::max((*hi)[i], cell[i]);
+      }
+    }
+    *min_key = node.leaf_entries.front().key;
+    return Status::OK();
+  }
+
+  if (node.internal_entries.empty()) {
+    return Status::Corruption("empty internal node");
+  }
+  *min_key = UINT64_MAX;
+  uint32_t child_depth = 0;
+  for (size_t i = 0; i < node.internal_entries.size(); ++i) {
+    const InternalEntry& e = node.internal_entries[i];
+    if (i > 0 && e.key < node.internal_entries[i - 1].key) {
+      return Status::Corruption("internal keys out of order");
+    }
+    uint64_t child_min;
+    std::vector<uint32_t> clo, chi;
+    uint32_t d;
+    SPB_RETURN_IF_ERROR(
+        CheckInvariantsRec(e.child, false, &child_min, &clo, &chi, &d));
+    if (i == 0) {
+      child_depth = d;
+    } else if (d != child_depth) {
+      return Status::Corruption("unbalanced subtree depths");
+    }
+    if (child_min != UINT64_MAX) {
+      // Separator must be a (possibly stale-low) lower bound of the subtree.
+      if (e.key > child_min) {
+        return Status::Corruption("separator exceeds subtree min");
+      }
+      *min_key = std::min(*min_key, child_min);
+      // Entry MBB must contain the subtree's actual box.
+      std::vector<uint32_t> elo, ehi;
+      DecodeBox(e.mbb_min, e.mbb_max, &elo, &ehi);
+      for (size_t k = 0; k < dims; ++k) {
+        if (clo[k] < elo[k] || chi[k] > ehi[k]) {
+          return Status::Corruption("MBB does not contain subtree");
+        }
+        (*lo)[k] = std::min((*lo)[k], clo[k]);
+        (*hi)[k] = std::max((*hi)[k], chi[k]);
+      }
+    }
+  }
+  *depth = child_depth + 1;
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() {
+  uint64_t min_key;
+  std::vector<uint32_t> lo, hi;
+  uint32_t depth;
+  SPB_RETURN_IF_ERROR(
+      CheckInvariantsRec(root_, true, &min_key, &lo, &hi, &depth));
+  if (depth != height_) return Status::Corruption("height mismatch");
+
+  // Leaf chain: globally sorted, covers exactly num_entries_ entries, and
+  // starts at first_leaf_.
+  BptNode leaf;
+  SPB_RETURN_IF_ERROR(ReadNode(first_leaf_, &leaf));
+  uint64_t count = 0;
+  uint64_t prev = 0;
+  bool first = true;
+  while (true) {
+    for (const LeafEntry& e : leaf.leaf_entries) {
+      if (!first && e.key < prev) {
+        return Status::Corruption("leaf chain out of order");
+      }
+      prev = e.key;
+      first = false;
+      ++count;
+    }
+    if (leaf.next_leaf == kInvalidPageId) break;
+    SPB_RETURN_IF_ERROR(ReadNode(leaf.next_leaf, &leaf));
+  }
+  if (count != num_entries_) {
+    return Status::Corruption("leaf chain entry count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace spb

@@ -1,0 +1,141 @@
+#ifndef SPB_BPTREE_BPTREE_H_
+#define SPB_BPTREE_BPTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "bptree/node.h"
+#include "common/status.h"
+#include "sfc/sfc.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace spb {
+
+/// Disk-based B+-tree over uint64 SFC keys with MBB-augmented non-leaf
+/// entries (Section 3.3 of the paper). Supports bulk-loading, insertion and
+/// deletion; duplicate keys are allowed (distinct `ptr` values disambiguate).
+///
+/// Design notes:
+///  - Internal entries store the subtree MBB as two corner SFC values
+///    (`mbb_min`, `mbb_max`), exactly as the paper describes; the curve
+///    passed at construction decodes them back into cell-space boxes.
+///  - Separator keys are exact subtree minima after bulk-load and insertion.
+///    Deletion leaves separators and MBBs conservative (possibly stale-low /
+///    oversized): searches then land at most one leaf early and walk forward
+///    via the leaf chain, and pruning stays safe. Empty leaves remain
+///    chained. This lazy-deletion scheme trades space for the simple,
+///    low-cost updates the paper credits the B+-tree with.
+///  - Query algorithms (RQA/NNA/SJA) walk nodes themselves via ReadNode so
+///    they can manage their own heaps and pruning; page accesses are counted
+///    by the shared BufferPool.
+class BPlusTree {
+ public:
+  /// Creates an empty tree (a single empty root leaf) in a fresh page file.
+  /// `curve` defines key <-> cell decoding for MBB maintenance and must
+  /// outlive the tree.
+  static Status Create(std::unique_ptr<PageFile> file, size_t cache_pages,
+                       const SpaceFillingCurve* curve,
+                       std::unique_ptr<BPlusTree>* out);
+
+  /// Opens a previously created (and Sync'ed) tree.
+  static Status Open(std::unique_ptr<PageFile> file, size_t cache_pages,
+                     const SpaceFillingCurve* curve,
+                     std::unique_ptr<BPlusTree>* out);
+
+  /// Replaces the tree contents with `entries`, which must be sorted by
+  /// (key, ptr). Builds full nodes bottom-up; the tree must be freshly
+  /// created.
+  Status BulkLoad(const std::vector<LeafEntry>& entries);
+
+  /// Inserts one entry (duplicates allowed).
+  Status Insert(uint64_t key, uint64_t ptr);
+
+  /// Removes the entry matching both key and ptr. `*found` reports whether
+  /// it existed.
+  Status Delete(uint64_t key, uint64_t ptr, bool* found);
+
+  /// Positions `*leaf`/`*pos` at the first entry with entry.key >= key,
+  /// walking the leaf chain past empty/early leaves. Sets `*pos` ==
+  /// leaf->size() with an invalid leaf id when no such entry exists.
+  Status SeekLeaf(uint64_t key, BptNode* leaf, size_t* pos);
+
+  /// Reads any node by page id (through the buffer pool, so PA-counted).
+  Status ReadNode(PageId id, BptNode* node);
+
+  /// Persists meta (root, height, count) and flushes the file.
+  Status Sync();
+
+  PageId root() const { return root_; }
+  uint32_t height() const { return height_; }
+  uint64_t num_entries() const { return num_entries_; }
+  PageId first_leaf() const { return first_leaf_; }
+  const SpaceFillingCurve* curve() const { return curve_; }
+
+  /// Decodes an internal entry's MBB into inclusive per-dimension cell
+  /// bounds.
+  void DecodeBox(uint64_t mbb_min, uint64_t mbb_max,
+                 std::vector<uint32_t>* lo, std::vector<uint32_t>* hi) const {
+    curve_->Decode(mbb_min, lo);
+    curve_->Decode(mbb_max, hi);
+  }
+
+  BufferPool& pool() { return pool_; }
+  const IoStats& stats() const { return pool_.stats(); }
+  uint64_t file_bytes() const {
+    return static_cast<uint64_t>(owned_file_->num_pages()) * kPageSize;
+  }
+
+  /// Verifies structural invariants (sorted keys, exact-or-conservative
+  /// separators, MBB containment, leaf chain consistency). Test hook.
+  Status CheckInvariants();
+
+ private:
+  BPlusTree(std::unique_ptr<PageFile> file, size_t cache_pages,
+            const SpaceFillingCurve* curve)
+      : owned_file_(std::move(file)),
+        pool_(owned_file_.get(), cache_pages),
+        curve_(curve) {}
+
+  struct ChildUpdate {
+    uint64_t min_key;
+    uint64_t mbb_min;
+    uint64_t mbb_max;
+    bool split = false;
+    uint64_t split_key = 0;
+    PageId split_child = kInvalidPageId;
+    uint64_t split_mbb_min = 0;
+    uint64_t split_mbb_max = 0;
+  };
+
+  Status WriteNode(const BptNode& node);
+  Status AllocateNode(bool is_leaf, BptNode* node);
+  Status WriteMeta();
+  Status ReadMeta();
+
+  // Computes a node's MBB corners from its contents.
+  void ComputeLeafBox(const BptNode& node, uint64_t* mbb_min,
+                      uint64_t* mbb_max) const;
+  void ComputeInternalBox(const BptNode& node, uint64_t* mbb_min,
+                          uint64_t* mbb_max) const;
+
+  Status InsertRec(PageId node_id, uint64_t key, uint64_t ptr,
+                   ChildUpdate* up);
+
+  Status CheckInvariantsRec(PageId node_id, bool is_root, uint64_t* min_key,
+                            std::vector<uint32_t>* lo,
+                            std::vector<uint32_t>* hi, uint32_t* depth);
+
+  std::unique_ptr<PageFile> owned_file_;
+  BufferPool pool_;
+  const SpaceFillingCurve* curve_;
+
+  PageId root_ = kInvalidPageId;
+  PageId first_leaf_ = kInvalidPageId;
+  uint32_t height_ = 0;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace spb
+
+#endif  // SPB_BPTREE_BPTREE_H_

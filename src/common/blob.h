@@ -1,0 +1,50 @@
+#ifndef SPB_COMMON_BLOB_H_
+#define SPB_COMMON_BLOB_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spb {
+
+/// A metric-space object is an opaque, variable-length byte string. The index
+/// never interprets object bytes; only the distance function does. This is
+/// what lets one index implementation serve words (edit distance), feature
+/// vectors (Lp-norms), signatures (Hamming), DNA reads (tri-gram cosine), ...
+using Blob = std::vector<uint8_t>;
+
+/// Identifier assigned to an object when it enters an index.
+using ObjectId = uint32_t;
+
+/// Wraps a string's bytes as a Blob (for string metrics such as edit
+/// distance).
+inline Blob BlobFromString(std::string_view s) {
+  return Blob(s.begin(), s.end());
+}
+
+/// Recovers the string view of a Blob produced by BlobFromString.
+inline std::string BlobToString(const Blob& b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Packs a float vector into a Blob, little-endian IEEE-754 (for vector
+/// metrics such as the Lp-norms).
+inline Blob BlobFromFloats(const std::vector<float>& v) {
+  Blob b(v.size() * sizeof(float));
+  if (!v.empty()) std::memcpy(b.data(), v.data(), b.size());
+  return b;
+}
+
+/// Recovers the float vector packed by BlobFromFloats. The Blob length must
+/// be a multiple of sizeof(float).
+inline std::vector<float> BlobToFloats(const Blob& b) {
+  std::vector<float> v(b.size() / sizeof(float));
+  if (!v.empty()) std::memcpy(v.data(), b.data(), v.size() * sizeof(float));
+  return v;
+}
+
+}  // namespace spb
+
+#endif  // SPB_COMMON_BLOB_H_

@@ -1,0 +1,42 @@
+#ifndef SPB_COMMON_CODING_H_
+#define SPB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace spb {
+
+// Little-endian fixed-width integer coding for on-disk structures. All index
+// pages and RAF records use these so the files are byte-identical across
+// platforms (we only target little-endian hosts; a static_assert guards it).
+
+inline void EncodeFixed16(uint8_t* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeFixed32(uint8_t* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(uint8_t* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const uint8_t* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const uint8_t* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const uint8_t* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+inline void EncodeDouble(uint8_t* dst, double v) { std::memcpy(dst, &v, 8); }
+inline double DecodeDouble(const uint8_t* src) {
+  double v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+}  // namespace spb
+
+#endif  // SPB_COMMON_CODING_H_

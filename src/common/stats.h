@@ -1,0 +1,56 @@
+#ifndef SPB_COMMON_STATS_H_
+#define SPB_COMMON_STATS_H_
+
+#include <cstdint>
+
+namespace spb {
+
+/// Page-access accounting shared by every disk-resident structure (B+-tree,
+/// RAF, R-tree, M-tree, M-Index). A "page access" (PA in the paper) is a
+/// 4 KB page fetched from the page file that was not served by the buffer
+/// pool, matching the paper's I/O cost metric.
+struct IoStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t cache_hits = 0;
+
+  uint64_t page_accesses() const { return page_reads + page_writes; }
+
+  void Reset() {
+    page_reads = 0;
+    page_writes = 0;
+    cache_hits = 0;
+  }
+
+  IoStats& operator+=(const IoStats& other) {
+    page_reads += other.page_reads;
+    page_writes += other.page_writes;
+    cache_hits += other.cache_hits;
+    return *this;
+  }
+};
+
+/// Per-query (or per-operation) cost record in the paper's three metrics:
+/// page accesses (PA), distance computations (compdists) and wall time.
+struct QueryStats {
+  uint64_t page_accesses = 0;
+  uint64_t distance_computations = 0;
+  double elapsed_seconds = 0.0;
+
+  void Reset() {
+    page_accesses = 0;
+    distance_computations = 0;
+    elapsed_seconds = 0.0;
+  }
+
+  QueryStats& operator+=(const QueryStats& other) {
+    page_accesses += other.page_accesses;
+    distance_computations += other.distance_computations;
+    elapsed_seconds += other.elapsed_seconds;
+    return *this;
+  }
+};
+
+}  // namespace spb
+
+#endif  // SPB_COMMON_STATS_H_

@@ -1,0 +1,74 @@
+#ifndef SPB_COMMON_STATUS_H_
+#define SPB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace spb {
+
+/// Outcome of a fallible operation. The library does not throw exceptions on
+/// normal control paths; every operation that can fail returns a Status (or a
+/// StatusOr-like pair). Modeled after the RocksDB/Arrow idiom.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kCorruption,
+    kNotSupported,
+  };
+
+  /// Default status is success.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "IOError: short read".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Usable only in functions that
+/// return Status.
+#define SPB_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::spb::Status _spb_status = (expr);        \
+    if (!_spb_status.ok()) return _spb_status; \
+  } while (false)
+
+}  // namespace spb
+
+#endif  // SPB_COMMON_STATUS_H_

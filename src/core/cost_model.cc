@@ -1,0 +1,146 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spb {
+
+CostModel::CostModel(
+    std::vector<std::vector<double>> sample, uint64_t total_objects,
+    double objects_per_page, uint64_t num_leaf_pages,
+    std::vector<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>>
+        node_boxes)
+    : sample_(std::move(sample)),
+      total_objects_(total_objects),
+      objects_per_page_(std::max(objects_per_page, 1e-9)),
+      num_leaf_pages_(num_leaf_pages),
+      node_boxes_(std::move(node_boxes)) {}
+
+double CostModel::RegionProbability(const std::vector<double>& phi_q,
+                                    double r) const {
+  if (sample_.empty()) return 0.0;
+  size_t inside = 0;
+  for (const auto& phi : sample_) {
+    bool in = true;
+    for (size_t i = 0; i < phi.size() && in; ++i) {
+      in = phi[i] >= phi_q[i] - r && phi[i] <= phi_q[i] + r;
+    }
+    if (in) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(sample_.size());
+}
+
+double CostModel::EstimateKnnRadius(const std::vector<double>& phi_q,
+                                    uint64_t k) const {
+  if (total_objects_ == 0) return 0.0;
+  // Query objects follow the paper's protocol (members of the dataset), so
+  // F_q has an atom at 0 from the self-match: |O| * F_q(0) = 1 and Eq. 5
+  // gives eND_1 = 0. The sampled pair distribution lacks self-pairs, so the
+  // effective rank is k - 1.
+  const double frac =
+      std::min(1.0, static_cast<double>(k - 1) /
+                        static_cast<double>(total_objects_));
+
+  if (!pair_distances_.empty()) {
+    // Eq. 5 with F_q approximated by the overall distance distribution
+    // (Eq. 1, homogeneity assumption): eND_k = G^{-1}(k / |O|). Quantiles
+    // below the sample resolution are extrapolated with the standard
+    // F(r) ~ r^(2 rho) small-radius model, rho = intrinsic dimensionality.
+    const double m = static_cast<double>(pair_distances_.size());
+    const double pos = frac * m;
+    if (pos >= 1.0) {
+      size_t idx = static_cast<size_t>(pos) - 1;
+      idx = std::min(idx, pair_distances_.size() - 1);
+      return pair_distances_[idx];
+    }
+    const double exponent = std::max(1.0, 2.0 * intrinsic_dim_);
+    return pair_distances_.front() * std::pow(pos, 1.0 / exponent);
+  }
+
+  if (sample_.empty()) return 0.0;
+  // Fallback: quantile of mapped-space lower bounds, calibrated by the
+  // pivot-set precision (Definition 1).
+  std::vector<double> lbs;
+  lbs.reserve(sample_.size());
+  for (const auto& phi : sample_) {
+    double lb = 0.0;
+    for (size_t i = 0; i < phi_q.size(); ++i) {
+      lb = std::max(lb, std::fabs(phi[i] - phi_q[i]));
+    }
+    lbs.push_back(lb);
+  }
+  std::sort(lbs.begin(), lbs.end());
+  size_t idx = static_cast<size_t>(std::ceil(frac * lbs.size()));
+  if (idx > 0) --idx;
+  idx = std::min(idx, lbs.size() - 1);
+  const double calibration = std::clamp(precision_, 0.05, 1.0);
+  return lbs[idx] / calibration;
+}
+
+CostEstimate CostModel::EstimateRange(const MappedSpace& space,
+                                      const std::vector<double>& phi_q,
+                                      double r) const {
+  CostEstimate est;
+  est.estimated_radius = r;
+  const double pr = RegionProbability(phi_q, r);
+  // Eq. 3: pivots for phi(q), plus one computation per object expected in RR.
+  est.distance_computations =
+      static_cast<double>(phi_q.size()) + pr * static_cast<double>(total_objects_);
+
+  // Eq. 6: B+-tree nodes whose MBB intersects RR, plus RAF pages.
+  std::vector<uint32_t> lo, hi;
+  space.RangeRegion(phi_q, r, &lo, &hi);
+  double nodes_hit = 0.0;
+  for (const auto& [blo, bhi] : node_boxes_) {
+    if (MappedSpace::BoxesIntersect(blo, bhi, lo, hi)) nodes_hit += 1.0;
+  }
+  const double verified = pr * static_cast<double>(total_objects_);
+  est.page_accesses = nodes_hit + verified / objects_per_page_;
+  return est;
+}
+
+CostEstimate CostModel::EstimateKnn(const MappedSpace& space,
+                                    const std::vector<double>& phi_q,
+                                    uint64_t k) const {
+  const double radius = EstimateKnnRadius(phi_q, k);
+  CostEstimate est = EstimateRange(space, phi_q, radius);
+  est.estimated_radius = radius;
+  return est;
+}
+
+CostEstimate CostModel::EstimateJoin(const CostModel& probe,
+                                     double epsilon) const {
+  CostEstimate est;
+  est.estimated_radius = epsilon;
+  // Eq. 7 evaluated on the probe sample: EDC = sum over q of
+  // |O| * Pr(phi(o) in RR(q, eps)), scaled from sample to |Q|.
+  double avg_pr = 0.0;
+  for (const auto& phi_q : probe.sample_) {
+    avg_pr += RegionProbability(phi_q, epsilon);
+  }
+  if (!probe.sample_.empty()) avg_pr /= double(probe.sample_.size());
+  est.distance_computations = avg_pr * static_cast<double>(total_objects_) *
+                              static_cast<double>(probe.total_objects_);
+  // Eq. 8: one pass over both trees' leaves and both RAFs.
+  est.page_accesses =
+      static_cast<double>(probe.num_leaf_pages_) +
+      static_cast<double>(num_leaf_pages_) +
+      static_cast<double>(probe.total_objects_) / probe.objects_per_page_ +
+      static_cast<double>(total_objects_) / objects_per_page_;
+  return est;
+}
+
+void CostModel::AddSample(const std::vector<double>& phi,
+                          uint64_t seen_so_far, uint64_t rng_draw) {
+  if (sample_.size() < kDefaultSampleCapacity) {
+    sample_.push_back(phi);
+    return;
+  }
+  // Reservoir replacement: keep each of the `seen_so_far` vectors with equal
+  // probability.
+  if (seen_so_far == 0) return;
+  const uint64_t slot = rng_draw % seen_so_far;
+  if (slot < sample_.size()) sample_[slot] = phi;
+}
+
+}  // namespace spb

@@ -1,0 +1,107 @@
+#ifndef SPB_CORE_COST_MODEL_H_
+#define SPB_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mapped_space.h"
+
+namespace spb {
+
+/// Predicted cost of a similarity operation, in the paper's two metrics.
+struct CostEstimate {
+  /// EDC — estimated number of distance computations (Eqs. 3, 7).
+  double distance_computations = 0.0;
+  /// EPA — estimated number of page accesses (Eqs. 6, 8).
+  double page_accesses = 0.0;
+  /// For kNN: the estimated k-th NN distance eND_k (Eq. 5).
+  double estimated_radius = 0.0;
+};
+
+/// The SPB-tree cost model (Sections 4.4, 5.3). Holds the sampled *union*
+/// distance distribution F(r_1, ..., r_|P|) of Eq. 2 — a reservoir sample of
+/// exact mapped vectors phi(o) gathered at construction time — plus the node
+/// MBB summary needed for the I(M_i) term of Eq. 6.
+class CostModel {
+ public:
+  CostModel() = default;
+
+  /// `sample` are exact phi(o) vectors of sampled objects, `total_objects` is
+  /// |O|, `objects_per_page` is f (average objects per RAF page), and
+  /// `node_boxes` are the cell-space MBBs of every B+-tree node.
+  CostModel(std::vector<std::vector<double>> sample, uint64_t total_objects,
+            double objects_per_page, uint64_t num_leaf_pages,
+            std::vector<std::pair<std::vector<uint32_t>,
+                                  std::vector<uint32_t>>> node_boxes);
+
+  /// Empirical Pr(phi(o) in RR(q, r)) — the inclusion-exclusion of Eq. 4
+  /// evaluated against the sampled union distribution.
+  double RegionProbability(const std::vector<double>& phi_q, double r) const;
+
+  /// Eq. 5: the estimated k-th NN distance. F_q is approximated by the
+  /// mapped-space lower-bound distribution (in the spirit of the
+  /// query-sensitive model of Ciaccia & Nanni the paper cites as [40]) and
+  /// calibrated by the pivot-set precision of Definition 1.
+  double EstimateKnnRadius(const std::vector<double>& phi_q, uint64_t k) const;
+
+  /// Range-query cost (Eqs. 3, 4, 6).
+  CostEstimate EstimateRange(const MappedSpace& space,
+                             const std::vector<double>& phi_q,
+                             double r) const;
+
+  /// kNN cost: a range estimate at radius eND_k (Eq. 5).
+  CostEstimate EstimateKnn(const MappedSpace& space,
+                           const std::vector<double>& phi_q,
+                           uint64_t k) const;
+
+  /// Join cost (Eqs. 7, 8): `probe` is the cost model of SPB_Q whose sampled
+  /// vectors stand in for the outer objects q; `this` models SPB_O.
+  CostEstimate EstimateJoin(const CostModel& probe, double epsilon) const;
+
+  /// Adds one mapped vector to the reservoir sample (used by Insert).
+  void AddSample(const std::vector<double>& phi, uint64_t seen_so_far,
+                 uint64_t rng_draw);
+
+  /// Pivot-set precision (Definition 1) used to calibrate kNN radius
+  /// estimates; measured on sampled pairs at build time.
+  void set_precision(double p) { precision_ = p; }
+  double precision() const { return precision_; }
+
+  /// Installs the sampled overall distance distribution (Eq. 1): sorted
+  /// pairwise distances measured at build time, plus the intrinsic
+  /// dimensionality used to extrapolate quantiles below 1/sample-size.
+  void set_distance_distribution(std::vector<double> sorted_distances,
+                                 double intrinsic_dim) {
+    pair_distances_ = std::move(sorted_distances);
+    intrinsic_dim_ = intrinsic_dim;
+  }
+  const std::vector<double>& pair_distances() const {
+    return pair_distances_;
+  }
+  double intrinsic_dim() const { return intrinsic_dim_; }
+
+  uint64_t total_objects() const { return total_objects_; }
+  void set_total_objects(uint64_t n) { total_objects_ = n; }
+  double objects_per_page() const { return objects_per_page_; }
+  uint64_t num_leaf_pages() const { return num_leaf_pages_; }
+  const std::vector<std::vector<double>>& sample() const { return sample_; }
+
+  static constexpr size_t kDefaultSampleCapacity = 1024;
+
+ private:
+  std::vector<std::vector<double>> sample_;
+  uint64_t total_objects_ = 0;
+  double objects_per_page_ = 1.0;
+  uint64_t num_leaf_pages_ = 0;
+  double precision_ = 1.0;
+  // Sorted sample of pairwise distances (the overall distribution of Eq. 1)
+  // and the intrinsic dimensionality for sub-sample quantile extrapolation.
+  std::vector<double> pair_distances_;
+  double intrinsic_dim_ = 1.0;
+  std::vector<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>>
+      node_boxes_;
+};
+
+}  // namespace spb
+
+#endif  // SPB_CORE_COST_MODEL_H_

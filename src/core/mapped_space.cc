@@ -1,0 +1,140 @@
+#include "core/mapped_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spb {
+
+int SfcBitsFor(size_t num_pivots, uint32_t num_cells) {
+  int bits = 1;
+  while ((1ull << bits) < num_cells) ++bits;
+  const int avail = static_cast<int>(64 / std::max<size_t>(num_pivots, 1));
+  return std::clamp(bits, 1, avail);
+}
+
+namespace {
+
+// Builds the discretizer, coarsening delta when the requested grid would not
+// fit the per-dimension bit budget.
+Discretizer MakeDiscretizer(size_t num_pivots, const DistanceFunction& metric,
+                            double delta) {
+  const double d_plus = metric.max_distance();
+  Discretizer disc(d_plus, metric.is_discrete(), delta);
+  const int bits = SfcBitsFor(num_pivots, disc.num_cells());
+  const uint32_t limit = 1u << bits;
+  if (disc.num_cells() > limit) {
+    // Grid too fine for the key width: coarsen (continuous semantics even
+    // for discrete metrics — intervals keep every bound safe).
+    const double coarse = d_plus / (limit - 1);
+    return Discretizer(d_plus, /*discrete=*/false, coarse);
+  }
+  return disc;
+}
+
+}  // namespace
+
+MappedSpace::MappedSpace(PivotTable pivots, const DistanceFunction& metric,
+                         double delta, CurveType curve_type)
+    : pivots_(std::move(pivots)),
+      disc_(MakeDiscretizer(pivots_.size(), metric, delta)) {
+  const int bits = SfcBitsFor(pivots_.size(), disc_.num_cells());
+  curve_ = SpaceFillingCurve::Create(curve_type, pivots_.size(), bits);
+}
+
+void MappedSpace::RangeRegion(const std::vector<double>& phi_q, double r,
+                              std::vector<uint32_t>* lo,
+                              std::vector<uint32_t>* hi) const {
+  const size_t n = phi_q.size();
+  lo->resize(n);
+  hi->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t gmin = 0, gmax = disc_.max_cell();
+    disc_.CellRange(phi_q[i] - r, phi_q[i] + r, &gmin, &gmax);
+    (*lo)[i] = gmin;
+    (*hi)[i] = gmax;
+  }
+}
+
+bool MappedSpace::CellInBox(const std::vector<uint32_t>& cell,
+                            const std::vector<uint32_t>& lo,
+                            const std::vector<uint32_t>& hi) {
+  for (size_t i = 0; i < cell.size(); ++i) {
+    if (cell[i] < lo[i] || cell[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+bool MappedSpace::BoxesIntersect(const std::vector<uint32_t>& alo,
+                                 const std::vector<uint32_t>& ahi,
+                                 const std::vector<uint32_t>& blo,
+                                 const std::vector<uint32_t>& bhi) {
+  for (size_t i = 0; i < alo.size(); ++i) {
+    if (ahi[i] < blo[i] || bhi[i] < alo[i]) return false;
+  }
+  return true;
+}
+
+bool MappedSpace::BoxContains(const std::vector<uint32_t>& olo,
+                              const std::vector<uint32_t>& ohi,
+                              const std::vector<uint32_t>& ilo,
+                              const std::vector<uint32_t>& ihi) {
+  for (size_t i = 0; i < olo.size(); ++i) {
+    if (ilo[i] < olo[i] || ihi[i] > ohi[i]) return false;
+  }
+  return true;
+}
+
+bool MappedSpace::IntersectBoxes(const std::vector<uint32_t>& alo,
+                                 const std::vector<uint32_t>& ahi,
+                                 const std::vector<uint32_t>& blo,
+                                 const std::vector<uint32_t>& bhi,
+                                 std::vector<uint32_t>* lo,
+                                 std::vector<uint32_t>* hi) {
+  const size_t n = alo.size();
+  lo->resize(n);
+  hi->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*lo)[i] = std::max(alo[i], blo[i]);
+    (*hi)[i] = std::min(ahi[i], bhi[i]);
+    if ((*lo)[i] > (*hi)[i]) return false;
+  }
+  return true;
+}
+
+double MappedSpace::LowerBoundToCell(const std::vector<double>& phi_q,
+                                     const std::vector<uint32_t>& cell) const {
+  double best = 0.0;
+  for (size_t i = 0; i < phi_q.size(); ++i) {
+    best = std::max(best, disc_.LowerBound(phi_q[i], cell[i]));
+  }
+  return best;
+}
+
+double MappedSpace::LowerBoundToBox(const std::vector<double>& phi_q,
+                                    const std::vector<uint32_t>& lo,
+                                    const std::vector<uint32_t>& hi) const {
+  double best = 0.0;
+  for (size_t i = 0; i < phi_q.size(); ++i) {
+    const double interval_lo = disc_.CellLow(lo[i]);
+    const double interval_hi = disc_.CellHigh(hi[i]);
+    double d = 0.0;
+    if (phi_q[i] < interval_lo) {
+      d = interval_lo - phi_q[i];
+    } else if (phi_q[i] > interval_hi) {
+      d = phi_q[i] - interval_hi;
+    }
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+bool MappedSpace::GuaranteedWithin(const std::vector<double>& phi_q,
+                                   const std::vector<uint32_t>& cell,
+                                   double r) const {
+  for (size_t i = 0; i < phi_q.size(); ++i) {
+    if (disc_.UpperBound(cell[i]) <= r - phi_q[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace spb

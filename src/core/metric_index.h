@@ -1,0 +1,58 @@
+#ifndef SPB_CORE_METRIC_INDEX_H_
+#define SPB_CORE_METRIC_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/blob.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace spb {
+
+/// One kNN result.
+struct Neighbor {
+  ObjectId id;
+  double distance;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// Common interface of every metric access method in this library — the
+/// SPB-tree and the competitors it is evaluated against (M-tree, OmniR-tree,
+/// M-Index). The benchmark harness drives all MAMs through this interface so
+/// costs are measured identically.
+class MetricIndex {
+ public:
+  virtual ~MetricIndex() = default;
+
+  /// Inserts one object (the Table 7 update operation).
+  virtual Status Insert(const Blob& obj, ObjectId id) = 0;
+
+  /// RQ(q, O, r).
+  virtual Status RangeQuery(const Blob& q, double r,
+                            std::vector<ObjectId>* result,
+                            QueryStats* stats) = 0;
+
+  /// kNN(q, k), sorted by ascending distance.
+  virtual Status KnnQuery(const Blob& q, size_t k,
+                          std::vector<Neighbor>* result,
+                          QueryStats* stats) = 0;
+
+  /// Total storage footprint in bytes (index + separately stored objects).
+  virtual uint64_t storage_bytes() const = 0;
+
+  /// Page accesses + distance computations accumulated since the last
+  /// ResetCounters(); used for construction and update cost accounting.
+  virtual QueryStats cumulative_stats() const = 0;
+  virtual void ResetCounters() = 0;
+
+  /// Drops LRU caches (done before each measured query, as in the paper).
+  virtual void FlushCaches() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace spb
+
+#endif  // SPB_CORE_METRIC_INDEX_H_

@@ -1,0 +1,765 @@
+#include "core/spb_tree.h"
+
+#include "common/coding.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <filesystem>
+#include <cstring>
+#include <queue>
+
+namespace spb {
+
+namespace {
+
+/// Captures the cost counters around one query and writes the delta (plus
+/// wall time) into `out` when it goes out of scope.
+class StatScope {
+ public:
+  StatScope(const SpbTree& tree, QueryStats* out)
+      : tree_(tree), out_(out), before_(tree.cumulative_stats()),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~StatScope() {
+    if (out_ == nullptr) return;
+    const QueryStats after = tree_.cumulative_stats();
+    out_->page_accesses = after.page_accesses - before_.page_accesses;
+    out_->distance_computations =
+        after.distance_computations - before_.distance_computations;
+    out_->elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+  }
+
+ private:
+  const SpbTree& tree_;
+  QueryStats* out_;
+  QueryStats before_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+Status SpbTree::MakeFiles(std::unique_ptr<PageFile>* btree_file,
+                          std::unique_ptr<PageFile>* raf_file) const {
+  if (options_.storage_dir.empty()) {
+    *btree_file = PageFile::CreateInMemory();
+    *raf_file = PageFile::CreateInMemory();
+    return Status::OK();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.storage_dir, ec);
+  if (ec) return Status::IOError("cannot create " + options_.storage_dir);
+  SPB_RETURN_IF_ERROR(PageFile::CreateOnDisk(
+      options_.storage_dir + "/btree.spb", btree_file));
+  return PageFile::CreateOnDisk(options_.storage_dir + "/raf.spb", raf_file);
+}
+
+Status SpbTree::Build(const std::vector<Blob>& objects,
+                      const DistanceFunction* metric,
+                      const SpbTreeOptions& options,
+                      std::unique_ptr<SpbTree>* out) {
+  CountingDistance counting(metric);
+  PivotSelectionOptions popts;
+  popts.num_pivots = options.num_pivots;
+  popts.seed = options.seed;
+  PivotTable pivots(
+      SelectPivots(options.pivot_selector, objects, counting, popts));
+  if (pivots.empty() && !objects.empty()) {
+    return Status::InvalidArgument("pivot selection produced no pivots");
+  }
+  Status s = BuildInternal(objects, metric, std::move(pivots), options, out);
+  if (s.ok()) {
+    // Fold the pivot-selection distance computations into construction cost.
+    (*out)->extra_distance_computations_ = counting.count();
+  }
+  return s;
+}
+
+Status SpbTree::BuildWithPivots(const std::vector<Blob>& objects,
+                                const DistanceFunction* metric,
+                                PivotTable pivots,
+                                const SpbTreeOptions& options,
+                                std::unique_ptr<SpbTree>* out) {
+  return BuildInternal(objects, metric, std::move(pivots), options, out);
+}
+
+Status SpbTree::BuildInternal(const std::vector<Blob>& objects,
+                              const DistanceFunction* metric,
+                              PivotTable pivots,
+                              const SpbTreeOptions& options,
+                              std::unique_ptr<SpbTree>* out) {
+  if (options.num_pivots == 0 || (pivots.empty() && !objects.empty())) {
+    return Status::InvalidArgument("SPB-tree needs at least one pivot");
+  }
+  auto tree = std::unique_ptr<SpbTree>(new SpbTree(metric, options));
+  tree->sample_rng_ = Rng(options.seed ^ 0x5b5b5b5bULL);
+
+  // Handle the degenerate empty-index case with a single dummy pivot-free
+  // mapping: create structures lazily sized for 1 dimension.
+  if (pivots.empty()) {
+    pivots = PivotTable({Blob{}});
+  }
+  tree->space_ = std::make_unique<MappedSpace>(std::move(pivots), *metric,
+                                               options.delta, options.curve);
+
+  std::unique_ptr<PageFile> btree_file, raf_file;
+  SPB_RETURN_IF_ERROR(tree->MakeFiles(&btree_file, &raf_file));
+  SPB_RETURN_IF_ERROR(BPlusTree::Create(std::move(btree_file),
+                                        options.btree_cache_pages,
+                                        &tree->space_->curve(), &tree->btree_));
+  SPB_RETURN_IF_ERROR(
+      Raf::Create(std::move(raf_file), options.raf_cache_pages, &tree->raf_));
+
+  // ---- Stage 1+2: map every object and sort by SFC value.
+  struct Mapped {
+    uint64_t key;
+    ObjectId id;
+  };
+  std::vector<Mapped> mapped(objects.size());
+  std::vector<std::vector<double>> sample;
+  const size_t sample_cap = options.cost_sample_size;
+  Rng sample_rng(options.seed ^ 0xc0);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const std::vector<double> phi =
+        tree->space_->Phi(objects[i], tree->counting_);
+    mapped[i] = Mapped{tree->space_->KeyFor(phi), ObjectId(i)};
+    if (sample_cap > 0) {
+      if (sample.size() < sample_cap) {
+        sample.push_back(phi);
+      } else {
+        const uint64_t slot = sample_rng.Uniform(i + 1);
+        if (slot < sample_cap) sample[slot] = phi;
+      }
+    }
+  }
+  std::sort(mapped.begin(), mapped.end(),
+            [](const Mapped& a, const Mapped& b) {
+              return a.key < b.key || (a.key == b.key && a.id < b.id);
+            });
+
+  // ---- RAF in ascending SFC order; B+-tree entries reference offsets.
+  std::vector<LeafEntry> entries;
+  entries.reserve(mapped.size());
+  for (const Mapped& m : mapped) {
+    uint64_t offset;
+    SPB_RETURN_IF_ERROR(tree->raf_->Append(m.id, objects[m.id], &offset));
+    entries.push_back(LeafEntry{m.key, offset});
+  }
+  SPB_RETURN_IF_ERROR(tree->raf_->Sync());
+  SPB_RETURN_IF_ERROR(tree->btree_->BulkLoad(entries));
+  SPB_RETURN_IF_ERROR(tree->btree_->Sync());
+  tree->num_objects_ = objects.size();
+  tree->inserts_seen_ = objects.size();
+
+  // ---- Cost model: union distance distribution sample + node MBB summary.
+  std::vector<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>> boxes;
+  SPB_RETURN_IF_ERROR(tree->CollectNodeBoxes(&boxes));
+  const double data_pages =
+      std::max<double>(1.0, double(tree->raf_->file_bytes() / kPageSize) - 1);
+  const double f = double(std::max<uint64_t>(tree->num_objects_, 1)) /
+                   data_pages;
+  uint64_t leaf_pages =
+      (tree->num_objects_ + BptNode::kLeafCapacity - 1) /
+      std::max<size_t>(BptNode::kLeafCapacity, 1);
+  tree->cost_model_ = CostModel(std::move(sample), tree->num_objects_, f,
+                                leaf_pages, std::move(boxes));
+  if (objects.size() >= 2 && options.cost_sample_size > 0) {
+    tree->cost_model_.set_precision(PivotSetPrecision(
+        tree->space_->pivots(), objects, tree->counting_,
+        /*num_pairs=*/256, options.seed ^ 0xfeed));
+    // Overall distance distribution (Eq. 1): sampled pairwise distances for
+    // the kNN radius estimate, plus intrinsic dimensionality (rho) for
+    // sub-sample quantile extrapolation.
+    Rng pair_rng(options.seed ^ 0xd15f);
+    std::vector<double> pair_distances;
+    pair_distances.reserve(512);
+    double mean = 0.0;
+    for (int t = 0; t < 512; ++t) {
+      const Blob& a = objects[pair_rng.Uniform(objects.size())];
+      const Blob& b = objects[pair_rng.Uniform(objects.size())];
+      const double d = tree->counting_.Distance(a, b);
+      pair_distances.push_back(d);
+      mean += d;
+    }
+    mean /= double(pair_distances.size());
+    double var = 0.0;
+    for (double d : pair_distances) var += (d - mean) * (d - mean);
+    var /= double(pair_distances.size());
+    const double rho = var > 0 ? mean * mean / (2.0 * var) : 1.0;
+    std::sort(pair_distances.begin(), pair_distances.end());
+    tree->cost_model_.set_distance_distribution(std::move(pair_distances),
+                                                rho);
+  }
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+namespace {
+
+constexpr uint64_t kSpbMetaMagic = 0x5350424D45544131ULL;  // "SPBMETA1"
+
+// Serializes a byte buffer into a page file: page 0 holds magic + length,
+// the raw bytes follow across subsequent pages.
+Status WriteBufferToPageFile(const std::vector<uint8_t>& buf,
+                             PageFile* file) {
+  Page page;
+  EncodeFixed64(page.bytes(), kSpbMetaMagic);
+  EncodeFixed64(page.bytes() + 8, buf.size());
+  PageId id;
+  if (file->num_pages() == 0) {
+    SPB_RETURN_IF_ERROR(file->Allocate(&id));
+  }
+  SPB_RETURN_IF_ERROR(file->Write(0, page));
+  size_t pos = 0;
+  PageId next = 1;
+  while (pos < buf.size()) {
+    Page data;
+    const size_t chunk = std::min(kPageSize, buf.size() - pos);
+    std::memcpy(data.bytes(), buf.data() + pos, chunk);
+    while (file->num_pages() <= next) {
+      PageId unused;
+      SPB_RETURN_IF_ERROR(file->Allocate(&unused));
+    }
+    SPB_RETURN_IF_ERROR(file->Write(next, data));
+    pos += chunk;
+    ++next;
+  }
+  return file->Sync();
+}
+
+Status ReadBufferFromPageFile(PageFile* file, std::vector<uint8_t>* buf) {
+  if (file->num_pages() == 0) return Status::Corruption("empty meta file");
+  Page page;
+  SPB_RETURN_IF_ERROR(file->Read(0, &page));
+  if (DecodeFixed64(page.bytes()) != kSpbMetaMagic) {
+    return Status::Corruption("bad SPB meta magic");
+  }
+  const uint64_t len = DecodeFixed64(page.bytes() + 8);
+  buf->resize(len);
+  size_t pos = 0;
+  PageId next = 1;
+  while (pos < len) {
+    SPB_RETURN_IF_ERROR(file->Read(next, &page));
+    const size_t chunk = std::min(kPageSize, size_t(len) - pos);
+    std::memcpy(buf->data() + pos, page.bytes(), chunk);
+    pos += chunk;
+    ++next;
+  }
+  return Status::OK();
+}
+
+// Simple append-only binary writer/reader for the meta blob.
+class MetaWriter {
+ public:
+  void U32(uint32_t v) {
+    uint8_t b[4];
+    EncodeFixed32(b, v);
+    buf_.insert(buf_.end(), b, b + 4);
+  }
+  void U64(uint64_t v) {
+    uint8_t b[8];
+    EncodeFixed64(b, v);
+    buf_.insert(buf_.end(), b, b + 8);
+  }
+  void F64(double v) {
+    uint8_t b[8];
+    EncodeDouble(b, v);
+    buf_.insert(buf_.end(), b, b + 8);
+  }
+  void Bytes(const Blob& b) {
+    U32(uint32_t(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  std::vector<uint8_t>& buf() { return buf_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class MetaReader {
+ public:
+  explicit MetaReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > buf_.size()) return false;
+    *v = DecodeFixed32(buf_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > buf_.size()) return false;
+    *v = DecodeFixed64(buf_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool F64(double* v) {
+    if (pos_ + 8 > buf_.size()) return false;
+    *v = DecodeDouble(buf_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool Bytes(Blob* b) {
+    uint32_t len;
+    if (!U32(&len) || pos_ + len > buf_.size()) return false;
+    b->assign(buf_.begin() + ptrdiff_t(pos_),
+              buf_.begin() + ptrdiff_t(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status SpbTree::Save() {
+  if (options_.storage_dir.empty()) {
+    return Status::InvalidArgument("Save() requires a disk-backed index");
+  }
+  SPB_RETURN_IF_ERROR(btree_->Sync());
+  SPB_RETURN_IF_ERROR(raf_->Sync());
+
+  MetaWriter w;
+  w.U64(num_objects_);
+  w.U32(uint32_t(space_->pivots().size()));
+  w.F64(options_.delta);
+  w.U32(uint32_t(options_.curve));
+  w.Bytes(space_->pivots().Serialize());
+  // Cost model.
+  w.F64(cost_model_.precision());
+  w.F64(cost_model_.intrinsic_dim());
+  w.F64(cost_model_.objects_per_page());
+  w.U64(cost_model_.num_leaf_pages());
+  const auto& pairs = cost_model_.pair_distances();
+  w.U32(uint32_t(pairs.size()));
+  for (double d : pairs) w.F64(d);
+  const auto& sample = cost_model_.sample();
+  w.U32(uint32_t(sample.size()));
+  for (const auto& phi : sample) {
+    for (double d : phi) w.F64(d);
+  }
+
+  std::unique_ptr<PageFile> meta;
+  SPB_RETURN_IF_ERROR(
+      PageFile::CreateOnDisk(options_.storage_dir + "/meta.spb", &meta));
+  return WriteBufferToPageFile(w.buf(), meta.get());
+}
+
+Status SpbTree::Open(const std::string& storage_dir,
+                     const DistanceFunction* metric,
+                     const SpbTreeOptions& options,
+                     std::unique_ptr<SpbTree>* out) {
+  std::unique_ptr<PageFile> meta_file;
+  SPB_RETURN_IF_ERROR(
+      PageFile::OpenOnDisk(storage_dir + "/meta.spb", &meta_file));
+  std::vector<uint8_t> buf;
+  SPB_RETURN_IF_ERROR(ReadBufferFromPageFile(meta_file.get(), &buf));
+  MetaReader r(buf);
+
+  SpbTreeOptions opts = options;
+  opts.storage_dir = storage_dir;
+  uint64_t num_objects;
+  uint32_t num_pivots, curve_raw;
+  Blob pivot_blob;
+  if (!r.U64(&num_objects) || !r.U32(&num_pivots) || !r.F64(&opts.delta) ||
+      !r.U32(&curve_raw) || !r.Bytes(&pivot_blob)) {
+    return Status::Corruption("truncated SPB meta");
+  }
+  opts.num_pivots = num_pivots;
+  opts.curve = CurveType(curve_raw);
+  PivotTable pivots;
+  SPB_RETURN_IF_ERROR(PivotTable::Deserialize(pivot_blob, &pivots));
+
+  auto tree = std::unique_ptr<SpbTree>(new SpbTree(metric, opts));
+  tree->sample_rng_ = Rng(opts.seed ^ 0x5b5b5b5bULL);
+  tree->space_ = std::make_unique<MappedSpace>(std::move(pivots), *metric,
+                                               opts.delta, opts.curve);
+
+  std::unique_ptr<PageFile> btree_file, raf_file;
+  SPB_RETURN_IF_ERROR(
+      PageFile::OpenOnDisk(storage_dir + "/btree.spb", &btree_file));
+  SPB_RETURN_IF_ERROR(
+      PageFile::OpenOnDisk(storage_dir + "/raf.spb", &raf_file));
+  SPB_RETURN_IF_ERROR(BPlusTree::Open(std::move(btree_file),
+                                      opts.btree_cache_pages,
+                                      &tree->space_->curve(), &tree->btree_));
+  SPB_RETURN_IF_ERROR(
+      Raf::Open(std::move(raf_file), opts.raf_cache_pages, &tree->raf_));
+  tree->num_objects_ = num_objects;
+  tree->inserts_seen_ = num_objects;
+
+  // Cost model: restore the persisted distributions, re-walk node boxes.
+  double precision, rho, f;
+  uint64_t leaf_pages;
+  uint32_t pair_count;
+  if (!r.F64(&precision) || !r.F64(&rho) || !r.F64(&f) ||
+      !r.U64(&leaf_pages) || !r.U32(&pair_count)) {
+    return Status::Corruption("truncated SPB meta (cost model)");
+  }
+  std::vector<double> pair_distances(pair_count);
+  for (auto& d : pair_distances) {
+    if (!r.F64(&d)) return Status::Corruption("truncated pair distances");
+  }
+  uint32_t sample_count;
+  if (!r.U32(&sample_count)) return Status::Corruption("truncated sample");
+  std::vector<std::vector<double>> sample(sample_count);
+  for (auto& phi : sample) {
+    phi.resize(num_pivots);
+    for (auto& d : phi) {
+      if (!r.F64(&d)) return Status::Corruption("truncated sample vector");
+    }
+  }
+  std::vector<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>> boxes;
+  SPB_RETURN_IF_ERROR(tree->CollectNodeBoxes(&boxes));
+  tree->cost_model_ =
+      CostModel(std::move(sample), num_objects, f, leaf_pages,
+                std::move(boxes));
+  tree->cost_model_.set_precision(precision);
+  tree->cost_model_.set_distance_distribution(std::move(pair_distances), rho);
+  tree->ResetCounters();
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status SpbTree::CollectNodeBoxes(
+    std::vector<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>>*
+        boxes) {
+  boxes->clear();
+  // Walk the tree breadth-first collecting every entry's MBB; leaves are
+  // summarized by their parents' entries, so this covers all nodes except
+  // the root (whose box is the union — irrelevant for counting).
+  std::queue<PageId> todo;
+  todo.push(btree_->root());
+  BptNode node;
+  std::vector<uint32_t> lo, hi;
+  while (!todo.empty()) {
+    const PageId id = todo.front();
+    todo.pop();
+    SPB_RETURN_IF_ERROR(btree_->ReadNode(id, &node));
+    if (node.is_leaf) continue;
+    for (const InternalEntry& e : node.internal_entries) {
+      btree_->DecodeBox(e.mbb_min, e.mbb_max, &lo, &hi);
+      boxes->emplace_back(lo, hi);
+      todo.push(e.child);
+    }
+  }
+  return Status::OK();
+}
+
+Status SpbTree::Insert(const Blob& obj, ObjectId id) {
+  const std::vector<double> phi = space_->Phi(obj, counting_);
+  const uint64_t key = space_->KeyFor(phi);
+  uint64_t offset;
+  SPB_RETURN_IF_ERROR(raf_->Append(id, obj, &offset));
+  SPB_RETURN_IF_ERROR(btree_->Insert(key, offset));
+  ++num_objects_;
+  ++inserts_seen_;
+  cost_model_.set_total_objects(num_objects_);
+  if (options_.cost_sample_size > 0) {
+    cost_model_.AddSample(phi, inserts_seen_, sample_rng_.Uniform(UINT64_MAX));
+  }
+  return Status::OK();
+}
+
+Status SpbTree::Delete(const Blob& obj, ObjectId id, bool* found) {
+  *found = false;
+  const std::vector<double> phi = space_->Phi(obj, counting_);
+  const uint64_t key = space_->KeyFor(phi);
+  BptNode leaf;
+  size_t pos;
+  SPB_RETURN_IF_ERROR(btree_->SeekLeaf(key, &leaf, &pos));
+  while (leaf.id != kInvalidPageId) {
+    for (; pos < leaf.leaf_entries.size(); ++pos) {
+      const LeafEntry& e = leaf.leaf_entries[pos];
+      if (e.key != key) return Status::OK();
+      ObjectId rid;
+      Blob robj;
+      SPB_RETURN_IF_ERROR(raf_->Get(e.ptr, &rid, &robj));
+      if (rid == id && robj == obj) {
+        SPB_RETURN_IF_ERROR(btree_->Delete(e.key, e.ptr, found));
+        if (*found) {
+          --num_objects_;
+          cost_model_.set_total_objects(num_objects_);
+        }
+        return Status::OK();
+      }
+    }
+    if (leaf.next_leaf == kInvalidPageId) return Status::OK();
+    SPB_RETURN_IF_ERROR(btree_->ReadNode(leaf.next_leaf, &leaf));
+    pos = 0;
+  }
+  return Status::OK();
+}
+
+Status SpbTree::VerifyRangeEntry(const LeafEntry& entry, const Blob& q,
+                                 const std::vector<double>& phi_q, double r,
+                                 bool check_region,
+                                 const std::vector<uint32_t>& rr_lo,
+                                 const std::vector<uint32_t>& rr_hi,
+                                 std::vector<ObjectId>* result) {
+  std::vector<uint32_t> cell;
+  space_->curve().Decode(entry.key, &cell);
+  if (check_region && !MappedSpace::CellInBox(cell, rr_lo, rr_hi)) {
+    return Status::OK();  // Lemma 1: phi(o) outside RR(q, r)
+  }
+  ObjectId id;
+  Blob obj;
+  if (options_.enable_lemma2 && space_->GuaranteedWithin(phi_q, cell, r)) {
+    // Lemma 2: in the result without computing d(q, o).
+    SPB_RETURN_IF_ERROR(raf_->Get(entry.ptr, &id, &obj));
+    result->push_back(id);
+    return Status::OK();
+  }
+  SPB_RETURN_IF_ERROR(raf_->Get(entry.ptr, &id, &obj));
+  if (counting_.Distance(q, obj) <= r) result->push_back(id);
+  return Status::OK();
+}
+
+Status SpbTree::RangeQuery(const Blob& q, double r,
+                           std::vector<ObjectId>* result, QueryStats* stats) {
+  StatScope scope(*this, stats);
+  result->clear();
+  if (num_objects_ == 0) return Status::OK();
+  const std::vector<double> phi_q = space_->Phi(q, counting_);
+  std::vector<uint32_t> rr_lo, rr_hi;
+  space_->RangeRegion(phi_q, r, &rr_lo, &rr_hi);
+
+  struct NodeRef {
+    PageId id;
+    bool has_box;
+    std::vector<uint32_t> lo, hi;
+  };
+  std::queue<NodeRef> todo;
+  todo.push(NodeRef{btree_->root(), false, {}, {}});
+  BptNode node;
+  std::vector<uint32_t> lo, hi;
+
+  while (!todo.empty()) {
+    NodeRef ref = std::move(todo.front());
+    todo.pop();
+    SPB_RETURN_IF_ERROR(btree_->ReadNode(ref.id, &node));
+
+    if (!node.is_leaf) {
+      for (const InternalEntry& e : node.internal_entries) {
+        btree_->DecodeBox(e.mbb_min, e.mbb_max, &lo, &hi);
+        if (MappedSpace::BoxesIntersect(lo, hi, rr_lo, rr_hi)) {  // Lemma 1
+          todo.push(NodeRef{e.child, true, lo, hi});
+        }
+      }
+      continue;
+    }
+
+    // Leaf node: three verification regimes (Algorithm 1, lines 11-23).
+    if (ref.has_box &&
+        MappedSpace::BoxContains(rr_lo, rr_hi, ref.lo, ref.hi)) {
+      // MBB(N) fully inside RR: membership is implied.
+      for (const LeafEntry& e : node.leaf_entries) {
+        SPB_RETURN_IF_ERROR(VerifyRangeEntry(e, q, phi_q, r, false, rr_lo,
+                                             rr_hi, result));
+      }
+      continue;
+    }
+    bool enumerated = false;
+    if (ref.has_box) {
+      std::vector<uint32_t> ilo, ihi;
+      if (!MappedSpace::IntersectBoxes(ref.lo, ref.hi, rr_lo, rr_hi, &ilo,
+                                       &ihi)) {
+        continue;  // race with stale parent box: nothing to do
+      }
+      const uint64_t cells = RegionCellCount(ilo, ihi);
+      if (options_.enable_compute_sfc && cells < node.leaf_entries.size()) {
+        // computeSFC path: enumerate the region's keys and merge-scan the
+        // (sorted) leaf entries against them.
+        const std::vector<uint64_t> keys =
+            EnumerateRegionKeys(space_->curve(), ilo, ihi);
+        size_t ei = 0, ki = 0;
+        while (ei < node.leaf_entries.size() && ki < keys.size()) {
+          if (node.leaf_entries[ei].key == keys[ki]) {
+            SPB_RETURN_IF_ERROR(VerifyRangeEntry(node.leaf_entries[ei], q,
+                                                 phi_q, r, false, rr_lo,
+                                                 rr_hi, result));
+            ++ei;
+          } else if (node.leaf_entries[ei].key > keys[ki]) {
+            ++ki;
+          } else {
+            ++ei;
+          }
+        }
+        enumerated = true;
+      }
+    }
+    if (!enumerated) {
+      for (const LeafEntry& e : node.leaf_entries) {
+        SPB_RETURN_IF_ERROR(
+            VerifyRangeEntry(e, q, phi_q, r, true, rr_lo, rr_hi, result));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
+                         QueryStats* stats, KnnTraversal traversal) {
+  StatScope scope(*this, stats);
+  result->clear();
+  if (num_objects_ == 0 || k == 0) return Status::OK();
+  const std::vector<double> phi_q = space_->Phi(q, counting_);
+
+  // Max-heap of current k best: top is the current k-th NN distance.
+  std::priority_queue<Neighbor, std::vector<Neighbor>,
+                      decltype([](const Neighbor& a, const Neighbor& b) {
+                        return a.distance < b.distance;
+                      })>
+      best;
+  auto cur_ndk = [&]() {
+    return best.size() < k ? std::numeric_limits<double>::infinity()
+                           : best.top().distance;
+  };
+  auto offer = [&](ObjectId id, double d) {
+    if (best.size() < k) {
+      best.push(Neighbor{id, d});
+    } else if (d < best.top().distance) {
+      best.pop();
+      best.push(Neighbor{id, d});
+    }
+  };
+  auto verify_entry = [&](const LeafEntry& e) -> Status {
+    ObjectId id;
+    Blob obj;
+    SPB_RETURN_IF_ERROR(raf_->Get(e.ptr, &id, &obj));
+    offer(id, counting_.Distance(q, obj));
+    return Status::OK();
+  };
+
+  struct HeapItem {
+    double mind;
+    bool is_entry;
+    PageId node;       // when !is_entry
+    LeafEntry entry;   // when is_entry
+  };
+  auto cmp = [](const HeapItem& a, const HeapItem& b) {
+    return a.mind > b.mind;
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(cmp)> heap(
+      cmp);
+  heap.push(HeapItem{0.0, false, btree_->root(), {}});
+
+  BptNode node;
+  std::vector<uint32_t> lo, hi, cell;
+  while (!heap.empty()) {
+    const HeapItem item = heap.top();
+    heap.pop();
+    if (item.mind >= cur_ndk()) break;  // Lemma 3 early termination
+
+    if (item.is_entry) {
+      SPB_RETURN_IF_ERROR(verify_entry(item.entry));
+      continue;
+    }
+    SPB_RETURN_IF_ERROR(btree_->ReadNode(item.node, &node));
+    if (!node.is_leaf) {
+      for (const InternalEntry& e : node.internal_entries) {
+        btree_->DecodeBox(e.mbb_min, e.mbb_max, &lo, &hi);
+        const double mind = space_->LowerBoundToBox(phi_q, lo, hi);
+        if (mind < cur_ndk()) {  // Lemma 3
+          heap.push(HeapItem{mind, false, e.child, {}});
+        }
+      }
+      continue;
+    }
+    if (traversal == KnnTraversal::kGreedy) {
+      // Greedy: evaluate the whole leaf now — no RAF page revisits later,
+      // at the price of possibly unnecessary distance computations.
+      for (const LeafEntry& e : node.leaf_entries) {
+        space_->curve().Decode(e.key, &cell);
+        if (space_->LowerBoundToCell(phi_q, cell) < cur_ndk()) {
+          SPB_RETURN_IF_ERROR(verify_entry(e));
+        }
+      }
+    } else {
+      for (const LeafEntry& e : node.leaf_entries) {
+        space_->curve().Decode(e.key, &cell);
+        const double mind = space_->LowerBoundToCell(phi_q, cell);
+        if (mind < cur_ndk()) {
+          heap.push(HeapItem{mind, true, kInvalidPageId, e});
+        }
+      }
+    }
+  }
+
+  result->resize(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    (*result)[i] = best.top();
+    best.pop();
+  }
+  return Status::OK();
+}
+
+CostEstimate SpbTree::EstimateRangeCost(const Blob& q, double r) const {
+  const std::vector<double> phi_q = space_->Phi(q, counting_);
+  return cost_model_.EstimateRange(*space_, phi_q, r);
+}
+
+CostEstimate SpbTree::EstimateKnnCost(const Blob& q, size_t k) const {
+  const std::vector<double> phi_q = space_->Phi(q, counting_);
+  return cost_model_.EstimateKnn(*space_, phi_q, k);
+}
+
+uint64_t SpbTree::storage_bytes() const {
+  return btree_->file_bytes() + raf_->file_bytes() +
+         space_->pivots().Serialize().size();
+}
+
+QueryStats SpbTree::cumulative_stats() const {
+  QueryStats s;
+  s.page_accesses =
+      btree_->stats().page_accesses() + raf_->stats().page_accesses();
+  s.distance_computations = counting_.count() + extra_distance_computations_;
+  return s;
+}
+
+void SpbTree::ResetCounters() {
+  btree_->pool().stats().Reset();
+  raf_->ResetStats();
+  counting_.Reset();
+  extra_distance_computations_ = 0;
+}
+
+void SpbTree::FlushCaches() {
+  btree_->pool().Flush();
+  raf_->FlushCache();
+}
+
+void SpbTree::SetRafCachePages(size_t pages) { raf_->set_cache_pages(pages); }
+
+Status SpbTree::CheckIntegrity() {
+  SPB_RETURN_IF_ERROR(btree_->CheckInvariants());
+  // Every leaf entry's key must equal the recomputed key of its RAF object.
+  BptNode leaf;
+  SPB_RETURN_IF_ERROR(btree_->ReadNode(btree_->first_leaf(), &leaf));
+  uint64_t count = 0;
+  while (true) {
+    for (const LeafEntry& e : leaf.leaf_entries) {
+      ObjectId id;
+      Blob obj;
+      SPB_RETURN_IF_ERROR(raf_->Get(e.ptr, &id, &obj));
+      const uint64_t key = space_->KeyFor(space_->Phi(obj, counting_));
+      if (key != e.key) {
+        return Status::Corruption("leaf key does not match object mapping");
+      }
+      ++count;
+    }
+    if (leaf.next_leaf == kInvalidPageId) break;
+    SPB_RETURN_IF_ERROR(btree_->ReadNode(leaf.next_leaf, &leaf));
+  }
+  if (count != num_objects_) {
+    return Status::Corruption("entry count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace spb

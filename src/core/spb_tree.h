@@ -1,0 +1,199 @@
+#ifndef SPB_CORE_SPB_TREE_H_
+#define SPB_CORE_SPB_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bptree/bptree.h"
+#include "common/blob.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/cost_model.h"
+#include "core/mapped_space.h"
+#include "core/metric_index.h"
+#include "metrics/distance.h"
+#include "common/rng.h"
+#include "pivots/selection.h"
+#include "storage/raf.h"
+
+namespace spb {
+
+/// Construction/runtime knobs of an SPB-tree, mirroring Table 3 of the paper.
+struct SpbTreeOptions {
+  /// |P| — number of pivots (paper default 5, near the datasets' intrinsic
+  /// dimensionality).
+  size_t num_pivots = 5;
+  /// Pivot selection algorithm (paper default: HFI).
+  PivotSelectorType pivot_selector = PivotSelectorType::kHfi;
+  /// delta-approximation granularity for continuous metrics (paper default
+  /// 0.005); ignored for discrete metrics.
+  double delta = 0.005;
+  /// Space-filling curve (Hilbert by default; similarity joins require
+  /// Z-order, see SimilarityJoin()).
+  CurveType curve = CurveType::kHilbert;
+  /// LRU buffer-pool sizes in 4 KB pages (paper default 32; 0 disables).
+  size_t btree_cache_pages = 32;
+  size_t raf_cache_pages = 32;
+  /// Reservoir size for the cost model's union distance distribution; 0
+  /// disables cost-model collection.
+  size_t cost_sample_size = CostModel::kDefaultSampleCapacity;
+  /// Seed for pivot selection and sampling.
+  uint64_t seed = 20150415;
+  /// Directory for the index files (btree.spb, raf.spb). Empty = in-memory.
+  std::string storage_dir;
+  /// Ablation switches (DESIGN.md §5): disable the Lemma 2 "free inclusion"
+  /// shortcut or the computeSFC leaf optimization of Algorithm 1 to measure
+  /// their contribution. Production defaults: both on.
+  bool enable_lemma2 = true;
+  bool enable_compute_sfc = true;
+};
+
+/// kNN traversal strategies of Section 4.3 / Table 5.
+enum class KnnTraversal {
+  /// Best-first over individual leaf entries — optimal in distance
+  /// computations (Lemma 4).
+  kIncremental,
+  /// Verifies whole leaves as soon as they are reached — optimal in RAF page
+  /// accesses, the paper's default for low-precision datasets (DNA).
+  kGreedy,
+};
+
+/// The Space-filling-curve and Pivot-based B+-tree (the paper's primary
+/// contribution): pivot table + B+-tree over SFC keys + RAF, with range /
+/// kNN search and cost models. Construction cost (page accesses, distance
+/// computations) is observable through stats(); per-query costs through the
+/// QueryStats out-parameters.
+class SpbTree : public MetricIndex {
+ public:
+  /// Builds an index over `objects` (bulk-loading path: pivot selection,
+  /// two-stage mapping, SFC sort, RAF fill, B+-tree bulk-load). Object ids
+  /// are the positions in `objects`. `metric` must outlive the tree.
+  static Status Build(const std::vector<Blob>& objects,
+                      const DistanceFunction* metric,
+                      const SpbTreeOptions& options,
+                      std::unique_ptr<SpbTree>* out);
+
+  /// Same, but with a caller-supplied pivot table — required for similarity
+  /// joins, where both operands must share one mapping.
+  static Status BuildWithPivots(const std::vector<Blob>& objects,
+                                const DistanceFunction* metric,
+                                PivotTable pivots,
+                                const SpbTreeOptions& options,
+                                std::unique_ptr<SpbTree>* out);
+
+  /// Reopens an index persisted with Save() in `storage_dir`. The caller
+  /// supplies the same metric the index was built with (metrics are code,
+  /// not data); cache sizes come from `options`, everything else (pivots,
+  /// delta, curve, cost model) is restored from the meta file.
+  static Status Open(const std::string& storage_dir,
+                     const DistanceFunction* metric,
+                     const SpbTreeOptions& options,
+                     std::unique_ptr<SpbTree>* out);
+
+  /// Persists the meta file (pivot table, mapping parameters, cost model)
+  /// and syncs the B+-tree and RAF. Only valid for disk-backed indexes
+  /// (non-empty options.storage_dir).
+  Status Save();
+
+  /// Inserts one object with explicit id (Appendix C path: map, append to
+  /// RAF, B+-tree insert).
+  Status Insert(const Blob& obj, ObjectId id) override;
+
+  /// Removes the object with the given payload and id. `*found` reports
+  /// whether it was present. The RAF record becomes garbage (space is
+  /// reclaimed on rebuild), matching the lazy-deletion design.
+  Status Delete(const Blob& obj, ObjectId id, bool* found);
+
+  /// RQ(q, O, r) — Algorithm 1 (RQA) with Lemmas 1-2 and the computeSFC leaf
+  /// optimization. Result ids are in no particular order.
+  Status RangeQuery(const Blob& q, double r, std::vector<ObjectId>* result,
+                    QueryStats* stats = nullptr) override;
+
+  /// kNN(q, k) — Algorithm 2 (NNA) with Lemma 3 pruning; result sorted by
+  /// ascending distance. Fewer than k results when the index holds fewer
+  /// objects.
+  Status KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
+                  QueryStats* stats, KnnTraversal traversal);
+  Status KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
+                  QueryStats* stats = nullptr) override {
+    return KnnQuery(q, k, result, stats, KnnTraversal::kIncremental);
+  }
+
+  /// Cost models (Section 4.4). Each estimate costs |P| distance
+  /// computations (mapping q).
+  CostEstimate EstimateRangeCost(const Blob& q, double r) const;
+  CostEstimate EstimateKnnCost(const Blob& q, size_t k) const;
+
+  uint64_t size() const { return num_objects_; }
+  const MappedSpace& space() const { return *space_; }
+  const DistanceFunction& metric() const { return counting_; }
+  BPlusTree& btree() { return *btree_; }
+  const BPlusTree& btree() const { return *btree_; }
+  Raf& raf() { return *raf_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  const SpbTreeOptions& options() const { return options_; }
+
+  /// Total on-disk footprint: B+-tree pages + RAF pages + pivot table.
+  uint64_t storage_bytes() const override;
+
+  /// Cumulative counters since the last ResetCounters() (page accesses of
+  /// both files + distance computations). Used for construction-cost
+  /// accounting.
+  QueryStats cumulative_stats() const override;
+  void ResetCounters() override;
+
+  /// Drops both LRU caches (the paper flushes caches before every query).
+  void FlushCaches() override;
+  std::string name() const override { return "SPB-tree"; }
+  /// Resizes the RAF cache (Fig. 10 experiment).
+  void SetRafCachePages(size_t pages);
+
+  /// Runs a full structural self-check (B+-tree invariants + key/object
+  /// agreement). Test hook; expensive.
+  Status CheckIntegrity();
+
+ private:
+  SpbTree(const DistanceFunction* metric, const SpbTreeOptions& options)
+      : options_(options), base_metric_(metric), counting_(metric) {}
+
+  static Status BuildInternal(const std::vector<Blob>& objects,
+                              const DistanceFunction* metric,
+                              PivotTable pivots, const SpbTreeOptions& options,
+                              std::unique_ptr<SpbTree>* out);
+
+  Status MakeFiles(std::unique_ptr<PageFile>* btree_file,
+                   std::unique_ptr<PageFile>* raf_file) const;
+
+  // Verifies one leaf entry for a range query (the paper's VerifyRQ).
+  // `check_region` corresponds to the `flag` parameter of Algorithm 1.
+  Status VerifyRangeEntry(const LeafEntry& entry, const Blob& q,
+                          const std::vector<double>& phi_q, double r,
+                          bool check_region,
+                          const std::vector<uint32_t>& rr_lo,
+                          const std::vector<uint32_t>& rr_hi,
+                          std::vector<ObjectId>* result);
+
+  // Collects node MBBs for the cost model (post-bulk-load tree walk).
+  Status CollectNodeBoxes(
+      std::vector<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>>*
+          boxes);
+
+  SpbTreeOptions options_;
+  const DistanceFunction* base_metric_;
+  CountingDistance counting_;
+  std::unique_ptr<MappedSpace> space_;
+  std::unique_ptr<BPlusTree> btree_;
+  std::unique_ptr<Raf> raf_;
+  CostModel cost_model_;
+  uint64_t num_objects_ = 0;
+  uint64_t inserts_seen_ = 0;  // reservoir counter for cost-model updates
+  // Distance computations spent before the counting wrapper existed (pivot
+  // selection during Build); folded into cumulative_stats().
+  uint64_t extra_distance_computations_ = 0;
+  Rng sample_rng_{12345};
+};
+
+}  // namespace spb
+
+#endif  // SPB_CORE_SPB_TREE_H_

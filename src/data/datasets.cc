@@ -1,0 +1,186 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "metrics/edit_distance.h"
+#include "metrics/hamming.h"
+#include "metrics/lp_norm.h"
+#include "metrics/trigram_cosine.h"
+
+namespace spb {
+
+namespace {
+
+constexpr size_t kWordsMaxLen = 34;
+constexpr size_t kDnaLen = 108;
+constexpr size_t kSignatureLen = 64;
+constexpr size_t kColorDim = 16;
+
+// English-like word generator: alternating consonant/vowel clusters with a
+// right-skewed length distribution (mean ~8, max 34), mimicking a dictionary
+// under edit distance.
+Blob RandomWord(Rng* rng) {
+  static const char kVowels[] = "aeiouy";
+  static const char kConsonants[] = "bcdfghjklmnpqrstvwxz";
+  // Right-skewed length: 1 + sum of three small uniforms.
+  size_t len = 1 + rng->Uniform(8) + rng->Uniform(6) + rng->Uniform(4);
+  len = std::min(len, kWordsMaxLen);
+  Blob word;
+  word.reserve(len);
+  bool vowel_turn = rng->Uniform(2) == 0;
+  while (word.size() < len) {
+    if (vowel_turn) {
+      word.push_back(uint8_t(kVowels[rng->Uniform(sizeof(kVowels) - 1)]));
+    } else {
+      word.push_back(
+          uint8_t(kConsonants[rng->Uniform(sizeof(kConsonants) - 1)]));
+      // Occasional consonant cluster.
+      if (word.size() < len && rng->Uniform(4) == 0) {
+        word.push_back(
+            uint8_t(kConsonants[rng->Uniform(sizeof(kConsonants) - 1)]));
+      }
+    }
+    vowel_turn = !vowel_turn;
+  }
+  return word;
+}
+
+// Clustered vector: Gaussian around one of `centers`, clamped into [0,1].
+Blob ClusteredVector(const std::vector<std::vector<float>>& centers,
+                     double sigma, Rng* rng) {
+  const auto& c = centers[rng->Uniform(centers.size())];
+  std::vector<float> v(c.size());
+  for (size_t i = 0; i < c.size(); ++i) {
+    double x = c[i] + sigma * rng->NextGaussian();
+    v[i] = float(std::clamp(x, 0.0, 1.0));
+  }
+  return BlobFromFloats(v);
+}
+
+std::vector<std::vector<float>> RandomCenters(size_t count, size_t dim,
+                                              Rng* rng) {
+  std::vector<std::vector<float>> centers(count);
+  for (auto& c : centers) {
+    c.resize(dim);
+    for (auto& x : c) x = float(0.15 + 0.7 * rng->NextDouble());
+  }
+  return centers;
+}
+
+}  // namespace
+
+Dataset MakeWords(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "words";
+  ds.metric = std::make_shared<EditDistance>(kWordsMaxLen);
+  ds.objects.reserve(n);
+  // A quarter of the words are mutated copies of earlier words, giving the
+  // near-duplicate structure a real dictionary has (run/runs/running...).
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 10 && rng.Uniform(4) == 0) {
+      Blob w = ds.objects[rng.Uniform(i)];
+      static const char kLetters[] = "abcdefghijklmnopqrstuvwxyz";
+      const uint64_t op = rng.Uniform(3);
+      if (op == 0 && w.size() < kWordsMaxLen) {  // append suffix letter
+        w.push_back(uint8_t(kLetters[rng.Uniform(26)]));
+      } else if (op == 1 && !w.empty()) {  // substitute
+        w[rng.Uniform(w.size())] = uint8_t(kLetters[rng.Uniform(26)]);
+      } else if (op == 2 && w.size() > 1) {  // delete
+        w.erase(w.begin() + ptrdiff_t(rng.Uniform(w.size())));
+      }
+      ds.objects.push_back(std::move(w));
+    } else {
+      ds.objects.push_back(RandomWord(&rng));
+    }
+  }
+  return ds;
+}
+
+Dataset MakeColor(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "color";
+  ds.metric = std::make_shared<LpNorm>(kColorDim, 5.0, 1.0);
+  const auto centers = RandomCenters(8, kColorDim, &rng);
+  ds.objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ds.objects.push_back(ClusteredVector(centers, 0.08, &rng));
+  }
+  return ds;
+}
+
+Dataset MakeDna(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "dna";
+  ds.metric = std::make_shared<TrigramCosine>();
+  static const char kBases[] = "ACGT";
+  // Seed sequences; each read is a mutated copy of a seed, mimicking
+  // overlapping genome substrings.
+  const size_t num_seeds = std::max<size_t>(4, n / 200);
+  std::vector<Blob> seeds(num_seeds);
+  for (auto& s : seeds) {
+    s.resize(kDnaLen);
+    for (auto& b : s) b = uint8_t(kBases[rng.Uniform(4)]);
+  }
+  ds.objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Blob read = seeds[rng.Uniform(num_seeds)];
+    const size_t mutations = rng.Uniform(kDnaLen / 4);
+    for (size_t m = 0; m < mutations; ++m) {
+      read[rng.Uniform(kDnaLen)] = uint8_t(kBases[rng.Uniform(4)]);
+    }
+    ds.objects.push_back(std::move(read));
+  }
+  return ds;
+}
+
+Dataset MakeSignature(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "signature";
+  ds.metric = std::make_shared<Hamming>(kSignatureLen);
+  const size_t num_seeds = std::max<size_t>(4, n / 100);
+  std::vector<Blob> seeds(num_seeds);
+  for (auto& s : seeds) {
+    s.resize(kSignatureLen);
+    for (auto& b : s) b = uint8_t(rng.Uniform(16));
+  }
+  ds.objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Blob sig = seeds[rng.Uniform(num_seeds)];
+    const size_t mutations = rng.Uniform(kSignatureLen / 2);
+    for (size_t m = 0; m < mutations; ++m) {
+      sig[rng.Uniform(kSignatureLen)] = uint8_t(rng.Uniform(16));
+    }
+    ds.objects.push_back(std::move(sig));
+  }
+  return ds;
+}
+
+Dataset MakeSynthetic(size_t n, uint64_t seed, size_t dim, size_t clusters) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "synthetic";
+  ds.metric = std::make_shared<LpNorm>(dim, 2.0, 1.0);
+  const auto centers = RandomCenters(clusters, dim, &rng);
+  ds.objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ds.objects.push_back(ClusteredVector(centers, 0.1, &rng));
+  }
+  return ds;
+}
+
+Dataset MakeDatasetByName(const std::string& name, size_t n, uint64_t seed) {
+  if (name == "words") return MakeWords(n, seed);
+  if (name == "color") return MakeColor(n, seed);
+  if (name == "dna") return MakeDna(n, seed);
+  if (name == "signature") return MakeSignature(n, seed);
+  if (name == "synthetic") return MakeSynthetic(n, seed);
+  return Dataset{};
+}
+
+}  // namespace spb

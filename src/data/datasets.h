@@ -1,0 +1,48 @@
+#ifndef SPB_DATA_DATASETS_H_
+#define SPB_DATA_DATASETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/blob.h"
+#include "metrics/distance.h"
+
+namespace spb {
+
+/// A generated workload: objects plus the matching metric. These generators
+/// are the synthetic stand-ins for the paper's datasets (Table 2); see
+/// DESIGN.md Section 3 for the substitution rationale. Cardinalities are a
+/// parameter so experiments can run at laptop scale or at paper scale.
+struct Dataset {
+  std::string name;
+  std::vector<Blob> objects;
+  std::shared_ptr<DistanceFunction> metric;
+};
+
+/// Words: English-like strings of length 1..34 under edit distance
+/// (substitute for the paper's 611,756-word dictionary).
+Dataset MakeWords(size_t n, uint64_t seed);
+
+/// Color: 16-d feature vectors in [0,1] under the L5-norm (substitute for
+/// the Corel color moments).
+Dataset MakeColor(size_t n, uint64_t seed);
+
+/// DNA: length-108 ACGT reads under tri-gram cosine (angular) distance.
+Dataset MakeDna(size_t n, uint64_t seed);
+
+/// Signature: 64-symbol signatures under Hamming distance.
+Dataset MakeSignature(size_t n, uint64_t seed);
+
+/// Synthetic: clustered 20-d vectors under the L2-norm — the paper's own
+/// synthetic design.
+Dataset MakeSynthetic(size_t n, uint64_t seed, size_t dim = 20,
+                      size_t clusters = 10);
+
+/// Dispatch by dataset name ("words", "color", "dna", "signature",
+/// "synthetic"); returns an empty dataset for unknown names.
+Dataset MakeDatasetByName(const std::string& name, size_t n, uint64_t seed);
+
+}  // namespace spb
+
+#endif  // SPB_DATA_DATASETS_H_

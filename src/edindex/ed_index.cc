@@ -1,0 +1,208 @@
+#include "edindex/ed_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <set>
+
+namespace spb {
+
+Status EdIndex::Build(const std::vector<Blob>& q_objects,
+                      const std::vector<Blob>& o_objects,
+                      const DistanceFunction* metric,
+                      const EdIndexOptions& options,
+                      std::unique_ptr<EdIndex>* out) {
+  EdIndexOptions opts = options;
+  if (opts.epsilon_build <= 0.0) {
+    return Status::InvalidArgument("eD-index requires epsilon_build > 0");
+  }
+  if (opts.rho <= 0.0) opts.rho = opts.epsilon_build / 2.0;
+  if (opts.epsilon_build > 2.0 * opts.rho) {
+    return Status::InvalidArgument(
+        "eD-index requires epsilon_build <= 2 * rho");
+  }
+  auto index = std::unique_ptr<EdIndex>(new EdIndex(metric, opts));
+  Rng rng(opts.seed);
+
+  // All payloads into one RAF (Q first, then O).
+  SPB_RETURN_IF_ERROR(
+      Raf::Create(PageFile::CreateInMemory(), opts.cache_pages, &index->raf_));
+  struct Tagged {
+    uint64_t offset;
+    bool from_q;
+    const Blob* obj;
+  };
+  std::vector<Tagged> all;
+  all.reserve(q_objects.size() + o_objects.size());
+  for (size_t i = 0; i < q_objects.size(); ++i) {
+    uint64_t off;
+    SPB_RETURN_IF_ERROR(index->raf_->Append(ObjectId(i), q_objects[i], &off));
+    all.push_back(Tagged{off, true, &q_objects[i]});
+  }
+  for (size_t i = 0; i < o_objects.size(); ++i) {
+    uint64_t off;
+    SPB_RETURN_IF_ERROR(index->raf_->Append(ObjectId(i), o_objects[i], &off));
+    all.push_back(Tagged{off, false, &o_objects[i]});
+  }
+  SPB_RETURN_IF_ERROR(index->raf_->Sync());
+  if (all.empty()) {
+    *out = std::move(index);
+    return Status::OK();
+  }
+
+  // Pick pivots and median radii per level from random samples.
+  const size_t m = std::max<size_t>(1, opts.pivots_per_level);
+  index->levels_.resize(opts.num_levels);
+  for (Level& level : index->levels_) {
+    for (size_t i = 0; i < m; ++i) {
+      level.pivots.push_back(*all[rng.Uniform(all.size())].obj);
+    }
+    level.medians.resize(m);
+    const size_t sample_n = std::min<size_t>(128, all.size());
+    for (size_t i = 0; i < m; ++i) {
+      std::vector<double> dists;
+      dists.reserve(sample_n);
+      for (size_t s = 0; s < sample_n; ++s) {
+        dists.push_back(index->counting_.Distance(
+            level.pivots[i], *all[rng.Uniform(all.size())].obj));
+      }
+      std::nth_element(dists.begin(), dists.begin() + ptrdiff_t(sample_n / 2),
+                       dists.end());
+      level.medians[i] = dists[sample_n / 2];
+    }
+  }
+  const Blob exclusion_pivot = index->levels_[0].pivots[0];
+
+  // Cascade every object through the levels (with eps-overlap replication).
+  const double rho = opts.rho;
+  const double margin = rho + opts.epsilon_build;
+  for (const Tagged& t : all) {
+    bool settled = false;  // stopped cascading at some level
+    for (Level& level : index->levels_) {
+      uint32_t code = 0;
+      bool separable = true;
+      bool near_boundary = false;
+      double dist0 = 0.0;
+      for (size_t i = 0; i < level.pivots.size(); ++i) {
+        const double d = index->counting_.Distance(*t.obj, level.pivots[i]);
+        if (i == 0) dist0 = d;
+        const double delta = d - level.medians[i];
+        if (std::fabs(delta) <= rho) separable = false;
+        if (std::fabs(delta) <= margin) near_boundary = true;
+        code = (code << 1) | (delta > 0 ? 1u : 0u);
+      }
+      if (separable) {
+        level.buckets[code].push_back(
+            Entry{t.offset, float(dist0), t.from_q});
+        if (!near_boundary) {
+          settled = true;
+          break;
+        }
+        // eps-overlap replication: a separable object near a boundary is
+        // *also* cascaded down, so a pair split across the boundary still
+        // meets in a later container.
+      }
+      // Non-separable (or replicated) objects continue to the next level.
+    }
+    if (!settled) {
+      // Residue of the last level: the exclusion set.
+      const double d = index->counting_.Distance(*t.obj, exclusion_pivot);
+      index->exclusion_.push_back(Entry{t.offset, float(d), t.from_q});
+    }
+  }
+
+  index->construction_stats_.page_accesses =
+      index->raf_->stats().page_accesses();
+  index->construction_stats_.distance_computations =
+      index->counting_.count();
+  index->raf_->ResetStats();
+  index->counting_.Reset();
+  *out = std::move(index);
+  return Status::OK();
+}
+
+Status EdIndex::JoinContainer(std::vector<Entry> entries, double epsilon,
+                              std::vector<JoinPair>* result) {
+  // Sliding window over entries ordered by distance to the window pivot:
+  // |d(x,p) - d(y,p)| > eps implies d(x,y) > eps (triangle inequality), so
+  // only window-mates are verified.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.window_dist < b.window_dist;
+            });
+  ObjectId xid, yid;
+  Blob xobj, yobj;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    bool x_loaded = false;
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      if (entries[j].window_dist - entries[i].window_dist > epsilon) break;
+      if (entries[i].from_q == entries[j].from_q) continue;
+      if (!x_loaded) {
+        SPB_RETURN_IF_ERROR(raf_->Get(entries[i].offset, &xid, &xobj));
+        x_loaded = true;
+      }
+      SPB_RETURN_IF_ERROR(raf_->Get(entries[j].offset, &yid, &yobj));
+      if (counting_.Distance(xobj, yobj) <= epsilon) {
+        result->push_back(entries[i].from_q ? JoinPair{xid, yid}
+                                            : JoinPair{yid, xid});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status EdIndex::SimilarityJoin(double epsilon, std::vector<JoinPair>* result,
+                               QueryStats* stats) {
+  result->clear();
+  if (epsilon > std::min(2.0 * options_.rho, options_.epsilon_build)) {
+    return Status::InvalidArgument(
+        "eD-index was built for a smaller epsilon; rebuild required");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  if (raf_) raf_->FlushCache();  // cold-start the join, as the paper measures
+  const uint64_t pa_before = raf_ ? raf_->stats().page_accesses() : 0;
+  const uint64_t cd_before = counting_.count();
+
+  for (Level& level : levels_) {
+    for (auto& [code, bucket] : level.buckets) {
+      SPB_RETURN_IF_ERROR(JoinContainer(bucket, epsilon, result));
+    }
+  }
+  SPB_RETURN_IF_ERROR(JoinContainer(exclusion_, epsilon, result));
+
+  // Replication can report a pair more than once; deduplicate.
+  std::sort(result->begin(), result->end());
+  result->erase(std::unique(result->begin(), result->end()), result->end());
+
+  if (stats != nullptr) {
+    stats->page_accesses =
+        (raf_ ? raf_->stats().page_accesses() : 0) - pa_before;
+    stats->distance_computations = counting_.count() - cd_before;
+    stats->elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
+  return Status::OK();
+}
+
+uint64_t EdIndex::storage_bytes() const {
+  uint64_t bytes = raf_ ? raf_->file_bytes() : 0;
+  for (const Level& level : levels_) {
+    for (const auto& [code, bucket] : level.buckets) {
+      bytes += bucket.size() * sizeof(Entry);
+    }
+  }
+  bytes += exclusion_.size() * sizeof(Entry);
+  return bytes;
+}
+
+uint64_t EdIndex::total_entries() const {
+  uint64_t n = exclusion_.size();
+  for (const Level& level : levels_) {
+    for (const auto& [code, bucket] : level.buckets) n += bucket.size();
+  }
+  return n;
+}
+
+}  // namespace spb

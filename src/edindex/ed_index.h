@@ -1,0 +1,102 @@
+#ifndef SPB_EDINDEX_ED_INDEX_H_
+#define SPB_EDINDEX_ED_INDEX_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/blob.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "join/join_common.h"
+#include "metrics/distance.h"
+#include "storage/raf.h"
+
+namespace spb {
+
+/// Configuration of an eD-index. The structure is built *for* a maximum join
+/// threshold: joins are valid only for eps <= min(2*rho, epsilon_build) — the
+/// limitation the paper calls out ("eD-index is only applicable for
+/// similarity joins with smaller eps values, and the index has to be rebuilt
+/// for larger eps values").
+struct EdIndexOptions {
+  /// rho-split boundary half-width (fraction of d+ when <= 1 is ambiguous —
+  /// interpreted as an absolute distance).
+  double rho = 0.0;  // default derived from epsilon_build when 0
+  /// The join threshold the index is built for.
+  double epsilon_build = 0.0;
+  size_t num_levels = 4;
+  size_t pivots_per_level = 2;
+  size_t cache_pages = 32;
+  uint64_t seed = 7;
+};
+
+/// eD-index (Dohnal, Gennaro, Zezula: "Similarity join in metric spaces
+/// using eD-index") — a multilevel rho-split hashing structure with
+/// eps-overlap replication, used as the index-based similarity-join
+/// competitor (Fig. 17).
+///
+/// Each level hashes objects through `pivots_per_level` ball-partitioning
+/// split functions: objects separable at distance rho from every boundary
+/// land in one of 2^m buckets; the rest — plus *copies* of separable objects
+/// within rho + eps of any boundary (the eps-overlap that makes the join
+/// lossless) — fall through to the next level. The last level's residue is
+/// the exclusion set. The join runs a sliding-window scan over every bucket
+/// of every level plus the exclusion set; replication makes pairs appear in
+/// at least one shared container, and results are deduplicated.
+///
+/// Object payloads are disk-resident (a shared RAF); bucket directories are
+/// memory-resident. Page accesses count RAF fetches during build and join —
+/// repeated fetches across levels are what gives the eD-index its high I/O
+/// cost relative to SJA.
+class EdIndex {
+ public:
+  /// Builds over tagged Q and O sets (R-S join support).
+  static Status Build(const std::vector<Blob>& q_objects,
+                      const std::vector<Blob>& o_objects,
+                      const DistanceFunction* metric,
+                      const EdIndexOptions& options,
+                      std::unique_ptr<EdIndex>* out);
+
+  /// SJ(Q, O, eps). Fails with InvalidArgument when eps exceeds the
+  /// threshold the index was built for.
+  Status SimilarityJoin(double epsilon, std::vector<JoinPair>* result,
+                        QueryStats* stats = nullptr);
+
+  /// Construction cost counters (page accesses + distance computations).
+  QueryStats construction_stats() const { return construction_stats_; }
+  uint64_t storage_bytes() const;
+  /// Total entries across all containers (> |Q|+|O| due to replication).
+  uint64_t total_entries() const;
+
+ private:
+  struct Entry {
+    uint64_t offset;   // RAF offset of the object payload
+    float window_dist;  // distance to the container's window pivot
+    bool from_q;
+  };
+
+  struct Level {
+    std::vector<Blob> pivots;
+    std::vector<double> medians;
+    std::unordered_map<uint32_t, std::vector<Entry>> buckets;
+  };
+
+  EdIndex(const DistanceFunction* metric, const EdIndexOptions& options)
+      : options_(options), counting_(metric) {}
+
+  Status JoinContainer(std::vector<Entry> entries, double epsilon,
+                       std::vector<JoinPair>* result);
+
+  EdIndexOptions options_;
+  CountingDistance counting_;
+  std::unique_ptr<Raf> raf_;
+  std::vector<Level> levels_;
+  std::vector<Entry> exclusion_;
+  QueryStats construction_stats_;
+};
+
+}  // namespace spb
+
+#endif  // SPB_EDINDEX_ED_INDEX_H_

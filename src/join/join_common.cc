@@ -1,0 +1,33 @@
+#include "join/join_common.h"
+
+#include <chrono>
+
+namespace spb {
+
+std::vector<JoinPair> NestedLoopJoin(const std::vector<Blob>& q_objects,
+                                     const std::vector<Blob>& o_objects,
+                                     const DistanceFunction& metric,
+                                     double epsilon, QueryStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<JoinPair> result;
+  uint64_t compdists = 0;
+  for (size_t i = 0; i < q_objects.size(); ++i) {
+    for (size_t j = 0; j < o_objects.size(); ++j) {
+      ++compdists;
+      if (metric.Distance(q_objects[i], o_objects[j]) <= epsilon) {
+        result.push_back(JoinPair{ObjectId(i), ObjectId(j)});
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->distance_computations = compdists;
+    stats->page_accesses = 0;
+    stats->elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
+  return result;
+}
+
+}  // namespace spb

@@ -1,0 +1,36 @@
+#ifndef SPB_JOIN_JOIN_COMMON_H_
+#define SPB_JOIN_JOIN_COMMON_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/blob.h"
+#include "common/stats.h"
+#include "metrics/distance.h"
+
+namespace spb {
+
+/// One similarity-join result: ids refer to the outer (Q) and inner (O)
+/// object sets respectively.
+struct JoinPair {
+  ObjectId q_id;
+  ObjectId o_id;
+
+  bool operator==(const JoinPair&) const = default;
+  bool operator<(const JoinPair& other) const {
+    return q_id < other.q_id ||
+           (q_id == other.q_id && o_id < other.o_id);
+  }
+};
+
+/// Reference nested-loop join: exact, O(|Q| * |O|) distance computations.
+/// Used as the correctness oracle in tests and as the worst-case baseline.
+std::vector<JoinPair> NestedLoopJoin(const std::vector<Blob>& q_objects,
+                                     const std::vector<Blob>& o_objects,
+                                     const DistanceFunction& metric,
+                                     double epsilon,
+                                     QueryStats* stats = nullptr);
+
+}  // namespace spb
+
+#endif  // SPB_JOIN_JOIN_COMMON_H_

@@ -1,0 +1,36 @@
+#ifndef SPB_JOIN_SJA_H_
+#define SPB_JOIN_SJA_H_
+
+#include <vector>
+
+#include "core/spb_tree.h"
+#include "join/join_common.h"
+
+namespace spb {
+
+/// The paper's Similarity Join Algorithm (Algorithm 3, Section 5.2): a merge
+/// join over the leaf levels of two SPB-trees in ascending Z-order SFC
+/// value, with Lemma 5 (region) and Lemma 6 (minRR/maxRR interval) pruning
+/// and list eviction. Each tree is scanned exactly once (Lemma 7: no missed
+/// or duplicated pairs).
+///
+/// Requirements (validated): both trees were built with
+/// CurveType::kZOrder — Lemma 6 is a Z-order monotonicity property — and
+/// share the same pivot table and grid (build the operands with
+/// SpbTree::BuildWithPivots over one shared PivotTable).
+///
+/// `stats` aggregates both trees' page accesses and distance computations.
+Status SimilarityJoinSJA(SpbTree& spb_q, SpbTree& spb_o, double epsilon,
+                         std::vector<JoinPair>* result,
+                         QueryStats* stats = nullptr);
+
+/// The naive index-based baseline the paper argues against in Section 5.2:
+/// one range query RQ(q, O, eps) against `spb_o` per outer object. Scans the
+/// inner tree |Q| times.
+Status RangeJoin(const std::vector<Blob>& q_objects, SpbTree& spb_o,
+                 double epsilon, std::vector<JoinPair>* result,
+                 QueryStats* stats = nullptr);
+
+}  // namespace spb
+
+#endif  // SPB_JOIN_SJA_H_

@@ -1,0 +1,95 @@
+#ifndef SPB_METRICS_DISCRETIZER_H_
+#define SPB_METRICS_DISCRETIZER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace spb {
+
+/// The paper's delta-approximation (Section 3.1): partitions the continuous
+/// distance range [0, d+] into integer cells 0 .. floor(d+/delta) so that a
+/// mapped vector phi(o) can be fed to a space-filling curve. For metrics with
+/// a discrete integer range (edit, Hamming) cells coincide exactly with
+/// distance values and no approximation happens.
+///
+/// All pruning arithmetic is interval-based: cell g stands for the distance
+/// interval [g*delta, (g+1)*delta) — or the exact point {g} for discrete
+/// metrics — so lower/upper bounds derived here can never cause a false
+/// dismissal (verified by property tests).
+class Discretizer {
+ public:
+  /// For continuous metrics `delta` is the paper's delta parameter (default
+  /// 0.005, interpreted as a fraction of d+ by callers that wish to); for
+  /// discrete metrics pass delta = 1.
+  Discretizer(double d_plus, bool discrete, double delta)
+      : d_plus_(d_plus), discrete_(discrete), delta_(discrete ? 1.0 : delta) {
+    max_cell_ = static_cast<uint32_t>(std::floor(d_plus_ / delta_ + 1e-9));
+  }
+
+  double delta() const { return delta_; }
+  double d_plus() const { return d_plus_; }
+  bool discrete() const { return discrete_; }
+
+  /// Largest cell index; cells are 0..max_cell inclusive.
+  uint32_t max_cell() const { return max_cell_; }
+  /// Number of cells per dimension (the paper's d+/delta grid resolution).
+  uint32_t num_cells() const { return max_cell_ + 1; }
+
+  /// Cell containing distance d (clamped into range).
+  uint32_t ToCell(double d) const {
+    if (d <= 0.0) return 0;
+    uint32_t g = static_cast<uint32_t>(std::floor(d / delta_ + 1e-9));
+    return std::min(g, max_cell_);
+  }
+
+  /// Smallest distance a value in cell g can take.
+  double CellLow(uint32_t g) const { return g * delta_; }
+
+  /// Largest distance a value in cell g can take (for discrete metrics the
+  /// cell is the exact value g).
+  double CellHigh(uint32_t g) const {
+    return discrete_ ? static_cast<double>(g) : (g + 1) * delta_;
+  }
+
+  /// The inclusive cell range [*gmin, *gmax] whose intervals intersect the
+  /// distance interval [lo, hi]. Returns false when the intersection is
+  /// empty (hi < 0 or lo > d+).
+  bool CellRange(double lo, double hi, uint32_t* gmin, uint32_t* gmax) const {
+    if (hi < 0.0 || lo > d_plus_ + delta_) return false;
+    *gmax = ToCell(std::min(hi, d_plus_));
+    if (lo <= 0.0) {
+      *gmin = 0;
+    } else if (discrete_) {
+      *gmin = static_cast<uint32_t>(std::ceil(lo - 1e-9));
+    } else {
+      const double g = lo / delta_ - 1.0;
+      *gmin = (g <= 0.0) ? 0 : static_cast<uint32_t>(std::ceil(g - 1e-9));
+    }
+    return *gmin <= *gmax;
+  }
+
+  /// Lower bound of |q - d(o,p)| given only that d(o,p) lies in cell g and
+  /// that d(q,p) = q exactly. This is the per-pivot term of the mapped-space
+  /// lower bound D(phi(q), phi(o)).
+  double LowerBound(double q, uint32_t g) const {
+    const double lo = CellLow(g);
+    const double hi = CellHigh(g);
+    if (q < lo) return lo - q;
+    if (q > hi) return q - hi;
+    return 0.0;
+  }
+
+  /// Upper bound of d(o,p) for an object whose cell is g (used by Lemma 2).
+  double UpperBound(uint32_t g) const { return CellHigh(g); }
+
+ private:
+  double d_plus_;
+  bool discrete_;
+  double delta_;
+  uint32_t max_cell_;
+};
+
+}  // namespace spb
+
+#endif  // SPB_METRICS_DISCRETIZER_H_

@@ -1,0 +1,60 @@
+#ifndef SPB_METRICS_DISTANCE_H_
+#define SPB_METRICS_DISTANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/blob.h"
+
+namespace spb {
+
+/// A metric distance d() over opaque objects. Implementations must satisfy
+/// the four metric axioms the paper relies on: symmetry, non-negativity,
+/// identity and — crucially for every pruning lemma — the triangle
+/// inequality. `tests/metrics_test.cc` property-checks all of them.
+class DistanceFunction {
+ public:
+  virtual ~DistanceFunction() = default;
+
+  /// The distance between two objects. Must be in [0, max_distance()].
+  virtual double Distance(const Blob& a, const Blob& b) const = 0;
+
+  /// d+ — an upper bound on any pairwise distance in the domain. Used to
+  /// size the SFC grid and to express query radii as a percentage of d+.
+  virtual double max_distance() const = 0;
+
+  /// True when the range of d() is integers (e.g. edit or Hamming distance);
+  /// such metrics skip delta-approximation (delta = 1, exact cells).
+  virtual bool is_discrete() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Decorator counting every distance evaluation — the paper's compdists
+/// metric. All index code computes distances through one of these so the
+/// count is complete by construction.
+class CountingDistance final : public DistanceFunction {
+ public:
+  /// `base` must outlive this wrapper.
+  explicit CountingDistance(const DistanceFunction* base) : base_(base) {}
+
+  double Distance(const Blob& a, const Blob& b) const override {
+    ++count_;
+    return base_->Distance(a, b);
+  }
+  double max_distance() const override { return base_->max_distance(); }
+  bool is_discrete() const override { return base_->is_discrete(); }
+  std::string name() const override { return base_->name(); }
+
+  uint64_t count() const { return count_; }
+  void Reset() { count_ = 0; }
+
+ private:
+  const DistanceFunction* base_;
+  mutable uint64_t count_ = 0;
+};
+
+}  // namespace spb
+
+#endif  // SPB_METRICS_DISTANCE_H_

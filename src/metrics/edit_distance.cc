@@ -1,0 +1,35 @@
+#include "metrics/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace spb {
+
+double EditDistance::Distance(const Blob& a, const Blob& b) const {
+  const size_t m = a.size();
+  const size_t n = b.size();
+  if (m == 0) return static_cast<double>(n);
+  if (n == 0) return static_cast<double>(m);
+
+  // Two-row dynamic program; rows sized by the shorter string.
+  const Blob& shorter = (m <= n) ? a : b;
+  const Blob& longer = (m <= n) ? b : a;
+  const size_t w = shorter.size();
+
+  std::vector<uint32_t> prev(w + 1);
+  std::vector<uint32_t> curr(w + 1);
+  for (size_t j = 0; j <= w; ++j) prev[j] = static_cast<uint32_t>(j);
+
+  for (size_t i = 1; i <= longer.size(); ++i) {
+    curr[0] = static_cast<uint32_t>(i);
+    const uint8_t ci = longer[i - 1];
+    for (size_t j = 1; j <= w; ++j) {
+      const uint32_t subst = prev[j - 1] + (ci != shorter[j - 1] ? 1 : 0);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, subst});
+    }
+    std::swap(prev, curr);
+  }
+  return static_cast<double>(prev[w]);
+}
+
+}  // namespace spb

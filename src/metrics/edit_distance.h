@@ -1,0 +1,32 @@
+#ifndef SPB_METRICS_EDIT_DISTANCE_H_
+#define SPB_METRICS_EDIT_DISTANCE_H_
+
+#include <string>
+
+#include "metrics/distance.h"
+
+namespace spb {
+
+/// Levenshtein edit distance over byte strings (the paper's Words metric).
+/// Discrete; d+ is the maximum string length in the domain (34 for the
+/// paper's Words dataset).
+class EditDistance final : public DistanceFunction {
+ public:
+  /// `max_len` bounds the length of any string in the domain; it determines
+  /// d+ (the distance between two strings cannot exceed the longer length).
+  explicit EditDistance(size_t max_len) : max_len_(max_len) {}
+
+  double Distance(const Blob& a, const Blob& b) const override;
+  double max_distance() const override {
+    return static_cast<double>(max_len_);
+  }
+  bool is_discrete() const override { return true; }
+  std::string name() const override { return "edit"; }
+
+ private:
+  size_t max_len_;
+};
+
+}  // namespace spb
+
+#endif  // SPB_METRICS_EDIT_DISTANCE_H_

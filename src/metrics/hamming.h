@@ -1,0 +1,36 @@
+#ifndef SPB_METRICS_HAMMING_H_
+#define SPB_METRICS_HAMMING_H_
+
+#include <string>
+
+#include "metrics/distance.h"
+
+namespace spb {
+
+/// Hamming distance over fixed-length symbol strings (the paper's Signature
+/// metric: 64-symbol signatures). Discrete; d+ equals the signature length.
+class Hamming final : public DistanceFunction {
+ public:
+  explicit Hamming(size_t length) : length_(length) {}
+
+  double Distance(const Blob& a, const Blob& b) const override {
+    const size_t n = a.size() < b.size() ? a.size() : b.size();
+    size_t diff = (a.size() > b.size() ? a.size() : b.size()) - n;
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] != b[i]) ++diff;
+    }
+    return static_cast<double>(diff);
+  }
+  double max_distance() const override {
+    return static_cast<double>(length_);
+  }
+  bool is_discrete() const override { return true; }
+  std::string name() const override { return "hamming"; }
+
+ private:
+  size_t length_;
+};
+
+}  // namespace spb
+
+#endif  // SPB_METRICS_HAMMING_H_

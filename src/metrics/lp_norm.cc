@@ -1,0 +1,55 @@
+#include "metrics/lp_norm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace spb {
+
+LpNorm::LpNorm(size_t dim, double p, double max_coord) : dim_(dim), p_(p) {
+  if (p == kInfinity) {
+    max_distance_ = max_coord;
+    name_ = "Linf";
+  } else {
+    max_distance_ = std::pow(static_cast<double>(dim), 1.0 / p) * max_coord;
+    name_ = "L" + std::to_string(static_cast<int>(p));
+  }
+}
+
+double LpNorm::Distance(const Blob& a, const Blob& b) const {
+  // Defensive: compare only the shared prefix if lengths ever differ.
+  const size_t n = std::min(a.size(), b.size()) / sizeof(float);
+  const float* fa = reinterpret_cast<const float*>(a.data());
+  const float* fb = reinterpret_cast<const float*>(b.data());
+
+  if (p_ == kInfinity) {
+    double best = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = std::fabs(static_cast<double>(fa[i]) - fb[i]);
+      if (d > best) best = d;
+    }
+    return best;
+  }
+  if (p_ == 2.0) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = static_cast<double>(fa[i]) - fb[i];
+      sum += d * d;
+    }
+    return std::sqrt(sum);
+  }
+  if (p_ == 1.0) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += std::fabs(static_cast<double>(fa[i]) - fb[i]);
+    }
+    return sum;
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += std::pow(std::fabs(static_cast<double>(fa[i]) - fb[i]), p_);
+  }
+  return std::pow(sum, 1.0 / p_);
+}
+
+}  // namespace spb

@@ -1,0 +1,40 @@
+#ifndef SPB_METRICS_LP_NORM_H_
+#define SPB_METRICS_LP_NORM_H_
+
+#include <limits>
+#include <string>
+
+#include "metrics/distance.h"
+
+namespace spb {
+
+/// Minkowski L_p norm over float vectors packed with BlobFromFloats.
+/// p = 2 is the paper's Synthetic metric, p = 5 its Color metric; p may be
+/// kInfinity for the L-inf norm (which is also the metric D() of the mapped
+/// vector space). Continuous; d+ assumes coordinates in [0, max_coord].
+class LpNorm final : public DistanceFunction {
+ public:
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// `dim` vector dimensionality, `p` the norm order (>= 1 or kInfinity),
+  /// `max_coord` the coordinate range upper bound used to derive d+.
+  LpNorm(size_t dim, double p, double max_coord = 1.0);
+
+  double Distance(const Blob& a, const Blob& b) const override;
+  double max_distance() const override { return max_distance_; }
+  bool is_discrete() const override { return false; }
+  std::string name() const override { return name_; }
+
+  double p() const { return p_; }
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  double p_;
+  double max_distance_;
+  std::string name_;
+};
+
+}  // namespace spb
+
+#endif  // SPB_METRICS_LP_NORM_H_

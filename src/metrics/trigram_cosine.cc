@@ -1,0 +1,64 @@
+#include "metrics/trigram_cosine.h"
+
+#include <cmath>
+
+namespace spb {
+
+namespace {
+
+// Maps an ACGT base (case-insensitive) to 0..3; other bytes map to 0 so the
+// metric is total over arbitrary byte strings.
+inline uint32_t BaseCode(uint8_t c) {
+  switch (c) {
+    case 'C':
+    case 'c':
+      return 1;
+    case 'G':
+    case 'g':
+      return 2;
+    case 'T':
+    case 't':
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> TrigramCosine::TrigramCounts(const Blob& seq) {
+  std::vector<uint32_t> counts(64, 0);
+  if (seq.size() < 3) return counts;
+  uint32_t code = BaseCode(seq[0]) * 4 + BaseCode(seq[1]);
+  for (size_t i = 2; i < seq.size(); ++i) {
+    code = ((code * 4) + BaseCode(seq[i])) & 63u;
+    ++counts[code];
+  }
+  return counts;
+}
+
+double TrigramCosine::Distance(const Blob& a, const Blob& b) const {
+  const std::vector<uint32_t> ca = TrigramCounts(a);
+  const std::vector<uint32_t> cb = TrigramCounts(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < 64; ++i) {
+    dot += static_cast<double>(ca[i]) * cb[i];
+    na += static_cast<double>(ca[i]) * ca[i];
+    nb += static_cast<double>(cb[i]) * cb[i];
+  }
+  if (na == 0.0 || nb == 0.0) {
+    // An empty/short sequence is maximally dissimilar to anything non-empty
+    // and identical to another empty one.
+    return (na == nb) ? 0.0 : max_distance();
+  }
+  double cosine = dot / (std::sqrt(na) * std::sqrt(nb));
+  if (cosine > 1.0) cosine = 1.0;
+  if (cosine < 0.0) cosine = 0.0;
+  return std::acos(cosine);
+}
+
+double TrigramCosine::max_distance() const {
+  return std::acos(0.0);  // pi/2: count vectors are non-negative.
+}
+
+}  // namespace spb

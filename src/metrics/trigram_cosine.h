@@ -1,0 +1,36 @@
+#ifndef SPB_METRICS_TRIGRAM_COSINE_H_
+#define SPB_METRICS_TRIGRAM_COSINE_H_
+
+#include <string>
+#include <vector>
+
+#include "metrics/distance.h"
+
+namespace spb {
+
+/// The paper's DNA metric: "cosine similarity under tri-gram counting
+/// space". A sequence over the alphabet {A,C,G,T} is mapped to its 64-bin
+/// tri-gram count vector; the distance between two sequences is the *angle*
+/// between their count vectors, d = arccos(cos-similarity).
+///
+/// We use the angular form (rather than 1 - cos) because only the angle
+/// satisfies the triangle inequality, which every pruning lemma in the paper
+/// requires; with non-negative counts the angle lies in [0, pi/2], so
+/// d+ = pi/2. This is the standard way metric-space work realizes "cosine
+/// similarity" as a metric.
+class TrigramCosine final : public DistanceFunction {
+ public:
+  TrigramCosine() = default;
+
+  double Distance(const Blob& a, const Blob& b) const override;
+  double max_distance() const override;
+  bool is_discrete() const override { return false; }
+  std::string name() const override { return "trigram-cosine"; }
+
+  /// Exposed for tests: the 64-bin tri-gram count vector of a sequence.
+  static std::vector<uint32_t> TrigramCounts(const Blob& seq);
+};
+
+}  // namespace spb
+
+#endif  // SPB_METRICS_TRIGRAM_COSINE_H_

@@ -1,0 +1,45 @@
+#include "pivots/pivot_table.h"
+
+#include "common/coding.h"
+
+namespace spb {
+
+Blob PivotTable::Serialize() const {
+  size_t total = 4;
+  for (const Blob& p : pivots_) total += 4 + p.size();
+  Blob out(total);
+  uint8_t* dst = out.data();
+  EncodeFixed32(dst, static_cast<uint32_t>(pivots_.size()));
+  dst += 4;
+  for (const Blob& p : pivots_) {
+    EncodeFixed32(dst, static_cast<uint32_t>(p.size()));
+    dst += 4;
+    if (!p.empty()) {
+      std::memcpy(dst, p.data(), p.size());
+      dst += p.size();
+    }
+  }
+  return out;
+}
+
+Status PivotTable::Deserialize(const Blob& data, PivotTable* out) {
+  if (data.size() < 4) return Status::Corruption("pivot table too short");
+  const uint8_t* src = data.data();
+  const uint8_t* end = src + data.size();
+  const uint32_t count = DecodeFixed32(src);
+  src += 4;
+  std::vector<Blob> pivots;
+  pivots.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (src + 4 > end) return Status::Corruption("truncated pivot length");
+    const uint32_t len = DecodeFixed32(src);
+    src += 4;
+    if (src + len > end) return Status::Corruption("truncated pivot payload");
+    pivots.emplace_back(src, src + len);
+    src += len;
+  }
+  *out = PivotTable(std::move(pivots));
+  return Status::OK();
+}
+
+}  // namespace spb

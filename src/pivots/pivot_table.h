@@ -1,0 +1,47 @@
+#ifndef SPB_PIVOTS_PIVOT_TABLE_H_
+#define SPB_PIVOTS_PIVOT_TABLE_H_
+
+#include <vector>
+
+#include "common/blob.h"
+#include "common/status.h"
+#include "metrics/distance.h"
+
+namespace spb {
+
+/// The pivot table of an SPB-tree: the objects that define the mapping
+/// phi(o) = <d(o,p_1), ..., d(o,p_n)> from the metric space into the vector
+/// space (R^n, L-inf). Shared by both operands of a similarity join.
+class PivotTable {
+ public:
+  PivotTable() = default;
+  explicit PivotTable(std::vector<Blob> pivots) : pivots_(std::move(pivots)) {}
+
+  size_t size() const { return pivots_.size(); }
+  bool empty() const { return pivots_.empty(); }
+  const Blob& pivot(size_t i) const { return pivots_[i]; }
+  const std::vector<Blob>& pivots() const { return pivots_; }
+
+  /// Computes phi(o): the vector of distances from `o` to every pivot.
+  /// Costs size() distance computations.
+  std::vector<double> Map(const Blob& o, const DistanceFunction& metric) const {
+    std::vector<double> phi(pivots_.size());
+    for (size_t i = 0; i < pivots_.size(); ++i) {
+      phi[i] = metric.Distance(o, pivots_[i]);
+    }
+    return phi;
+  }
+
+  /// Serializes the table (count + length-prefixed pivot payloads).
+  Blob Serialize() const;
+
+  /// Inverse of Serialize.
+  static Status Deserialize(const Blob& data, PivotTable* out);
+
+ private:
+  std::vector<Blob> pivots_;
+};
+
+}  // namespace spb
+
+#endif  // SPB_PIVOTS_PIVOT_TABLE_H_

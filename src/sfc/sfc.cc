@@ -1,0 +1,178 @@
+#include "sfc/sfc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace spb {
+
+namespace {
+
+// Bit-interleaves the per-dimension words MSB-first into a single key:
+// bit q of dimension i lands at key bit (q * n + (n - 1 - i)) from the
+// bottom of the used range. Both curves share this packing; Hilbert first
+// transforms the coordinates into Skilling's "transpose" form.
+uint64_t Interleave(const std::vector<uint32_t>& x, int b) {
+  const size_t n = x.size();
+  uint64_t key = 0;
+  for (int q = b - 1; q >= 0; --q) {
+    for (size_t i = 0; i < n; ++i) {
+      key = (key << 1) | ((x[i] >> q) & 1u);
+    }
+  }
+  return key;
+}
+
+void Deinterleave(uint64_t key, int b, std::vector<uint32_t>* x) {
+  const size_t n = x->size();
+  std::fill(x->begin(), x->end(), 0u);
+  int shift = static_cast<int>(n) * b;
+  for (int q = b - 1; q >= 0; --q) {
+    for (size_t i = 0; i < n; ++i) {
+      --shift;
+      (*x)[i] |= static_cast<uint32_t>((key >> shift) & 1u) << q;
+    }
+  }
+}
+
+// J. Skilling, "Programming the Hilbert curve", AIP Conf. Proc. 707 (2004).
+// Converts coordinates to the transposed Hilbert index, in place.
+void AxesToTranspose(std::vector<uint32_t>& x, int b) {
+  const size_t n = x.size();
+  uint32_t m = 1u << (b - 1);
+  // Inverse undo.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    const uint32_t p = q - 1;
+    for (size_t i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (size_t i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (size_t i = 0; i < n; ++i) x[i] ^= t;
+}
+
+// Inverse of AxesToTranspose.
+void TransposeToAxes(std::vector<uint32_t>& x, int b) {
+  const size_t n = x.size();
+  const uint32_t nbit = 2u << (b - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = x[n - 1] >> 1;
+  for (size_t i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != nbit; q <<= 1) {
+    const uint32_t p = q - 1;
+    for (size_t i = n; i-- > 0;) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const uint32_t t2 = (x[0] ^ x[i]) & p;
+        x[0] ^= t2;
+        x[i] ^= t2;
+      }
+    }
+  }
+}
+
+class HilbertCurve final : public SpaceFillingCurve {
+ public:
+  HilbertCurve(size_t dims, int bits) : SpaceFillingCurve(dims, bits) {}
+
+  uint64_t Encode(const std::vector<uint32_t>& coords) const override {
+    std::vector<uint32_t> x = coords;
+    AxesToTranspose(x, bits_);
+    return Interleave(x, bits_);
+  }
+
+  void Decode(uint64_t key, std::vector<uint32_t>* coords) const override {
+    coords->resize(dims_);
+    Deinterleave(key, bits_, coords);
+    TransposeToAxes(*coords, bits_);
+  }
+
+  CurveType type() const override { return CurveType::kHilbert; }
+};
+
+class ZOrderCurve final : public SpaceFillingCurve {
+ public:
+  ZOrderCurve(size_t dims, int bits) : SpaceFillingCurve(dims, bits) {}
+
+  uint64_t Encode(const std::vector<uint32_t>& coords) const override {
+    return Interleave(coords, bits_);
+  }
+
+  void Decode(uint64_t key, std::vector<uint32_t>* coords) const override {
+    coords->resize(dims_);
+    Deinterleave(key, bits_, coords);
+  }
+
+  CurveType type() const override { return CurveType::kZOrder; }
+};
+
+}  // namespace
+
+std::unique_ptr<SpaceFillingCurve> SpaceFillingCurve::Create(CurveType type,
+                                                             size_t dims,
+                                                             int bits) {
+  assert(dims >= 1 && bits >= 1);
+  assert(dims * static_cast<size_t>(bits) <= 64);
+  switch (type) {
+    case CurveType::kHilbert:
+      return std::make_unique<HilbertCurve>(dims, bits);
+    case CurveType::kZOrder:
+      return std::make_unique<ZOrderCurve>(dims, bits);
+  }
+  return nullptr;
+}
+
+uint64_t RegionCellCount(const std::vector<uint32_t>& lo,
+                         const std::vector<uint32_t>& hi) {
+  uint64_t count = 1;
+  for (size_t i = 0; i < lo.size(); ++i) {
+    if (hi[i] < lo[i]) return 0;
+    const uint64_t side = static_cast<uint64_t>(hi[i]) - lo[i] + 1;
+    if (count > UINT64_MAX / side) return UINT64_MAX;
+    count *= side;
+  }
+  return count;
+}
+
+std::vector<uint64_t> EnumerateRegionKeys(const SpaceFillingCurve& curve,
+                                          const std::vector<uint32_t>& lo,
+                                          const std::vector<uint32_t>& hi) {
+  std::vector<uint64_t> keys;
+  const uint64_t count = RegionCellCount(lo, hi);
+  if (count == 0) return keys;
+  keys.reserve(count);
+
+  std::vector<uint32_t> cell = lo;
+  const size_t n = lo.size();
+  while (true) {
+    keys.push_back(curve.Encode(cell));
+    // Odometer increment over the box.
+    size_t i = 0;
+    while (i < n) {
+      if (cell[i] < hi[i]) {
+        ++cell[i];
+        break;
+      }
+      cell[i] = lo[i];
+      ++i;
+    }
+    if (i == n) break;
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace spb

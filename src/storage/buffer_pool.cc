@@ -1,0 +1,51 @@
+#include "storage/buffer_pool.h"
+
+namespace spb {
+
+Status BufferPool::Read(PageId id, Page* out) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    ++stats_.cache_hits;
+    Touch(it->second);
+    *out = it->second->page;
+    return Status::OK();
+  }
+  SPB_RETURN_IF_ERROR(file_->Read(id, out));
+  ++stats_.page_reads;
+  InsertIntoCache(id, *out);
+  return Status::OK();
+}
+
+Status BufferPool::Write(PageId id, const Page& page) {
+  SPB_RETURN_IF_ERROR(file_->Write(id, page));
+  ++stats_.page_writes;
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    it->second->page = page;
+    Touch(it->second);
+  } else {
+    InsertIntoCache(id, page);
+  }
+  return Status::OK();
+}
+
+void BufferPool::Flush() {
+  lru_.clear();
+  index_.clear();
+}
+
+void BufferPool::Touch(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void BufferPool::InsertIntoCache(PageId id, const Page& page) {
+  if (capacity_ == 0) return;
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().id);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{id, page});
+  index_[id] = lru_.begin();
+}
+
+}  // namespace spb

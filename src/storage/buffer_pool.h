@@ -1,0 +1,78 @@
+#ifndef SPB_STORAGE_BUFFER_POOL_H_
+#define SPB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace spb {
+
+/// An LRU page cache in front of one PageFile. All page traffic of an access
+/// method flows through a BufferPool so that the paper's PA metric (page
+/// accesses not absorbed by the cache) is counted uniformly for the SPB-tree
+/// and every competitor.
+///
+/// Writes are write-through: the page is stored in the cache (so subsequent
+/// reads hit) and written to the file immediately. A write counts as one page
+/// access; a cached read counts as a hit, an uncached read as one page
+/// access. `capacity == 0` disables caching entirely (the paper's "cache size
+/// 0" configuration).
+class BufferPool {
+ public:
+  /// `file` must outlive the pool. `capacity` is in pages.
+  BufferPool(PageFile* file, size_t capacity)
+      : file_(file), capacity_(capacity) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Reads page `id` (through the cache) into `*out`.
+  Status Read(PageId id, Page* out);
+
+  /// Writes page `id` through the cache to the file.
+  Status Write(PageId id, const Page& page);
+
+  /// Allocates a fresh page in the underlying file.
+  Status Allocate(PageId* id) { return file_->Allocate(id); }
+
+  /// Drops all cached pages (the paper flushes the cache before each query).
+  void Flush();
+
+  /// Changes the cache capacity; drops contents.
+  void set_capacity(size_t capacity) {
+    capacity_ = capacity;
+    Flush();
+  }
+  size_t capacity() const { return capacity_; }
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+  PageFile* file() { return file_; }
+
+ private:
+  struct Entry {
+    PageId id;
+    Page page;
+  };
+
+  void Touch(std::list<Entry>::iterator it);
+  void InsertIntoCache(PageId id, const Page& page);
+
+  PageFile* file_;
+  size_t capacity_;
+  // Most-recently-used at the front.
+  std::list<Entry> lru_;
+  std::unordered_map<PageId, std::list<Entry>::iterator> index_;
+  IoStats stats_;
+};
+
+}  // namespace spb
+
+#endif  // SPB_STORAGE_BUFFER_POOL_H_

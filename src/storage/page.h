@@ -1,0 +1,33 @@
+#ifndef SPB_STORAGE_PAGE_H_
+#define SPB_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace spb {
+
+/// Fixed disk page size used by every access method in this library, matching
+/// the paper's experimental setup ("a fixed disk page size of 4KB").
+inline constexpr size_t kPageSize = 4096;
+
+/// Page number within a PageFile. Page 0 is conventionally a header/meta page.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// A raw 4 KB page buffer.
+struct Page {
+  std::array<uint8_t, kPageSize> data;
+
+  Page() { data.fill(0); }
+
+  uint8_t* bytes() { return data.data(); }
+  const uint8_t* bytes() const { return data.data(); }
+
+  void Clear() { data.fill(0); }
+};
+
+}  // namespace spb
+
+#endif  // SPB_STORAGE_PAGE_H_

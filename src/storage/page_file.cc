@@ -1,0 +1,145 @@
+#include "storage/page_file.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace spb {
+
+namespace {
+
+class MemoryPageFile final : public PageFile {
+ public:
+  PageId num_pages() const override {
+    return static_cast<PageId>(pages_.size());
+  }
+
+  Status Allocate(PageId* id) override {
+    *id = static_cast<PageId>(pages_.size());
+    pages_.emplace_back(new Page());
+    return Status::OK();
+  }
+
+  Status Read(PageId id, Page* out) override {
+    if (id >= pages_.size()) {
+      return Status::InvalidArgument("page id out of range");
+    }
+    *out = *pages_[id];
+    return Status::OK();
+  }
+
+  Status Write(PageId id, const Page& page) override {
+    if (id >= pages_.size()) {
+      return Status::InvalidArgument("page id out of range");
+    }
+    *pages_[id] = page;
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+class DiskPageFile final : public PageFile {
+ public:
+  DiskPageFile(std::FILE* file, PageId num_pages)
+      : file_(file), num_pages_(num_pages) {}
+
+  ~DiskPageFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  PageId num_pages() const override { return num_pages_; }
+
+  Status Allocate(PageId* id) override {
+    Page zero;
+    if (std::fseek(file_, static_cast<long>(num_pages_) *
+                              static_cast<long>(kPageSize),
+                   SEEK_SET) != 0) {
+      return Status::IOError("seek failed in Allocate");
+    }
+    if (std::fwrite(zero.bytes(), 1, kPageSize, file_) != kPageSize) {
+      return Status::IOError("short write in Allocate");
+    }
+    *id = num_pages_++;
+    return Status::OK();
+  }
+
+  Status Read(PageId id, Page* out) override {
+    if (id >= num_pages_) {
+      return Status::InvalidArgument("page id out of range");
+    }
+    if (std::fseek(file_,
+                   static_cast<long>(id) * static_cast<long>(kPageSize),
+                   SEEK_SET) != 0) {
+      return Status::IOError("seek failed in Read");
+    }
+    if (std::fread(out->bytes(), 1, kPageSize, file_) != kPageSize) {
+      return Status::IOError("short read");
+    }
+    return Status::OK();
+  }
+
+  Status Write(PageId id, const Page& page) override {
+    if (id >= num_pages_) {
+      return Status::InvalidArgument("page id out of range");
+    }
+    if (std::fseek(file_,
+                   static_cast<long>(id) * static_cast<long>(kPageSize),
+                   SEEK_SET) != 0) {
+      return Status::IOError("seek failed in Write");
+    }
+    if (std::fwrite(page.bytes(), 1, kPageSize, file_) != kPageSize) {
+      return Status::IOError("short write");
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (std::fflush(file_) != 0) return Status::IOError("flush failed");
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  PageId num_pages_;
+};
+
+}  // namespace
+
+std::unique_ptr<PageFile> PageFile::CreateInMemory() {
+  return std::make_unique<MemoryPageFile>();
+}
+
+Status PageFile::CreateOnDisk(const std::string& path,
+                              std::unique_ptr<PageFile>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::IOError("cannot create page file: " + path);
+  }
+  *out = std::make_unique<DiskPageFile>(f, 0);
+  return Status::OK();
+}
+
+Status PageFile::OpenOnDisk(const std::string& path,
+                            std::unique_ptr<PageFile>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IOError("cannot open page file: " + path);
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("seek failed while sizing: " + path);
+  }
+  long size = std::ftell(f);
+  if (size < 0 || static_cast<size_t>(size) % kPageSize != 0) {
+    std::fclose(f);
+    return Status::Corruption("page file size is not page-aligned: " + path);
+  }
+  *out = std::make_unique<DiskPageFile>(
+      f, static_cast<PageId>(static_cast<size_t>(size) / kPageSize));
+  return Status::OK();
+}
+
+}  // namespace spb

@@ -1,0 +1,165 @@
+#include "storage/raf.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace spb {
+
+namespace {
+constexpr uint64_t kRafMagic = 0x5350425241463031ULL;  // "SPBRAF01"
+}  // namespace
+
+Status Raf::Create(std::unique_ptr<PageFile> file, size_t cache_pages,
+                   std::unique_ptr<Raf>* out) {
+  auto raf = std::unique_ptr<Raf>(new Raf(std::move(file), cache_pages));
+  PageId header_id;
+  SPB_RETURN_IF_ERROR(raf->file_->Allocate(&header_id));
+  if (header_id != 0) {
+    return Status::InvalidArgument("RAF requires a fresh page file");
+  }
+  SPB_RETURN_IF_ERROR(raf->WriteHeader());
+  *out = std::move(raf);
+  return Status::OK();
+}
+
+Status Raf::Open(std::unique_ptr<PageFile> file, size_t cache_pages,
+                 std::unique_ptr<Raf>* out) {
+  auto raf = std::unique_ptr<Raf>(new Raf(std::move(file), cache_pages));
+  if (raf->file_->num_pages() == 0) {
+    return Status::Corruption("RAF file has no header page");
+  }
+  Page header;
+  SPB_RETURN_IF_ERROR(raf->file_->Read(0, &header));
+  if (DecodeFixed64(header.bytes()) != kRafMagic) {
+    return Status::Corruption("bad RAF magic");
+  }
+  raf->end_offset_ = DecodeFixed64(header.bytes() + 8);
+  raf->num_records_ = DecodeFixed64(header.bytes() + 16);
+  *out = std::move(raf);
+  return Status::OK();
+}
+
+Status Raf::WriteHeader() {
+  Page header;
+  EncodeFixed64(header.bytes(), kRafMagic);
+  EncodeFixed64(header.bytes() + 8, end_offset_);
+  EncodeFixed64(header.bytes() + 16, num_records_);
+  return file_->Write(0, header);
+}
+
+Status Raf::EnsurePage(PageId id) {
+  while (file_->num_pages() <= id) {
+    PageId unused;
+    SPB_RETURN_IF_ERROR(file_->Allocate(&unused));
+  }
+  return Status::OK();
+}
+
+Status Raf::WriteBytes(uint64_t offset, const uint8_t* src, size_t n) {
+  while (n > 0) {
+    const PageId page = static_cast<PageId>(offset / kPageSize);
+    const size_t in_page = offset % kPageSize;
+    const size_t chunk = std::min(n, kPageSize - in_page);
+
+    if (page != tail_id_) {
+      // Moving to a new tail page: flush the previous one if dirty.
+      if (tail_dirty_ && tail_id_ != kInvalidPageId) {
+        SPB_RETURN_IF_ERROR(EnsurePage(tail_id_));
+        SPB_RETURN_IF_ERROR(pool_.Write(tail_id_, tail_));
+      }
+      tail_id_ = page;
+      tail_dirty_ = false;
+      if (page < file_->num_pages()) {
+        SPB_RETURN_IF_ERROR(file_->Read(page, &tail_));
+      } else {
+        tail_.Clear();
+      }
+    }
+    std::memcpy(tail_.bytes() + in_page, src, chunk);
+    tail_dirty_ = true;
+    offset += chunk;
+    src += chunk;
+    n -= chunk;
+  }
+  return Status::OK();
+}
+
+Status Raf::ReadBytes(uint64_t offset, uint8_t* dst, size_t n) {
+  while (n > 0) {
+    const PageId page = static_cast<PageId>(offset / kPageSize);
+    const size_t in_page = offset % kPageSize;
+    const size_t chunk = std::min(n, kPageSize - in_page);
+
+    if (page == tail_id_ && tail_dirty_) {
+      std::memcpy(dst, tail_.bytes() + in_page, chunk);
+    } else {
+      Page buf;
+      SPB_RETURN_IF_ERROR(pool_.Read(page, &buf));
+      std::memcpy(dst, buf.bytes() + in_page, chunk);
+    }
+    offset += chunk;
+    dst += chunk;
+    n -= chunk;
+  }
+  return Status::OK();
+}
+
+Status Raf::Append(ObjectId id, const Blob& obj, uint64_t* offset) {
+  *offset = end_offset_;
+  uint8_t header[8];
+  EncodeFixed32(header, id);
+  EncodeFixed32(header + 4, static_cast<uint32_t>(obj.size()));
+  SPB_RETURN_IF_ERROR(WriteBytes(end_offset_, header, sizeof(header)));
+  if (!obj.empty()) {
+    SPB_RETURN_IF_ERROR(
+        WriteBytes(end_offset_ + sizeof(header), obj.data(), obj.size()));
+  }
+  end_offset_ += sizeof(header) + obj.size();
+  ++num_records_;
+  return Status::OK();
+}
+
+Status Raf::Get(uint64_t offset, ObjectId* id, Blob* obj) {
+  if (offset < kPageSize || offset + 8 > end_offset_) {
+    return Status::InvalidArgument("RAF offset out of range");
+  }
+  uint8_t header[8];
+  SPB_RETURN_IF_ERROR(ReadBytes(offset, header, sizeof(header)));
+  *id = DecodeFixed32(header);
+  const uint32_t len = DecodeFixed32(header + 4);
+  if (offset + 8 + len > end_offset_) {
+    return Status::Corruption("RAF record extends past end of data");
+  }
+  obj->resize(len);
+  if (len > 0) {
+    SPB_RETURN_IF_ERROR(ReadBytes(offset + 8, obj->data(), len));
+  }
+  return Status::OK();
+}
+
+Status Raf::ScanAll(
+    const std::function<void(uint64_t, ObjectId, const Blob&)>& fn) {
+  uint64_t offset = kPageSize;
+  Blob obj;
+  while (offset < end_offset_) {
+    ObjectId id;
+    SPB_RETURN_IF_ERROR(Get(offset, &id, &obj));
+    fn(offset, id, obj);
+    offset += 8 + obj.size();
+  }
+  return Status::OK();
+}
+
+Status Raf::Sync() {
+  if (tail_dirty_ && tail_id_ != kInvalidPageId) {
+    SPB_RETURN_IF_ERROR(EnsurePage(tail_id_));
+    SPB_RETURN_IF_ERROR(pool_.Write(tail_id_, tail_));
+    tail_dirty_ = false;
+  }
+  SPB_RETURN_IF_ERROR(WriteHeader());
+  return file_->Sync();
+}
+
+}  // namespace spb

@@ -1,0 +1,90 @@
+#ifndef SPB_STORAGE_RAF_H_
+#define SPB_STORAGE_RAF_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/blob.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace spb {
+
+/// The paper's Random Access File: object payloads stored separately from the
+/// index, in ascending SFC order at bulk-load time. Each record is
+/// `(id: u32, len: u32, obj: len bytes)` and is addressed by the byte offset
+/// of its first byte. Records may span page boundaries; a Get counts one page
+/// access per distinct uncached page touched.
+///
+/// Page 0 is a header page (magic, end offset, record count); data starts at
+/// byte offset kPageSize.
+class Raf {
+ public:
+  /// Creates an empty RAF over a fresh page file. `cache_pages` sizes the LRU
+  /// buffer pool used for reads.
+  static Status Create(std::unique_ptr<PageFile> file, size_t cache_pages,
+                       std::unique_ptr<Raf>* out);
+
+  /// Opens an existing RAF (header page must be valid).
+  static Status Open(std::unique_ptr<PageFile> file, size_t cache_pages,
+                     std::unique_ptr<Raf>* out);
+
+  /// Appends a record; returns its byte offset in `*offset`.
+  Status Append(ObjectId id, const Blob& obj, uint64_t* offset);
+
+  /// Reads the record at `offset`.
+  Status Get(uint64_t offset, ObjectId* id, Blob* obj);
+
+  /// Visits every record in file order. The callback receives
+  /// (offset, id, obj).
+  Status ScanAll(
+      const std::function<void(uint64_t, ObjectId, const Blob&)>& fn);
+
+  /// Flushes the partial tail page and the header to the page file.
+  Status Sync();
+
+  uint64_t num_records() const { return num_records_; }
+  /// Total bytes of record data written (excludes the header page).
+  uint64_t data_bytes() const { return end_offset_ - kPageSize; }
+  /// Index storage footprint in bytes (whole pages, header included).
+  uint64_t file_bytes() const {
+    return static_cast<uint64_t>(file_->num_pages()) * kPageSize;
+  }
+
+  BufferPool& pool() { return pool_; }
+  const IoStats& stats() const { return pool_.stats(); }
+  void ResetStats() { pool_.stats().Reset(); }
+  void FlushCache() { pool_.Flush(); }
+  void set_cache_pages(size_t n) { pool_.set_capacity(n); }
+
+ private:
+  Raf(std::unique_ptr<PageFile> file, size_t cache_pages)
+      : owned_file_(std::move(file)),
+        file_(owned_file_.get()),
+        pool_(file_, cache_pages) {}
+
+  Status WriteBytes(uint64_t offset, const uint8_t* src, size_t n);
+  Status ReadBytes(uint64_t offset, uint8_t* dst, size_t n);
+  Status EnsurePage(PageId id);
+  Status WriteHeader();
+
+  std::unique_ptr<PageFile> owned_file_;
+  PageFile* file_;
+  BufferPool pool_;
+
+  // Next free byte offset; starts at kPageSize (data begins after header).
+  uint64_t end_offset_ = kPageSize;
+  uint64_t num_records_ = 0;
+
+  // In-memory tail page: the last, possibly partial, data page. Kept out of
+  // the buffer pool until full so appends don't inflate write counts.
+  Page tail_;
+  PageId tail_id_ = kInvalidPageId;
+  bool tail_dirty_ = false;
+};
+
+}  // namespace spb
+
+#endif  // SPB_STORAGE_RAF_H_

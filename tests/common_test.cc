@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/blob.h"
+#include "common/coding.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace spb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kIOError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, AllCodesRenderDistinctNames) {
+  EXPECT_EQ(Status::InvalidArgument("x").ToString(), "InvalidArgument: x");
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::Corruption("x").ToString(), "Corruption: x");
+  EXPECT_EQ(Status::NotSupported("x").ToString(), "NotSupported: x");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::NotFound("gone"); };
+  auto outer = [&]() -> Status {
+    SPB_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), Status::Code::kNotFound);
+}
+
+TEST(StatusTest, ReturnIfErrorPassesOnOk) {
+  auto inner = []() { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    SPB_RETURN_IF_ERROR(inner());
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_EQ(outer().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(BlobTest, StringRoundTrip) {
+  const std::string word = "defoliate";
+  Blob b = BlobFromString(word);
+  EXPECT_EQ(b.size(), word.size());
+  EXPECT_EQ(BlobToString(b), word);
+}
+
+TEST(BlobTest, EmptyStringRoundTrip) {
+  Blob b = BlobFromString("");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(BlobToString(b), "");
+}
+
+TEST(BlobTest, FloatRoundTrip) {
+  std::vector<float> v = {0.0f, 1.5f, -3.25f, 1e-9f, 42.0f};
+  Blob b = BlobFromFloats(v);
+  EXPECT_EQ(b.size(), v.size() * sizeof(float));
+  EXPECT_EQ(BlobToFloats(b), v);
+}
+
+TEST(BlobTest, EmptyFloatRoundTrip) {
+  EXPECT_TRUE(BlobToFloats(BlobFromFloats({})).empty());
+}
+
+TEST(CodingTest, Fixed16RoundTrip) {
+  uint8_t buf[2];
+  EncodeFixed16(buf, 0xBEEF);
+  EXPECT_EQ(DecodeFixed16(buf), 0xBEEF);
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  uint8_t buf[4];
+  EncodeFixed32(buf, 0xDEADBEEFu);
+  EXPECT_EQ(DecodeFixed32(buf), 0xDEADBEEFu);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  uint8_t buf[8];
+  EncodeFixed64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(DecodeFixed64(buf), 0x0123456789ABCDEFull);
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  uint8_t buf[8];
+  EncodeDouble(buf, 3.14159265358979);
+  EXPECT_DOUBLE_EQ(DecodeDouble(buf), 3.14159265358979);
+}
+
+TEST(CodingTest, LittleEndianLayout) {
+  uint8_t buf[4];
+  EncodeFixed32(buf, 0x04030201u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(1000), b.Uniform(1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform(1000000) == b.Uniform(1000000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianRoughlyCentered) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian();
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace spb

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/cost_model.h"
+#include "core/spb_tree.h"
+#include "data/datasets.h"
+
+namespace spb {
+namespace {
+
+CostModel MakeModel(const std::vector<std::vector<double>>& sample,
+                    uint64_t total, double f = 10.0) {
+  return CostModel(sample, total, f, /*num_leaf_pages=*/4, {});
+}
+
+TEST(CostModelTest, RegionProbabilityCountsSampleInBox) {
+  // 1-d sample at 0.0, 0.1, ..., 0.9.
+  std::vector<std::vector<double>> sample;
+  for (int i = 0; i < 10; ++i) sample.push_back({i * 0.1});
+  CostModel model = MakeModel(sample, 1000);
+  EXPECT_DOUBLE_EQ(model.RegionProbability({0.0}, 0.35), 0.4);  // 0..0.3
+  EXPECT_DOUBLE_EQ(model.RegionProbability({0.5}, 0.05), 0.1);  // only 0.5
+  EXPECT_DOUBLE_EQ(model.RegionProbability({0.5}, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.RegionProbability({5.0}, 0.1), 0.0);
+}
+
+TEST(CostModelTest, RegionProbabilityIsMonotoneInRadius) {
+  Rng rng(1);
+  std::vector<std::vector<double>> sample;
+  for (int i = 0; i < 200; ++i) {
+    sample.push_back({rng.NextDouble(), rng.NextDouble()});
+  }
+  CostModel model = MakeModel(sample, 200);
+  double prev = 0.0;
+  for (double r = 0.0; r <= 1.0; r += 0.1) {
+    const double p = model.RegionProbability({0.5, 0.5}, r);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(CostModelTest, EmptySampleGivesZeroProbability) {
+  CostModel model = MakeModel({}, 0);
+  EXPECT_DOUBLE_EQ(model.RegionProbability({0.5}, 1.0), 0.0);
+}
+
+TEST(CostModelTest, KnnRadiusGrowsWithK) {
+  Rng rng(2);
+  std::vector<std::vector<double>> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back({rng.NextDouble()});
+  CostModel model = MakeModel(sample, 500);
+  double prev = 0.0;
+  for (uint64_t k : {1u, 4u, 16u, 64u, 256u}) {
+    const double r = model.EstimateKnnRadius({0.5}, k);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(CostModelTest, KnnRadiusRoughlyMatchesQuantile) {
+  // Uniform sample in [0,1], query at 0: the k-th NN distance along the
+  // pivot axis is about k/|O|.
+  std::vector<std::vector<double>> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back({i / 1000.0});
+  CostModel model = MakeModel(sample, 1000);
+  const double r = model.EstimateKnnRadius({0.0}, 100);
+  EXPECT_NEAR(r, 0.1, 0.02);
+}
+
+TEST(CostModelTest, AddSampleRespectsCapacity) {
+  CostModel model = MakeModel({}, 0);
+  Rng rng(3);
+  for (uint64_t i = 0; i < CostModel::kDefaultSampleCapacity + 500; ++i) {
+    model.AddSample({double(i)}, i + 1, rng.Uniform(UINT64_MAX));
+  }
+  EXPECT_EQ(model.sample().size(), CostModel::kDefaultSampleCapacity);
+}
+
+TEST(CostModelTest, JoinEstimateScalesWithBothCardinalities) {
+  Rng rng(4);
+  std::vector<std::vector<double>> sample;
+  for (int i = 0; i < 300; ++i) {
+    sample.push_back({rng.NextDouble(), rng.NextDouble()});
+  }
+  CostModel small = MakeModel(sample, 1000);
+  CostModel big = MakeModel(sample, 10000);
+  const CostEstimate e_small = small.EstimateJoin(small, 0.1);
+  const CostEstimate e_big = big.EstimateJoin(big, 0.1);
+  EXPECT_GT(e_big.distance_computations, e_small.distance_computations * 50);
+  EXPECT_GT(e_big.page_accesses, e_small.page_accesses);
+}
+
+TEST(CostModelTest, JoinEstimateGrowsWithEpsilon) {
+  Rng rng(5);
+  std::vector<std::vector<double>> sample;
+  for (int i = 0; i < 300; ++i) {
+    sample.push_back({rng.NextDouble(), rng.NextDouble()});
+  }
+  CostModel model = MakeModel(sample, 5000);
+  double prev = -1.0;
+  for (double eps : {0.02, 0.04, 0.08, 0.16}) {
+    const CostEstimate est = model.EstimateJoin(model, eps);
+    EXPECT_GE(est.distance_computations, prev);
+    prev = est.distance_computations;
+  }
+}
+
+TEST(CostModelIntegrationTest, KnnEstimateAccuracyOnRealIndex) {
+  // End-to-end Fig. 16-style check with a CI-friendly accuracy bar.
+  Dataset ds = MakeSynthetic(5000, 6);
+  SpbTreeOptions opts;
+  std::unique_ptr<SpbTree> tree;
+  ASSERT_TRUE(SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok());
+  double actual_sum = 0, est_sum = 0;
+  std::vector<Neighbor> result;
+  for (int t = 0; t < 25; ++t) {
+    const Blob& q = ds.objects[size_t(t) * 7];
+    est_sum += tree->EstimateKnnCost(q, 8).distance_computations;
+    QueryStats stats;
+    tree->FlushCaches();
+    ASSERT_TRUE(tree->KnnQuery(q, 8, &result, &stats).ok());
+    actual_sum += double(stats.distance_computations);
+  }
+  EXPECT_GT(est_sum, 0.3 * actual_sum);
+  EXPECT_LT(est_sum, 3.0 * actual_sum);
+}
+
+TEST(CostModelIntegrationTest, EstimatedRadiusBracketsTrueKnnDistance) {
+  Dataset ds = MakeSynthetic(4000, 7);
+  SpbTreeOptions opts;
+  std::unique_ptr<SpbTree> tree;
+  ASSERT_TRUE(SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok());
+  std::vector<Neighbor> result;
+  double err_sum = 0.0;
+  int n = 0;
+  for (int t = 0; t < 20; ++t) {
+    const Blob& q = ds.objects[size_t(t) * 11];
+    const double est = tree->EstimateKnnCost(q, 8).estimated_radius;
+    ASSERT_TRUE(tree->KnnQuery(q, 8, &result, nullptr).ok());
+    const double actual = result.back().distance;
+    if (actual > 0) {
+      err_sum += std::fabs(est - actual) / actual;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(err_sum / n, 1.0);  // average relative error under 100%
+}
+
+}  // namespace
+}  // namespace spb

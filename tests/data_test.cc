@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/datasets.h"
+
+namespace spb {
+namespace {
+
+class DatasetTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetTest, GeneratesRequestedCardinality) {
+  Dataset ds = MakeDatasetByName(GetParam(), 500, 42);
+  EXPECT_EQ(ds.objects.size(), 500u);
+  EXPECT_EQ(ds.name, GetParam());
+  ASSERT_NE(ds.metric, nullptr);
+}
+
+TEST_P(DatasetTest, DeterministicForSameSeed) {
+  Dataset a = MakeDatasetByName(GetParam(), 200, 42);
+  Dataset b = MakeDatasetByName(GetParam(), 200, 42);
+  EXPECT_EQ(a.objects, b.objects);
+}
+
+TEST_P(DatasetTest, DifferentSeedsProduceDifferentData) {
+  Dataset a = MakeDatasetByName(GetParam(), 200, 1);
+  Dataset b = MakeDatasetByName(GetParam(), 200, 2);
+  EXPECT_NE(a.objects, b.objects);
+}
+
+TEST_P(DatasetTest, DistancesRespectDPlus) {
+  Dataset ds = MakeDatasetByName(GetParam(), 300, 42);
+  for (size_t i = 0; i < 100; ++i) {
+    const double d =
+        ds.metric->Distance(ds.objects[i], ds.objects[i + 100]);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, ds.metric->max_distance() + 1e-9);
+  }
+}
+
+TEST_P(DatasetTest, NotAllObjectsIdentical) {
+  Dataset ds = MakeDatasetByName(GetParam(), 100, 42);
+  std::set<Blob> unique(ds.objects.begin(), ds.objects.end());
+  EXPECT_GT(unique.size(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetTest,
+                         ::testing::Values("words", "color", "dna",
+                                           "signature", "synthetic"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+TEST(DatasetShapeTest, WordsRespectLengthBounds) {
+  Dataset ds = MakeWords(2000, 7);
+  for (const Blob& w : ds.objects) {
+    EXPECT_GE(w.size(), 1u);
+    EXPECT_LE(w.size(), 34u);
+    for (uint8_t c : w) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(DatasetShapeTest, ColorVectorsAre16DInUnitCube) {
+  Dataset ds = MakeColor(500, 7);
+  for (const Blob& b : ds.objects) {
+    auto v = BlobToFloats(b);
+    ASSERT_EQ(v.size(), 16u);
+    for (float x : v) {
+      EXPECT_GE(x, 0.0f);
+      EXPECT_LE(x, 1.0f);
+    }
+  }
+}
+
+TEST(DatasetShapeTest, DnaReadsAreFixedLengthAcgt) {
+  Dataset ds = MakeDna(300, 7);
+  for (const Blob& b : ds.objects) {
+    ASSERT_EQ(b.size(), 108u);
+    for (uint8_t c : b) {
+      EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+    }
+  }
+}
+
+TEST(DatasetShapeTest, SignaturesAre64Symbols) {
+  Dataset ds = MakeSignature(300, 7);
+  for (const Blob& b : ds.objects) {
+    ASSERT_EQ(b.size(), 64u);
+    for (uint8_t c : b) EXPECT_LT(c, 16);
+  }
+}
+
+TEST(DatasetShapeTest, SyntheticDimensionIsConfigurable) {
+  Dataset ds = MakeSynthetic(100, 7, 32, 4);
+  for (const Blob& b : ds.objects) {
+    EXPECT_EQ(BlobToFloats(b).size(), 32u);
+  }
+}
+
+TEST(DatasetShapeTest, UnknownNameYieldsEmptyDataset) {
+  Dataset ds = MakeDatasetByName("bogus", 100, 7);
+  EXPECT_TRUE(ds.objects.empty());
+  EXPECT_EQ(ds.metric, nullptr);
+}
+
+}  // namespace
+}  // namespace spb

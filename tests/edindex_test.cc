@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/datasets.h"
+#include "edindex/ed_index.h"
+#include "join/join_common.h"
+
+namespace spb {
+namespace {
+
+std::set<JoinPair> ToSet(const std::vector<JoinPair>& v) {
+  return std::set<JoinPair>(v.begin(), v.end());
+}
+
+class EdIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    q_ = MakeWords(300, 61);
+    o_ = MakeWords(400, 62);
+  }
+
+  std::unique_ptr<EdIndex> Build(double eps, size_t levels = 4,
+                                 size_t pivots_per_level = 2) {
+    EdIndexOptions opts;
+    opts.epsilon_build = eps;
+    opts.num_levels = levels;
+    opts.pivots_per_level = pivots_per_level;
+    std::unique_ptr<EdIndex> index;
+    EXPECT_TRUE(
+        EdIndex::Build(q_.objects, o_.objects, q_.metric.get(), opts, &index)
+            .ok());
+    return index;
+  }
+
+  Dataset q_, o_;
+};
+
+TEST_F(EdIndexTest, JoinAtBuildEpsilonIsExact) {
+  auto index = Build(2.0);
+  std::vector<JoinPair> got;
+  ASSERT_TRUE(index->SimilarityJoin(2.0, &got).ok());
+  EXPECT_EQ(ToSet(got),
+            ToSet(NestedLoopJoin(q_.objects, o_.objects, *q_.metric, 2.0)));
+}
+
+TEST_F(EdIndexTest, JoinBelowBuildEpsilonIsExact) {
+  // The index built for eps supports any smaller threshold.
+  auto index = Build(3.0);
+  for (double eps : {1.0, 2.0, 3.0}) {
+    std::vector<JoinPair> got;
+    ASSERT_TRUE(index->SimilarityJoin(eps, &got).ok());
+    EXPECT_EQ(ToSet(got),
+              ToSet(NestedLoopJoin(q_.objects, o_.objects, *q_.metric, eps)))
+        << "eps=" << eps;
+  }
+}
+
+TEST_F(EdIndexTest, VariousLevelConfigurationsStayExact) {
+  for (size_t levels : {1u, 2u, 6u}) {
+    for (size_t m : {1u, 3u}) {
+      auto index = Build(2.0, levels, m);
+      std::vector<JoinPair> got;
+      ASSERT_TRUE(index->SimilarityJoin(2.0, &got).ok());
+      EXPECT_EQ(ToSet(got),
+                ToSet(NestedLoopJoin(q_.objects, o_.objects, *q_.metric,
+                                     2.0)))
+          << "levels=" << levels << " m=" << m;
+    }
+  }
+}
+
+TEST_F(EdIndexTest, RejectsZeroBuildEpsilon) {
+  EdIndexOptions opts;
+  opts.epsilon_build = 0.0;
+  std::unique_ptr<EdIndex> index;
+  EXPECT_FALSE(
+      EdIndex::Build(q_.objects, o_.objects, q_.metric.get(), opts, &index)
+          .ok());
+}
+
+TEST_F(EdIndexTest, RejectsInconsistentRho) {
+  EdIndexOptions opts;
+  opts.epsilon_build = 2.0;
+  opts.rho = 0.5;  // eps > 2 * rho: pairs could cross separable buckets
+  std::unique_ptr<EdIndex> index;
+  EXPECT_FALSE(
+      EdIndex::Build(q_.objects, o_.objects, q_.metric.get(), opts, &index)
+          .ok());
+}
+
+TEST_F(EdIndexTest, ConstructionCostIsTracked) {
+  auto index = Build(2.0);
+  EXPECT_GT(index->construction_stats().distance_computations, 0u);
+  EXPECT_GT(index->storage_bytes(), 0u);
+}
+
+TEST_F(EdIndexTest, EmptySetsJoinToEmpty) {
+  EdIndexOptions opts;
+  opts.epsilon_build = 2.0;
+  std::vector<Blob> empty;
+  std::unique_ptr<EdIndex> index;
+  ASSERT_TRUE(
+      EdIndex::Build(empty, empty, q_.metric.get(), opts, &index).ok());
+  std::vector<JoinPair> got;
+  ASSERT_TRUE(index->SimilarityJoin(1.0, &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(EdIndexTest, OneSidedEmptyJoinsToEmpty) {
+  EdIndexOptions opts;
+  opts.epsilon_build = 2.0;
+  std::vector<Blob> empty;
+  std::unique_ptr<EdIndex> index;
+  ASSERT_TRUE(
+      EdIndex::Build(q_.objects, empty, q_.metric.get(), opts, &index).ok());
+  std::vector<JoinPair> got;
+  ASSERT_TRUE(index->SimilarityJoin(2.0, &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(EdIndexTest, ContinuousMetricJoinIsExact) {
+  Dataset cq = MakeColor(300, 63);
+  Dataset co = MakeColor(300, 64);
+  const double eps = 0.05 * cq.metric->max_distance();
+  EdIndexOptions opts;
+  opts.epsilon_build = eps;
+  std::unique_ptr<EdIndex> index;
+  ASSERT_TRUE(
+      EdIndex::Build(cq.objects, co.objects, cq.metric.get(), opts, &index)
+          .ok());
+  std::vector<JoinPair> got;
+  ASSERT_TRUE(index->SimilarityJoin(eps, &got).ok());
+  EXPECT_EQ(ToSet(got),
+            ToSet(NestedLoopJoin(cq.objects, co.objects, *cq.metric, eps)));
+}
+
+}  // namespace
+}  // namespace spb

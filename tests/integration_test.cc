@@ -1,0 +1,256 @@
+// End-to-end scenarios across modules: mixed update/query workloads checked
+// against a reference model, joins over evolving indexes, and cross-MAM
+// result agreement.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "core/spb_tree.h"
+#include "data/datasets.h"
+#include "join/sja.h"
+#include "mindex/m_index.h"
+#include "mtree/mtree.h"
+#include "omni/omni_rtree.h"
+#include "pivots/selection.h"
+
+namespace spb {
+namespace {
+
+// Reference model: a plain map of live objects.
+class ReferenceStore {
+ public:
+  void Insert(ObjectId id, const Blob& obj) { live_[id] = obj; }
+  void Erase(ObjectId id) { live_.erase(id); }
+  bool contains(ObjectId id) const { return live_.count(id) > 0; }
+  size_t size() const { return live_.size(); }
+  const std::map<ObjectId, Blob>& live() const { return live_; }
+
+  std::set<ObjectId> Range(const Blob& q, double r,
+                           const DistanceFunction& metric) const {
+    std::set<ObjectId> out;
+    for (const auto& [id, obj] : live_) {
+      if (metric.Distance(q, obj) <= r) out.insert(id);
+    }
+    return out;
+  }
+
+  std::vector<double> KnnDistances(const Blob& q, size_t k,
+                                   const DistanceFunction& metric) const {
+    std::vector<double> d;
+    for (const auto& [id, obj] : live_) d.push_back(metric.Distance(q, obj));
+    std::sort(d.begin(), d.end());
+    d.resize(std::min(k, d.size()));
+    return d;
+  }
+
+ private:
+  std::map<ObjectId, Blob> live_;
+};
+
+TEST(IntegrationTest, RandomizedOperationSequenceMatchesReference) {
+  Dataset ds = MakeWords(1200, 91);
+  Dataset extra = MakeWords(2000, 92);
+  SpbTreeOptions opts;
+  std::unique_ptr<SpbTree> tree;
+  ASSERT_TRUE(SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok());
+
+  ReferenceStore ref;
+  for (size_t i = 0; i < ds.objects.size(); ++i) {
+    ref.Insert(ObjectId(i), ds.objects[i]);
+  }
+
+  Rng rng(93);
+  ObjectId next_id = ObjectId(ds.objects.size());
+  size_t extra_cursor = 0;
+  for (int round = 0; round < 400; ++round) {
+    const uint64_t op = rng.Uniform(10);
+    if (op < 3 && extra_cursor < extra.objects.size()) {
+      // Insert a new object.
+      const Blob& obj = extra.objects[extra_cursor++];
+      ASSERT_TRUE(tree->Insert(obj, next_id).ok());
+      ref.Insert(next_id, obj);
+      ++next_id;
+    } else if (op < 5 && ref.size() > 10) {
+      // Delete a random live object.
+      auto it = ref.live().begin();
+      std::advance(it, ptrdiff_t(rng.Uniform(ref.size())));
+      const ObjectId id = it->first;
+      const Blob obj = it->second;
+      bool found;
+      ASSERT_TRUE(tree->Delete(obj, id, &found).ok());
+      EXPECT_TRUE(found) << "id " << id;
+      ref.Erase(id);
+    } else if (op < 8) {
+      // Range query vs reference.
+      auto it = ref.live().begin();
+      std::advance(it, ptrdiff_t(rng.Uniform(ref.size())));
+      const double r = double(rng.Uniform(4));
+      std::vector<ObjectId> got;
+      ASSERT_TRUE(tree->RangeQuery(it->second, r, &got).ok());
+      EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()),
+                ref.Range(it->second, r, *ds.metric))
+          << "round " << round;
+    } else {
+      // kNN query vs reference (distances only; ties make ids ambiguous).
+      auto it = ref.live().begin();
+      std::advance(it, ptrdiff_t(rng.Uniform(ref.size())));
+      const size_t k = 1 + rng.Uniform(10);
+      std::vector<Neighbor> got;
+      ASSERT_TRUE(tree->KnnQuery(it->second, k, &got).ok());
+      const auto want = ref.KnnDistances(it->second, k, *ds.metric);
+      ASSERT_EQ(got.size(), want.size()) << "round " << round;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].distance, want[i], 1e-9) << "round " << round;
+      }
+    }
+  }
+  EXPECT_EQ(tree->size(), ref.size());
+  EXPECT_TRUE(tree->btree().CheckInvariants().ok());
+}
+
+TEST(IntegrationTest, JoinStaysExactAfterUpdatesOnBothSides) {
+  Dataset q = MakeWords(300, 94);
+  Dataset o = MakeWords(400, 95);
+  std::vector<Blob> combined = q.objects;
+  combined.insert(combined.end(), o.objects.begin(), o.objects.end());
+  PivotSelectionOptions popts;
+  popts.num_pivots = 5;
+  PivotTable pivots(
+      SelectPivots(PivotSelectorType::kHfi, combined, *q.metric, popts));
+  SpbTreeOptions opts;
+  opts.curve = CurveType::kZOrder;
+  std::unique_ptr<SpbTree> tq, to;
+  ASSERT_TRUE(
+      SpbTree::BuildWithPivots(q.objects, q.metric.get(), pivots, opts, &tq)
+          .ok());
+  ASSERT_TRUE(
+      SpbTree::BuildWithPivots(o.objects, o.metric.get(), pivots, opts, &to)
+          .ok());
+
+  // Mutate both sides: insert fresh objects, delete some originals.
+  Dataset q_extra = MakeWords(100, 96);
+  Dataset o_extra = MakeWords(100, 97);
+  for (size_t i = 0; i < q_extra.objects.size(); ++i) {
+    ASSERT_TRUE(
+        tq->Insert(q_extra.objects[i], ObjectId(q.objects.size() + i)).ok());
+  }
+  for (size_t i = 0; i < o_extra.objects.size(); ++i) {
+    ASSERT_TRUE(
+        to->Insert(o_extra.objects[i], ObjectId(o.objects.size() + i)).ok());
+  }
+  std::set<ObjectId> q_deleted, o_deleted;
+  for (size_t i = 0; i < q.objects.size(); i += 7) {
+    bool found;
+    ASSERT_TRUE(tq->Delete(q.objects[i], ObjectId(i), &found).ok());
+    ASSERT_TRUE(found);
+    q_deleted.insert(ObjectId(i));
+  }
+  for (size_t i = 0; i < o.objects.size(); i += 5) {
+    bool found;
+    ASSERT_TRUE(to->Delete(o.objects[i], ObjectId(i), &found).ok());
+    ASSERT_TRUE(found);
+    o_deleted.insert(ObjectId(i));
+  }
+
+  // Reference join over the live objects.
+  std::map<ObjectId, Blob> q_live, o_live;
+  for (size_t i = 0; i < q.objects.size(); ++i) {
+    if (!q_deleted.count(ObjectId(i))) q_live[ObjectId(i)] = q.objects[i];
+  }
+  for (size_t i = 0; i < q_extra.objects.size(); ++i) {
+    q_live[ObjectId(q.objects.size() + i)] = q_extra.objects[i];
+  }
+  for (size_t i = 0; i < o.objects.size(); ++i) {
+    if (!o_deleted.count(ObjectId(i))) o_live[ObjectId(i)] = o.objects[i];
+  }
+  for (size_t i = 0; i < o_extra.objects.size(); ++i) {
+    o_live[ObjectId(o.objects.size() + i)] = o_extra.objects[i];
+  }
+  const double eps = 2.0;
+  std::set<JoinPair> expected;
+  for (const auto& [qid, qobj] : q_live) {
+    for (const auto& [oid, oobj] : o_live) {
+      if (q.metric->Distance(qobj, oobj) <= eps) {
+        expected.insert(JoinPair{qid, oid});
+      }
+    }
+  }
+
+  std::vector<JoinPair> got;
+  ASSERT_TRUE(SimilarityJoinSJA(*tq, *to, eps, &got).ok());
+  EXPECT_EQ(std::set<JoinPair>(got.begin(), got.end()), expected);
+}
+
+TEST(IntegrationTest, AllFourMamsAgreeOnEveryQuery) {
+  Dataset ds = MakeSignature(900, 98);
+  SpbTreeOptions sopts;
+  std::unique_ptr<SpbTree> spb;
+  ASSERT_TRUE(SpbTree::Build(ds.objects, ds.metric.get(), sopts, &spb).ok());
+  MtreeOptions topts;
+  std::unique_ptr<MTree> mtree;
+  ASSERT_TRUE(MTree::Build(ds.objects, ds.metric.get(), topts, &mtree).ok());
+  OmniOptions oopts;
+  std::unique_ptr<OmniRTree> omni;
+  ASSERT_TRUE(
+      OmniRTree::Build(ds.objects, ds.metric.get(), oopts, &omni).ok());
+  MIndexOptions iopts;
+  std::unique_ptr<MIndex> mindex;
+  ASSERT_TRUE(
+      MIndex::Build(ds.objects, ds.metric.get(), iopts, &mindex).ok());
+
+  MetricIndex* mams[] = {spb.get(), mtree.get(), omni.get(), mindex.get()};
+  Rng rng(99);
+  for (int t = 0; t < 15; ++t) {
+    const Blob& q = ds.objects[rng.Uniform(ds.objects.size())];
+    const double r = 3.0 + double(rng.Uniform(8));
+    std::set<ObjectId> first;
+    for (size_t m = 0; m < 4; ++m) {
+      std::vector<ObjectId> got;
+      ASSERT_TRUE(mams[m]->RangeQuery(q, r, &got, nullptr).ok());
+      std::set<ObjectId> got_set(got.begin(), got.end());
+      if (m == 0) {
+        first = std::move(got_set);
+      } else {
+        EXPECT_EQ(got_set, first) << mams[m]->name() << " r=" << r;
+      }
+    }
+    std::vector<double> first_knn;
+    for (size_t m = 0; m < 4; ++m) {
+      std::vector<Neighbor> got;
+      ASSERT_TRUE(mams[m]->KnnQuery(q, 6, &got, nullptr).ok());
+      std::vector<double> dists;
+      for (const Neighbor& n : got) dists.push_back(n.distance);
+      if (m == 0) {
+        first_knn = std::move(dists);
+      } else {
+        ASSERT_EQ(dists.size(), first_knn.size());
+        for (size_t i = 0; i < dists.size(); ++i) {
+          EXPECT_NEAR(dists[i], first_knn[i], 1e-9) << mams[m]->name();
+        }
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, CountersAreConsistentAcrossQueries) {
+  Dataset ds = MakeColor(2000, 100);
+  SpbTreeOptions opts;
+  std::unique_ptr<SpbTree> tree;
+  ASSERT_TRUE(SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok());
+  tree->ResetCounters();
+  QueryStats s1, s2;
+  std::vector<Neighbor> result;
+  tree->FlushCaches();
+  ASSERT_TRUE(tree->KnnQuery(ds.objects[0], 8, &result, &s1).ok());
+  tree->FlushCaches();
+  ASSERT_TRUE(tree->KnnQuery(ds.objects[1], 8, &result, &s2).ok());
+  const QueryStats total = tree->cumulative_stats();
+  EXPECT_EQ(total.distance_computations,
+            s1.distance_computations + s2.distance_computations);
+  EXPECT_EQ(total.page_accesses, s1.page_accesses + s2.page_accesses);
+}
+
+}  // namespace
+}  // namespace spb

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/mapped_space.h"
+#include "data/datasets.h"
+#include "pivots/selection.h"
+
+namespace spb {
+namespace {
+
+class MappedSpaceTest : public ::testing::TestWithParam<CurveType> {
+ protected:
+  void SetUp() override {
+    ds_ = MakeColor(600, 33);
+    PivotSelectionOptions popts;
+    popts.num_pivots = 4;
+    PivotTable pivots(
+        SelectPivots(PivotSelectorType::kHfi, ds_.objects, *ds_.metric,
+                     popts));
+    space_ = std::make_unique<MappedSpace>(std::move(pivots), *ds_.metric,
+                                           0.005, GetParam());
+  }
+
+  Dataset ds_;
+  std::unique_ptr<MappedSpace> space_;
+};
+
+TEST_P(MappedSpaceTest, KeyRoundTripsThroughCurve) {
+  Rng rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const Blob& o = ds_.objects[rng.Uniform(ds_.objects.size())];
+    const auto phi = space_->Phi(o, *ds_.metric);
+    const auto cells = space_->ToCells(phi);
+    const uint64_t key = space_->KeyFor(phi);
+    std::vector<uint32_t> back;
+    space_->curve().Decode(key, &back);
+    EXPECT_EQ(back, cells);
+  }
+}
+
+TEST_P(MappedSpaceTest, LowerBoundToCellNeverExceedsTrueDistance) {
+  // The soundness property every pruning lemma rests on.
+  Rng rng(2);
+  for (int t = 0; t < 500; ++t) {
+    const Blob& q = ds_.objects[rng.Uniform(ds_.objects.size())];
+    const Blob& o = ds_.objects[rng.Uniform(ds_.objects.size())];
+    const auto phi_q = space_->Phi(q, *ds_.metric);
+    const auto cells_o = space_->ToCells(space_->Phi(o, *ds_.metric));
+    const double lb = space_->LowerBoundToCell(phi_q, cells_o);
+    EXPECT_LE(lb, ds_.metric->Distance(q, o) + 1e-9);
+  }
+}
+
+TEST_P(MappedSpaceTest, RangeRegionContainsAllQualifyingObjects) {
+  // Lemma 1 at the cell level: no false dismissal for any radius.
+  Rng rng(3);
+  for (double frac : {0.01, 0.05, 0.2}) {
+    const double r = frac * ds_.metric->max_distance();
+    for (int t = 0; t < 60; ++t) {
+      const Blob& q = ds_.objects[rng.Uniform(ds_.objects.size())];
+      const auto phi_q = space_->Phi(q, *ds_.metric);
+      std::vector<uint32_t> lo, hi;
+      space_->RangeRegion(phi_q, r, &lo, &hi);
+      for (int j = 0; j < 20; ++j) {
+        const Blob& o = ds_.objects[rng.Uniform(ds_.objects.size())];
+        if (ds_.metric->Distance(q, o) > r) continue;
+        const auto cells = space_->ToCells(space_->Phi(o, *ds_.metric));
+        EXPECT_TRUE(MappedSpace::CellInBox(cells, lo, hi));
+      }
+    }
+  }
+}
+
+TEST_P(MappedSpaceTest, GuaranteedWithinIsSound) {
+  // Lemma 2: when the shortcut fires, the object really is within r.
+  Rng rng(4);
+  int fired = 0;
+  for (int t = 0; t < 3000; ++t) {
+    const Blob& q = ds_.objects[rng.Uniform(ds_.objects.size())];
+    const Blob& o = ds_.objects[rng.Uniform(ds_.objects.size())];
+    const double r = rng.NextDouble() * ds_.metric->max_distance();
+    const auto phi_q = space_->Phi(q, *ds_.metric);
+    const auto cells_o = space_->ToCells(space_->Phi(o, *ds_.metric));
+    if (space_->GuaranteedWithin(phi_q, cells_o, r)) {
+      ++fired;
+      EXPECT_LE(ds_.metric->Distance(q, o), r + 1e-9);
+    }
+  }
+  EXPECT_GT(fired, 0) << "shortcut never fired; test is vacuous";
+}
+
+TEST_P(MappedSpaceTest, LowerBoundToBoxBoundsCellBound) {
+  // Box bound must never exceed the bound of any cell inside the box.
+  Rng rng(5);
+  const size_t dims = space_->dims();
+  for (int t = 0; t < 300; ++t) {
+    const Blob& q = ds_.objects[rng.Uniform(ds_.objects.size())];
+    const auto phi_q = space_->Phi(q, *ds_.metric);
+    std::vector<uint32_t> lo(dims), hi(dims), cell(dims);
+    const uint32_t m = space_->discretizer().max_cell();
+    for (size_t i = 0; i < dims; ++i) {
+      lo[i] = uint32_t(rng.Uniform(m));
+      hi[i] = lo[i] + uint32_t(rng.Uniform(m - lo[i] + 1));
+      cell[i] = lo[i] + uint32_t(rng.Uniform(hi[i] - lo[i] + 1));
+    }
+    EXPECT_LE(space_->LowerBoundToBox(phi_q, lo, hi),
+              space_->LowerBoundToCell(phi_q, cell) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCurves, MappedSpaceTest,
+                         ::testing::Values(CurveType::kHilbert,
+                                           CurveType::kZOrder),
+                         [](const ::testing::TestParamInfo<CurveType>& i) {
+                           return i.param == CurveType::kHilbert ? "Hilbert"
+                                                                 : "ZOrder";
+                         });
+
+TEST(BoxOpsTest, IntersectContainBasics) {
+  using V = std::vector<uint32_t>;
+  EXPECT_TRUE(MappedSpace::BoxesIntersect(V{0, 0}, V{5, 5}, V{5, 5}, V{9, 9}));
+  EXPECT_FALSE(MappedSpace::BoxesIntersect(V{0, 0}, V{4, 4}, V{5, 5}, V{9, 9}));
+  EXPECT_TRUE(MappedSpace::BoxContains(V{0, 0}, V{9, 9}, V{2, 3}, V{4, 5}));
+  EXPECT_FALSE(MappedSpace::BoxContains(V{0, 0}, V{9, 9}, V{2, 3}, V{4, 10}));
+  V lo, hi;
+  EXPECT_TRUE(
+      MappedSpace::IntersectBoxes(V{0, 2}, V{6, 8}, V{3, 0}, V{9, 5}, &lo,
+                                  &hi));
+  EXPECT_EQ(lo, (V{3, 2}));
+  EXPECT_EQ(hi, (V{6, 5}));
+  EXPECT_FALSE(
+      MappedSpace::IntersectBoxes(V{0, 0}, V{2, 2}, V{3, 3}, V{9, 9}, &lo,
+                                  &hi));
+}
+
+TEST(SfcBitsTest, RespectsKeyBudget) {
+  EXPECT_EQ(SfcBitsFor(1, 256), 8);
+  EXPECT_EQ(SfcBitsFor(5, 349), 9);    // paper default: 5 pivots, ~349 cells
+  EXPECT_EQ(SfcBitsFor(9, 1u << 20), 7);  // clamped: 9 * 7 = 63 <= 64
+  EXPECT_EQ(SfcBitsFor(2, 2), 1);
+  for (size_t p = 1; p <= 12; ++p) {
+    EXPECT_LE(size_t(SfcBitsFor(p, 1u << 30)) * p, 64u) << p;
+  }
+}
+
+TEST(MappedSpaceCoarsenTest, TooFineGridIsCoarsenedSafely) {
+  // 9 pivots cannot afford 2^20 cells/dim; the grid must coarsen, and
+  // pruning must remain sound.
+  Dataset ds = MakeColor(300, 44);
+  PivotSelectionOptions popts;
+  popts.num_pivots = 9;
+  PivotTable pivots(
+      SelectPivots(PivotSelectorType::kHfi, ds.objects, *ds.metric, popts));
+  MappedSpace space(std::move(pivots), *ds.metric, /*delta=*/1e-7,
+                    CurveType::kHilbert);
+  EXPECT_LE(space.discretizer().num_cells(), 1u << space.curve().bits());
+  Rng rng(6);
+  for (int t = 0; t < 200; ++t) {
+    const Blob& q = ds.objects[rng.Uniform(ds.objects.size())];
+    const Blob& o = ds.objects[rng.Uniform(ds.objects.size())];
+    const auto phi_q = space.Phi(q, *ds.metric);
+    const auto cells = space.ToCells(space.Phi(o, *ds.metric));
+    EXPECT_LE(space.LowerBoundToCell(phi_q, cells),
+              ds.metric->Distance(q, o) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace spb

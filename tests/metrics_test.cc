@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "metrics/discretizer.h"
+#include "metrics/distance.h"
+#include "metrics/edit_distance.h"
+#include "metrics/hamming.h"
+#include "metrics/lp_norm.h"
+#include "metrics/trigram_cosine.h"
+
+namespace spb {
+namespace {
+
+// ------------------------------------------------------------ known values
+
+TEST(EditDistanceTest, PaperExampleDefoliate) {
+  EditDistance d(34);
+  EXPECT_EQ(d.Distance(BlobFromString("defoliate"), BlobFromString("defoliates")), 1.0);
+  EXPECT_EQ(d.Distance(BlobFromString("defoliate"), BlobFromString("defoliated")), 1.0);
+  EXPECT_EQ(d.Distance(BlobFromString("defoliate"), BlobFromString("defoliation")), 3.0);
+  EXPECT_GT(d.Distance(BlobFromString("defoliate"), BlobFromString("citrate")), 1.0);
+}
+
+TEST(EditDistanceTest, ClassicPairs) {
+  EditDistance d(34);
+  EXPECT_EQ(d.Distance(BlobFromString("kitten"), BlobFromString("sitting")), 3.0);
+  EXPECT_EQ(d.Distance(BlobFromString("flaw"), BlobFromString("lawn")), 2.0);
+  EXPECT_EQ(d.Distance(BlobFromString("abc"), BlobFromString("abc")), 0.0);
+  EXPECT_EQ(d.Distance(BlobFromString(""), BlobFromString("abc")), 3.0);
+  EXPECT_EQ(d.Distance(BlobFromString("abc"), BlobFromString("")), 3.0);
+}
+
+TEST(EditDistanceTest, IsDiscreteWithMaxLenDPlus) {
+  EditDistance d(34);
+  EXPECT_TRUE(d.is_discrete());
+  EXPECT_EQ(d.max_distance(), 34.0);
+}
+
+TEST(LpNormTest, L2KnownValue) {
+  LpNorm d(2, 2.0);
+  Blob a = BlobFromFloats({0.0f, 0.0f});
+  Blob b = BlobFromFloats({3.0f, 4.0f});
+  EXPECT_DOUBLE_EQ(d.Distance(a, b), 5.0);
+}
+
+TEST(LpNormTest, L1KnownValue) {
+  LpNorm d(3, 1.0);
+  EXPECT_DOUBLE_EQ(d.Distance(BlobFromFloats({1, 2, 3}), BlobFromFloats({2, 4, 1})), 5.0);
+}
+
+TEST(LpNormTest, LinfKnownValue) {
+  LpNorm d(3, LpNorm::kInfinity);
+  EXPECT_DOUBLE_EQ(d.Distance(BlobFromFloats({1, 2, 3}), BlobFromFloats({2, 4, 1})), 2.0);
+}
+
+TEST(LpNormTest, L5KnownValue) {
+  LpNorm d(2, 5.0);
+  const double got = d.Distance(BlobFromFloats({0, 0}), BlobFromFloats({1, 1}));
+  EXPECT_NEAR(got, std::pow(2.0, 1.0 / 5.0), 1e-9);
+}
+
+TEST(LpNormTest, MaxDistanceMatchesUnitCubeDiagonal) {
+  LpNorm l2(16, 2.0, 1.0);
+  EXPECT_NEAR(l2.max_distance(), 4.0, 1e-12);  // sqrt(16)
+  LpNorm linf(16, LpNorm::kInfinity, 1.0);
+  EXPECT_DOUBLE_EQ(linf.max_distance(), 1.0);
+}
+
+TEST(HammingTest, KnownValues) {
+  Hamming d(8);
+  Blob a = {1, 2, 3, 4, 5, 6, 7, 8};
+  Blob b = {1, 2, 0, 4, 0, 6, 7, 0};
+  EXPECT_EQ(d.Distance(a, b), 3.0);
+  EXPECT_EQ(d.Distance(a, a), 0.0);
+  EXPECT_EQ(d.max_distance(), 8.0);
+  EXPECT_TRUE(d.is_discrete());
+}
+
+TEST(HammingTest, UnequalLengthsCountTailAsDifferences) {
+  Hamming d(8);
+  Blob a = {1, 2, 3, 4};
+  Blob b = {1, 2};
+  EXPECT_EQ(d.Distance(a, b), 2.0);
+  EXPECT_EQ(d.Distance(b, a), 2.0);
+}
+
+TEST(TrigramCosineTest, IdenticalSequencesAtZero) {
+  TrigramCosine d;
+  Blob a = BlobFromString("ACGTACGTACGT");
+  EXPECT_NEAR(d.Distance(a, a), 0.0, 1e-6);
+}
+
+TEST(TrigramCosineTest, DisjointTrigramsAtMax) {
+  TrigramCosine d;
+  Blob a = BlobFromString("AAAAAAAA");  // only trigram AAA
+  Blob b = BlobFromString("CCCCCCCC");  // only trigram CCC
+  EXPECT_NEAR(d.Distance(a, b), d.max_distance(), 1e-9);
+}
+
+TEST(TrigramCosineTest, TrigramCountsCorrect) {
+  // "ACGT" has trigrams ACG (0*16+1*4+2=6) and CGT (1*16+2*4+3=27).
+  auto counts = TrigramCosine::TrigramCounts(BlobFromString("ACGT"));
+  EXPECT_EQ(counts[6], 1u);
+  EXPECT_EQ(counts[27], 1u);
+  uint32_t total = 0;
+  for (uint32_t c : counts) total += c;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(TrigramCosineTest, ShortSequencesHandled) {
+  TrigramCosine d;
+  Blob empty;
+  Blob tiny = BlobFromString("AC");
+  Blob normal = BlobFromString("ACGTACGT");
+  EXPECT_EQ(d.Distance(empty, empty), 0.0);
+  EXPECT_EQ(d.Distance(tiny, tiny), 0.0);  // both have zero vectors
+  EXPECT_EQ(d.Distance(tiny, normal), d.max_distance());
+}
+
+TEST(CountingDistanceTest, CountsEveryCall) {
+  EditDistance base(34);
+  CountingDistance d(&base);
+  EXPECT_EQ(d.count(), 0u);
+  d.Distance(BlobFromString("a"), BlobFromString("b"));
+  d.Distance(BlobFromString("a"), BlobFromString("c"));
+  EXPECT_EQ(d.count(), 2u);
+  d.Reset();
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.name(), base.name());
+  EXPECT_EQ(d.max_distance(), base.max_distance());
+}
+
+// ------------------------------------------------- metric axioms (property)
+
+struct MetricCase {
+  std::string label;
+  std::shared_ptr<DistanceFunction> metric;
+  std::function<Blob(Rng&)> gen;
+};
+
+std::vector<MetricCase> AllMetricCases() {
+  auto random_word = [](Rng& rng) {
+    Blob b(1 + rng.Uniform(15));
+    for (auto& c : b) c = uint8_t('a' + rng.Uniform(26));
+    return b;
+  };
+  auto random_vec16 = [](Rng& rng) {
+    std::vector<float> v(16);
+    for (auto& x : v) x = float(rng.NextDouble());
+    return BlobFromFloats(v);
+  };
+  auto random_sig = [](Rng& rng) {
+    Blob b(64);
+    for (auto& c : b) c = uint8_t(rng.Uniform(16));
+    return b;
+  };
+  auto random_dna = [](Rng& rng) {
+    static const char kBases[] = "ACGT";
+    Blob b(40);
+    for (auto& c : b) c = uint8_t(kBases[rng.Uniform(4)]);
+    return b;
+  };
+  return {
+      {"edit", std::make_shared<EditDistance>(16), random_word},
+      {"L1", std::make_shared<LpNorm>(16, 1.0), random_vec16},
+      {"L2", std::make_shared<LpNorm>(16, 2.0), random_vec16},
+      {"L5", std::make_shared<LpNorm>(16, 5.0), random_vec16},
+      {"Linf", std::make_shared<LpNorm>(16, LpNorm::kInfinity), random_vec16},
+      {"hamming", std::make_shared<Hamming>(64), random_sig},
+      {"trigram", std::make_shared<TrigramCosine>(), random_dna},
+  };
+}
+
+class MetricAxiomsTest : public ::testing::TestWithParam<MetricCase> {};
+
+TEST_P(MetricAxiomsTest, SymmetryOnRandomPairs) {
+  const auto& c = GetParam();
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    Blob a = c.gen(rng), b = c.gen(rng);
+    EXPECT_NEAR(c.metric->Distance(a, b), c.metric->Distance(b, a), 1e-9);
+  }
+}
+
+TEST_P(MetricAxiomsTest, IdentityOfIndiscernibles) {
+  const auto& c = GetParam();
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    Blob a = c.gen(rng);
+    EXPECT_NEAR(c.metric->Distance(a, a), 0.0, 1e-6);
+  }
+}
+
+TEST_P(MetricAxiomsTest, NonNegativityAndBoundedByDPlus) {
+  const auto& c = GetParam();
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    Blob a = c.gen(rng), b = c.gen(rng);
+    const double d = c.metric->Distance(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, c.metric->max_distance() + 1e-9);
+  }
+}
+
+TEST_P(MetricAxiomsTest, TriangleInequalityOnRandomTriples) {
+  const auto& c = GetParam();
+  Rng rng(14);
+  for (int i = 0; i < 300; ++i) {
+    Blob a = c.gen(rng), b = c.gen(rng), p = c.gen(rng);
+    const double ab = c.metric->Distance(a, b);
+    const double ap = c.metric->Distance(a, p);
+    const double pb = c.metric->Distance(p, b);
+    EXPECT_LE(ab, ap + pb + 1e-9) << c.label << " violates triangle ineq";
+    // The pivot lower bound the whole paper rests on:
+    EXPECT_GE(ab, std::fabs(ap - pb) - 1e-9);
+  }
+}
+
+TEST_P(MetricAxiomsTest, DiscreteMetricsReturnIntegers) {
+  const auto& c = GetParam();
+  if (!c.metric->is_discrete()) GTEST_SKIP();
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    const double d = c.metric->Distance(c.gen(rng), c.gen(rng));
+    EXPECT_DOUBLE_EQ(d, std::round(d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxiomsTest,
+                         ::testing::ValuesIn(AllMetricCases()),
+                         [](const ::testing::TestParamInfo<MetricCase>& info) {
+                           return info.param.label;
+                         });
+
+// ------------------------------------------------------------- Discretizer
+
+TEST(DiscretizerTest, DiscreteMetricCellsAreExact) {
+  Discretizer d(34.0, /*discrete=*/true, 1.0);
+  EXPECT_EQ(d.num_cells(), 35u);
+  EXPECT_EQ(d.ToCell(0.0), 0u);
+  EXPECT_EQ(d.ToCell(7.0), 7u);
+  EXPECT_EQ(d.ToCell(34.0), 34u);
+  EXPECT_DOUBLE_EQ(d.CellLow(7), 7.0);
+  EXPECT_DOUBLE_EQ(d.CellHigh(7), 7.0);
+}
+
+TEST(DiscretizerTest, ContinuousCellsCoverIntervals) {
+  Discretizer d(1.0, /*discrete=*/false, 0.1);
+  EXPECT_EQ(d.ToCell(0.05), 0u);
+  EXPECT_EQ(d.ToCell(0.1), 1u);
+  EXPECT_EQ(d.ToCell(0.95), 9u);
+  EXPECT_EQ(d.ToCell(1.0), 10u);
+  EXPECT_EQ(d.ToCell(5.0), d.max_cell());  // clamped
+  EXPECT_DOUBLE_EQ(d.CellLow(3), 0.3);
+  EXPECT_DOUBLE_EQ(d.CellHigh(3), 0.4);
+}
+
+TEST(DiscretizerTest, CellRangeDiscrete) {
+  Discretizer d(34.0, true, 1.0);
+  uint32_t lo, hi;
+  ASSERT_TRUE(d.CellRange(2.0, 5.0, &lo, &hi));
+  EXPECT_EQ(lo, 2u);
+  EXPECT_EQ(hi, 5u);
+  ASSERT_TRUE(d.CellRange(-3.0, 1.0, &lo, &hi));
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 1u);
+  EXPECT_FALSE(d.CellRange(1.0, -1.0, &lo, &hi));
+}
+
+TEST(DiscretizerTest, CellRangeContinuousIncludesStraddlingCells) {
+  Discretizer d(1.0, false, 0.1);
+  uint32_t lo, hi;
+  // [0.25, 0.55]: cell 2 = [0.2,0.3) straddles 0.25 -> included.
+  ASSERT_TRUE(d.CellRange(0.25, 0.55, &lo, &hi));
+  EXPECT_EQ(lo, 2u);
+  EXPECT_EQ(hi, 5u);
+}
+
+TEST(DiscretizerTest, LowerBoundNeverExceedsTrueDifference) {
+  // Property: for random q and distances x, the cell-interval lower bound of
+  // |q - x| never exceeds the true value (no false dismissal).
+  Rng rng(22);
+  for (double delta : {0.001, 0.005, 0.05}) {
+    Discretizer d(1.0, false, delta);
+    for (int i = 0; i < 2000; ++i) {
+      const double q = rng.NextDouble();
+      const double x = rng.NextDouble();
+      const uint32_t g = d.ToCell(x);
+      EXPECT_LE(d.LowerBound(q, g), std::fabs(q - x) + 1e-9);
+      EXPECT_GE(d.UpperBound(g) + 1e-9, x);
+    }
+  }
+}
+
+TEST(DiscretizerTest, CellRangeCoversAllQualifyingValues) {
+  // Property: any x with |q - x| <= r must land in a cell inside
+  // CellRange(q - r, q + r).
+  Rng rng(23);
+  Discretizer d(1.0, false, 0.005);
+  for (int i = 0; i < 2000; ++i) {
+    const double q = rng.NextDouble();
+    const double r = rng.NextDouble() * 0.3;
+    const double x = rng.NextDouble();
+    if (std::fabs(q - x) > r) continue;
+    uint32_t lo, hi;
+    ASSERT_TRUE(d.CellRange(q - r, q + r, &lo, &hi));
+    const uint32_t g = d.ToCell(x);
+    EXPECT_GE(g, lo);
+    EXPECT_LE(g, hi);
+  }
+}
+
+}  // namespace
+}  // namespace spb

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/rng.h"
+#include "core/spb_tree.h"
+#include "data/datasets.h"
+
+namespace spb {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SpbPersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "spb_persist_test").string();
+    fs::remove_all(dir_);
+    ds_ = MakeWords(2000, 21);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::unique_ptr<SpbTree> BuildOnDisk() {
+    SpbTreeOptions opts;
+    opts.storage_dir = dir_;
+    std::unique_ptr<SpbTree> tree;
+    EXPECT_TRUE(
+        SpbTree::Build(ds_.objects, ds_.metric.get(), opts, &tree).ok());
+    return tree;
+  }
+
+  std::set<ObjectId> BruteRange(const Blob& q, double r) {
+    std::set<ObjectId> out;
+    for (size_t i = 0; i < ds_.objects.size(); ++i) {
+      if (ds_.metric->Distance(q, ds_.objects[i]) <= r) {
+        out.insert(ObjectId(i));
+      }
+    }
+    return out;
+  }
+
+  std::string dir_;
+  Dataset ds_;
+};
+
+TEST_F(SpbPersistenceTest, SaveThenOpenAnswersIdenticalQueries) {
+  std::vector<ObjectId> before_range;
+  std::vector<Neighbor> before_knn;
+  {
+    auto tree = BuildOnDisk();
+    ASSERT_TRUE(tree->Save().ok());
+    ASSERT_TRUE(tree->RangeQuery(ds_.objects[3], 2.0, &before_range).ok());
+    ASSERT_TRUE(tree->KnnQuery(ds_.objects[3], 7, &before_knn).ok());
+  }
+  std::unique_ptr<SpbTree> reopened;
+  SpbTreeOptions opts;
+  ASSERT_TRUE(
+      SpbTree::Open(dir_, ds_.metric.get(), opts, &reopened).ok());
+  EXPECT_EQ(reopened->size(), ds_.objects.size());
+
+  std::vector<ObjectId> after_range;
+  std::vector<Neighbor> after_knn;
+  ASSERT_TRUE(reopened->RangeQuery(ds_.objects[3], 2.0, &after_range).ok());
+  ASSERT_TRUE(reopened->KnnQuery(ds_.objects[3], 7, &after_knn).ok());
+  EXPECT_EQ(std::set<ObjectId>(before_range.begin(), before_range.end()),
+            std::set<ObjectId>(after_range.begin(), after_range.end()));
+  ASSERT_EQ(before_knn.size(), after_knn.size());
+  for (size_t i = 0; i < before_knn.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before_knn[i].distance, after_knn[i].distance);
+  }
+}
+
+TEST_F(SpbPersistenceTest, ReopenedIndexMatchesBruteForce) {
+  {
+    auto tree = BuildOnDisk();
+    ASSERT_TRUE(tree->Save().ok());
+  }
+  std::unique_ptr<SpbTree> tree;
+  SpbTreeOptions opts;
+  ASSERT_TRUE(SpbTree::Open(dir_, ds_.metric.get(), opts, &tree).ok());
+  Rng rng(4);
+  for (int t = 0; t < 10; ++t) {
+    const Blob& q = ds_.objects[rng.Uniform(ds_.objects.size())];
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree->RangeQuery(q, 2.0, &got).ok());
+    EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()), BruteRange(q, 2.0));
+  }
+  EXPECT_TRUE(tree->CheckIntegrity().ok());
+}
+
+TEST_F(SpbPersistenceTest, ReopenedIndexSupportsUpdates) {
+  {
+    auto tree = BuildOnDisk();
+    ASSERT_TRUE(tree->Save().ok());
+  }
+  std::unique_ptr<SpbTree> tree;
+  SpbTreeOptions opts;
+  ASSERT_TRUE(SpbTree::Open(dir_, ds_.metric.get(), opts, &tree).ok());
+  ASSERT_TRUE(
+      tree->Insert(BlobFromString("persistedword"),
+                   ObjectId(ds_.objects.size()))
+          .ok());
+  std::vector<ObjectId> got;
+  ASSERT_TRUE(tree->RangeQuery(BlobFromString("persistedword"), 0.0, &got)
+                  .ok());
+  EXPECT_TRUE(std::find(got.begin(), got.end(),
+                        ObjectId(ds_.objects.size())) != got.end());
+
+  // Save again and reopen: the update must survive.
+  ASSERT_TRUE(tree->Save().ok());
+  tree.reset();
+  ASSERT_TRUE(SpbTree::Open(dir_, ds_.metric.get(), opts, &tree).ok());
+  EXPECT_EQ(tree->size(), ds_.objects.size() + 1);
+  ASSERT_TRUE(tree->RangeQuery(BlobFromString("persistedword"), 0.0, &got)
+                  .ok());
+  EXPECT_FALSE(got.empty());
+}
+
+TEST_F(SpbPersistenceTest, CostModelSurvivesReopen) {
+  CostEstimate before;
+  {
+    auto tree = BuildOnDisk();
+    ASSERT_TRUE(tree->Save().ok());
+    before = tree->EstimateKnnCost(ds_.objects[5], 8);
+  }
+  std::unique_ptr<SpbTree> tree;
+  SpbTreeOptions opts;
+  ASSERT_TRUE(SpbTree::Open(dir_, ds_.metric.get(), opts, &tree).ok());
+  const CostEstimate after = tree->EstimateKnnCost(ds_.objects[5], 8);
+  EXPECT_DOUBLE_EQ(before.distance_computations, after.distance_computations);
+  EXPECT_DOUBLE_EQ(before.estimated_radius, after.estimated_radius);
+}
+
+TEST_F(SpbPersistenceTest, SaveRequiresDiskBacking) {
+  SpbTreeOptions opts;  // in-memory
+  std::unique_ptr<SpbTree> tree;
+  ASSERT_TRUE(SpbTree::Build(ds_.objects, ds_.metric.get(), opts, &tree).ok());
+  EXPECT_FALSE(tree->Save().ok());
+}
+
+TEST_F(SpbPersistenceTest, OpenMissingDirectoryFails) {
+  std::unique_ptr<SpbTree> tree;
+  SpbTreeOptions opts;
+  EXPECT_FALSE(
+      SpbTree::Open("/nonexistent/spb", ds_.metric.get(), opts, &tree).ok());
+}
+
+TEST_F(SpbPersistenceTest, CorruptedMetaMagicIsRejected) {
+  {
+    auto tree = BuildOnDisk();
+    ASSERT_TRUE(tree->Save().ok());
+  }
+  // Flip the magic in meta.spb.
+  std::FILE* f = std::fopen((dir_ + "/meta.spb").c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  const char garbage[8] = {'X', 'X', 'X', 'X', 'X', 'X', 'X', 'X'};
+  ASSERT_EQ(std::fwrite(garbage, 1, 8, f), 8u);
+  std::fclose(f);
+  std::unique_ptr<SpbTree> tree;
+  SpbTreeOptions opts;
+  const Status s = SpbTree::Open(dir_, ds_.metric.get(), opts, &tree);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kCorruption);
+}
+
+TEST_F(SpbPersistenceTest, TruncatedMetaIsRejected) {
+  {
+    auto tree = BuildOnDisk();
+    ASSERT_TRUE(tree->Save().ok());
+  }
+  // Truncate meta.spb to one page: the declared length exceeds the data.
+  fs::resize_file(dir_ + "/meta.spb", kPageSize);
+  std::unique_ptr<SpbTree> tree;
+  SpbTreeOptions opts;
+  EXPECT_FALSE(SpbTree::Open(dir_, ds_.metric.get(), opts, &tree).ok());
+}
+
+TEST_F(SpbPersistenceTest, CorruptedBtreeMagicIsRejected) {
+  {
+    auto tree = BuildOnDisk();
+    ASSERT_TRUE(tree->Save().ok());
+  }
+  std::FILE* f = std::fopen((dir_ + "/btree.spb").c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  const char garbage[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  ASSERT_EQ(std::fwrite(garbage, 1, 8, f), 8u);
+  std::fclose(f);
+  std::unique_ptr<SpbTree> tree;
+  SpbTreeOptions opts;
+  EXPECT_FALSE(SpbTree::Open(dir_, ds_.metric.get(), opts, &tree).ok());
+}
+
+TEST_F(SpbPersistenceTest, NonPageAlignedFileIsRejected) {
+  {
+    auto tree = BuildOnDisk();
+    ASSERT_TRUE(tree->Save().ok());
+  }
+  fs::resize_file(dir_ + "/raf.spb", fs::file_size(dir_ + "/raf.spb") - 100);
+  std::unique_ptr<SpbTree> tree;
+  SpbTreeOptions opts;
+  EXPECT_FALSE(SpbTree::Open(dir_, ds_.metric.get(), opts, &tree).ok());
+}
+
+TEST_F(SpbPersistenceTest, ContinuousMetricIndexPersists) {
+  Dataset color = MakeColor(1500, 8);
+  const std::string cdir =
+      (fs::temp_directory_path() / "spb_persist_color").string();
+  fs::remove_all(cdir);
+  {
+    SpbTreeOptions opts;
+    opts.storage_dir = cdir;
+    opts.delta = 0.003;
+    std::unique_ptr<SpbTree> tree;
+    ASSERT_TRUE(
+        SpbTree::Build(color.objects, color.metric.get(), opts, &tree).ok());
+    ASSERT_TRUE(tree->Save().ok());
+  }
+  std::unique_ptr<SpbTree> tree;
+  SpbTreeOptions opts;
+  ASSERT_TRUE(SpbTree::Open(cdir, color.metric.get(), opts, &tree).ok());
+  // delta restored from meta, not from the (default) runtime options.
+  EXPECT_DOUBLE_EQ(tree->options().delta, 0.003);
+  std::vector<Neighbor> knn;
+  ASSERT_TRUE(tree->KnnQuery(color.objects[0], 5, &knn).ok());
+  ASSERT_EQ(knn.size(), 5u);
+  EXPECT_NEAR(knn[0].distance, 0.0, 1e-9);
+  fs::remove_all(cdir);
+}
+
+}  // namespace
+}  // namespace spb

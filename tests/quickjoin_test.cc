@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/datasets.h"
+#include "join/quickjoin.h"
+
+namespace spb {
+namespace {
+
+std::set<JoinPair> ToSet(const std::vector<JoinPair>& v) {
+  return std::set<JoinPair>(v.begin(), v.end());
+}
+
+TEST(QuickjoinTest, ThresholdOneForcesDeepRecursion) {
+  // small_threshold = 1 exercises every partition path; results must still
+  // be exact.
+  Dataset q = MakeWords(200, 71);
+  Dataset o = MakeWords(250, 72);
+  Quickjoin qj(q.metric.get(), /*small_threshold=*/1);
+  EXPECT_EQ(ToSet(qj.Join(q.objects, o.objects, 2.0)),
+            ToSet(NestedLoopJoin(q.objects, o.objects, *q.metric, 2.0)));
+}
+
+TEST(QuickjoinTest, HugeThresholdDegeneratesToNestedLoop) {
+  Dataset q = MakeWords(100, 73);
+  Dataset o = MakeWords(100, 74);
+  Quickjoin qj(q.metric.get(), /*small_threshold=*/100000);
+  QueryStats stats;
+  auto got = qj.Join(q.objects, o.objects, 2.0, &stats);
+  EXPECT_EQ(ToSet(got),
+            ToSet(NestedLoopJoin(q.objects, o.objects, *q.metric, 2.0)));
+  // Pure nested loop over cross pairs only.
+  EXPECT_EQ(stats.distance_computations, 100u * 100u);
+}
+
+TEST(QuickjoinTest, ManyDuplicateObjectsDoNotDegenerate) {
+  // Degenerate ball partitions (identical objects) must hit the depth guard,
+  // not loop forever, and stay exact.
+  std::vector<Blob> q(120, BlobFromString("same"));
+  std::vector<Blob> o(130, BlobFromString("same"));
+  Dataset ref = MakeWords(1, 1);  // for the metric
+  Quickjoin qj(ref.metric.get());
+  auto got = qj.Join(q, o, 0.0);
+  EXPECT_EQ(got.size(), 120u * 130u);
+}
+
+TEST(QuickjoinTest, SeedChangesPartitioningNotResults) {
+  Dataset q = MakeColor(300, 75);
+  Dataset o = MakeColor(300, 76);
+  const double eps = 0.04 * q.metric->max_distance();
+  const auto expected =
+      ToSet(NestedLoopJoin(q.objects, o.objects, *q.metric, eps));
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Quickjoin qj(q.metric.get(), 32, seed);
+    EXPECT_EQ(ToSet(qj.Join(q.objects, o.objects, eps)), expected)
+        << "seed " << seed;
+  }
+}
+
+TEST(QuickjoinTest, LargeEpsilonStillExact) {
+  // eps close to d+ makes the window sets huge (worst case for the window
+  // recursion).
+  Dataset q = MakeWords(120, 77);
+  Dataset o = MakeWords(120, 78);
+  const double eps = 0.8 * q.metric->max_distance();
+  Quickjoin qj(q.metric.get());
+  EXPECT_EQ(ToSet(qj.Join(q.objects, o.objects, eps)),
+            ToSet(NestedLoopJoin(q.objects, o.objects, *q.metric, eps)));
+}
+
+TEST(QuickjoinTest, StatsReportZeroPageAccesses) {
+  Dataset q = MakeWords(100, 79);
+  Quickjoin qj(q.metric.get());
+  QueryStats stats;
+  qj.Join(q.objects, q.objects, 1.0, &stats);
+  EXPECT_EQ(stats.page_accesses, 0u);  // memory-resident algorithm
+  EXPECT_GT(stats.distance_computations, 0u);
+}
+
+}  // namespace
+}  // namespace spb

@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "storage/raf.h"
+
+namespace spb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------- PageFile
+
+class PageFileTest : public ::testing::TestWithParam<bool> {
+ protected:
+  std::unique_ptr<PageFile> MakeFile() {
+    if (GetParam()) {
+      path_ = TempPath("spb_pagefile_test.dat");
+      std::unique_ptr<PageFile> f;
+      EXPECT_TRUE(PageFile::CreateOnDisk(path_, &f).ok());
+      return f;
+    }
+    return PageFile::CreateInMemory();
+  }
+
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  std::string path_;
+};
+
+TEST_P(PageFileTest, StartsEmpty) {
+  auto f = MakeFile();
+  EXPECT_EQ(f->num_pages(), 0u);
+}
+
+TEST_P(PageFileTest, AllocateGrowsSequentially) {
+  auto f = MakeFile();
+  for (PageId want = 0; want < 5; ++want) {
+    PageId got;
+    ASSERT_TRUE(f->Allocate(&got).ok());
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_EQ(f->num_pages(), 5u);
+}
+
+TEST_P(PageFileTest, WriteThenReadRoundTrips) {
+  auto f = MakeFile();
+  PageId id;
+  ASSERT_TRUE(f->Allocate(&id).ok());
+  Page w;
+  for (size_t i = 0; i < kPageSize; ++i) w.bytes()[i] = uint8_t(i * 7);
+  ASSERT_TRUE(f->Write(id, w).ok());
+  Page r;
+  ASSERT_TRUE(f->Read(id, &r).ok());
+  EXPECT_EQ(0, memcmp(w.bytes(), r.bytes(), kPageSize));
+}
+
+TEST_P(PageFileTest, FreshPageIsZeroed) {
+  auto f = MakeFile();
+  PageId id;
+  ASSERT_TRUE(f->Allocate(&id).ok());
+  Page r;
+  ASSERT_TRUE(f->Read(id, &r).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(r.bytes()[i], 0);
+}
+
+TEST_P(PageFileTest, ReadOutOfRangeFails) {
+  auto f = MakeFile();
+  Page p;
+  EXPECT_FALSE(f->Read(3, &p).ok());
+}
+
+TEST_P(PageFileTest, WriteOutOfRangeFails) {
+  auto f = MakeFile();
+  Page p;
+  EXPECT_FALSE(f->Write(0, p).ok());
+}
+
+TEST_P(PageFileTest, ManyPagesKeepDistinctContents) {
+  auto f = MakeFile();
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    PageId id;
+    ASSERT_TRUE(f->Allocate(&id).ok());
+    Page p;
+    p.bytes()[0] = uint8_t(i);
+    p.bytes()[kPageSize - 1] = uint8_t(255 - i);
+    ASSERT_TRUE(f->Write(id, p).ok());
+  }
+  for (int i = 0; i < n; ++i) {
+    Page p;
+    ASSERT_TRUE(f->Read(PageId(i), &p).ok());
+    EXPECT_EQ(p.bytes()[0], uint8_t(i));
+    EXPECT_EQ(p.bytes()[kPageSize - 1], uint8_t(255 - i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MemoryAndDisk, PageFileTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Disk" : "Memory";
+                         });
+
+TEST(DiskPageFileTest, ReopenSeesPersistedPages) {
+  std::string path = TempPath("spb_pagefile_reopen.dat");
+  {
+    std::unique_ptr<PageFile> f;
+    ASSERT_TRUE(PageFile::CreateOnDisk(path, &f).ok());
+    PageId id;
+    ASSERT_TRUE(f->Allocate(&id).ok());
+    Page p;
+    p.bytes()[10] = 0xAB;
+    ASSERT_TRUE(f->Write(id, p).ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  {
+    std::unique_ptr<PageFile> f;
+    ASSERT_TRUE(PageFile::OpenOnDisk(path, &f).ok());
+    EXPECT_EQ(f->num_pages(), 1u);
+    Page p;
+    ASSERT_TRUE(f->Read(0, &p).ok());
+    EXPECT_EQ(p.bytes()[10], 0xAB);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskPageFileTest, OpenMissingFileFails) {
+  std::unique_ptr<PageFile> f;
+  EXPECT_FALSE(PageFile::OpenOnDisk("/nonexistent/nope.dat", &f).ok());
+}
+
+// -------------------------------------------------------------- BufferPool
+
+TEST(BufferPoolTest, FirstReadMissesSecondHits) {
+  auto f = PageFile::CreateInMemory();
+  PageId id;
+  ASSERT_TRUE(f->Allocate(&id).ok());
+  BufferPool pool(f.get(), 8);
+  Page p;
+  ASSERT_TRUE(pool.Read(id, &p).ok());
+  EXPECT_EQ(pool.stats().page_reads, 1u);
+  EXPECT_EQ(pool.stats().cache_hits, 0u);
+  ASSERT_TRUE(pool.Read(id, &p).ok());
+  EXPECT_EQ(pool.stats().page_reads, 1u);
+  EXPECT_EQ(pool.stats().cache_hits, 1u);
+}
+
+TEST(BufferPoolTest, ZeroCapacityNeverHits) {
+  auto f = PageFile::CreateInMemory();
+  PageId id;
+  ASSERT_TRUE(f->Allocate(&id).ok());
+  BufferPool pool(f.get(), 0);
+  Page p;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(pool.Read(id, &p).ok());
+  EXPECT_EQ(pool.stats().page_reads, 5u);
+  EXPECT_EQ(pool.stats().cache_hits, 0u);
+}
+
+TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  auto f = PageFile::CreateInMemory();
+  for (int i = 0; i < 3; ++i) {
+    PageId id;
+    ASSERT_TRUE(f->Allocate(&id).ok());
+  }
+  BufferPool pool(f.get(), 2);
+  Page p;
+  ASSERT_TRUE(pool.Read(0, &p).ok());  // cache: {0}
+  ASSERT_TRUE(pool.Read(1, &p).ok());  // cache: {1,0}
+  ASSERT_TRUE(pool.Read(0, &p).ok());  // touch 0 -> {0,1}
+  ASSERT_TRUE(pool.Read(2, &p).ok());  // evicts 1 -> {2,0}
+  const uint64_t reads_before = pool.stats().page_reads;
+  ASSERT_TRUE(pool.Read(0, &p).ok());  // hit
+  EXPECT_EQ(pool.stats().page_reads, reads_before);
+  ASSERT_TRUE(pool.Read(1, &p).ok());  // miss (evicted)
+  EXPECT_EQ(pool.stats().page_reads, reads_before + 1);
+}
+
+TEST(BufferPoolTest, WriteIsWriteThroughAndCaches) {
+  auto f = PageFile::CreateInMemory();
+  PageId id;
+  ASSERT_TRUE(f->Allocate(&id).ok());
+  BufferPool pool(f.get(), 4);
+  Page w;
+  w.bytes()[0] = 0x5A;
+  ASSERT_TRUE(pool.Write(id, w).ok());
+  EXPECT_EQ(pool.stats().page_writes, 1u);
+  // Underlying file already has the data.
+  Page direct;
+  ASSERT_TRUE(f->Read(id, &direct).ok());
+  EXPECT_EQ(direct.bytes()[0], 0x5A);
+  // And a read is served from cache.
+  Page r;
+  ASSERT_TRUE(pool.Read(id, &r).ok());
+  EXPECT_EQ(pool.stats().cache_hits, 1u);
+  EXPECT_EQ(r.bytes()[0], 0x5A);
+}
+
+TEST(BufferPoolTest, FlushDropsCachedPages) {
+  auto f = PageFile::CreateInMemory();
+  PageId id;
+  ASSERT_TRUE(f->Allocate(&id).ok());
+  BufferPool pool(f.get(), 4);
+  Page p;
+  ASSERT_TRUE(pool.Read(id, &p).ok());
+  pool.Flush();
+  ASSERT_TRUE(pool.Read(id, &p).ok());
+  EXPECT_EQ(pool.stats().page_reads, 2u);
+}
+
+// --------------------------------------------------------------------- RAF
+
+TEST(RafTest, AppendThenGetRoundTrips) {
+  std::unique_ptr<Raf> raf;
+  ASSERT_TRUE(Raf::Create(PageFile::CreateInMemory(), 8, &raf).ok());
+  Blob obj = BlobFromString("defoliate");
+  uint64_t off;
+  ASSERT_TRUE(raf->Append(7, obj, &off).ok());
+  ObjectId id;
+  Blob got;
+  ASSERT_TRUE(raf->Get(off, &id, &got).ok());
+  EXPECT_EQ(id, 7u);
+  EXPECT_EQ(got, obj);
+}
+
+TEST(RafTest, FirstRecordStartsAfterHeaderPage) {
+  std::unique_ptr<Raf> raf;
+  ASSERT_TRUE(Raf::Create(PageFile::CreateInMemory(), 8, &raf).ok());
+  uint64_t off;
+  ASSERT_TRUE(raf->Append(0, BlobFromString("x"), &off).ok());
+  EXPECT_EQ(off, kPageSize);
+}
+
+TEST(RafTest, VariableLengthRecordsPreserved) {
+  std::unique_ptr<Raf> raf;
+  ASSERT_TRUE(Raf::Create(PageFile::CreateInMemory(), 8, &raf).ok());
+  Rng rng(3);
+  std::vector<std::pair<uint64_t, Blob>> written;
+  for (int i = 0; i < 500; ++i) {
+    Blob obj(rng.Uniform(200));
+    for (auto& byte : obj) byte = uint8_t(rng.Uniform(256));
+    uint64_t off;
+    ASSERT_TRUE(raf->Append(ObjectId(i), obj, &off).ok());
+    written.emplace_back(off, obj);
+  }
+  EXPECT_EQ(raf->num_records(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    ObjectId id;
+    Blob got;
+    ASSERT_TRUE(raf->Get(written[i].first, &id, &got).ok());
+    EXPECT_EQ(id, ObjectId(i));
+    EXPECT_EQ(got, written[i].second);
+  }
+}
+
+TEST(RafTest, RecordsSpanPageBoundaries) {
+  std::unique_ptr<Raf> raf;
+  ASSERT_TRUE(Raf::Create(PageFile::CreateInMemory(), 8, &raf).ok());
+  // 3000-byte records guarantee page-straddling records.
+  std::vector<uint64_t> offs;
+  for (int i = 0; i < 10; ++i) {
+    Blob obj(3000, uint8_t('a' + i));
+    uint64_t off;
+    ASSERT_TRUE(raf->Append(ObjectId(i), obj, &off).ok());
+    offs.push_back(off);
+  }
+  for (int i = 0; i < 10; ++i) {
+    ObjectId id;
+    Blob got;
+    ASSERT_TRUE(raf->Get(offs[i], &id, &got).ok());
+    EXPECT_EQ(got.size(), 3000u);
+    EXPECT_EQ(got[0], uint8_t('a' + i));
+    EXPECT_EQ(got[2999], uint8_t('a' + i));
+  }
+}
+
+TEST(RafTest, EmptyObjectAllowed) {
+  std::unique_ptr<Raf> raf;
+  ASSERT_TRUE(Raf::Create(PageFile::CreateInMemory(), 8, &raf).ok());
+  uint64_t off;
+  ASSERT_TRUE(raf->Append(1, Blob{}, &off).ok());
+  ObjectId id;
+  Blob got;
+  ASSERT_TRUE(raf->Get(off, &id, &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(RafTest, ScanAllVisitsInOrder) {
+  std::unique_ptr<Raf> raf;
+  ASSERT_TRUE(Raf::Create(PageFile::CreateInMemory(), 8, &raf).ok());
+  for (int i = 0; i < 20; ++i) {
+    uint64_t off;
+    ASSERT_TRUE(
+        raf->Append(ObjectId(i), Blob(size_t(i + 1), uint8_t(i)), &off).ok());
+  }
+  std::vector<ObjectId> seen;
+  ASSERT_TRUE(raf->ScanAll([&](uint64_t, ObjectId id, const Blob& obj) {
+                   EXPECT_EQ(obj.size(), size_t(id + 1));
+                   seen.push_back(id);
+                 })
+                  .ok());
+  ASSERT_EQ(seen.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(seen[i], ObjectId(i));
+}
+
+TEST(RafTest, GetBogusOffsetFails) {
+  std::unique_ptr<Raf> raf;
+  ASSERT_TRUE(Raf::Create(PageFile::CreateInMemory(), 8, &raf).ok());
+  ObjectId id;
+  Blob got;
+  EXPECT_FALSE(raf->Get(0, &id, &got).ok());          // header page
+  EXPECT_FALSE(raf->Get(kPageSize, &id, &got).ok());  // past end (empty)
+}
+
+TEST(RafTest, PersistsAcrossReopen) {
+  std::string path = TempPath("spb_raf_reopen.dat");
+  uint64_t off1 = 0, off2 = 0;
+  {
+    std::unique_ptr<PageFile> f;
+    ASSERT_TRUE(PageFile::CreateOnDisk(path, &f).ok());
+    std::unique_ptr<Raf> raf;
+    ASSERT_TRUE(Raf::Create(std::move(f), 8, &raf).ok());
+    ASSERT_TRUE(raf->Append(1, BlobFromString("hello"), &off1).ok());
+    ASSERT_TRUE(raf->Append(2, BlobFromString("world!"), &off2).ok());
+    ASSERT_TRUE(raf->Sync().ok());
+  }
+  {
+    std::unique_ptr<PageFile> f;
+    ASSERT_TRUE(PageFile::OpenOnDisk(path, &f).ok());
+    std::unique_ptr<Raf> raf;
+    ASSERT_TRUE(Raf::Open(std::move(f), 8, &raf).ok());
+    EXPECT_EQ(raf->num_records(), 2u);
+    ObjectId id;
+    Blob got;
+    ASSERT_TRUE(raf->Get(off2, &id, &got).ok());
+    EXPECT_EQ(id, 2u);
+    EXPECT_EQ(BlobToString(got), "world!");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RafTest, GetCountsPageAccessesThroughPool) {
+  std::unique_ptr<Raf> raf;
+  ASSERT_TRUE(Raf::Create(PageFile::CreateInMemory(), 8, &raf).ok());
+  std::vector<uint64_t> offs;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t off;
+    ASSERT_TRUE(raf->Append(ObjectId(i), Blob(100, uint8_t(i)), &off).ok());
+    offs.push_back(off);
+  }
+  ASSERT_TRUE(raf->Sync().ok());
+  raf->FlushCache();
+  raf->ResetStats();
+  ObjectId id;
+  Blob got;
+  ASSERT_TRUE(raf->Get(offs[0], &id, &got).ok());
+  EXPECT_GE(raf->stats().page_reads, 1u);
+  const uint64_t after_first = raf->stats().page_reads;
+  // Neighbor record on the same page: served by cache.
+  ASSERT_TRUE(raf->Get(offs[1], &id, &got).ok());
+  EXPECT_EQ(raf->stats().page_reads, after_first);
+}
+
+}  // namespace
+}  // namespace spb

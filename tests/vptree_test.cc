@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "vptree/vp_tree.h"
+
+namespace spb {
+namespace {
+
+std::set<ObjectId> BruteRange(const Dataset& ds, const Blob& q, double r) {
+  std::set<ObjectId> out;
+  for (size_t i = 0; i < ds.objects.size(); ++i) {
+    if (ds.metric->Distance(q, ds.objects[i]) <= r) out.insert(ObjectId(i));
+  }
+  return out;
+}
+
+class VpTreeTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    ds_ = MakeDatasetByName(GetParam(), 1200, 111);
+    VpTreeOptions opts;
+    ASSERT_TRUE(VpTree::Build(ds_.objects, ds_.metric.get(), opts, &tree_)
+                    .ok());
+  }
+
+  Dataset ds_;
+  std::unique_ptr<VpTree> tree_;
+};
+
+TEST_P(VpTreeTest, RangeQueryMatchesBruteForce) {
+  Rng rng(1);
+  const double d_plus = ds_.metric->max_distance();
+  for (double frac : {0.02, 0.08, 0.32}) {
+    for (int t = 0; t < 6; ++t) {
+      const Blob& q = ds_.objects[rng.Uniform(ds_.objects.size())];
+      std::vector<ObjectId> got;
+      ASSERT_TRUE(tree_->RangeQuery(q, frac * d_plus, &got, nullptr).ok());
+      EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()),
+                BruteRange(ds_, q, frac * d_plus))
+          << GetParam() << " r=" << frac;
+    }
+  }
+}
+
+TEST_P(VpTreeTest, KnnMatchesBruteForceDistances) {
+  Rng rng(2);
+  for (size_t k : {1u, 8u, 24u}) {
+    for (int t = 0; t < 6; ++t) {
+      const Blob& q = ds_.objects[rng.Uniform(ds_.objects.size())];
+      std::vector<Neighbor> got;
+      ASSERT_TRUE(tree_->KnnQuery(q, k, &got, nullptr).ok());
+      std::vector<double> want;
+      for (const Blob& o : ds_.objects) {
+        want.push_back(ds_.metric->Distance(q, o));
+      }
+      std::sort(want.begin(), want.end());
+      want.resize(std::min(k, want.size()));
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].distance, want[i], 1e-9)
+            << GetParam() << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST_P(VpTreeTest, InsertedObjectsAreFound) {
+  Dataset extra = MakeDatasetByName(GetParam(), 200, 112);
+  for (size_t i = 0; i < extra.objects.size(); ++i) {
+    ASSERT_TRUE(
+        tree_->Insert(extra.objects[i], ObjectId(ds_.objects.size() + i))
+            .ok());
+  }
+  Dataset merged = ds_;
+  merged.objects.insert(merged.objects.end(), extra.objects.begin(),
+                        extra.objects.end());
+  const double r = 0.08 * ds_.metric->max_distance();
+  Rng rng(3);
+  for (int t = 0; t < 6; ++t) {
+    const Blob& q = merged.objects[rng.Uniform(merged.objects.size())];
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree_->RangeQuery(q, r, &got, nullptr).ok());
+    EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()),
+              BruteRange(merged, q, r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, VpTreeTest,
+                         ::testing::Values("words", "color", "signature"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+TEST(VpTreeEdgeTest, EmptyTreeAnswersQueries) {
+  Dataset ds = MakeWords(5, 1);
+  std::vector<Blob> empty;
+  VpTreeOptions opts;
+  std::unique_ptr<VpTree> tree;
+  ASSERT_TRUE(VpTree::Build(empty, ds.metric.get(), opts, &tree).ok());
+  std::vector<ObjectId> range;
+  ASSERT_TRUE(tree->RangeQuery(ds.objects[0], 5.0, &range, nullptr).ok());
+  EXPECT_TRUE(range.empty());
+  std::vector<Neighbor> knn;
+  ASSERT_TRUE(tree->KnnQuery(ds.objects[0], 3, &knn, nullptr).ok());
+  EXPECT_TRUE(knn.empty());
+}
+
+TEST(VpTreeEdgeTest, DuplicateHeavyDataStaysCorrect) {
+  Dataset ds = MakeWords(50, 2);
+  for (int i = 0; i < 400; ++i) ds.objects.push_back(BlobFromString("twin"));
+  VpTreeOptions opts;
+  std::unique_ptr<VpTree> tree;
+  ASSERT_TRUE(VpTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok());
+  std::vector<ObjectId> got;
+  ASSERT_TRUE(tree->RangeQuery(BlobFromString("twin"), 0.0, &got, nullptr)
+                  .ok());
+  EXPECT_GE(got.size(), 400u);
+}
+
+TEST(VpTreeEdgeTest, InsertOnlyTreeMatchesBruteForce) {
+  Dataset ds = MakeColor(600, 3);
+  VpTreeOptions opts;
+  std::unique_ptr<VpTree> tree;
+  std::vector<Blob> first = {ds.objects[0]};
+  ASSERT_TRUE(VpTree::Build(first, ds.metric.get(), opts, &tree).ok());
+  for (size_t i = 1; i < ds.objects.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(ds.objects[i], ObjectId(i)).ok());
+  }
+  EXPECT_EQ(tree->size(), ds.objects.size());
+  const double r = 0.1 * ds.metric->max_distance();
+  Rng rng(4);
+  for (int t = 0; t < 8; ++t) {
+    const Blob& q = ds.objects[rng.Uniform(ds.objects.size())];
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree->RangeQuery(q, r, &got, nullptr).ok());
+    EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()),
+              BruteRange(ds, q, r));
+  }
+}
+
+TEST(VpTreeEdgeTest, QueryStatsPopulated) {
+  Dataset ds = MakeWords(2000, 5);
+  VpTreeOptions opts;
+  std::unique_ptr<VpTree> tree;
+  ASSERT_TRUE(VpTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok());
+  tree->FlushCaches();
+  QueryStats stats;
+  std::vector<Neighbor> got;
+  ASSERT_TRUE(tree->KnnQuery(ds.objects[0], 8, &got, &stats).ok());
+  EXPECT_GT(stats.page_accesses, 0u);
+  EXPECT_GT(stats.distance_computations, 0u);
+  EXPECT_GT(tree->storage_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace spb

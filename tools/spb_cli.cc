@@ -1,0 +1,222 @@
+// spb_cli — command-line front end for the SPB-tree.
+//
+// Build an index over a text file and query it from the shell:
+//
+//   spb_cli build --dir=/tmp/idx --metric=edit --input=words.txt
+//   spb_cli knn   --dir=/tmp/idx --metric=edit --query=defoliate --k=5
+//   spb_cli range --dir=/tmp/idx --metric=edit --query=defoliate --r=2
+//   spb_cli stats --dir=/tmp/idx --metric=edit
+//
+// Input formats:
+//   --metric=edit      one word per line (edit distance)
+//   --metric=l2|l5     whitespace-separated floats per line (vectors)
+//   --metric=hamming   one symbol string per line
+//   --metric=dna       one ACGT sequence per line (tri-gram cosine)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/spb_tree.h"
+#include "metrics/edit_distance.h"
+#include "metrics/hamming.h"
+#include "metrics/lp_norm.h"
+#include "metrics/trigram_cosine.h"
+
+namespace spb {
+namespace cli {
+namespace {
+
+struct Args {
+  std::string command;
+  std::string dir;
+  std::string metric = "edit";
+  std::string input;
+  std::string query;
+  double r = 1.0;
+  size_t k = 5;
+  size_t dim = 16;
+  size_t pivots = 5;
+};
+
+bool Parse(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* key) -> const char* {
+      const size_t len = std::strlen(key);
+      if (arg.compare(0, len, key) == 0) return arg.c_str() + len;
+      return nullptr;
+    };
+    if (const char* v = value("--dir=")) {
+      args->dir = v;
+    } else if (const char* v = value("--metric=")) {
+      args->metric = v;
+    } else if (const char* v = value("--input=")) {
+      args->input = v;
+    } else if (const char* v = value("--query=")) {
+      args->query = v;
+    } else if (const char* v = value("--r=")) {
+      args->r = std::atof(v);
+    } else if (const char* v = value("--k=")) {
+      args->k = size_t(std::atoll(v));
+    } else if (const char* v = value("--dim=")) {
+      args->dim = size_t(std::atoll(v));
+    } else if (const char* v = value("--pivots=")) {
+      args->pivots = size_t(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !args->dir.empty();
+}
+
+std::unique_ptr<DistanceFunction> MakeMetric(const Args& args) {
+  if (args.metric == "edit") return std::make_unique<EditDistance>(64);
+  if (args.metric == "l2") return std::make_unique<LpNorm>(args.dim, 2.0);
+  if (args.metric == "l5") return std::make_unique<LpNorm>(args.dim, 5.0);
+  if (args.metric == "hamming") return std::make_unique<Hamming>(64);
+  if (args.metric == "dna") return std::make_unique<TrigramCosine>();
+  return nullptr;
+}
+
+// Parses one input/query line into an object under the selected metric.
+bool ParseObject(const Args& args, const std::string& line, Blob* out) {
+  if (args.metric == "l2" || args.metric == "l5") {
+    std::istringstream in(line);
+    std::vector<float> v;
+    float x;
+    while (in >> x) v.push_back(x);
+    if (v.size() != args.dim) return false;
+    *out = BlobFromFloats(v);
+    return true;
+  }
+  *out = BlobFromString(line);
+  return !out->empty();
+}
+
+int Build(const Args& args, const DistanceFunction* metric) {
+  std::ifstream in(args.input);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.input.c_str());
+    return 1;
+  }
+  std::vector<Blob> objects;
+  std::string line;
+  size_t skipped = 0;
+  while (std::getline(in, line)) {
+    Blob obj;
+    if (ParseObject(args, line, &obj)) {
+      objects.push_back(std::move(obj));
+    } else if (!line.empty()) {
+      ++skipped;
+    }
+  }
+  std::printf("read %zu objects (%zu lines skipped)\n", objects.size(),
+              skipped);
+
+  SpbTreeOptions options;
+  options.storage_dir = args.dir;
+  options.num_pivots = args.pivots;
+  std::unique_ptr<SpbTree> index;
+  Status s = SpbTree::Build(objects, metric, options, &index);
+  if (s.ok()) s = index->Save();
+  if (!s.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const QueryStats cost = index->cumulative_stats();
+  std::printf("index built in %s: %llu objects, %.1f KB, "
+              "%llu distance computations\n",
+              args.dir.c_str(), (unsigned long long)index->size(),
+              double(index->storage_bytes()) / 1024.0,
+              (unsigned long long)cost.distance_computations);
+  return 0;
+}
+
+int Query(const Args& args, const DistanceFunction* metric) {
+  SpbTreeOptions options;
+  std::unique_ptr<SpbTree> index;
+  Status s = SpbTree::Open(args.dir, metric, options, &index);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (args.command == "stats") {
+    std::printf("objects: %llu\nstorage: %.1f KB\npivots: %zu\n"
+                "curve bits/dim: %d\ncells/dim: %u\nprecision: %.3f\n",
+                (unsigned long long)index->size(),
+                double(index->storage_bytes()) / 1024.0,
+                index->space().pivots().size(), index->space().curve().bits(),
+                index->space().discretizer().num_cells(),
+                index->cost_model().precision());
+    return 0;
+  }
+
+  Blob q;
+  if (!ParseObject(args, args.query, &q)) {
+    std::fprintf(stderr, "cannot parse --query under metric %s\n",
+                 args.metric.c_str());
+    return 1;
+  }
+  QueryStats stats;
+  if (args.command == "knn") {
+    std::vector<Neighbor> result;
+    s = index->KnnQuery(q, args.k, &result, &stats);
+    if (!s.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (const Neighbor& n : result) {
+      std::printf("id=%u distance=%.6g\n", n.id, n.distance);
+    }
+  } else {  // range
+    std::vector<ObjectId> result;
+    s = index->RangeQuery(q, args.r, &result, &stats);
+    if (!s.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (ObjectId id : result) std::printf("id=%u\n", id);
+  }
+  std::fprintf(stderr,
+               "[%llu distance computations, %llu page accesses, %.2f ms]\n",
+               (unsigned long long)stats.distance_computations,
+               (unsigned long long)stats.page_accesses,
+               stats.elapsed_seconds * 1000.0);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) {
+    std::fprintf(
+        stderr,
+        "usage: spb_cli <build|knn|range|stats> --dir=PATH [--metric=edit|"
+        "l2|l5|hamming|dna] [--input=FILE] [--query=Q] [--r=R] [--k=K] "
+        "[--dim=D] [--pivots=P]\n");
+    return 2;
+  }
+  auto metric = MakeMetric(args);
+  if (metric == nullptr) {
+    std::fprintf(stderr, "unknown metric: %s\n", args.metric.c_str());
+    return 2;
+  }
+  if (args.command == "build") return Build(args, metric.get());
+  if (args.command == "knn" || args.command == "range" ||
+      args.command == "stats") {
+    return Query(args, metric.get());
+  }
+  std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace spb
+
+int main(int argc, char** argv) { return spb::cli::Main(argc, argv); }
