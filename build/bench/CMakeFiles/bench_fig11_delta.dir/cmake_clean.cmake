@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_delta.dir/bench_fig11_delta.cc.o"
+  "CMakeFiles/bench_fig11_delta.dir/bench_fig11_delta.cc.o.d"
+  "bench_fig11_delta"
+  "bench_fig11_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_knn.dir/bench_fig13_knn.cc.o"
+  "CMakeFiles/bench_fig13_knn.dir/bench_fig13_knn.cc.o.d"
+  "bench_fig13_knn"
+  "bench_fig13_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

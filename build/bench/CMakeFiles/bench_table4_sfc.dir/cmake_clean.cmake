@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sfc.dir/bench_table4_sfc.cc.o"
+  "CMakeFiles/bench_table4_sfc.dir/bench_table4_sfc.cc.o.d"
+  "bench_table4_sfc"
+  "bench_table4_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

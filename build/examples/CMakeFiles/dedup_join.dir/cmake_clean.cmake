@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_join.dir/dedup_join.cpp.o"
+  "CMakeFiles/dedup_join.dir/dedup_join.cpp.o.d"
+  "dedup_join"
+  "dedup_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_search.dir/word_search.cpp.o"
+  "CMakeFiles/word_search.dir/word_search.cpp.o.d"
+  "word_search"
+  "word_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bptree/bptree.cc" "src/CMakeFiles/spb.dir/bptree/bptree.cc.o" "gcc" "src/CMakeFiles/spb.dir/bptree/bptree.cc.o.d"
+  "/root/repo/src/bptree/node.cc" "src/CMakeFiles/spb.dir/bptree/node.cc.o" "gcc" "src/CMakeFiles/spb.dir/bptree/node.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/spb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/spb.dir/common/status.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/spb.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/spb.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/mapped_space.cc" "src/CMakeFiles/spb.dir/core/mapped_space.cc.o" "gcc" "src/CMakeFiles/spb.dir/core/mapped_space.cc.o.d"
+  "/root/repo/src/core/spb_tree.cc" "src/CMakeFiles/spb.dir/core/spb_tree.cc.o" "gcc" "src/CMakeFiles/spb.dir/core/spb_tree.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/CMakeFiles/spb.dir/data/datasets.cc.o" "gcc" "src/CMakeFiles/spb.dir/data/datasets.cc.o.d"
+  "/root/repo/src/edindex/ed_index.cc" "src/CMakeFiles/spb.dir/edindex/ed_index.cc.o" "gcc" "src/CMakeFiles/spb.dir/edindex/ed_index.cc.o.d"
+  "/root/repo/src/join/join_common.cc" "src/CMakeFiles/spb.dir/join/join_common.cc.o" "gcc" "src/CMakeFiles/spb.dir/join/join_common.cc.o.d"
+  "/root/repo/src/join/quickjoin.cc" "src/CMakeFiles/spb.dir/join/quickjoin.cc.o" "gcc" "src/CMakeFiles/spb.dir/join/quickjoin.cc.o.d"
+  "/root/repo/src/join/sja.cc" "src/CMakeFiles/spb.dir/join/sja.cc.o" "gcc" "src/CMakeFiles/spb.dir/join/sja.cc.o.d"
+  "/root/repo/src/metrics/edit_distance.cc" "src/CMakeFiles/spb.dir/metrics/edit_distance.cc.o" "gcc" "src/CMakeFiles/spb.dir/metrics/edit_distance.cc.o.d"
+  "/root/repo/src/metrics/lp_norm.cc" "src/CMakeFiles/spb.dir/metrics/lp_norm.cc.o" "gcc" "src/CMakeFiles/spb.dir/metrics/lp_norm.cc.o.d"
+  "/root/repo/src/metrics/trigram_cosine.cc" "src/CMakeFiles/spb.dir/metrics/trigram_cosine.cc.o" "gcc" "src/CMakeFiles/spb.dir/metrics/trigram_cosine.cc.o.d"
+  "/root/repo/src/mindex/m_index.cc" "src/CMakeFiles/spb.dir/mindex/m_index.cc.o" "gcc" "src/CMakeFiles/spb.dir/mindex/m_index.cc.o.d"
+  "/root/repo/src/mtree/mtree.cc" "src/CMakeFiles/spb.dir/mtree/mtree.cc.o" "gcc" "src/CMakeFiles/spb.dir/mtree/mtree.cc.o.d"
+  "/root/repo/src/omni/omni_rtree.cc" "src/CMakeFiles/spb.dir/omni/omni_rtree.cc.o" "gcc" "src/CMakeFiles/spb.dir/omni/omni_rtree.cc.o.d"
+  "/root/repo/src/pivots/pivot_table.cc" "src/CMakeFiles/spb.dir/pivots/pivot_table.cc.o" "gcc" "src/CMakeFiles/spb.dir/pivots/pivot_table.cc.o.d"
+  "/root/repo/src/pivots/selection.cc" "src/CMakeFiles/spb.dir/pivots/selection.cc.o" "gcc" "src/CMakeFiles/spb.dir/pivots/selection.cc.o.d"
+  "/root/repo/src/sfc/sfc.cc" "src/CMakeFiles/spb.dir/sfc/sfc.cc.o" "gcc" "src/CMakeFiles/spb.dir/sfc/sfc.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/spb.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/spb.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/spb.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/spb.dir/storage/page_file.cc.o.d"
+  "/root/repo/src/storage/raf.cc" "src/CMakeFiles/spb.dir/storage/raf.cc.o" "gcc" "src/CMakeFiles/spb.dir/storage/raf.cc.o.d"
+  "/root/repo/src/vptree/vp_tree.cc" "src/CMakeFiles/spb.dir/vptree/vp_tree.cc.o" "gcc" "src/CMakeFiles/spb.dir/vptree/vp_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edindex_test.dir/edindex_test.cc.o"
+  "CMakeFiles/edindex_test.dir/edindex_test.cc.o.d"
+  "edindex_test"
+  "edindex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapped_space_test.dir/mapped_space_test.cc.o"
+  "CMakeFiles/mapped_space_test.dir/mapped_space_test.cc.o.d"
+  "mapped_space_test"
+  "mapped_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapped_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quickjoin_test.dir/quickjoin_test.cc.o"
+  "CMakeFiles/quickjoin_test.dir/quickjoin_test.cc.o.d"
+  "quickjoin_test"
+  "quickjoin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quickjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spb_tree_test.dir/spb_tree_test.cc.o"
+  "CMakeFiles/spb_tree_test.dir/spb_tree_test.cc.o.d"
+  "spb_tree_test"
+  "spb_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spb_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vptree_test.dir/vptree_test.cc.o"
+  "CMakeFiles/vptree_test.dir/vptree_test.cc.o.d"
+  "vptree_test"
+  "vptree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vptree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

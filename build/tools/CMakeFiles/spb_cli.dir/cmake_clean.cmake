@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spb_cli.dir/spb_cli.cc.o"
+  "CMakeFiles/spb_cli.dir/spb_cli.cc.o.d"
+  "spb_cli"
+  "spb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
