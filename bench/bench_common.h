@@ -23,6 +23,13 @@ namespace bench {
 /// following the paper's protocol: queries are the first N objects of each
 /// dataset and every reported number is the average over those queries with
 /// caches flushed before each query.
+///
+/// Cost accounting (docs/ARCHITECTURE.md §"Cost accounting"): PA counts
+/// buffer-pool misses only (page_reads + page_writes; cache_hits excluded,
+/// including RAF dirty-tail reads), compdists counts calls through each
+/// index's CountingDistance wrapper. Per-query numbers come from QueryStats
+/// deltas, which are valid here because bench queries run serially;
+/// bench_concurrency instead reads aggregate cumulative-counter deltas.
 struct BenchConfig {
   size_t scale;
   size_t queries;

@@ -29,6 +29,12 @@ namespace spb {
 ///  - Query algorithms (RQA/NNA/SJA) walk nodes themselves via ReadNode so
 ///    they can manage their own heaps and pruning; page accesses are counted
 ///    by the shared BufferPool.
+///  - Thread safety: ReadNode() and SeekLeaf() are safe for any number of
+///    concurrent readers against an immutable tree (no Insert/Delete/
+///    BulkLoad in flight) — traversal state lives entirely in caller-owned
+///    BptNode buffers and the buffer pool is internally striped. Mutating
+///    operations are single-writer and must be externally excluded from
+///    reads (docs/ARCHITECTURE.md §"Threading model").
 class BPlusTree {
  public:
   /// Creates an empty tree (a single empty root leaf) in a fresh page file.

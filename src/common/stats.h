@@ -1,6 +1,7 @@
 #ifndef SPB_COMMON_STATS_H_
 #define SPB_COMMON_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace spb {
@@ -9,29 +10,61 @@ namespace spb {
 /// RAF, R-tree, M-tree, M-Index). A "page access" (PA in the paper) is a
 /// 4 KB page fetched from the page file that was not served by the buffer
 /// pool, matching the paper's I/O cost metric.
+///
+/// Accounting convention (documented in docs/ARCHITECTURE.md §"Cost
+/// accounting"): PA == page_reads + page_writes. `cache_hits` (reads absorbed
+/// by the buffer pool, including reads served from the RAF's pinned tail
+/// page) are counted but deliberately excluded from page_accesses().
+///
+/// The counters are atomics so that concurrent readers sharing one structure
+/// (see docs/ARCHITECTURE.md §"Threading model") keep the totals exact;
+/// relaxed ordering suffices because the counters carry no synchronization —
+/// they are read for reporting only, after the racing work has been joined.
 struct IoStats {
-  uint64_t page_reads = 0;
-  uint64_t page_writes = 0;
-  uint64_t cache_hits = 0;
+  std::atomic<uint64_t> page_reads{0};
+  std::atomic<uint64_t> page_writes{0};
+  std::atomic<uint64_t> cache_hits{0};
 
-  uint64_t page_accesses() const { return page_reads + page_writes; }
+  IoStats() = default;
+  IoStats(const IoStats& other) { *this = other; }
+  IoStats& operator=(const IoStats& other) {
+    page_reads.store(other.page_reads.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    page_writes.store(other.page_writes.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    cache_hits.store(other.cache_hits.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t page_accesses() const {
+    return page_reads.load(std::memory_order_relaxed) +
+           page_writes.load(std::memory_order_relaxed);
+  }
 
   void Reset() {
-    page_reads = 0;
-    page_writes = 0;
-    cache_hits = 0;
+    page_reads.store(0, std::memory_order_relaxed);
+    page_writes.store(0, std::memory_order_relaxed);
+    cache_hits.store(0, std::memory_order_relaxed);
   }
 
   IoStats& operator+=(const IoStats& other) {
-    page_reads += other.page_reads;
-    page_writes += other.page_writes;
-    cache_hits += other.cache_hits;
+    page_reads.fetch_add(other.page_reads.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    page_writes.fetch_add(other.page_writes.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    cache_hits.fetch_add(other.cache_hits.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
     return *this;
   }
 };
 
 /// Per-query (or per-operation) cost record in the paper's three metrics:
 /// page accesses (PA), distance computations (compdists) and wall time.
+/// Plain (non-atomic) snapshot values: a QueryStats is always owned by one
+/// thread. Under concurrent execution, per-query PA deltas are not
+/// attributable (the shared counters interleave); QueryExecutor reports the
+/// exact aggregate instead (see src/exec/query_executor.h).
 struct QueryStats {
   uint64_t page_accesses = 0;
   uint64_t distance_computations = 0;

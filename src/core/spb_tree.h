@@ -64,6 +64,18 @@ enum class KnnTraversal {
 /// kNN search and cost models. Construction cost (page accesses, distance
 /// computations) is observable through stats(); per-query costs through the
 /// QueryStats out-parameters.
+///
+/// Thread safety: after Build()/Open() (and Sync via Save(), or any point
+/// with no Insert/Delete in flight) the tree is an immutable structure and
+/// RangeQuery()/KnnQuery()/EstimateRangeCost()/EstimateKnnCost() may be
+/// called from any number of threads concurrently — see
+/// src/exec/query_executor.h for the batch engine that does so. Cumulative
+/// PA/compdists counters are atomic and stay exact in aggregate; per-query
+/// QueryStats deltas are only attributable when queries do not overlap, so
+/// concurrent callers should pass stats == nullptr and read aggregate
+/// costs from cumulative_stats() (docs/ARCHITECTURE.md §"Threading model").
+/// Insert/Delete/Save/FlushCaches/ResetCounters/SetRafCachePages are
+/// single-writer operations that must be externally excluded from queries.
 class SpbTree : public MetricIndex {
  public:
   /// Builds an index over `objects` (bulk-loading path: pivot selection,

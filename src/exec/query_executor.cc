@@ -1,0 +1,148 @@
+#include "exec/query_executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace spb {
+
+namespace {
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * double(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(MetricIndex* index, size_t num_threads)
+    : index_(index) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void QueryExecutor::WorkerLoop() {
+  uint64_t seen_seq = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || batch_seq_ != seen_seq; });
+      if (stop_) return;
+      seen_seq = batch_seq_;
+      batch = current_;
+    }
+    for (;;) {
+      const size_t i =
+          batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->total) break;
+      const auto start = std::chrono::steady_clock::now();
+      Status s = (*batch->task)(i);
+      batch->latencies[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(batch->error_mu);
+        if (batch->first_error.ok()) batch->first_error = s;
+      }
+      if (batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          batch->total) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+Status QueryExecutor::RunBatch(size_t n,
+                               const std::function<Status(size_t)>& task,
+                               BatchStats* stats) {
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->num_queries = n;
+    stats->num_threads = threads_.size();
+  }
+  if (n == 0) return Status::OK();
+
+  const QueryStats before = index_->cumulative_stats();
+  const auto start = std::chrono::steady_clock::now();
+
+  auto batch = std::make_shared<Batch>();
+  batch->task = &task;
+  batch->total = n;
+  batch->latencies.assign(n, 0.0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = batch;
+    ++batch_seq_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return batch->completed.load(std::memory_order_acquire) == n;
+    });
+    current_.reset();
+  }
+
+  if (stats != nullptr) {
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    stats->qps =
+        stats->wall_seconds > 0.0 ? double(n) / stats->wall_seconds : 0.0;
+    const QueryStats after = index_->cumulative_stats();
+    stats->totals.page_accesses = after.page_accesses - before.page_accesses;
+    stats->totals.distance_computations =
+        after.distance_computations - before.distance_computations;
+    for (double l : batch->latencies) stats->totals.elapsed_seconds += l;
+    std::vector<double> sorted = batch->latencies;
+    std::sort(sorted.begin(), sorted.end());
+    stats->p50_seconds = PercentileSorted(sorted, 0.50);
+    stats->p99_seconds = PercentileSorted(sorted, 0.99);
+  }
+  return batch->first_error;
+}
+
+Status QueryExecutor::RunRangeBatch(const std::vector<Blob>& queries,
+                                    double r,
+                                    std::vector<std::vector<ObjectId>>* results,
+                                    BatchStats* stats) {
+  results->assign(queries.size(), {});
+  auto task = [&](size_t i) -> Status {
+    SPB_RETURN_IF_ERROR(
+        index_->RangeQuery(queries[i], r, &(*results)[i], nullptr));
+    // RangeQuery reports ids in traversal order; sort so batch output is
+    // deterministic and directly comparable across thread counts.
+    std::sort((*results)[i].begin(), (*results)[i].end());
+    return Status::OK();
+  };
+  return RunBatch(queries.size(), task, stats);
+}
+
+Status QueryExecutor::RunKnnBatch(const std::vector<Blob>& queries, size_t k,
+                                  std::vector<std::vector<Neighbor>>* results,
+                                  BatchStats* stats) {
+  results->assign(queries.size(), {});
+  auto task = [&](size_t i) -> Status {
+    return index_->KnnQuery(queries[i], k, &(*results)[i], nullptr);
+  };
+  return RunBatch(queries.size(), task, stats);
+}
+
+}  // namespace spb

@@ -1,0 +1,112 @@
+#ifndef SPB_EXEC_QUERY_EXECUTOR_H_
+#define SPB_EXEC_QUERY_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/blob.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/metric_index.h"
+
+namespace spb {
+
+/// Aggregate outcome of one batch run. Throughput and latency percentiles
+/// come from per-query wall clocks measured inside the workers; PA and
+/// compdists totals come from the index's atomic cumulative counters
+/// (exact in aggregate — per-query attribution is impossible once queries
+/// overlap, see docs/ARCHITECTURE.md §"Cost accounting").
+struct BatchStats {
+  size_t num_queries = 0;
+  size_t num_threads = 0;
+  /// End-to-end wall time of the batch (submission to last completion).
+  double wall_seconds = 0.0;
+  /// num_queries / wall_seconds.
+  double qps = 0.0;
+  /// Per-query latency percentiles (seconds).
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  /// Exact aggregate PA + compdists over the batch; elapsed_seconds is the
+  /// sum of per-query latencies (i.e. total busy time across workers).
+  QueryStats totals;
+};
+
+/// A fixed-size thread pool that fans batches of queries over one
+/// MetricIndex. The index must be in its immutable (bulk-loaded, quiescent)
+/// state for the lifetime of every batch: the executor relies on the
+/// concurrent-reader guarantees of SpbTree/BPlusTree/Raf/BufferPool and
+/// performs no locking of its own around index calls.
+///
+/// The executor owns `num_threads` worker threads for its whole lifetime
+/// (created eagerly, joined in the destructor). Batches run one at a time;
+/// RunRangeBatch/RunKnnBatch block the calling thread until the batch
+/// drains. Workers pull query indices from a shared atomic cursor, so skew
+/// between query costs self-balances.
+///
+/// While a batch is in flight the executor assumes exclusive use of the
+/// index's cumulative counters; interleaving other queries on the same
+/// index from outside the executor corrupts the reported totals (not the
+/// results).
+class QueryExecutor {
+ public:
+  /// `index` must outlive the executor. `num_threads` is clamped to >= 1.
+  QueryExecutor(MetricIndex* index, size_t num_threads);
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Runs RQ(q, r) for every q in `queries`. `results` is resized to
+  /// queries.size(); slot i holds the ids for queries[i], sorted ascending
+  /// so the output is deterministic regardless of thread interleaving.
+  /// Returns the first query error, if any (remaining queries still run).
+  Status RunRangeBatch(const std::vector<Blob>& queries, double r,
+                       std::vector<std::vector<ObjectId>>* results,
+                       BatchStats* stats = nullptr);
+
+  /// Runs kNN(q, k) for every q in `queries`; slot i holds queries[i]'s
+  /// neighbors sorted by ascending distance (the index's own order).
+  Status RunKnnBatch(const std::vector<Blob>& queries, size_t k,
+                     std::vector<std::vector<Neighbor>>* results,
+                     BatchStats* stats = nullptr);
+
+  size_t num_threads() const { return threads_.size(); }
+  MetricIndex* index() { return index_; }
+
+ private:
+  struct Batch {
+    const std::function<Status(size_t)>* task = nullptr;
+    size_t total = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::vector<double> latencies;
+    std::mutex error_mu;
+    Status first_error;
+  };
+
+  /// Fans `task(0..n-1)` over the pool, filling `stats` from the per-query
+  /// latencies and the index counter delta.
+  Status RunBatch(size_t n, const std::function<Status(size_t)>& task,
+                  BatchStats* stats);
+  void WorkerLoop();
+
+  MetricIndex* index_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Batch> current_;
+  uint64_t batch_seq_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace spb
+
+#endif  // SPB_EXEC_QUERY_EXECUTOR_H_

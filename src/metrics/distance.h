@@ -1,6 +1,7 @@
 #ifndef SPB_METRICS_DISTANCE_H_
 #define SPB_METRICS_DISTANCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -33,26 +34,29 @@ class DistanceFunction {
 
 /// Decorator counting every distance evaluation — the paper's compdists
 /// metric. All index code computes distances through one of these so the
-/// count is complete by construction.
+/// count is complete by construction. The counter is atomic (relaxed): one
+/// wrapper is shared by all threads querying an index concurrently, and the
+/// aggregate compdists total must stay exact (docs/ARCHITECTURE.md
+/// §"Threading model").
 class CountingDistance final : public DistanceFunction {
  public:
   /// `base` must outlive this wrapper.
   explicit CountingDistance(const DistanceFunction* base) : base_(base) {}
 
   double Distance(const Blob& a, const Blob& b) const override {
-    ++count_;
+    count_.fetch_add(1, std::memory_order_relaxed);
     return base_->Distance(a, b);
   }
   double max_distance() const override { return base_->max_distance(); }
   bool is_discrete() const override { return base_->is_discrete(); }
   std::string name() const override { return base_->name(); }
 
-  uint64_t count() const { return count_; }
-  void Reset() { count_ = 0; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset() { count_.store(0, std::memory_order_relaxed); }
 
  private:
   const DistanceFunction* base_;
-  mutable uint64_t count_ = 0;
+  mutable std::atomic<uint64_t> count_{0};
 };
 
 }  // namespace spb

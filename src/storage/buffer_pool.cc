@@ -1,51 +1,81 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+
 namespace spb {
 
-Status BufferPool::Read(PageId id, Page* out) {
-  auto it = index_.find(id);
-  if (it != index_.end()) {
-    ++stats_.cache_hits;
-    Touch(it->second);
-    *out = it->second->page;
-    return Status::OK();
+void BufferPool::Resize(size_t capacity) {
+  capacity_ = capacity;
+  size_t num_shards = 1;
+  if (capacity >= 2 * kMinShardPages) {
+    num_shards = std::min(kMaxShards, capacity / kMinShardPages);
   }
+  shards_.clear();
+  shards_.reserve(num_shards);
+  const size_t base = capacity / num_shards;
+  const size_t extra = capacity % num_shards;
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < extra ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Status BufferPool::Read(PageId id, Page* out) {
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(id);
+    if (it != shard.index.end()) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *out = it->second->page;
+      return Status::OK();
+    }
+  }
+  // Miss: fetch outside the lock so a slow page read does not serialize the
+  // whole stripe. Two threads may race on the same cold page; each fetch is
+  // a real file access, so each counts one page read (PA stays exact).
   SPB_RETURN_IF_ERROR(file_->Read(id, out));
-  ++stats_.page_reads;
-  InsertIntoCache(id, *out);
+  stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.InsertLocked(id, *out);
+  }
   return Status::OK();
 }
 
 Status BufferPool::Write(PageId id, const Page& page) {
   SPB_RETURN_IF_ERROR(file_->Write(id, page));
-  ++stats_.page_writes;
-  auto it = index_.find(id);
-  if (it != index_.end()) {
-    it->second->page = page;
-    Touch(it->second);
-  } else {
-    InsertIntoCache(id, page);
-  }
+  stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.InsertLocked(id, page);
   return Status::OK();
 }
 
 void BufferPool::Flush() {
-  lru_.clear();
-  index_.clear();
-}
-
-void BufferPool::Touch(std::list<Entry>::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
-}
-
-void BufferPool::InsertIntoCache(PageId id, const Page& page) {
-  if (capacity_ == 0) return;
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().id);
-    lru_.pop_back();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
   }
-  lru_.push_front(Entry{id, page});
-  index_[id] = lru_.begin();
+}
+
+void BufferPool::Shard::InsertLocked(PageId id, const Page& page) {
+  auto it = index.find(id);
+  if (it != index.end()) {
+    it->second->page = page;
+    lru.splice(lru.begin(), lru, it->second);
+    return;
+  }
+  if (capacity == 0) return;
+  if (lru.size() >= capacity) {
+    index.erase(lru.back().id);
+    lru.pop_back();
+  }
+  lru.push_front(Entry{id, page});
+  index[id] = lru.begin();
 }
 
 }  // namespace spb

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/status.h"
@@ -23,11 +25,29 @@ namespace spb {
 /// access; a cached read counts as a hit, an uncached read as one page
 /// access. `capacity == 0` disables caching entirely (the paper's "cache size
 /// 0" configuration).
+///
+/// Thread safety: Read() and Write() are safe to call concurrently. The LRU
+/// is striped — pages hash to one of up to kMaxShards independent shards,
+/// each with its own mutex, list and map, so concurrent readers touching
+/// different pages do not contend. IoStats counters are atomic, keeping the
+/// PA totals exact under concurrency. Small pools (fewer than
+/// 2 * kMinShardPages pages) collapse to a single shard so the eviction
+/// order stays exactly the classic global-LRU order the unit tests and the
+/// paper's small-cache experiments rely on. Flush()/set_capacity() are safe
+/// but must not race with a concurrent Write() if the caller needs the
+/// "write-through already hit the file" guarantee for pending writes.
 class BufferPool {
  public:
-  /// `file` must outlive the pool. `capacity` is in pages.
-  BufferPool(PageFile* file, size_t capacity)
-      : file_(file), capacity_(capacity) {}
+  /// Number of LRU shards used for large pools.
+  static constexpr size_t kMaxShards = 8;
+  /// Minimum pages per shard; below 2*this the pool is unsharded.
+  static constexpr size_t kMinShardPages = 16;
+
+  /// `file` must outlive the pool. `capacity` is in pages (total across all
+  /// shards).
+  BufferPool(PageFile* file, size_t capacity) : file_(file) {
+    Resize(capacity);
+  }
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -45,11 +65,9 @@ class BufferPool {
   void Flush();
 
   /// Changes the cache capacity; drops contents.
-  void set_capacity(size_t capacity) {
-    capacity_ = capacity;
-    Flush();
-  }
+  void set_capacity(size_t capacity) { Resize(capacity); }
   size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
 
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
@@ -62,14 +80,27 @@ class BufferPool {
     Page page;
   };
 
-  void Touch(std::list<Entry>::iterator it);
-  void InsertIntoCache(PageId id, const Page& page);
+  /// One independent LRU slice. Most-recently-used at the front of `lru`.
+  struct Shard {
+    std::mutex mu;
+    size_t capacity = 0;
+    std::list<Entry> lru;
+    std::unordered_map<PageId, std::list<Entry>::iterator> index;
+
+    void InsertLocked(PageId id, const Page& page);
+  };
+
+  Shard& ShardFor(PageId id) {
+    // Consecutive page ids round-robin across shards, so the sequential
+    // leaf/RAF locality of one query spreads over all stripe mutexes.
+    return *shards_[id % shards_.size()];
+  }
+
+  void Resize(size_t capacity);
 
   PageFile* file_;
-  size_t capacity_;
-  // Most-recently-used at the front.
-  std::list<Entry> lru_;
-  std::unordered_map<PageId, std::list<Entry>::iterator> index_;
+  size_t capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
   IoStats stats_;
 };
 

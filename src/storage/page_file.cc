@@ -1,6 +1,9 @@
 #include "storage/page_file.h"
 
-#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstring>
 
 namespace spb {
@@ -19,6 +22,9 @@ class MemoryPageFile final : public PageFile {
     return Status::OK();
   }
 
+  // Safe for concurrent readers: pages are heap-allocated and stable, and
+  // the readers-only contract (see docs/ARCHITECTURE.md §"Threading model")
+  // forbids a concurrent Allocate/Write.
   Status Read(PageId id, Page* out) override {
     if (id >= pages_.size()) {
       return Status::InvalidArgument("page id out of range");
@@ -41,69 +47,78 @@ class MemoryPageFile final : public PageFile {
   std::vector<std::unique_ptr<Page>> pages_;
 };
 
+/// File-backed pages over a raw file descriptor. Reads and writes use
+/// positional I/O (pread/pwrite), so concurrent readers never race on a
+/// shared file offset — unlike FILE*-based stdio, whose fseek+fread pairs
+/// are unusable from multiple threads.
 class DiskPageFile final : public PageFile {
  public:
-  DiskPageFile(std::FILE* file, PageId num_pages)
-      : file_(file), num_pages_(num_pages) {}
+  DiskPageFile(int fd, PageId num_pages) : fd_(fd), num_pages_(num_pages) {}
 
   ~DiskPageFile() override {
-    if (file_ != nullptr) std::fclose(file_);
+    if (fd_ >= 0) ::close(fd_);
   }
 
-  PageId num_pages() const override { return num_pages_; }
+  PageId num_pages() const override {
+    return num_pages_.load(std::memory_order_relaxed);
+  }
 
   Status Allocate(PageId* id) override {
     Page zero;
-    if (std::fseek(file_, static_cast<long>(num_pages_) *
-                              static_cast<long>(kPageSize),
-                   SEEK_SET) != 0) {
-      return Status::IOError("seek failed in Allocate");
-    }
-    if (std::fwrite(zero.bytes(), 1, kPageSize, file_) != kPageSize) {
+    const PageId next = num_pages_.load(std::memory_order_relaxed);
+    if (!WriteFull(next, zero)) {
       return Status::IOError("short write in Allocate");
     }
-    *id = num_pages_++;
+    *id = next;
+    num_pages_.store(next + 1, std::memory_order_relaxed);
     return Status::OK();
   }
 
   Status Read(PageId id, Page* out) override {
-    if (id >= num_pages_) {
+    if (id >= num_pages()) {
       return Status::InvalidArgument("page id out of range");
     }
-    if (std::fseek(file_,
-                   static_cast<long>(id) * static_cast<long>(kPageSize),
-                   SEEK_SET) != 0) {
-      return Status::IOError("seek failed in Read");
-    }
-    if (std::fread(out->bytes(), 1, kPageSize, file_) != kPageSize) {
-      return Status::IOError("short read");
+    size_t done = 0;
+    while (done < kPageSize) {
+      const ssize_t n =
+          ::pread(fd_, out->bytes() + done, kPageSize - done,
+                  static_cast<off_t>(id) * static_cast<off_t>(kPageSize) +
+                      static_cast<off_t>(done));
+      if (n <= 0) return Status::IOError("short read");
+      done += static_cast<size_t>(n);
     }
     return Status::OK();
   }
 
   Status Write(PageId id, const Page& page) override {
-    if (id >= num_pages_) {
+    if (id >= num_pages()) {
       return Status::InvalidArgument("page id out of range");
     }
-    if (std::fseek(file_,
-                   static_cast<long>(id) * static_cast<long>(kPageSize),
-                   SEEK_SET) != 0) {
-      return Status::IOError("seek failed in Write");
-    }
-    if (std::fwrite(page.bytes(), 1, kPageSize, file_) != kPageSize) {
-      return Status::IOError("short write");
-    }
+    if (!WriteFull(id, page)) return Status::IOError("short write");
     return Status::OK();
   }
 
   Status Sync() override {
-    if (std::fflush(file_) != 0) return Status::IOError("flush failed");
+    if (::fdatasync(fd_) != 0) return Status::IOError("fdatasync failed");
     return Status::OK();
   }
 
  private:
-  std::FILE* file_;
-  PageId num_pages_;
+  bool WriteFull(PageId id, const Page& page) {
+    size_t done = 0;
+    while (done < kPageSize) {
+      const ssize_t n =
+          ::pwrite(fd_, page.bytes() + done, kPageSize - done,
+                   static_cast<off_t>(id) * static_cast<off_t>(kPageSize) +
+                       static_cast<off_t>(done));
+      if (n <= 0) return false;
+      done += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  int fd_;
+  std::atomic<PageId> num_pages_;
 };
 
 }  // namespace
@@ -114,31 +129,27 @@ std::unique_ptr<PageFile> PageFile::CreateInMemory() {
 
 Status PageFile::CreateOnDisk(const std::string& path,
                               std::unique_ptr<PageFile>* out) {
-  std::FILE* f = std::fopen(path.c_str(), "wb+");
-  if (f == nullptr) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
     return Status::IOError("cannot create page file: " + path);
   }
-  *out = std::make_unique<DiskPageFile>(f, 0);
+  *out = std::make_unique<DiskPageFile>(fd, 0);
   return Status::OK();
 }
 
 Status PageFile::OpenOnDisk(const std::string& path,
                             std::unique_ptr<PageFile>* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb+");
-  if (f == nullptr) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
     return Status::IOError("cannot open page file: " + path);
   }
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    std::fclose(f);
-    return Status::IOError("seek failed while sizing: " + path);
-  }
-  long size = std::ftell(f);
+  const off_t size = ::lseek(fd, 0, SEEK_END);
   if (size < 0 || static_cast<size_t>(size) % kPageSize != 0) {
-    std::fclose(f);
+    ::close(fd);
     return Status::Corruption("page file size is not page-aligned: " + path);
   }
   *out = std::make_unique<DiskPageFile>(
-      f, static_cast<PageId>(static_cast<size_t>(size) / kPageSize));
+      fd, static_cast<PageId>(static_cast<size_t>(size) / kPageSize));
   return Status::OK();
 }
 

@@ -93,6 +93,9 @@ Status Raf::ReadBytes(uint64_t offset, uint8_t* dst, size_t n) {
     const size_t chunk = std::min(n, kPageSize - in_page);
 
     if (page == tail_id_ && tail_dirty_) {
+      // The pinned tail buffer absorbs this read: a cache hit, not a PA
+      // (docs/ARCHITECTURE.md §"Cost accounting").
+      pool_.stats().cache_hits.fetch_add(1, std::memory_order_relaxed);
       std::memcpy(dst, tail_.bytes() + in_page, chunk);
     } else {
       Page buf;

@@ -20,6 +20,16 @@ namespace spb {
 ///
 /// Page 0 is a header page (magic, end offset, record count); data starts at
 /// byte offset kPageSize.
+///
+/// Thread safety: Get() and ScanAll() are safe to call from any number of
+/// threads once the RAF is quiescent — i.e. after bulk-load + Sync(), when
+/// the tail page is clean and all reads flow through the (thread-safe)
+/// buffer pool. Append()/Sync()/FlushCache()/set_cache_pages() are
+/// single-writer operations and must not overlap with reads. Reads served
+/// from a dirty in-memory tail page count as cache hits (not page accesses):
+/// the tail is a pinned buffer, so serving from it is a cache hit under the
+/// paper's PA definition — previously these reads were invisible to the
+/// counters entirely.
 class Raf {
  public:
   /// Creates an empty RAF over a fresh page file. `cache_pages` sizes the LRU

@@ -1,0 +1,305 @@
+// Concurrent read-path tests: with the index in its immutable (bulk-loaded)
+// state, RangeQuery/KnnQuery/Raf::Get/BufferPool::Read from many threads
+// must return byte-identical results to the serial run, and the atomic
+// IoStats totals must match the serial totals on a cold (capacity-0) cache.
+// tools/check.sh also runs this binary under ThreadSanitizer
+// (-DSPB_SANITIZE=thread).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/spb_tree.h"
+#include "data/datasets.h"
+#include "exec/query_executor.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "storage/raf.h"
+
+namespace spb {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+// ------------------------------------------------------------- BufferPool
+
+TEST(ConcurrencyTest, BufferPoolConcurrentReadsSeeConsistentPages) {
+  auto file = PageFile::CreateInMemory();
+  constexpr size_t kPages = 64;
+  for (size_t i = 0; i < kPages; ++i) {
+    PageId id;
+    ASSERT_TRUE(file->Allocate(&id).ok());
+    Page p;
+    // Every byte of page i holds i, so torn reads are detectable.
+    for (size_t b = 0; b < kPageSize; ++b) p.bytes()[b] = uint8_t(i);
+    ASSERT_TRUE(file->Write(id, p).ok());
+  }
+
+  BufferPool pool(file.get(), 48);
+  EXPECT_GT(pool.num_shards(), 1u) << "capacity 48 should stripe the LRU";
+  constexpr size_t kReadsPerThread = 2000;
+  std::atomic<size_t> torn{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      Page p;
+      for (size_t i = 0; i < kReadsPerThread; ++i) {
+        const PageId id = PageId(rng.Uniform(kPages));
+        ASSERT_TRUE(pool.Read(id, &p).ok());
+        for (size_t b = 0; b < kPageSize; ++b) {
+          if (p.bytes()[b] != uint8_t(id)) {
+            torn.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(torn.load(), 0u);
+  // Every read was either a hit or a miss; the atomic counters lost nothing.
+  EXPECT_EQ(pool.stats().page_reads + pool.stats().cache_hits,
+            kThreads * kReadsPerThread);
+}
+
+TEST(ConcurrencyTest, BufferPoolZeroCapacityCountsEveryConcurrentRead) {
+  auto file = PageFile::CreateInMemory();
+  PageId id;
+  ASSERT_TRUE(file->Allocate(&id).ok());
+  BufferPool pool(file.get(), 0);
+  constexpr size_t kReadsPerThread = 500;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Page p;
+      for (size_t i = 0; i < kReadsPerThread; ++i) {
+        ASSERT_TRUE(pool.Read(0, &p).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // With no cache, every read is a page access — deterministic even under
+  // maximal contention.
+  EXPECT_EQ(pool.stats().page_reads, kThreads * kReadsPerThread);
+  EXPECT_EQ(pool.stats().cache_hits, 0u);
+}
+
+// -------------------------------------------------------------------- RAF
+
+TEST(ConcurrencyTest, RafConcurrentGetsReturnIdenticalRecords) {
+  std::unique_ptr<Raf> raf;
+  ASSERT_TRUE(Raf::Create(PageFile::CreateInMemory(), 32, &raf).ok());
+  Rng rng(7);
+  std::vector<uint64_t> offsets;
+  std::vector<Blob> expected;
+  for (size_t i = 0; i < 500; ++i) {
+    Blob obj(8 + rng.Uniform(200));
+    for (auto& b : obj) b = uint8_t(rng.Uniform(256));
+    uint64_t off;
+    ASSERT_TRUE(raf->Append(ObjectId(i), obj, &off).ok());
+    offsets.push_back(off);
+    expected.push_back(std::move(obj));
+  }
+  ASSERT_TRUE(raf->Sync().ok());  // quiescent: tail clean, reads are safe
+
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng trng(40 + t);
+      ObjectId id;
+      Blob obj;
+      for (size_t i = 0; i < 1000; ++i) {
+        const size_t pick = trng.Uniform(offsets.size());
+        ASSERT_TRUE(raf->Get(offsets[pick], &id, &obj).ok());
+        if (id != ObjectId(pick) || obj != expected[pick]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+// ------------------------------------------------- SPB-tree query fan-out
+
+class SpbConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = MakeDatasetByName("synthetic", 2000, 4242);
+    SpbTreeOptions opts;
+    // Capacity-0 caches make cold-cache PA deterministic per query, so the
+    // summed concurrent totals must equal the serial totals exactly.
+    opts.btree_cache_pages = 0;
+    opts.raf_cache_pages = 0;
+    ASSERT_TRUE(
+        SpbTree::Build(ds_.objects, ds_.metric.get(), opts, &tree_).ok());
+    const double d_plus = ds_.metric->max_distance();
+    radius_ = 0.08 * d_plus;
+    for (size_t i = 0; i < 24; ++i) queries_.push_back(ds_.objects[i]);
+  }
+
+  QueryStats SerialRange(std::vector<std::vector<ObjectId>>* results) {
+    tree_->ResetCounters();
+    results->assign(queries_.size(), {});
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      EXPECT_TRUE(
+          tree_->RangeQuery(queries_[i], radius_, &(*results)[i]).ok());
+      std::sort((*results)[i].begin(), (*results)[i].end());
+    }
+    return tree_->cumulative_stats();
+  }
+
+  QueryStats SerialKnn(size_t k, std::vector<std::vector<Neighbor>>* results) {
+    tree_->ResetCounters();
+    results->assign(queries_.size(), {});
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      EXPECT_TRUE(tree_->KnnQuery(queries_[i], k, &(*results)[i]).ok());
+    }
+    return tree_->cumulative_stats();
+  }
+
+  Dataset ds_;
+  std::unique_ptr<SpbTree> tree_;
+  std::vector<Blob> queries_;
+  double radius_ = 0.0;
+};
+
+TEST_F(SpbConcurrencyTest, ConcurrentRangeMatchesSerialResultsAndStats) {
+  std::vector<std::vector<ObjectId>> serial;
+  const QueryStats serial_totals = SerialRange(&serial);
+
+  tree_->ResetCounters();
+  std::vector<std::vector<ObjectId>> concurrent(queries_.size());
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= queries_.size()) break;
+        ASSERT_TRUE(
+            tree_->RangeQuery(queries_[i], radius_, &concurrent[i]).ok());
+        std::sort(concurrent[i].begin(), concurrent[i].end());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const QueryStats concurrent_totals = tree_->cumulative_stats();
+
+  EXPECT_EQ(concurrent, serial);
+  EXPECT_EQ(concurrent_totals.page_accesses, serial_totals.page_accesses);
+  EXPECT_EQ(concurrent_totals.distance_computations,
+            serial_totals.distance_computations);
+}
+
+TEST_F(SpbConcurrencyTest, ConcurrentKnnMatchesSerialResultsAndStats) {
+  constexpr size_t kK = 10;
+  std::vector<std::vector<Neighbor>> serial;
+  const QueryStats serial_totals = SerialKnn(kK, &serial);
+
+  tree_->ResetCounters();
+  std::vector<std::vector<Neighbor>> concurrent(queries_.size());
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= queries_.size()) break;
+        ASSERT_TRUE(tree_->KnnQuery(queries_[i], kK, &concurrent[i]).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const QueryStats concurrent_totals = tree_->cumulative_stats();
+
+  EXPECT_EQ(concurrent, serial);
+  EXPECT_EQ(concurrent_totals.page_accesses, serial_totals.page_accesses);
+  EXPECT_EQ(concurrent_totals.distance_computations,
+            serial_totals.distance_computations);
+}
+
+TEST_F(SpbConcurrencyTest, ConcurrentQueriesWithWarmSharedCache) {
+  // With real cache capacities the PA totals are interleaving-dependent, but
+  // the results must still be identical. This is the configuration that
+  // actually exercises the striped LRU under contention.
+  tree_->btree().pool().set_capacity(128);
+  tree_->SetRafCachePages(128);
+
+  std::vector<std::vector<ObjectId>> serial;
+  SerialRange(&serial);
+  std::vector<std::vector<ObjectId>> concurrent(queries_.size());
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= queries_.size()) break;
+        ASSERT_TRUE(
+            tree_->RangeQuery(queries_[i], radius_, &concurrent[i]).ok());
+        std::sort(concurrent[i].begin(), concurrent[i].end());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(concurrent, serial);
+}
+
+// ---------------------------------------------------------- QueryExecutor
+
+TEST_F(SpbConcurrencyTest, ExecutorRangeBatchMatchesSerial) {
+  std::vector<std::vector<ObjectId>> serial;
+  const QueryStats serial_totals = SerialRange(&serial);
+
+  QueryExecutor exec(tree_.get(), 4);
+  EXPECT_EQ(exec.num_threads(), 4u);
+  tree_->ResetCounters();
+  std::vector<std::vector<ObjectId>> batch;
+  BatchStats stats;
+  ASSERT_TRUE(exec.RunRangeBatch(queries_, radius_, &batch, &stats).ok());
+
+  EXPECT_EQ(batch, serial);
+  EXPECT_EQ(stats.num_queries, queries_.size());
+  EXPECT_EQ(stats.totals.page_accesses, serial_totals.page_accesses);
+  EXPECT_EQ(stats.totals.distance_computations,
+            serial_totals.distance_computations);
+  EXPECT_GT(stats.qps, 0.0);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_LE(stats.p50_seconds, stats.p99_seconds);
+}
+
+TEST_F(SpbConcurrencyTest, ExecutorKnnBatchMatchesSerial) {
+  constexpr size_t kK = 5;
+  std::vector<std::vector<Neighbor>> serial;
+  SerialKnn(kK, &serial);
+
+  QueryExecutor exec(tree_.get(), kThreads);
+  std::vector<std::vector<Neighbor>> batch;
+  BatchStats stats;
+  ASSERT_TRUE(exec.RunKnnBatch(queries_, kK, &batch, &stats).ok());
+  EXPECT_EQ(batch, serial);
+  for (const auto& nn : batch) EXPECT_EQ(nn.size(), kK);
+}
+
+TEST_F(SpbConcurrencyTest, ExecutorRunsConsecutiveAndEmptyBatches) {
+  QueryExecutor exec(tree_.get(), 3);
+  std::vector<std::vector<ObjectId>> a, b;
+  BatchStats stats;
+  ASSERT_TRUE(
+      exec.RunRangeBatch(std::vector<Blob>{}, radius_, &a, &stats).ok());
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(stats.num_queries, 0u);
+  ASSERT_TRUE(exec.RunRangeBatch(queries_, radius_, &a, nullptr).ok());
+  ASSERT_TRUE(exec.RunRangeBatch(queries_, radius_, &b, &stats).ok());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace spb

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
+# build that runs the concurrency tests (the concurrent read path must be
+# data-race-free, not just correct-by-luck).
+#
+#   tools/check.sh            # everything
+#   tools/check.sh --tsan     # only the TSan stage
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_tier1() {
+  echo "==> tier-1: build + ctest"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}"
+  ctest --test-dir build --output-on-failure -j "${JOBS}"
+}
+
+run_tsan() {
+  echo "==> tsan: concurrency tests under ThreadSanitizer"
+  cmake -B build-tsan -S . -DSPB_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target concurrency_test
+  ./build-tsan/tests/concurrency_test
+}
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  run_tsan
+else
+  run_tier1
+  run_tsan
+fi
+echo "==> all checks passed"
