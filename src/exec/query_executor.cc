@@ -45,6 +45,10 @@ void QueryExecutor::WorkerLoop() {
       seen_seq = batch_seq_;
       batch = current_;
     }
+    // A worker can sleep through an entire batch: RunBatch may have already
+    // reset current_ by the time it wakes, even though batch_seq_ advanced.
+    // There is no work left for it, so go back to waiting for the next batch.
+    if (!batch) continue;
     for (;;) {
       const size_t i =
           batch->next.fetch_add(1, std::memory_order_relaxed);

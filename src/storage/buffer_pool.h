@@ -33,9 +33,13 @@ namespace spb {
 /// PA totals exact under concurrency. Small pools (fewer than
 /// 2 * kMinShardPages pages) collapse to a single shard so the eviction
 /// order stays exactly the classic global-LRU order the unit tests and the
-/// paper's small-cache experiments rely on. Flush()/set_capacity() are safe
-/// but must not race with a concurrent Write() if the caller needs the
-/// "write-through already hit the file" guarantee for pending writes.
+/// paper's small-cache experiments rely on. set_capacity() is NOT
+/// thread-safe: it rebuilds the shard array (destroying the per-shard
+/// mutexes out from under any reader), so the caller must externally exclude
+/// it from *all* concurrent Read()/Write() calls. Flush() takes each shard
+/// lock and is memory-safe, but treat both as single-writer operations
+/// (reconfigure the pool only between query batches) — the same contract the
+/// SPB-tree and RAF layers follow.
 class BufferPool {
  public:
   /// Number of LRU shards used for large pools.

@@ -99,7 +99,16 @@ class DiskPageFile final : public PageFile {
   }
 
   Status Sync() override {
+#if defined(__APPLE__)
+    // macOS has no fdatasync; F_FULLFSYNC is the real durability barrier.
+    if (::fcntl(fd_, F_FULLFSYNC) != 0 && ::fsync(fd_) != 0) {
+      return Status::IOError("fsync failed");
+    }
+#elif defined(_POSIX_SYNCHRONIZED_IO) && _POSIX_SYNCHRONIZED_IO > 0
     if (::fdatasync(fd_) != 0) return Status::IOError("fdatasync failed");
+#else
+    if (::fsync(fd_) != 0) return Status::IOError("fsync failed");
+#endif
     return Status::OK();
   }
 

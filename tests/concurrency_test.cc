@@ -301,5 +301,20 @@ TEST_F(SpbConcurrencyTest, ExecutorRunsConsecutiveAndEmptyBatches) {
   EXPECT_EQ(a, b);
 }
 
+// Regression: with far more workers than queries, most workers sleep through
+// a batch entirely and can wake after RunBatch has reset the current batch;
+// they must re-wait instead of dereferencing a null batch pointer.
+TEST_F(SpbConcurrencyTest, ExecutorSurvivesMoreThreadsThanQueries) {
+  QueryExecutor exec(tree_.get(), 8);
+  std::vector<Blob> one(queries_.begin(), queries_.begin() + 1);
+  std::vector<std::vector<ObjectId>> serial, got;
+  ASSERT_TRUE(tree_->RangeQuery(one[0], radius_, &serial.emplace_back()).ok());
+  std::sort(serial[0].begin(), serial[0].end());
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(exec.RunRangeBatch(one, radius_, &got, nullptr).ok());
+    ASSERT_EQ(got, serial);
+  }
+}
+
 }  // namespace
 }  // namespace spb
