@@ -1,0 +1,223 @@
+// Micro-benchmark for the distance-kernel layer (src/kernels/) plus the
+// query-level effect of cutoff-aware verification. Emits JSON so runs are
+// easy to diff and to record in EXPERIMENTS.md.
+//
+// Sections:
+//   kernels   — ns/call for every available kernel table (scalar, sse2,
+//               avx2, ...) across vector dims {2, 8, 20, 128, 282}, plus
+//               speedup of the dispatched Active() table over scalar.
+//   edit      — edit-distance ns/call, full DP vs banded cutoff DP, across
+//               string lengths.
+//   hamming   — byte-mismatch counting, scalar vs dispatched.
+//   queries   — RQA / NNA wall-clock and cutoff hit rates on a synthetic
+//               tree, early abandoning on vs off (warm caches, so the
+//               distance work dominates over I/O).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "core/spb_tree.h"
+#include "data/datasets.h"
+#include "kernels/kernels.h"
+#include "metrics/edit_distance.h"
+
+namespace spb {
+namespace {
+
+volatile double g_sink;  // defeats dead-code elimination of timed loops
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<float> RandomFloats(Rng* rng, size_t n) {
+  std::vector<float> v(n);
+  for (float& f : v) f = static_cast<float>(rng->NextDouble());
+  return v;
+}
+
+// Times `fn(pair_index)` averaged over enough repetitions of `pairs` items
+// to run ~0.1s; returns ns per call.
+template <typename Fn>
+double TimeNsPerCall(size_t pairs, Fn fn) {
+  // Warm-up + calibration pass.
+  double sink = 0.0;
+  for (size_t i = 0; i < pairs; ++i) sink += fn(i);
+  const double t0 = NowSeconds();
+  uint64_t calls = 0;
+  double elapsed = 0.0;
+  do {
+    for (size_t i = 0; i < pairs; ++i) sink += fn(i);
+    calls += pairs;
+    elapsed = NowSeconds() - t0;
+  } while (elapsed < 0.1);
+  g_sink = sink;
+  return elapsed * 1e9 / double(calls);
+}
+
+void BenchFloatKernels() {
+  const size_t kPairs = 512;
+  std::printf("  \"kernels\": [\n");
+  bool first = true;
+  for (size_t dim : {size_t(2), size_t(8), size_t(20), size_t(128),
+                     size_t(282)}) {
+    Rng rng(77 + dim);
+    std::vector<std::vector<float>> as, bs;
+    for (size_t i = 0; i < kPairs; ++i) {
+      as.push_back(RandomFloats(&rng, dim));
+      bs.push_back(RandomFloats(&rng, dim));
+    }
+    double scalar_l2 = 0.0;
+    for (const auto* table : kernels::AvailableTables()) {
+      const double l2 = TimeNsPerCall(kPairs, [&](size_t i) {
+        return table->l2_sq(as[i].data(), bs[i].data(), dim);
+      });
+      const double l1 = TimeNsPerCall(kPairs, [&](size_t i) {
+        return table->l1(as[i].data(), bs[i].data(), dim);
+      });
+      const double linf = TimeNsPerCall(kPairs, [&](size_t i) {
+        return table->linf(as[i].data(), bs[i].data(), dim);
+      });
+      if (std::string(table->name) == "scalar") scalar_l2 = l2;
+      std::printf("%s    {\"dim\": %zu, \"table\": \"%s\", "
+                  "\"l2_sq_ns\": %.1f, \"l1_ns\": %.1f, \"linf_ns\": %.1f, "
+                  "\"l2_speedup_vs_scalar\": %.2f}",
+                  first ? "" : ",\n", dim, table->name, l2, l1, linf,
+                  scalar_l2 > 0 ? scalar_l2 / l2 : 1.0);
+      first = false;
+    }
+  }
+  std::printf("\n  ],\n");
+}
+
+void BenchEditDistance() {
+  std::printf("  \"edit\": [\n");
+  bool first = true;
+  for (size_t len : {size_t(8), size_t(16), size_t(34)}) {
+    Rng rng(1234 + len);
+    const size_t kPairs = 256;
+    std::vector<Blob> as, bs;
+    for (size_t i = 0; i < kPairs; ++i) {
+      Blob a(len), b(len);
+      for (auto& c : a) c = uint8_t('a' + rng.Uniform(8));
+      for (auto& c : b) c = uint8_t('a' + rng.Uniform(8));
+      as.push_back(a);
+      bs.push_back(b);
+    }
+    const EditDistance metric(40);
+    const double full = TimeNsPerCall(kPairs, [&](size_t i) {
+      return metric.Distance(as[i], bs[i]);
+    });
+    // tau = 2: the selective regime a Words range query actually runs in.
+    const double banded = TimeNsPerCall(kPairs, [&](size_t i) {
+      return metric.DistanceWithCutoff(as[i], bs[i], 2.0);
+    });
+    std::printf("%s    {\"len\": %zu, \"full_dp_ns\": %.1f, "
+                "\"banded_tau2_ns\": %.1f, \"speedup\": %.2f}",
+                first ? "" : ",\n", len, full, banded, full / banded);
+    first = false;
+  }
+  std::printf("\n  ],\n");
+}
+
+void BenchHamming() {
+  const size_t kPairs = 512, len = 64;
+  Rng rng(5);
+  std::vector<std::vector<uint8_t>> as, bs;
+  for (size_t i = 0; i < kPairs; ++i) {
+    std::vector<uint8_t> a(len), b(len);
+    for (auto& c : a) c = uint8_t(rng.Uniform(4));
+    for (auto& c : b) c = uint8_t(rng.Uniform(4));
+    as.push_back(a);
+    bs.push_back(b);
+  }
+  std::printf("  \"hamming\": [\n");
+  bool first = true;
+  for (const auto* table : kernels::AvailableTables()) {
+    const double ns = TimeNsPerCall(kPairs, [&](size_t i) {
+      return double(table->hamming(as[i].data(), bs[i].data(), len));
+    });
+    std::printf("%s    {\"len\": %zu, \"table\": \"%s\", \"ns\": %.1f}",
+                first ? "" : ",\n", len, table->name, ns);
+    first = false;
+  }
+  std::printf("\n  ],\n");
+}
+
+// Query-level: same tree, same queries, cutoff on vs off. Warm caches so
+// the comparison isolates distance-computation work.
+void BenchQueries(const bench::BenchConfig& config) {
+  Dataset ds = MakeDatasetByName("synthetic", config.scale, config.seed);
+  SpbTreeOptions opts;
+  std::unique_ptr<SpbTree> tree;
+  if (!SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok()) {
+    std::fprintf(stderr, "build failed\n");
+    std::exit(1);
+  }
+  const std::vector<Blob> queries = bench::QueryWorkload(ds, config.queries);
+  const double r = 0.04 * ds.metric->max_distance();
+  const size_t k = 10;
+
+  auto run = [&](bool cutoff, const char* kind) {
+    tree->set_enable_cutoff(cutoff);
+    tree->ResetCounters();
+    std::vector<ObjectId> range_result;
+    std::vector<Neighbor> knn_result;
+    // Warm pass (fills both LRU caches), then the timed pass.
+    for (int pass = 0; pass < 2; ++pass) {
+      const double t0 = NowSeconds();
+      uint64_t calls0 = tree->counting().cutoff_calls();
+      uint64_t hits0 = tree->counting().cutoff_hits();
+      for (const Blob& q : queries) {
+        if (std::string(kind) == "range") {
+          if (!tree->RangeQuery(q, r, &range_result).ok()) std::abort();
+        } else {
+          if (!tree->KnnQuery(q, k, &knn_result).ok()) std::abort();
+        }
+      }
+      if (pass == 1) {
+        const double secs = NowSeconds() - t0;
+        const uint64_t calls = tree->counting().cutoff_calls() - calls0;
+        const uint64_t hits = tree->counting().cutoff_hits() - hits0;
+        std::printf("    {\"kind\": \"%s\", \"cutoff\": %s, "
+                    "\"qps\": %.1f, \"cutoff_calls\": %llu, "
+                    "\"cutoff_hits\": %llu, \"hit_rate\": %.3f}",
+                    kind, cutoff ? "true" : "false",
+                    double(queries.size()) / secs,
+                    (unsigned long long)calls, (unsigned long long)hits,
+                    calls > 0 ? double(hits) / double(calls) : 0.0);
+      }
+    }
+  };
+  std::printf("  \"queries\": [\n");
+  run(false, "range");
+  std::printf(",\n");
+  run(true, "range");
+  std::printf(",\n");
+  run(false, "knn");
+  std::printf(",\n");
+  run(true, "knn");
+  std::printf("\n  ]\n");
+}
+
+}  // namespace
+}  // namespace spb
+
+int main(int argc, char** argv) {
+  const spb::bench::BenchConfig config =
+      spb::bench::ParseArgs(argc, argv, /*default_scale=*/20000);
+  std::printf("{\n  \"active_table\": \"%s\",\n",
+              spb::kernels::Active().name);
+  spb::BenchFloatKernels();
+  spb::BenchEditDistance();
+  spb::BenchHamming();
+  spb::BenchQueries(config);
+  std::printf("}\n");
+  return 0;
+}

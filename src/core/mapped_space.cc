@@ -101,6 +101,82 @@ bool MappedSpace::IntersectBoxes(const std::vector<uint32_t>& alo,
   return true;
 }
 
+void MappedSpace::DecodeKeys(const uint64_t* keys, size_t count,
+                             CellBlock* block) const {
+  block->count = count;
+  block->dims = dims();
+  block->cells.resize(count * block->dims);
+  for (size_t i = 0; i < count; ++i) {
+    curve_->Decode(keys[i], &block->scratch);
+    // Scatter into dimension-major order; the decode itself is AoS but the
+    // downstream per-dimension sweeps dominate.
+    for (size_t d = 0; d < block->dims; ++d) {
+      block->cells[d * count + i] = block->scratch[d];
+    }
+  }
+}
+
+void MappedSpace::BatchCellInBox(const CellBlock& block,
+                                 const std::vector<uint32_t>& lo,
+                                 const std::vector<uint32_t>& hi,
+                                 std::vector<uint8_t>* out) {
+  const size_t n = block.count;
+  out->assign(n, 1);
+  uint8_t* flags = out->data();
+  for (size_t d = 0; d < block.dims; ++d) {
+    const uint32_t* c = block.cells.data() + d * n;
+    const uint32_t dlo = lo[d];
+    const uint32_t dhi = hi[d];
+    for (size_t i = 0; i < n; ++i) {
+      flags[i] = uint8_t(flags[i] & (c[i] >= dlo) & (c[i] <= dhi));
+    }
+  }
+}
+
+void MappedSpace::BatchLowerBoundToCell(const CellBlock& block,
+                                        const std::vector<double>& phi_q,
+                                        std::vector<double>* out) const {
+  const size_t n = block.count;
+  out->assign(n, 0.0);
+  double* best = out->data();
+  const double delta = disc_.delta();
+  const bool discrete = disc_.discrete();
+  for (size_t d = 0; d < block.dims; ++d) {
+    const uint32_t* c = block.cells.data() + d * n;
+    const double q = phi_q[d];
+    for (size_t i = 0; i < n; ++i) {
+      const double cell_lo = c[i] * delta;
+      const double cell_hi =
+          discrete ? static_cast<double>(c[i]) : (c[i] + 1) * delta;
+      // Branchless form of Discretizer::LowerBound: whichever side q falls
+      // on, the selected subtraction is the same one the scalar code
+      // performs, and the other operand of max() is <= 0 — bit-identical.
+      const double term = std::max(std::max(cell_lo - q, q - cell_hi), 0.0);
+      best[i] = std::max(best[i], term);
+    }
+  }
+}
+
+void MappedSpace::BatchGuaranteedWithin(const CellBlock& block,
+                                        const std::vector<double>& phi_q,
+                                        double r,
+                                        std::vector<uint8_t>* out) const {
+  const size_t n = block.count;
+  out->assign(n, 0);
+  uint8_t* flags = out->data();
+  const double delta = disc_.delta();
+  const bool discrete = disc_.discrete();
+  for (size_t d = 0; d < block.dims; ++d) {
+    const uint32_t* c = block.cells.data() + d * n;
+    const double slack = r - phi_q[d];
+    for (size_t i = 0; i < n; ++i) {
+      const double upper =
+          discrete ? static_cast<double>(c[i]) : (c[i] + 1) * delta;
+      flags[i] = uint8_t(flags[i] | (upper <= slack));
+    }
+  }
+}
+
 double MappedSpace::LowerBoundToCell(const std::vector<double>& phi_q,
                                      const std::vector<uint32_t>& cell) const {
   double best = 0.0;

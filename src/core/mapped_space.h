@@ -49,6 +49,49 @@ class MappedSpace {
     return curve_->Encode(ToCells(phi));
   }
 
+  /// Same, from a raw row of a PivotTable::MapBatch() buffer.
+  uint64_t KeyFor(const double* phi, size_t n) const {
+    std::vector<uint32_t> cells(n);
+    for (size_t i = 0; i < n; ++i) cells[i] = disc_.ToCell(phi[i]);
+    return curve_->Encode(cells);
+  }
+
+  /// A batch of decoded cells in structure-of-arrays layout: `cells[d *
+  /// count + i]` is dimension d of entry i, so the per-dimension sweeps of
+  /// the batch lemma checks stream over contiguous memory (and
+  /// auto-vectorize). Filled by DecodeKeys(); reuse one instance across
+  /// leaves to amortize the allocations.
+  struct CellBlock {
+    size_t count = 0;
+    size_t dims = 0;
+    std::vector<uint32_t> cells;    // dims * count entries, dimension-major
+    std::vector<uint32_t> scratch;  // one AoS cell during the decode loop
+
+    uint32_t At(size_t d, size_t i) const { return cells[d * count + i]; }
+  };
+
+  /// Decodes `count` SFC keys (one leaf's worth) into `block`.
+  void DecodeKeys(const uint64_t* keys, size_t count, CellBlock* block) const;
+
+  /// Batch Lemma 1: out[i] != 0 iff entry i's cell lies in [lo, hi].
+  /// Bit-for-bit equivalent to calling CellInBox per entry.
+  static void BatchCellInBox(const CellBlock& block,
+                             const std::vector<uint32_t>& lo,
+                             const std::vector<uint32_t>& hi,
+                             std::vector<uint8_t>* out);
+
+  /// Batch MIND(q, cell): out[i] = LowerBoundToCell(phi_q, cell_i), bit-
+  /// identical to the scalar loop (the branchless max(lo-q, q-hi, 0) form
+  /// evaluates the exact same subtraction in every case).
+  void BatchLowerBoundToCell(const CellBlock& block,
+                             const std::vector<double>& phi_q,
+                             std::vector<double>* out) const;
+
+  /// Batch Lemma 2: out[i] != 0 iff GuaranteedWithin(phi_q, cell_i, r).
+  void BatchGuaranteedWithin(const CellBlock& block,
+                             const std::vector<double>& phi_q, double r,
+                             std::vector<uint8_t>* out) const;
+
   /// The mapped range region RR(q, r) (Lemma 1) as an inclusive cell box.
   /// Always non-empty for r >= 0.
   void RangeRegion(const std::vector<double>& phi_q, double r,

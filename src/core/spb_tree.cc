@@ -122,16 +122,21 @@ Status SpbTree::BuildInternal(const std::vector<Blob>& objects,
   std::vector<std::vector<double>> sample;
   const size_t sample_cap = options.cost_sample_size;
   Rng sample_rng(options.seed ^ 0xc0);
+  // Map the whole dataset into one row-major buffer (same distance-call
+  // order as per-object Phi, without a vector allocation per object).
+  const size_t dims = tree->space_->dims();
+  std::vector<double> phis(objects.size() * dims);
+  tree->space_->pivots().MapBatch(objects.data(), objects.size(),
+                                  tree->counting_, phis.data());
   for (size_t i = 0; i < objects.size(); ++i) {
-    const std::vector<double> phi =
-        tree->space_->Phi(objects[i], tree->counting_);
-    mapped[i] = Mapped{tree->space_->KeyFor(phi), ObjectId(i)};
+    const double* phi = phis.data() + i * dims;
+    mapped[i] = Mapped{tree->space_->KeyFor(phi, dims), ObjectId(i)};
     if (sample_cap > 0) {
       if (sample.size() < sample_cap) {
-        sample.push_back(phi);
+        sample.emplace_back(phi, phi + dims);
       } else {
         const uint64_t slot = sample_rng.Uniform(i + 1);
-        if (slot < sample_cap) sample[slot] = phi;
+        if (slot < sample_cap) sample[slot].assign(phi, phi + dims);
       }
     }
   }
@@ -496,27 +501,46 @@ Status SpbTree::Delete(const Blob& obj, ObjectId id, bool* found) {
   return Status::OK();
 }
 
-Status SpbTree::VerifyRangeEntry(const LeafEntry& entry, const Blob& q,
-                                 const std::vector<double>& phi_q, double r,
-                                 bool check_region,
-                                 const std::vector<uint32_t>& rr_lo,
-                                 const std::vector<uint32_t>& rr_hi,
-                                 std::vector<ObjectId>* result) {
-  std::vector<uint32_t> cell;
-  space_->curve().Decode(entry.key, &cell);
-  if (check_region && !MappedSpace::CellInBox(cell, rr_lo, rr_hi)) {
-    return Status::OK();  // Lemma 1: phi(o) outside RR(q, r)
+Status SpbTree::VerifyLeafBatch(const LeafEntry* entries, size_t count,
+                                const Blob& q,
+                                const std::vector<double>& phi_q, double r,
+                                bool check_region,
+                                const std::vector<uint32_t>& rr_lo,
+                                const std::vector<uint32_t>& rr_hi,
+                                LeafScratch* scratch,
+                                std::vector<ObjectId>* result) {
+  if (count == 0) return Status::OK();
+  scratch->keys.resize(count);
+  for (size_t i = 0; i < count; ++i) scratch->keys[i] = entries[i].key;
+  space_->DecodeKeys(scratch->keys.data(), count, &scratch->block);
+  if (check_region) {  // batch Lemma 1
+    MappedSpace::BatchCellInBox(scratch->block, rr_lo, rr_hi,
+                                &scratch->in_box);
   }
-  ObjectId id;
-  Blob obj;
-  if (options_.enable_lemma2 && space_->GuaranteedWithin(phi_q, cell, r)) {
-    // Lemma 2: in the result without computing d(q, o).
-    SPB_RETURN_IF_ERROR(raf_->Get(entry.ptr, &id, &obj));
-    result->push_back(id);
-    return Status::OK();
+  if (options_.enable_lemma2) {  // batch Lemma 2
+    space_->BatchGuaranteedWithin(scratch->block, phi_q, r,
+                                  &scratch->guaranteed);
   }
-  SPB_RETURN_IF_ERROR(raf_->Get(entry.ptr, &id, &obj));
-  if (counting_.Distance(q, obj) <= r) result->push_back(id);
+  // Survivors are fetched and verified in entry order, so the result order,
+  // the RAF page-access order and the sequence of distance calls all match
+  // the per-entry loop this replaces.
+  for (size_t i = 0; i < count; ++i) {
+    if (check_region && !scratch->in_box[i]) {
+      continue;  // Lemma 1: phi(o) outside RR(q, r)
+    }
+    ObjectId id;
+    Blob obj;
+    SPB_RETURN_IF_ERROR(raf_->Get(entries[i].ptr, &id, &obj));
+    if (options_.enable_lemma2 && scratch->guaranteed[i]) {
+      // Lemma 2: in the result without computing d(q, o).
+      result->push_back(id);
+      continue;
+    }
+    const double d = options_.enable_cutoff
+                         ? counting_.DistanceWithCutoff(q, obj, r)
+                         : counting_.Distance(q, obj);
+    if (d <= r) result->push_back(id);
+  }
   return Status::OK();
 }
 
@@ -538,6 +562,7 @@ Status SpbTree::RangeQuery(const Blob& q, double r,
   todo.push(NodeRef{btree_->root(), false, {}, {}});
   BptNode node;
   std::vector<uint32_t> lo, hi;
+  LeafScratch scratch;
 
   while (!todo.empty()) {
     NodeRef ref = std::move(todo.front());
@@ -558,10 +583,10 @@ Status SpbTree::RangeQuery(const Blob& q, double r,
     if (ref.has_box &&
         MappedSpace::BoxContains(rr_lo, rr_hi, ref.lo, ref.hi)) {
       // MBB(N) fully inside RR: membership is implied.
-      for (const LeafEntry& e : node.leaf_entries) {
-        SPB_RETURN_IF_ERROR(VerifyRangeEntry(e, q, phi_q, r, false, rr_lo,
-                                             rr_hi, result));
-      }
+      SPB_RETURN_IF_ERROR(VerifyLeafBatch(node.leaf_entries.data(),
+                                          node.leaf_entries.size(), q, phi_q,
+                                          r, false, rr_lo, rr_hi, &scratch,
+                                          result));
       continue;
     }
     bool enumerated = false;
@@ -573,16 +598,15 @@ Status SpbTree::RangeQuery(const Blob& q, double r,
       }
       const uint64_t cells = RegionCellCount(ilo, ihi);
       if (options_.enable_compute_sfc && cells < node.leaf_entries.size()) {
-        // computeSFC path: enumerate the region's keys and merge-scan the
-        // (sorted) leaf entries against them.
+        // computeSFC path: enumerate the region's keys, merge-scan the
+        // (sorted) leaf entries against them, and batch-verify the matches.
         const std::vector<uint64_t> keys =
             EnumerateRegionKeys(space_->curve(), ilo, ihi);
+        scratch.matched.clear();
         size_t ei = 0, ki = 0;
         while (ei < node.leaf_entries.size() && ki < keys.size()) {
           if (node.leaf_entries[ei].key == keys[ki]) {
-            SPB_RETURN_IF_ERROR(VerifyRangeEntry(node.leaf_entries[ei], q,
-                                                 phi_q, r, false, rr_lo,
-                                                 rr_hi, result));
+            scratch.matched.push_back(node.leaf_entries[ei]);
             ++ei;
           } else if (node.leaf_entries[ei].key > keys[ki]) {
             ++ki;
@@ -590,14 +614,18 @@ Status SpbTree::RangeQuery(const Blob& q, double r,
             ++ei;
           }
         }
+        SPB_RETURN_IF_ERROR(VerifyLeafBatch(scratch.matched.data(),
+                                            scratch.matched.size(), q, phi_q,
+                                            r, false, rr_lo, rr_hi, &scratch,
+                                            result));
         enumerated = true;
       }
     }
     if (!enumerated) {
-      for (const LeafEntry& e : node.leaf_entries) {
-        SPB_RETURN_IF_ERROR(
-            VerifyRangeEntry(e, q, phi_q, r, true, rr_lo, rr_hi, result));
-      }
+      SPB_RETURN_IF_ERROR(VerifyLeafBatch(node.leaf_entries.data(),
+                                          node.leaf_entries.size(), q, phi_q,
+                                          r, true, rr_lo, rr_hi, &scratch,
+                                          result));
     }
   }
   return Status::OK();
@@ -628,11 +656,20 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
       best.push(Neighbor{id, d});
     }
   };
+  // With the cutoff enabled, the current k-th NN distance is the pruning
+  // threshold: an object at distance >= NDk can never enter `best` (offer()
+  // requires d < top), and DistanceWithCutoff returns a value > NDk exactly
+  // when d > NDk — so offer() makes the same decision, and any distance that
+  // does get stored is the exact one. While the heap is not yet full, NDk is
+  // +inf and the computation runs to completion.
   auto verify_entry = [&](const LeafEntry& e) -> Status {
     ObjectId id;
     Blob obj;
     SPB_RETURN_IF_ERROR(raf_->Get(e.ptr, &id, &obj));
-    offer(id, counting_.Distance(q, obj));
+    const double d = options_.enable_cutoff
+                         ? counting_.DistanceWithCutoff(q, obj, cur_ndk())
+                         : counting_.Distance(q, obj);
+    offer(id, d);
     return Status::OK();
   };
 
@@ -650,7 +687,19 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
   heap.push(HeapItem{0.0, false, btree_->root(), {}});
 
   BptNode node;
-  std::vector<uint32_t> lo, hi, cell;
+  std::vector<uint32_t> lo, hi;
+  LeafScratch scratch;
+  // Decodes one leaf's keys and computes all MIND(q, cell) bounds as one
+  // SoA batch. The bounds don't depend on the evolving NDk, so hoisting
+  // them out of the per-entry loop cannot change any pruning decision.
+  auto batch_bounds = [&](const std::vector<LeafEntry>& entries) {
+    scratch.keys.resize(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      scratch.keys[i] = entries[i].key;
+    }
+    space_->DecodeKeys(scratch.keys.data(), entries.size(), &scratch.block);
+    space_->BatchLowerBoundToCell(scratch.block, phi_q, &scratch.mind);
+  };
   while (!heap.empty()) {
     const HeapItem item = heap.top();
     heap.pop();
@@ -671,21 +720,23 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
       }
       continue;
     }
+    batch_bounds(node.leaf_entries);
     if (traversal == KnnTraversal::kGreedy) {
       // Greedy: evaluate the whole leaf now — no RAF page revisits later,
-      // at the price of possibly unnecessary distance computations.
-      for (const LeafEntry& e : node.leaf_entries) {
-        space_->curve().Decode(e.key, &cell);
-        if (space_->LowerBoundToCell(phi_q, cell) < cur_ndk()) {
-          SPB_RETURN_IF_ERROR(verify_entry(e));
+      // at the price of possibly unnecessary distance computations. The
+      // NDk comparison stays inside the loop (it tightens as entries are
+      // verified); only the bound computation was hoisted.
+      for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
+        if (scratch.mind[i] < cur_ndk()) {
+          SPB_RETURN_IF_ERROR(verify_entry(node.leaf_entries[i]));
         }
       }
     } else {
-      for (const LeafEntry& e : node.leaf_entries) {
-        space_->curve().Decode(e.key, &cell);
-        const double mind = space_->LowerBoundToCell(phi_q, cell);
-        if (mind < cur_ndk()) {
-          heap.push(HeapItem{mind, true, kInvalidPageId, e});
+      for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
+        if (scratch.mind[i] < cur_ndk()) {
+          heap.push(
+              HeapItem{scratch.mind[i], true, kInvalidPageId,
+                       node.leaf_entries[i]});
         }
       }
     }

@@ -47,6 +47,14 @@ struct SpbTreeOptions {
   /// their contribution. Production defaults: both on.
   bool enable_lemma2 = true;
   bool enable_compute_sfc = true;
+  /// Early-abandoning verification: queries pass their pruning threshold to
+  /// DistanceWithCutoff (RQA the radius, NNA the current k-th NN distance,
+  /// SJA the join radius) so the metric may stop mid-computation once the
+  /// object is provably pruned. Never changes results or compdists counts —
+  /// only the work done inside each distance call (see
+  /// docs/ARCHITECTURE.md §"Distance kernels"). Off = plain Distance(),
+  /// for ablation and regression tests.
+  bool enable_cutoff = true;
 };
 
 /// kNN traversal strategies of Section 4.3 / Table 5.
@@ -140,6 +148,11 @@ class SpbTree : public MetricIndex {
   uint64_t size() const { return num_objects_; }
   const MappedSpace& space() const { return *space_; }
   const DistanceFunction& metric() const { return counting_; }
+  /// The counting wrapper itself — exposes the cutoff-call/hit counters.
+  const CountingDistance& counting() const { return counting_; }
+  /// Ablation hook (single-writer: exclude concurrent queries while
+  /// flipping, like the other mutators).
+  void set_enable_cutoff(bool v) { options_.enable_cutoff = v; }
   BPlusTree& btree() { return *btree_; }
   const BPlusTree& btree() const { return *btree_; }
   Raf& raf() { return *raf_; }
@@ -177,14 +190,28 @@ class SpbTree : public MetricIndex {
   Status MakeFiles(std::unique_ptr<PageFile>* btree_file,
                    std::unique_ptr<PageFile>* raf_file) const;
 
-  // Verifies one leaf entry for a range query (the paper's VerifyRQ).
-  // `check_region` corresponds to the `flag` parameter of Algorithm 1.
-  Status VerifyRangeEntry(const LeafEntry& entry, const Blob& q,
-                          const std::vector<double>& phi_q, double r,
-                          bool check_region,
-                          const std::vector<uint32_t>& rr_lo,
-                          const std::vector<uint32_t>& rr_hi,
-                          std::vector<ObjectId>* result);
+  // Reusable per-query buffers for the batched leaf hot loop (stack-local in
+  // each query, so concurrent queries never share one).
+  struct LeafScratch {
+    std::vector<uint64_t> keys;
+    MappedSpace::CellBlock block;
+    std::vector<uint8_t> in_box;      // batch Lemma 1 flags
+    std::vector<uint8_t> guaranteed;  // batch Lemma 2 flags
+    std::vector<double> mind;         // batch MIND(q, cell) for NNA
+    std::vector<LeafEntry> matched;   // computeSFC merge output
+  };
+
+  // Verifies a run of leaf entries for a range query (the paper's VerifyRQ,
+  // batched): decodes all SFC keys into an SoA cell block, applies Lemma 1
+  // and Lemma 2 as per-dimension sweeps, then fetches/verifies survivors in
+  // entry order — same results, RAF access order and compdists as the
+  // entry-at-a-time loop. `check_region` is Algorithm 1's `flag` parameter.
+  Status VerifyLeafBatch(const LeafEntry* entries, size_t count, const Blob& q,
+                         const std::vector<double>& phi_q, double r,
+                         bool check_region,
+                         const std::vector<uint32_t>& rr_lo,
+                         const std::vector<uint32_t>& rr_hi,
+                         LeafScratch* scratch, std::vector<ObjectId>* result);
 
   // Collects node MBBs for the cost model (post-bulk-load tree walk).
   Status CollectNodeBoxes(

@@ -15,6 +15,11 @@ double Quickjoin::Distance(const Blob& a, const Blob& b) {
   return metric_->Distance(a, b);
 }
 
+bool Quickjoin::WithinEps(const Blob& a, const Blob& b, double eps) {
+  ++compdists_;
+  return metric_->DistanceWithCutoff(a, b, eps) <= eps;
+}
+
 std::vector<JoinPair> Quickjoin::Join(const std::vector<Blob>& q_objects,
                                       const std::vector<Blob>& o_objects,
                                       double epsilon, QueryStats* stats) {
@@ -49,7 +54,7 @@ void Quickjoin::BruteForce(const std::vector<Item>& items, double eps,
   for (size_t i = 0; i < items.size(); ++i) {
     for (size_t j = i + 1; j < items.size(); ++j) {
       if (items[i].from_q == items[j].from_q) continue;
-      if (Distance(*items[i].obj, *items[j].obj) <= eps) {
+      if (WithinEps(*items[i].obj, *items[j].obj, eps)) {
         const Item& q = items[i].from_q ? items[i] : items[j];
         const Item& o = items[i].from_q ? items[j] : items[i];
         out->push_back(JoinPair{q.id, o.id});
@@ -64,7 +69,7 @@ void Quickjoin::BruteForceCross(const std::vector<Item>& a,
   for (const Item& x : a) {
     for (const Item& y : b) {
       if (x.from_q == y.from_q) continue;
-      if (Distance(*x.obj, *y.obj) <= eps) {
+      if (WithinEps(*x.obj, *y.obj, eps)) {
         const Item& q = x.from_q ? x : y;
         const Item& o = x.from_q ? y : x;
         out->push_back(JoinPair{q.id, o.id});

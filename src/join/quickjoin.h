@@ -49,6 +49,9 @@ class Quickjoin {
   void BruteForceCross(const std::vector<Item>& a, const std::vector<Item>& b,
                        double eps, std::vector<JoinPair>* out);
   double Distance(const Blob& a, const Blob& b);
+  // d(a, b) <= eps via the early-abandoning path; counts as one compdist.
+  // Only for membership tests — partition distances need the exact value.
+  bool WithinEps(const Blob& a, const Blob& b, double eps);
 
   const DistanceFunction* metric_;
   size_t small_threshold_;

@@ -129,7 +129,11 @@ Status SimilarityJoinSJA(SpbTree& spb_q, SpbTree& spb_o, double epsilon,
   };
 
   // Verify(x, L): probe the opposite list, evicting items whose maxRR lies
-  // before x's SFC (no future partner can exist for them either).
+  // before x's SFC (no future partner can exist for them either). With the
+  // cutoff enabled the join radius is the pruning threshold: d <= epsilon
+  // decides membership either way, and the metric may abandon early for
+  // non-qualifying pairs.
+  const bool use_cutoff = spb_q.options().enable_cutoff;
   auto verify = [&](const ListItem& x, std::vector<ListItem>* list,
                     bool x_is_outer) {
     for (size_t idx = list->size(); idx-- > 0;) {
@@ -140,7 +144,11 @@ Status SimilarityJoinSJA(SpbTree& spb_q, SpbTree& spb_o, double epsilon,
       }
       if (o.sfc >= x.min_rr && o.sfc <= x.max_rr &&  // Lemma 6
           CellsMayQualify(disc, x.cell, o.cell, epsilon)) {  // Lemma 5
-        if (spb_q.metric().Distance(x.obj, o.obj) <= epsilon) {
+        const double d =
+            use_cutoff
+                ? spb_q.metric().DistanceWithCutoff(x.obj, o.obj, epsilon)
+                : spb_q.metric().Distance(x.obj, o.obj);
+        if (d <= epsilon) {
           result->push_back(x_is_outer ? JoinPair{x.id, o.id}
                                        : JoinPair{o.id, x.id});
         }

@@ -1,0 +1,200 @@
+#include "kernels/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/kernels_impl.h"
+
+namespace spb {
+namespace kernels {
+
+// Defined in the per-architecture TUs; each returns nullptr when its ISA is
+// unavailable at compile time (wrong target, or a portable -DSPB_SIMD=OFF
+// build). Runtime capability is checked here, at dispatch.
+const KernelTable* GetSse2Table();
+const KernelTable* GetAvx2Table();
+const KernelTable* GetNeonTable();
+BitGatherFn GetBmi2Pext();
+BitScatterFn GetBmi2Pdep();
+
+namespace {
+
+using detail::Op;
+
+/// The reference implementation: plain C++, but following the exact lane
+/// discipline of kernels_impl.h so SIMD tables are bit-compatible with it.
+struct ScalarPolicy {
+  struct Acc {
+    double lanes[4];
+  };
+  static void Zero(Acc* acc) {
+    for (double& l : acc->lanes) l = 0.0;
+  }
+  static void StepSq(Acc* acc, const float* a, const float* b) {
+    for (int j = 0; j < 4; ++j) {
+      const double d = static_cast<double>(a[j]) - static_cast<double>(b[j]);
+      acc->lanes[j] += d * d;
+    }
+  }
+  static void StepAbs(Acc* acc, const float* a, const float* b) {
+    for (int j = 0; j < 4; ++j) {
+      const double d = static_cast<double>(a[j]) - static_cast<double>(b[j]);
+      acc->lanes[j] += std::fabs(d);
+    }
+  }
+  static void StepMax(Acc* acc, const float* a, const float* b) {
+    for (int j = 0; j < 4; ++j) {
+      const double d =
+          std::fabs(static_cast<double>(a[j]) - static_cast<double>(b[j]));
+      if (d > acc->lanes[j]) acc->lanes[j] = d;
+    }
+  }
+  static double ReduceSum(const Acc& acc) {
+    return (acc.lanes[0] + acc.lanes[2]) + (acc.lanes[1] + acc.lanes[3]);
+  }
+  static double ReduceMax(const Acc& acc) {
+    return std::max(std::max(acc.lanes[0], acc.lanes[2]),
+                    std::max(acc.lanes[1], acc.lanes[3]));
+  }
+  static void Spill(const Acc& acc, double lanes[4]) {
+    for (int j = 0; j < 4; ++j) lanes[j] = acc.lanes[j];
+  }
+};
+
+struct ScalarHammingPolicy {
+  static uint64_t Count64(const uint8_t* a, const uint8_t* b) {
+    return detail::HammingBytes(a, b, 64);
+  }
+  static uint64_t CountTail(const uint8_t* a, const uint8_t* b, size_t n) {
+    return detail::HammingBytes(a, b, n);
+  }
+};
+
+double ScalarL2Sq(const float* a, const float* b, size_t n) {
+  return detail::SumImpl<ScalarPolicy, Op::kSquare>(a, b, n);
+}
+double ScalarL2SqCutoff(const float* a, const float* b, size_t n, double tau) {
+  return detail::SumCutoffImpl<ScalarPolicy, Op::kSquare>(a, b, n, tau);
+}
+double ScalarL1(const float* a, const float* b, size_t n) {
+  return detail::SumImpl<ScalarPolicy, Op::kAbs>(a, b, n);
+}
+double ScalarL1Cutoff(const float* a, const float* b, size_t n, double tau) {
+  return detail::SumCutoffImpl<ScalarPolicy, Op::kAbs>(a, b, n, tau);
+}
+double ScalarLinf(const float* a, const float* b, size_t n) {
+  return detail::MaxImpl<ScalarPolicy>(a, b, n);
+}
+double ScalarLinfCutoff(const float* a, const float* b, size_t n, double tau) {
+  return detail::MaxCutoffImpl<ScalarPolicy>(a, b, n, tau);
+}
+uint64_t ScalarHamming(const uint8_t* a, const uint8_t* b, size_t n) {
+  return detail::HammingImpl<ScalarHammingPolicy>(a, b, n);
+}
+uint64_t ScalarHammingCutoff(const uint8_t* a, const uint8_t* b, size_t n,
+                             uint64_t max_mismatches) {
+  return detail::HammingCutoffImpl<ScalarHammingPolicy>(a, b, n,
+                                                        max_mismatches);
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar",        ScalarL2Sq, ScalarL2SqCutoff, ScalarL1,
+    ScalarL1Cutoff,  ScalarLinf, ScalarLinfCutoff, ScalarHamming,
+    ScalarHammingCutoff,
+};
+
+bool SimdDisabledByEnv() {
+  const char* v = std::getenv("SPB_DISABLE_SIMD");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+const KernelTable* PickActive() {
+  if (SimdDisabledByEnv()) return &kScalarTable;
+#if defined(__x86_64__) || defined(__i386__)
+  if (const KernelTable* t = GetAvx2Table();
+      t != nullptr && __builtin_cpu_supports("avx2")) {
+    return t;
+  }
+  if (const KernelTable* t = GetSse2Table();
+      t != nullptr && __builtin_cpu_supports("sse2")) {
+    return t;
+  }
+#endif
+  if (const KernelTable* t = GetNeonTable(); t != nullptr) return t;
+  return &kScalarTable;
+}
+
+}  // namespace
+
+const KernelTable& Scalar() { return kScalarTable; }
+
+const KernelTable& Active() {
+  static const KernelTable* table = PickActive();
+  return *table;
+}
+
+uint64_t ScalarPext(uint64_t x, uint64_t mask) {
+  uint64_t out = 0;
+  for (uint64_t bit = 1; mask != 0; bit <<= 1) {
+    if (x & (mask & (0 - mask))) out |= bit;
+    mask &= mask - 1;
+  }
+  return out;
+}
+
+uint64_t ScalarPdep(uint64_t x, uint64_t mask) {
+  uint64_t out = 0;
+  for (uint64_t bit = 1; mask != 0; bit <<= 1) {
+    if (x & bit) out |= mask & (0 - mask);
+    mask &= mask - 1;
+  }
+  return out;
+}
+
+BitGatherFn Pext() {
+  static const BitGatherFn fn = [] {
+#if defined(__x86_64__)
+    if (BitGatherFn f = GetBmi2Pext();
+        f != nullptr && !SimdDisabledByEnv() &&
+        __builtin_cpu_supports("bmi2")) {
+      return f;
+    }
+#endif
+    return &ScalarPext;
+  }();
+  return fn;
+}
+
+BitScatterFn Pdep() {
+  static const BitScatterFn fn = [] {
+#if defined(__x86_64__)
+    if (BitScatterFn f = GetBmi2Pdep();
+        f != nullptr && !SimdDisabledByEnv() &&
+        __builtin_cpu_supports("bmi2")) {
+      return f;
+    }
+#endif
+    return &ScalarPdep;
+  }();
+  return fn;
+}
+
+std::vector<const KernelTable*> AvailableTables() {
+  std::vector<const KernelTable*> tables = {&kScalarTable};
+#if defined(__x86_64__) || defined(__i386__)
+  if (const KernelTable* t = GetSse2Table();
+      t != nullptr && __builtin_cpu_supports("sse2")) {
+    tables.push_back(t);
+  }
+  if (const KernelTable* t = GetAvx2Table();
+      t != nullptr && __builtin_cpu_supports("avx2")) {
+    tables.push_back(t);
+  }
+#else
+  if (const KernelTable* t = GetNeonTable(); t != nullptr) tables.push_back(t);
+#endif
+  return tables;
+}
+
+}  // namespace kernels
+}  // namespace spb

@@ -1,0 +1,86 @@
+#ifndef SPB_KERNELS_KERNELS_H_
+#define SPB_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spb {
+namespace kernels {
+
+/// One set of distance kernels: the low-level inner loops behind the Lp,
+/// Hamming and (via scratch reuse) edit metrics. Implementations exist for
+/// scalar, SSE2, AVX2 and NEON; all of them follow the *same* fixed
+/// accumulation discipline (4 double lanes striped by element index, lanes
+/// combined as (l0+l2)+(l1+l3), cutoff checks at the same element
+/// boundaries), so every implementation returns **bit-identical doubles**
+/// for identical inputs. That exact-match parity is what lets the runtime
+/// pick any table without changing query results; tests/kernels_test.cc
+/// property-checks it.
+///
+/// Cutoff contract (shared with DistanceFunction::DistanceWithCutoff): a
+/// `*_cutoff` kernel returns the exact full result whenever that result is
+/// <= tau; once the running partial provably exceeds tau it may stop and
+/// return the partial instead. Because all terms are non-negative the
+/// partial both lower-bounds the full result and already exceeds tau, so
+/// callers can use "> tau" as a sound prune signal and "<= tau" as exact.
+struct KernelTable {
+  const char* name;
+
+  /// Sum of squared differences over n floats, accumulated in double
+  /// (L2 distance is sqrt of this). `l2_sq_cutoff` abandons once
+  /// sqrt(partial) > tau (tau in distance units, not squared).
+  double (*l2_sq)(const float* a, const float* b, size_t n);
+  double (*l2_sq_cutoff)(const float* a, const float* b, size_t n,
+                         double tau);
+
+  /// Sum of absolute differences (L1 distance).
+  double (*l1)(const float* a, const float* b, size_t n);
+  double (*l1_cutoff)(const float* a, const float* b, size_t n, double tau);
+
+  /// Max absolute difference (L-infinity distance).
+  double (*linf)(const float* a, const float* b, size_t n);
+  double (*linf_cutoff)(const float* a, const float* b, size_t n, double tau);
+
+  /// Count of differing bytes. `hamming_cutoff` may stop once the count
+  /// exceeds `max_mismatches`; the returned count is then still greater
+  /// than `max_mismatches` (and a lower bound of the true count).
+  uint64_t (*hamming)(const uint8_t* a, const uint8_t* b, size_t n);
+  uint64_t (*hamming_cutoff)(const uint8_t* a, const uint8_t* b, size_t n,
+                             uint64_t max_mismatches);
+};
+
+/// The portable reference implementation (always available).
+const KernelTable& Scalar();
+
+/// The table selected for this process: best SIMD level the CPU supports
+/// (AVX2 > SSE2 on x86, NEON on aarch64), or Scalar() when the binary was
+/// built portable (-DSPB_SIMD=OFF) or the environment variable
+/// SPB_DISABLE_SIMD is set to anything but "0". Decided once, on first use.
+const KernelTable& Active();
+
+/// Every table runnable on this host (Scalar first). Parity tests and the
+/// kernel micro-bench iterate this to compare implementations.
+std::vector<const KernelTable*> AvailableTables();
+
+/// Bit gather/scatter kernels used by the SFC codecs (src/sfc/).
+/// `Pext()(x, mask)` packs the bits of `x` selected by `mask` into the low
+/// bits of the result (x86 PEXT); `Pdep()(x, mask)` is the inverse scatter
+/// (PDEP). Dispatched once per process to BMI2 hardware when present,
+/// otherwise to the portable ScalarPext/ScalarPdep loops. These are exact
+/// integer operations — every implementation returns identical values — and
+/// SPB_DISABLE_SIMD forces the portable versions, mirroring the KernelTable
+/// dispatch.
+using BitGatherFn = uint64_t (*)(uint64_t x, uint64_t mask);
+using BitScatterFn = uint64_t (*)(uint64_t x, uint64_t mask);
+BitGatherFn Pext();
+BitScatterFn Pdep();
+
+/// Portable reference implementations of PEXT/PDEP (always available).
+uint64_t ScalarPext(uint64_t x, uint64_t mask);
+uint64_t ScalarPdep(uint64_t x, uint64_t mask);
+
+}  // namespace kernels
+}  // namespace spb
+
+#endif  // SPB_KERNELS_KERNELS_H_

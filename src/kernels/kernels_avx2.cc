@@ -1,0 +1,133 @@
+// AVX2 kernel table. This TU is compiled with -mavx2 (per-file flag, see
+// src/CMakeLists.txt); its functions are only ever called after the
+// dispatcher in kernels.cc has confirmed AVX2 via __builtin_cpu_supports,
+// so the flag never leaks AVX2 code into unconditionally-executed paths.
+// One 4-wide double register is exactly the 4-lane discipline of
+// kernels_impl.h; no FMA (-mavx2 does not imply -mfma, and fused rounding
+// would break bit parity with the other tables).
+#include "kernels/kernels.h"
+#include "kernels/kernels_impl.h"
+
+#if !defined(SPB_NO_SIMD_TU) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace spb {
+namespace kernels {
+namespace {
+
+using detail::Op;
+
+inline __m256d AbsPd(__m256d x) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), x);
+}
+
+inline __m256d Diffs(const float* a, const float* b) {
+  return _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a)),
+                       _mm256_cvtps_pd(_mm_loadu_ps(b)));
+}
+
+struct Avx2Policy {
+  struct Acc {
+    __m256d v;  // lane j accumulates elements i % 4 == j
+  };
+  static void Zero(Acc* acc) { acc->v = _mm256_setzero_pd(); }
+  static void StepSq(Acc* acc, const float* a, const float* b) {
+    const __m256d d = Diffs(a, b);
+    acc->v = _mm256_add_pd(acc->v, _mm256_mul_pd(d, d));
+  }
+  static void StepAbs(Acc* acc, const float* a, const float* b) {
+    acc->v = _mm256_add_pd(acc->v, AbsPd(Diffs(a, b)));
+  }
+  static void StepMax(Acc* acc, const float* a, const float* b) {
+    acc->v = _mm256_max_pd(acc->v, AbsPd(Diffs(a, b)));
+  }
+  static double ReduceSum(const Acc& acc) {
+    const __m128d lo = _mm256_castpd256_pd128(acc.v);       // (l0, l1)
+    const __m128d hi = _mm256_extractf128_pd(acc.v, 1);     // (l2, l3)
+    const __m128d s = _mm_add_pd(lo, hi);                   // (l0+l2, l1+l3)
+    return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+  }
+  static double ReduceMax(const Acc& acc) {
+    const __m128d lo = _mm256_castpd256_pd128(acc.v);
+    const __m128d hi = _mm256_extractf128_pd(acc.v, 1);
+    const __m128d m = _mm_max_pd(lo, hi);
+    const double a = _mm_cvtsd_f64(m);
+    const double b = _mm_cvtsd_f64(_mm_unpackhi_pd(m, m));
+    return a > b ? a : b;
+  }
+  static void Spill(const Acc& acc, double lanes[4]) {
+    _mm256_storeu_pd(lanes, acc.v);
+  }
+};
+
+struct Avx2HammingPolicy {
+  static uint64_t Count32(const uint8_t* a, const uint8_t* b) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    const unsigned eq_mask =
+        static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    return 32u - static_cast<unsigned>(__builtin_popcount(eq_mask));
+  }
+  static uint64_t Count64(const uint8_t* a, const uint8_t* b) {
+    return Count32(a, b) + Count32(a + 32, b + 32);
+  }
+  static uint64_t CountTail(const uint8_t* a, const uint8_t* b, size_t n) {
+    uint64_t count = 0;
+    size_t i = 0;
+    for (; i + 32 <= n; i += 32) count += Count32(a + i, b + i);
+    return count + detail::HammingBytes(a + i, b + i, n - i);
+  }
+};
+
+double Avx2L2Sq(const float* a, const float* b, size_t n) {
+  return detail::SumImpl<Avx2Policy, Op::kSquare>(a, b, n);
+}
+double Avx2L2SqCutoff(const float* a, const float* b, size_t n, double tau) {
+  return detail::SumCutoffImpl<Avx2Policy, Op::kSquare>(a, b, n, tau);
+}
+double Avx2L1(const float* a, const float* b, size_t n) {
+  return detail::SumImpl<Avx2Policy, Op::kAbs>(a, b, n);
+}
+double Avx2L1Cutoff(const float* a, const float* b, size_t n, double tau) {
+  return detail::SumCutoffImpl<Avx2Policy, Op::kAbs>(a, b, n, tau);
+}
+double Avx2Linf(const float* a, const float* b, size_t n) {
+  return detail::MaxImpl<Avx2Policy>(a, b, n);
+}
+double Avx2LinfCutoff(const float* a, const float* b, size_t n, double tau) {
+  return detail::MaxCutoffImpl<Avx2Policy>(a, b, n, tau);
+}
+uint64_t Avx2Hamming(const uint8_t* a, const uint8_t* b, size_t n) {
+  return detail::HammingImpl<Avx2HammingPolicy>(a, b, n);
+}
+uint64_t Avx2HammingCutoff(const uint8_t* a, const uint8_t* b, size_t n,
+                           uint64_t max_mismatches) {
+  return detail::HammingCutoffImpl<Avx2HammingPolicy>(a, b, n,
+                                                      max_mismatches);
+}
+
+constexpr KernelTable kAvx2Table = {
+    "avx2",        Avx2L2Sq, Avx2L2SqCutoff, Avx2L1,
+    Avx2L1Cutoff,  Avx2Linf, Avx2LinfCutoff, Avx2Hamming,
+    Avx2HammingCutoff,
+};
+
+}  // namespace
+
+const KernelTable* GetAvx2Table() { return &kAvx2Table; }
+
+}  // namespace kernels
+}  // namespace spb
+
+#else  // portable build, non-x86 target, or no -mavx2 for this TU
+
+namespace spb {
+namespace kernels {
+const KernelTable* GetAvx2Table() { return nullptr; }
+}  // namespace kernels
+}  // namespace spb
+
+#endif

@@ -1,0 +1,39 @@
+// BMI2 bit gather/scatter: hardware PEXT/PDEP behind the Pext()/Pdep()
+// dispatch in kernels.cc. This TU is the only one compiled with -mbmi2 (see
+// src/CMakeLists.txt), so the instructions cannot leak into code that runs
+// before the runtime __builtin_cpu_supports("bmi2") check. PEXT/PDEP are
+// exact bit permutations, so the hardware path returns values identical to
+// ScalarPext/ScalarPdep by construction.
+#include "kernels/kernels.h"
+
+#if !defined(SPB_NO_SIMD_TU) && defined(__x86_64__) && defined(__BMI2__)
+
+#include <immintrin.h>
+
+namespace spb {
+namespace kernels {
+namespace {
+
+uint64_t Bmi2Pext(uint64_t x, uint64_t mask) { return _pext_u64(x, mask); }
+uint64_t Bmi2Pdep(uint64_t x, uint64_t mask) { return _pdep_u64(x, mask); }
+
+}  // namespace
+
+BitGatherFn GetBmi2Pext() { return &Bmi2Pext; }
+BitScatterFn GetBmi2Pdep() { return &Bmi2Pdep; }
+
+}  // namespace kernels
+}  // namespace spb
+
+#else  // portable build or non-x86_64 target
+
+namespace spb {
+namespace kernels {
+
+BitGatherFn GetBmi2Pext() { return nullptr; }
+BitScatterFn GetBmi2Pdep() { return nullptr; }
+
+}  // namespace kernels
+}  // namespace spb
+
+#endif

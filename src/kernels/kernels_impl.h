@@ -1,0 +1,210 @@
+#ifndef SPB_KERNELS_KERNELS_IMPL_H_
+#define SPB_KERNELS_KERNELS_IMPL_H_
+
+// Shared skeletons for every kernel implementation. Each architecture TU
+// (scalar, SSE2, AVX2, NEON) instantiates these templates with a policy
+// supplying only the 4-element accumulate step and the lane reduce; the
+// loop structure, tail handling and cutoff-check positions live here,
+// once. This is what makes the dispatch-parity guarantee hold by
+// construction: two tables can only differ in per-lane arithmetic — which
+// is identical, correctly-rounded IEEE ops everywhere — never in
+// association order or abandon points.
+//
+// Accumulation discipline (all float kernels):
+//  - 4 double lanes; element i contributes to lane i % 4;
+//  - lanes combine as (l0 + l2) + (l1 + l3)  [the natural order of a
+//    128-bit horizontal add of a split 256-bit register];
+//  - the scalar tail (n % 4 elements) is added to lanes 0.. in order,
+//    after the vector body, before the combine;
+//  - cutoff kernels re-combine (without disturbing the lanes) after every
+//    kCutoffStride processed elements, but only while elements remain.
+//
+// Every TU including this header must be compiled with -ffp-contract=off
+// (src/CMakeLists.txt does this) so `d * d` then `+` can never fuse into
+// an FMA on targets where FMA is baseline — fusion rounds once instead of
+// twice and would break cross-ISA bit parity.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace spb {
+namespace kernels {
+namespace detail {
+
+/// Elements between cutoff re-checks in the float kernels.
+inline constexpr size_t kCutoffStride = 32;
+/// Bytes between cutoff re-checks in the Hamming kernels.
+inline constexpr size_t kHammingStride = 64;
+
+enum class Op { kSquare, kAbs };
+
+template <Op op>
+inline double ScalarTerm(double d) {
+  if constexpr (op == Op::kSquare) {
+    return d * d;
+  } else {
+    return std::fabs(d);
+  }
+}
+
+// Policy contract:
+//   struct P {
+//     struct Acc;                                  // 4 double lanes
+//     static void Zero(Acc* acc);
+//     static void Step(Acc* acc, const float* a, const float* b);
+//                        // op-specific: lanes[j] (+)= term(a[j] - b[j])
+//     static double ReduceSum(const Acc& acc);     // (l0+l2)+(l1+l3)
+//     static double ReduceMax(const Acc& acc);     // max(max(l0,l2),max(l1,l3))
+//     static void Spill(const Acc& acc, double lanes[4]);
+//   };
+// Sum policies expose StepSq/StepAbs; the max policy exposes StepMax.
+
+template <class P, Op op>
+double SumImpl(const float* a, const float* b, size_t n) {
+  typename P::Acc acc;
+  P::Zero(&acc);
+  size_t i = 0;
+  const size_t n4 = n & ~size_t{3};
+  for (; i < n4; i += 4) {
+    if constexpr (op == Op::kSquare) {
+      P::StepSq(&acc, a + i, b + i);
+    } else {
+      P::StepAbs(&acc, a + i, b + i);
+    }
+  }
+  double lanes[4];
+  P::Spill(acc, lanes);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    lanes[i - n4] += ScalarTerm<op>(d);
+  }
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+}
+
+template <class P, Op op>
+double SumCutoffImpl(const float* a, const float* b, size_t n, double tau) {
+  typename P::Acc acc;
+  P::Zero(&acc);
+  size_t i = 0;
+  const size_t n4 = n & ~size_t{3};
+  while (i < n4) {
+    const size_t stop = std::min(n4, i + kCutoffStride);
+    for (; i < stop; i += 4) {
+      if constexpr (op == Op::kSquare) {
+        P::StepSq(&acc, a + i, b + i);
+      } else {
+        P::StepAbs(&acc, a + i, b + i);
+      }
+    }
+    if (i < n) {  // elements remain: abandoning still saves work
+      const double partial = P::ReduceSum(acc);
+      if constexpr (op == Op::kSquare) {
+        // The caller's cutoff is in distance units; the accumulator holds
+        // squared distance. sqrt is monotone and correctly rounded, so
+        // fl(sqrt(partial)) > tau implies the true (and the fully summed)
+        // distance exceeds tau as well — abandoning can never change a
+        // <=-tau decision.
+        if (std::sqrt(partial) > tau) return partial;
+      } else {
+        if (partial > tau) return partial;
+      }
+    }
+  }
+  double lanes[4];
+  P::Spill(acc, lanes);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    lanes[i - n4] += ScalarTerm<op>(d);
+  }
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+}
+
+template <class P>
+double MaxImpl(const float* a, const float* b, size_t n) {
+  typename P::Acc acc;
+  P::Zero(&acc);
+  size_t i = 0;
+  const size_t n4 = n & ~size_t{3};
+  for (; i < n4; i += 4) P::StepMax(&acc, a + i, b + i);
+  double lanes[4];
+  P::Spill(acc, lanes);
+  for (; i < n; ++i) {
+    const double d =
+        std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    if (d > lanes[i - n4]) lanes[i - n4] = d;
+  }
+  return std::max(std::max(lanes[0], lanes[2]), std::max(lanes[1], lanes[3]));
+}
+
+template <class P>
+double MaxCutoffImpl(const float* a, const float* b, size_t n, double tau) {
+  typename P::Acc acc;
+  P::Zero(&acc);
+  size_t i = 0;
+  const size_t n4 = n & ~size_t{3};
+  while (i < n4) {
+    const size_t stop = std::min(n4, i + kCutoffStride);
+    for (; i < stop; i += 4) P::StepMax(&acc, a + i, b + i);
+    if (i < n) {
+      const double partial = P::ReduceMax(acc);
+      if (partial > tau) return partial;
+    }
+  }
+  double lanes[4];
+  P::Spill(acc, lanes);
+  for (; i < n; ++i) {
+    const double d =
+        std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    if (d > lanes[i - n4]) lanes[i - n4] = d;
+  }
+  return std::max(std::max(lanes[0], lanes[2]), std::max(lanes[1], lanes[3]));
+}
+
+// Hamming policy contract:
+//   struct P {
+//     static uint64_t Count64(const uint8_t* a, const uint8_t* b);
+//                                   // mismatches in one 64-byte block
+//     static uint64_t CountTail(const uint8_t* a, const uint8_t* b, size_t n);
+//                                   // mismatches in n < 64 bytes
+//   };
+
+template <class P>
+uint64_t HammingImpl(const uint8_t* a, const uint8_t* b, size_t n) {
+  uint64_t count = 0;
+  size_t i = 0;
+  const size_t n64 = n & ~size_t{63};
+  for (; i < n64; i += 64) count += P::Count64(a + i, b + i);
+  return count + P::CountTail(a + i, b + i, n - i);
+}
+
+template <class P>
+uint64_t HammingCutoffImpl(const uint8_t* a, const uint8_t* b, size_t n,
+                           uint64_t max_mismatches) {
+  uint64_t count = 0;
+  size_t i = 0;
+  const size_t n64 = n & ~size_t{63};
+  while (i < n64) {
+    count += P::Count64(a + i, b + i);
+    i += 64;
+    // Counts are exact integers at every block boundary, so the partial
+    // count is a lower bound of the total; once it exceeds the budget the
+    // total does too.
+    if (i < n && count > max_mismatches) return count;
+  }
+  return count + P::CountTail(a + i, b + i, n - i);
+}
+
+/// Shared scalar tail for the SIMD Hamming policies.
+inline uint64_t HammingBytes(const uint8_t* a, const uint8_t* b, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += (a[i] != b[i]) ? 1 : 0;
+  return count;
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace spb
+
+#endif  // SPB_KERNELS_KERNELS_IMPL_H_

@@ -1,0 +1,137 @@
+// NEON kernel table for aarch64 (NEON is baseline there — no extra compile
+// flags needed). Two 2-wide double registers form the 4-lane discipline of
+// kernels_impl.h. Plain mul+add (not vfmaq): FMA's single rounding would
+// break bit parity with the x86 and scalar tables.
+#include "kernels/kernels.h"
+#include "kernels/kernels_impl.h"
+
+#if !defined(SPB_NO_SIMD_TU) && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace spb {
+namespace kernels {
+namespace {
+
+using detail::Op;
+
+struct NeonPolicy {
+  struct Acc {
+    float64x2_t v01;  // lanes 0, 1
+    float64x2_t v23;  // lanes 2, 3
+  };
+  static void Zero(Acc* acc) {
+    acc->v01 = vdupq_n_f64(0.0);
+    acc->v23 = vdupq_n_f64(0.0);
+  }
+  static void Diffs(const float* a, const float* b, float64x2_t* d01,
+                    float64x2_t* d23) {
+    const float32x4_t fa = vld1q_f32(a);
+    const float32x4_t fb = vld1q_f32(b);
+    *d01 = vsubq_f64(vcvt_f64_f32(vget_low_f32(fa)),
+                     vcvt_f64_f32(vget_low_f32(fb)));
+    *d23 = vsubq_f64(vcvt_high_f64_f32(fa), vcvt_high_f64_f32(fb));
+  }
+  static void StepSq(Acc* acc, const float* a, const float* b) {
+    float64x2_t d01, d23;
+    Diffs(a, b, &d01, &d23);
+    acc->v01 = vaddq_f64(acc->v01, vmulq_f64(d01, d01));
+    acc->v23 = vaddq_f64(acc->v23, vmulq_f64(d23, d23));
+  }
+  static void StepAbs(Acc* acc, const float* a, const float* b) {
+    float64x2_t d01, d23;
+    Diffs(a, b, &d01, &d23);
+    acc->v01 = vaddq_f64(acc->v01, vabsq_f64(d01));
+    acc->v23 = vaddq_f64(acc->v23, vabsq_f64(d23));
+  }
+  static void StepMax(Acc* acc, const float* a, const float* b) {
+    float64x2_t d01, d23;
+    Diffs(a, b, &d01, &d23);
+    acc->v01 = vmaxq_f64(acc->v01, vabsq_f64(d01));
+    acc->v23 = vmaxq_f64(acc->v23, vabsq_f64(d23));
+  }
+  static double ReduceSum(const Acc& acc) {
+    const float64x2_t s = vaddq_f64(acc.v01, acc.v23);  // (l0+l2, l1+l3)
+    return vgetq_lane_f64(s, 0) + vgetq_lane_f64(s, 1);
+  }
+  static double ReduceMax(const Acc& acc) {
+    const float64x2_t m = vmaxq_f64(acc.v01, acc.v23);
+    const double lo = vgetq_lane_f64(m, 0);
+    const double hi = vgetq_lane_f64(m, 1);
+    return lo > hi ? lo : hi;
+  }
+  static void Spill(const Acc& acc, double lanes[4]) {
+    vst1q_f64(lanes, acc.v01);
+    vst1q_f64(lanes + 2, acc.v23);
+  }
+};
+
+struct NeonHammingPolicy {
+  static uint64_t Count16(const uint8_t* a, const uint8_t* b) {
+    const uint8x16_t eq = vceqq_u8(vld1q_u8(a), vld1q_u8(b));
+    // Mismatching bytes are 0x00 in eq; shift the inverted mask down to one
+    // bit per byte and sum across the vector.
+    const uint8x16_t ones = vshrq_n_u8(vmvnq_u8(eq), 7);
+    return vaddvq_u8(ones);
+  }
+  static uint64_t Count64(const uint8_t* a, const uint8_t* b) {
+    return Count16(a, b) + Count16(a + 16, b + 16) + Count16(a + 32, b + 32) +
+           Count16(a + 48, b + 48);
+  }
+  static uint64_t CountTail(const uint8_t* a, const uint8_t* b, size_t n) {
+    uint64_t count = 0;
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) count += Count16(a + i, b + i);
+    return count + detail::HammingBytes(a + i, b + i, n - i);
+  }
+};
+
+double NeonL2Sq(const float* a, const float* b, size_t n) {
+  return detail::SumImpl<NeonPolicy, Op::kSquare>(a, b, n);
+}
+double NeonL2SqCutoff(const float* a, const float* b, size_t n, double tau) {
+  return detail::SumCutoffImpl<NeonPolicy, Op::kSquare>(a, b, n, tau);
+}
+double NeonL1(const float* a, const float* b, size_t n) {
+  return detail::SumImpl<NeonPolicy, Op::kAbs>(a, b, n);
+}
+double NeonL1Cutoff(const float* a, const float* b, size_t n, double tau) {
+  return detail::SumCutoffImpl<NeonPolicy, Op::kAbs>(a, b, n, tau);
+}
+double NeonLinf(const float* a, const float* b, size_t n) {
+  return detail::MaxImpl<NeonPolicy>(a, b, n);
+}
+double NeonLinfCutoff(const float* a, const float* b, size_t n, double tau) {
+  return detail::MaxCutoffImpl<NeonPolicy>(a, b, n, tau);
+}
+uint64_t NeonHamming(const uint8_t* a, const uint8_t* b, size_t n) {
+  return detail::HammingImpl<NeonHammingPolicy>(a, b, n);
+}
+uint64_t NeonHammingCutoff(const uint8_t* a, const uint8_t* b, size_t n,
+                           uint64_t max_mismatches) {
+  return detail::HammingCutoffImpl<NeonHammingPolicy>(a, b, n,
+                                                      max_mismatches);
+}
+
+constexpr KernelTable kNeonTable = {
+    "neon",        NeonL2Sq, NeonL2SqCutoff, NeonL1,
+    NeonL1Cutoff,  NeonLinf, NeonLinfCutoff, NeonHamming,
+    NeonHammingCutoff,
+};
+
+}  // namespace
+
+const KernelTable* GetNeonTable() { return &kNeonTable; }
+
+}  // namespace kernels
+}  // namespace spb
+
+#else  // portable build or non-aarch64 target
+
+namespace spb {
+namespace kernels {
+const KernelTable* GetNeonTable() { return nullptr; }
+}  // namespace kernels
+}  // namespace spb
+
+#endif

@@ -1,0 +1,140 @@
+// SSE2 kernel table — the x86-64 baseline ISA, so this table is always
+// usable on x86 hosts. 2-wide double lanes, paired to match the 4-lane
+// discipline of kernels_impl.h bit-for-bit.
+#include "kernels/kernels.h"
+#include "kernels/kernels_impl.h"
+
+#if !defined(SPB_NO_SIMD_TU) && \
+    (defined(__x86_64__) || (defined(__i386__) && defined(__SSE2__)))
+
+#include <emmintrin.h>
+
+namespace spb {
+namespace kernels {
+namespace {
+
+using detail::Op;
+
+inline __m128d AbsPd(__m128d x) {
+  return _mm_andnot_pd(_mm_set1_pd(-0.0), x);
+}
+
+struct Sse2Policy {
+  struct Acc {
+    __m128d v01;  // lanes 0, 1 (elements i % 4 == 0, 1)
+    __m128d v23;  // lanes 2, 3
+  };
+  static void Zero(Acc* acc) {
+    acc->v01 = _mm_setzero_pd();
+    acc->v23 = _mm_setzero_pd();
+  }
+  static void Diffs(const float* a, const float* b, __m128d* d01,
+                    __m128d* d23) {
+    const __m128 fa = _mm_loadu_ps(a);
+    const __m128 fb = _mm_loadu_ps(b);
+    *d01 = _mm_sub_pd(_mm_cvtps_pd(fa), _mm_cvtps_pd(fb));
+    *d23 = _mm_sub_pd(_mm_cvtps_pd(_mm_movehl_ps(fa, fa)),
+                      _mm_cvtps_pd(_mm_movehl_ps(fb, fb)));
+  }
+  static void StepSq(Acc* acc, const float* a, const float* b) {
+    __m128d d01, d23;
+    Diffs(a, b, &d01, &d23);
+    acc->v01 = _mm_add_pd(acc->v01, _mm_mul_pd(d01, d01));
+    acc->v23 = _mm_add_pd(acc->v23, _mm_mul_pd(d23, d23));
+  }
+  static void StepAbs(Acc* acc, const float* a, const float* b) {
+    __m128d d01, d23;
+    Diffs(a, b, &d01, &d23);
+    acc->v01 = _mm_add_pd(acc->v01, AbsPd(d01));
+    acc->v23 = _mm_add_pd(acc->v23, AbsPd(d23));
+  }
+  static void StepMax(Acc* acc, const float* a, const float* b) {
+    __m128d d01, d23;
+    Diffs(a, b, &d01, &d23);
+    acc->v01 = _mm_max_pd(acc->v01, AbsPd(d01));
+    acc->v23 = _mm_max_pd(acc->v23, AbsPd(d23));
+  }
+  static double ReduceSum(const Acc& acc) {
+    const __m128d s = _mm_add_pd(acc.v01, acc.v23);  // (l0+l2, l1+l3)
+    return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+  }
+  static double ReduceMax(const Acc& acc) {
+    const __m128d m = _mm_max_pd(acc.v01, acc.v23);
+    const double lo = _mm_cvtsd_f64(m);
+    const double hi = _mm_cvtsd_f64(_mm_unpackhi_pd(m, m));
+    return lo > hi ? lo : hi;
+  }
+  static void Spill(const Acc& acc, double lanes[4]) {
+    _mm_storeu_pd(lanes, acc.v01);
+    _mm_storeu_pd(lanes + 2, acc.v23);
+  }
+};
+
+struct Sse2HammingPolicy {
+  static uint64_t Count16(const uint8_t* a, const uint8_t* b) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+    const int eq_mask = _mm_movemask_epi8(_mm_cmpeq_epi8(va, vb));
+    return 16u - static_cast<unsigned>(__builtin_popcount(eq_mask));
+  }
+  static uint64_t Count64(const uint8_t* a, const uint8_t* b) {
+    return Count16(a, b) + Count16(a + 16, b + 16) + Count16(a + 32, b + 32) +
+           Count16(a + 48, b + 48);
+  }
+  static uint64_t CountTail(const uint8_t* a, const uint8_t* b, size_t n) {
+    uint64_t count = 0;
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) count += Count16(a + i, b + i);
+    return count + detail::HammingBytes(a + i, b + i, n - i);
+  }
+};
+
+double Sse2L2Sq(const float* a, const float* b, size_t n) {
+  return detail::SumImpl<Sse2Policy, Op::kSquare>(a, b, n);
+}
+double Sse2L2SqCutoff(const float* a, const float* b, size_t n, double tau) {
+  return detail::SumCutoffImpl<Sse2Policy, Op::kSquare>(a, b, n, tau);
+}
+double Sse2L1(const float* a, const float* b, size_t n) {
+  return detail::SumImpl<Sse2Policy, Op::kAbs>(a, b, n);
+}
+double Sse2L1Cutoff(const float* a, const float* b, size_t n, double tau) {
+  return detail::SumCutoffImpl<Sse2Policy, Op::kAbs>(a, b, n, tau);
+}
+double Sse2Linf(const float* a, const float* b, size_t n) {
+  return detail::MaxImpl<Sse2Policy>(a, b, n);
+}
+double Sse2LinfCutoff(const float* a, const float* b, size_t n, double tau) {
+  return detail::MaxCutoffImpl<Sse2Policy>(a, b, n, tau);
+}
+uint64_t Sse2Hamming(const uint8_t* a, const uint8_t* b, size_t n) {
+  return detail::HammingImpl<Sse2HammingPolicy>(a, b, n);
+}
+uint64_t Sse2HammingCutoff(const uint8_t* a, const uint8_t* b, size_t n,
+                           uint64_t max_mismatches) {
+  return detail::HammingCutoffImpl<Sse2HammingPolicy>(a, b, n,
+                                                      max_mismatches);
+}
+
+constexpr KernelTable kSse2Table = {
+    "sse2",        Sse2L2Sq, Sse2L2SqCutoff, Sse2L1,
+    Sse2L1Cutoff,  Sse2Linf, Sse2LinfCutoff, Sse2Hamming,
+    Sse2HammingCutoff,
+};
+
+}  // namespace
+
+const KernelTable* GetSse2Table() { return &kSse2Table; }
+
+}  // namespace kernels
+}  // namespace spb
+
+#else  // portable build or non-x86 target
+
+namespace spb {
+namespace kernels {
+const KernelTable* GetSse2Table() { return nullptr; }
+}  // namespace kernels
+}  // namespace spb
+
+#endif

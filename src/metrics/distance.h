@@ -21,6 +21,22 @@ class DistanceFunction {
   /// The distance between two objects. Must be in [0, max_distance()].
   virtual double Distance(const Blob& a, const Blob& b) const = 0;
 
+  /// Distance with early abandoning (docs/ARCHITECTURE.md §"Distance
+  /// kernels"): whenever d(a, b) <= tau the return value is **exactly**
+  /// Distance(a, b); when d(a, b) > tau the implementation may stop as soon
+  /// as that is certain and return *any* value greater than tau (typically
+  /// a partial sum — a lower bound of the true distance, but still > tau).
+  /// Callers must therefore treat a result > tau purely as "pruned" and
+  /// never store it as the object's distance. Query code passes its pruning
+  /// threshold here: RQA the radius r, NNA the current k-th NN distance,
+  /// SJA the join radius. The default runs the full computation, which
+  /// trivially satisfies the contract.
+  virtual double DistanceWithCutoff(const Blob& a, const Blob& b,
+                                    double tau) const {
+    (void)tau;
+    return Distance(a, b);
+  }
+
   /// d+ — an upper bound on any pairwise distance in the domain. Used to
   /// size the SFC grid and to express query radii as a percentage of d+.
   virtual double max_distance() const = 0;
@@ -47,16 +63,43 @@ class CountingDistance final : public DistanceFunction {
     count_.fetch_add(1, std::memory_order_relaxed);
     return base_->Distance(a, b);
   }
+
+  /// An early-abandoned evaluation still counts as one compdist (the paper
+  /// counts *calls*, and an abandoned call did real metric work); the
+  /// cutoff counters additionally record how often the cutoff pruned.
+  double DistanceWithCutoff(const Blob& a, const Blob& b,
+                            double tau) const override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    cutoff_calls_.fetch_add(1, std::memory_order_relaxed);
+    const double d = base_->DistanceWithCutoff(a, b, tau);
+    if (d > tau) cutoff_hits_.fetch_add(1, std::memory_order_relaxed);
+    return d;
+  }
   double max_distance() const override { return base_->max_distance(); }
   bool is_discrete() const override { return base_->is_discrete(); }
   std::string name() const override { return base_->name(); }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  void Reset() { count_.store(0, std::memory_order_relaxed); }
+  /// Number of DistanceWithCutoff calls since the last Reset.
+  uint64_t cutoff_calls() const {
+    return cutoff_calls_.load(std::memory_order_relaxed);
+  }
+  /// How many of those returned > tau (i.e. the cutoff pruned the object —
+  /// whether or not the metric actually abandoned early).
+  uint64_t cutoff_hits() const {
+    return cutoff_hits_.load(std::memory_order_relaxed);
+  }
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    cutoff_calls_.store(0, std::memory_order_relaxed);
+    cutoff_hits_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   const DistanceFunction* base_;
   mutable std::atomic<uint64_t> count_{0};
+  mutable std::atomic<uint64_t> cutoff_calls_{0};
+  mutable std::atomic<uint64_t> cutoff_hits_{0};
 };
 
 }  // namespace spb

@@ -1,9 +1,32 @@
 #include "metrics/edit_distance.h"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 namespace spb {
+
+namespace {
+
+// Per-thread DP rows, reused across calls: the two-row DP used to allocate
+// two std::vectors per Distance() call, which dominated the cost for the
+// short strings of the Words workload. Queries run concurrently (one tree,
+// many threads), so the scratch is thread-local rather than a member.
+struct EdScratch {
+  std::vector<uint32_t> prev;
+  std::vector<uint32_t> curr;
+};
+
+EdScratch& TlsScratch() {
+  thread_local EdScratch scratch;
+  return scratch;
+}
+
+// Off-band sentinel for the banded DP. Large enough to dominate every real
+// distance, small enough that +1 never wraps.
+constexpr uint32_t kBandInf = std::numeric_limits<uint32_t>::max() / 2;
+
+}  // namespace
 
 double EditDistance::Distance(const Blob& a, const Blob& b) const {
   const size_t m = a.size();
@@ -16,8 +39,11 @@ double EditDistance::Distance(const Blob& a, const Blob& b) const {
   const Blob& longer = (m <= n) ? b : a;
   const size_t w = shorter.size();
 
-  std::vector<uint32_t> prev(w + 1);
-  std::vector<uint32_t> curr(w + 1);
+  EdScratch& scratch = TlsScratch();
+  std::vector<uint32_t>& prev = scratch.prev;
+  std::vector<uint32_t>& curr = scratch.curr;
+  prev.resize(w + 1);
+  curr.resize(w + 1);
   for (size_t j = 0; j <= w; ++j) prev[j] = static_cast<uint32_t>(j);
 
   for (size_t i = 1; i <= longer.size(); ++i) {
@@ -30,6 +56,68 @@ double EditDistance::Distance(const Blob& a, const Blob& b) const {
     std::swap(prev, curr);
   }
   return static_cast<double>(prev[w]);
+}
+
+double EditDistance::DistanceWithCutoff(const Blob& a, const Blob& b,
+                                        double tau) const {
+  const size_t m = a.size();
+  const size_t n = b.size();
+  const size_t longest = std::max(m, n);
+  // tau at or above the longest string covers the whole DP table — the band
+  // would be the full matrix, so run the plain DP (identical values, and it
+  // handles tau = +inf without any float->int conversion hazards).
+  if (!(tau < static_cast<double>(longest))) return Distance(a, b);
+  if (tau < 0.0) {
+    // Any distance (>= 0) exceeds tau; 0 is a valid "> tau" prune value.
+    return 0.0;
+  }
+
+  // Ukkonen's banded DP with band half-width k = floor(tau): edit distance
+  // is integral, so d <= tau iff d <= k, and the band-k DP computes d
+  // exactly whenever d <= k. Everything off the |i - j| <= k diagonal band
+  // costs more than k moves and is represented by kBandInf.
+  const uint32_t k = static_cast<uint32_t>(tau);
+  const size_t diff = (m > n) ? m - n : n - m;
+  if (diff > k) return static_cast<double>(k + 1);  // d >= |m - n| > tau
+  if (m == 0 || n == 0) return static_cast<double>(longest);  // <= k here
+
+  const Blob& shorter = (m <= n) ? a : b;
+  const Blob& longer = (m <= n) ? b : a;
+  const size_t w = shorter.size();
+  const size_t l = longer.size();
+
+  EdScratch& scratch = TlsScratch();
+  std::vector<uint32_t>& prev = scratch.prev;
+  std::vector<uint32_t>& curr = scratch.curr;
+  prev.assign(w + 1, kBandInf);
+  curr.assign(w + 1, kBandInf);
+  for (size_t j = 0; j <= std::min<size_t>(w, k); ++j) {
+    prev[j] = static_cast<uint32_t>(j);
+  }
+
+  for (size_t i = 1; i <= l; ++i) {
+    // Columns j with |i - j| <= k. Non-empty for every i: l <= w + k implies
+    // i - k <= w, and i + k >= 1.
+    const size_t jlo = (i > k) ? i - k : 1;
+    const size_t jhi = std::min(w, i + k);
+    curr[jlo - 1] = (i <= k) ? static_cast<uint32_t>(i) : kBandInf;
+    uint32_t row_min = curr[jlo - 1];
+    const uint8_t ci = longer[i - 1];
+    for (size_t j = jlo; j <= jhi; ++j) {
+      const uint32_t subst = prev[j - 1] + (ci != shorter[j - 1] ? 1 : 0);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, subst});
+      row_min = std::min(row_min, curr[j]);
+    }
+    // DP values are non-decreasing along any path, so once the whole band
+    // exceeds k the final distance must too: abandon.
+    if (row_min > k) return static_cast<double>(k + 1);
+    // The next row reads prev[jhi + 1] (its band extends one column further
+    // right); mark it off-band before the swap.
+    if (jhi + 1 <= w) curr[jhi + 1] = kBandInf;
+    std::swap(prev, curr);
+  }
+  const uint32_t d = prev[w];
+  return (d <= k) ? static_cast<double>(d) : static_cast<double>(k + 1);
 }
 
 }  // namespace spb

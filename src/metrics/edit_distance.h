@@ -10,6 +10,10 @@ namespace spb {
 /// Levenshtein edit distance over byte strings (the paper's Words metric).
 /// Discrete; d+ is the maximum string length in the domain (34 for the
 /// paper's Words dataset).
+///
+/// Both entry points reuse per-thread DP rows instead of allocating per
+/// call; DistanceWithCutoff additionally runs Ukkonen's banded DP with band
+/// half-width floor(tau) and abandons once a whole DP row exceeds the band.
 class EditDistance final : public DistanceFunction {
  public:
   /// `max_len` bounds the length of any string in the domain; it determines
@@ -17,6 +21,8 @@ class EditDistance final : public DistanceFunction {
   explicit EditDistance(size_t max_len) : max_len_(max_len) {}
 
   double Distance(const Blob& a, const Blob& b) const override;
+  double DistanceWithCutoff(const Blob& a, const Blob& b,
+                            double tau) const override;
   double max_distance() const override {
     return static_cast<double>(max_len_);
   }

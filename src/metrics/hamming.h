@@ -1,25 +1,43 @@
 #ifndef SPB_METRICS_HAMMING_H_
 #define SPB_METRICS_HAMMING_H_
 
+#include <cstdint>
 #include <string>
 
+#include "kernels/kernels.h"
 #include "metrics/distance.h"
 
 namespace spb {
 
 /// Hamming distance over fixed-length symbol strings (the paper's Signature
 /// metric: 64-symbol signatures). Discrete; d+ equals the signature length.
+/// Mismatch counting runs on the dispatched popcount kernels
+/// (src/kernels/); DistanceWithCutoff stops once the mismatch count alone
+/// already exceeds tau.
 class Hamming final : public DistanceFunction {
  public:
   explicit Hamming(size_t length) : length_(length) {}
 
   double Distance(const Blob& a, const Blob& b) const override {
     const size_t n = a.size() < b.size() ? a.size() : b.size();
-    size_t diff = (a.size() > b.size() ? a.size() : b.size()) - n;
-    for (size_t i = 0; i < n; ++i) {
-      if (a[i] != b[i]) ++diff;
-    }
-    return static_cast<double>(diff);
+    const uint64_t diff = (a.size() > b.size() ? a.size() : b.size()) - n;
+    return static_cast<double>(diff +
+                               kernels::Active().hamming(a.data(), b.data(), n));
+  }
+  double DistanceWithCutoff(const Blob& a, const Blob& b,
+                            double tau) const override {
+    const size_t n = a.size() < b.size() ? a.size() : b.size();
+    const uint64_t diff = (a.size() > b.size() ? a.size() : b.size()) - n;
+    // Length difference alone exceeding tau covers tau < 0 too (diff >= 0).
+    if (static_cast<double>(diff) > tau) return static_cast<double>(diff);
+    // Mismatch budget: the count may exceed tau once diff + count > tau,
+    // i.e. count > tau - diff. The kernel abandons past `budget` mismatches
+    // and returns a partial count, which keeps the total > tau as required.
+    const double rem = tau - static_cast<double>(diff);
+    const uint64_t budget =
+        rem >= 9.0e18 ? UINT64_MAX : static_cast<uint64_t>(rem);
+    return static_cast<double>(
+        diff + kernels::Active().hamming_cutoff(a.data(), b.data(), n, budget));
   }
   double max_distance() const override {
     return static_cast<double>(length_);

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+
+#include "kernels/kernels.h"
 
 namespace spb {
 
@@ -12,7 +15,11 @@ LpNorm::LpNorm(size_t dim, double p, double max_coord) : dim_(dim), p_(p) {
     name_ = "Linf";
   } else {
     max_distance_ = std::pow(static_cast<double>(dim), 1.0 / p) * max_coord;
-    name_ = "L" + std::to_string(static_cast<int>(p));
+    // %g keeps integer orders terse ("L2") and fractional ones exact
+    // enough to distinguish ("L0.5"), instead of truncating p to int.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "L%g", p);
+    name_ = buf;
   }
 }
 
@@ -22,34 +29,40 @@ double LpNorm::Distance(const Blob& a, const Blob& b) const {
   const float* fa = reinterpret_cast<const float*>(a.data());
   const float* fb = reinterpret_cast<const float*>(b.data());
 
-  if (p_ == kInfinity) {
-    double best = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double d = std::fabs(static_cast<double>(fa[i]) - fb[i]);
-      if (d > best) best = d;
-    }
-    return best;
-  }
-  if (p_ == 2.0) {
-    double sum = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double d = static_cast<double>(fa[i]) - fb[i];
-      sum += d * d;
-    }
-    return std::sqrt(sum);
-  }
-  if (p_ == 1.0) {
-    double sum = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      sum += std::fabs(static_cast<double>(fa[i]) - fb[i]);
-    }
-    return sum;
-  }
+  const kernels::KernelTable& k = kernels::Active();
+  if (p_ == kInfinity) return k.linf(fa, fb, n);
+  if (p_ == 2.0) return std::sqrt(k.l2_sq(fa, fb, n));
+  if (p_ == 1.0) return k.l1(fa, fb, n);
+
   double sum = 0.0;
   for (size_t i = 0; i < n; ++i) {
     sum += std::pow(std::fabs(static_cast<double>(fa[i]) - fb[i]), p_);
   }
   return std::pow(sum, 1.0 / p_);
+}
+
+double LpNorm::DistanceWithCutoff(const Blob& a, const Blob& b,
+                                  double tau) const {
+  const size_t n = std::min(a.size(), b.size()) / sizeof(float);
+  const float* fa = reinterpret_cast<const float*>(a.data());
+  const float* fb = reinterpret_cast<const float*>(b.data());
+
+  const kernels::KernelTable& k = kernels::Active();
+  if (p_ == kInfinity) return k.linf_cutoff(fa, fb, n, tau);
+  if (p_ == 2.0) {
+    // The kernel abandons once sqrt(partial) > tau; either way the value it
+    // returns is a partial (or full) squared sum whose sqrt is exact when
+    // <= tau and > tau otherwise — exactly the cutoff contract.
+    return std::sqrt(k.l2_sq_cutoff(fa, fb, n, tau));
+  }
+  if (p_ == 1.0) return k.l1_cutoff(fa, fb, n, tau);
+
+  // General (possibly fractional) p: no early abandoning. libm pow is not
+  // guaranteed correctly rounded, so a partial-sum comparison against
+  // pow(tau, p) cannot *prove* the final distance exceeds tau — and the
+  // cutoff contract demands proof, not likelihood. Full computation keeps
+  // the result exact (and the contract trivially satisfied).
+  return Distance(a, b);
 }
 
 }  // namespace spb

@@ -12,6 +12,10 @@ namespace spb {
 /// p = 2 is the paper's Synthetic metric, p = 5 its Color metric; p may be
 /// kInfinity for the L-inf norm (which is also the metric D() of the mapped
 /// vector space). Continuous; d+ assumes coordinates in [0, max_coord].
+///
+/// p in {1, 2, inf} runs on the dispatched SIMD kernels (src/kernels/) and
+/// supports early abandoning via DistanceWithCutoff; other p values use the
+/// scalar pow loop and ignore the cutoff (see lp_norm.cc for why).
 class LpNorm final : public DistanceFunction {
  public:
   static constexpr double kInfinity = std::numeric_limits<double>::infinity();
@@ -21,6 +25,8 @@ class LpNorm final : public DistanceFunction {
   LpNorm(size_t dim, double p, double max_coord = 1.0);
 
   double Distance(const Blob& a, const Blob& b) const override;
+  double DistanceWithCutoff(const Blob& a, const Blob& b,
+                            double tau) const override;
   double max_distance() const override { return max_distance_; }
   bool is_discrete() const override { return false; }
   std::string name() const override { return name_; }

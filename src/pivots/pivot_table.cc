@@ -4,6 +4,17 @@
 
 namespace spb {
 
+void PivotTable::MapBatch(const Blob* objects, size_t count,
+                          const DistanceFunction& metric, double* out) const {
+  const size_t dims = pivots_.size();
+  for (size_t i = 0; i < count; ++i) {
+    double* row = out + i * dims;
+    for (size_t j = 0; j < dims; ++j) {
+      row[j] = metric.Distance(objects[i], pivots_[j]);
+    }
+  }
+}
+
 Blob PivotTable::Serialize() const {
   size_t total = 4;
   for (const Blob& p : pivots_) total += 4 + p.size();

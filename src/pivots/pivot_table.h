@@ -32,6 +32,13 @@ class PivotTable {
     return phi;
   }
 
+  /// Maps `count` objects at once into a caller-owned row-major buffer
+  /// (`out[i * size() + j] = d(objects[i], p_j)`), avoiding the per-object
+  /// vector allocation of Map(). Used by the bulk-load path, which maps the
+  /// whole dataset. Costs count * size() distance computations.
+  void MapBatch(const Blob* objects, size_t count,
+                const DistanceFunction& metric, double* out) const;
+
   /// Serializes the table (count + length-prefixed pivot payloads).
   Blob Serialize() const;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "kernels/kernels.h"
+
 namespace spb {
 
 namespace {
@@ -11,31 +13,53 @@ namespace {
 // bit q of dimension i lands at key bit (q * n + (n - 1 - i)) from the
 // bottom of the used range. Both curves share this packing; Hilbert first
 // transforms the coordinates into Skilling's "transpose" form.
-uint64_t Interleave(const std::vector<uint32_t>& x, int b) {
-  const size_t n = x.size();
-  uint64_t key = 0;
-  for (int q = b - 1; q >= 0; --q) {
-    for (size_t i = 0; i < n; ++i) {
-      key = (key << 1) | ((x[i] >> q) & 1u);
+//
+// The packing is a bit gather/scatter with one fixed mask per dimension, so
+// it runs on the dispatched PEXT/PDEP kernels (src/kernels/): one
+// instruction per dimension on BMI2 hardware instead of a loop over all
+// dims * bits key bits. Decode is the hottest operation of a range query
+// (every leaf entry's key is decoded for Lemma 1), which is why this matters.
+class BitInterleaver {
+ public:
+  BitInterleaver(size_t dims, int bits)
+      : pext_(kernels::Pext()), pdep_(kernels::Pdep()), masks_(dims, 0) {
+    for (size_t i = 0; i < dims; ++i) {
+      for (int q = 0; q < bits; ++q) {
+        masks_[i] |= uint64_t{1}
+                     << (static_cast<size_t>(q) * dims + (dims - 1 - i));
+      }
     }
   }
-  return key;
-}
 
-void Deinterleave(uint64_t key, int b, std::vector<uint32_t>* x) {
-  const size_t n = x->size();
-  std::fill(x->begin(), x->end(), 0u);
-  int shift = static_cast<int>(n) * b;
-  for (int q = b - 1; q >= 0; --q) {
-    for (size_t i = 0; i < n; ++i) {
-      --shift;
-      (*x)[i] |= static_cast<uint32_t>((key >> shift) & 1u) << q;
+  uint64_t Interleave(const std::vector<uint32_t>& x) const {
+    uint64_t key = 0;
+    for (size_t i = 0; i < masks_.size(); ++i) {
+      key |= pdep_(x[i], masks_[i]);
+    }
+    return key;
+  }
+
+  void Deinterleave(uint64_t key, std::vector<uint32_t>* x) const {
+    for (size_t i = 0; i < masks_.size(); ++i) {
+      (*x)[i] = static_cast<uint32_t>(pext_(key, masks_[i]));
     }
   }
-}
+
+ private:
+  kernels::BitGatherFn pext_;
+  kernels::BitScatterFn pdep_;
+  std::vector<uint64_t> masks_;
+};
 
 // J. Skilling, "Programming the Hilbert curve", AIP Conf. Proc. 707 (2004).
 // Converts coordinates to the transposed Hilbert index, in place.
+//
+// The per-bit swap/complement step branches on a data bit that is close to
+// uniformly random, so the branchful form mispredicts about half the time in
+// the leaf decode hot loop. Both transforms compute the identical integer
+// arithmetic with masks instead: `on` is all-ones exactly when the original
+// then-branch would run, which zeroes the swap term `t` and leaves only the
+// complement `p`; keys and coordinates are bit-for-bit unchanged.
 void AxesToTranspose(std::vector<uint32_t>& x, int b) {
   const size_t n = x.size();
   uint32_t m = 1u << (b - 1);
@@ -43,20 +67,17 @@ void AxesToTranspose(std::vector<uint32_t>& x, int b) {
   for (uint32_t q = m; q > 1; q >>= 1) {
     const uint32_t p = q - 1;
     for (size_t i = 0; i < n; ++i) {
-      if (x[i] & q) {
-        x[0] ^= p;
-      } else {
-        const uint32_t t = (x[0] ^ x[i]) & p;
-        x[0] ^= t;
-        x[i] ^= t;
-      }
+      const uint32_t on = 0u - static_cast<uint32_t>((x[i] & q) != 0);
+      const uint32_t t = (x[0] ^ x[i]) & p & ~on;
+      x[0] ^= (p & on) | t;
+      x[i] ^= t;
     }
   }
   // Gray encode.
   for (size_t i = 1; i < n; ++i) x[i] ^= x[i - 1];
   uint32_t t = 0;
   for (uint32_t q = m; q > 1; q >>= 1) {
-    if (x[n - 1] & q) t ^= q - 1;
+    t ^= (q - 1) & (0u - static_cast<uint32_t>((x[n - 1] & q) != 0));
   }
   for (size_t i = 0; i < n; ++i) x[i] ^= t;
 }
@@ -73,50 +94,55 @@ void TransposeToAxes(std::vector<uint32_t>& x, int b) {
   for (uint32_t q = 2; q != nbit; q <<= 1) {
     const uint32_t p = q - 1;
     for (size_t i = n; i-- > 0;) {
-      if (x[i] & q) {
-        x[0] ^= p;
-      } else {
-        const uint32_t t2 = (x[0] ^ x[i]) & p;
-        x[0] ^= t2;
-        x[i] ^= t2;
-      }
+      const uint32_t on = 0u - static_cast<uint32_t>((x[i] & q) != 0);
+      const uint32_t t2 = (x[0] ^ x[i]) & p & ~on;
+      x[0] ^= (p & on) | t2;
+      x[i] ^= t2;
     }
   }
 }
 
 class HilbertCurve final : public SpaceFillingCurve {
  public:
-  HilbertCurve(size_t dims, int bits) : SpaceFillingCurve(dims, bits) {}
+  HilbertCurve(size_t dims, int bits)
+      : SpaceFillingCurve(dims, bits), codec_(dims, bits) {}
 
   uint64_t Encode(const std::vector<uint32_t>& coords) const override {
     std::vector<uint32_t> x = coords;
     AxesToTranspose(x, bits_);
-    return Interleave(x, bits_);
+    return codec_.Interleave(x);
   }
 
   void Decode(uint64_t key, std::vector<uint32_t>* coords) const override {
     coords->resize(dims_);
-    Deinterleave(key, bits_, coords);
+    codec_.Deinterleave(key, coords);
     TransposeToAxes(*coords, bits_);
   }
 
   CurveType type() const override { return CurveType::kHilbert; }
+
+ private:
+  BitInterleaver codec_;
 };
 
 class ZOrderCurve final : public SpaceFillingCurve {
  public:
-  ZOrderCurve(size_t dims, int bits) : SpaceFillingCurve(dims, bits) {}
+  ZOrderCurve(size_t dims, int bits)
+      : SpaceFillingCurve(dims, bits), codec_(dims, bits) {}
 
   uint64_t Encode(const std::vector<uint32_t>& coords) const override {
-    return Interleave(coords, bits_);
+    return codec_.Interleave(coords);
   }
 
   void Decode(uint64_t key, std::vector<uint32_t>* coords) const override {
     coords->resize(dims_);
-    Deinterleave(key, bits_, coords);
+    codec_.Deinterleave(key, coords);
   }
 
   CurveType type() const override { return CurveType::kZOrder; }
+
+ private:
+  BitInterleaver codec_;
 };
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace spb {
 
@@ -41,6 +42,31 @@ Status BufferPool::Read(PageId id, Page* out) {
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.InsertLocked(id, *out);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::ReadInto(PageId id, size_t offset, size_t n,
+                            uint8_t* dst) {
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(id);
+    if (it != shard.index.end()) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      std::memcpy(dst, it->second->page.bytes() + offset, n);
+      return Status::OK();
+    }
+  }
+  // Miss: same fetch-outside-the-lock policy (and PA accounting) as Read().
+  Page buf;
+  SPB_RETURN_IF_ERROR(file_->Read(id, &buf));
+  stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
+  std::memcpy(dst, buf.bytes() + offset, n);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.InsertLocked(id, buf);
   }
   return Status::OK();
 }

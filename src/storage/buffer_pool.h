@@ -59,6 +59,14 @@ class BufferPool {
   /// Reads page `id` (through the cache) into `*out`.
   Status Read(PageId id, Page* out);
 
+  /// Copies `n` bytes starting at byte `offset` of page `id` into `dst`,
+  /// through the cache, without materializing the full page in the caller —
+  /// the RAF uses this to fetch an object record without a 4 KiB copy per
+  /// access. Accounting is identical to Read(): a cached page counts one
+  /// cache hit, an uncached page one page read (and the fetched page is
+  /// inserted). Requires offset + n <= kPageSize.
+  Status ReadInto(PageId id, size_t offset, size_t n, uint8_t* dst);
+
   /// Writes page `id` through the cache to the file.
   Status Write(PageId id, const Page& page);
 

@@ -98,9 +98,7 @@ Status Raf::ReadBytes(uint64_t offset, uint8_t* dst, size_t n) {
       pool_.stats().cache_hits.fetch_add(1, std::memory_order_relaxed);
       std::memcpy(dst, tail_.bytes() + in_page, chunk);
     } else {
-      Page buf;
-      SPB_RETURN_IF_ERROR(pool_.Read(page, &buf));
-      std::memcpy(dst, buf.bytes() + in_page, chunk);
+      SPB_RETURN_IF_ERROR(pool_.ReadInto(page, in_page, chunk, dst));
     }
     offset += chunk;
     dst += chunk;

@@ -154,6 +154,33 @@ TEST(BufferPoolTest, FirstReadMissesSecondHits) {
   EXPECT_EQ(pool.stats().cache_hits, 1u);
 }
 
+TEST(BufferPoolTest, ReadIntoMatchesReadAndAccounting) {
+  auto f = PageFile::CreateInMemory();
+  PageId id;
+  ASSERT_TRUE(f->Allocate(&id).ok());
+  Page w;
+  for (size_t i = 0; i < kPageSize; ++i) {
+    w.bytes()[i] = static_cast<uint8_t>(i * 13 + 7);
+  }
+  ASSERT_TRUE(f->Write(id, w).ok());
+
+  BufferPool pool(f.get(), 8);
+  uint8_t slice[100];
+  // Cold: one page read, no hit — same as Read().
+  ASSERT_TRUE(pool.ReadInto(id, 500, sizeof(slice), slice).ok());
+  EXPECT_EQ(pool.stats().page_reads, 1u);
+  EXPECT_EQ(pool.stats().cache_hits, 0u);
+  EXPECT_EQ(0, memcmp(slice, w.bytes() + 500, sizeof(slice)));
+  // Warm: a hit, and the page was inserted so Read() also hits.
+  ASSERT_TRUE(pool.ReadInto(id, 0, 1, slice).ok());
+  EXPECT_EQ(pool.stats().page_reads, 1u);
+  EXPECT_EQ(pool.stats().cache_hits, 1u);
+  Page r;
+  ASSERT_TRUE(pool.Read(id, &r).ok());
+  EXPECT_EQ(pool.stats().page_reads, 1u);
+  EXPECT_EQ(pool.stats().cache_hits, 2u);
+}
+
 TEST(BufferPoolTest, ZeroCapacityNeverHits) {
   auto f = PageFile::CreateInMemory();
   PageId id;

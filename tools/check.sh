@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
 # build that runs the concurrency tests (the concurrent read path must be
-# data-race-free, not just correct-by-luck).
+# data-race-free, not just correct-by-luck), then an Address/UB-sanitizer
+# build that runs the kernel parity and metric tests — once with the
+# dispatched SIMD kernels and once with SPB_DISABLE_SIMD=1 — so out-of-bounds
+# lane loads or UB in any kernel table fail loudly on every path.
 #
 #   tools/check.sh            # everything
 #   tools/check.sh --tsan     # only the TSan stage
+#   tools/check.sh --asan     # only the ASan/UBSan kernel stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,10 +28,24 @@ run_tsan() {
   ./build-tsan/tests/concurrency_test
 }
 
-if [[ "${1:-}" == "--tsan" ]]; then
-  run_tsan
-else
-  run_tier1
-  run_tsan
-fi
+run_asan() {
+  echo "==> asan: kernel parity + metric tests under ASan/UBSan"
+  cmake -B build-asan -S . -DSPB_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target kernels_test metrics_test
+  ./build-asan/tests/kernels_test
+  ./build-asan/tests/metrics_test
+  echo "==> asan: same tests with SPB_DISABLE_SIMD=1 (scalar dispatch path)"
+  SPB_DISABLE_SIMD=1 ./build-asan/tests/kernels_test
+  SPB_DISABLE_SIMD=1 ./build-asan/tests/metrics_test
+}
+
+case "${1:-}" in
+  --tsan) run_tsan ;;
+  --asan) run_asan ;;
+  *)
+    run_tier1
+    run_tsan
+    run_asan
+    ;;
+esac
 echo "==> all checks passed"
