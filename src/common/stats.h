@@ -24,6 +24,20 @@ struct IoStats {
   std::atomic<uint64_t> page_reads{0};
   std::atomic<uint64_t> page_writes{0};
   std::atomic<uint64_t> cache_hits{0};
+  /// Read operations actually issued to the PageFile. One coalesced span
+  /// read counts once no matter how many pages it covers, and single-flight
+  /// sharing collapses concurrent misses of one page to one physical read —
+  /// so physical_reads <= page_reads always, and the gap measures what the
+  /// I/O engine saved. Excluded from page_accesses(): the paper's PA metric
+  /// is the logical count.
+  std::atomic<uint64_t> physical_reads{0};
+  /// Pages handed to the background fetcher by readahead scheduling.
+  std::atomic<uint64_t> prefetch_issued{0};
+  /// Logical page requests served from a readahead staging buffer instead
+  /// of a blocking file read (each also counts one page_read).
+  std::atomic<uint64_t> prefetch_hits{0};
+  /// Pages fetched as part of multi-page span reads (runs of length >= 2).
+  std::atomic<uint64_t> coalesced_pages{0};
 
   IoStats() = default;
   IoStats(const IoStats& other) { *this = other; }
@@ -34,6 +48,16 @@ struct IoStats {
                       std::memory_order_relaxed);
     cache_hits.store(other.cache_hits.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+    physical_reads.store(other.physical_reads.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    prefetch_issued.store(
+        other.prefetch_issued.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    prefetch_hits.store(other.prefetch_hits.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    coalesced_pages.store(
+        other.coalesced_pages.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     return *this;
   }
 
@@ -46,6 +70,10 @@ struct IoStats {
     page_reads.store(0, std::memory_order_relaxed);
     page_writes.store(0, std::memory_order_relaxed);
     cache_hits.store(0, std::memory_order_relaxed);
+    physical_reads.store(0, std::memory_order_relaxed);
+    prefetch_issued.store(0, std::memory_order_relaxed);
+    prefetch_hits.store(0, std::memory_order_relaxed);
+    coalesced_pages.store(0, std::memory_order_relaxed);
   }
 
   IoStats& operator+=(const IoStats& other) {
@@ -55,6 +83,18 @@ struct IoStats {
                           std::memory_order_relaxed);
     cache_hits.fetch_add(other.cache_hits.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+    physical_reads.fetch_add(
+        other.physical_reads.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    prefetch_issued.fetch_add(
+        other.prefetch_issued.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    prefetch_hits.fetch_add(
+        other.prefetch_hits.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    coalesced_pages.fetch_add(
+        other.coalesced_pages.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     return *this;
   }
 };

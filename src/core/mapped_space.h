@@ -65,7 +65,7 @@ class MappedSpace {
     size_t count = 0;
     size_t dims = 0;
     std::vector<uint32_t> cells;    // dims * count entries, dimension-major
-    std::vector<uint32_t> scratch;  // one AoS cell during the decode loop
+    std::vector<uint32_t> scratch;  // count words, batch-decode scratch row
 
     uint32_t At(size_t d, size_t i) const { return cells[d * count + i]; }
   };

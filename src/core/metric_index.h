@@ -47,6 +47,11 @@ class MetricIndex {
   virtual QueryStats cumulative_stats() const = 0;
   virtual void ResetCounters() = 0;
 
+  /// Aggregate I/O counters (logical reads/writes/hits plus the I/O
+  /// engine's physical_reads / prefetch / coalescing stats) since the last
+  /// ResetCounters(). Indexes without instrumented storage return zeros.
+  virtual IoStats io_stats() const { return IoStats{}; }
+
   /// Drops LRU caches (done before each measured query, as in the paper).
   virtual void FlushCaches() = 0;
 

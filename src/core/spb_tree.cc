@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <cstring>
 #include <queue>
+#include <thread>
 
 namespace spb {
 
@@ -198,6 +199,7 @@ Status SpbTree::BuildInternal(const std::vector<Blob>& objects,
     tree->cost_model_.set_distance_distribution(std::move(pair_distances),
                                                 rho);
   }
+  tree->InitFetcher();
   *out = std::move(tree);
   return Status::OK();
 }
@@ -426,6 +428,7 @@ Status SpbTree::Open(const std::string& storage_dir,
                 std::move(boxes));
   tree->cost_model_.set_precision(precision);
   tree->cost_model_.set_distance_distribution(std::move(pair_distances), rho);
+  tree->InitFetcher();
   tree->ResetCounters();
   *out = std::move(tree);
   return Status::OK();
@@ -508,7 +511,8 @@ Status SpbTree::VerifyLeafBatch(const LeafEntry* entries, size_t count,
                                 const std::vector<uint32_t>& rr_lo,
                                 const std::vector<uint32_t>& rr_hi,
                                 LeafScratch* scratch,
-                                std::vector<ObjectId>* result) {
+                                std::vector<ObjectId>* result,
+                                Readahead* ra) {
   if (count == 0) return Status::OK();
   scratch->keys.resize(count);
   for (size_t i = 0; i < count; ++i) scratch->keys[i] = entries[i].key;
@@ -521,6 +525,22 @@ Status SpbTree::VerifyLeafBatch(const LeafEntry* entries, size_t count,
     space_->BatchGuaranteedWithin(scratch->block, phi_q, r,
                                   &scratch->guaranteed);
   }
+  if (ra != nullptr) {
+    // The lemma sweeps just fixed the set of entries the fetch loop below
+    // will touch; their RAF pages are known now and (entries being in key
+    // order) land in ascending SFC page order — hand them all to the
+    // readahead session so dense survivor runs become span reads. A record
+    // may spill onto the next page, so schedule that too; oversubmitting is
+    // safe (unclaimed staged pages never count logical PA).
+    scratch->pages.clear();
+    for (size_t i = 0; i < count; ++i) {
+      if (check_region && !scratch->in_box[i]) continue;
+      const PageId first = Raf::PageOf(entries[i].ptr);
+      scratch->pages.push_back(first);
+      scratch->pages.push_back(first + 1);
+    }
+    ra->Schedule(scratch->pages);
+  }
   // Survivors are fetched and verified in entry order, so the result order,
   // the RAF page-access order and the sequence of distance calls all match
   // the per-entry loop this replaces.
@@ -530,7 +550,7 @@ Status SpbTree::VerifyLeafBatch(const LeafEntry* entries, size_t count,
     }
     ObjectId id;
     Blob obj;
-    SPB_RETURN_IF_ERROR(raf_->Get(entries[i].ptr, &id, &obj));
+    SPB_RETURN_IF_ERROR(raf_->Get(entries[i].ptr, &id, &obj, ra));
     if (options_.enable_lemma2 && scratch->guaranteed[i]) {
       // Lemma 2: in the result without computing d(q, o).
       result->push_back(id);
@@ -563,6 +583,7 @@ Status SpbTree::RangeQuery(const Blob& q, double r,
   BptNode node;
   std::vector<uint32_t> lo, hi;
   LeafScratch scratch;
+  Readahead ra = NewReadaheadSession();
 
   while (!todo.empty()) {
     NodeRef ref = std::move(todo.front());
@@ -586,7 +607,7 @@ Status SpbTree::RangeQuery(const Blob& q, double r,
       SPB_RETURN_IF_ERROR(VerifyLeafBatch(node.leaf_entries.data(),
                                           node.leaf_entries.size(), q, phi_q,
                                           r, false, rr_lo, rr_hi, &scratch,
-                                          result));
+                                          result, &ra));
       continue;
     }
     bool enumerated = false;
@@ -617,7 +638,7 @@ Status SpbTree::RangeQuery(const Blob& q, double r,
         SPB_RETURN_IF_ERROR(VerifyLeafBatch(scratch.matched.data(),
                                             scratch.matched.size(), q, phi_q,
                                             r, false, rr_lo, rr_hi, &scratch,
-                                            result));
+                                            result, &ra));
         enumerated = true;
       }
     }
@@ -625,7 +646,7 @@ Status SpbTree::RangeQuery(const Blob& q, double r,
       SPB_RETURN_IF_ERROR(VerifyLeafBatch(node.leaf_entries.data(),
                                           node.leaf_entries.size(), q, phi_q,
                                           r, true, rr_lo, rr_hi, &scratch,
-                                          result));
+                                          result, &ra));
     }
   }
   return Status::OK();
@@ -662,10 +683,11 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
   // when d > NDk — so offer() makes the same decision, and any distance that
   // does get stored is the exact one. While the heap is not yet full, NDk is
   // +inf and the computation runs to completion.
+  Readahead ra = NewReadaheadSession();
   auto verify_entry = [&](const LeafEntry& e) -> Status {
     ObjectId id;
     Blob obj;
-    SPB_RETURN_IF_ERROR(raf_->Get(e.ptr, &id, &obj));
+    SPB_RETURN_IF_ERROR(raf_->Get(e.ptr, &id, &obj, &ra));
     const double d = options_.enable_cutoff
                          ? counting_.DistanceWithCutoff(q, obj, cur_ndk())
                          : counting_.Distance(q, obj);
@@ -706,6 +728,14 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
     if (item.mind >= cur_ndk()) break;  // Lemma 3 early termination
 
     if (item.is_entry) {
+      // Speculative prefetch of the next heap-front entry: it is the most
+      // likely next verification, and scheduling is free if Lemma 3
+      // terminates first (unclaimed pages never count logical PA).
+      if (!heap.empty() && heap.top().is_entry) {
+        const PageId next = Raf::PageOf(heap.top().entry.ptr);
+        scratch.pages.assign({next, next + 1});
+        ra.Schedule(scratch.pages);
+      }
       SPB_RETURN_IF_ERROR(verify_entry(item.entry));
       continue;
     }
@@ -721,6 +751,19 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
       continue;
     }
     batch_bounds(node.leaf_entries);
+    // All entries the traversal may verify from this leaf are known now
+    // (mind below the current NDk); schedule their RAF pages as one sorted
+    // batch. NDk only tightens afterwards, so this over-approximates —
+    // harmless, unclaimed pages never count.
+    scratch.pages.clear();
+    for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
+      if (scratch.mind[i] < cur_ndk()) {
+        const PageId first = Raf::PageOf(node.leaf_entries[i].ptr);
+        scratch.pages.push_back(first);
+        scratch.pages.push_back(first + 1);
+      }
+    }
+    ra.Schedule(scratch.pages);
     if (traversal == KnnTraversal::kGreedy) {
       // Greedy: evaluate the whole leaf now — no RAF page revisits later,
       // at the price of possibly unnecessary distance computations. The
@@ -763,6 +806,23 @@ CostEstimate SpbTree::EstimateKnnCost(const Blob& q, size_t k) const {
 uint64_t SpbTree::storage_bytes() const {
   return btree_->file_bytes() + raf_->file_bytes() +
          space_->pivots().Serialize().size();
+}
+
+void SpbTree::InitFetcher() {
+  size_t threads = options_.prefetch_threads;
+  if (threads == SIZE_MAX) {
+    // Background threads only pay off when there is a core to run them on.
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? 2 : 0;
+  }
+  fetcher_ = std::make_unique<PageFetcher>(threads);
+}
+
+IoStats SpbTree::io_stats() const {
+  IoStats s;
+  s += btree_->stats();
+  s += raf_->stats();
+  return s;
 }
 
 QueryStats SpbTree::cumulative_stats() const {

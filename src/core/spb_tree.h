@@ -15,6 +15,7 @@
 #include "metrics/distance.h"
 #include "common/rng.h"
 #include "pivots/selection.h"
+#include "storage/io_engine.h"
 #include "storage/raf.h"
 
 namespace spb {
@@ -55,6 +56,19 @@ struct SpbTreeOptions {
   /// docs/ARCHITECTURE.md §"Distance kernels"). Off = plain Distance(),
   /// for ablation and regression tests.
   bool enable_cutoff = true;
+  /// I/O engine (docs/ARCHITECTURE.md §"I/O engine"): when on, each query
+  /// opens a readahead session over the RAF and schedules the pages of
+  /// Lemma-surviving leaf entries (RQA/NNA) before fetching them, so runs of
+  /// SFC-adjacent pages coalesce into span reads. Results, logical PA and
+  /// compdists are identical either way — readahead stages bytes outside the
+  /// buffer pool and claims them with demand-path accounting on first touch.
+  bool enable_prefetch = true;
+  /// Background fetch threads. SIZE_MAX = auto (2 when the machine has more
+  /// than one hardware thread, else 0); 0 = no threads, span reads run
+  /// inline at schedule time (coalescing still applies, overlap does not).
+  size_t prefetch_threads = SIZE_MAX;
+  /// Per-session readahead budget, in pages (also the max span-read length).
+  size_t max_readahead_pages = 64;
 };
 
 /// kNN traversal strategies of Section 4.3 / Table 5.
@@ -150,9 +164,23 @@ class SpbTree : public MetricIndex {
   const DistanceFunction& metric() const { return counting_; }
   /// The counting wrapper itself — exposes the cutoff-call/hit counters.
   const CountingDistance& counting() const { return counting_; }
-  /// Ablation hook (single-writer: exclude concurrent queries while
+  /// Ablation hooks (single-writer: exclude concurrent queries while
   /// flipping, like the other mutators).
   void set_enable_cutoff(bool v) { options_.enable_cutoff = v; }
+  void set_enable_prefetch(bool v) { options_.enable_prefetch = v; }
+
+  /// Opens a readahead session over the RAF for one caller thread (used by
+  /// the joins, which drive their own leaf scans). Returns a session even
+  /// when enable_prefetch is off — Schedule() is then a no-op (null
+  /// fetcher), so the session degrades to the demand path.
+  Readahead NewReadaheadSession() {
+    return Readahead(&raf_->pool(),
+                     options_.enable_prefetch ? fetcher_.get() : nullptr,
+                     ReadaheadOptions{options_.max_readahead_pages});
+  }
+
+  /// Aggregate I/O counters of both files (logical + physical + prefetch).
+  IoStats io_stats() const override;
   BPlusTree& btree() { return *btree_; }
   const BPlusTree& btree() const { return *btree_; }
   Raf& raf() { return *raf_; }
@@ -199,6 +227,7 @@ class SpbTree : public MetricIndex {
     std::vector<uint8_t> guaranteed;  // batch Lemma 2 flags
     std::vector<double> mind;         // batch MIND(q, cell) for NNA
     std::vector<LeafEntry> matched;   // computeSFC merge output
+    std::vector<PageId> pages;        // RAF pages to hand to readahead
   };
 
   // Verifies a run of leaf entries for a range query (the paper's VerifyRQ,
@@ -211,7 +240,11 @@ class SpbTree : public MetricIndex {
                          bool check_region,
                          const std::vector<uint32_t>& rr_lo,
                          const std::vector<uint32_t>& rr_hi,
-                         LeafScratch* scratch, std::vector<ObjectId>* result);
+                         LeafScratch* scratch, std::vector<ObjectId>* result,
+                         Readahead* ra);
+
+  // Builds the prefetch thread pool per options_ (called once per tree).
+  void InitFetcher();
 
   // Collects node MBBs for the cost model (post-bulk-load tree walk).
   Status CollectNodeBoxes(
@@ -224,6 +257,7 @@ class SpbTree : public MetricIndex {
   std::unique_ptr<MappedSpace> space_;
   std::unique_ptr<BPlusTree> btree_;
   std::unique_ptr<Raf> raf_;
+  std::unique_ptr<PageFetcher> fetcher_;
   CostModel cost_model_;
   uint64_t num_objects_ = 0;
   uint64_t inserts_seen_ = 0;  // reservoir counter for cost-model updates

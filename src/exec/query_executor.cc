@@ -13,6 +13,26 @@ double PercentileSorted(const std::vector<double>& sorted, double p) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+uint64_t CounterDelta(const std::atomic<uint64_t>& after,
+                      const std::atomic<uint64_t>& before) {
+  return after.load(std::memory_order_relaxed) -
+         before.load(std::memory_order_relaxed);
+}
+
+IoStats IoDelta(const IoStats& after, const IoStats& before) {
+  IoStats d;
+  d.page_reads = CounterDelta(after.page_reads, before.page_reads);
+  d.page_writes = CounterDelta(after.page_writes, before.page_writes);
+  d.cache_hits = CounterDelta(after.cache_hits, before.cache_hits);
+  d.physical_reads = CounterDelta(after.physical_reads, before.physical_reads);
+  d.prefetch_issued =
+      CounterDelta(after.prefetch_issued, before.prefetch_issued);
+  d.prefetch_hits = CounterDelta(after.prefetch_hits, before.prefetch_hits);
+  d.coalesced_pages =
+      CounterDelta(after.coalesced_pages, before.coalesced_pages);
+  return d;
+}
+
 }  // namespace
 
 QueryExecutor::QueryExecutor(MetricIndex* index, size_t num_threads)
@@ -83,6 +103,7 @@ Status QueryExecutor::RunBatch(size_t n,
   if (n == 0) return Status::OK();
 
   const QueryStats before = index_->cumulative_stats();
+  const IoStats io_before = index_->io_stats();
   const auto start = std::chrono::steady_clock::now();
 
   auto batch = std::make_shared<Batch>();
@@ -114,6 +135,7 @@ Status QueryExecutor::RunBatch(size_t n,
     stats->totals.page_accesses = after.page_accesses - before.page_accesses;
     stats->totals.distance_computations =
         after.distance_computations - before.distance_computations;
+    stats->io_totals = IoDelta(index_->io_stats(), io_before);
     for (double l : batch->latencies) stats->totals.elapsed_seconds += l;
     std::vector<double> sorted = batch->latencies;
     std::sort(sorted.begin(), sorted.end());

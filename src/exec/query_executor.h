@@ -35,6 +35,11 @@ struct BatchStats {
   /// Exact aggregate PA + compdists over the batch; elapsed_seconds is the
   /// sum of per-query latencies (i.e. total busy time across workers).
   QueryStats totals;
+  /// Aggregate I/O counter delta over the batch (logical and physical reads,
+  /// prefetch and coalescing stats) from MetricIndex::io_stats(). The
+  /// logical/physical gap is what the I/O engine saved: single-flight
+  /// sharing across these concurrent queries plus coalesced span reads.
+  IoStats io_totals;
 };
 
 /// A fixed-size thread pool that fans batches of queries over one

@@ -6,15 +6,20 @@ namespace spb {
 
 namespace {
 
-// Forward scan over one SPB-tree's leaf level in ascending SFC order.
+// Forward scan over one SPB-tree's leaf level in ascending SFC order. Each
+// time a leaf loads, the RAF pages of all its entries are handed to the
+// tree's readahead session: leaf entries are SFC-sorted and the RAF stores
+// objects in the same order, so the page ids form near-contiguous runs that
+// coalesce into span reads.
 class LeafCursor {
  public:
-  explicit LeafCursor(SpbTree* tree) : tree_(tree) {}
+  LeafCursor(SpbTree* tree, Readahead* ra) : tree_(tree), ra_(ra) {}
 
   Status Init() {
     SPB_RETURN_IF_ERROR(
         tree_->btree().ReadNode(tree_->btree().first_leaf(), &leaf_));
     pos_ = 0;
+    ScheduleLeaf();
     SkipEmptyLeaves();
     return Status::OK();
   }
@@ -41,11 +46,26 @@ class LeafCursor {
         return;
       }
       pos_ = 0;
+      ScheduleLeaf();
     }
   }
 
+  void ScheduleLeaf() {
+    if (ra_ == nullptr) return;
+    pages_.clear();
+    pages_.reserve(leaf_.leaf_entries.size() * 2);
+    for (const LeafEntry& e : leaf_.leaf_entries) {
+      const PageId p = Raf::PageOf(e.ptr);
+      pages_.push_back(p);
+      pages_.push_back(p + 1);  // records may straddle a page boundary
+    }
+    ra_->Schedule(pages_);
+  }
+
   SpbTree* tree_;
+  Readahead* ra_;
   BptNode leaf_;
+  std::vector<PageId> pages_;
   size_t pos_ = 0;
   bool done_ = false;
   Status status_;
@@ -108,12 +128,13 @@ Status SimilarityJoinSJA(SpbTree& spb_q, SpbTree& spb_o, double epsilon,
   const double d_plus = disc.d_plus();
 
   // Builds a ListItem (decode cells, fetch object, derive the Lemma 6
-  // interval corners) for a leaf entry of `tree`.
-  auto make_item = [&](SpbTree& tree, const LeafEntry& e,
+  // interval corners) for a leaf entry of `tree`. `ra` is that tree's
+  // readahead session, fed by the LeafCursor.
+  auto make_item = [&](SpbTree& tree, const LeafEntry& e, Readahead* ra,
                        ListItem* item) -> Status {
     curve.Decode(e.key, &item->cell);
     item->sfc = e.key;
-    SPB_RETURN_IF_ERROR(tree.raf().Get(e.ptr, &item->id, &item->obj));
+    SPB_RETURN_IF_ERROR(tree.raf().Get(e.ptr, &item->id, &item->obj, ra));
     const size_t n = item->cell.size();
     std::vector<uint32_t> lo(n), hi(n);
     for (size_t i = 0; i < n; ++i) {
@@ -156,7 +177,11 @@ Status SimilarityJoinSJA(SpbTree& spb_q, SpbTree& spb_o, double epsilon,
     }
   };
 
-  LeafCursor cq(&spb_q), co(&spb_o);
+  // One readahead session per tree: each tree's leaf scan visits its RAF in
+  // ascending offset order, so the scheduled pages coalesce into span reads.
+  Readahead ra_q = spb_q.NewReadaheadSession();
+  Readahead ra_o = spb_o.NewReadaheadSession();
+  LeafCursor cq(&spb_q, &ra_q), co(&spb_o, &ra_o);
   SPB_RETURN_IF_ERROR(cq.Init());
   SPB_RETURN_IF_ERROR(co.Init());
   std::vector<ListItem> list_q, list_o;
@@ -166,12 +191,12 @@ Status SimilarityJoinSJA(SpbTree& spb_q, SpbTree& spb_o, double epsilon,
     const bool take_q =
         co.done() || (!cq.done() && cq.current().key <= co.current().key);
     if (take_q) {
-      SPB_RETURN_IF_ERROR(make_item(spb_q, cq.current(), &item));
+      SPB_RETURN_IF_ERROR(make_item(spb_q, cq.current(), &ra_q, &item));
       verify(item, &list_o, /*x_is_outer=*/true);
       list_q.push_back(std::move(item));
       SPB_RETURN_IF_ERROR(cq.Next());
     } else {
-      SPB_RETURN_IF_ERROR(make_item(spb_o, co.current(), &item));
+      SPB_RETURN_IF_ERROR(make_item(spb_o, co.current(), &ra_o, &item));
       verify(item, &list_q, /*x_is_outer=*/false);
       list_o.push_back(std::move(item));
       SPB_RETURN_IF_ERROR(co.Next());

@@ -2,10 +2,66 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 #include "kernels/kernels.h"
+#include "sfc/sfc_batch.h"
+
+#define SPB_SFC_BATCH_VARIANT portable
+#include "sfc/sfc_batch_impl.h"
+#undef SPB_SFC_BATCH_VARIANT
 
 namespace spb {
+
+namespace sfc_batch {
+
+// Defined in sfc_batch_avx2.cc; nullptr in portable -DSPB_SIMD=OFF builds
+// and on non-x86 targets.
+HilbertBatchFn GetAvx2HilbertBatch();
+MortonBatchFn GetAvx2MortonBatch();
+
+namespace {
+
+bool BatchSimdDisabledByEnv() {
+  const char* v = std::getenv("SPB_DISABLE_SIMD");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace
+
+HilbertBatchFn Hilbert() {
+  static const HilbertBatchFn fn = [] {
+#if defined(__x86_64__) || defined(__i386__)
+    if (HilbertBatchFn f = GetAvx2HilbertBatch();
+        f != nullptr && !BatchSimdDisabledByEnv() &&
+        __builtin_cpu_supports("avx2")) {
+      return f;
+    }
+#endif
+    return &portable::DecodeHilbertBatch;
+  }();
+  return fn;
+}
+
+MortonBatchFn Morton() {
+  static const MortonBatchFn fn = [] {
+#if defined(__x86_64__) || defined(__i386__)
+    if (MortonBatchFn f = GetAvx2MortonBatch();
+        f != nullptr && !BatchSimdDisabledByEnv() &&
+        __builtin_cpu_supports("avx2")) {
+      return f;
+    }
+#endif
+    return &portable::DecodeMortonBatch;
+  }();
+  return fn;
+}
+
+HilbertBatchFn PortableHilbert() { return &portable::DecodeHilbertBatch; }
+MortonBatchFn PortableMorton() { return &portable::DecodeMortonBatch; }
+
+}  // namespace sfc_batch
 
 namespace {
 
@@ -44,6 +100,9 @@ class BitInterleaver {
       (*x)[i] = static_cast<uint32_t>(pext_(key, masks_[i]));
     }
   }
+
+  const uint64_t* masks() const { return masks_.data(); }
+  kernels::BitGatherFn pext() const { return pext_; }
 
  private:
   kernels::BitGatherFn pext_;
@@ -119,6 +178,12 @@ class HilbertCurve final : public SpaceFillingCurve {
     TransposeToAxes(*coords, bits_);
   }
 
+  void DecodeBatch(const uint64_t* keys, size_t count,
+                   uint32_t* cells_dim_major, uint32_t* tmp) const override {
+    sfc_batch::Hilbert()(keys, count, codec_.masks(), dims_, bits_,
+                         codec_.pext(), cells_dim_major, tmp);
+  }
+
   CurveType type() const override { return CurveType::kHilbert; }
 
  private:
@@ -139,6 +204,13 @@ class ZOrderCurve final : public SpaceFillingCurve {
     codec_.Deinterleave(key, coords);
   }
 
+  void DecodeBatch(const uint64_t* keys, size_t count,
+                   uint32_t* cells_dim_major, uint32_t* tmp) const override {
+    (void)tmp;
+    sfc_batch::Morton()(keys, count, codec_.masks(), dims_, codec_.pext(),
+                        cells_dim_major);
+  }
+
   CurveType type() const override { return CurveType::kZOrder; }
 
  private:
@@ -146,6 +218,19 @@ class ZOrderCurve final : public SpaceFillingCurve {
 };
 
 }  // namespace
+
+void SpaceFillingCurve::DecodeBatch(const uint64_t* keys, size_t count,
+                                    uint32_t* cells_dim_major,
+                                    uint32_t* tmp) const {
+  (void)tmp;
+  std::vector<uint32_t> scratch;
+  for (size_t i = 0; i < count; ++i) {
+    Decode(keys[i], &scratch);
+    for (size_t d = 0; d < dims_; ++d) {
+      cells_dim_major[d * count + i] = scratch[d];
+    }
+  }
+}
 
 std::unique_ptr<SpaceFillingCurve> SpaceFillingCurve::Create(CurveType type,
                                                              size_t dims,

@@ -30,6 +30,17 @@ class SpaceFillingCurve {
   /// Inverse of Encode. `coords` is resized to dims.
   virtual void Decode(uint64_t key, std::vector<uint32_t>* coords) const = 0;
 
+  /// Decodes `count` keys at once into a dim-major matrix:
+  /// cells_dim_major[d * count + i] is coordinate d of keys[i] (the
+  /// CellBlock layout batched leaf pruning consumes). `tmp` must point at
+  /// `count` words of scratch. Bit-identical to per-key Decode; the
+  /// Hilbert/Z-order implementations run the branch-free transform
+  /// lane-parallel across keys (runtime-dispatched AVX2 build), which is
+  /// the hot loop of cold leaf verification. The base implementation loops
+  /// over Decode.
+  virtual void DecodeBatch(const uint64_t* keys, size_t count,
+                           uint32_t* cells_dim_major, uint32_t* tmp) const;
+
   virtual CurveType type() const = 0;
 
   size_t dims() const { return dims_; }

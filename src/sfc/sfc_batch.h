@@ -1,0 +1,40 @@
+#ifndef SPB_SFC_SFC_BATCH_H_
+#define SPB_SFC_SFC_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/kernels.h"
+
+namespace spb {
+namespace sfc_batch {
+
+/// Batched curve decoders, dispatched at runtime exactly like the distance
+/// kernels (src/kernels/): the portable variant is always available; an
+/// AVX2-vectorized variant of the same loops is picked on capable x86 CPUs
+/// unless SPB_DISABLE_SIMD is set. All variants produce bit-identical
+/// coordinates (integer mask arithmetic only).
+///
+/// Arguments mirror SpaceFillingCurve::DecodeBatch: `out` is dim-major
+/// (out[d * count + i] = coordinate d of keys[i]); `tmp` is count words of
+/// caller scratch for the Hilbert gray-decode seed.
+using HilbertBatchFn = void (*)(const uint64_t* keys, size_t count,
+                                const uint64_t* masks, size_t dims, int bits,
+                                kernels::BitGatherFn pext, uint32_t* out,
+                                uint32_t* tmp);
+using MortonBatchFn = void (*)(const uint64_t* keys, size_t count,
+                               const uint64_t* masks, size_t dims,
+                               kernels::BitGatherFn pext, uint32_t* out);
+
+/// Active (dispatched) decoders; resolved once per process.
+HilbertBatchFn Hilbert();
+MortonBatchFn Morton();
+
+/// Portable reference decoders, for parity tests.
+HilbertBatchFn PortableHilbert();
+MortonBatchFn PortableMorton();
+
+}  // namespace sfc_batch
+}  // namespace spb
+
+#endif  // SPB_SFC_SFC_BATCH_H_

@@ -23,32 +23,19 @@ void BufferPool::Resize(size_t capacity) {
 }
 
 Status BufferPool::Read(PageId id, Page* out) {
-  Shard& shard = ShardFor(id);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.index.find(id);
-    if (it != shard.index.end()) {
-      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      *out = it->second->page;
-      return Status::OK();
-    }
-  }
-  // Miss: fetch outside the lock so a slow page read does not serialize the
-  // whole stripe. Two threads may race on the same cold page; each fetch is
-  // a real file access, so each counts one page read (PA stays exact).
-  SPB_RETURN_IF_ERROR(file_->Read(id, out));
-  stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.InsertLocked(id, *out);
-  }
-  return Status::OK();
+  return FetchShared(id, 0, kPageSize, out->bytes());
 }
 
 Status BufferPool::ReadInto(PageId id, size_t offset, size_t n,
                             uint8_t* dst) {
+  return FetchShared(id, offset, n, dst);
+}
+
+Status BufferPool::FetchShared(PageId id, size_t offset, size_t n,
+                               uint8_t* dst) {
   Shard& shard = ShardFor(id);
+  std::shared_ptr<PendingFetch> fetch;
+  bool leader = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(id);
@@ -58,17 +45,75 @@ Status BufferPool::ReadInto(PageId id, size_t offset, size_t n,
       std::memcpy(dst, it->second->page.bytes() + offset, n);
       return Status::OK();
     }
+    auto pit = shard.pending.find(id);
+    if (pit != shard.pending.end()) {
+      fetch = pit->second;
+    } else {
+      fetch = std::make_shared<PendingFetch>();
+      shard.pending.emplace(id, fetch);
+      leader = true;
+    }
   }
-  // Miss: same fetch-outside-the-lock policy (and PA accounting) as Read().
-  Page buf;
-  SPB_RETURN_IF_ERROR(file_->Read(id, &buf));
-  stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
-  std::memcpy(dst, buf.bytes() + offset, n);
+  if (leader) {
+    // Fetch outside the shard lock so a slow read does not serialize the
+    // stripe; followers for this page queue on the pending entry instead of
+    // issuing their own file reads.
+    fetch->status = file_->Read(id, &fetch->page);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      // Insert and un-pend atomically: a page is never in neither table.
+      if (fetch->status.ok()) shard.InsertLocked(id, fetch->page);
+      shard.pending.erase(id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(fetch->mu);
+      fetch->done = true;
+    }
+    fetch->cv.notify_all();
+    if (!fetch->status.ok()) return fetch->status;
+    stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
+    stats_.physical_reads.fetch_add(1, std::memory_order_relaxed);
+    std::memcpy(dst, fetch->page.bytes() + offset, n);
+    return Status::OK();
+  }
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.InsertLocked(id, buf);
+    std::unique_lock<std::mutex> lock(fetch->mu);
+    fetch->cv.wait(lock, [&fetch] { return fetch->done; });
   }
+  if (!fetch->status.ok()) return fetch->status;
+  // A follower's request is a real page request (one logical PA, same as
+  // the pre-single-flight behaviour) but costs no physical read.
+  stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
+  std::memcpy(dst, fetch->page.bytes() + offset, n);
   return Status::OK();
+}
+
+Status BufferPool::ReadIntoStaged(PageId id, size_t offset, size_t n,
+                                  uint8_t* dst, const Page& staged) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it != shard.index.end()) {
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    std::memcpy(dst, it->second->page.bytes() + offset, n);
+    return Status::OK();
+  }
+  // The bytes are already here; claim them as this request's page read and
+  // insert, exactly where the demand path would have inserted after its
+  // fetch. An in-flight pending fetch for the same page (possible only with
+  // concurrent queries) is left alone — it will insert identical bytes.
+  stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+  shard.InsertLocked(id, staged);
+  std::memcpy(dst, staged.bytes() + offset, n);
+  return Status::OK();
+}
+
+bool BufferPool::Contains(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index.find(id) != shard.index.end();
 }
 
 Status BufferPool::Write(PageId id, const Page& page) {

@@ -1,6 +1,7 @@
 #ifndef SPB_STORAGE_BUFFER_POOL_H_
 #define SPB_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -30,7 +31,18 @@ namespace spb {
 /// is striped — pages hash to one of up to kMaxShards independent shards,
 /// each with its own mutex, list and map, so concurrent readers touching
 /// different pages do not contend. IoStats counters are atomic, keeping the
-/// PA totals exact under concurrency. Small pools (fewer than
+/// PA totals exact under concurrency.
+///
+/// Misses are *single-flight*: each shard keeps a pending-fetch table, and
+/// concurrent readers missing on the same page elect one leader that performs
+/// the file read while the rest wait on the shared result. Every caller still
+/// counts one logical page_read (the paper's PA is per-request, and the
+/// cache-size-0 experiments depend on it), but only the leader counts a
+/// physical_read — duplicate disk fetches of one page collapse to one. The
+/// leader erases the pending entry and inserts the page into the cache under
+/// one shard-lock hold, so there is no window where a page is in neither
+/// table. A failed read is propagated to all waiters and the pending entry
+/// is removed; the next request simply retries. Small pools (fewer than
 /// 2 * kMinShardPages pages) collapse to a single shard so the eviction
 /// order stays exactly the classic global-LRU order the unit tests and the
 /// paper's small-cache experiments rely on. set_capacity() is NOT
@@ -67,6 +79,23 @@ class BufferPool {
   /// inserted). Requires offset + n <= kPageSize.
   Status ReadInto(PageId id, size_t offset, size_t n, uint8_t* dst);
 
+  /// Serves a read whose bytes were already fetched by a readahead session.
+  /// If the page is cached this behaves exactly like ReadInto (one cache
+  /// hit, LRU promoted, `staged` ignored); otherwise the pre-fetched copy in
+  /// `staged` is inserted into the cache and counted as one logical
+  /// page_read plus one prefetch_hit — no physical read happens here (the
+  /// readahead session already counted the span read that produced
+  /// `staged`). Serially this reproduces the demand path's exact PA,
+  /// cache_hits and LRU evolution, which is what keeps paper-facing figures
+  /// identical with prefetch on or off.
+  Status ReadIntoStaged(PageId id, size_t offset, size_t n, uint8_t* dst,
+                        const Page& staged);
+
+  /// True if page `id` is currently cached. Does not promote the entry or
+  /// touch any counter — used by readahead scheduling to skip pages that
+  /// would be cache hits anyway.
+  bool Contains(PageId id);
+
   /// Writes page `id` through the cache to the file.
   Status Write(PageId id, const Page& page);
 
@@ -92,12 +121,26 @@ class BufferPool {
     Page page;
   };
 
+  /// Shared state of one in-flight page fetch. The leader fills `page` and
+  /// `status`, then flips `done` under `mu` and notifies; waiters block on
+  /// `cv`. Held by shared_ptr so a waiter can keep it alive after the leader
+  /// has erased the pending-table entry.
+  struct PendingFetch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::OK();
+    Page page;
+  };
+
   /// One independent LRU slice. Most-recently-used at the front of `lru`.
   struct Shard {
     std::mutex mu;
     size_t capacity = 0;
     std::list<Entry> lru;
     std::unordered_map<PageId, std::list<Entry>::iterator> index;
+    /// Misses currently being fetched from the file (single-flight table).
+    std::unordered_map<PageId, std::shared_ptr<PendingFetch>> pending;
 
     void InsertLocked(PageId id, const Page& page);
   };
@@ -109,6 +152,10 @@ class BufferPool {
   }
 
   void Resize(size_t capacity);
+
+  /// Common miss-capable read path: cache hit, join of an in-flight fetch,
+  /// or leader fetch, copying bytes [offset, offset+n) of the page to `dst`.
+  Status FetchShared(PageId id, size_t offset, size_t n, uint8_t* dst);
 
   PageFile* file_;
   size_t capacity_ = 0;

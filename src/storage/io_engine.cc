@@ -1,0 +1,161 @@
+#include "storage/io_engine.h"
+
+#include <algorithm>
+
+namespace spb {
+
+PageFetcher::PageFetcher(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+PageFetcher::~PageFetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::shared_ptr<PageFetcher::Ticket> PageFetcher::Submit(PageFile* file,
+                                                         PageId first,
+                                                         size_t count,
+                                                         Page* dst) {
+  auto ticket = std::make_shared<Ticket>();
+  if (workers_.empty()) {
+    ticket->status = file->ReadSpan(first, count, dst);
+    ticket->done = true;
+    return ticket;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(Job{file, first, count, dst, ticket});
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+Status PageFetcher::Wait(Ticket& ticket) {
+  std::unique_lock<std::mutex> lock(ticket.mu);
+  ticket.cv.wait(lock, [&ticket] { return ticket.done; });
+  return ticket.status;
+}
+
+void PageFetcher::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ with no work left
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    const Status s = job.file->ReadSpan(job.first, job.count, job.dst);
+    {
+      std::lock_guard<std::mutex> lock(job.ticket->mu);
+      job.ticket->status = s;
+      job.ticket->done = true;
+    }
+    job.ticket->cv.notify_all();
+  }
+}
+
+Readahead::Readahead(BufferPool* pool, PageFetcher* fetcher,
+                     ReadaheadOptions options)
+    : pool_(pool), fetcher_(fetcher), options_(options) {
+  if (options_.max_pages == 0) options_.max_pages = 1;
+}
+
+Readahead::~Readahead() {
+  // Background reads write into our staging buffers; every ticket must land
+  // before the buffers die. Waiting also attributes the physical reads of
+  // speculative runs that were never claimed — they did hit the file.
+  for (auto& run : runs_) WaitRun(&run);
+}
+
+void Readahead::Schedule(const PageId* pages, size_t count) {
+  if (count == 0 || fetcher_ == nullptr) return;
+  const PageId num_pages = pool_->file()->num_pages();
+  std::vector<PageId> want(pages, pages + count);
+  std::sort(want.begin(), want.end());
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+
+  size_t i = 0;
+  while (i < want.size()) {
+    const PageId id = want[i];
+    if (id >= num_pages || staged_.count(id) != 0 || pool_->Contains(id)) {
+      ++i;
+      continue;
+    }
+    // Grow a run of strictly consecutive, still-missing page ids.
+    size_t j = i + 1;
+    while (j < want.size() && j - i < options_.max_pages &&
+           want[j] == want[j - 1] + 1 && want[j] < num_pages &&
+           staged_.count(want[j]) == 0 && !pool_->Contains(want[j])) {
+      ++j;
+    }
+    const size_t run_len = j - i;
+
+    // Respect the in-flight budget before submitting more.
+    while (inflight_pages_ + run_len > options_.max_pages &&
+           oldest_unwaited_ < runs_.size()) {
+      WaitRun(&runs_[oldest_unwaited_]);
+    }
+
+    runs_.emplace_back();
+    Run& run = runs_.back();
+    run.first = id;
+    run.count = run_len;
+    run.pages = std::make_unique<Page[]>(run_len);
+    for (size_t k = 0; k < run_len; ++k) {
+      staged_.emplace(id + static_cast<PageId>(k), std::make_pair(&run, k));
+    }
+    inflight_pages_ += run_len;
+    pool_->stats().prefetch_issued.fetch_add(run_len,
+                                             std::memory_order_relaxed);
+    if (run_len >= 2) {
+      pool_->stats().coalesced_pages.fetch_add(run_len,
+                                               std::memory_order_relaxed);
+    }
+    run.ticket =
+        fetcher_->Submit(pool_->file(), run.first, run.count, run.pages.get());
+    i = j;
+  }
+}
+
+void Readahead::WaitRun(Run* run) {
+  if (run->waited) return;
+  run->status = PageFetcher::Wait(*run->ticket);
+  run->waited = true;
+  inflight_pages_ -= run->count;
+  while (oldest_unwaited_ < runs_.size() &&
+         runs_[oldest_unwaited_].waited) {
+    ++oldest_unwaited_;
+  }
+  if (run->status.ok()) {
+    // One physical read per coalesced run, however many pages it covered.
+    pool_->stats().physical_reads.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status Readahead::ReadInto(PageId id, size_t offset, size_t n,
+                           uint8_t* dst) {
+  auto it = staged_.find(id);
+  if (it != staged_.end()) {
+    Run* run = it->second.first;
+    WaitRun(run);
+    if (run->status.ok()) {
+      return pool_->ReadIntoStaged(id, offset, n, dst,
+                                   run->pages[it->second.second]);
+    }
+    // Failed span read: fall through to the demand path, which retries the
+    // single page and reports its own error if the file is truly bad.
+  }
+  return pool_->ReadInto(id, offset, n, dst);
+}
+
+}  // namespace spb

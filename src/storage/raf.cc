@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "common/coding.h"
+#include "storage/io_engine.h"
 
 namespace spb {
 
@@ -86,7 +88,8 @@ Status Raf::WriteBytes(uint64_t offset, const uint8_t* src, size_t n) {
   return Status::OK();
 }
 
-Status Raf::ReadBytes(uint64_t offset, uint8_t* dst, size_t n) {
+Status Raf::ReadBytes(uint64_t offset, uint8_t* dst, size_t n,
+                      Readahead* ra) {
   while (n > 0) {
     const PageId page = static_cast<PageId>(offset / kPageSize);
     const size_t in_page = offset % kPageSize;
@@ -94,9 +97,13 @@ Status Raf::ReadBytes(uint64_t offset, uint8_t* dst, size_t n) {
 
     if (page == tail_id_ && tail_dirty_) {
       // The pinned tail buffer absorbs this read: a cache hit, not a PA
-      // (docs/ARCHITECTURE.md §"Cost accounting").
+      // (docs/ARCHITECTURE.md §"Cost accounting"). Checked before any
+      // readahead claim so stale staged bytes of a dirty tail page can
+      // never be served.
       pool_.stats().cache_hits.fetch_add(1, std::memory_order_relaxed);
       std::memcpy(dst, tail_.bytes() + in_page, chunk);
+    } else if (ra != nullptr) {
+      SPB_RETURN_IF_ERROR(ra->ReadInto(page, in_page, chunk, dst));
     } else {
       SPB_RETURN_IF_ERROR(pool_.ReadInto(page, in_page, chunk, dst));
     }
@@ -122,12 +129,12 @@ Status Raf::Append(ObjectId id, const Blob& obj, uint64_t* offset) {
   return Status::OK();
 }
 
-Status Raf::Get(uint64_t offset, ObjectId* id, Blob* obj) {
+Status Raf::Get(uint64_t offset, ObjectId* id, Blob* obj, Readahead* ra) {
   if (offset < kPageSize || offset + 8 > end_offset_) {
     return Status::InvalidArgument("RAF offset out of range");
   }
   uint8_t header[8];
-  SPB_RETURN_IF_ERROR(ReadBytes(offset, header, sizeof(header)));
+  SPB_RETURN_IF_ERROR(ReadBytes(offset, header, sizeof(header), ra));
   *id = DecodeFixed32(header);
   const uint32_t len = DecodeFixed32(header + 4);
   if (offset + 8 + len > end_offset_) {
@@ -135,18 +142,40 @@ Status Raf::Get(uint64_t offset, ObjectId* id, Blob* obj) {
   }
   obj->resize(len);
   if (len > 0) {
-    SPB_RETURN_IF_ERROR(ReadBytes(offset + 8, obj->data(), len));
+    SPB_RETURN_IF_ERROR(ReadBytes(offset + 8, obj->data(), len, ra));
   }
   return Status::OK();
 }
 
 Status Raf::ScanAll(
-    const std::function<void(uint64_t, ObjectId, const Blob&)>& fn) {
+    const std::function<void(uint64_t, ObjectId, const Blob&)>& fn,
+    Readahead* ra) {
   uint64_t offset = kPageSize;
   Blob obj;
+  // Window of data pages scheduled ahead of the scan cursor; the session
+  // coalesces each window into span reads.
+  constexpr PageId kScanWindow = 32;
+  PageId scheduled_until = 1;
+  std::vector<PageId> window;
   while (offset < end_offset_) {
+    if (ra != nullptr) {
+      const PageId page = PageOf(offset);
+      if (page + 1 >= scheduled_until) {
+        const PageId last = PageOf(end_offset_ - 1);
+        const PageId until =
+            static_cast<PageId>(std::min<uint64_t>(
+                static_cast<uint64_t>(last) + 1,
+                static_cast<uint64_t>(page) + kScanWindow));
+        window.clear();
+        for (PageId p = std::max(scheduled_until, page); p < until; ++p) {
+          window.push_back(p);
+        }
+        ra->Schedule(window);
+        scheduled_until = until;
+      }
+    }
     ObjectId id;
-    SPB_RETURN_IF_ERROR(Get(offset, &id, &obj));
+    SPB_RETURN_IF_ERROR(Get(offset, &id, &obj, ra));
     fn(offset, id, obj);
     offset += 8 + obj.size();
   }

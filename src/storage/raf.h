@@ -12,6 +12,8 @@
 
 namespace spb {
 
+class Readahead;
+
 /// The paper's Random Access File: object payloads stored separately from the
 /// index, in ascending SFC order at bulk-load time. Each record is
 /// `(id: u32, len: u32, obj: len bytes)` and is addressed by the byte offset
@@ -44,13 +46,24 @@ class Raf {
   /// Appends a record; returns its byte offset in `*offset`.
   Status Append(ObjectId id, const Blob& obj, uint64_t* offset);
 
-  /// Reads the record at `offset`.
-  Status Get(uint64_t offset, ObjectId* id, Blob* obj);
+  /// Reads the record at `offset`. If `ra` is non-null, pages this record
+  /// covers are served from that readahead session's staged buffers when
+  /// prefetched (identical accounting either way; see storage/io_engine.h).
+  Status Get(uint64_t offset, ObjectId* id, Blob* obj,
+             Readahead* ra = nullptr);
 
   /// Visits every record in file order. The callback receives
-  /// (offset, id, obj).
+  /// (offset, id, obj). With a readahead session the scan schedules data
+  /// pages in windows ahead of the cursor, so a cold scan runs on coalesced
+  /// span reads instead of one fetch per page.
   Status ScanAll(
-      const std::function<void(uint64_t, ObjectId, const Blob&)>& fn);
+      const std::function<void(uint64_t, ObjectId, const Blob&)>& fn,
+      Readahead* ra = nullptr);
+
+  /// Page holding byte `offset` (records may span onto the next page too).
+  static PageId PageOf(uint64_t offset) {
+    return static_cast<PageId>(offset / kPageSize);
+  }
 
   /// Flushes the partial tail page and the header to the page file.
   Status Sync();
@@ -76,7 +89,7 @@ class Raf {
         pool_(file_, cache_pages) {}
 
   Status WriteBytes(uint64_t offset, const uint8_t* src, size_t n);
-  Status ReadBytes(uint64_t offset, uint8_t* dst, size_t n);
+  Status ReadBytes(uint64_t offset, uint8_t* dst, size_t n, Readahead* ra);
   Status EnsurePage(PageId id);
   Status WriteHeader();
 

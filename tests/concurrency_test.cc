@@ -11,11 +11,14 @@
 #include <thread>
 #include <vector>
 
+#include <chrono>
+
 #include "common/rng.h"
 #include "core/spb_tree.h"
 #include "data/datasets.h"
 #include "exec/query_executor.h"
 #include "storage/buffer_pool.h"
+#include "storage/io_engine.h"
 #include "storage/page_file.h"
 #include "storage/raf.h"
 
@@ -86,6 +89,113 @@ TEST(ConcurrencyTest, BufferPoolZeroCapacityCountsEveryConcurrentRead) {
   // maximal contention.
   EXPECT_EQ(pool.stats().page_reads, kThreads * kReadsPerThread);
   EXPECT_EQ(pool.stats().cache_hits, 0u);
+}
+
+// Wraps a PageFile, counting Read() calls and stalling each one so that
+// concurrent misses of the same page provably overlap in time.
+class SlowCountingPageFile : public PageFile {
+ public:
+  explicit SlowCountingPageFile(std::unique_ptr<PageFile> base)
+      : base_(std::move(base)) {}
+  PageId num_pages() const override { return base_->num_pages(); }
+  Status Allocate(PageId* id) override { return base_->Allocate(id); }
+  Status Read(PageId id, Page* out) override {
+    reads.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return base_->Read(id, out);
+  }
+  Status Write(PageId id, const Page& page) override {
+    return base_->Write(id, page);
+  }
+  Status Sync() override { return base_->Sync(); }
+
+  std::atomic<uint64_t> reads{0};
+
+ private:
+  std::unique_ptr<PageFile> base_;
+};
+
+// The single-flight guarantee: N threads missing the same page concurrently
+// produce exactly ONE file read and one physical_read — the leader fetches,
+// the rest join the pending entry and share its bytes. (Threads that arrive
+// after the leader finished hit the cache instead; either way the file sees
+// one read.)
+TEST(ConcurrencyTest, ConcurrentMissesOfOnePageCollapseToOneFileRead) {
+  auto base = PageFile::CreateInMemory();
+  PageId id;
+  ASSERT_TRUE(base->Allocate(&id).ok());
+  Page w;
+  for (size_t b = 0; b < kPageSize; ++b) w.bytes()[b] = uint8_t(b * 11);
+  ASSERT_TRUE(base->Write(id, w).ok());
+  SlowCountingPageFile file(std::move(base));
+
+  BufferPool pool(&file, 8);
+  constexpr size_t kReaders = 4;
+  std::atomic<size_t> bad_bytes{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      Page p;
+      ASSERT_TRUE(pool.Read(0, &p).ok());
+      if (memcmp(p.bytes(), w.bytes(), kPageSize) != 0) bad_bytes.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(bad_bytes.load(), 0u);
+  EXPECT_EQ(file.reads.load(), 1u);
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+  // Every logical read is accounted — as the leader's miss, a waiter's
+  // shared read, or a late arrival's cache hit.
+  EXPECT_EQ(pool.stats().page_reads + pool.stats().cache_hits, kReaders);
+}
+
+// Prefetch-then-evict under contention: many sessions stage the same pages
+// into a 2-page pool, so claimed pages are evicted almost immediately while
+// other threads' background span reads are still landing. Run under TSan by
+// tools/check.sh; also checks bytes and the no-lost-counts invariant.
+TEST(ConcurrencyTest, ReadaheadSessionsShareTinyPoolWithoutRaces) {
+  constexpr size_t kPages = 32;
+  auto file = PageFile::CreateInMemory();
+  for (size_t i = 0; i < kPages; ++i) {
+    PageId id;
+    ASSERT_TRUE(file->Allocate(&id).ok());
+    Page p;
+    for (size_t b = 0; b < kPageSize; ++b) p.bytes()[b] = uint8_t(i + b);
+    ASSERT_TRUE(file->Write(id, p).ok());
+  }
+  BufferPool pool(file.get(), 2);
+  PageFetcher fetcher(2);  // real background I/O threads
+  std::atomic<size_t> bad_bytes{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(90 + t);
+      uint8_t got[64];
+      for (int round = 0; round < 20; ++round) {
+        Readahead ra(&pool, &fetcher, ReadaheadOptions{8});
+        std::vector<PageId> pages;
+        for (size_t i = 0; i < kPages; ++i) pages.push_back(PageId(i));
+        ra.Schedule(pages);
+        for (size_t i = 0; i < kPages; ++i) {
+          const size_t off = rng.Uniform(kPageSize - sizeof(got));
+          ASSERT_TRUE(ra.ReadInto(PageId(i), off, sizeof(got), got).ok());
+          for (size_t b = 0; b < sizeof(got); ++b) {
+            if (got[b] != uint8_t(i + off + b)) {
+              bad_bytes.fetch_add(1);
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad_bytes.load(), 0u);
+  // Every logical read was either a miss (demand or staged claim) or a hit.
+  EXPECT_EQ(pool.stats().page_reads + pool.stats().cache_hits,
+            kThreads * 20 * kPages);
+  EXPECT_LE(pool.stats().physical_reads, pool.stats().page_reads);
 }
 
 // -------------------------------------------------------------------- RAF
@@ -250,6 +360,55 @@ TEST_F(SpbConcurrencyTest, ConcurrentQueriesWithWarmSharedCache) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(concurrent, serial);
+}
+
+// The I/O engine's core contract at the query level: prefetch on vs off
+// changes neither results nor logical PA/compdists — serially or with
+// concurrent queries each owning a private readahead session. Capacity-0
+// caches make the totals exactly deterministic.
+TEST_F(SpbConcurrencyTest, PrefetchOnOffIdenticalResultsAndLogicalPa) {
+  constexpr size_t kK = 10;
+  tree_->set_enable_prefetch(false);
+  std::vector<std::vector<ObjectId>> range_off;
+  const QueryStats range_off_totals = SerialRange(&range_off);
+  std::vector<std::vector<Neighbor>> knn_off;
+  const QueryStats knn_off_totals = SerialKnn(kK, &knn_off);
+
+  tree_->set_enable_prefetch(true);
+  std::vector<std::vector<ObjectId>> range_on;
+  const QueryStats range_on_totals = SerialRange(&range_on);
+  std::vector<std::vector<Neighbor>> knn_on;
+  const QueryStats knn_on_totals = SerialKnn(kK, &knn_on);
+
+  EXPECT_EQ(range_on, range_off);
+  EXPECT_EQ(knn_on, knn_off);
+  EXPECT_EQ(range_on_totals.page_accesses, range_off_totals.page_accesses);
+  EXPECT_EQ(knn_on_totals.page_accesses, knn_off_totals.page_accesses);
+  EXPECT_EQ(range_on_totals.distance_computations,
+            range_off_totals.distance_computations);
+  EXPECT_EQ(knn_on_totals.distance_computations,
+            knn_off_totals.distance_computations);
+
+  // Concurrent, prefetch on: same results, same deterministic totals.
+  tree_->ResetCounters();
+  std::vector<std::vector<ObjectId>> concurrent(queries_.size());
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= queries_.size()) break;
+        ASSERT_TRUE(
+            tree_->RangeQuery(queries_[i], radius_, &concurrent[i]).ok());
+        std::sort(concurrent[i].begin(), concurrent[i].end());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(concurrent, range_off);
+  EXPECT_EQ(tree_->cumulative_stats().page_accesses,
+            range_off_totals.page_accesses);
 }
 
 // ---------------------------------------------------------- QueryExecutor

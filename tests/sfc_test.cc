@@ -71,6 +71,39 @@ TEST_P(CurveTest, BijectionOnSmallGrids) {
   EXPECT_EQ(keys.size(), total);
 }
 
+// The batch decoder must be bit-identical to per-key Decode() for every
+// curve/dims/bits combination — whichever variant (portable or AVX2) the
+// process dispatched to. tools/check.sh re-runs this binary with
+// SPB_DISABLE_SIMD=1 so both variants are covered on SIMD hardware.
+TEST_P(CurveTest, DecodeBatchMatchesPerKeyDecode) {
+  auto curve = MakeCurve();
+  const size_t dims = curve->dims();
+  // Odd, > one vector width: exercises the scalar tail of SIMD variants.
+  constexpr size_t kCount = 257;
+  Rng rng(515);
+  std::vector<uint32_t> coords(dims);
+  std::vector<uint64_t> keys(kCount);
+  for (auto& key : keys) {
+    for (auto& c : coords) c = uint32_t(rng.Uniform(curve->coord_limit()));
+    key = curve->Encode(coords);
+  }
+  keys[7] = keys[3];  // duplicates must be fine
+
+  std::vector<uint32_t> cells(kCount * dims, 0xFFFFFFFFu);
+  std::vector<uint32_t> tmp(kCount);
+  curve->DecodeBatch(keys.data(), kCount, cells.data(), tmp.data());
+  std::vector<uint32_t> one;
+  for (size_t i = 0; i < kCount; ++i) {
+    curve->Decode(keys[i], &one);
+    for (size_t d = 0; d < dims; ++d) {
+      ASSERT_EQ(cells[d * kCount + i], one[d])
+          << "key " << i << " dim " << d;
+    }
+  }
+  // Zero-count call is a no-op, not a crash.
+  curve->DecodeBatch(keys.data(), 0, cells.data(), tmp.data());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Grids, CurveTest,
     ::testing::Values(CurveParam{CurveType::kHilbert, 1, 8},

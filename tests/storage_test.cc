@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "storage/buffer_pool.h"
+#include "storage/io_engine.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
 #include "storage/raf.h"
@@ -103,6 +104,40 @@ TEST_P(PageFileTest, ManyPagesKeepDistinctContents) {
     EXPECT_EQ(p.bytes()[0], uint8_t(i));
     EXPECT_EQ(p.bytes()[kPageSize - 1], uint8_t(255 - i));
   }
+}
+
+TEST_P(PageFileTest, ReadSpanMatchesPerPageReads) {
+  auto f = MakeFile();
+  for (int i = 0; i < 6; ++i) {
+    PageId id;
+    ASSERT_TRUE(f->Allocate(&id).ok());
+    Page p;
+    for (size_t b = 0; b < kPageSize; ++b) {
+      p.bytes()[b] = uint8_t(i * 31 + b);
+    }
+    ASSERT_TRUE(f->Write(id, p).ok());
+  }
+  Page span[4];
+  ASSERT_TRUE(f->ReadSpan(1, 4, span).ok());
+  for (int i = 0; i < 4; ++i) {
+    Page one;
+    ASSERT_TRUE(f->Read(PageId(i + 1), &one).ok());
+    EXPECT_EQ(0, memcmp(span[i].bytes(), one.bytes(), kPageSize))
+        << "span page " << i;
+  }
+}
+
+TEST_P(PageFileTest, ReadSpanOutOfRangeFails) {
+  auto f = MakeFile();
+  Page buf[4];
+  EXPECT_FALSE(f->ReadSpan(0, 1, buf).ok());  // empty file
+  for (int i = 0; i < 3; ++i) {
+    PageId id;
+    ASSERT_TRUE(f->Allocate(&id).ok());
+  }
+  EXPECT_FALSE(f->ReadSpan(3, 1, buf).ok());  // first past end
+  EXPECT_FALSE(f->ReadSpan(1, 3, buf).ok());  // run past end
+  EXPECT_TRUE(f->ReadSpan(1, 2, buf).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(MemoryAndDisk, PageFileTest, ::testing::Bool(),
@@ -374,6 +409,165 @@ TEST(RafTest, PersistsAcrossReopen) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------------------- PageFetcher
+
+TEST(PageFetcherTest, InlineAndThreadedSpanReadsMatch) {
+  auto f = PageFile::CreateInMemory();
+  for (int i = 0; i < 8; ++i) {
+    PageId id;
+    ASSERT_TRUE(f->Allocate(&id).ok());
+    Page p;
+    p.bytes()[0] = uint8_t(i + 1);
+    p.bytes()[kPageSize - 1] = uint8_t(100 + i);
+    ASSERT_TRUE(f->Write(id, p).ok());
+  }
+  for (size_t threads : {size_t(0), size_t(3)}) {
+    PageFetcher fetcher(threads);
+    EXPECT_EQ(fetcher.num_threads(), threads);
+    Page dst[6];
+    auto ticket = fetcher.Submit(f.get(), 2, 6, dst);
+    ASSERT_TRUE(PageFetcher::Wait(*ticket).ok());
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_EQ(dst[i].bytes()[0], uint8_t(i + 3));
+      EXPECT_EQ(dst[i].bytes()[kPageSize - 1], uint8_t(102 + i));
+    }
+  }
+}
+
+// --------------------------------------------------------------- Readahead
+
+// A file with `n` pages of distinct content behind a fresh pool.
+std::unique_ptr<PageFile> MakePatternFile(size_t n) {
+  auto f = PageFile::CreateInMemory();
+  for (size_t i = 0; i < n; ++i) {
+    PageId id;
+    EXPECT_TRUE(f->Allocate(&id).ok());
+    Page p;
+    for (size_t b = 0; b < kPageSize; ++b) {
+      p.bytes()[b] = uint8_t(i * 17 + b * 3);
+    }
+    EXPECT_TRUE(f->Write(id, p).ok());
+  }
+  return f;
+}
+
+// The core claim-on-touch contract: with every staged page claimed, the
+// logical counters (page_reads, cache_hits) are identical to the demand
+// path; only the physical side differs (one span read instead of eight).
+TEST(ReadaheadTest, StagedClaimMatchesDemandAccounting) {
+  constexpr size_t kPages = 8;
+  auto file_a = MakePatternFile(kPages);
+  auto file_b = MakePatternFile(kPages);
+  BufferPool demand(file_a.get(), 4);
+  BufferPool ahead(file_b.get(), 4);
+  PageFetcher fetcher(0);
+
+  uint8_t want[64], got[64];
+  {
+    Readahead ra(&ahead, &fetcher, ReadaheadOptions{64});
+    std::vector<PageId> pages(kPages);
+    for (size_t i = 0; i < kPages; ++i) pages[i] = PageId(i);
+    ra.Schedule(pages);
+    EXPECT_EQ(ahead.stats().prefetch_issued, kPages);
+    EXPECT_EQ(ahead.stats().coalesced_pages, kPages);
+    for (size_t i = 0; i < kPages; ++i) {
+      ASSERT_TRUE(demand.ReadInto(PageId(i), 128, sizeof(want), want).ok());
+      ASSERT_TRUE(ra.ReadInto(PageId(i), 128, sizeof(got), got).ok());
+      EXPECT_EQ(0, memcmp(want, got, sizeof(want))) << "page " << i;
+    }
+  }
+  EXPECT_EQ(ahead.stats().page_reads, demand.stats().page_reads);
+  EXPECT_EQ(ahead.stats().cache_hits, demand.stats().cache_hits);
+  EXPECT_EQ(ahead.stats().prefetch_hits, kPages);
+  // Demand did one file read per page; the session did one span read.
+  EXPECT_EQ(demand.stats().physical_reads, kPages);
+  EXPECT_EQ(ahead.stats().physical_reads, 1u);
+}
+
+// Over-scheduling is free in logical terms: pages staged but never touched
+// never count toward PA or prefetch_hits.
+TEST(ReadaheadTest, UnclaimedStagedPagesCostNoLogicalPa) {
+  constexpr size_t kPages = 8;
+  auto f = MakePatternFile(kPages);
+  BufferPool pool(f.get(), 8);
+  PageFetcher fetcher(0);
+  uint8_t buf[16];
+  {
+    Readahead ra(&pool, &fetcher, ReadaheadOptions{64});
+    std::vector<PageId> pages(kPages);
+    for (size_t i = 0; i < kPages; ++i) pages[i] = PageId(i);
+    ra.Schedule(pages);
+    ASSERT_TRUE(ra.ReadInto(2, 0, sizeof(buf), buf).ok());
+    ASSERT_TRUE(ra.ReadInto(5, 0, sizeof(buf), buf).ok());
+  }
+  EXPECT_EQ(pool.stats().page_reads, 2u);
+  EXPECT_EQ(pool.stats().prefetch_hits, 2u);
+  EXPECT_EQ(pool.stats().prefetch_issued, kPages);
+  // The single span read still happened (drained by the destructor).
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+// At capacity 0 nothing can be cached, so every claim of a staged page is a
+// fresh logical read — exactly like the demand path at capacity 0.
+TEST(ReadaheadTest, ZeroCapacityPoolCountsEveryClaim) {
+  auto f = MakePatternFile(4);
+  BufferPool pool(f.get(), 0);
+  PageFetcher fetcher(0);
+  Readahead ra(&pool, &fetcher, ReadaheadOptions{64});
+  ra.Schedule(std::vector<PageId>{0, 1, 2, 3});
+  uint8_t buf[8];
+  for (int round = 0; round < 2; ++round) {
+    for (PageId id = 0; id < 4; ++id) {
+      ASSERT_TRUE(ra.ReadInto(id, 64, sizeof(buf), buf).ok());
+    }
+  }
+  EXPECT_EQ(pool.stats().page_reads, 8u);
+  EXPECT_EQ(pool.stats().cache_hits, 0u);
+  EXPECT_EQ(pool.stats().prefetch_hits, 8u);
+}
+
+// Cached and out-of-range pages are dropped at scheduling time; a cached
+// page breaks a would-be run in two.
+TEST(ReadaheadTest, ScheduleSkipsCachedAndOutOfRangePages) {
+  auto f = MakePatternFile(6);
+  BufferPool pool(f.get(), 8);
+  PageFetcher fetcher(0);
+  Page p;
+  ASSERT_TRUE(pool.Read(2, &p).ok());  // pre-cache page 2
+  Readahead ra(&pool, &fetcher, ReadaheadOptions{64});
+  // 2 is cached, 99 is out of range: stage {0,1} and {3,4} as two runs.
+  ra.Schedule(std::vector<PageId>{0, 1, 2, 3, 4, 99});
+  EXPECT_EQ(pool.stats().prefetch_issued, 4u);
+  EXPECT_EQ(pool.stats().coalesced_pages, 4u);
+  uint8_t buf[8];
+  ASSERT_TRUE(ra.ReadInto(2, 0, sizeof(buf), buf).ok());  // cache hit
+  EXPECT_EQ(pool.stats().cache_hits, 1u);
+  EXPECT_EQ(pool.stats().prefetch_hits, 0u);
+}
+
+// The in-flight budget caps a single run's length and forces older runs to
+// land before new ones are submitted; claims still see correct bytes.
+TEST(ReadaheadTest, BudgetBoundsRunLengthAndInflightPages) {
+  constexpr size_t kPages = 10;
+  auto f = MakePatternFile(kPages);
+  BufferPool pool(f.get(), 16);
+  PageFetcher fetcher(0);
+  Readahead ra(&pool, &fetcher, ReadaheadOptions{4});
+  std::vector<PageId> pages(kPages);
+  for (size_t i = 0; i < kPages; ++i) pages[i] = PageId(i);
+  ra.Schedule(pages);
+  EXPECT_EQ(pool.stats().prefetch_issued, kPages);
+  uint8_t got[32];
+  for (size_t i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(ra.ReadInto(PageId(i), 256, sizeof(got), got).ok());
+    Page direct;
+    ASSERT_TRUE(f->Read(PageId(i), &direct).ok());
+    EXPECT_EQ(0, memcmp(got, direct.bytes() + 256, sizeof(got)));
+  }
+  // 10 pages at max_pages=4 → at least 3 runs.
+  EXPECT_GE(pool.stats().physical_reads, 3u);
+}
+
 TEST(RafTest, GetCountsPageAccessesThroughPool) {
   std::unique_ptr<Raf> raf;
   ASSERT_TRUE(Raf::Create(PageFile::CreateInMemory(), 8, &raf).ok());
@@ -394,6 +588,80 @@ TEST(RafTest, GetCountsPageAccessesThroughPool) {
   // Neighbor record on the same page: served by cache.
   ASSERT_TRUE(raf->Get(offs[1], &id, &got).ok());
   EXPECT_EQ(raf->stats().page_reads, after_first);
+}
+
+// A readahead session must never serve stale staged bytes for the dirty
+// tail page: the tail check runs before the staged-claim path.
+TEST(RafTest, DirtyTailGetSafeUnderReadahead) {
+  std::unique_ptr<Raf> raf;
+  ASSERT_TRUE(Raf::Create(PageFile::CreateInMemory(), 8, &raf).ok());
+  std::vector<uint64_t> offs;
+  std::vector<Blob> objs;
+  // ~40 records/page: 50 records put the last ~10 on an unsynced tail page.
+  for (int i = 0; i < 50; ++i) {
+    Blob obj(90, uint8_t(i + 1));
+    uint64_t off;
+    ASSERT_TRUE(raf->Append(ObjectId(i), obj, &off).ok());
+    offs.push_back(off);
+    objs.push_back(obj);
+  }
+  PageFetcher fetcher(0);
+  Readahead ra(&raf->pool(), &fetcher, ReadaheadOptions{64});
+  std::vector<PageId> pages;
+  for (PageId p = 0; p < raf->pool().file()->num_pages() + 1; ++p) {
+    pages.push_back(p);
+  }
+  ra.Schedule(pages);  // stages whatever the file holds, stale tail included
+  for (int i = 0; i < 50; ++i) {
+    ObjectId id;
+    Blob got;
+    ASSERT_TRUE(raf->Get(offs[i], &id, &got, &ra).ok());
+    EXPECT_EQ(id, ObjectId(i));
+    ASSERT_EQ(got, objs[i]) << "record " << i;
+  }
+}
+
+// A full readahead scan visits the same records with the same logical PA as
+// the plain scan, on a fraction of the physical reads.
+TEST(RafTest, ScanAllWithReadaheadMatchesPlainScan) {
+  std::unique_ptr<Raf> raf;
+  ASSERT_TRUE(Raf::Create(PageFile::CreateInMemory(), 4, &raf).ok());
+  for (int i = 0; i < 400; ++i) {
+    uint64_t off;
+    ASSERT_TRUE(
+        raf->Append(ObjectId(i), Blob(100, uint8_t(i)), &off).ok());
+  }
+  ASSERT_TRUE(raf->Sync().ok());
+
+  raf->FlushCache();
+  raf->ResetStats();
+  std::vector<ObjectId> plain;
+  ASSERT_TRUE(raf->ScanAll([&](uint64_t, ObjectId id, const Blob&) {
+                   plain.push_back(id);
+                 })
+                  .ok());
+  const uint64_t plain_reads = raf->stats().page_reads;
+  const uint64_t plain_physical = raf->stats().physical_reads;
+  EXPECT_EQ(plain_reads, plain_physical);
+
+  raf->FlushCache();
+  raf->ResetStats();
+  PageFetcher fetcher(0);
+  std::vector<ObjectId> ahead;
+  {
+    Readahead ra(&raf->pool(), &fetcher, ReadaheadOptions{64});
+    ASSERT_TRUE(raf->ScanAll(
+                       [&](uint64_t, ObjectId id, const Blob&) {
+                         ahead.push_back(id);
+                       },
+                       &ra)
+                    .ok());
+  }
+  EXPECT_EQ(ahead, plain);
+  EXPECT_EQ(raf->stats().page_reads, plain_reads);
+  EXPECT_LT(raf->stats().physical_reads, plain_physical);
+  EXPECT_GT(raf->stats().prefetch_hits, 0u);
+  EXPECT_GT(raf->stats().coalesced_pages, 0u);
 }
 
 }  // namespace

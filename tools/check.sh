@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
-# build that runs the concurrency tests (the concurrent read path must be
-# data-race-free, not just correct-by-luck), then an Address/UB-sanitizer
-# build that runs the kernel parity and metric tests — once with the
-# dispatched SIMD kernels and once with SPB_DISABLE_SIMD=1 — so out-of-bounds
-# lane loads or UB in any kernel table fail loudly on every path.
+# build that runs the concurrency and storage tests (the concurrent read
+# path — single-flight fetches, the prefetch pipeline's background span
+# reads and staged-page claims — must be data-race-free, not just
+# correct-by-luck), then an Address/UB-sanitizer build that runs the kernel
+# parity, metric and SFC batch-decode tests — once with the dispatched SIMD
+# variants and once with SPB_DISABLE_SIMD=1 — so out-of-bounds lane loads or
+# UB in any dispatch table fail loudly on every path. Finally an io_uring
+# configure check: -DSPB_IOURING=ON must degrade gracefully (warning + the
+# portable pread backend) on machines without liburing.
 #
 #   tools/check.sh            # everything
 #   tools/check.sh --tsan     # only the TSan stage
 #   tools/check.sh --asan     # only the ASan/UBSan kernel stage
+#   tools/check.sh --iouring  # only the io_uring configure/build check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,30 +27,44 @@ run_tier1() {
 }
 
 run_tsan() {
-  echo "==> tsan: concurrency tests under ThreadSanitizer"
+  echo "==> tsan: concurrency + storage (prefetch pipeline) tests under TSan"
   cmake -B build-tsan -S . -DSPB_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "${JOBS}" --target concurrency_test
+  cmake --build build-tsan -j "${JOBS}" --target concurrency_test storage_test
   ./build-tsan/tests/concurrency_test
+  ./build-tsan/tests/storage_test
 }
 
 run_asan() {
-  echo "==> asan: kernel parity + metric tests under ASan/UBSan"
+  echo "==> asan: kernel/SFC parity + metric tests under ASan/UBSan"
   cmake -B build-asan -S . -DSPB_SANITIZE=address >/dev/null
-  cmake --build build-asan -j "${JOBS}" --target kernels_test metrics_test
+  cmake --build build-asan -j "${JOBS}" --target kernels_test metrics_test \
+    sfc_test
   ./build-asan/tests/kernels_test
   ./build-asan/tests/metrics_test
+  ./build-asan/tests/sfc_test
   echo "==> asan: same tests with SPB_DISABLE_SIMD=1 (scalar dispatch path)"
   SPB_DISABLE_SIMD=1 ./build-asan/tests/kernels_test
   SPB_DISABLE_SIMD=1 ./build-asan/tests/metrics_test
+  SPB_DISABLE_SIMD=1 ./build-asan/tests/sfc_test
+}
+
+run_iouring() {
+  echo "==> iouring: -DSPB_IOURING=ON must build (falls back to pread"
+  echo "    with a warning when liburing is absent)"
+  cmake -B build-iouring -S . -DSPB_IOURING=ON >/dev/null
+  cmake --build build-iouring -j "${JOBS}" --target storage_test
+  ./build-iouring/tests/storage_test
 }
 
 case "${1:-}" in
   --tsan) run_tsan ;;
   --asan) run_asan ;;
+  --iouring) run_iouring ;;
   *)
     run_tier1
     run_tsan
     run_asan
+    run_iouring
     ;;
 esac
 echo "==> all checks passed"

@@ -39,6 +39,9 @@ struct Args {
   size_t k = 5;
   size_t dim = 16;
   size_t pivots = 5;
+  size_t repeat = 1;
+  bool cold = false;
+  bool no_prefetch = false;
 };
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -67,6 +70,12 @@ bool Parse(int argc, char** argv, Args* args) {
       args->dim = size_t(std::atoll(v));
     } else if (const char* v = value("--pivots=")) {
       args->pivots = size_t(std::atoll(v));
+    } else if (const char* v = value("--repeat=")) {
+      args->repeat = size_t(std::atoll(v));
+    } else if (arg == "--cold") {
+      args->cold = true;
+    } else if (arg == "--no-prefetch") {
+      args->no_prefetch = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -163,31 +172,67 @@ int Query(const Args& args, const DistanceFunction* metric) {
                  args.metric.c_str());
     return 1;
   }
-  QueryStats stats;
-  if (args.command == "knn") {
-    std::vector<Neighbor> result;
-    s = index->KnnQuery(q, args.k, &result, &stats);
-    if (!s.ok()) {
-      std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
-      return 1;
-    }
-    for (const Neighbor& n : result) {
-      std::printf("id=%u distance=%.6g\n", n.id, n.distance);
-    }
-  } else {  // range
-    std::vector<ObjectId> result;
-    s = index->RangeQuery(q, args.r, &result, &stats);
-    if (!s.ok()) {
-      std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
-      return 1;
-    }
-    for (ObjectId id : result) std::printf("id=%u\n", id);
+  if (args.no_prefetch) index->set_enable_prefetch(false);
+  // --cold measures the paper's protocol: drop both LRU pools and zero the
+  // cumulative counters before the (repeated) query runs.
+  if (args.cold) {
+    index->FlushCaches();
+    index->ResetCounters();
   }
+  const size_t repeat = args.repeat == 0 ? 1 : args.repeat;
+  const IoStats io_before = index->io_stats();
+  QueryStats totals;
+  for (size_t rep = 0; rep < repeat; ++rep) {
+    if (args.cold) index->FlushCaches();
+    QueryStats stats;
+    const bool last = rep + 1 == repeat;
+    if (args.command == "knn") {
+      std::vector<Neighbor> result;
+      s = index->KnnQuery(q, args.k, &result, &stats);
+      if (!s.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (last) {
+        for (const Neighbor& n : result) {
+          std::printf("id=%u distance=%.6g\n", n.id, n.distance);
+        }
+      }
+    } else {  // range
+      std::vector<ObjectId> result;
+      s = index->RangeQuery(q, args.r, &result, &stats);
+      if (!s.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (last) {
+        for (ObjectId id : result) std::printf("id=%u\n", id);
+      }
+    }
+    totals += stats;
+  }
+  const IoStats io_after = index->io_stats();
+  const double per = 1.0 / double(repeat);
   std::fprintf(stderr,
-               "[%llu distance computations, %llu page accesses, %.2f ms]\n",
-               (unsigned long long)stats.distance_computations,
-               (unsigned long long)stats.page_accesses,
-               stats.elapsed_seconds * 1000.0);
+               "[%s%s%.1f distance computations, %.1f page accesses, "
+               "%.2f ms/query over %zu run(s)]\n",
+               args.cold ? "cold, " : "",
+               args.no_prefetch ? "prefetch off, " : "",
+               double(totals.distance_computations) * per,
+               double(totals.page_accesses) * per,
+               totals.elapsed_seconds * 1000.0 * per, repeat);
+  auto delta = [&](const std::atomic<uint64_t>& a,
+                   const std::atomic<uint64_t>& b) {
+    return (unsigned long long)(a.load(std::memory_order_relaxed) -
+                                b.load(std::memory_order_relaxed));
+  };
+  std::fprintf(stderr,
+               "[io: %llu physical reads, %llu prefetch issued, "
+               "%llu prefetch hits, %llu coalesced pages]\n",
+               delta(io_after.physical_reads, io_before.physical_reads),
+               delta(io_after.prefetch_issued, io_before.prefetch_issued),
+               delta(io_after.prefetch_hits, io_before.prefetch_hits),
+               delta(io_after.coalesced_pages, io_before.coalesced_pages));
   return 0;
 }
 
@@ -198,7 +243,7 @@ int Main(int argc, char** argv) {
         stderr,
         "usage: spb_cli <build|knn|range|stats> --dir=PATH [--metric=edit|"
         "l2|l5|hamming|dna] [--input=FILE] [--query=Q] [--r=R] [--k=K] "
-        "[--dim=D] [--pivots=P]\n");
+        "[--dim=D] [--pivots=P] [--repeat=N] [--cold] [--no-prefetch]\n");
     return 2;
   }
   auto metric = MakeMetric(args);
