@@ -248,6 +248,202 @@ void RunCapacity(const BenchConfig& config, const Dataset& ds,
   PrintRule(96);
 }
 
+// ---------------------------------------------- warm-path decode engine A/B
+
+// One measured pass of the decode-engine A/B: every query once, T=1. For
+// the warm regime an unmeasured sweep first brings the buffer pool (and,
+// when enabled, the node cache) to steady state; for the cold regime every
+// query is preceded by FlushCaches(), the paper's protocol.
+struct AbPass {
+  double qps = 0.0;
+  uint64_t pa = 0;    // logical page accesses
+  uint64_t hits = 0;  // buffer-pool cache hits
+  uint64_t cd = 0;    // distance computations
+};
+
+template <typename QueryFn>
+AbPass MeasureAbPass(SpbTree& tree, size_t n, bool cold,
+                     const QueryFn& one_query) {
+  if (!cold) {
+    for (size_t i = 0; i < n; ++i) one_query(i);  // warm-up sweep
+  }
+  const QueryStats before = tree.cumulative_stats();
+  const IoStats io_before = tree.io_stats();
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    if (cold) tree.FlushCaches();
+    one_query(i);
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const QueryStats after = tree.cumulative_stats();
+  AbPass p;
+  p.qps = wall > 0.0 ? double(n) / wall : 0.0;
+  p.pa = after.page_accesses - before.page_accesses;
+  p.cd = after.distance_computations - before.distance_computations;
+  p.hits = tree.io_stats().cache_hits.load() - io_before.cache_hits.load();
+  return p;
+}
+
+double Median3(double a, double b, double c) {
+  double v[3] = {a, b, c};
+  std::sort(v, v + 3);
+  return v[1];
+}
+
+// Aggregated A/B medians for one (regime, workload) cell.
+struct AbCell {
+  double qps_on = 0.0, qps_off = 0.0;
+  AbPass sample_on, sample_off;  // counters (identical across trials/configs)
+  double speedup() const {
+    return qps_off > 0.0 ? qps_on / qps_off : 0.0;
+  }
+};
+
+void PrintAbCell(FILE* json, const char* regime, const char* workload,
+                 size_t queries, const AbCell& c, bool last) {
+  std::printf("%-5s %-6s | on %8.1f QPS | off %8.1f QPS | %6.2fx | "
+              "pa/q %.1f cd/q %.1f\n",
+              regime, workload, c.qps_on, c.qps_off, c.speedup(),
+              double(c.sample_on.pa) / double(queries),
+              double(c.sample_on.cd) / double(queries));
+  std::printf("JSON {\"bench\":\"warm_engine_ab\",\"regime\":\"%s\","
+              "\"workload\":\"%s\",\"qps_on\":%.1f,\"qps_off\":%.1f,"
+              "\"speedup\":%.2f,\"pa\":%llu,\"cache_hits\":%llu,"
+              "\"compdists\":%llu}\n",
+              regime, workload, c.qps_on, c.qps_off, c.speedup(),
+              (unsigned long long)c.sample_on.pa,
+              (unsigned long long)c.sample_on.hits,
+              (unsigned long long)c.sample_on.cd);
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "    {\"regime\": \"%s\", \"workload\": \"%s\", "
+                 "\"qps_on_median\": %.1f, \"qps_off_median\": %.1f, "
+                 "\"speedup\": %.3f, \"pa\": %llu, \"cache_hits\": %llu, "
+                 "\"compdists\": %llu}%s\n",
+                 regime, workload, c.qps_on, c.qps_off, c.speedup(),
+                 (unsigned long long)c.sample_on.pa,
+                 (unsigned long long)c.sample_on.hits,
+                 (unsigned long long)c.sample_on.cd, last ? "" : ",");
+  }
+}
+
+// Interleaved A/B of the warm-path decode engine (decoded-node cache +
+// zero-copy reads) vs both toggles off, T=1, medians of 3 trials. Each
+// trial runs the on pass and the off pass back to back so environmental
+// drift lands on both configs equally. The off pass must reproduce the on
+// pass byte-for-byte — result sets, logical PA, buffer-pool cache hits and
+// compdists — or the bench aborts (the accounting-parity rule). Writes
+// BENCH_PR4.json into the working directory (schema: EXPERIMENTS.md).
+void RunEngineAb(const BenchConfig& config, const Dataset& ds,
+                 const std::vector<Blob>& queries, double r, size_t k) {
+  SpbTreeOptions opts;
+  opts.seed = config.seed;
+  std::unique_ptr<SpbTree> tree;
+  if (!SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok()) {
+    std::abort();
+  }
+  const size_t n = queries.size();
+  std::printf("\n[warm-path decode engine A/B: node cache + zero-copy vs "
+              "off, T=1, median of 3]\n");
+  PrintRule(96);
+
+  auto set_engine = [&](bool on) {
+    tree->set_node_cache_entries(on ? opts.node_cache_entries : 0);
+    tree->set_enable_zero_copy(on);
+  };
+
+  std::vector<std::vector<ObjectId>> range_on(n), range_off(n);
+  std::vector<std::vector<Neighbor>> knn_on(n), knn_off(n);
+  auto run_range = [&](std::vector<std::vector<ObjectId>>* out, bool cold,
+                       AbPass* p) {
+    *p = MeasureAbPass(*tree, n, cold, [&](size_t i) {
+      if (!tree->RangeQuery(queries[i], r, &(*out)[i], nullptr).ok()) {
+        std::abort();
+      }
+    });
+  };
+  auto run_knn = [&](std::vector<std::vector<Neighbor>>* out, bool cold,
+                     AbPass* p) {
+    *p = MeasureAbPass(*tree, n, cold, [&](size_t i) {
+      if (!tree->KnnQuery(queries[i], k, &(*out)[i], nullptr).ok()) {
+        std::abort();
+      }
+    });
+  };
+  auto check_identical = [&](const AbPass& on, const AbPass& off,
+                             bool results_equal, const char* what) {
+    if (!results_equal) {
+      std::printf("FAIL: decode engine changed %s result sets\n", what);
+      std::abort();
+    }
+    if (on.pa != off.pa || on.hits != off.hits || on.cd != off.cd) {
+      std::printf("FAIL: decode engine changed %s counters "
+                  "(pa %llu/%llu hits %llu/%llu cd %llu/%llu)\n",
+                  what, (unsigned long long)on.pa, (unsigned long long)off.pa,
+                  (unsigned long long)on.hits, (unsigned long long)off.hits,
+                  (unsigned long long)on.cd, (unsigned long long)off.cd);
+      std::abort();
+    }
+  };
+
+  AbCell cells[2][2];  // [regime: 0=warm,1=cold][workload: 0=range,1=knn]
+  for (int regime = 0; regime < 2; ++regime) {
+    const bool cold = regime == 1;
+    double rq_on[3], rq_off[3], kq_on[3], kq_off[3];
+    AbPass rp_on, rp_off, kp_on, kp_off;
+    for (int trial = 0; trial < 3; ++trial) {
+      set_engine(true);
+      run_range(&range_on, cold, &rp_on);
+      run_knn(&knn_on, cold, &kp_on);
+      set_engine(false);
+      run_range(&range_off, cold, &rp_off);
+      run_knn(&knn_off, cold, &kp_off);
+      check_identical(rp_on, rp_off, range_on == range_off, "range");
+      check_identical(kp_on, kp_off, knn_on == knn_off, "knn");
+      rq_on[trial] = rp_on.qps;
+      rq_off[trial] = rp_off.qps;
+      kq_on[trial] = kp_on.qps;
+      kq_off[trial] = kp_off.qps;
+    }
+    AbCell& rc = cells[regime][0];
+    rc.qps_on = Median3(rq_on[0], rq_on[1], rq_on[2]);
+    rc.qps_off = Median3(rq_off[0], rq_off[1], rq_off[2]);
+    rc.sample_on = rp_on;
+    rc.sample_off = rp_off;
+    AbCell& kc = cells[regime][1];
+    kc.qps_on = Median3(kq_on[0], kq_on[1], kq_on[2]);
+    kc.qps_off = Median3(kq_off[0], kq_off[1], kq_off[2]);
+    kc.sample_on = kp_on;
+    kc.sample_off = kp_off;
+  }
+
+  FILE* json = std::fopen("BENCH_PR4.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"warm_path_decode_engine\",\n"
+                 "  \"dataset\": \"synthetic\",\n  \"scale\": %zu,\n"
+                 "  \"queries\": %zu,\n  \"threads\": 1,\n"
+                 "  \"trials\": 3,\n  \"node_cache_entries\": %zu,\n"
+                 "  \"identity\": \"results, logical PA, cache_hits and "
+                 "compdists byte-identical engine on vs off (asserted)\",\n"
+                 "  \"cells\": [\n",
+                 config.scale, n, opts.node_cache_entries);
+  }
+  PrintAbCell(json, "warm", "range", n, cells[0][0], false);
+  PrintAbCell(json, "warm", "knn", n, cells[0][1], false);
+  PrintAbCell(json, "cold", "range", n, cells[1][0], false);
+  PrintAbCell(json, "cold", "knn", n, cells[1][1], true);
+  if (json != nullptr) {
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_PR4.json\n");
+  }
+  PrintRule(96);
+  std::printf("warm A/B: results and counters identical engine on vs off\n");
+}
+
 void Run(const BenchConfig& config) {
   std::printf("Concurrency + cold-path I/O engine: throughput sweeps\n");
   std::printf("scale=%zu queries=%zu\n", config.scale, config.queries);
@@ -262,6 +458,10 @@ void Run(const BenchConfig& config) {
   for (size_t cache_pages : {size_t(256), size_t(64)}) {
     RunCapacity(config, ds, queries, r, kK, cache_pages);
   }
+
+  // Warm-path decode engine A/B (PR 4): default pool sizes, T=1.
+  RunEngineAb(config, ds, queries, r, kK);
+
   std::printf(
       "\nCold rows: prefetch vs demand is the I/O engine's win (speedup "
       "column); logical PA is invariant by construction. Warm rows: QPS "

@@ -25,7 +25,7 @@ Blob EncodeLatLon(double lat_deg, double lon_deg) {
 /// compliant (it is the geodesic distance of a metric space).
 class HaversineDistance final : public spb::DistanceFunction {
  public:
-  double Distance(const Blob& a, const Blob& b) const override {
+  double Distance(spb::BlobRef a, spb::BlobRef b) const override {
     const auto pa = spb::BlobToFloats(a);
     const auto pb = spb::BlobToFloats(b);
     const double lat1 = pa[0] * kPi / 180.0, lon1 = pa[1] * kPi / 180.0;

@@ -55,7 +55,9 @@ Status BPlusTree::WriteMeta() {
 
 Status BPlusTree::ReadMeta() {
   Page meta;
-  SPB_RETURN_IF_ERROR(owned_file_->Read(kMetaPage, &meta));
+  // Through the pool (not owned_file_) so the meta-page read shows up in
+  // IoStats like every other page access.
+  SPB_RETURN_IF_ERROR(pool_.Read(kMetaPage, &meta));
   if (DecodeFixed64(meta.bytes()) != kBptMagic) {
     return Status::Corruption("bad B+-tree magic");
   }
@@ -75,7 +77,35 @@ Status BPlusTree::ReadNode(PageId id, BptNode* node) {
 Status BPlusTree::WriteNode(const BptNode& node) {
   Page page;
   node.SerializeTo(&page);
+  // Invalidate before the write lands so no reader can re-cache the stale
+  // decode between the write and the erase.
+  node_cache_.Erase(node.id);
   return pool_.Write(node.id, page);
+}
+
+Status BPlusTree::GetNode(PageId id, DecodedNode* scratch, NodeHandle* out) {
+  if (node_cache_.enabled()) {
+    if (auto cached = node_cache_.Lookup(id)) {
+      // Accounting parity: charge the buffer pool exactly as a re-read
+      // would (hit bookkeeping + LRU promotion, or a demand fetch if the
+      // page was evicted).
+      SPB_RETURN_IF_ERROR(pool_.Touch(id));
+      out->SetShared(std::move(cached));
+      return Status::OK();
+    }
+    BufferPool::PagePin pin;
+    SPB_RETURN_IF_ERROR(pool_.ReadPinned(id, &pin));
+    auto decoded = std::make_shared<DecodedNode>();
+    SPB_RETURN_IF_ERROR(decoded->Decode(*pin, id, *curve_));
+    node_cache_.Insert(id, decoded);
+    out->SetShared(std::move(decoded));
+    return Status::OK();
+  }
+  BufferPool::PagePin pin;
+  SPB_RETURN_IF_ERROR(pool_.ReadPinned(id, &pin));
+  SPB_RETURN_IF_ERROR(scratch->Decode(*pin, id, *curve_));
+  out->SetBorrowed(scratch);
+  return Status::OK();
 }
 
 Status BPlusTree::AllocateNode(bool is_leaf, BptNode* node) {
@@ -89,6 +119,33 @@ Status BPlusTree::AllocateNode(bool is_leaf, BptNode* node) {
   return Status::OK();
 }
 
+namespace {
+
+// Batch-decodes `keys` and widens [lo, hi] to cover every decoded cell.
+// DecodeBatch writes a dim-major matrix, so the min/max sweep runs along
+// contiguous rows — one decode pass per node instead of one per entry.
+void WidenBoxFromKeys(const SpaceFillingCurve& curve,
+                      const std::vector<uint64_t>& keys,
+                      std::vector<uint32_t>* lo, std::vector<uint32_t>* hi) {
+  const size_t dims = curve.dims();
+  const size_t n = keys.size();
+  std::vector<uint32_t> cells(dims * n + n);
+  uint32_t* mat = cells.data();
+  curve.DecodeBatch(keys.data(), n, mat, cells.data() + dims * n);
+  for (size_t d = 0; d < dims; ++d) {
+    const uint32_t* row = mat + d * n;
+    uint32_t mn = (*lo)[d], mx = (*hi)[d];
+    for (size_t i = 0; i < n; ++i) {
+      mn = std::min(mn, row[i]);
+      mx = std::max(mx, row[i]);
+    }
+    (*lo)[d] = mn;
+    (*hi)[d] = mx;
+  }
+}
+
+}  // namespace
+
 void BPlusTree::ComputeLeafBox(const BptNode& node, uint64_t* mbb_min,
                                uint64_t* mbb_max) const {
   if (node.leaf_entries.empty()) {
@@ -97,33 +154,32 @@ void BPlusTree::ComputeLeafBox(const BptNode& node, uint64_t* mbb_min,
     return;
   }
   const size_t dims = curve_->dims();
-  std::vector<uint32_t> lo(dims, UINT32_MAX), hi(dims, 0), cell;
-  for (const LeafEntry& e : node.leaf_entries) {
-    curve_->Decode(e.key, &cell);
-    for (size_t i = 0; i < dims; ++i) {
-      lo[i] = std::min(lo[i], cell[i]);
-      hi[i] = std::max(hi[i], cell[i]);
-    }
-  }
+  std::vector<uint32_t> lo(dims, UINT32_MAX), hi(dims, 0);
+  std::vector<uint64_t> keys(node.leaf_entries.size());
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = node.leaf_entries[i].key;
+  WidenBoxFromKeys(*curve_, keys, &lo, &hi);
   *mbb_min = curve_->Encode(lo);
   *mbb_max = curve_->Encode(hi);
 }
 
 void BPlusTree::ComputeInternalBox(const BptNode& node, uint64_t* mbb_min,
                                    uint64_t* mbb_max) const {
-  const size_t dims = curve_->dims();
-  std::vector<uint32_t> lo(dims, UINT32_MAX), hi(dims, 0), corner;
-  for (const InternalEntry& e : node.internal_entries) {
-    curve_->Decode(e.mbb_min, &corner);
-    for (size_t i = 0; i < dims; ++i) lo[i] = std::min(lo[i], corner[i]);
-    curve_->Decode(e.mbb_max, &corner);
-    for (size_t i = 0; i < dims; ++i) hi[i] = std::max(hi[i], corner[i]);
-  }
   if (node.internal_entries.empty()) {
     *mbb_min = 0;
     *mbb_max = 0;
     return;
   }
+  const size_t dims = curve_->dims();
+  std::vector<uint32_t> lo(dims, UINT32_MAX), hi(dims, 0);
+  std::vector<uint64_t> keys(node.internal_entries.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = node.internal_entries[i].mbb_min;
+  }
+  WidenBoxFromKeys(*curve_, keys, &lo, &hi);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = node.internal_entries[i].mbb_max;
+  }
+  WidenBoxFromKeys(*curve_, keys, &lo, &hi);
   *mbb_min = curve_->Encode(lo);
   *mbb_max = curve_->Encode(hi);
 }
@@ -132,6 +188,9 @@ Status BPlusTree::BulkLoad(const std::vector<LeafEntry>& entries) {
   if (num_entries_ != 0 || height_ != 1) {
     return Status::InvalidArgument("BulkLoad requires a fresh tree");
   }
+  // Every page the rebuild writes is invalidated by WriteNode, but a full
+  // rebuild warrants a full drop: stale decodes must not outlive it.
+  node_cache_.Clear();
   if (!std::is_sorted(entries.begin(), entries.end(),
                       [](const LeafEntry& a, const LeafEntry& b) {
                         return a.key < b.key ||

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bptree/node.h"
+#include "bptree/node_cache.h"
 #include "common/status.h"
 #include "sfc/sfc.h"
 #include "storage/buffer_pool.h"
@@ -68,6 +69,28 @@ class BPlusTree {
 
   /// Reads any node by page id (through the buffer pool, so PA-counted).
   Status ReadNode(PageId id, BptNode* node);
+
+  /// Warm-path node read: hands out a decoded node (parsed entries + decoded
+  /// internal MBB corners) via the decoded-node cache when it is enabled,
+  /// decoding into caller-owned `scratch` otherwise. `scratch` must outlive
+  /// `*out` (the handle borrows it on the uncached path) and must not be
+  /// shared between simultaneously live handles.
+  ///
+  /// Accounting parity with ReadNode is exact by construction: a node-cache
+  /// hit runs BufferPool::Touch (the full demand path minus the copy), a
+  /// miss runs ReadPinned + decode + Insert — either way the pool sees
+  /// exactly one read request for the page, so PA, cache_hits and the pool's
+  /// LRU evolve byte-identically whether the node cache is on, off, hit or
+  /// missed. Readers only; writers use ReadNode/WriteNode (WriteNode
+  /// invalidates the cached node).
+  Status GetNode(PageId id, DecodedNode* scratch, NodeHandle* out);
+
+  /// Resizes the decoded-node cache (0 disables it). Single-writer only,
+  /// like BufferPool::set_capacity; drops contents.
+  void set_node_cache_entries(size_t entries) {
+    node_cache_.set_capacity(entries);
+  }
+  NodeCache& node_cache() { return node_cache_; }
 
   /// Persists meta (root, height, count) and flushes the file.
   Status Sync();
@@ -135,6 +158,9 @@ class BPlusTree {
   std::unique_ptr<PageFile> owned_file_;
   BufferPool pool_;
   const SpaceFillingCurve* curve_;
+  /// Decoded-node cache; disabled (capacity 0) until the owner opts in via
+  /// set_node_cache_entries — the SPB-tree wires SpbTreeOptions through.
+  NodeCache node_cache_{0};
 
   PageId root_ = kInvalidPageId;
   PageId first_leaf_ = kInvalidPageId;

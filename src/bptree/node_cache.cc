@@ -1,0 +1,108 @@
+#include "bptree/node_cache.h"
+
+#include <algorithm>
+
+namespace spb {
+
+Status DecodedNode::Decode(const Page& page, PageId page_id,
+                          const SpaceFillingCurve& curve) {
+  SPB_RETURN_IF_ERROR(node.DeserializeFrom(page, page_id));
+  dims = curve.dims();
+  if (node.is_leaf) {
+    mbb_lo.clear();
+    mbb_hi.clear();
+    return Status::OK();
+  }
+  const size_t n = node.internal_entries.size();
+  mbb_lo.resize(n * dims);
+  mbb_hi.resize(n * dims);
+  if (n == 0) return Status::OK();
+  key_scratch_.resize(n);
+  // One dim-major matrix (dims * n) plus DecodeBatch's n-word tmp.
+  cell_scratch_.resize(dims * n + n);
+  uint32_t* mat = cell_scratch_.data();
+  uint32_t* tmp = cell_scratch_.data() + dims * n;
+
+  // Two passes (low corners, high corners): batch-decode into the dim-major
+  // matrix, then transpose to the entry-major layout lo(i)/hi(i) expose.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<uint32_t>& out = (pass == 0) ? mbb_lo : mbb_hi;
+    for (size_t i = 0; i < n; ++i) {
+      key_scratch_[i] = (pass == 0) ? node.internal_entries[i].mbb_min
+                                    : node.internal_entries[i].mbb_max;
+    }
+    curve.DecodeBatch(key_scratch_.data(), n, mat, tmp);
+    for (size_t d = 0; d < dims; ++d) {
+      const uint32_t* row = mat + d * n;
+      for (size_t i = 0; i < n; ++i) out[i * dims + d] = row[i];
+    }
+  }
+  return Status::OK();
+}
+
+void NodeCache::Resize(size_t capacity) {
+  capacity_ = capacity;
+  size_t num_shards = 1;
+  if (capacity >= 2 * kMinShardEntries) {
+    num_shards = std::min(kMaxShards, capacity / kMinShardEntries);
+  }
+  shards_.clear();
+  shards_.reserve(num_shards);
+  const size_t base = capacity / num_shards;
+  const size_t extra = capacity % num_shards;
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < extra ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::shared_ptr<const DecodedNode> NodeCache::Lookup(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->node;
+}
+
+void NodeCache::Insert(PageId id, std::shared_ptr<const DecodedNode> node) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it != shard.index.end()) {
+    it->second->node = std::move(node);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.capacity == 0) return;
+  if (shard.lru.size() >= shard.capacity) {
+    shard.index.erase(shard.lru.back().id);
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(Entry{id, std::move(node)});
+  shard.index[id] = shard.lru.begin();
+}
+
+void NodeCache::Erase(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it == shard.index.end()) return;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+void NodeCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace spb

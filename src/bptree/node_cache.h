@@ -1,0 +1,152 @@
+#ifndef SPB_BPTREE_NODE_CACHE_H_
+#define SPB_BPTREE_NODE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "bptree/node.h"
+#include "common/status.h"
+#include "sfc/sfc.h"
+#include "storage/page.h"
+
+namespace spb {
+
+/// A B+-tree node in fully decoded form: the parsed BptNode plus, for
+/// internal nodes, every entry's MBB corners decoded from their SFC keys
+/// into grid coordinates. Lemma 1/2 pruning consumes the corners directly
+/// (MappedSpace box predicates over raw pointers), so a cached DecodedNode
+/// saves both the page parse and the per-entry curve Decode that used to run
+/// on every node visit.
+///
+/// Corner layout is entry-major: lo(i)/hi(i) point at the `dims` coordinates
+/// of entry i's low/high corner.
+struct DecodedNode {
+  BptNode node;
+  size_t dims = 0;
+  std::vector<uint32_t> mbb_lo;
+  std::vector<uint32_t> mbb_hi;
+
+  const uint32_t* lo(size_t i) const { return mbb_lo.data() + i * dims; }
+  const uint32_t* hi(size_t i) const { return mbb_hi.data() + i * dims; }
+
+  /// Parses `page` and (for internal nodes) batch-decodes all entry MBB
+  /// corners. Reusable: repeated Decode calls on one DecodedNode recycle the
+  /// vectors, so an uncached traversal using a scratch DecodedNode does no
+  /// steady-state allocation.
+  Status Decode(const Page& page, PageId page_id,
+                const SpaceFillingCurve& curve);
+
+ private:
+  // DecodeBatch staging (keys in, dim-major cells + tmp out), reused across
+  // Decode calls.
+  std::vector<uint64_t> key_scratch_;
+  std::vector<uint32_t> cell_scratch_;
+};
+
+/// How traversal code holds a decoded node regardless of where it came from:
+/// either a shared_ptr reference into the NodeCache (cache hit/fill) or a
+/// borrowed pointer to caller-owned scratch (cache disabled). The handle
+/// keeps a cached node alive across eviction/invalidation — same lifetime
+/// rule as BufferPool::PagePin.
+class NodeHandle {
+ public:
+  NodeHandle() = default;
+
+  const DecodedNode* get() const { return ptr_; }
+  const DecodedNode& operator*() const { return *ptr_; }
+  const DecodedNode* operator->() const { return ptr_; }
+  explicit operator bool() const { return ptr_ != nullptr; }
+
+  /// Points the handle at caller-owned scratch (no ownership taken).
+  void SetBorrowed(const DecodedNode* node) {
+    ref_.reset();
+    ptr_ = node;
+  }
+  /// Takes a shared reference to a cached node.
+  void SetShared(std::shared_ptr<const DecodedNode> node) {
+    ref_ = std::move(node);
+    ptr_ = ref_.get();
+  }
+
+ private:
+  const DecodedNode* ptr_ = nullptr;
+  std::shared_ptr<const DecodedNode> ref_;
+};
+
+/// Sharded LRU cache of DecodedNodes keyed by PageId — the warm-path decode
+/// engine's core. Entries are shared_ptr-held, so Lookup hands out pins that
+/// stay valid when the entry is evicted or erased (invalidated) underneath.
+///
+/// The cache is deliberately *not* an accounting entity: it holds no
+/// IoStats. A node-cache hit must still run the buffer pool's demand
+/// bookkeeping for the node's page (BufferPool::Touch), so the paper's PA /
+/// cache_hits counters and the pool's LRU state are byte-identical with the
+/// node cache on or off — the accounting-parity rule
+/// (docs/ARCHITECTURE.md §"Warm-path decode engine"). hits_/misses_ below
+/// are diagnostics only and feed no paper-facing figure.
+///
+/// Thread safety: Lookup/Insert/Erase are safe under concurrent readers
+/// (striped mutexes, like BufferPool). set_capacity()/Clear() follow the
+/// same single-writer contract as BufferPool::set_capacity()/Flush().
+class NodeCache {
+ public:
+  static constexpr size_t kMaxShards = 8;
+  static constexpr size_t kMinShardEntries = 16;
+
+  explicit NodeCache(size_t capacity) { Resize(capacity); }
+
+  NodeCache(const NodeCache&) = delete;
+  NodeCache& operator=(const NodeCache&) = delete;
+
+  /// Returns the cached node (promoted to MRU) or nullptr.
+  std::shared_ptr<const DecodedNode> Lookup(PageId id);
+
+  /// Inserts (or replaces) the node for `id`, evicting the LRU entry of the
+  /// shard when full. No-op when the cache is disabled.
+  void Insert(PageId id, std::shared_ptr<const DecodedNode> node);
+
+  /// Invalidation hook: drops `id` if cached. Outstanding NodeHandles keep
+  /// the old node alive but the next Lookup misses and re-decodes.
+  void Erase(PageId id);
+
+  /// Drops every entry (bulk-load rebuild / FlushCaches).
+  void Clear();
+
+  /// NOT thread-safe (rebuilds shards); single-writer only, like
+  /// BufferPool::set_capacity. Drops contents.
+  void set_capacity(size_t capacity) { Resize(capacity); }
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    PageId id;
+    std::shared_ptr<const DecodedNode> node;
+  };
+  struct Shard {
+    std::mutex mu;
+    size_t capacity = 0;
+    std::list<Entry> lru;
+    std::unordered_map<PageId, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
+  void Resize(size_t capacity);
+
+  size_t capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace spb
+
+#endif  // SPB_BPTREE_NODE_CACHE_H_

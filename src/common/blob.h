@@ -15,6 +15,34 @@ namespace spb {
 /// vectors (Lp-norms), signatures (Hamming), DNA reads (tri-gram cosine), ...
 using Blob = std::vector<uint8_t>;
 
+/// A non-owning view of an object's bytes. Distance functions take BlobRef
+/// so the zero-copy read path (storage/raf.h BlobView) can hand a pointer
+/// into a pinned buffer-pool frame straight to the metric without
+/// materializing a Blob. Implicitly constructible from Blob, so call sites
+/// holding owned objects are unaffected. The view does not keep the bytes
+/// alive: the caller must hold the owning Blob / page pin for the duration
+/// of the call.
+class BlobRef {
+ public:
+  constexpr BlobRef() = default;
+  BlobRef(const Blob& b) : data_(b.data()), size_(b.size()) {}
+  constexpr BlobRef(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+  const uint8_t* begin() const { return data_; }
+  const uint8_t* end() const { return data_ + size_; }
+
+  Blob ToBlob() const { return Blob(data_, data_ + size_); }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// Identifier assigned to an object when it enters an index.
 using ObjectId = uint32_t;
 
@@ -25,7 +53,7 @@ inline Blob BlobFromString(std::string_view s) {
 }
 
 /// Recovers the string view of a Blob produced by BlobFromString.
-inline std::string BlobToString(const Blob& b) {
+inline std::string BlobToString(BlobRef b) {
   return std::string(b.begin(), b.end());
 }
 
@@ -39,7 +67,7 @@ inline Blob BlobFromFloats(const std::vector<float>& v) {
 
 /// Recovers the float vector packed by BlobFromFloats. The Blob length must
 /// be a multiple of sizeof(float).
-inline std::vector<float> BlobToFloats(const Blob& b) {
+inline std::vector<float> BlobToFloats(BlobRef b) {
   std::vector<float> v(b.size() / sizeof(float));
   if (!v.empty()) std::memcpy(v.data(), b.data(), v.size() * sizeof(float));
   return v;

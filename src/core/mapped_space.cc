@@ -68,7 +68,14 @@ bool MappedSpace::BoxesIntersect(const std::vector<uint32_t>& alo,
                                  const std::vector<uint32_t>& ahi,
                                  const std::vector<uint32_t>& blo,
                                  const std::vector<uint32_t>& bhi) {
-  for (size_t i = 0; i < alo.size(); ++i) {
+  return BoxesIntersect(alo.data(), ahi.data(), blo.data(), bhi.data(),
+                        alo.size());
+}
+
+bool MappedSpace::BoxesIntersect(const uint32_t* alo, const uint32_t* ahi,
+                                 const uint32_t* blo, const uint32_t* bhi,
+                                 size_t dims) {
+  for (size_t i = 0; i < dims; ++i) {
     if (ahi[i] < blo[i] || bhi[i] < alo[i]) return false;
   }
   return true;
@@ -78,7 +85,14 @@ bool MappedSpace::BoxContains(const std::vector<uint32_t>& olo,
                               const std::vector<uint32_t>& ohi,
                               const std::vector<uint32_t>& ilo,
                               const std::vector<uint32_t>& ihi) {
-  for (size_t i = 0; i < olo.size(); ++i) {
+  return BoxContains(olo.data(), ohi.data(), ilo.data(), ihi.data(),
+                     olo.size());
+}
+
+bool MappedSpace::BoxContains(const uint32_t* olo, const uint32_t* ohi,
+                              const uint32_t* ilo, const uint32_t* ihi,
+                              size_t dims) {
+  for (size_t i = 0; i < dims; ++i) {
     if (ilo[i] < olo[i] || ihi[i] > ohi[i]) return false;
   }
   return true;
@@ -90,10 +104,17 @@ bool MappedSpace::IntersectBoxes(const std::vector<uint32_t>& alo,
                                  const std::vector<uint32_t>& bhi,
                                  std::vector<uint32_t>* lo,
                                  std::vector<uint32_t>* hi) {
-  const size_t n = alo.size();
-  lo->resize(n);
-  hi->resize(n);
-  for (size_t i = 0; i < n; ++i) {
+  return IntersectBoxes(alo.data(), ahi.data(), blo.data(), bhi.data(),
+                        alo.size(), lo, hi);
+}
+
+bool MappedSpace::IntersectBoxes(const uint32_t* alo, const uint32_t* ahi,
+                                 const uint32_t* blo, const uint32_t* bhi,
+                                 size_t dims, std::vector<uint32_t>* lo,
+                                 std::vector<uint32_t>* hi) {
+  lo->resize(dims);
+  hi->resize(dims);
+  for (size_t i = 0; i < dims; ++i) {
     (*lo)[i] = std::max(alo[i], blo[i]);
     (*hi)[i] = std::min(ahi[i], bhi[i]);
     if ((*lo)[i] > (*hi)[i]) return false;
@@ -187,6 +208,12 @@ double MappedSpace::LowerBoundToCell(const std::vector<double>& phi_q,
 double MappedSpace::LowerBoundToBox(const std::vector<double>& phi_q,
                                     const std::vector<uint32_t>& lo,
                                     const std::vector<uint32_t>& hi) const {
+  return LowerBoundToBox(phi_q, lo.data(), hi.data());
+}
+
+double MappedSpace::LowerBoundToBox(const std::vector<double>& phi_q,
+                                    const uint32_t* lo,
+                                    const uint32_t* hi) const {
   double best = 0.0;
   for (size_t i = 0; i < phi_q.size(); ++i) {
     const double interval_lo = disc_.CellLow(lo[i]);

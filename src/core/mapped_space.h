@@ -140,6 +140,24 @@ class MappedSpace {
   bool GuaranteedWithin(const std::vector<double>& phi_q,
                         const std::vector<uint32_t>& cell, double r) const;
 
+  /// Raw-pointer forms of the box predicates (each corner is `dims`
+  /// coordinates). The decoded-node cache stores internal-entry MBB corners
+  /// entry-major (bptree/node_cache.h), so warm traversals call these
+  /// directly on cached corner rows without materializing vectors; the
+  /// vector overloads above forward here.
+  static bool BoxesIntersect(const uint32_t* alo, const uint32_t* ahi,
+                             const uint32_t* blo, const uint32_t* bhi,
+                             size_t dims);
+  static bool BoxContains(const uint32_t* olo, const uint32_t* ohi,
+                          const uint32_t* ilo, const uint32_t* ihi,
+                          size_t dims);
+  static bool IntersectBoxes(const uint32_t* alo, const uint32_t* ahi,
+                             const uint32_t* blo, const uint32_t* bhi,
+                             size_t dims, std::vector<uint32_t>* lo,
+                             std::vector<uint32_t>* hi);
+  double LowerBoundToBox(const std::vector<double>& phi_q, const uint32_t* lo,
+                         const uint32_t* hi) const;
+
  private:
   PivotTable pivots_;
   Discretizer disc_;

@@ -43,6 +43,50 @@ class StatScope {
 
 }  // namespace
 
+// All transient state of one query traversal, as reusable buffers: once a
+// few queries have warmed up the capacities, RangeQuery and KnnQuery run
+// with zero heap allocation in the traversal loop (the decoded-node cache —
+// or `scratch_node` when it is off — supplies parsed nodes, LeafScratch the
+// batch buffers, and the FIFO/heap vectors keep their high-water capacity).
+struct SpbTree::QueryArena {
+  // Pending subtree of a range traversal. The parent's MBB corners live in
+  // `box_buf` (lo at box_off, hi at box_off + dims): the FIFO grows while
+  // iterating, so offsets stay valid where pointers would dangle.
+  struct RangeTodo {
+    PageId id;
+    uint32_t box_off;
+    bool has_box;
+  };
+  // kNN frontier element (min-heap on mind via std::push_heap/pop_heap —
+  // the standard mandates the same element evolution as the
+  // std::priority_queue this replaces).
+  struct KnnHeapItem {
+    double mind;
+    bool is_entry;
+    PageId node;      // when !is_entry
+    LeafEntry entry;  // when is_entry
+  };
+
+  std::vector<double> phi_q;
+  std::vector<uint32_t> rr_lo, rr_hi;  // range region RR(q, r)
+  std::vector<uint32_t> ilo, ihi;      // RR ∩ MBB(N)
+  std::vector<RangeTodo> todo;         // range FIFO (index cursor, no pops)
+  std::vector<uint32_t> box_buf;       // flat parent-box storage
+  std::vector<uint64_t> region_keys;   // computeSFC enumeration
+  std::vector<KnnHeapItem> heap;       // kNN frontier
+  std::vector<Neighbor> best;          // current k best (max-heap)
+  DecodedNode scratch_node;            // decode target on cache miss/off
+  LeafScratch leaf;                    // batched leaf verification buffers
+};
+
+SpbTree::QueryArena& SpbTree::ThreadArena() {
+  // One arena per thread is safe because a thread runs one query at a time
+  // (QueryExecutor workers are distinct threads; SJA's paired cursors own
+  // their node scratch separately).
+  thread_local QueryArena arena;
+  return arena;
+}
+
 Status SpbTree::MakeFiles(std::unique_ptr<PageFile>* btree_file,
                           std::unique_ptr<PageFile>* raf_file) const {
   if (options_.storage_dir.empty()) {
@@ -111,6 +155,7 @@ Status SpbTree::BuildInternal(const std::vector<Blob>& objects,
   SPB_RETURN_IF_ERROR(BPlusTree::Create(std::move(btree_file),
                                         options.btree_cache_pages,
                                         &tree->space_->curve(), &tree->btree_));
+  tree->btree_->set_node_cache_entries(options.node_cache_entries);
   SPB_RETURN_IF_ERROR(
       Raf::Create(std::move(raf_file), options.raf_cache_pages, &tree->raf_));
 
@@ -395,6 +440,7 @@ Status SpbTree::Open(const std::string& storage_dir,
   SPB_RETURN_IF_ERROR(BPlusTree::Open(std::move(btree_file),
                                       opts.btree_cache_pages,
                                       &tree->space_->curve(), &tree->btree_));
+  tree->btree_->set_node_cache_entries(opts.node_cache_entries);
   SPB_RETURN_IF_ERROR(
       Raf::Open(std::move(raf_file), opts.raf_cache_pages, &tree->raf_));
   tree->num_objects_ = num_objects;
@@ -543,14 +589,23 @@ Status SpbTree::VerifyLeafBatch(const LeafEntry* entries, size_t count,
   }
   // Survivors are fetched and verified in entry order, so the result order,
   // the RAF page-access order and the sequence of distance calls all match
-  // the per-entry loop this replaces.
+  // the per-entry loop this replaces. Zero-copy fetches serve the object
+  // straight from the pinned frame (identical accounting — see
+  // Raf::GetView); the view/obj buffers are reused across all entries.
   for (size_t i = 0; i < count; ++i) {
     if (check_region && !scratch->in_box[i]) {
       continue;  // Lemma 1: phi(o) outside RR(q, r)
     }
     ObjectId id;
-    Blob obj;
-    SPB_RETURN_IF_ERROR(raf_->Get(entries[i].ptr, &id, &obj, ra));
+    BlobRef obj;
+    if (options_.enable_zero_copy) {
+      SPB_RETURN_IF_ERROR(
+          raf_->GetView(entries[i].ptr, &id, &scratch->view, ra));
+      obj = scratch->view.ref();
+    } else {
+      SPB_RETURN_IF_ERROR(raf_->Get(entries[i].ptr, &id, &scratch->obj, ra));
+      obj = scratch->obj;
+    }
     if (options_.enable_lemma2 && scratch->guaranteed[i]) {
       // Lemma 2: in the result without computing d(q, o).
       result->push_back(id);
@@ -569,84 +624,93 @@ Status SpbTree::RangeQuery(const Blob& q, double r,
   StatScope scope(*this, stats);
   result->clear();
   if (num_objects_ == 0) return Status::OK();
-  const std::vector<double> phi_q = space_->Phi(q, counting_);
-  std::vector<uint32_t> rr_lo, rr_hi;
-  space_->RangeRegion(phi_q, r, &rr_lo, &rr_hi);
+  QueryArena& A = ThreadArena();
+  A.phi_q.resize(space_->dims());
+  // Same distance-call count and values as Phi(), without the allocation.
+  space_->pivots().MapBatch(&q, 1, counting_, A.phi_q.data());
+  space_->RangeRegion(A.phi_q, r, &A.rr_lo, &A.rr_hi);
 
-  struct NodeRef {
-    PageId id;
-    bool has_box;
-    std::vector<uint32_t> lo, hi;
-  };
-  std::queue<NodeRef> todo;
-  todo.push(NodeRef{btree_->root(), false, {}, {}});
-  BptNode node;
-  std::vector<uint32_t> lo, hi;
-  LeafScratch scratch;
+  const size_t dims = space_->dims();
+  // Flat FIFO: an index cursor over a growing vector visits nodes in exactly
+  // the order of the std::queue this replaces, and both the todo list and
+  // the box buffer keep their capacity across queries.
+  A.todo.clear();
+  A.box_buf.clear();
+  A.todo.push_back(QueryArena::RangeTodo{btree_->root(), 0, false});
   Readahead ra = NewReadaheadSession();
+  NodeHandle h;
 
-  while (!todo.empty()) {
-    NodeRef ref = std::move(todo.front());
-    todo.pop();
-    SPB_RETURN_IF_ERROR(btree_->ReadNode(ref.id, &node));
+  for (size_t cursor = 0; cursor < A.todo.size(); ++cursor) {
+    const QueryArena::RangeTodo ref = A.todo[cursor];  // copy: todo may grow
+    SPB_RETURN_IF_ERROR(btree_->GetNode(ref.id, &A.scratch_node, &h));
+    const BptNode& node = h->node;
 
     if (!node.is_leaf) {
-      for (const InternalEntry& e : node.internal_entries) {
-        btree_->DecodeBox(e.mbb_min, e.mbb_max, &lo, &hi);
-        if (MappedSpace::BoxesIntersect(lo, hi, rr_lo, rr_hi)) {  // Lemma 1
-          todo.push(NodeRef{e.child, true, lo, hi});
+      // Lemma 1 over the cached entry-major MBB corners: no per-entry curve
+      // decode on the warm path.
+      for (size_t i = 0; i < node.internal_entries.size(); ++i) {
+        if (MappedSpace::BoxesIntersect(h->lo(i), h->hi(i), A.rr_lo.data(),
+                                        A.rr_hi.data(), dims)) {
+          const uint32_t off = static_cast<uint32_t>(A.box_buf.size());
+          A.box_buf.insert(A.box_buf.end(), h->lo(i), h->lo(i) + dims);
+          A.box_buf.insert(A.box_buf.end(), h->hi(i), h->hi(i) + dims);
+          A.todo.push_back(
+              QueryArena::RangeTodo{node.internal_entries[i].child, off,
+                                    true});
         }
       }
       continue;
     }
 
     // Leaf node: three verification regimes (Algorithm 1, lines 11-23).
-    if (ref.has_box &&
-        MappedSpace::BoxContains(rr_lo, rr_hi, ref.lo, ref.hi)) {
-      // MBB(N) fully inside RR: membership is implied.
-      SPB_RETURN_IF_ERROR(VerifyLeafBatch(node.leaf_entries.data(),
-                                          node.leaf_entries.size(), q, phi_q,
-                                          r, false, rr_lo, rr_hi, &scratch,
-                                          result, &ra));
-      continue;
-    }
     bool enumerated = false;
     if (ref.has_box) {
-      std::vector<uint32_t> ilo, ihi;
-      if (!MappedSpace::IntersectBoxes(ref.lo, ref.hi, rr_lo, rr_hi, &ilo,
-                                       &ihi)) {
+      const uint32_t* blo = A.box_buf.data() + ref.box_off;
+      const uint32_t* bhi = blo + dims;
+      if (MappedSpace::BoxContains(A.rr_lo.data(), A.rr_hi.data(), blo, bhi,
+                                   dims)) {
+        // MBB(N) fully inside RR: membership is implied.
+        SPB_RETURN_IF_ERROR(VerifyLeafBatch(node.leaf_entries.data(),
+                                            node.leaf_entries.size(), q,
+                                            A.phi_q, r, false, A.rr_lo,
+                                            A.rr_hi, &A.leaf, result, &ra));
+        continue;
+      }
+      if (!MappedSpace::IntersectBoxes(blo, bhi, A.rr_lo.data(),
+                                       A.rr_hi.data(), dims, &A.ilo,
+                                       &A.ihi)) {
         continue;  // race with stale parent box: nothing to do
       }
-      const uint64_t cells = RegionCellCount(ilo, ihi);
+      const uint64_t cells = RegionCellCount(A.ilo, A.ihi);
       if (options_.enable_compute_sfc && cells < node.leaf_entries.size()) {
         // computeSFC path: enumerate the region's keys, merge-scan the
         // (sorted) leaf entries against them, and batch-verify the matches.
-        const std::vector<uint64_t> keys =
-            EnumerateRegionKeys(space_->curve(), ilo, ihi);
-        scratch.matched.clear();
+        EnumerateRegionKeysInto(space_->curve(), A.ilo, A.ihi,
+                                &A.region_keys);
+        A.leaf.matched.clear();
         size_t ei = 0, ki = 0;
-        while (ei < node.leaf_entries.size() && ki < keys.size()) {
-          if (node.leaf_entries[ei].key == keys[ki]) {
-            scratch.matched.push_back(node.leaf_entries[ei]);
+        while (ei < node.leaf_entries.size() && ki < A.region_keys.size()) {
+          if (node.leaf_entries[ei].key == A.region_keys[ki]) {
+            A.leaf.matched.push_back(node.leaf_entries[ei]);
             ++ei;
-          } else if (node.leaf_entries[ei].key > keys[ki]) {
+          } else if (node.leaf_entries[ei].key > A.region_keys[ki]) {
             ++ki;
           } else {
             ++ei;
           }
         }
-        SPB_RETURN_IF_ERROR(VerifyLeafBatch(scratch.matched.data(),
-                                            scratch.matched.size(), q, phi_q,
-                                            r, false, rr_lo, rr_hi, &scratch,
-                                            result, &ra));
+        SPB_RETURN_IF_ERROR(VerifyLeafBatch(A.leaf.matched.data(),
+                                            A.leaf.matched.size(), q,
+                                            A.phi_q, r, false, A.rr_lo,
+                                            A.rr_hi, &A.leaf, result, &ra));
         enumerated = true;
       }
     }
     if (!enumerated) {
       SPB_RETURN_IF_ERROR(VerifyLeafBatch(node.leaf_entries.data(),
-                                          node.leaf_entries.size(), q, phi_q,
-                                          r, true, rr_lo, rr_hi, &scratch,
-                                          result, &ra));
+                                          node.leaf_entries.size(), q,
+                                          A.phi_q, r, true, A.rr_lo, A.rr_hi,
+                                          &A.leaf, result, &ra));
     }
   }
   return Status::OK();
@@ -657,24 +721,30 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
   StatScope scope(*this, stats);
   result->clear();
   if (num_objects_ == 0 || k == 0) return Status::OK();
-  const std::vector<double> phi_q = space_->Phi(q, counting_);
+  QueryArena& A = ThreadArena();
+  A.phi_q.resize(space_->dims());
+  // Same distance-call count and values as Phi(), without the allocation.
+  space_->pivots().MapBatch(&q, 1, counting_, A.phi_q.data());
 
-  // Max-heap of current k best: top is the current k-th NN distance.
-  std::priority_queue<Neighbor, std::vector<Neighbor>,
-                      decltype([](const Neighbor& a, const Neighbor& b) {
-                        return a.distance < b.distance;
-                      })>
-      best;
+  // Max-heap of current k best over the arena vector (std::push_heap /
+  // pop_heap — the standard mandates the same element evolution as a
+  // std::priority_queue): front is the current k-th NN distance.
+  A.best.clear();
+  auto best_cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;
+  };
   auto cur_ndk = [&]() {
-    return best.size() < k ? std::numeric_limits<double>::infinity()
-                           : best.top().distance;
+    return A.best.size() < k ? std::numeric_limits<double>::infinity()
+                             : A.best.front().distance;
   };
   auto offer = [&](ObjectId id, double d) {
-    if (best.size() < k) {
-      best.push(Neighbor{id, d});
-    } else if (d < best.top().distance) {
-      best.pop();
-      best.push(Neighbor{id, d});
+    if (A.best.size() < k) {
+      A.best.push_back(Neighbor{id, d});
+      std::push_heap(A.best.begin(), A.best.end(), best_cmp);
+    } else if (d < A.best.front().distance) {
+      std::pop_heap(A.best.begin(), A.best.end(), best_cmp);
+      A.best.back() = Neighbor{id, d};
+      std::push_heap(A.best.begin(), A.best.end(), best_cmp);
     }
   };
   // With the cutoff enabled, the current k-th NN distance is the pruning
@@ -686,8 +756,14 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
   Readahead ra = NewReadaheadSession();
   auto verify_entry = [&](const LeafEntry& e) -> Status {
     ObjectId id;
-    Blob obj;
-    SPB_RETURN_IF_ERROR(raf_->Get(e.ptr, &id, &obj, &ra));
+    BlobRef obj;
+    if (options_.enable_zero_copy) {
+      SPB_RETURN_IF_ERROR(raf_->GetView(e.ptr, &id, &A.leaf.view, &ra));
+      obj = A.leaf.view.ref();
+    } else {
+      SPB_RETURN_IF_ERROR(raf_->Get(e.ptr, &id, &A.leaf.obj, &ra));
+      obj = A.leaf.obj;
+    }
     const double d = options_.enable_cutoff
                          ? counting_.DistanceWithCutoff(q, obj, cur_ndk())
                          : counting_.Distance(q, obj);
@@ -695,57 +771,55 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
     return Status::OK();
   };
 
-  struct HeapItem {
-    double mind;
-    bool is_entry;
-    PageId node;       // when !is_entry
-    LeafEntry entry;   // when is_entry
-  };
-  auto cmp = [](const HeapItem& a, const HeapItem& b) {
+  auto heap_cmp = [](const QueryArena::KnnHeapItem& a,
+                     const QueryArena::KnnHeapItem& b) {
     return a.mind > b.mind;
   };
-  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(cmp)> heap(
-      cmp);
-  heap.push(HeapItem{0.0, false, btree_->root(), {}});
+  A.heap.clear();
+  A.heap.push_back(QueryArena::KnnHeapItem{0.0, false, btree_->root(), {}});
 
-  BptNode node;
-  std::vector<uint32_t> lo, hi;
-  LeafScratch scratch;
+  NodeHandle h;
   // Decodes one leaf's keys and computes all MIND(q, cell) bounds as one
   // SoA batch. The bounds don't depend on the evolving NDk, so hoisting
   // them out of the per-entry loop cannot change any pruning decision.
   auto batch_bounds = [&](const std::vector<LeafEntry>& entries) {
-    scratch.keys.resize(entries.size());
+    A.leaf.keys.resize(entries.size());
     for (size_t i = 0; i < entries.size(); ++i) {
-      scratch.keys[i] = entries[i].key;
+      A.leaf.keys[i] = entries[i].key;
     }
-    space_->DecodeKeys(scratch.keys.data(), entries.size(), &scratch.block);
-    space_->BatchLowerBoundToCell(scratch.block, phi_q, &scratch.mind);
+    space_->DecodeKeys(A.leaf.keys.data(), entries.size(), &A.leaf.block);
+    space_->BatchLowerBoundToCell(A.leaf.block, A.phi_q, &A.leaf.mind);
   };
-  while (!heap.empty()) {
-    const HeapItem item = heap.top();
-    heap.pop();
+  while (!A.heap.empty()) {
+    const QueryArena::KnnHeapItem item = A.heap.front();
+    std::pop_heap(A.heap.begin(), A.heap.end(), heap_cmp);
+    A.heap.pop_back();
     if (item.mind >= cur_ndk()) break;  // Lemma 3 early termination
 
     if (item.is_entry) {
       // Speculative prefetch of the next heap-front entry: it is the most
       // likely next verification, and scheduling is free if Lemma 3
       // terminates first (unclaimed pages never count logical PA).
-      if (!heap.empty() && heap.top().is_entry) {
-        const PageId next = Raf::PageOf(heap.top().entry.ptr);
-        scratch.pages.assign({next, next + 1});
-        ra.Schedule(scratch.pages);
+      if (!A.heap.empty() && A.heap.front().is_entry) {
+        const PageId next = Raf::PageOf(A.heap.front().entry.ptr);
+        A.leaf.pages.assign({next, next + 1});
+        ra.Schedule(A.leaf.pages);
       }
       SPB_RETURN_IF_ERROR(verify_entry(item.entry));
       continue;
     }
-    SPB_RETURN_IF_ERROR(btree_->ReadNode(item.node, &node));
+    SPB_RETURN_IF_ERROR(btree_->GetNode(item.node, &A.scratch_node, &h));
+    const BptNode& node = h->node;
     if (!node.is_leaf) {
-      for (const InternalEntry& e : node.internal_entries) {
-        btree_->DecodeBox(e.mbb_min, e.mbb_max, &lo, &hi);
-        const double mind = space_->LowerBoundToBox(phi_q, lo, hi);
-        if (mind < cur_ndk()) {  // Lemma 3
-          heap.push(HeapItem{mind, false, e.child, {}});
+      // Lemma 3 over the cached entry-major MBB corners: no per-entry curve
+      // decode on the warm path.
+      for (size_t i = 0; i < node.internal_entries.size(); ++i) {
+        const double mind =
+            space_->LowerBoundToBox(A.phi_q, h->lo(i), h->hi(i));
+        if (mind < cur_ndk()) {
+          A.heap.push_back(QueryArena::KnnHeapItem{
+              mind, false, node.internal_entries[i].child, {}});
+          std::push_heap(A.heap.begin(), A.heap.end(), heap_cmp);
         }
       }
       continue;
@@ -755,40 +829,41 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
     // (mind below the current NDk); schedule their RAF pages as one sorted
     // batch. NDk only tightens afterwards, so this over-approximates —
     // harmless, unclaimed pages never count.
-    scratch.pages.clear();
+    A.leaf.pages.clear();
     for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
-      if (scratch.mind[i] < cur_ndk()) {
+      if (A.leaf.mind[i] < cur_ndk()) {
         const PageId first = Raf::PageOf(node.leaf_entries[i].ptr);
-        scratch.pages.push_back(first);
-        scratch.pages.push_back(first + 1);
+        A.leaf.pages.push_back(first);
+        A.leaf.pages.push_back(first + 1);
       }
     }
-    ra.Schedule(scratch.pages);
+    ra.Schedule(A.leaf.pages);
     if (traversal == KnnTraversal::kGreedy) {
       // Greedy: evaluate the whole leaf now — no RAF page revisits later,
       // at the price of possibly unnecessary distance computations. The
       // NDk comparison stays inside the loop (it tightens as entries are
       // verified); only the bound computation was hoisted.
       for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
-        if (scratch.mind[i] < cur_ndk()) {
+        if (A.leaf.mind[i] < cur_ndk()) {
           SPB_RETURN_IF_ERROR(verify_entry(node.leaf_entries[i]));
         }
       }
     } else {
       for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
-        if (scratch.mind[i] < cur_ndk()) {
-          heap.push(
-              HeapItem{scratch.mind[i], true, kInvalidPageId,
-                       node.leaf_entries[i]});
+        if (A.leaf.mind[i] < cur_ndk()) {
+          A.heap.push_back(QueryArena::KnnHeapItem{
+              A.leaf.mind[i], true, kInvalidPageId, node.leaf_entries[i]});
+          std::push_heap(A.heap.begin(), A.heap.end(), heap_cmp);
         }
       }
     }
   }
 
-  result->resize(best.size());
-  for (size_t i = best.size(); i-- > 0;) {
-    (*result)[i] = best.top();
-    best.pop();
+  result->resize(A.best.size());
+  for (size_t i = A.best.size(); i-- > 0;) {
+    (*result)[i] = A.best.front();
+    std::pop_heap(A.best.begin(), A.best.end(), best_cmp);
+    A.best.pop_back();
   }
   return Status::OK();
 }
@@ -842,6 +917,7 @@ void SpbTree::ResetCounters() {
 
 void SpbTree::FlushCaches() {
   btree_->pool().Flush();
+  btree_->node_cache().Clear();
   raf_->FlushCache();
 }
 

@@ -69,6 +69,16 @@ struct SpbTreeOptions {
   size_t prefetch_threads = SIZE_MAX;
   /// Per-session readahead budget, in pages (also the max span-read length).
   size_t max_readahead_pages = 64;
+  /// Warm-path decode engine (docs/ARCHITECTURE.md §"Warm-path decode
+  /// engine"). `node_cache_entries` sizes the decoded-node cache (B+-tree
+  /// nodes kept parsed, with internal MBB corners pre-decoded; 0 disables).
+  /// `enable_zero_copy` serves RAF records from pinned buffer-pool frames
+  /// instead of copying into a fresh Blob. Results, logical PA, cache_hits
+  /// and compdists are byte-identical with either switch on or off (the
+  /// accounting-parity rule, asserted by the warm A/B bench); the toggles
+  /// exist for ablation and the identity harness.
+  size_t node_cache_entries = 1024;
+  bool enable_zero_copy = true;
 };
 
 /// kNN traversal strategies of Section 4.3 / Table 5.
@@ -168,6 +178,13 @@ class SpbTree : public MetricIndex {
   /// flipping, like the other mutators).
   void set_enable_cutoff(bool v) { options_.enable_cutoff = v; }
   void set_enable_prefetch(bool v) { options_.enable_prefetch = v; }
+  /// Warm-path decode engine toggles (single-writer, like the above; the
+  /// warm A/B bench flips them between interleaved passes).
+  void set_node_cache_entries(size_t n) {
+    options_.node_cache_entries = n;
+    btree_->set_node_cache_entries(n);
+  }
+  void set_enable_zero_copy(bool v) { options_.enable_zero_copy = v; }
 
   /// Opens a readahead session over the RAF for one caller thread (used by
   /// the joins, which drive their own leaf scans). Returns a session even
@@ -218,8 +235,8 @@ class SpbTree : public MetricIndex {
   Status MakeFiles(std::unique_ptr<PageFile>* btree_file,
                    std::unique_ptr<PageFile>* raf_file) const;
 
-  // Reusable per-query buffers for the batched leaf hot loop (stack-local in
-  // each query, so concurrent queries never share one).
+  // Reusable per-query buffers for the batched leaf hot loop. Owned by the
+  // per-thread QueryArena, so concurrent queries never share one.
   struct LeafScratch {
     std::vector<uint64_t> keys;
     MappedSpace::CellBlock block;
@@ -228,7 +245,17 @@ class SpbTree : public MetricIndex {
     std::vector<double> mind;         // batch MIND(q, cell) for NNA
     std::vector<LeafEntry> matched;   // computeSFC merge output
     std::vector<PageId> pages;        // RAF pages to hand to readahead
+    Blob obj;                         // reusable object buffer (copy path)
+    BlobView view;                    // reusable zero-copy view
   };
+
+  // All transient state of one query traversal, reused across queries so the
+  // steady-state warm loop performs no heap allocation (the vectors keep
+  // their high-water capacity). One arena per thread (ThreadArena): a thread
+  // runs one query at a time, and QueryExecutor workers each get their own.
+  // Defined in spb_tree.cc.
+  struct QueryArena;
+  static QueryArena& ThreadArena();
 
   // Verifies a run of leaf entries for a range query (the paper's VerifyRQ,
   // batched): decodes all SFC keys into an SoA cell block, applies Lemma 1

@@ -54,6 +54,13 @@ struct BatchStats {
 /// drains. Workers pull query indices from a shared atomic cursor, so skew
 /// between query costs self-balances.
 ///
+/// Each worker thread implicitly owns a per-thread query arena
+/// (SpbTree::ThreadArena): all transient traversal state — FIFO/heap
+/// buffers, decode scratch, the zero-copy BlobView — is reused across the
+/// queries that worker runs, so a warm batch allocates nothing per query.
+/// Arenas are thread-local, never shared, and a worker runs one query at a
+/// time, which is exactly the contract the arena requires.
+///
 /// While a batch is in flight the executor assumes exclusive use of the
 /// index's cumulative counters; interleaving other queries on the same
 /// index from outside the executor corrupts the reported totals (not the

@@ -17,7 +17,7 @@ class LeafCursor {
 
   Status Init() {
     SPB_RETURN_IF_ERROR(
-        tree_->btree().ReadNode(tree_->btree().first_leaf(), &leaf_));
+        tree_->btree().GetNode(tree_->btree().first_leaf(), &scratch_, &h_));
     pos_ = 0;
     ScheduleLeaf();
     SkipEmptyLeaves();
@@ -25,7 +25,7 @@ class LeafCursor {
   }
 
   bool done() const { return done_; }
-  const LeafEntry& current() const { return leaf_.leaf_entries[pos_]; }
+  const LeafEntry& current() const { return leaf().leaf_entries[pos_]; }
 
   Status Next() {
     ++pos_;
@@ -34,13 +34,18 @@ class LeafCursor {
   }
 
  private:
+  // Each cursor owns its decode scratch: the two SJA cursors live on one
+  // thread, so a shared (e.g. thread-local) scratch would let one cursor's
+  // node load clobber the other's when the cache is disabled.
+  const BptNode& leaf() const { return h_->node; }
+
   void SkipEmptyLeaves() {
-    while (!done_ && pos_ >= leaf_.leaf_entries.size()) {
-      if (leaf_.next_leaf == kInvalidPageId) {
+    while (!done_ && pos_ >= leaf().leaf_entries.size()) {
+      if (leaf().next_leaf == kInvalidPageId) {
         done_ = true;
         return;
       }
-      status_ = tree_->btree().ReadNode(leaf_.next_leaf, &leaf_);
+      status_ = tree_->btree().GetNode(leaf().next_leaf, &scratch_, &h_);
       if (!status_.ok()) {
         done_ = true;
         return;
@@ -53,8 +58,8 @@ class LeafCursor {
   void ScheduleLeaf() {
     if (ra_ == nullptr) return;
     pages_.clear();
-    pages_.reserve(leaf_.leaf_entries.size() * 2);
-    for (const LeafEntry& e : leaf_.leaf_entries) {
+    pages_.reserve(leaf().leaf_entries.size() * 2);
+    for (const LeafEntry& e : leaf().leaf_entries) {
       const PageId p = Raf::PageOf(e.ptr);
       pages_.push_back(p);
       pages_.push_back(p + 1);  // records may straddle a page boundary
@@ -64,7 +69,8 @@ class LeafCursor {
 
   SpbTree* tree_;
   Readahead* ra_;
-  BptNode leaf_;
+  DecodedNode scratch_;
+  NodeHandle h_;
   std::vector<PageId> pages_;
   size_t pos_ = 0;
   bool done_ = false;
@@ -130,11 +136,20 @@ Status SimilarityJoinSJA(SpbTree& spb_q, SpbTree& spb_o, double epsilon,
   // Builds a ListItem (decode cells, fetch object, derive the Lemma 6
   // interval corners) for a leaf entry of `tree`. `ra` is that tree's
   // readahead session, fed by the LeafCursor.
+  BlobView fetch_view;  // reused across all fetches (zero-copy path)
   auto make_item = [&](SpbTree& tree, const LeafEntry& e, Readahead* ra,
                        ListItem* item) -> Status {
     curve.Decode(e.key, &item->cell);
     item->sfc = e.key;
-    SPB_RETURN_IF_ERROR(tree.raf().Get(e.ptr, &item->id, &item->obj, ra));
+    if (tree.options().enable_zero_copy) {
+      // The item outlives the pin (it joins a long-lived list), so copy out
+      // of the view; the view itself is reused, and accounting matches Get.
+      SPB_RETURN_IF_ERROR(tree.raf().GetView(e.ptr, &item->id, &fetch_view,
+                                             ra));
+      item->obj.assign(fetch_view.data(), fetch_view.data() + fetch_view.size());
+    } else {
+      SPB_RETURN_IF_ERROR(tree.raf().Get(e.ptr, &item->id, &item->obj, ra));
+    }
     const size_t n = item->cell.size();
     std::vector<uint32_t> lo(n), hi(n);
     for (size_t i = 0; i < n; ++i) {

@@ -19,7 +19,7 @@ class DistanceFunction {
   virtual ~DistanceFunction() = default;
 
   /// The distance between two objects. Must be in [0, max_distance()].
-  virtual double Distance(const Blob& a, const Blob& b) const = 0;
+  virtual double Distance(BlobRef a, BlobRef b) const = 0;
 
   /// Distance with early abandoning (docs/ARCHITECTURE.md §"Distance
   /// kernels"): whenever d(a, b) <= tau the return value is **exactly**
@@ -31,7 +31,7 @@ class DistanceFunction {
   /// threshold here: RQA the radius r, NNA the current k-th NN distance,
   /// SJA the join radius. The default runs the full computation, which
   /// trivially satisfies the contract.
-  virtual double DistanceWithCutoff(const Blob& a, const Blob& b,
+  virtual double DistanceWithCutoff(BlobRef a, BlobRef b,
                                     double tau) const {
     (void)tau;
     return Distance(a, b);
@@ -59,7 +59,7 @@ class CountingDistance final : public DistanceFunction {
   /// `base` must outlive this wrapper.
   explicit CountingDistance(const DistanceFunction* base) : base_(base) {}
 
-  double Distance(const Blob& a, const Blob& b) const override {
+  double Distance(BlobRef a, BlobRef b) const override {
     count_.fetch_add(1, std::memory_order_relaxed);
     return base_->Distance(a, b);
   }
@@ -67,7 +67,7 @@ class CountingDistance final : public DistanceFunction {
   /// An early-abandoned evaluation still counts as one compdist (the paper
   /// counts *calls*, and an abandoned call did real metric work); the
   /// cutoff counters additionally record how often the cutoff pruned.
-  double DistanceWithCutoff(const Blob& a, const Blob& b,
+  double DistanceWithCutoff(BlobRef a, BlobRef b,
                             double tau) const override {
     count_.fetch_add(1, std::memory_order_relaxed);
     cutoff_calls_.fetch_add(1, std::memory_order_relaxed);

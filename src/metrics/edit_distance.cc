@@ -28,15 +28,15 @@ constexpr uint32_t kBandInf = std::numeric_limits<uint32_t>::max() / 2;
 
 }  // namespace
 
-double EditDistance::Distance(const Blob& a, const Blob& b) const {
+double EditDistance::Distance(BlobRef a, BlobRef b) const {
   const size_t m = a.size();
   const size_t n = b.size();
   if (m == 0) return static_cast<double>(n);
   if (n == 0) return static_cast<double>(m);
 
   // Two-row dynamic program; rows sized by the shorter string.
-  const Blob& shorter = (m <= n) ? a : b;
-  const Blob& longer = (m <= n) ? b : a;
+  const BlobRef shorter = (m <= n) ? a : b;
+  const BlobRef longer = (m <= n) ? b : a;
   const size_t w = shorter.size();
 
   EdScratch& scratch = TlsScratch();
@@ -58,7 +58,7 @@ double EditDistance::Distance(const Blob& a, const Blob& b) const {
   return static_cast<double>(prev[w]);
 }
 
-double EditDistance::DistanceWithCutoff(const Blob& a, const Blob& b,
+double EditDistance::DistanceWithCutoff(BlobRef a, BlobRef b,
                                         double tau) const {
   const size_t m = a.size();
   const size_t n = b.size();
@@ -81,8 +81,8 @@ double EditDistance::DistanceWithCutoff(const Blob& a, const Blob& b,
   if (diff > k) return static_cast<double>(k + 1);  // d >= |m - n| > tau
   if (m == 0 || n == 0) return static_cast<double>(longest);  // <= k here
 
-  const Blob& shorter = (m <= n) ? a : b;
-  const Blob& longer = (m <= n) ? b : a;
+  const BlobRef shorter = (m <= n) ? a : b;
+  const BlobRef longer = (m <= n) ? b : a;
   const size_t w = shorter.size();
   const size_t l = longer.size();
 

@@ -20,8 +20,8 @@ class EditDistance final : public DistanceFunction {
   /// d+ (the distance between two strings cannot exceed the longer length).
   explicit EditDistance(size_t max_len) : max_len_(max_len) {}
 
-  double Distance(const Blob& a, const Blob& b) const override;
-  double DistanceWithCutoff(const Blob& a, const Blob& b,
+  double Distance(BlobRef a, BlobRef b) const override;
+  double DistanceWithCutoff(BlobRef a, BlobRef b,
                             double tau) const override;
   double max_distance() const override {
     return static_cast<double>(max_len_);

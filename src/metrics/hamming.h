@@ -18,13 +18,13 @@ class Hamming final : public DistanceFunction {
  public:
   explicit Hamming(size_t length) : length_(length) {}
 
-  double Distance(const Blob& a, const Blob& b) const override {
+  double Distance(BlobRef a, BlobRef b) const override {
     const size_t n = a.size() < b.size() ? a.size() : b.size();
     const uint64_t diff = (a.size() > b.size() ? a.size() : b.size()) - n;
     return static_cast<double>(diff +
                                kernels::Active().hamming(a.data(), b.data(), n));
   }
-  double DistanceWithCutoff(const Blob& a, const Blob& b,
+  double DistanceWithCutoff(BlobRef a, BlobRef b,
                             double tau) const override {
     const size_t n = a.size() < b.size() ? a.size() : b.size();
     const uint64_t diff = (a.size() > b.size() ? a.size() : b.size()) - n;

@@ -23,7 +23,7 @@ LpNorm::LpNorm(size_t dim, double p, double max_coord) : dim_(dim), p_(p) {
   }
 }
 
-double LpNorm::Distance(const Blob& a, const Blob& b) const {
+double LpNorm::Distance(BlobRef a, BlobRef b) const {
   // Defensive: compare only the shared prefix if lengths ever differ.
   const size_t n = std::min(a.size(), b.size()) / sizeof(float);
   const float* fa = reinterpret_cast<const float*>(a.data());
@@ -41,7 +41,7 @@ double LpNorm::Distance(const Blob& a, const Blob& b) const {
   return std::pow(sum, 1.0 / p_);
 }
 
-double LpNorm::DistanceWithCutoff(const Blob& a, const Blob& b,
+double LpNorm::DistanceWithCutoff(BlobRef a, BlobRef b,
                                   double tau) const {
   const size_t n = std::min(a.size(), b.size()) / sizeof(float);
   const float* fa = reinterpret_cast<const float*>(a.data());

@@ -24,8 +24,8 @@ class LpNorm final : public DistanceFunction {
   /// `max_coord` the coordinate range upper bound used to derive d+.
   LpNorm(size_t dim, double p, double max_coord = 1.0);
 
-  double Distance(const Blob& a, const Blob& b) const override;
-  double DistanceWithCutoff(const Blob& a, const Blob& b,
+  double Distance(BlobRef a, BlobRef b) const override;
+  double DistanceWithCutoff(BlobRef a, BlobRef b,
                             double tau) const override;
   double max_distance() const override { return max_distance_; }
   bool is_discrete() const override { return false; }

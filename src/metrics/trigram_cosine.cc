@@ -26,7 +26,7 @@ inline uint32_t BaseCode(uint8_t c) {
 
 }  // namespace
 
-std::vector<uint32_t> TrigramCosine::TrigramCounts(const Blob& seq) {
+std::vector<uint32_t> TrigramCosine::TrigramCounts(BlobRef seq) {
   std::vector<uint32_t> counts(64, 0);
   if (seq.size() < 3) return counts;
   uint32_t code = BaseCode(seq[0]) * 4 + BaseCode(seq[1]);
@@ -37,7 +37,7 @@ std::vector<uint32_t> TrigramCosine::TrigramCounts(const Blob& seq) {
   return counts;
 }
 
-double TrigramCosine::Distance(const Blob& a, const Blob& b) const {
+double TrigramCosine::Distance(BlobRef a, BlobRef b) const {
   const std::vector<uint32_t> ca = TrigramCounts(a);
   const std::vector<uint32_t> cb = TrigramCounts(b);
   double dot = 0.0, na = 0.0, nb = 0.0;

@@ -22,13 +22,13 @@ class TrigramCosine final : public DistanceFunction {
  public:
   TrigramCosine() = default;
 
-  double Distance(const Blob& a, const Blob& b) const override;
+  double Distance(BlobRef a, BlobRef b) const override;
   double max_distance() const override;
   bool is_discrete() const override { return false; }
   std::string name() const override { return "trigram-cosine"; }
 
   /// Exposed for tests: the 64-bin tri-gram count vector of a sequence.
-  static std::vector<uint32_t> TrigramCounts(const Blob& seq);
+  static std::vector<uint32_t> TrigramCounts(BlobRef seq);
 };
 
 }  // namespace spb

@@ -258,18 +258,19 @@ uint64_t RegionCellCount(const std::vector<uint32_t>& lo,
   return count;
 }
 
-std::vector<uint64_t> EnumerateRegionKeys(const SpaceFillingCurve& curve,
-                                          const std::vector<uint32_t>& lo,
-                                          const std::vector<uint32_t>& hi) {
-  std::vector<uint64_t> keys;
+void EnumerateRegionKeysInto(const SpaceFillingCurve& curve,
+                             const std::vector<uint32_t>& lo,
+                             const std::vector<uint32_t>& hi,
+                             std::vector<uint64_t>* keys) {
+  keys->clear();
   const uint64_t count = RegionCellCount(lo, hi);
-  if (count == 0) return keys;
-  keys.reserve(count);
+  if (count == 0) return;
+  keys->reserve(count);
 
   std::vector<uint32_t> cell = lo;
   const size_t n = lo.size();
   while (true) {
-    keys.push_back(curve.Encode(cell));
+    keys->push_back(curve.Encode(cell));
     // Odometer increment over the box.
     size_t i = 0;
     while (i < n) {
@@ -282,7 +283,14 @@ std::vector<uint64_t> EnumerateRegionKeys(const SpaceFillingCurve& curve,
     }
     if (i == n) break;
   }
-  std::sort(keys.begin(), keys.end());
+  std::sort(keys->begin(), keys->end());
+}
+
+std::vector<uint64_t> EnumerateRegionKeys(const SpaceFillingCurve& curve,
+                                          const std::vector<uint32_t>& lo,
+                                          const std::vector<uint32_t>& hi) {
+  std::vector<uint64_t> keys;
+  EnumerateRegionKeysInto(curve, lo, hi, &keys);
   return keys;
 }
 

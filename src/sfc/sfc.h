@@ -71,6 +71,14 @@ std::vector<uint64_t> EnumerateRegionKeys(const SpaceFillingCurve& curve,
                                           const std::vector<uint32_t>& lo,
                                           const std::vector<uint32_t>& hi);
 
+/// Allocation-reusing form of EnumerateRegionKeys: clears and fills `*keys`
+/// (same order). Query arenas pass the same vector every call so the warm
+/// path does no per-leaf allocation.
+void EnumerateRegionKeysInto(const SpaceFillingCurve& curve,
+                             const std::vector<uint32_t>& lo,
+                             const std::vector<uint32_t>& hi,
+                             std::vector<uint64_t>* keys);
+
 }  // namespace spb
 
 #endif  // SPB_SFC_SFC_H_

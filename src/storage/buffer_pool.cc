@@ -33,6 +33,13 @@ Status BufferPool::ReadInto(PageId id, size_t offset, size_t n,
 
 Status BufferPool::FetchShared(PageId id, size_t offset, size_t n,
                                uint8_t* dst) {
+  PagePin pin;
+  SPB_RETURN_IF_ERROR(ReadPinned(id, &pin));
+  std::memcpy(dst, pin->bytes() + offset, n);
+  return Status::OK();
+}
+
+Status BufferPool::ReadPinned(PageId id, PagePin* out) {
   Shard& shard = ShardFor(id);
   std::shared_ptr<PendingFetch> fetch;
   bool leader = false;
@@ -42,7 +49,7 @@ Status BufferPool::FetchShared(PageId id, size_t offset, size_t n,
     if (it != shard.index.end()) {
       stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      std::memcpy(dst, it->second->page.bytes() + offset, n);
+      *out = it->second->page;
       return Status::OK();
     }
     auto pit = shard.pending.find(id);
@@ -58,10 +65,12 @@ Status BufferPool::FetchShared(PageId id, size_t offset, size_t n,
     // Fetch outside the shard lock so a slow read does not serialize the
     // stripe; followers for this page queue on the pending entry instead of
     // issuing their own file reads.
-    fetch->status = file_->Read(id, &fetch->page);
+    fetch->page = std::make_shared<Page>();
+    fetch->status = file_->Read(id, fetch->page.get());
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       // Insert and un-pend atomically: a page is never in neither table.
+      // The cache shares the frame with this request's pin — no copy.
       if (fetch->status.ok()) shard.InsertLocked(id, fetch->page);
       shard.pending.erase(id);
     }
@@ -73,7 +82,7 @@ Status BufferPool::FetchShared(PageId id, size_t offset, size_t n,
     if (!fetch->status.ok()) return fetch->status;
     stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
     stats_.physical_reads.fetch_add(1, std::memory_order_relaxed);
-    std::memcpy(dst, fetch->page.bytes() + offset, n);
+    *out = fetch->page;
     return Status::OK();
   }
   {
@@ -84,19 +93,46 @@ Status BufferPool::FetchShared(PageId id, size_t offset, size_t n,
   // A follower's request is a real page request (one logical PA, same as
   // the pre-single-flight behaviour) but costs no physical read.
   stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
-  std::memcpy(dst, fetch->page.bytes() + offset, n);
+  *out = fetch->page;
   return Status::OK();
+}
+
+Status BufferPool::Touch(PageId id) {
+  {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(id);
+    if (it != shard.index.end()) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return Status::OK();
+    }
+  }
+  // Miss: run the full single-flight demand fetch and drop the pin. The
+  // hit path above avoids the pin's shared_ptr traffic entirely — Touch is
+  // called once per record/node access on the warm path, where the page is
+  // almost always the one just pinned.
+  PagePin pin;
+  return ReadPinned(id, &pin);
 }
 
 Status BufferPool::ReadIntoStaged(PageId id, size_t offset, size_t n,
                                   uint8_t* dst, const Page& staged) {
+  PagePin pin;
+  SPB_RETURN_IF_ERROR(ReadPinnedStaged(id, staged, &pin));
+  std::memcpy(dst, pin->bytes() + offset, n);
+  return Status::OK();
+}
+
+Status BufferPool::ReadPinnedStaged(PageId id, const Page& staged,
+                                    PagePin* out) {
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(id);
   if (it != shard.index.end()) {
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    std::memcpy(dst, it->second->page.bytes() + offset, n);
+    *out = it->second->page;
     return Status::OK();
   }
   // The bytes are already here; claim them as this request's page read and
@@ -105,8 +141,9 @@ Status BufferPool::ReadIntoStaged(PageId id, size_t offset, size_t n,
   // concurrent queries) is left alone — it will insert identical bytes.
   stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
   stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
-  shard.InsertLocked(id, staged);
-  std::memcpy(dst, staged.bytes() + offset, n);
+  auto frame = std::make_shared<const Page>(staged);
+  shard.InsertLocked(id, frame);
+  *out = std::move(frame);
   return Status::OK();
 }
 
@@ -121,7 +158,7 @@ Status BufferPool::Write(PageId id, const Page& page) {
   stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.InsertLocked(id, page);
+  shard.InsertLocked(id, std::make_shared<const Page>(page));
   return Status::OK();
 }
 
@@ -133,10 +170,13 @@ void BufferPool::Flush() {
   }
 }
 
-void BufferPool::Shard::InsertLocked(PageId id, const Page& page) {
+void BufferPool::Shard::InsertLocked(PageId id,
+                                     std::shared_ptr<const Page> page) {
   auto it = index.find(id);
   if (it != index.end()) {
-    it->second->page = page;
+    // Replace the frame pointer rather than mutating the frame in place:
+    // outstanding PagePins keep the old bytes alive and unchanged.
+    it->second->page = std::move(page);
     lru.splice(lru.begin(), lru, it->second);
     return;
   }
@@ -145,7 +185,7 @@ void BufferPool::Shard::InsertLocked(PageId id, const Page& page) {
     index.erase(lru.back().id);
     lru.pop_back();
   }
-  lru.push_front(Entry{id, page});
+  lru.push_front(Entry{id, std::move(page)});
   index[id] = lru.begin();
 }
 

@@ -59,6 +59,17 @@ class BufferPool {
   /// Minimum pages per shard; below 2*this the pool is unsharded.
   static constexpr size_t kMinShardPages = 16;
 
+  /// A pin on a cache frame: while the pin is held the pointed-to Page stays
+  /// valid and immutable, even if the entry is evicted or overwritten (frames
+  /// are shared_ptr-held; Write()/InsertLocked replace the pointer rather
+  /// than mutating the frame in place, and eviction only drops the cache's
+  /// reference). A pin does NOT keep the *cache entry* alive — it keeps the
+  /// *bytes* alive. Holding pins does not block eviction or writes; a pinned
+  /// frame can therefore be stale with respect to a concurrent Write() to
+  /// the same page, which is fine under the repo's immutable-after-bulk-load
+  /// reader contract (docs/ARCHITECTURE.md §"Threading model").
+  using PagePin = std::shared_ptr<const Page>;
+
   /// `file` must outlive the pool. `capacity` is in pages (total across all
   /// shards).
   BufferPool(PageFile* file, size_t capacity) : file_(file) {
@@ -91,6 +102,29 @@ class BufferPool {
   Status ReadIntoStaged(PageId id, size_t offset, size_t n, uint8_t* dst,
                         const Page& staged);
 
+  /// Zero-copy variant of Read(): returns a pin on the cache frame instead
+  /// of copying the page out. Accounting is identical to Read() — a cached
+  /// page counts one cache hit (LRU promoted), an uncached page one logical
+  /// page read (single-flight; leader also counts the physical read) — so
+  /// swapping Read() for ReadPinned() is invisible to the paper's PA
+  /// figures. On a capacity-0 pool the fetched frame is returned pinned but
+  /// not cached, preserving the "cache size 0" accounting.
+  Status ReadPinned(PageId id, PagePin* out);
+
+  /// Zero-copy variant of ReadIntoStaged (same claim-on-touch accounting:
+  /// hit => cache_hit, miss => page_read + prefetch_hit + insert), returning
+  /// a pin instead of copying bytes out.
+  Status ReadPinnedStaged(PageId id, const Page& staged, PagePin* out);
+
+  /// Runs the full demand read path for `id` — cache-hit bookkeeping and LRU
+  /// promotion on a hit, a single-flight fetch + insert + page_read on a
+  /// miss — without copying any bytes to the caller. The decoded-node cache
+  /// calls this on a node-cache hit so the buffer pool's counters and LRU
+  /// state evolve exactly as if the page had been re-read and re-decoded:
+  /// that equivalence is the accounting-parity rule that keeps PA and
+  /// cache_hits byte-identical with the node cache on or off.
+  Status Touch(PageId id);
+
   /// True if page `id` is currently cached. Does not promote the entry or
   /// touch any counter — used by readahead scheduling to skip pages that
   /// would be cache hits anyway.
@@ -116,9 +150,12 @@ class BufferPool {
   PageFile* file() { return file_; }
 
  private:
+  /// Frames are shared_ptr-held so ReadPinned can hand them out as PagePins:
+  /// eviction and overwrite drop or replace the pointer, never mutate the
+  /// pointed-to Page, so outstanding pins stay valid.
   struct Entry {
     PageId id;
-    Page page;
+    std::shared_ptr<const Page> page;
   };
 
   /// Shared state of one in-flight page fetch. The leader fills `page` and
@@ -130,7 +167,7 @@ class BufferPool {
     std::condition_variable cv;
     bool done = false;
     Status status = Status::OK();
-    Page page;
+    std::shared_ptr<Page> page;
   };
 
   /// One independent LRU slice. Most-recently-used at the front of `lru`.
@@ -142,7 +179,7 @@ class BufferPool {
     /// Misses currently being fetched from the file (single-flight table).
     std::unordered_map<PageId, std::shared_ptr<PendingFetch>> pending;
 
-    void InsertLocked(PageId id, const Page& page);
+    void InsertLocked(PageId id, std::shared_ptr<const Page> page);
   };
 
   Shard& ShardFor(PageId id) {

@@ -158,4 +158,23 @@ Status Readahead::ReadInto(PageId id, size_t offset, size_t n,
   return pool_->ReadInto(id, offset, n, dst);
 }
 
+Status Readahead::ReadPinned(PageId id, BufferPool::PagePin* out) {
+  auto it = staged_.find(id);
+  if (it != staged_.end()) {
+    Run* run = it->second.first;
+    WaitRun(run);
+    if (run->status.ok()) {
+      return pool_->ReadPinnedStaged(id, run->pages[it->second.second], out);
+    }
+    // Failed span read: fall through to the demand path, which retries the
+    // single page and reports its own error if the file is truly bad.
+  }
+  return pool_->ReadPinned(id, out);
+}
+
+Status Readahead::Touch(PageId id) {
+  BufferPool::PagePin pin;
+  return ReadPinned(id, &pin);
+}
+
 }  // namespace spb

@@ -123,6 +123,19 @@ class Readahead {
   /// demand path one-for-one; see ReadIntoStaged.
   Status ReadInto(PageId id, size_t offset, size_t n, uint8_t* dst);
 
+  /// Zero-copy variant of ReadInto: pins the page's cache frame instead of
+  /// copying bytes out. A staged page is claimed into the pool
+  /// (BufferPool::ReadPinnedStaged) and the resulting frame pinned;
+  /// otherwise the pool's demand path (ReadPinned) runs. Accounting matches
+  /// ReadInto one-for-one.
+  Status ReadPinned(PageId id, BufferPool::PagePin* out);
+
+  /// Runs the full accounting path of a read of page `id` (staged claim or
+  /// demand fetch) without handing out bytes — the readahead-aware
+  /// counterpart of BufferPool::Touch, used by node-cache hits inside a
+  /// readahead session.
+  Status Touch(PageId id);
+
  private:
   struct Run {
     PageId first = 0;

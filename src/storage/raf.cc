@@ -147,6 +147,62 @@ Status Raf::Get(uint64_t offset, ObjectId* id, Blob* obj, Readahead* ra) {
   return Status::OK();
 }
 
+Status Raf::GetIntoOwned(uint64_t offset, ObjectId* id, BlobView* view,
+                         Readahead* ra) {
+  SPB_RETURN_IF_ERROR(Get(offset, id, &view->owned_, ra));
+  view->SetOwned(view->owned_.size());
+  return Status::OK();
+}
+
+Status Raf::GetView(uint64_t offset, ObjectId* id, BlobView* view,
+                    Readahead* ra) {
+  if (offset < kPageSize || offset + 8 > end_offset_) {
+    return Status::InvalidArgument("RAF offset out of range");
+  }
+  const PageId page = PageOf(offset);
+  const size_t in_page = offset % kPageSize;
+  // Header straddling a page boundary or living on the dirty tail page:
+  // take Get's byte loop wholesale (identical accounting by construction).
+  if (in_page + 8 > kPageSize || (page == tail_id_ && tail_dirty_)) {
+    return GetIntoOwned(offset, id, view, ra);
+  }
+  // Pin the header's page: one pool access, exactly Get's header read.
+  BufferPool::PagePin pin;
+  if (ra != nullptr) {
+    SPB_RETURN_IF_ERROR(ra->ReadPinned(page, &pin));
+  } else {
+    SPB_RETURN_IF_ERROR(pool_.ReadPinned(page, &pin));
+  }
+  const uint8_t* rec = pin->bytes() + in_page;
+  *id = DecodeFixed32(rec);
+  const uint32_t len = DecodeFixed32(rec + 4);
+  if (offset + 8 + len > end_offset_) {
+    return Status::Corruption("RAF record extends past end of data");
+  }
+  if (len == 0) {
+    // Get does no payload read for empty records — neither do we.
+    view->SetPinned(std::move(pin), rec + 8, 0);
+    return Status::OK();
+  }
+  if (in_page + 8 + len <= kPageSize) {
+    // Non-spanning record: Get's payload ReadBytes performs one more pool
+    // access to this page; Touch performs the same access minus the copy.
+    if (ra != nullptr) {
+      SPB_RETURN_IF_ERROR(ra->Touch(page));
+    } else {
+      SPB_RETURN_IF_ERROR(pool_.Touch(page));
+    }
+    view->SetPinned(std::move(pin), rec + 8, len);
+    return Status::OK();
+  }
+  // Page-spanning payload: copy fallback. The header access already
+  // happened via the pin; read the payload exactly as Get would.
+  view->owned_.resize(len);
+  SPB_RETURN_IF_ERROR(ReadBytes(offset + 8, view->owned_.data(), len, ra));
+  view->SetOwned(len);
+  return Status::OK();
+}
+
 Status Raf::ScanAll(
     const std::function<void(uint64_t, ObjectId, const Blob&)>& fn,
     Readahead* ra) {

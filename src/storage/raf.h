@@ -14,6 +14,51 @@ namespace spb {
 
 class Readahead;
 
+/// The result of a zero-copy RAF read (Raf::GetView): a pointer/length pair
+/// for the record's payload plus whatever keeps those bytes alive — a
+/// BufferPool::PagePin into the cache frame when the record does not span
+/// pages, or a reusable owned Blob that the copy fallback (page-spanning
+/// records, dirty-tail reads) filled. Callers treat both cases uniformly
+/// through data()/size()/ref(); reusing one BlobView across many GetView
+/// calls makes the fallback allocation-free at steady state.
+///
+/// Lifetime: the view (and any BlobRef taken from it) is valid until the
+/// next GetView into the same view or the view's destruction. The pin keeps
+/// the frame's bytes valid even if the pool evicts or overwrites the entry
+/// (see BufferPool::PagePin).
+class BlobView {
+ public:
+  BlobView() = default;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  BlobRef ref() const { return BlobRef(data_, size_); }
+  operator BlobRef() const { return ref(); }
+  Blob ToBlob() const { return Blob(data_, data_ + size_); }
+  /// True when the view points into a pinned cache frame (diagnostics).
+  bool pinned() const { return pin_ != nullptr; }
+
+ private:
+  friend class Raf;
+
+  void SetPinned(BufferPool::PagePin pin, const uint8_t* data, size_t size) {
+    pin_ = std::move(pin);
+    data_ = data;
+    size_ = size;
+  }
+  void SetOwned(size_t size) {
+    pin_.reset();
+    data_ = owned_.data();
+    size_ = size;
+  }
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  BufferPool::PagePin pin_;
+  Blob owned_;
+};
+
 /// The paper's Random Access File: object payloads stored separately from the
 /// index, in ascending SFC order at bulk-load time. Each record is
 /// `(id: u32, len: u32, obj: len bytes)` and is addressed by the byte offset
@@ -51,6 +96,20 @@ class Raf {
   /// prefetched (identical accounting either way; see storage/io_engine.h).
   Status Get(uint64_t offset, ObjectId* id, Blob* obj,
              Readahead* ra = nullptr);
+
+  /// Zero-copy variant of Get: serves a record that fits in one (clean)
+  /// page directly from the pinned cache frame; falls back to an internal
+  /// copy (into the view's reusable buffer) for page-spanning records,
+  /// header reads that straddle a page boundary, and dirty-tail pages.
+  ///
+  /// Accounting is identical to Get in every case. Non-spanning records pay
+  /// the same two pool touches Get's header + payload reads pay (pin +
+  /// Touch; empty records only the header touch); the fallback runs Get's
+  /// own byte loop. So PA, cache_hits and LRU state are byte-identical
+  /// whether callers use Get or GetView — the invariant the warm A/B bench
+  /// asserts.
+  Status GetView(uint64_t offset, ObjectId* id, BlobView* view,
+                 Readahead* ra = nullptr);
 
   /// Visits every record in file order. The callback receives
   /// (offset, id, obj). With a readahead session the scan schedules data
@@ -90,6 +149,9 @@ class Raf {
 
   Status WriteBytes(uint64_t offset, const uint8_t* src, size_t n);
   Status ReadBytes(uint64_t offset, uint8_t* dst, size_t n, Readahead* ra);
+  /// GetView's copy fallback: a plain Get into the view's owned buffer.
+  Status GetIntoOwned(uint64_t offset, ObjectId* id, BlobView* view,
+                      Readahead* ra);
   Status EnsurePage(PageId id);
   Status WriteHeader();
 

@@ -14,6 +14,7 @@
 #   tools/check.sh --tsan     # only the TSan stage
 #   tools/check.sh --asan     # only the ASan/UBSan kernel stage
 #   tools/check.sh --iouring  # only the io_uring configure/build check
+#   tools/check.sh --warmab   # only the warm A/B identity sweep (ASan+TSan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +49,24 @@ run_asan() {
   SPB_DISABLE_SIMD=1 ./build-asan/tests/sfc_test
 }
 
+run_warmab() {
+  # The warm-path decode engine's A/B identity sweep (bench_concurrency
+  # aborts if the node cache or zero-copy reads change results, logical PA,
+  # cache_hits or compdists), run at a small scale under both ASan (pin
+  # lifetimes: a BlobView must keep evicted frames alive) and TSan (node
+  # cache sharding + pin hand-off under the concurrent executor).
+  echo "==> warmab: decode-engine A/B identity sweep under ASan"
+  cmake -B build-asan -S . -DSPB_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target bench_concurrency \
+    node_cache_test
+  ./build-asan/tests/node_cache_test
+  (cd build-asan && ./bench/bench_concurrency --scale=3000 --queries=48)
+  echo "==> warmab: decode-engine A/B identity sweep under TSan"
+  cmake -B build-tsan -S . -DSPB_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target bench_concurrency
+  (cd build-tsan && ./bench/bench_concurrency --scale=3000 --queries=48)
+}
+
 run_iouring() {
   echo "==> iouring: -DSPB_IOURING=ON must build (falls back to pread"
   echo "    with a warning when liburing is absent)"
@@ -60,10 +79,12 @@ case "${1:-}" in
   --tsan) run_tsan ;;
   --asan) run_asan ;;
   --iouring) run_iouring ;;
+  --warmab) run_warmab ;;
   *)
     run_tier1
     run_tsan
     run_asan
+    run_warmab
     run_iouring
     ;;
 esac
