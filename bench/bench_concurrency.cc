@@ -152,7 +152,9 @@ void RunCapacity(const BenchConfig& config, const Dataset& ds,
   std::vector<std::vector<Neighbor>> base_knn;
   RunResult base_cr, base_ck;
   for (const bool prefetch : {false, true}) {
-    tree->set_enable_prefetch(prefetch);
+    TuningOptions tn = tree->tuning();
+    tn.enable_prefetch = prefetch;
+    if (!tree->ApplyTuning(tn).ok()) std::abort();
     const RunResult cr = RunCold(*tree, queries.size(), [&](size_t i) {
       if (!tree->RangeQuery(queries[i], r, &cold_range[i], nullptr).ok()) {
         std::abort();
@@ -197,7 +199,9 @@ void RunCapacity(const BenchConfig& config, const Dataset& ds,
               "path\n");
 
   // ---- Warm regime: executor thread sweep, prefetch on.
-  tree->set_enable_prefetch(true);
+  TuningOptions warm_tn = tree->tuning();
+  warm_tn.enable_prefetch = true;
+  if (!tree->ApplyTuning(warm_tn).ok()) std::abort();
   const size_t thread_counts[] = {1, 2, 4, 8};
   std::vector<std::vector<ObjectId>> range_baseline;
   std::vector<std::vector<Neighbor>> knn_baseline;
@@ -350,8 +354,10 @@ void RunEngineAb(const BenchConfig& config, const Dataset& ds,
   PrintRule(96);
 
   auto set_engine = [&](bool on) {
-    tree->set_node_cache_entries(on ? opts.node_cache_entries : 0);
-    tree->set_enable_zero_copy(on);
+    TuningOptions tn = tree->tuning();
+    tn.node_cache_entries = on ? opts.node_cache_entries : 0;
+    tn.enable_zero_copy = on;
+    if (!tree->ApplyTuning(tn).ok()) std::abort();
   };
 
   std::vector<std::vector<ObjectId>> range_on(n), range_off(n);
@@ -444,6 +450,175 @@ void RunEngineAb(const BenchConfig& config, const Dataset& ds,
   std::printf("warm A/B: results and counters identical engine on vs off\n");
 }
 
+// ------------------------------------------- mixed read/write sweep (PR 5)
+
+// The update engine's throughput claim: a 90/10 read/write mix (sized in
+// blocks of 20 ops: 9 range + 9 kNN + 1 insert + 1 delete) runs through
+// RunMixedBatch at the same thread counts as the read-only warm sweep, on a
+// warm tree, with writers serialized by the executor and queries pinning
+// snapshots. Each batch inserts fresh ids and deletes the ids the previous
+// batch inserted, so the tree's cardinality is steady across the sweep and
+// every delete provably finds its target. Emits BENCH_PR5.json (schema in
+// EXPERIMENTS.md).
+void RunMixedSweep(const BenchConfig& config, const Dataset& ds,
+                   const std::vector<Blob>& queries, double r, size_t k) {
+  SpbTreeOptions opts;
+  opts.seed = config.seed;
+  std::unique_ptr<SpbTree> tree;
+  if (!SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok()) {
+    std::abort();
+  }
+  const size_t blocks = queries.size();  // 20 ops per block
+  const size_t n_ops = blocks * 20;
+
+  std::printf("\n[mixed 90/10 read/write sweep: %zu ops/batch "
+              "(18 queries : 1 insert : 1 delete per block)]\n",
+              n_ops);
+  PrintRule(96);
+  std::printf("%-7s | %10s | %12s | %7s | %9s %9s\n", "threads", "mixed QPS",
+              "read-only QPS", "ratio", "p50(ms)", "p99(ms)");
+  PrintRule(96);
+
+  // Ids inserted by the previous batch; the next batch deletes them.
+  std::vector<ObjectId> prev_ids;
+  ObjectId next_id = ObjectId(ds.objects.size());
+  auto make_batch = [&](std::vector<MixedOp>* ops) {
+    ops->clear();
+    std::vector<ObjectId> new_ids;
+    for (size_t b = 0; b < blocks; ++b) {
+      for (size_t j = 0; j < 9; ++j) {
+        MixedOp op;
+        op.kind = MixedOp::Kind::kRange;
+        op.obj = queries[(b + j) % queries.size()];
+        op.radius = r;
+        ops->push_back(std::move(op));
+      }
+      for (size_t j = 0; j < 9; ++j) {
+        MixedOp op;
+        op.kind = MixedOp::Kind::kKnn;
+        op.obj = queries[(b + j + 3) % queries.size()];
+        op.k = k;
+        ops->push_back(std::move(op));
+      }
+      MixedOp ins;
+      ins.kind = MixedOp::Kind::kInsert;
+      ins.obj = ds.objects[b % ds.objects.size()];
+      ins.id = next_id++;
+      new_ids.push_back(ins.id);
+      ops->push_back(std::move(ins));
+      MixedOp del;
+      del.kind = MixedOp::Kind::kDelete;
+      if (prev_ids.empty()) {
+        // First batch: nothing to delete yet; delete the id this batch
+        // inserts (the executor's write serialization publishes the insert
+        // before the delete can run only by luck, so target a dataset
+        // object instead — always present).
+        del.obj = ds.objects[b];
+        del.id = ObjectId(b);
+      } else {
+        // prev_ids[b] was inserted by block b of the previous batch, whose
+        // payload was ds.objects[b % size] — the same payload this block
+        // inserts under a fresh id.
+        del.obj = ds.objects[b % ds.objects.size()];
+        del.id = prev_ids[b % prev_ids.size()];
+      }
+      ops->push_back(std::move(del));
+    }
+    prev_ids = std::move(new_ids);
+  };
+
+  // Seed pass (also warms the caches): restores cardinality by re-inserting
+  // what the first batch's deletes removed is unnecessary — deleted dataset
+  // ids stay deleted for the whole sweep, the same workload for every T.
+  struct Cell {
+    size_t threads;
+    double mixed_qps, read_qps, p50_ms, p99_ms;
+  };
+  std::vector<Cell> cells;
+  for (size_t threads : {size_t(1), size_t(2), size_t(4), size_t(8)}) {
+    QueryExecutor exec(tree.get(), threads);
+
+    std::vector<Blob> read_queries = queries;
+    std::vector<std::vector<ObjectId>> read_results;
+    BatchStats read_stats;
+    if (!exec.RunRangeBatch(read_queries, r, &read_results, nullptr).ok() ||
+        !exec.RunRangeBatch(read_queries, r, &read_results, &read_stats)
+             .ok()) {
+      std::abort();
+    }
+
+    std::vector<MixedOp> ops;
+    make_batch(&ops);
+    std::vector<MixedResult> results;
+    BatchStats stats;
+    if (!exec.RunMixedBatch(ops, &results, &stats).ok()) {
+      std::printf("FAIL: mixed batch reported an error at T=%zu\n", threads);
+      std::abort();
+    }
+    size_t deletes_found = 0, deletes = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (!results[i].status.ok()) std::abort();
+      if (ops[i].kind == MixedOp::Kind::kDelete) {
+        ++deletes;
+        deletes_found += results[i].found ? 1 : 0;
+      }
+    }
+    if (deletes_found != deletes) {
+      std::printf("FAIL: %zu/%zu deletes missed their target at T=%zu\n",
+                  deletes - deletes_found, deletes, threads);
+      std::abort();
+    }
+
+    const double ratio =
+        read_stats.qps > 0 ? stats.qps / read_stats.qps : 0.0;
+    std::printf("T=%-5zu | %10.1f | %12.1f | %6.2fx | %9.3f %9.3f\n",
+                threads, stats.qps, read_stats.qps, ratio,
+                stats.p50_seconds * 1e3, stats.p99_seconds * 1e3);
+    std::printf(
+        "JSON {\"bench\":\"mixed\",\"threads\":%zu,\"ops\":%zu,"
+        "\"mixed_qps\":%.1f,\"read_only_qps\":%.1f,\"ratio\":%.3f,"
+        "\"p50_ms\":%.3f,\"p99_ms\":%.3f}\n",
+        threads, n_ops, stats.qps, read_stats.qps, ratio,
+        stats.p50_seconds * 1e3, stats.p99_seconds * 1e3);
+    cells.push_back(Cell{threads, stats.qps, read_stats.qps,
+                         stats.p50_seconds * 1e3, stats.p99_seconds * 1e3});
+  }
+  PrintRule(96);
+  if (!tree->CheckIntegrity().ok()) {
+    std::printf("FAIL: integrity check after mixed sweep\n");
+    std::abort();
+  }
+  std::printf("mixed sweep: all ops OK, every delete found its target, "
+              "integrity intact\n");
+
+  FILE* json = std::fopen("BENCH_PR5.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"mixed_read_write\",\n"
+                 "  \"dataset\": \"synthetic\",\n  \"scale\": %zu,\n"
+                 "  \"ops_per_batch\": %zu,\n  \"read_fraction\": 0.9,\n"
+                 "  \"mix\": \"per 20 ops: 9 range, 9 knn, 1 insert, "
+                 "1 delete\",\n"
+                 "  \"invariants\": \"all op statuses OK; every delete "
+                 "found its target; CheckIntegrity after sweep "
+                 "(asserted)\",\n  \"cells\": [\n",
+                 config.scale, n_ops);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(json,
+                   "    {\"threads\": %zu, \"mixed_qps\": %.1f, "
+                   "\"read_only_qps\": %.1f, \"ratio\": %.3f, "
+                   "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                   c.threads, c.mixed_qps, c.read_qps,
+                   c.read_qps > 0 ? c.mixed_qps / c.read_qps : 0.0, c.p50_ms,
+                   c.p99_ms, i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_PR5.json\n");
+  }
+}
+
 void Run(const BenchConfig& config) {
   std::printf("Concurrency + cold-path I/O engine: throughput sweeps\n");
   std::printf("scale=%zu queries=%zu\n", config.scale, config.queries);
@@ -461,6 +636,10 @@ void Run(const BenchConfig& config) {
 
   // Warm-path decode engine A/B (PR 4): default pool sizes, T=1.
   RunEngineAb(config, ds, queries, r, kK);
+
+  // Mixed 90/10 read/write sweep (PR 5): snapshot-pinned queries
+  // interleaved with serialized writers, fresh tree.
+  RunMixedSweep(config, ds, queries, r, kK);
 
   std::printf(
       "\nCold rows: prefetch vs demand is the I/O engine's win (speedup "

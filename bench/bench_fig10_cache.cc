@@ -25,7 +25,9 @@ void Run(const BenchConfig& config) {
                 "time(ms)");
     PrintRule();
     for (size_t cache : {0u, 8u, 16u, 32u, 64u, 128u}) {
-      tree->SetRafCachePages(cache);
+      TuningOptions tn = tree->tuning();
+      tn.raf_cache_pages = cache;
+      if (!tree->ApplyTuning(tn).ok()) std::abort();
       const AvgCost avg = RunKnnQueries(*tree, queries, 8);
       std::printf("%10zu | %12.1f %12.1f %10.3f\n", cache, avg.page_accesses,
                   avg.distance_computations, avg.seconds * 1000.0);

@@ -165,7 +165,9 @@ void BenchQueries(const bench::BenchConfig& config) {
   const size_t k = 10;
 
   auto run = [&](bool cutoff, const char* kind) {
-    tree->set_enable_cutoff(cutoff);
+    TuningOptions tn = tree->tuning();
+    tn.enable_cutoff = cutoff;
+    if (!tree->ApplyTuning(tn).ok()) std::abort();
     tree->ResetCounters();
     std::vector<ObjectId> range_result;
     std::vector<Neighbor> knn_result;

@@ -119,6 +119,34 @@ Status BPlusTree::AllocateNode(bool is_leaf, BptNode* node) {
   return Status::OK();
 }
 
+Status BPlusTree::AllocateCowPage(PageId* id) {
+  {
+    std::lock_guard<std::mutex> lock(free_mu_);
+    if (!free_pages_.empty()) {
+      *id = free_pages_.back();
+      free_pages_.pop_back();
+      return Status::OK();
+    }
+  }
+  return pool_.Allocate(id);
+}
+
+void BPlusTree::AddFreePages(const std::vector<PageId>& ids) {
+  std::lock_guard<std::mutex> lock(free_mu_);
+  free_pages_.insert(free_pages_.end(), ids.begin(), ids.end());
+}
+
+size_t BPlusTree::free_pages() const {
+  std::lock_guard<std::mutex> lock(free_mu_);
+  return free_pages_.size();
+}
+
+void BPlusTree::AdoptVersion(const TreeVersion& v) {
+  root_ = v.root;
+  height_ = v.height;
+  num_entries_ = v.num_entries;
+}
+
 namespace {
 
 // Batch-decodes `keys` and widens [lo, hi] to cover every decoded cell.
@@ -360,6 +388,283 @@ Status BPlusTree::Insert(uint64_t key, uint64_t ptr) {
   return Status::OK();
 }
 
+Status BPlusTree::InsertCowRec(PageId node_id, uint64_t key, uint64_t ptr,
+                               CowUpdate* up, std::vector<PageId>* superseded) {
+  BptNode node;
+  SPB_RETURN_IF_ERROR(ReadNode(node_id, &node));
+  // This node is modified on every path through here, so its current page is
+  // superseded unconditionally; the copy gets a fresh id.
+  superseded->push_back(node_id);
+  PageId new_id;
+  SPB_RETURN_IF_ERROR(AllocateCowPage(&new_id));
+
+  if (node.is_leaf) {
+    node.id = new_id;
+    auto it = std::upper_bound(
+        node.leaf_entries.begin(), node.leaf_entries.end(), key,
+        [](uint64_t k, const LeafEntry& e) { return k < e.key; });
+    node.leaf_entries.insert(it, LeafEntry{key, ptr});
+
+    if (node.leaf_entries.size() <= BptNode::kLeafCapacity) {
+      SPB_RETURN_IF_ERROR(WriteNode(node));
+      up->split = false;
+      up->new_child = node.id;
+      up->min_key = node.min_key();
+      ComputeLeafBox(node, &up->mbb_min, &up->mbb_max);
+      return Status::OK();
+    }
+    BptNode right;
+    right.is_leaf = true;
+    SPB_RETURN_IF_ERROR(AllocateCowPage(&right.id));
+    const size_t mid = node.leaf_entries.size() / 2;
+    right.leaf_entries.assign(node.leaf_entries.begin() + ptrdiff_t(mid),
+                              node.leaf_entries.end());
+    node.leaf_entries.resize(mid);
+    // Best-effort local links only: the global chain is already declared
+    // invalid (leaf_chain_valid_), since the left sibling of `node` still
+    // points at the superseded page.
+    right.next_leaf = node.next_leaf;
+    node.next_leaf = right.id;
+    SPB_RETURN_IF_ERROR(WriteNode(node));
+    SPB_RETURN_IF_ERROR(WriteNode(right));
+    up->split = true;
+    up->new_child = node.id;
+    up->min_key = node.min_key();
+    ComputeLeafBox(node, &up->mbb_min, &up->mbb_max);
+    up->split_key = right.min_key();
+    up->split_child = right.id;
+    ComputeLeafBox(right, &up->split_mbb_min, &up->split_mbb_max);
+    return Status::OK();
+  }
+
+  size_t i = 0;
+  for (size_t j = 1; j < node.internal_entries.size(); ++j) {
+    if (node.internal_entries[j].key <= key) i = j;
+  }
+  CowUpdate child_up;
+  SPB_RETURN_IF_ERROR(InsertCowRec(node.internal_entries[i].child, key, ptr,
+                                   &child_up, superseded));
+  node.id = new_id;
+  node.internal_entries[i].key = child_up.min_key;
+  node.internal_entries[i].child = child_up.new_child;
+  node.internal_entries[i].mbb_min = child_up.mbb_min;
+  node.internal_entries[i].mbb_max = child_up.mbb_max;
+  if (child_up.split) {
+    node.internal_entries.insert(
+        node.internal_entries.begin() + ptrdiff_t(i + 1),
+        InternalEntry{child_up.split_key, child_up.split_child,
+                      child_up.split_mbb_min, child_up.split_mbb_max});
+  }
+
+  if (node.internal_entries.size() <= BptNode::kInternalCapacity) {
+    SPB_RETURN_IF_ERROR(WriteNode(node));
+    up->split = false;
+    up->new_child = node.id;
+    up->min_key = node.min_key();
+    ComputeInternalBox(node, &up->mbb_min, &up->mbb_max);
+    return Status::OK();
+  }
+  BptNode right;
+  right.is_leaf = false;
+  SPB_RETURN_IF_ERROR(AllocateCowPage(&right.id));
+  const size_t mid = node.internal_entries.size() / 2;
+  right.internal_entries.assign(node.internal_entries.begin() + ptrdiff_t(mid),
+                                node.internal_entries.end());
+  node.internal_entries.resize(mid);
+  SPB_RETURN_IF_ERROR(WriteNode(node));
+  SPB_RETURN_IF_ERROR(WriteNode(right));
+  up->split = true;
+  up->new_child = node.id;
+  up->min_key = node.min_key();
+  ComputeInternalBox(node, &up->mbb_min, &up->mbb_max);
+  up->split_key = right.min_key();
+  up->split_child = right.id;
+  ComputeInternalBox(right, &up->split_mbb_min, &up->split_mbb_max);
+  return Status::OK();
+}
+
+Status BPlusTree::InsertCow(uint64_t key, uint64_t ptr, TreeVersion* out,
+                            std::vector<PageId>* superseded) {
+  leaf_chain_valid_ = false;
+  CowUpdate up;
+  SPB_RETURN_IF_ERROR(InsertCowRec(root_, key, ptr, &up, superseded));
+  PageId new_root = up.new_child;
+  uint32_t new_height = height_;
+  if (up.split) {
+    BptNode root;
+    root.is_leaf = false;
+    root.next_leaf = kInvalidPageId;
+    SPB_RETURN_IF_ERROR(AllocateCowPage(&root.id));
+    root.internal_entries.push_back(
+        InternalEntry{up.min_key, up.new_child, up.mbb_min, up.mbb_max});
+    root.internal_entries.push_back(
+        InternalEntry{up.split_key, up.split_child, up.split_mbb_min,
+                      up.split_mbb_max});
+    SPB_RETURN_IF_ERROR(WriteNode(root));
+    new_root = root.id;
+    ++new_height;
+  }
+  out->root = new_root;
+  out->height = new_height;
+  out->num_entries = num_entries_ + 1;
+  return Status::OK();
+}
+
+Status BPlusTree::DeleteCow(uint64_t key, uint64_t ptr, bool* found,
+                            TreeVersion* out,
+                            std::vector<PageId>* superseded) {
+  *found = false;
+  *out = version();
+  LeafCursor cur(this, version());
+  SPB_RETURN_IF_ERROR(cur.Seek(key));
+  while (cur.valid() && cur.entry().key == key) {
+    if (cur.entry().ptr == ptr) {
+      *found = true;
+      break;
+    }
+    SPB_RETURN_IF_ERROR(cur.Next());
+  }
+  if (!*found) return Status::OK();
+
+  leaf_chain_valid_ = false;
+  // Rewrite the cursor's root-to-leaf path bottom-up under fresh ids. Only
+  // child links (and the direct parent's MBB, which can only shrink) are
+  // refreshed — separators and ancestor MBBs stay conservative, mirroring
+  // the lazy in-place Delete.
+  BptNode leaf_copy = cur.leaf();
+  leaf_copy.leaf_entries.erase(leaf_copy.leaf_entries.begin() +
+                               ptrdiff_t(cur.pos()));
+  superseded->push_back(leaf_copy.id);
+  SPB_RETURN_IF_ERROR(AllocateCowPage(&leaf_copy.id));
+  SPB_RETURN_IF_ERROR(WriteNode(leaf_copy));
+  uint64_t leaf_mbb_min, leaf_mbb_max;
+  ComputeLeafBox(leaf_copy, &leaf_mbb_min, &leaf_mbb_max);
+
+  PageId child_id = leaf_copy.id;
+  for (size_t level = cur.frames_.size() - 1; level-- > 0;) {
+    BptNode copy = cur.frames_[level].handle->node;
+    const size_t idx = cur.frames_[level].idx;
+    copy.internal_entries[idx].child = child_id;
+    if (level + 2 == cur.frames_.size()) {
+      // Direct parent of the leaf: its entry's MBB can be tightened to the
+      // recomputed (smaller or equal) leaf box. For an emptied leaf the
+      // {0,0} box is fine — the invariant checker skips empty children.
+      copy.internal_entries[idx].mbb_min = leaf_mbb_min;
+      copy.internal_entries[idx].mbb_max = leaf_mbb_max;
+    }
+    superseded->push_back(copy.id);
+    SPB_RETURN_IF_ERROR(AllocateCowPage(&copy.id));
+    SPB_RETURN_IF_ERROR(WriteNode(copy));
+    child_id = copy.id;
+  }
+  out->root = child_id;
+  out->height = height_;
+  out->num_entries = num_entries_ - 1;
+  return Status::OK();
+}
+
+Status BPlusTree::LeafCursor::LoadFrame(size_t level, PageId id) {
+  if (frames_.size() <= level) frames_.resize(level + 1);
+  Frame& f = frames_[level];
+  if (!f.scratch) f.scratch = std::make_unique<DecodedNode>();
+  f.idx = 0;
+  return tree_->GetNode(id, f.scratch.get(), &f.handle);
+}
+
+Status BPlusTree::LeafCursor::DescendLeftmost(size_t level) {
+  while (true) {
+    const BptNode& node = frames_[level].handle->node;
+    if (node.is_leaf) {
+      frames_.resize(level + 1);
+      return Status::OK();
+    }
+    const PageId child = node.internal_entries[frames_[level].idx].child;
+    SPB_RETURN_IF_ERROR(LoadFrame(level + 1, child));
+    ++level;
+  }
+}
+
+Status BPlusTree::LeafCursor::AdvanceLeaf() {
+  while (true) {
+    // Deepest ancestor frame with an unvisited sibling subtree.
+    ptrdiff_t l = ptrdiff_t(frames_.size()) - 2;
+    for (; l >= 0; --l) {
+      const Frame& f = frames_[size_t(l)];
+      if (f.idx + 1 < f.handle->node.internal_entries.size()) break;
+    }
+    if (l < 0) {
+      valid_ = false;
+      return Status::OK();
+    }
+    Frame& f = frames_[size_t(l)];
+    ++f.idx;
+    SPB_RETURN_IF_ERROR(
+        LoadFrame(size_t(l) + 1, f.handle->node.internal_entries[f.idx].child));
+    SPB_RETURN_IF_ERROR(DescendLeftmost(size_t(l) + 1));
+    if (!frames_.back().handle->node.leaf_entries.empty()) {
+      frames_.back().idx = 0;
+      valid_ = true;
+      return Status::OK();
+    }
+    // Lazily-deleted-empty leaf: keep advancing.
+  }
+}
+
+Status BPlusTree::LeafCursor::SeekFirst() {
+  valid_ = false;
+  frames_.clear();
+  if (version_.root == kInvalidPageId) return Status::OK();
+  SPB_RETURN_IF_ERROR(LoadFrame(0, version_.root));
+  SPB_RETURN_IF_ERROR(DescendLeftmost(0));
+  if (!frames_.back().handle->node.leaf_entries.empty()) {
+    frames_.back().idx = 0;
+    valid_ = true;
+    return Status::OK();
+  }
+  return AdvanceLeaf();
+}
+
+Status BPlusTree::LeafCursor::Seek(uint64_t key) {
+  valid_ = false;
+  frames_.clear();
+  if (version_.root == kInvalidPageId) return Status::OK();
+  SPB_RETURN_IF_ERROR(LoadFrame(0, version_.root));
+  size_t level = 0;
+  while (!frames_[level].handle->node.is_leaf) {
+    const auto& entries = frames_[level].handle->node.internal_entries;
+    // Same descent rule as SeekLeaf: the first entry >= key can only live in
+    // (or after) the last child whose separator is strictly below key.
+    size_t i = 0;
+    for (size_t j = 1; j < entries.size(); ++j) {
+      if (entries[j].key < key) i = j;
+    }
+    frames_[level].idx = i;
+    SPB_RETURN_IF_ERROR(LoadFrame(level + 1, entries[i].child));
+    ++level;
+  }
+  frames_.resize(level + 1);
+  const auto& leaf_entries = frames_[level].handle->node.leaf_entries;
+  auto it = std::lower_bound(
+      leaf_entries.begin(), leaf_entries.end(), key,
+      [](const LeafEntry& e, uint64_t k) { return e.key < k; });
+  frames_[level].idx = size_t(it - leaf_entries.begin());
+  if (frames_[level].idx < leaf_entries.size()) {
+    valid_ = true;
+    return Status::OK();
+  }
+  // Landed past the end of this leaf (stale-low separators can do that):
+  // walk forward to the next non-empty leaf.
+  return AdvanceLeaf();
+}
+
+Status BPlusTree::LeafCursor::Next() {
+  if (!valid_) return Status::OK();
+  Frame& f = frames_.back();
+  ++f.idx;
+  if (f.idx < f.handle->node.leaf_entries.size()) return Status::OK();
+  return AdvanceLeaf();
+}
+
 Status BPlusTree::SeekLeaf(uint64_t key, BptNode* leaf, size_t* pos) {
   PageId id = root_;
   BptNode node;
@@ -514,26 +819,49 @@ Status BPlusTree::CheckInvariants() {
   if (depth != height_) return Status::Corruption("height mismatch");
 
   // Leaf chain: globally sorted, covers exactly num_entries_ entries, and
-  // starts at first_leaf_.
-  BptNode leaf;
-  SPB_RETURN_IF_ERROR(ReadNode(first_leaf_, &leaf));
-  uint64_t count = 0;
-  uint64_t prev = 0;
-  bool first = true;
-  while (true) {
-    for (const LeafEntry& e : leaf.leaf_entries) {
-      if (!first && e.key < prev) {
-        return Status::Corruption("leaf chain out of order");
+  // starts at first_leaf_. Only checkable on trees never touched by a COW
+  // write — COW leaves the chain stale by design.
+  if (leaf_chain_valid_) {
+    BptNode leaf;
+    SPB_RETURN_IF_ERROR(ReadNode(first_leaf_, &leaf));
+    uint64_t count = 0;
+    uint64_t prev = 0;
+    bool first = true;
+    while (true) {
+      for (const LeafEntry& e : leaf.leaf_entries) {
+        if (!first && e.key < prev) {
+          return Status::Corruption("leaf chain out of order");
+        }
+        prev = e.key;
+        first = false;
+        ++count;
       }
-      prev = e.key;
-      first = false;
-      ++count;
+      if (leaf.next_leaf == kInvalidPageId) break;
+      SPB_RETURN_IF_ERROR(ReadNode(leaf.next_leaf, &leaf));
     }
-    if (leaf.next_leaf == kInvalidPageId) break;
-    SPB_RETURN_IF_ERROR(ReadNode(leaf.next_leaf, &leaf));
+    if (count != num_entries_) {
+      return Status::Corruption("leaf chain entry count mismatch");
+    }
   }
-  if (count != num_entries_) {
-    return Status::Corruption("leaf chain entry count mismatch");
+
+  // Chain-free global order + count via the parent-stack cursor: the same
+  // guarantee the chain walk gave, valid on COW'd trees too.
+  LeafCursor cur(this, version());
+  SPB_RETURN_IF_ERROR(cur.SeekFirst());
+  uint64_t cur_count = 0;
+  uint64_t cur_prev = 0;
+  bool cur_first = true;
+  while (cur.valid()) {
+    if (!cur_first && cur.entry().key < cur_prev) {
+      return Status::Corruption("cursor scan out of order");
+    }
+    cur_prev = cur.entry().key;
+    cur_first = false;
+    ++cur_count;
+    SPB_RETURN_IF_ERROR(cur.Next());
+  }
+  if (cur_count != num_entries_) {
+    return Status::Corruption("cursor scan entry count mismatch");
   }
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 #define SPB_BPTREE_BPTREE_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "bptree/node.h"
@@ -12,6 +13,17 @@
 #include "storage/page_file.h"
 
 namespace spb {
+
+/// One immutable state of a B+-tree, as published to readers by the COW
+/// write path: the root page id plus the height/count that traversal needs.
+/// The pages reachable from `root` are never modified after publication
+/// (copy-on-write replaces them with fresh page ids), so a traversal rooted
+/// here is consistent no matter how many writes land concurrently.
+struct TreeVersion {
+  PageId root = kInvalidPageId;
+  uint32_t height = 0;
+  uint64_t num_entries = 0;
+};
 
 /// Disk-based B+-tree over uint64 SFC keys with MBB-augmented non-leaf
 /// entries (Section 3.3 of the paper). Supports bulk-loading, insertion and
@@ -55,12 +67,116 @@ class BPlusTree {
   /// created.
   Status BulkLoad(const std::vector<LeafEntry>& entries);
 
-  /// Inserts one entry (duplicates allowed).
+  /// Inserts one entry (duplicates allowed). In-place write path: mutates
+  /// the existing pages, maintaining the leaf sibling chain. Requires all
+  /// readers quiescent (no snapshot isolation) — the SPB-tree's online
+  /// update engine uses InsertCow instead; this path remains for owners
+  /// whose trees are updated only between query batches (e.g. the M-Index
+  /// baseline) and for direct tests.
   Status Insert(uint64_t key, uint64_t ptr);
 
   /// Removes the entry matching both key and ptr. `*found` reports whether
-  /// it existed.
+  /// it existed. In-place write path; same quiescence contract as Insert.
   Status Delete(uint64_t key, uint64_t ptr, bool* found);
+
+  /// Copy-on-write insert: builds a new tree version that shares every
+  /// untouched page with the current one, writing modified nodes under
+  /// *fresh* page ids (recycled from the free list when available). The
+  /// tree's own published state (root()/height()/num_entries()) is NOT
+  /// changed — the caller adopts the result with AdoptVersion() and
+  /// publishes it to readers (via SnapshotManager) when ready, so
+  /// concurrent traversals of the old version never observe a
+  /// half-applied write.
+  ///
+  /// `*superseded` collects the page ids the COW walk replaced; they stay
+  /// valid for readers of older versions and must be retired (and their ids
+  /// recycled via AddFreePages) only after the last snapshot pinning them
+  /// drains. Exact separator keys and MBBs are maintained along the path,
+  /// same as the in-place path.
+  ///
+  /// The leaf sibling chain is NOT maintained across COW writes (a COW'd
+  /// leaf's left sibling would also need rewriting, cascading to the whole
+  /// leaf level) — next_leaf pointers are only meaningful on trees mutated
+  /// exclusively in place. Chain-free iteration uses LeafCursor.
+  Status InsertCow(uint64_t key, uint64_t ptr, TreeVersion* out,
+                   std::vector<PageId>* superseded);
+
+  /// Copy-on-write delete of the entry matching (key, ptr); lazy like the
+  /// in-place Delete (no merging; ancestors keep conservative separators
+  /// and MBBs, only child ids are rewritten). `*found` reports whether the
+  /// entry existed; when false, no version is produced and `*out` is the
+  /// current version.
+  Status DeleteCow(uint64_t key, uint64_t ptr, bool* found, TreeVersion* out,
+                   std::vector<PageId>* superseded);
+
+  /// Writer-side adoption of a COW result: subsequent InsertCow/DeleteCow
+  /// calls and version() reflect `v`. Does not touch storage.
+  void AdoptVersion(const TreeVersion& v);
+
+  /// The current version (writer-side view; readers get theirs from a
+  /// Snapshot).
+  TreeVersion version() const {
+    return TreeVersion{root_, height_, num_entries_};
+  }
+
+  /// Returns retired page ids to the allocator: the next COW writes reuse
+  /// them instead of growing the file. Call only after the pages are
+  /// unreachable from every live snapshot (the snapshot manager's retire
+  /// callback). Thread-safe (any thread may run the retire callback).
+  void AddFreePages(const std::vector<PageId>& ids);
+  /// Free-listed page ids not yet reused. Test hook.
+  size_t free_pages() const;
+
+  /// Forward iterator over the leaf entries of one TreeVersion in ascending
+  /// (key, ptr) order, maintained as a root-to-leaf stack of parent
+  /// positions instead of next_leaf links — the chain-free replacement that
+  /// works on COW-written trees (and, unlike the chain, never leaks
+  /// post-snapshot data into an old version). Node reads go through
+  /// GetNode, so accounting matches a chain walk's warm path one-for-one on
+  /// leaves; ancestor nodes are read once each as the cursor crosses them.
+  ///
+  /// Invalidation: the cursor borrows `tree` and must not outlive it; the
+  /// version's pages must stay un-retired while the cursor lives (hold the
+  /// Snapshot that produced the version, or be the writer).
+  class LeafCursor {
+   public:
+    LeafCursor(BPlusTree* tree, const TreeVersion& version)
+        : tree_(tree), version_(version) {}
+
+    /// Positions at the first entry of the version (invalid if empty).
+    Status SeekFirst();
+    /// Positions at the first entry with entry.key >= key.
+    Status Seek(uint64_t key);
+    /// Advances one entry, crossing leaves (and skipping empty ones).
+    Status Next();
+
+    bool valid() const { return valid_; }
+    const BptNode& leaf() const { return frames_.back().handle->node; }
+    size_t pos() const { return frames_.back().idx; }
+    const LeafEntry& entry() const { return leaf().leaf_entries[pos()]; }
+
+   private:
+    friend class BPlusTree;
+    struct Frame {
+      NodeHandle handle;
+      size_t idx = 0;
+      // Per-frame decode target for the cache-off path: handles at
+      // different levels are live simultaneously, so they cannot share one
+      // scratch node.
+      std::unique_ptr<DecodedNode> scratch;
+    };
+
+    Status LoadFrame(size_t level, PageId id);
+    /// Descends leftmost from frames_[level]'s current child down to a leaf.
+    Status DescendLeftmost(size_t level);
+    /// Moves to the next non-empty leaf, or invalidates at the end.
+    Status AdvanceLeaf();
+
+    BPlusTree* tree_;
+    TreeVersion version_;
+    std::vector<Frame> frames_;
+    bool valid_ = false;
+  };
 
   /// Positions `*leaf`/`*pos` at the first entry with entry.key >= key,
   /// walking the leaf chain past empty/early leaves. Sets `*pos` ==
@@ -87,10 +203,15 @@ class BPlusTree {
 
   /// Resizes the decoded-node cache (0 disables it). Single-writer only,
   /// like BufferPool::set_capacity; drops contents.
-  void set_node_cache_entries(size_t entries) {
+  Status SetNodeCacheEntries(size_t entries) {
     node_cache_.set_capacity(entries);
+    return Status::OK();
   }
   NodeCache& node_cache() { return node_cache_; }
+
+  /// True until the first COW write: the leaf sibling chain is globally
+  /// consistent only on trees never touched by InsertCow/DeleteCow.
+  bool leaf_chain_valid() const { return leaf_chain_valid_; }
 
   /// Persists meta (root, height, count) and flushes the file.
   Status Sync();
@@ -139,6 +260,9 @@ class BPlusTree {
 
   Status WriteNode(const BptNode& node);
   Status AllocateNode(bool is_leaf, BptNode* node);
+  /// COW page allocation: recycles a retired id when available, else grows
+  /// the file.
+  Status AllocateCowPage(PageId* id);
   Status WriteMeta();
   Status ReadMeta();
 
@@ -150,6 +274,23 @@ class BPlusTree {
 
   Status InsertRec(PageId node_id, uint64_t key, uint64_t ptr,
                    ChildUpdate* up);
+
+  /// ChildUpdate for the COW path: the child's id changes on every write,
+  /// so the parent must relink as well as refresh key/MBB.
+  struct CowUpdate {
+    PageId new_child = kInvalidPageId;
+    uint64_t min_key = 0;
+    uint64_t mbb_min = 0;
+    uint64_t mbb_max = 0;
+    bool split = false;
+    uint64_t split_key = 0;
+    PageId split_child = kInvalidPageId;
+    uint64_t split_mbb_min = 0;
+    uint64_t split_mbb_max = 0;
+  };
+
+  Status InsertCowRec(PageId node_id, uint64_t key, uint64_t ptr,
+                      CowUpdate* up, std::vector<PageId>* superseded);
 
   Status CheckInvariantsRec(PageId node_id, bool is_root, uint64_t* min_key,
                             std::vector<uint32_t>* lo,
@@ -166,6 +307,12 @@ class BPlusTree {
   PageId first_leaf_ = kInvalidPageId;
   uint32_t height_ = 0;
   uint64_t num_entries_ = 0;
+  bool leaf_chain_valid_ = true;
+
+  /// Retired page ids available for COW reuse. Pushed by the snapshot
+  /// manager's retire callback (any thread), popped by the single writer.
+  mutable std::mutex free_mu_;
+  std::vector<PageId> free_pages_;
 };
 
 }  // namespace spb

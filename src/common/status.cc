@@ -22,6 +22,12 @@ std::string Status::ToString() const {
     case Code::kNotSupported:
       name = "NotSupported";
       break;
+    case Code::kBusy:
+      name = "Busy";
+      break;
+    case Code::kUnimplemented:
+      name = "Unimplemented";
+      break;
   }
   std::string result = name;
   if (!message_.empty()) {

@@ -18,6 +18,14 @@ class Status {
     kIOError,
     kCorruption,
     kNotSupported,
+    /// A second writer raced a single-writer entry point (Insert/Delete/
+    /// ApplyTuning). The operation had no effect; retry after the current
+    /// writer finishes. See docs/API.md §"Status taxonomy".
+    kBusy,
+    /// The index type does not implement this operation at all (e.g. Delete
+    /// on the M-tree baseline). Unlike kNotSupported — which flags an
+    /// unsatisfiable argument/configuration — retrying can never succeed.
+    kUnimplemented,
   };
 
   /// Default status is success.
@@ -43,6 +51,12 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -29,6 +29,31 @@ class MetricIndex {
   /// Inserts one object (the Table 7 update operation).
   virtual Status Insert(const Blob& obj, ObjectId id) = 0;
 
+  /// Inserts a batch of objects (objs[i] gets ids[i]). Indexes with a
+  /// publication step may amortize it across the batch; the default simply
+  /// loops Insert. Requires objs.size() == ids.size().
+  virtual Status BatchInsert(const std::vector<Blob>& objs,
+                             const std::vector<ObjectId>& ids) {
+    if (objs.size() != ids.size()) {
+      return Status::InvalidArgument("BatchInsert: objs/ids size mismatch");
+    }
+    for (size_t i = 0; i < objs.size(); ++i) {
+      SPB_RETURN_IF_ERROR(Insert(objs[i], ids[i]));
+    }
+    return Status::OK();
+  }
+
+  /// Removes the object with the given payload and id; `*found` reports
+  /// whether it was present. Baselines without a delete path return
+  /// Status::Unimplemented — the harness skips the operation rather than
+  /// downcasting to find out who supports it.
+  virtual Status Delete(const Blob& obj, ObjectId id, bool* found) {
+    (void)obj;
+    (void)id;
+    (void)found;
+    return Status::Unimplemented(name() + " does not support Delete");
+  }
+
   /// RQ(q, O, r).
   virtual Status RangeQuery(const Blob& q, double r,
                             std::vector<ObjectId>* result,

@@ -155,7 +155,8 @@ Status SpbTree::BuildInternal(const std::vector<Blob>& objects,
   SPB_RETURN_IF_ERROR(BPlusTree::Create(std::move(btree_file),
                                         options.btree_cache_pages,
                                         &tree->space_->curve(), &tree->btree_));
-  tree->btree_->set_node_cache_entries(options.node_cache_entries);
+  SPB_RETURN_IF_ERROR(
+      tree->btree_->SetNodeCacheEntries(options.node_cache_entries));
   SPB_RETURN_IF_ERROR(
       Raf::Create(std::move(raf_file), options.raf_cache_pages, &tree->raf_));
 
@@ -245,6 +246,7 @@ Status SpbTree::BuildInternal(const std::vector<Blob>& objects,
                                                 rho);
   }
   tree->InitFetcher();
+  tree->InitSnapshots();
   *out = std::move(tree);
   return Status::OK();
 }
@@ -440,7 +442,8 @@ Status SpbTree::Open(const std::string& storage_dir,
   SPB_RETURN_IF_ERROR(BPlusTree::Open(std::move(btree_file),
                                       opts.btree_cache_pages,
                                       &tree->space_->curve(), &tree->btree_));
-  tree->btree_->set_node_cache_entries(opts.node_cache_entries);
+  SPB_RETURN_IF_ERROR(
+      tree->btree_->SetNodeCacheEntries(opts.node_cache_entries));
   SPB_RETURN_IF_ERROR(
       Raf::Open(std::move(raf_file), opts.raf_cache_pages, &tree->raf_));
   tree->num_objects_ = num_objects;
@@ -475,6 +478,7 @@ Status SpbTree::Open(const std::string& storage_dir,
   tree->cost_model_.set_precision(precision);
   tree->cost_model_.set_distance_distribution(std::move(pair_distances), rho);
   tree->InitFetcher();
+  tree->InitSnapshots();
   tree->ResetCounters();
   *out = std::move(tree);
   return Status::OK();
@@ -505,48 +509,130 @@ Status SpbTree::CollectNodeBoxes(
   return Status::OK();
 }
 
-Status SpbTree::Insert(const Blob& obj, ObjectId id) {
+void SpbTree::InitSnapshots() {
+  // The retire callback runs on whichever thread drops the last pinning
+  // snapshot. Everything it touches is thread-safe: node-cache Erase and
+  // pool Retire take striped locks, AddFreePages its own mutex. Purge the
+  // caches BEFORE free-listing the ids — once an id is reusable, a COW
+  // write may redefine it, and no stale decode/frame must survive that.
+  snapshots_ = std::make_unique<SnapshotManager>(
+      CurrentVersion(), [this](std::vector<PageId> pages) {
+        for (PageId p : pages) btree_->node_cache().Erase(p);
+        btree_->pool().Retire(pages);
+        btree_->AddFreePages(pages);
+      });
+}
+
+IndexVersion SpbTree::CurrentVersion() const {
+  const TreeVersion tv = btree_->version();
+  IndexVersion v;
+  v.root = tv.root;
+  v.height = tv.height;
+  v.num_entries = tv.num_entries;
+  v.raf_end_offset = raf_->end_offset();
+  v.num_objects = num_objects_.load(std::memory_order_relaxed);
+  return v;
+}
+
+void SpbTree::PublishCurrent(std::vector<PageId> superseded) {
+  snapshots_->Publish(CurrentVersion(), std::move(superseded));
+}
+
+Status SpbTree::InsertOneLocked(const Blob& obj, ObjectId id,
+                                std::vector<PageId>* superseded) {
   const std::vector<double> phi = space_->Phi(obj, counting_);
   const uint64_t key = space_->KeyFor(phi);
+  // RAF first: the new leaf entry references the record's offset, and the
+  // appender's release-store of the watermark happens before the version
+  // holding this entry can be published.
   uint64_t offset;
   SPB_RETURN_IF_ERROR(raf_->Append(id, obj, &offset));
-  SPB_RETURN_IF_ERROR(btree_->Insert(key, offset));
-  ++num_objects_;
+  TreeVersion tv;
+  SPB_RETURN_IF_ERROR(btree_->InsertCow(key, offset, &tv, superseded));
+  btree_->AdoptVersion(tv);
+  const uint64_t n = num_objects_.fetch_add(1, std::memory_order_relaxed) + 1;
   ++inserts_seen_;
-  cost_model_.set_total_objects(num_objects_);
-  if (options_.cost_sample_size > 0) {
-    cost_model_.AddSample(phi, inserts_seen_, sample_rng_.Uniform(UINT64_MAX));
+  {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    cost_model_.set_total_objects(n);
+    if (options_.cost_sample_size > 0) {
+      cost_model_.AddSample(phi, inserts_seen_,
+                            sample_rng_.Uniform(UINT64_MAX));
+    }
   }
+  return Status::OK();
+}
+
+Status SpbTree::Insert(const Blob& obj, ObjectId id) {
+  std::unique_lock<std::mutex> wlock(writer_mu_, std::try_to_lock);
+  if (!wlock.owns_lock()) {
+    return Status::Busy("Insert raced another writer; retry when it drains");
+  }
+  std::vector<PageId> superseded;
+  SPB_RETURN_IF_ERROR(InsertOneLocked(obj, id, &superseded));
+  PublishCurrent(std::move(superseded));
+  return Status::OK();
+}
+
+Status SpbTree::BatchInsert(const std::vector<Blob>& objs,
+                            const std::vector<ObjectId>& ids) {
+  if (objs.size() != ids.size()) {
+    return Status::InvalidArgument("BatchInsert: objs/ids size mismatch");
+  }
+  std::unique_lock<std::mutex> wlock(writer_mu_, std::try_to_lock);
+  if (!wlock.owns_lock()) {
+    return Status::Busy(
+        "BatchInsert raced another writer; retry when it drains");
+  }
+  // One publish for the whole batch: readers keep the pre-batch version
+  // until every object is in; intermediate versions are adopted privately
+  // and never published, so queueing their superseded pages behind the
+  // final epoch is conservative and safe.
+  std::vector<PageId> superseded;
+  for (size_t i = 0; i < objs.size(); ++i) {
+    SPB_RETURN_IF_ERROR(InsertOneLocked(objs[i], ids[i], &superseded));
+  }
+  PublishCurrent(std::move(superseded));
   return Status::OK();
 }
 
 Status SpbTree::Delete(const Blob& obj, ObjectId id, bool* found) {
   *found = false;
+  std::unique_lock<std::mutex> wlock(writer_mu_, std::try_to_lock);
+  if (!wlock.owns_lock()) {
+    return Status::Busy("Delete raced another writer; retry when it drains");
+  }
   const std::vector<double> phi = space_->Phi(obj, counting_);
   const uint64_t key = space_->KeyFor(phi);
-  BptNode leaf;
-  size_t pos;
-  SPB_RETURN_IF_ERROR(btree_->SeekLeaf(key, &leaf, &pos));
-  while (leaf.id != kInvalidPageId) {
-    for (; pos < leaf.leaf_entries.size(); ++pos) {
-      const LeafEntry& e = leaf.leaf_entries[pos];
-      if (e.key != key) return Status::OK();
-      ObjectId rid;
-      Blob robj;
-      SPB_RETURN_IF_ERROR(raf_->Get(e.ptr, &rid, &robj));
-      if (rid == id && robj == obj) {
-        SPB_RETURN_IF_ERROR(btree_->Delete(e.key, e.ptr, found));
-        if (*found) {
-          --num_objects_;
-          cost_model_.set_total_objects(num_objects_);
-        }
-        return Status::OK();
-      }
+  // Locate the duplicate whose RAF record matches (id, payload) with a
+  // chain-free cursor (the leaf chain is stale once COW writes happen).
+  BPlusTree::LeafCursor cur(btree_.get(), btree_->version());
+  SPB_RETURN_IF_ERROR(cur.Seek(key));
+  uint64_t ptr = 0;
+  bool located = false;
+  ObjectId rid;
+  Blob robj;
+  while (cur.valid() && cur.entry().key == key) {
+    SPB_RETURN_IF_ERROR(raf_->Get(cur.entry().ptr, &rid, &robj));
+    if (rid == id && robj == obj) {
+      ptr = cur.entry().ptr;
+      located = true;
+      break;
     }
-    if (leaf.next_leaf == kInvalidPageId) return Status::OK();
-    SPB_RETURN_IF_ERROR(btree_->ReadNode(leaf.next_leaf, &leaf));
-    pos = 0;
+    SPB_RETURN_IF_ERROR(cur.Next());
   }
+  if (!located) return Status::OK();
+  TreeVersion tv;
+  std::vector<PageId> superseded;
+  SPB_RETURN_IF_ERROR(btree_->DeleteCow(key, ptr, found, &tv, &superseded));
+  if (!*found) return Status::OK();
+  btree_->AdoptVersion(tv);
+  const uint64_t n = num_objects_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    cost_model_.set_total_objects(n);
+  }
+  PublishCurrent(std::move(superseded));
   return Status::OK();
 }
 
@@ -623,7 +709,10 @@ Status SpbTree::RangeQuery(const Blob& q, double r,
                            std::vector<ObjectId>* result, QueryStats* stats) {
   StatScope scope(*this, stats);
   result->clear();
-  if (num_objects_ == 0) return Status::OK();
+  // Pin the published version: the traversal below touches only pages
+  // reachable from snap's root, which stay un-retired while snap lives.
+  const Snapshot snap = AcquireSnapshot();
+  if (snap.version().num_objects == 0) return Status::OK();
   QueryArena& A = ThreadArena();
   A.phi_q.resize(space_->dims());
   // Same distance-call count and values as Phi(), without the allocation.
@@ -636,7 +725,7 @@ Status SpbTree::RangeQuery(const Blob& q, double r,
   // the box buffer keep their capacity across queries.
   A.todo.clear();
   A.box_buf.clear();
-  A.todo.push_back(QueryArena::RangeTodo{btree_->root(), 0, false});
+  A.todo.push_back(QueryArena::RangeTodo{snap.version().root, 0, false});
   Readahead ra = NewReadaheadSession();
   NodeHandle h;
 
@@ -720,7 +809,9 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
                          QueryStats* stats, KnnTraversal traversal) {
   StatScope scope(*this, stats);
   result->clear();
-  if (num_objects_ == 0 || k == 0) return Status::OK();
+  // Pin the published version (same reader contract as RangeQuery).
+  const Snapshot snap = AcquireSnapshot();
+  if (snap.version().num_objects == 0 || k == 0) return Status::OK();
   QueryArena& A = ThreadArena();
   A.phi_q.resize(space_->dims());
   // Same distance-call count and values as Phi(), without the allocation.
@@ -776,7 +867,8 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
     return a.mind > b.mind;
   };
   A.heap.clear();
-  A.heap.push_back(QueryArena::KnnHeapItem{0.0, false, btree_->root(), {}});
+  A.heap.push_back(
+      QueryArena::KnnHeapItem{0.0, false, snap.version().root, {}});
 
   NodeHandle h;
   // Decodes one leaf's keys and computes all MIND(q, cell) bounds as one
@@ -870,11 +962,14 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
 
 CostEstimate SpbTree::EstimateRangeCost(const Blob& q, double r) const {
   const std::vector<double> phi_q = space_->Phi(q, counting_);
+  // cost_mu_: the writer mutates the sample reservoir concurrently.
+  std::lock_guard<std::mutex> lock(cost_mu_);
   return cost_model_.EstimateRange(*space_, phi_q, r);
 }
 
 CostEstimate SpbTree::EstimateKnnCost(const Blob& q, size_t k) const {
   const std::vector<double> phi_q = space_->Phi(q, counting_);
+  std::lock_guard<std::mutex> lock(cost_mu_);
   return cost_model_.EstimateKnn(*space_, phi_q, k);
 }
 
@@ -921,29 +1016,71 @@ void SpbTree::FlushCaches() {
   raf_->FlushCache();
 }
 
-void SpbTree::SetRafCachePages(size_t pages) { raf_->set_cache_pages(pages); }
+Status SpbTree::ApplyTuning(const TuningOptions& t) {
+  std::unique_lock<std::mutex> wlock(writer_mu_, std::try_to_lock);
+  if (!wlock.owns_lock()) {
+    return Status::Busy(
+        "ApplyTuning raced a writer; retry when it drains");
+  }
+  options_.enable_lemma2 = t.enable_lemma2;
+  options_.enable_compute_sfc = t.enable_compute_sfc;
+  options_.enable_cutoff = t.enable_cutoff;
+  options_.enable_prefetch = t.enable_prefetch;
+  options_.enable_zero_copy = t.enable_zero_copy;
+  options_.max_readahead_pages = t.max_readahead_pages;
+  // Capacity changes rebuild sharded caches — the caller quiesces readers
+  // for these (see the ApplyTuning contract). Skipped when unchanged so a
+  // read-modify-write of the flags never drops a warm cache.
+  if (t.node_cache_entries != options_.node_cache_entries) {
+    options_.node_cache_entries = t.node_cache_entries;
+    SPB_RETURN_IF_ERROR(btree_->SetNodeCacheEntries(t.node_cache_entries));
+  }
+  if (t.btree_cache_pages != options_.btree_cache_pages) {
+    options_.btree_cache_pages = t.btree_cache_pages;
+    btree_->pool().set_capacity(t.btree_cache_pages);
+  }
+  if (t.raf_cache_pages != options_.raf_cache_pages) {
+    options_.raf_cache_pages = t.raf_cache_pages;
+    SPB_RETURN_IF_ERROR(raf_->SetCachePages(t.raf_cache_pages));
+  }
+  return Status::OK();
+}
+
+TuningOptions SpbTree::tuning() const {
+  TuningOptions t;
+  t.enable_lemma2 = options_.enable_lemma2;
+  t.enable_compute_sfc = options_.enable_compute_sfc;
+  t.enable_cutoff = options_.enable_cutoff;
+  t.enable_prefetch = options_.enable_prefetch;
+  t.enable_zero_copy = options_.enable_zero_copy;
+  t.node_cache_entries = options_.node_cache_entries;
+  t.btree_cache_pages = options_.btree_cache_pages;
+  t.raf_cache_pages = options_.raf_cache_pages;
+  t.max_readahead_pages = options_.max_readahead_pages;
+  return t;
+}
 
 Status SpbTree::CheckIntegrity() {
   SPB_RETURN_IF_ERROR(btree_->CheckInvariants());
   // Every leaf entry's key must equal the recomputed key of its RAF object.
-  BptNode leaf;
-  SPB_RETURN_IF_ERROR(btree_->ReadNode(btree_->first_leaf(), &leaf));
+  // Chain-free cursor scan: valid on COW'd trees, identical coverage on
+  // never-updated ones.
+  BPlusTree::LeafCursor cur(btree_.get(), btree_->version());
+  SPB_RETURN_IF_ERROR(cur.SeekFirst());
   uint64_t count = 0;
-  while (true) {
-    for (const LeafEntry& e : leaf.leaf_entries) {
-      ObjectId id;
-      Blob obj;
-      SPB_RETURN_IF_ERROR(raf_->Get(e.ptr, &id, &obj));
-      const uint64_t key = space_->KeyFor(space_->Phi(obj, counting_));
-      if (key != e.key) {
-        return Status::Corruption("leaf key does not match object mapping");
-      }
-      ++count;
+  ObjectId id;
+  Blob obj;
+  while (cur.valid()) {
+    const LeafEntry e = cur.entry();
+    SPB_RETURN_IF_ERROR(raf_->Get(e.ptr, &id, &obj));
+    const uint64_t key = space_->KeyFor(space_->Phi(obj, counting_));
+    if (key != e.key) {
+      return Status::Corruption("leaf key does not match object mapping");
     }
-    if (leaf.next_leaf == kInvalidPageId) break;
-    SPB_RETURN_IF_ERROR(btree_->ReadNode(leaf.next_leaf, &leaf));
+    ++count;
+    SPB_RETURN_IF_ERROR(cur.Next());
   }
-  if (count != num_objects_) {
+  if (count != num_objects_.load(std::memory_order_relaxed)) {
     return Status::Corruption("entry count mismatch");
   }
   return Status::OK();

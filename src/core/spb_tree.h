@@ -1,7 +1,9 @@
 #ifndef SPB_CORE_SPB_TREE_H_
 #define SPB_CORE_SPB_TREE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,8 @@
 #include "core/cost_model.h"
 #include "core/mapped_space.h"
 #include "core/metric_index.h"
+#include "core/tuning.h"
+#include "exec/snapshot.h"
 #include "metrics/distance.h"
 #include "common/rng.h"
 #include "pivots/selection.h"
@@ -97,17 +101,26 @@ enum class KnnTraversal {
 /// computations) is observable through stats(); per-query costs through the
 /// QueryStats out-parameters.
 ///
-/// Thread safety: after Build()/Open() (and Sync via Save(), or any point
-/// with no Insert/Delete in flight) the tree is an immutable structure and
-/// RangeQuery()/KnnQuery()/EstimateRangeCost()/EstimateKnnCost() may be
-/// called from any number of threads concurrently — see
-/// src/exec/query_executor.h for the batch engine that does so. Cumulative
-/// PA/compdists counters are atomic and stay exact in aggregate; per-query
-/// QueryStats deltas are only attributable when queries do not overlap, so
-/// concurrent callers should pass stats == nullptr and read aggregate
-/// costs from cumulative_stats() (docs/ARCHITECTURE.md §"Threading model").
-/// Insert/Delete/Save/FlushCaches/ResetCounters/SetRafCachePages are
-/// single-writer operations that must be externally excluded from queries.
+/// Thread safety — the epoch/snapshot protocol (docs/ARCHITECTURE.md
+/// §"Threading model"): RangeQuery()/KnnQuery()/EstimateRangeCost()/
+/// EstimateKnnCost() may run from any number of threads concurrently with
+/// at most one writer (Insert/Delete/BatchInsert/ApplyTuning). Each query
+/// pins a Snapshot of the published index version (B+-tree root + RAF
+/// watermark) and traverses only pages reachable from it; the writer
+/// builds new versions copy-on-write and publishes them atomically, so
+/// readers never see a half-applied update and pay no per-node locks on
+/// the warm path. A second concurrent writer gets Status::Busy (kBusy) —
+/// writers are serialized by one try-lock, not queued. Superseded pages
+/// are retired (cache-purged and id-recycled) only after the last snapshot
+/// pinning them drains.
+///
+/// Cumulative PA/compdists counters are atomic and stay exact in
+/// aggregate; per-query QueryStats deltas are only attributable when
+/// queries do not overlap, so concurrent callers should pass stats ==
+/// nullptr and read aggregate costs from cumulative_stats().
+/// Save/FlushCaches/ResetCounters and cache-capacity retuning remain
+/// quiesced-only operations (they rebuild sharded structures or reset
+/// counters mid-measurement).
 class SpbTree : public MetricIndex {
  public:
   /// Builds an index over `objects` (bulk-loading path: pivot selection,
@@ -141,13 +154,22 @@ class SpbTree : public MetricIndex {
   Status Save();
 
   /// Inserts one object with explicit id (Appendix C path: map, append to
-  /// RAF, B+-tree insert).
+  /// RAF, copy-on-write B+-tree insert, snapshot publish). Safe under
+  /// concurrent queries; a second in-flight writer gets Status::Busy.
   Status Insert(const Blob& obj, ObjectId id) override;
+
+  /// Batch insert with one snapshot publication at the end instead of one
+  /// per object — pages created and superseded *within* the batch are
+  /// still retired through the snapshot queue, so readers pinning the
+  /// pre-batch version stay consistent. Status::Busy on a writer race.
+  Status BatchInsert(const std::vector<Blob>& objs,
+                     const std::vector<ObjectId>& ids) override;
 
   /// Removes the object with the given payload and id. `*found` reports
   /// whether it was present. The RAF record becomes garbage (space is
-  /// reclaimed on rebuild), matching the lazy-deletion design.
-  Status Delete(const Blob& obj, ObjectId id, bool* found);
+  /// reclaimed on rebuild), matching the lazy-deletion design. Safe under
+  /// concurrent queries (COW + publish); Status::Busy on a writer race.
+  Status Delete(const Blob& obj, ObjectId id, bool* found) override;
 
   /// RQ(q, O, r) — Algorithm 1 (RQA) with Lemmas 1-2 and the computeSFC leaf
   /// optimization. Result ids are in no particular order.
@@ -169,22 +191,56 @@ class SpbTree : public MetricIndex {
   CostEstimate EstimateRangeCost(const Blob& q, double r) const;
   CostEstimate EstimateKnnCost(const Blob& q, size_t k) const;
 
-  uint64_t size() const { return num_objects_; }
+  uint64_t size() const { return num_objects_.load(std::memory_order_relaxed); }
   const MappedSpace& space() const { return *space_; }
   const DistanceFunction& metric() const { return counting_; }
   /// The counting wrapper itself — exposes the cutoff-call/hit counters.
   const CountingDistance& counting() const { return counting_; }
-  /// Ablation hooks (single-writer: exclude concurrent queries while
-  /// flipping, like the other mutators).
-  void set_enable_cutoff(bool v) { options_.enable_cutoff = v; }
-  void set_enable_prefetch(bool v) { options_.enable_prefetch = v; }
-  /// Warm-path decode engine toggles (single-writer, like the above; the
-  /// warm A/B bench flips them between interleaved passes).
-  void set_node_cache_entries(size_t n) {
-    options_.node_cache_entries = n;
-    btree_->set_node_cache_entries(n);
+
+  /// Pins the currently published index version: queries against the
+  /// returned snapshot see a frozen tree/RAF state no matter how many
+  /// writes land concurrently. Queries pin one internally; callers only
+  /// need this to hold a version across multiple calls (e.g. the joins'
+  /// leaf cursors) or to assert epoch behaviour in tests.
+  Snapshot AcquireSnapshot() const { return snapshots_->Acquire(); }
+  /// The snapshot manager itself (test/diagnostic hook: live epoch count,
+  /// pending retirements).
+  const SnapshotManager& snapshots() const { return *snapshots_; }
+
+  /// Applies the runtime-tunable option group as one atomic switch (see
+  /// core/tuning.h). Takes the writer lock: Status::Busy if an
+  /// Insert/Delete/BatchInsert is in flight. Flag-only changes (lemma2,
+  /// compute_sfc, cutoff, prefetch, zero_copy, max_readahead_pages) are
+  /// safe under concurrent queries; changes to node_cache_entries /
+  /// btree_cache_pages / raf_cache_pages rebuild sharded caches and
+  /// additionally require quiesced readers, same as FlushCaches.
+  Status ApplyTuning(const TuningOptions& t);
+  /// The currently applied tuning group.
+  TuningOptions tuning() const;
+
+  /// Deprecated ablation hooks — thin wrappers over ApplyTuning() kept for
+  /// older call sites; new code builds a TuningOptions instead. Status
+  /// (incl. Busy) is dropped.
+  void set_enable_cutoff(bool v) {
+    TuningOptions t = tuning();
+    t.enable_cutoff = v;
+    ApplyTuning(t);
   }
-  void set_enable_zero_copy(bool v) { options_.enable_zero_copy = v; }
+  void set_enable_prefetch(bool v) {
+    TuningOptions t = tuning();
+    t.enable_prefetch = v;
+    ApplyTuning(t);
+  }
+  void set_node_cache_entries(size_t n) {
+    TuningOptions t = tuning();
+    t.node_cache_entries = n;
+    ApplyTuning(t);
+  }
+  void set_enable_zero_copy(bool v) {
+    TuningOptions t = tuning();
+    t.enable_zero_copy = v;
+    ApplyTuning(t);
+  }
 
   /// Opens a readahead session over the RAF for one caller thread (used by
   /// the joins, which drive their own leaf scans). Returns a session even
@@ -216,8 +272,13 @@ class SpbTree : public MetricIndex {
   /// Drops both LRU caches (the paper flushes caches before every query).
   void FlushCaches() override;
   std::string name() const override { return "SPB-tree"; }
-  /// Resizes the RAF cache (Fig. 10 experiment).
-  void SetRafCachePages(size_t pages);
+  /// Deprecated: resizes the RAF cache (Fig. 10 experiment). Use
+  /// ApplyTuning() with raf_cache_pages instead.
+  void SetRafCachePages(size_t pages) {
+    TuningOptions t = tuning();
+    t.raf_cache_pages = pages;
+    ApplyTuning(t);
+  }
 
   /// Runs a full structural self-check (B+-tree invariants + key/object
   /// agreement). Test hook; expensive.
@@ -273,6 +334,25 @@ class SpbTree : public MetricIndex {
   // Builds the prefetch thread pool per options_ (called once per tree).
   void InitFetcher();
 
+  // Creates the snapshot manager over the freshly built/opened structures,
+  // wiring the retire callback (node-cache purge + pool retire + free-list
+  // recycle). Called once per tree, after btree_/raf_ exist.
+  void InitSnapshots();
+
+  // The writer-side view of the published state, assembled from the
+  // B+-tree version plus the RAF watermark and object count.
+  IndexVersion CurrentVersion() const;
+
+  // One insert under the already-held writer lock, WITHOUT publishing:
+  // superseded page ids accumulate in `*superseded` for a later
+  // PublishCurrent. Insert() publishes per call; BatchInsert() once.
+  Status InsertOneLocked(const Blob& obj, ObjectId id,
+                         std::vector<PageId>* superseded);
+
+  // Publishes the current adopted version, handing `superseded` to the
+  // epoch retire queue.
+  void PublishCurrent(std::vector<PageId> superseded);
+
   // Collects node MBBs for the cost model (post-bulk-load tree walk).
   Status CollectNodeBoxes(
       std::vector<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>>*
@@ -286,12 +366,22 @@ class SpbTree : public MetricIndex {
   std::unique_ptr<Raf> raf_;
   std::unique_ptr<PageFetcher> fetcher_;
   CostModel cost_model_;
-  uint64_t num_objects_ = 0;
+  std::atomic<uint64_t> num_objects_{0};
   uint64_t inserts_seen_ = 0;  // reservoir counter for cost-model updates
   // Distance computations spent before the counting wrapper existed (pivot
   // selection during Build); folded into cumulative_stats().
   uint64_t extra_distance_computations_ = 0;
   Rng sample_rng_{12345};
+
+  // Single-writer gate: Insert/Delete/BatchInsert/ApplyTuning try-lock it
+  // and return Status::Busy when it is held. Readers never take it.
+  std::mutex writer_mu_;
+  // Guards the cost model, which the writer mutates (AddSample /
+  // set_total_objects) while readers run Estimate*Cost.
+  mutable std::mutex cost_mu_;
+  // Declared after btree_/raf_ so it is destroyed first: its teardown
+  // drains the retire queue, whose callback touches the B+-tree caches.
+  std::unique_ptr<SnapshotManager> snapshots_;
 };
 
 }  // namespace spb

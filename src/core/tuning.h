@@ -1,0 +1,52 @@
+#ifndef SPB_CORE_TUNING_H_
+#define SPB_CORE_TUNING_H_
+
+#include <cstddef>
+
+namespace spb {
+
+/// The runtime-adjustable subset of SpbTreeOptions, applied atomically as a
+/// group via SpbTree::ApplyTuning() and read back via SpbTree::tuning().
+/// Replaces the grab-bag of one-off setters (set_enable_cutoff,
+/// set_enable_prefetch, set_node_cache_entries, set_enable_zero_copy,
+/// SetRafCachePages) that benches and the CLI used to poke individually.
+///
+/// Construction-time parameters (pivots, delta, curve, seed, storage_dir,
+/// prefetch_threads, cost_sample_size) are deliberately absent — changing
+/// them requires a rebuild, not a tune.
+///
+/// Write one by reading the current values first, then overriding fields:
+///
+///   TuningOptions t = tree->tuning();
+///   t.enable_prefetch = false;
+///   SPB_RETURN_IF_ERROR(tree->ApplyTuning(t));
+///
+/// ApplyTuning takes the writer lock (Status::Busy if a writer holds it) and
+/// flag-only changes are safe under concurrent queries; changes to the three
+/// capacity fields rebuild sharded caches and require quiesced readers — see
+/// the ApplyTuning contract in core/spb_tree.h.
+struct TuningOptions {
+  /// Lemma 2 "free inclusion" shortcut (ablation switch).
+  bool enable_lemma2 = true;
+  /// computeSFC leaf optimization of Algorithm 1 (ablation switch).
+  bool enable_compute_sfc = true;
+  /// Early-abandoning distance verification (never changes results).
+  bool enable_cutoff = true;
+  /// RAF readahead sessions (the cold-path I/O engine).
+  bool enable_prefetch = true;
+  /// Zero-copy RAF record views from pinned frames.
+  bool enable_zero_copy = true;
+  /// Decoded-node cache entries (0 disables). Capacity change: quiesce
+  /// readers.
+  size_t node_cache_entries = 1024;
+  /// LRU buffer-pool sizes in pages (0 disables). Capacity changes: quiesce
+  /// readers.
+  size_t btree_cache_pages = 32;
+  size_t raf_cache_pages = 32;
+  /// Per-readahead-session budget in pages (also the max span-read length).
+  size_t max_readahead_pages = 64;
+};
+
+}  // namespace spb
+
+#endif  // SPB_CORE_TUNING_H_

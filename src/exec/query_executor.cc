@@ -171,4 +171,36 @@ Status QueryExecutor::RunKnnBatch(const std::vector<Blob>& queries, size_t k,
   return RunBatch(queries.size(), task, stats);
 }
 
+Status QueryExecutor::RunMixedBatch(const std::vector<MixedOp>& ops,
+                                    std::vector<MixedResult>* results,
+                                    BatchStats* stats) {
+  results->assign(ops.size(), MixedResult{});
+  auto task = [&](size_t i) -> Status {
+    const MixedOp& op = ops[i];
+    MixedResult& out = (*results)[i];
+    switch (op.kind) {
+      case MixedOp::Kind::kRange:
+        out.status = index_->RangeQuery(op.obj, op.radius, &out.range_ids,
+                                        nullptr);
+        std::sort(out.range_ids.begin(), out.range_ids.end());
+        break;
+      case MixedOp::Kind::kKnn:
+        out.status = index_->KnnQuery(op.obj, op.k, &out.neighbors, nullptr);
+        break;
+      case MixedOp::Kind::kInsert: {
+        std::lock_guard<std::mutex> lock(write_mu_);
+        out.status = index_->Insert(op.obj, op.id);
+        break;
+      }
+      case MixedOp::Kind::kDelete: {
+        std::lock_guard<std::mutex> lock(write_mu_);
+        out.status = index_->Delete(op.obj, op.id, &out.found);
+        break;
+      }
+    }
+    return out.status;
+  };
+  return RunBatch(ops.size(), task, stats);
+}
+
 }  // namespace spb

@@ -42,11 +42,39 @@ struct BatchStats {
   IoStats io_totals;
 };
 
-/// A fixed-size thread pool that fans batches of queries over one
-/// MetricIndex. The index must be in its immutable (bulk-loaded, quiescent)
-/// state for the lifetime of every batch: the executor relies on the
-/// concurrent-reader guarantees of SpbTree/BPlusTree/Raf/BufferPool and
-/// performs no locking of its own around index calls.
+/// One operation of a mixed read/write batch (RunMixedBatch). Queries run
+/// concurrently; writes are serialized by the executor (one writer at a
+/// time) but interleave freely with in-flight queries under the index's
+/// snapshot protocol.
+struct MixedOp {
+  enum class Kind { kRange, kKnn, kInsert, kDelete };
+  Kind kind = Kind::kRange;
+  /// Query object (kRange/kKnn) or record payload (kInsert/kDelete).
+  Blob obj;
+  double radius = 0.0;  ///< kRange
+  size_t k = 0;         ///< kKnn
+  ObjectId id = 0;      ///< kInsert / kDelete
+};
+
+/// Per-op outcome of a mixed batch. Only the member matching the op's kind
+/// is populated.
+struct MixedResult {
+  Status status;
+  std::vector<ObjectId> range_ids;  ///< kRange, sorted ascending
+  std::vector<Neighbor> neighbors;  ///< kKnn, ascending distance
+  bool found = false;               ///< kDelete
+};
+
+/// A fixed-size thread pool that fans batches of operations over one
+/// MetricIndex, driving every MAM purely through the MetricIndex interface
+/// (no downcasts — baselines that lack an operation report
+/// Status::Unimplemented per op). Read-only batches rely on the
+/// concurrent-reader guarantees of SpbTree/BPlusTree/Raf/BufferPool; mixed
+/// batches additionally rely on the index's epoch-based snapshot protocol
+/// (docs/ARCHITECTURE.md §"Epoch-based snapshots"): queries pin a snapshot
+/// and never block, while the executor's own writer mutex admits writers
+/// one at a time so the index's single-writer try-lock (Status::Busy) never
+/// trips from inside a batch.
 ///
 /// The executor owns `num_threads` worker threads for its whole lifetime
 /// (created eagerly, joined in the destructor). Batches run one at a time;
@@ -88,6 +116,17 @@ class QueryExecutor {
                      std::vector<std::vector<Neighbor>>* results,
                      BatchStats* stats = nullptr);
 
+  /// Runs a mixed read/write batch: ops execute across the pool in an
+  /// arbitrary interleaving, writes serialized through the executor's writer
+  /// mutex, queries running concurrently against pinned snapshots.
+  /// `results` is resized to ops.size(); slot i holds op i's outcome
+  /// (per-op errors land in results[i].status as well as the returned
+  /// first-error). An op that the index does not support fails with
+  /// Status::Unimplemented; the rest of the batch still runs.
+  Status RunMixedBatch(const std::vector<MixedOp>& ops,
+                       std::vector<MixedResult>* results,
+                       BatchStats* stats = nullptr);
+
   size_t num_threads() const { return threads_.size(); }
   MetricIndex* index() { return index_; }
 
@@ -110,6 +149,10 @@ class QueryExecutor {
 
   MetricIndex* index_;
   std::vector<std::thread> threads_;
+
+  /// Serializes write ops within mixed batches so the index's single-writer
+  /// try-lock never fails against a sibling op from the same batch.
+  std::mutex write_mu_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;

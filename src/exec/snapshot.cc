@@ -1,0 +1,128 @@
+#include "exec/snapshot.h"
+
+#include <utility>
+
+namespace spb {
+
+/// The refcounted body of a Snapshot. The destructor of the *last* reference
+/// is the epoch-drain signal: it runs on whichever thread drops that
+/// reference, so OnEpochReleased (and the retire callback behind it) must be
+/// safe from any thread.
+struct Snapshot::State {
+  IndexVersion version;
+  uint64_t epoch = 0;
+  SnapshotManager* manager = nullptr;
+
+  ~State() {
+    if (manager != nullptr) manager->OnEpochReleased(epoch);
+  }
+};
+
+const IndexVersion& Snapshot::version() const { return state_->version; }
+
+uint64_t Snapshot::epoch() const { return state_->epoch; }
+
+SnapshotManager::SnapshotManager(const IndexVersion& initial, RetireFn retire)
+    : retire_(std::move(retire)) {
+  auto state = std::make_shared<Snapshot::State>();
+  state->version = initial;
+  state->epoch = epoch_;
+  state->manager = this;
+  current_ = std::move(state);
+  live_epochs_.insert(epoch_);
+}
+
+SnapshotManager::~SnapshotManager() {
+  // Release the manager's own pin inside the destructor body, while mu_ and
+  // the queue are still alive: if this is the last reference the epoch
+  // drains here and the remaining retire entries run their callback. Any
+  // *reader* snapshot outliving the manager is a caller bug (the index must
+  // outlive its queries), same as the rest of the library.
+  std::shared_ptr<const Snapshot::State> last;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last = std::move(current_);
+  }
+  last.reset();
+}
+
+Snapshot SnapshotManager::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Snapshot(current_);
+}
+
+void SnapshotManager::Publish(const IndexVersion& version,
+                              std::vector<PageId> superseded) {
+  auto state = std::make_shared<Snapshot::State>();
+  state->version = version;
+  state->manager = this;
+
+  std::shared_ptr<const Snapshot::State> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state->epoch = ++epoch_;
+    live_epochs_.insert(state->epoch);
+    if (!superseded.empty()) {
+      // Pages of the version being replaced: readers pinning any epoch up
+      // to (and including) the replaced one may still traverse them.
+      retire_queue_.push_back(RetireEntry{epoch_ - 1, std::move(superseded)});
+    }
+    old = std::move(current_);
+    current_ = std::move(state);
+  }
+  // Drop the manager's pin on the replaced version outside mu_: if this was
+  // the last reference, ~State runs OnEpochReleased, which re-locks mu_ and
+  // may fire the retire callback.
+  old.reset();
+}
+
+IndexVersion SnapshotManager::current_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->version;
+}
+
+uint64_t SnapshotManager::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+size_t SnapshotManager::live_epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_epochs_.size();
+}
+
+size_t SnapshotManager::pending_retirements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retire_queue_.size();
+}
+
+std::vector<SnapshotManager::RetireEntry>
+SnapshotManager::CollectRetirableLocked() {
+  std::vector<RetireEntry> out;
+  // live_epochs_ is only empty during manager teardown (the manager itself
+  // pins the current version while alive) — then everything is retirable.
+  const uint64_t min_live =
+      live_epochs_.empty() ? UINT64_MAX : *live_epochs_.begin();
+  while (!retire_queue_.empty() &&
+         retire_queue_.front().epoch_bound < min_live) {
+    out.push_back(std::move(retire_queue_.front()));
+    retire_queue_.pop_front();
+  }
+  return out;
+}
+
+void SnapshotManager::OnEpochReleased(uint64_t epoch) {
+  std::vector<RetireEntry> retirable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_epochs_.erase(epoch);
+    retirable = CollectRetirableLocked();
+  }
+  // Run the callback outside mu_: it takes its own locks (buffer pool,
+  // node cache, free list) and may be running on a reader thread.
+  if (retire_) {
+    for (RetireEntry& e : retirable) retire_(std::move(e.pages));
+  }
+}
+
+}  // namespace spb

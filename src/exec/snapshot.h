@@ -1,0 +1,134 @@
+#ifndef SPB_EXEC_SNAPSHOT_H_
+#define SPB_EXEC_SNAPSHOT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace spb {
+
+/// One published state of an index: the B+-tree root a reader traverses
+/// from, plus the RAF tail watermark that bounds which record offsets the
+/// version can reference. Everything a query touches is reachable from
+/// `root` (the COW write path never mutates a published page) or lies below
+/// `raf_end_offset` (the RAF is append-only), so a reader holding a Snapshot
+/// of this version sees a perfectly consistent index regardless of how many
+/// writes publish after it.
+struct IndexVersion {
+  PageId root = kInvalidPageId;
+  uint32_t height = 0;
+  /// B+-tree entries in this version.
+  uint64_t num_entries = 0;
+  /// RAF end offset at publication; every leaf entry's `ptr` plus record
+  /// length is below this watermark.
+  uint64_t raf_end_offset = 0;
+  /// Live objects in this version.
+  uint64_t num_objects = 0;
+};
+
+class SnapshotManager;
+
+/// A pinned, refcounted reference to one published IndexVersion. Copyable
+/// and cheap (one shared_ptr); the pinned epoch stays live — and every page
+/// of its version stays un-retired — until the last copy is destroyed.
+/// Queries acquire one Snapshot up front and hold it across the whole
+/// traversal; writers publish freely in the meantime.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  const IndexVersion& version() const;
+  uint64_t epoch() const;
+
+ private:
+  friend class SnapshotManager;
+  struct State;
+  explicit Snapshot(std::shared_ptr<const State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const State> state_;
+};
+
+/// Epoch-based publication of IndexVersions (the update engine's reclamation
+/// protocol, docs/ARCHITECTURE.md §"Epoch-based snapshots"):
+///
+///  - Readers call Acquire() and get the current version pinned under its
+///    epoch. Acquire is one mutex acquisition plus one shared_ptr copy —
+///    negligible against a query traversal.
+///  - The writer prepares a new version out of line (COW pages, RAF tail
+///    appends) and calls Publish(new_version, superseded_pages). Publication
+///    is atomic: after Publish returns, every Acquire sees the new version;
+///    snapshots acquired before keep the old one.
+///  - `superseded_pages` — the page ids the COW walk replaced — are queued
+///    with the retired epoch as their bound and handed to the retire
+///    callback only once every snapshot with epoch <= bound has been
+///    destroyed. The callback typically drops buffer-pool frames and
+///    node-cache entries and recycles the page ids; it may run on *any*
+///    thread (whichever releases the last pinning snapshot), so everything
+///    it touches must be internally synchronized.
+///
+/// The manager itself always pins the current version, so the live-epoch set
+/// is never empty and the current version's pages can never be retired.
+class SnapshotManager {
+ public:
+  using RetireFn = std::function<void(std::vector<PageId>)>;
+
+  /// `retire` may be empty (superseded pages are then simply dropped).
+  SnapshotManager(const IndexVersion& initial, RetireFn retire);
+  ~SnapshotManager();
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// Pins and returns the current version. Thread-safe, wait-free against
+  /// other readers (one uncontended mutex in the common case).
+  Snapshot Acquire() const;
+
+  /// Atomically replaces the current version (writer-side; the caller holds
+  /// the single-writer lock). Pages in `superseded` are retired once the
+  /// last snapshot pinning an epoch <= the superseded epoch drains.
+  void Publish(const IndexVersion& version, std::vector<PageId> superseded);
+
+  /// Current version without pinning (diagnostics / writer bookkeeping).
+  IndexVersion current_version() const;
+  uint64_t current_epoch() const;
+
+  /// Number of epochs still pinned (including the current one). Test hook.
+  size_t live_epochs() const;
+  /// Retire-queue entries not yet handed to the callback. Test hook.
+  size_t pending_retirements() const;
+
+ private:
+  /// State's destructor is the epoch-drain signal calling back into
+  /// OnEpochReleased.
+  friend struct Snapshot::State;
+
+  struct RetireEntry {
+    uint64_t epoch_bound;
+    std::vector<PageId> pages;
+  };
+
+  void OnEpochReleased(uint64_t epoch);
+  /// Pops every retire entry whose bound is below the minimum live epoch.
+  /// Must be called with mu_ held; returns the popped entries so the caller
+  /// can run the callback outside the lock.
+  std::vector<RetireEntry> CollectRetirableLocked();
+
+  mutable std::mutex mu_;
+  RetireFn retire_;
+  uint64_t epoch_ = 0;
+  std::shared_ptr<const Snapshot::State> current_;
+  std::set<uint64_t> live_epochs_;
+  std::deque<RetireEntry> retire_queue_;
+};
+
+}  // namespace spb
+
+#endif  // SPB_EXEC_SNAPSHOT_H_

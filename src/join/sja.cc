@@ -6,60 +6,44 @@ namespace spb {
 
 namespace {
 
-// Forward scan over one SPB-tree's leaf level in ascending SFC order. Each
-// time a leaf loads, the RAF pages of all its entries are handed to the
-// tree's readahead session: leaf entries are SFC-sorted and the RAF stores
-// objects in the same order, so the page ids form near-contiguous runs that
-// coalesce into span reads.
-class LeafCursor {
+// Forward scan over one SPB-tree's leaf level in ascending SFC order,
+// driven by the B+-tree's parent-stack LeafCursor against a pinned snapshot
+// (the leaf sibling chain is not maintained under copy-on-write updates).
+// Each time the scan enters a new leaf, the RAF pages of all its entries are
+// handed to the tree's readahead session: leaf entries are SFC-sorted and
+// the RAF stores objects in the same order, so the page ids form
+// near-contiguous runs that coalesce into span reads.
+class JoinLeafScan {
  public:
-  LeafCursor(SpbTree* tree, Readahead* ra) : tree_(tree), ra_(ra) {}
+  JoinLeafScan(SpbTree* tree, const Snapshot& snap, Readahead* ra)
+      : cur_(&tree->btree(), TreeVersion{snap.version().root,
+                                         snap.version().height,
+                                         snap.version().num_entries}),
+        ra_(ra) {}
 
   Status Init() {
-    SPB_RETURN_IF_ERROR(
-        tree_->btree().GetNode(tree_->btree().first_leaf(), &scratch_, &h_));
-    pos_ = 0;
-    ScheduleLeaf();
-    SkipEmptyLeaves();
+    SPB_RETURN_IF_ERROR(cur_.SeekFirst());
+    if (cur_.valid()) ScheduleLeaf();
     return Status::OK();
   }
 
-  bool done() const { return done_; }
-  const LeafEntry& current() const { return leaf().leaf_entries[pos_]; }
+  bool done() const { return !cur_.valid(); }
+  const LeafEntry& current() const { return cur_.entry(); }
 
   Status Next() {
-    ++pos_;
-    SkipEmptyLeaves();
-    return status_;
+    const PageId before = cur_.leaf().id;
+    SPB_RETURN_IF_ERROR(cur_.Next());
+    if (cur_.valid() && cur_.leaf().id != before) ScheduleLeaf();
+    return Status::OK();
   }
 
  private:
-  // Each cursor owns its decode scratch: the two SJA cursors live on one
-  // thread, so a shared (e.g. thread-local) scratch would let one cursor's
-  // node load clobber the other's when the cache is disabled.
-  const BptNode& leaf() const { return h_->node; }
-
-  void SkipEmptyLeaves() {
-    while (!done_ && pos_ >= leaf().leaf_entries.size()) {
-      if (leaf().next_leaf == kInvalidPageId) {
-        done_ = true;
-        return;
-      }
-      status_ = tree_->btree().GetNode(leaf().next_leaf, &scratch_, &h_);
-      if (!status_.ok()) {
-        done_ = true;
-        return;
-      }
-      pos_ = 0;
-      ScheduleLeaf();
-    }
-  }
-
   void ScheduleLeaf() {
     if (ra_ == nullptr) return;
+    const BptNode& leaf = cur_.leaf();
     pages_.clear();
-    pages_.reserve(leaf().leaf_entries.size() * 2);
-    for (const LeafEntry& e : leaf().leaf_entries) {
+    pages_.reserve(leaf.leaf_entries.size() * 2);
+    for (const LeafEntry& e : leaf.leaf_entries) {
       const PageId p = Raf::PageOf(e.ptr);
       pages_.push_back(p);
       pages_.push_back(p + 1);  // records may straddle a page boundary
@@ -67,14 +51,9 @@ class LeafCursor {
     ra_->Schedule(pages_);
   }
 
-  SpbTree* tree_;
+  BPlusTree::LeafCursor cur_;
   Readahead* ra_;
-  DecodedNode scratch_;
-  NodeHandle h_;
   std::vector<PageId> pages_;
-  size_t pos_ = 0;
-  bool done_ = false;
-  Status status_;
 };
 
 // A visited object kept in one of SJA's two lists.
@@ -192,11 +171,15 @@ Status SimilarityJoinSJA(SpbTree& spb_q, SpbTree& spb_o, double epsilon,
     }
   };
 
-  // One readahead session per tree: each tree's leaf scan visits its RAF in
-  // ascending offset order, so the scheduled pages coalesce into span reads.
+  // One pinned snapshot and one readahead session per tree: the snapshots
+  // hold both versions stable for the whole merge, and each tree's leaf scan
+  // visits its RAF in ascending offset order, so the scheduled pages
+  // coalesce into span reads.
+  const Snapshot snap_q = spb_q.AcquireSnapshot();
+  const Snapshot snap_o = spb_o.AcquireSnapshot();
   Readahead ra_q = spb_q.NewReadaheadSession();
   Readahead ra_o = spb_o.NewReadaheadSession();
-  LeafCursor cq(&spb_q, &ra_q), co(&spb_o, &ra_o);
+  JoinLeafScan cq(&spb_q, snap_q, &ra_q), co(&spb_o, snap_o, &ra_o);
   SPB_RETURN_IF_ERROR(cq.Init());
   SPB_RETURN_IF_ERROR(co.Init());
   std::vector<ListItem> list_q, list_o;

@@ -162,6 +162,17 @@ Status BufferPool::Write(PageId id, const Page& page) {
   return Status::OK();
 }
 
+void BufferPool::Retire(const PageId* ids, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    Shard& shard = ShardFor(ids[i]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(ids[i]);
+    if (it == shard.index.end()) continue;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+}
+
 void BufferPool::Flush() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

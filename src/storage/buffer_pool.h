@@ -139,6 +139,15 @@ class BufferPool {
   /// Drops all cached pages (the paper flushes the cache before each query).
   void Flush();
 
+  /// Drops the cached frames of retired pages (epoch reclamation: the ids
+  /// were superseded by a COW write and the last snapshot that could reach
+  /// them has drained). Uncached ids are ignored; outstanding PagePins keep
+  /// their bytes alive as usual. Safe under concurrent readers (per-shard
+  /// locks) and may run on any thread — the snapshot manager invokes it from
+  /// whichever thread releases the last pinning snapshot.
+  void Retire(const PageId* ids, size_t count);
+  void Retire(const std::vector<PageId>& ids) { Retire(ids.data(), ids.size()); }
+
   /// Changes the cache capacity; drops contents.
   void set_capacity(size_t capacity) { Resize(capacity); }
   size_t capacity() const { return capacity_; }

@@ -15,33 +15,43 @@ namespace spb {
 
 namespace {
 
+// Safe for concurrent readers with one mutating thread (the epoch-based
+// snapshot protocol's writer, docs/ARCHITECTURE.md §"Threading model"):
+// `count_` is an atomic watermark released after the page exists, and the
+// byte copies of Read/Write/Allocate run under `mu_` so a reader copying a
+// page can never race the writer flushing the same page (the bytes a
+// snapshot actually consumes are immutable, but the flush rewrites the
+// whole page). The lock covers only a 4 KB memcpy; the warm path never
+// gets here (buffer-pool and node-cache hits resolve above the file).
 class MemoryPageFile final : public PageFile {
  public:
   PageId num_pages() const override {
-    return static_cast<PageId>(pages_.size());
+    return count_.load(std::memory_order_acquire);
   }
 
   Status Allocate(PageId* id) override {
+    std::lock_guard<std::mutex> lock(mu_);
     *id = static_cast<PageId>(pages_.size());
     pages_.emplace_back(new Page());
+    count_.store(static_cast<PageId>(pages_.size()),
+                 std::memory_order_release);
     return Status::OK();
   }
 
-  // Safe for concurrent readers: pages are heap-allocated and stable, and
-  // the readers-only contract (see docs/ARCHITECTURE.md §"Threading model")
-  // forbids a concurrent Allocate/Write.
   Status Read(PageId id, Page* out) override {
-    if (id >= pages_.size()) {
+    if (id >= num_pages()) {
       return Status::InvalidArgument("page id out of range");
     }
+    std::lock_guard<std::mutex> lock(mu_);
     *out = *pages_[id];
     return Status::OK();
   }
 
   Status Write(PageId id, const Page& page) override {
-    if (id >= pages_.size()) {
+    if (id >= num_pages()) {
       return Status::InvalidArgument("page id out of range");
     }
+    std::lock_guard<std::mutex> lock(mu_);
     *pages_[id] = page;
     return Status::OK();
   }
@@ -49,7 +59,9 @@ class MemoryPageFile final : public PageFile {
   Status Sync() override { return Status::OK(); }
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;
+  std::atomic<PageId> count_{0};
 };
 
 /// File-backed pages over a raw file descriptor. Reads and writes use

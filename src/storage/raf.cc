@@ -46,8 +46,8 @@ Status Raf::Open(std::unique_ptr<PageFile> file, size_t cache_pages,
 Status Raf::WriteHeader() {
   Page header;
   EncodeFixed64(header.bytes(), kRafMagic);
-  EncodeFixed64(header.bytes() + 8, end_offset_);
-  EncodeFixed64(header.bytes() + 16, num_records_);
+  EncodeFixed64(header.bytes() + 8, end_offset());
+  EncodeFixed64(header.bytes() + 16, num_records());
   return file_->Write(0, header);
 }
 
@@ -60,19 +60,27 @@ Status Raf::EnsurePage(PageId id) {
 }
 
 Status Raf::WriteBytes(uint64_t offset, const uint8_t* src, size_t n) {
+  // One lock hold for the whole byte run: readers probing the tail block
+  // only while this append actually mutates it.
+  std::lock_guard<std::mutex> lock(tail_mu_);
   while (n > 0) {
     const PageId page = static_cast<PageId>(offset / kPageSize);
     const size_t in_page = offset % kPageSize;
     const size_t chunk = std::min(n, kPageSize - in_page);
 
     if (page != tail_id_) {
-      // Moving to a new tail page: flush the previous one if dirty.
+      // Moving to a new tail page: flush the previous one if dirty. The
+      // probe keeps pointing at the old page until the flush lands, so a
+      // racing reader either blocks on tail_mu_ (then re-checks and falls
+      // back to the pool, where the bytes now are) or was already past the
+      // probe and copies from the still-locked buffer.
       if (tail_dirty_ && tail_id_ != kInvalidPageId) {
         SPB_RETURN_IF_ERROR(EnsurePage(tail_id_));
         SPB_RETURN_IF_ERROR(pool_.Write(tail_id_, tail_));
       }
       tail_id_ = page;
       tail_dirty_ = false;
+      dirty_tail_id_.store(kInvalidPageId, std::memory_order_release);
       if (page < file_->num_pages()) {
         SPB_RETURN_IF_ERROR(file_->Read(page, &tail_));
       } else {
@@ -81,6 +89,7 @@ Status Raf::WriteBytes(uint64_t offset, const uint8_t* src, size_t n) {
     }
     std::memcpy(tail_.bytes() + in_page, src, chunk);
     tail_dirty_ = true;
+    dirty_tail_id_.store(page, std::memory_order_release);
     offset += chunk;
     src += chunk;
     n -= chunk;
@@ -95,17 +104,28 @@ Status Raf::ReadBytes(uint64_t offset, uint8_t* dst, size_t n,
     const size_t in_page = offset % kPageSize;
     const size_t chunk = std::min(n, kPageSize - in_page);
 
-    if (page == tail_id_ && tail_dirty_) {
-      // The pinned tail buffer absorbs this read: a cache hit, not a PA
-      // (docs/ARCHITECTURE.md §"Cost accounting"). Checked before any
-      // readahead claim so stale staged bytes of a dirty tail page can
-      // never be served.
-      pool_.stats().cache_hits.fetch_add(1, std::memory_order_relaxed);
-      std::memcpy(dst, tail_.bytes() + in_page, chunk);
-    } else if (ra != nullptr) {
-      SPB_RETURN_IF_ERROR(ra->ReadInto(page, in_page, chunk, dst));
-    } else {
-      SPB_RETURN_IF_ERROR(pool_.ReadInto(page, in_page, chunk, dst));
+    bool served_from_tail = false;
+    if (page == dirty_tail_id_.load(std::memory_order_acquire)) {
+      // Probable dirty-tail read: confirm under the lock (the probe may be
+      // stale — the appender could have flushed and moved on, in which case
+      // the bytes are in the pool and the normal path below serves them).
+      std::lock_guard<std::mutex> lock(tail_mu_);
+      if (page == tail_id_ && tail_dirty_) {
+        // The pinned tail buffer absorbs this read: a cache hit, not a PA
+        // (docs/ARCHITECTURE.md §"Cost accounting"). Checked before any
+        // readahead claim so stale staged bytes of a dirty tail page can
+        // never be served.
+        pool_.stats().cache_hits.fetch_add(1, std::memory_order_relaxed);
+        std::memcpy(dst, tail_.bytes() + in_page, chunk);
+        served_from_tail = true;
+      }
+    }
+    if (!served_from_tail) {
+      if (ra != nullptr) {
+        SPB_RETURN_IF_ERROR(ra->ReadInto(page, in_page, chunk, dst));
+      } else {
+        SPB_RETURN_IF_ERROR(pool_.ReadInto(page, in_page, chunk, dst));
+      }
     }
     offset += chunk;
     dst += chunk;
@@ -115,29 +135,35 @@ Status Raf::ReadBytes(uint64_t offset, uint8_t* dst, size_t n,
 }
 
 Status Raf::Append(ObjectId id, const Blob& obj, uint64_t* offset) {
-  *offset = end_offset_;
+  // Single appender (enforced by the owner's writer lock); the relaxed load
+  // reads our own last store.
+  const uint64_t start = end_offset_.load(std::memory_order_relaxed);
+  *offset = start;
   uint8_t header[8];
   EncodeFixed32(header, id);
   EncodeFixed32(header + 4, static_cast<uint32_t>(obj.size()));
-  SPB_RETURN_IF_ERROR(WriteBytes(end_offset_, header, sizeof(header)));
+  SPB_RETURN_IF_ERROR(WriteBytes(start, header, sizeof(header)));
   if (!obj.empty()) {
     SPB_RETURN_IF_ERROR(
-        WriteBytes(end_offset_ + sizeof(header), obj.data(), obj.size()));
+        WriteBytes(start + sizeof(header), obj.data(), obj.size()));
   }
-  end_offset_ += sizeof(header) + obj.size();
-  ++num_records_;
+  // Release: a reader that sees the new watermark also sees the bytes.
+  end_offset_.store(start + sizeof(header) + obj.size(),
+                    std::memory_order_release);
+  num_records_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status Raf::Get(uint64_t offset, ObjectId* id, Blob* obj, Readahead* ra) {
-  if (offset < kPageSize || offset + 8 > end_offset_) {
+  const uint64_t end = end_offset();
+  if (offset < kPageSize || offset + 8 > end) {
     return Status::InvalidArgument("RAF offset out of range");
   }
   uint8_t header[8];
   SPB_RETURN_IF_ERROR(ReadBytes(offset, header, sizeof(header), ra));
   *id = DecodeFixed32(header);
   const uint32_t len = DecodeFixed32(header + 4);
-  if (offset + 8 + len > end_offset_) {
+  if (offset + 8 + len > end) {
     return Status::Corruption("RAF record extends past end of data");
   }
   obj->resize(len);
@@ -156,14 +182,17 @@ Status Raf::GetIntoOwned(uint64_t offset, ObjectId* id, BlobView* view,
 
 Status Raf::GetView(uint64_t offset, ObjectId* id, BlobView* view,
                     Readahead* ra) {
-  if (offset < kPageSize || offset + 8 > end_offset_) {
+  const uint64_t end = end_offset();
+  if (offset < kPageSize || offset + 8 > end) {
     return Status::InvalidArgument("RAF offset out of range");
   }
   const PageId page = PageOf(offset);
   const size_t in_page = offset % kPageSize;
-  // Header straddling a page boundary or living on the dirty tail page:
-  // take Get's byte loop wholesale (identical accounting by construction).
-  if (in_page + 8 > kPageSize || (page == tail_id_ && tail_dirty_)) {
+  // Header straddling a page boundary or (probably) living on the dirty
+  // tail page: take Get's byte loop wholesale (identical accounting by
+  // construction; ReadBytes re-confirms the tail probe under the lock).
+  if (in_page + 8 > kPageSize ||
+      page == dirty_tail_id_.load(std::memory_order_acquire)) {
     return GetIntoOwned(offset, id, view, ra);
   }
   // Pin the header's page: one pool access, exactly Get's header read.
@@ -176,7 +205,7 @@ Status Raf::GetView(uint64_t offset, ObjectId* id, BlobView* view,
   const uint8_t* rec = pin->bytes() + in_page;
   *id = DecodeFixed32(rec);
   const uint32_t len = DecodeFixed32(rec + 4);
-  if (offset + 8 + len > end_offset_) {
+  if (offset + 8 + len > end) {
     return Status::Corruption("RAF record extends past end of data");
   }
   if (len == 0) {
@@ -209,15 +238,17 @@ Status Raf::ScanAll(
   uint64_t offset = kPageSize;
   Blob obj;
   // Window of data pages scheduled ahead of the scan cursor; the session
-  // coalesces each window into span reads.
+  // coalesces each window into span reads. The watermark is captured once:
+  // records appended mid-scan are not visited.
+  const uint64_t end = end_offset();
   constexpr PageId kScanWindow = 32;
   PageId scheduled_until = 1;
   std::vector<PageId> window;
-  while (offset < end_offset_) {
+  while (offset < end) {
     if (ra != nullptr) {
       const PageId page = PageOf(offset);
       if (page + 1 >= scheduled_until) {
-        const PageId last = PageOf(end_offset_ - 1);
+        const PageId last = PageOf(end - 1);
         const PageId until =
             static_cast<PageId>(std::min<uint64_t>(
                 static_cast<uint64_t>(last) + 1,
@@ -239,10 +270,14 @@ Status Raf::ScanAll(
 }
 
 Status Raf::Sync() {
-  if (tail_dirty_ && tail_id_ != kInvalidPageId) {
-    SPB_RETURN_IF_ERROR(EnsurePage(tail_id_));
-    SPB_RETURN_IF_ERROR(pool_.Write(tail_id_, tail_));
-    tail_dirty_ = false;
+  {
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    if (tail_dirty_ && tail_id_ != kInvalidPageId) {
+      SPB_RETURN_IF_ERROR(EnsurePage(tail_id_));
+      SPB_RETURN_IF_ERROR(pool_.Write(tail_id_, tail_));
+      tail_dirty_ = false;
+      dirty_tail_id_.store(kInvalidPageId, std::memory_order_release);
+    }
   }
   SPB_RETURN_IF_ERROR(WriteHeader());
   return file_->Sync();

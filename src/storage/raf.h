@@ -1,8 +1,10 @@
 #ifndef SPB_STORAGE_RAF_H_
 #define SPB_STORAGE_RAF_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/blob.h"
@@ -68,15 +70,25 @@ class BlobView {
 /// Page 0 is a header page (magic, end offset, record count); data starts at
 /// byte offset kPageSize.
 ///
-/// Thread safety: Get() and ScanAll() are safe to call from any number of
-/// threads once the RAF is quiescent — i.e. after bulk-load + Sync(), when
-/// the tail page is clean and all reads flow through the (thread-safe)
-/// buffer pool. Append()/Sync()/FlushCache()/set_cache_pages() are
-/// single-writer operations and must not overlap with reads. Reads served
-/// from a dirty in-memory tail page count as cache hits (not page accesses):
-/// the tail is a pinned buffer, so serving from it is a cache hit under the
-/// paper's PA definition — previously these reads were invisible to the
-/// counters entirely.
+/// Thread safety: Get()/GetView()/ScanAll() are safe from any number of
+/// reader threads *concurrently with one appender*, under the snapshot
+/// protocol (docs/ARCHITECTURE.md §"Threading model"): a reader only
+/// dereferences offsets below the `end_offset()` watermark its snapshot
+/// captured, and every such byte is either in a fully flushed page (served
+/// by the thread-safe buffer pool) or still inside the in-memory tail page,
+/// whose buffer is guarded by `tail_mu_` — the appender only ever writes
+/// tail bytes *at or above* any published watermark, so the bytes a reader
+/// copies out are immutable. The lock-free `dirty_tail_id_` probe routes
+/// readers to the tail path; it is release-published by the appender before
+/// the writer's snapshot Publish(), and re-checked under the lock (a stale
+/// hit falls back to the pool, where the flushed bytes already are).
+/// Append()/Sync()/FlushCache()/SetCachePages() remain single-writer
+/// (mutually excluded among themselves; SpbTree's writer lock provides
+/// this); SetCachePages additionally requires quiesced readers, like
+/// BufferPool::set_capacity. Reads served from the dirty in-memory tail
+/// page count as cache hits (not page accesses): the tail is a pinned
+/// buffer, so serving from it is a cache hit under the paper's PA
+/// definition.
 class Raf {
  public:
   /// Creates an empty RAF over a fresh page file. `cache_pages` sizes the LRU
@@ -127,9 +139,16 @@ class Raf {
   /// Flushes the partial tail page and the header to the page file.
   Status Sync();
 
-  uint64_t num_records() const { return num_records_; }
+  uint64_t num_records() const {
+    return num_records_.load(std::memory_order_relaxed);
+  }
+  /// One past the last valid record byte — the snapshot watermark an index
+  /// version captures at publish time. Release-published by Append().
+  uint64_t end_offset() const {
+    return end_offset_.load(std::memory_order_acquire);
+  }
   /// Total bytes of record data written (excludes the header page).
-  uint64_t data_bytes() const { return end_offset_ - kPageSize; }
+  uint64_t data_bytes() const { return end_offset() - kPageSize; }
   /// Index storage footprint in bytes (whole pages, header included).
   uint64_t file_bytes() const {
     return static_cast<uint64_t>(file_->num_pages()) * kPageSize;
@@ -138,8 +157,21 @@ class Raf {
   BufferPool& pool() { return pool_; }
   const IoStats& stats() const { return pool_.stats(); }
   void ResetStats() { pool_.stats().Reset(); }
-  void FlushCache() { pool_.Flush(); }
-  void set_cache_pages(size_t n) { pool_.set_capacity(n); }
+  /// Drops the LRU cache. Never touches the tail, so it cannot lose data;
+  /// Status-returning for uniformity with the other mutators (always OK
+  /// today).
+  Status FlushCache() {
+    pool_.Flush();
+    return Status::OK();
+  }
+  /// Resizes the LRU cache (drops contents). Requires quiesced readers —
+  /// the pool's shard array is rebuilt.
+  Status SetCachePages(size_t n) {
+    pool_.set_capacity(n);
+    return Status::OK();
+  }
+  /// Deprecated: use SetCachePages(). Thin wrapper kept for older callers.
+  void set_cache_pages(size_t n) { SetCachePages(n); }
 
  private:
   Raf(std::unique_ptr<PageFile> file, size_t cache_pages)
@@ -160,14 +192,22 @@ class Raf {
   BufferPool pool_;
 
   // Next free byte offset; starts at kPageSize (data begins after header).
-  uint64_t end_offset_ = kPageSize;
-  uint64_t num_records_ = 0;
+  // Atomic: the appender release-stores after the record's bytes land, so a
+  // reader that observes an offset also observes the bytes behind it.
+  std::atomic<uint64_t> end_offset_{kPageSize};
+  std::atomic<uint64_t> num_records_{0};
 
   // In-memory tail page: the last, possibly partial, data page. Kept out of
   // the buffer pool until full so appends don't inflate write counts.
+  // `tail_mu_` guards all three fields (appender mutations, reader copies);
+  // `dirty_tail_id_` mirrors (tail_dirty_ ? tail_id_ : kInvalidPageId) so
+  // readers probe "is this the dirty tail?" without taking the lock on the
+  // overwhelmingly common non-tail page.
+  mutable std::mutex tail_mu_;
   Page tail_;
   PageId tail_id_ = kInvalidPageId;
   bool tail_dirty_ = false;
+  std::atomic<PageId> dirty_tail_id_{kInvalidPageId};
 };
 
 }  // namespace spb

@@ -339,8 +339,10 @@ TEST_F(SpbConcurrencyTest, ConcurrentQueriesWithWarmSharedCache) {
   // With real cache capacities the PA totals are interleaving-dependent, but
   // the results must still be identical. This is the configuration that
   // actually exercises the striped LRU under contention.
-  tree_->btree().pool().set_capacity(128);
-  tree_->SetRafCachePages(128);
+  TuningOptions tn = tree_->tuning();
+  tn.btree_cache_pages = 128;
+  tn.raf_cache_pages = 128;
+  ASSERT_TRUE(tree_->ApplyTuning(tn).ok());
 
   std::vector<std::vector<ObjectId>> serial;
   SerialRange(&serial);
@@ -368,13 +370,16 @@ TEST_F(SpbConcurrencyTest, ConcurrentQueriesWithWarmSharedCache) {
 // caches make the totals exactly deterministic.
 TEST_F(SpbConcurrencyTest, PrefetchOnOffIdenticalResultsAndLogicalPa) {
   constexpr size_t kK = 10;
-  tree_->set_enable_prefetch(false);
+  TuningOptions tn = tree_->tuning();
+  tn.enable_prefetch = false;
+  ASSERT_TRUE(tree_->ApplyTuning(tn).ok());
   std::vector<std::vector<ObjectId>> range_off;
   const QueryStats range_off_totals = SerialRange(&range_off);
   std::vector<std::vector<Neighbor>> knn_off;
   const QueryStats knn_off_totals = SerialKnn(kK, &knn_off);
 
-  tree_->set_enable_prefetch(true);
+  tn.enable_prefetch = true;
+  ASSERT_TRUE(tree_->ApplyTuning(tn).ok());
   std::vector<std::vector<ObjectId>> range_on;
   const QueryStats range_on_totals = SerialRange(&range_on);
   std::vector<std::vector<Neighbor>> knn_on;

@@ -39,6 +39,12 @@ uint64_t BitsOf(double d) {
   return u;
 }
 
+void SetCutoff(SpbTree& tree, bool on) {
+  TuningOptions t = tree.tuning();
+  t.enable_cutoff = on;
+  ASSERT_TRUE(tree.ApplyTuning(t).ok());
+}
+
 // Random float vector with values in [-1, 2) — includes negatives and
 // magnitudes above 1 so absolute-value and squaring paths are both
 // non-trivial.
@@ -341,9 +347,9 @@ TEST_P(CutoffRegressionTest, QueriesIdenticalWithAndWithoutCutoff) {
 
     std::vector<ObjectId> with, without;
     QueryStats stats_with, stats_without;
-    tree->set_enable_cutoff(true);
+    SetCutoff(*tree, true);
     ASSERT_TRUE(tree->RangeQuery(q, r, &with, &stats_with).ok());
-    tree->set_enable_cutoff(false);
+    SetCutoff(*tree, false);
     ASSERT_TRUE(tree->RangeQuery(q, r, &without, &stats_without).ok());
     EXPECT_EQ(with, without) << "range r=" << r;  // ids, in the same order
     EXPECT_EQ(stats_with.distance_computations,
@@ -353,9 +359,9 @@ TEST_P(CutoffRegressionTest, QueriesIdenticalWithAndWithoutCutoff) {
     for (KnnTraversal trav :
          {KnnTraversal::kIncremental, KnnTraversal::kGreedy}) {
       std::vector<Neighbor> knn_with, knn_without;
-      tree->set_enable_cutoff(true);
+      SetCutoff(*tree, true);
       ASSERT_TRUE(tree->KnnQuery(q, 10, &knn_with, nullptr, trav).ok());
-      tree->set_enable_cutoff(false);
+      SetCutoff(*tree, false);
       ASSERT_TRUE(tree->KnnQuery(q, 10, &knn_without, nullptr, trav).ok());
       ASSERT_EQ(knn_with.size(), knn_without.size());
       for (size_t i = 0; i < knn_with.size(); ++i) {
@@ -366,7 +372,7 @@ TEST_P(CutoffRegressionTest, QueriesIdenticalWithAndWithoutCutoff) {
       }
     }
   }
-  tree->set_enable_cutoff(true);
+  SetCutoff(*tree, true);
   // Sanity: the cutoff path actually ran (and pruned something) on at least
   // one of these workloads — counters are cumulative over the loop above.
   EXPECT_GT(tree->counting().cutoff_calls(), 0u);
@@ -396,9 +402,9 @@ TEST(CutoffRegressionTest, SjaIdenticalWithAndWithoutCutoff) {
                   .ok());
   const double eps = 0.08 * dq.metric->max_distance();
   std::vector<JoinPair> with, without;
-  tq->set_enable_cutoff(true);
+  SetCutoff(*tq, true);
   ASSERT_TRUE(SimilarityJoinSJA(*tq, *to, eps, &with).ok());
-  tq->set_enable_cutoff(false);
+  SetCutoff(*tq, false);
   ASSERT_TRUE(SimilarityJoinSJA(*tq, *to, eps, &without).ok());
   EXPECT_EQ(with, without);
 }

@@ -133,7 +133,7 @@ TEST_F(BlobViewTest, DirtyTailReadsFallBackToCopy) {
 TEST_F(BlobViewTest, ViewOutlivesEviction) {
   Fill(400, {900});  // ~4 records/page over many pages
   ASSERT_TRUE(raf_->Sync().ok());
-  raf_->set_cache_pages(4);  // tiny pool to force eviction
+  ASSERT_TRUE(raf_->SetCachePages(4).ok());  // tiny pool to force eviction
 
   ObjectId id;
   BlobView view;
@@ -160,7 +160,7 @@ class NodeCacheBptTest : public ::testing::Test {
     ASSERT_TRUE(
         BPlusTree::Create(PageFile::CreateInMemory(), 64, curve_.get(), &bt_)
             .ok());
-    bt_->set_node_cache_entries(128);
+    ASSERT_TRUE(bt_->SetNodeCacheEntries(128).ok());
     std::vector<LeafEntry> entries;
     for (uint64_t i = 0; i < 500; ++i) {
       entries.push_back(LeafEntry{i * 3, i});
@@ -243,9 +243,9 @@ TEST_F(NodeCacheBptTest, AccountingParityCacheOnVsOff) {
     *hits = bt_->stats().cache_hits.load();
   };
   uint64_t on_reads, on_hits, off_reads, off_hits;
-  bt_->set_node_cache_entries(128);
+  ASSERT_TRUE(bt_->SetNodeCacheEntries(128).ok());
   run(&on_reads, &on_hits);
-  bt_->set_node_cache_entries(0);
+  ASSERT_TRUE(bt_->SetNodeCacheEntries(0).ok());
   run(&off_reads, &off_hits);
   EXPECT_EQ(on_reads, off_reads);
   EXPECT_EQ(on_hits, off_hits);
@@ -313,8 +313,10 @@ TEST_F(WarmPathSpbTest, QueriesIdenticalWithTogglesOnAndOff) {
     uint64_t pa = 0, cd = 0;
   };
   auto run = [&](bool engine_on, Observed* out) {
-    tree_->set_node_cache_entries(engine_on ? 1024 : 0);
-    tree_->set_enable_zero_copy(engine_on);
+    TuningOptions tn = tree_->tuning();
+    tn.node_cache_entries = engine_on ? 1024 : 0;
+    tn.enable_zero_copy = engine_on;
+    ASSERT_TRUE(tree_->ApplyTuning(tn).ok());
     // One warm-up sweep so both configs query an identically warmed pool.
     for (const Blob& q : queries) {
       std::vector<ObjectId> r;

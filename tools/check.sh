@@ -15,6 +15,7 @@
 #   tools/check.sh --asan     # only the ASan/UBSan kernel stage
 #   tools/check.sh --iouring  # only the io_uring configure/build check
 #   tools/check.sh --warmab   # only the warm A/B identity sweep (ASan+TSan)
+#   tools/check.sh --updates  # only the update-engine stage (TSan+ASan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +68,23 @@ run_warmab() {
   (cd build-tsan && ./bench/bench_concurrency --scale=3000 --queries=48)
 }
 
+run_updates() {
+  # The update engine's correctness stage: epoch-based snapshot publication
+  # (interleaved insert/delete + query identity, COW page retirement, writer
+  # kBusy taxonomy, mixed executor batches) under TSan — the interleaved
+  # tests are exactly the read/write races the snapshot protocol must make
+  # benign — and under ASan (COW page recycling and retire callbacks must
+  # never free pages a pinned snapshot still reads).
+  echo "==> updates: snapshot/update-engine tests under TSan"
+  cmake -B build-tsan -S . -DSPB_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target updates_test
+  ./build-tsan/tests/updates_test
+  echo "==> updates: snapshot/update-engine tests under ASan"
+  cmake -B build-asan -S . -DSPB_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target updates_test
+  ./build-asan/tests/updates_test
+}
+
 run_iouring() {
   echo "==> iouring: -DSPB_IOURING=ON must build (falls back to pread"
   echo "    with a warning when liburing is absent)"
@@ -80,11 +98,13 @@ case "${1:-}" in
   --asan) run_asan ;;
   --iouring) run_iouring ;;
   --warmab) run_warmab ;;
+  --updates) run_updates ;;
   *)
     run_tier1
     run_tsan
     run_asan
     run_warmab
+    run_updates
     run_iouring
     ;;
 esac

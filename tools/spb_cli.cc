@@ -172,7 +172,14 @@ int Query(const Args& args, const DistanceFunction* metric) {
                  args.metric.c_str());
     return 1;
   }
-  if (args.no_prefetch) index->set_enable_prefetch(false);
+  if (args.no_prefetch) {
+    TuningOptions tn = index->tuning();
+    tn.enable_prefetch = false;
+    if (!index->ApplyTuning(tn).ok()) {
+      std::fprintf(stderr, "ApplyTuning failed\n");
+      return 1;
+    }
+  }
   // --cold measures the paper's protocol: drop both LRU pools and zero the
   // cumulative counters before the (repeated) query runs.
   if (args.cold) {
