@@ -22,9 +22,11 @@
 // the table so results can be scraped like the other bench targets'
 // outputs.
 #include <chrono>
+#include <cstring>
 #include <string>
 
 #include "bench/bench_common.h"
+#include "core/sharded_spb_tree.h"
 #include "exec/query_executor.h"
 
 namespace spb {
@@ -619,6 +621,241 @@ void RunMixedSweep(const BenchConfig& config, const Dataset& ds,
   }
 }
 
+// --------------------------------------------- sharded scatter-gather (PR 6)
+
+// The sharded SPB-tree's S sweep: for S in {1, 2, 4, 8}, build a sharded
+// tree over the same dataset, gate S=1 on byte-identity with the unsharded
+// tree (cold per-query results, PA and compdists), then measure on a warm
+// tree at T=4: read-only QPS, the 90/10 mixed QPS (and the write ops/s
+// inside it) and a pure-insert batch throughput. All trees are driven
+// through MetricIndex — the executor never downcasts. Emits BENCH_PR6.json
+// (schema in EXPERIMENTS.md).
+void RunShardSweep(const BenchConfig& config, const Dataset& ds,
+                   const std::vector<Blob>& queries, double r, size_t k) {
+  SpbTreeOptions base_opts;
+  base_opts.seed = config.seed;
+  std::unique_ptr<SpbTree> flat;
+  if (!SpbTree::Build(ds.objects, ds.metric.get(), base_opts, &flat).ok()) {
+    std::abort();
+  }
+  const size_t n = queries.size();
+
+  // Cold unsharded baseline: the identity reference for S=1.
+  std::vector<std::vector<ObjectId>> flat_range(n);
+  std::vector<std::vector<Neighbor>> flat_knn(n);
+  std::vector<uint64_t> flat_pa(n), flat_cd(n);
+  for (size_t i = 0; i < n; ++i) {
+    QueryStats rs, ks;
+    flat->FlushCaches();
+    if (!flat->RangeQuery(queries[i], r, &flat_range[i], &rs).ok()) {
+      std::abort();
+    }
+    std::sort(flat_range[i].begin(), flat_range[i].end());
+    flat->FlushCaches();
+    if (!flat->KnnQuery(queries[i], k, &flat_knn[i], &ks).ok()) std::abort();
+    flat_pa[i] = rs.page_accesses + ks.page_accesses;
+    flat_cd[i] = rs.distance_computations + ks.distance_computations;
+  }
+
+  std::printf("\n[sharded scatter-gather sweep: S in {1,2,4,8}, T=4, "
+              "90/10 mix as in the PR 5 sweep]\n");
+  PrintRule(96);
+  std::printf("%-5s | %8s | %9s | %9s | %10s | %10s | %s\n", "S", "build(s)",
+              "read QPS", "mixed QPS", "write/s", "insert/s", "shard sizes");
+  PrintRule(96);
+
+  struct Cell {
+    size_t shards;
+    double build_s, read_qps, mixed_qps, write_ops_s, insert_qps;
+    std::string sizes;
+  };
+  std::vector<Cell> cells;
+  const size_t blocks = n;
+  for (size_t S : {size_t(1), size_t(2), size_t(4), size_t(8)}) {
+    SpbTreeOptions opts = base_opts;
+    opts.num_shards = S;
+    std::unique_ptr<ShardedSpbTree> tree;
+    const auto b0 = std::chrono::steady_clock::now();
+    if (!ShardedSpbTree::Build(ds.objects, ds.metric.get(), opts, &tree)
+             .ok()) {
+      std::abort();
+    }
+    const double build_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - b0)
+            .count();
+
+    if (S == 1) {
+      // Identity gate: the S=1 router is pure delegation, so cold results,
+      // logical PA and compdists must match the unsharded tree exactly.
+      for (size_t i = 0; i < n; ++i) {
+        QueryStats rs, ks;
+        std::vector<ObjectId> ids;
+        std::vector<Neighbor> nn;
+        tree->FlushCaches();
+        if (!tree->RangeQuery(queries[i], r, &ids, &rs).ok()) std::abort();
+        std::sort(ids.begin(), ids.end());
+        tree->FlushCaches();
+        if (!tree->KnnQuery(queries[i], k, &nn, &ks).ok()) std::abort();
+        if (ids != flat_range[i] || nn != flat_knn[i]) {
+          std::printf("FAIL: S=1 results differ from unsharded at q%zu\n", i);
+          std::abort();
+        }
+        if (rs.page_accesses + ks.page_accesses != flat_pa[i] ||
+            rs.distance_computations + ks.distance_computations !=
+                flat_cd[i]) {
+          std::printf("FAIL: S=1 PA/compdists differ from unsharded at "
+                      "q%zu\n",
+                      i);
+          std::abort();
+        }
+      }
+      std::printf("S=1: cold results, PA and compdists byte-identical to "
+                  "the unsharded tree (%zu queries)\n",
+                  n);
+    }
+
+    QueryExecutor exec(tree.get(), 4);
+
+    // Warm read-only throughput (warm-up pass, then measured range + kNN).
+    std::vector<std::vector<ObjectId>> rr;
+    std::vector<std::vector<Neighbor>> kr;
+    BatchStats rstats, kstats;
+    if (!exec.RunRangeBatch(queries, r, &rr, nullptr).ok() ||
+        !exec.RunRangeBatch(queries, r, &rr, &rstats).ok() ||
+        !exec.RunKnnBatch(queries, k, &kr, &kstats).ok()) {
+      std::abort();
+    }
+    const double read_qps =
+        rstats.qps > 0 && kstats.qps > 0
+            ? double(2 * n) / (double(n) / rstats.qps + double(n) / kstats.qps)
+            : 0.0;
+
+    // Mixed 90/10 batch (blocks of 20: 9 range, 9 kNN, 1 insert, 1 delete;
+    // deletes target distinct dataset ids — always present on this fresh
+    // tree).
+    std::vector<MixedOp> ops;
+    ObjectId next_id = ObjectId(ds.objects.size());
+    for (size_t b = 0; b < blocks; ++b) {
+      for (size_t j = 0; j < 9; ++j) {
+        MixedOp op;
+        op.kind = MixedOp::Kind::kRange;
+        op.obj = queries[(b + j) % n];
+        op.radius = r;
+        ops.push_back(std::move(op));
+      }
+      for (size_t j = 0; j < 9; ++j) {
+        MixedOp op;
+        op.kind = MixedOp::Kind::kKnn;
+        op.obj = queries[(b + j + 3) % n];
+        op.k = k;
+        ops.push_back(std::move(op));
+      }
+      MixedOp ins;
+      ins.kind = MixedOp::Kind::kInsert;
+      ins.obj = ds.objects[b % ds.objects.size()];
+      ins.id = next_id++;
+      ops.push_back(std::move(ins));
+      MixedOp del;
+      del.kind = MixedOp::Kind::kDelete;
+      del.obj = ds.objects[b];
+      del.id = ObjectId(b);
+      ops.push_back(std::move(del));
+    }
+    std::vector<MixedResult> mresults;
+    BatchStats mstats;
+    if (!exec.RunMixedBatch(ops, &mresults, &mstats).ok()) std::abort();
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (!mresults[i].status.ok()) std::abort();
+      if (ops[i].kind == MixedOp::Kind::kDelete && !mresults[i].found) {
+        std::printf("FAIL: delete missed its target at S=%zu\n", S);
+        std::abort();
+      }
+    }
+    const double mixed_qps = mstats.qps;
+    // 2 writes per 20-op block; write ops/s inside the mixed batch.
+    const double write_ops_s = mixed_qps * 2.0 / 20.0;
+
+    // Pure-insert batch: fresh ids, payloads cycled from the dataset. The
+    // per-shard win here is structural — shallower COW spines — not
+    // parallelism (writes still serialize on one core).
+    const size_t n_inserts = 512;
+    std::vector<MixedOp> ins_ops(n_inserts);
+    for (size_t i = 0; i < n_inserts; ++i) {
+      ins_ops[i].kind = MixedOp::Kind::kInsert;
+      ins_ops[i].obj = ds.objects[(7 * i) % ds.objects.size()];
+      ins_ops[i].id = next_id++;
+    }
+    BatchStats istats;
+    if (!exec.RunMixedBatch(ins_ops, &mresults, &istats).ok()) std::abort();
+    for (const MixedResult& res : mresults) {
+      if (!res.status.ok()) std::abort();
+    }
+    if (!tree->CheckIntegrity().ok()) {
+      std::printf("FAIL: integrity check after shard sweep at S=%zu\n", S);
+      std::abort();
+    }
+
+    std::string sizes;
+    for (size_t s = 0; s < tree->num_shards(); ++s) {
+      if (s > 0) sizes += "/";
+      sizes += std::to_string(tree->shard(s).size());
+    }
+    std::printf("S=%-3zu | %8.2f | %9.1f | %9.1f | %10.1f | %10.1f | %s\n", S,
+                build_s, read_qps, mixed_qps, write_ops_s, istats.qps,
+                sizes.c_str());
+    std::printf(
+        "JSON {\"bench\":\"sharded\",\"shards\":%zu,\"build_s\":%.3f,"
+        "\"read_qps\":%.1f,\"mixed_qps\":%.1f,\"write_ops_s\":%.1f,"
+        "\"insert_qps\":%.1f,\"shard_sizes\":\"%s\"}\n",
+        S, build_s, read_qps, mixed_qps, write_ops_s, istats.qps,
+        sizes.c_str());
+    cells.push_back(
+        Cell{S, build_s, read_qps, mixed_qps, write_ops_s, istats.qps, sizes});
+  }
+  PrintRule(96);
+  const Cell& s1 = cells[0];
+  const Cell* s4 = nullptr;
+  for (const Cell& c : cells) {
+    if (c.shards == 4) s4 = &c;
+  }
+  if (s4 != nullptr) {
+    std::printf("S=4 vs S=1: mixed write throughput %.1f vs %.1f ops/s "
+                "(%.2fx), insert batch %.1f vs %.1f ops/s (%.2fx)\n",
+                s4->write_ops_s, s1.write_ops_s,
+                s1.write_ops_s > 0 ? s4->write_ops_s / s1.write_ops_s : 0.0,
+                s4->insert_qps, s1.insert_qps,
+                s1.insert_qps > 0 ? s4->insert_qps / s1.insert_qps : 0.0);
+  }
+
+  FILE* json = std::fopen("BENCH_PR6.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"sharded_scatter_gather\",\n"
+                 "  \"dataset\": \"synthetic\",\n  \"scale\": %zu,\n"
+                 "  \"queries\": %zu,\n  \"threads\": 4,\n"
+                 "  \"mix\": \"per 20 ops: 9 range, 9 knn, 1 insert, "
+                 "1 delete\",\n"
+                 "  \"identity\": \"S=1 cold results, PA and compdists "
+                 "byte-identical to the unsharded tree (asserted)\",\n"
+                 "  \"cells\": [\n",
+                 config.scale, n);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(json,
+                   "    {\"shards\": %zu, \"build_s\": %.3f, "
+                   "\"read_qps\": %.1f, \"mixed_qps\": %.1f, "
+                   "\"write_ops_s\": %.1f, \"insert_qps\": %.1f, "
+                   "\"shard_sizes\": \"%s\"}%s\n",
+                   c.shards, c.build_s, c.read_qps, c.mixed_qps,
+                   c.write_ops_s, c.insert_qps, c.sizes.c_str(),
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_PR6.json\n");
+  }
+}
+
 void Run(const BenchConfig& config) {
   std::printf("Concurrency + cold-path I/O engine: throughput sweeps\n");
   std::printf("scale=%zu queries=%zu\n", config.scale, config.queries);
@@ -641,6 +878,10 @@ void Run(const BenchConfig& config) {
   // interleaved with serialized writers, fresh tree.
   RunMixedSweep(config, ds, queries, r, kK);
 
+  // Sharded scatter-gather sweep (PR 6): S in {1,2,4,8}, S=1 identity-gated
+  // against the unsharded tree.
+  RunShardSweep(config, ds, queries, r, kK);
+
   std::printf(
       "\nCold rows: prefetch vs demand is the I/O engine's win (speedup "
       "column); logical PA is invariant by construction. Warm rows: QPS "
@@ -648,12 +889,34 @@ void Run(const BenchConfig& config) {
       "workers queue on memory bandwidth.\n\n");
 }
 
+// Runs only the sharded sweep (ctest / check.sh entry point: the S=1
+// identity gate and the S sweep at a small scale without the full bench).
+void RunShardsOnly(const BenchConfig& config) {
+  std::printf("Sharded scatter-gather sweep (standalone)\n");
+  std::printf("scale=%zu queries=%zu\n", config.scale, config.queries);
+  Dataset ds = MakeDatasetByName("synthetic", config.scale, config.seed);
+  const auto queries = QueryWorkload(ds, config.queries);
+  const double r = 0.08 * ds.metric->max_distance();
+  RunShardSweep(config, ds, queries, r, /*k=*/8);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace spb
 
 int main(int argc, char** argv) {
-  spb::bench::Run(spb::bench::ParseArgs(argc, argv, /*default_scale=*/20000,
-                                        /*default_queries=*/256));
+  // ParseArgs ignores flags it does not know, so --shards-only composes
+  // with --scale/--queries/--seed.
+  bool shards_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards-only") == 0) shards_only = true;
+  }
+  const spb::bench::BenchConfig config = spb::bench::ParseArgs(
+      argc, argv, /*default_scale=*/20000, /*default_queries=*/256);
+  if (shards_only) {
+    spb::bench::RunShardsOnly(config);
+  } else {
+    spb::bench::Run(config);
+  }
   return 0;
 }

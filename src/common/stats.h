@@ -38,6 +38,13 @@ struct IoStats {
   std::atomic<uint64_t> prefetch_hits{0};
   /// Pages fetched as part of multi-page span reads (runs of length >= 2).
   std::atomic<uint64_t> coalesced_pages{0};
+  /// Bytes of RAF records orphaned by Delete since the last Reset(). The
+  /// lazy-deletion design never reclaims RAF space in place (records are
+  /// unlinked from the B+-tree only), so this counter is the compaction
+  /// debt a future WAL/compaction pass would recover. Excluded from
+  /// page_accesses(); surfaced per shard and in aggregate by
+  /// ShardedSpbTree::io_stats() and `spb_cli stats`.
+  std::atomic<uint64_t> dead_bytes{0};
 
   IoStats() = default;
   IoStats(const IoStats& other) { *this = other; }
@@ -58,6 +65,8 @@ struct IoStats {
     coalesced_pages.store(
         other.coalesced_pages.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
+    dead_bytes.store(other.dead_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
     return *this;
   }
 
@@ -74,6 +83,7 @@ struct IoStats {
     prefetch_issued.store(0, std::memory_order_relaxed);
     prefetch_hits.store(0, std::memory_order_relaxed);
     coalesced_pages.store(0, std::memory_order_relaxed);
+    dead_bytes.store(0, std::memory_order_relaxed);
   }
 
   IoStats& operator+=(const IoStats& other) {
@@ -95,6 +105,8 @@ struct IoStats {
     coalesced_pages.fetch_add(
         other.coalesced_pages.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
+    dead_bytes.fetch_add(other.dead_bytes.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
     return *this;
   }
 };

@@ -80,6 +80,15 @@ class MetricIndex {
   /// Drops LRU caches (done before each measured query, as in the paper).
   virtual void FlushCaches() = 0;
 
+  /// How many Insert/Delete operations can make progress concurrently
+  /// before the index starts reporting Status::Busy to the extras. 1 for
+  /// single-writer indexes (the SPB-tree's writer try-lock); S for the
+  /// sharded SPB-tree, whose writers only contend within one SFC key-range
+  /// shard. QueryExecutor uses this to decide between serializing writes
+  /// behind one mutex (== 1) and dispatching them concurrently with
+  /// retry-on-Busy (> 1).
+  virtual size_t writer_concurrency() const { return 1; }
+
   virtual std::string name() const = 0;
 };
 

@@ -1,0 +1,568 @@
+#include "core/sharded_spb_tree.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+namespace spb {
+
+namespace {
+
+constexpr char kManifestName[] = "/shards.spb";
+constexpr uint64_t kManifestMagic = 0x5350425348415244ULL;  // "SPBSHARD"
+
+std::string ManifestPath(const std::string& dir) { return dir + kManifestName; }
+
+/// Per-query stat delta over the *aggregate* counters, mirroring the
+/// StatScope of spb_tree.cc: valid for attribution only when queries do not
+/// overlap (concurrent callers pass stats == nullptr).
+class ShardedStatScope {
+ public:
+  ShardedStatScope(const ShardedSpbTree& t, QueryStats* out)
+      : t_(t),
+        out_(out),
+        before_(t.cumulative_stats()),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~ShardedStatScope() {
+    if (out_ == nullptr) return;
+    const QueryStats after = t_.cumulative_stats();
+    out_->page_accesses = after.page_accesses - before_.page_accesses;
+    out_->distance_computations =
+        after.distance_computations - before_.distance_computations;
+    out_->elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+  }
+
+ private:
+  const ShardedSpbTree& t_;
+  QueryStats* out_;
+  QueryStats before_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+size_t Log2(size_t n) {
+  size_t b = 0;
+  while ((size_t{1} << b) < n) ++b;
+  return b;
+}
+
+}  // namespace
+
+SpbTreeOptions ShardedSpbTree::ShardOptions(const SpbTreeOptions& options,
+                                            size_t s) {
+  SpbTreeOptions o = options;
+  o.num_shards = 1;
+  if (!options.storage_dir.empty()) {
+    o.storage_dir = options.storage_dir + "/shard_" + std::to_string(s);
+  }
+  return o;
+}
+
+Status ShardedSpbTree::Build(const std::vector<Blob>& objects,
+                             const DistanceFunction* metric,
+                             const SpbTreeOptions& options,
+                             std::unique_ptr<ShardedSpbTree>* out) {
+  if (!IsPowerOfTwo(options.num_shards)) {
+    return Status::InvalidArgument(
+        "num_shards must be a power of two (key ranges are a binary split "
+        "of the SFC key space)");
+  }
+  auto t = std::unique_ptr<ShardedSpbTree>(new ShardedSpbTree());
+  t->storage_dir_ = options.storage_dir;
+  t->base_metric_ = metric;
+  t->counting_ = std::make_unique<CountingDistance>(metric);
+
+  if (options.num_shards == 1) {
+    // One shard: delegate construction wholesale (pivot selection included)
+    // so the backing tree is indistinguishable from an unsharded build.
+    t->shards_.resize(1);
+    t->boxes_.emplace_back(std::make_unique<ShardBox>());
+    SPB_RETURN_IF_ERROR(SpbTree::Build(objects, metric,
+                                       ShardOptions(options, 0),
+                                       &t->shards_[0]));
+    t->space_ = std::make_unique<MappedSpace>(
+        PivotTable(t->shards_[0]->space().pivots()), *metric, options.delta,
+        options.curve);
+    if (!options.storage_dir.empty()) {
+      SPB_RETURN_IF_ERROR(t->WriteManifest());
+    }
+    *out = std::move(t);
+    return Status::OK();
+  }
+
+  // Select pivots once, over the whole dataset — shards share the mapping.
+  CountingDistance selection_counter(metric);
+  PivotSelectionOptions popts;
+  popts.num_pivots = options.num_pivots;
+  popts.seed = options.seed;
+  PivotTable pivots(SelectPivots(options.pivot_selector, objects,
+                                 selection_counter, popts));
+  if (pivots.empty() && !objects.empty()) {
+    return Status::InvalidArgument("pivot selection produced no pivots");
+  }
+  if (pivots.empty()) pivots = PivotTable({Blob{}});
+  t->extra_distance_computations_ = selection_counter.count();
+
+  SPB_RETURN_IF_ERROR(
+      BuildShards(objects, metric, options, std::move(pivots), t.get()));
+  if (!options.storage_dir.empty()) {
+    SPB_RETURN_IF_ERROR(t->WriteManifest());
+  }
+  *out = std::move(t);
+  return Status::OK();
+}
+
+Status ShardedSpbTree::BuildShards(const std::vector<Blob>& objects,
+                                   const DistanceFunction* metric,
+                                   const SpbTreeOptions& options,
+                                   PivotTable pivots, ShardedSpbTree* t) {
+  t->space_ = std::make_unique<MappedSpace>(PivotTable(pivots.pivots()),
+                                            *metric, options.delta,
+                                            options.curve);
+  const size_t dims = t->space_->dims();
+  const size_t S = options.num_shards;
+
+  // Map the whole dataset once (counted at the router, exactly the
+  // distance calls the unsharded bulk load spends).
+  std::vector<double> phis(objects.size() * dims);
+  std::vector<uint64_t> keys(objects.size());
+  if (!objects.empty()) {
+    t->space_->pivots().MapBatch(objects.data(), objects.size(),
+                                 *t->counting_, phis.data());
+    for (size_t i = 0; i < objects.size(); ++i) {
+      keys[i] = t->space_->KeyFor(phis.data() + i * dims, dims);
+    }
+  }
+
+  // Range boundaries at the S-quantiles of the mapped keys, so bulk load
+  // starts balanced. With no data, fall back to an equal-width split of
+  // the occupied-bit key space so later inserts still spread.
+  t->boundaries_.clear();
+  if (objects.empty()) {
+    const size_t total_bits =
+        dims * static_cast<size_t>(t->space_->curve().bits());
+    const size_t lg = Log2(S);
+    for (size_t s = 1; s < S; ++s) {
+      // More shards than key bits: route everything to shard 0.
+      t->boundaries_.push_back(lg <= total_bits
+                                   ? uint64_t(s) << (total_bits - lg)
+                                   : UINT64_MAX);
+    }
+  } else {
+    std::vector<uint64_t> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t s = 1; s < S; ++s) {
+      t->boundaries_.push_back(sorted[s * sorted.size() / S]);
+    }
+  }
+
+  // Partition every object by its routed key.
+  std::vector<std::vector<Blob>> objs(S);
+  std::vector<std::vector<ObjectId>> ids(S);
+  std::vector<std::vector<double>> shard_phis(S);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const double* row = phis.data() + i * dims;
+    const size_t s = t->RouteKey(keys[i]);
+    objs[s].push_back(objects[i]);
+    ids[s].push_back(static_cast<ObjectId>(i));
+    shard_phis[s].insert(shard_phis[s].end(), row, row + dims);
+  }
+
+  // Bulk-load the shards, one thread each. Every shard gets its own copy of
+  // the pivot table (it owns its mapping) and a num_shards=1 option set
+  // rooted under shard_<s>/.
+  t->shards_.resize(S);
+  t->boxes_.clear();
+  for (size_t s = 0; s < S; ++s) {
+    t->boxes_.emplace_back(std::make_unique<ShardBox>());
+  }
+  std::vector<Status> results(S, Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(S);
+  for (size_t s = 0; s < S; ++s) {
+    threads.emplace_back([&, s]() {
+      results[s] = SpbTree::BuildWithPivots(
+          objs[s], metric, PivotTable(t->space_->pivots().pivots()),
+          ShardOptions(options, s), &t->shards_[s], &ids[s],
+          objs[s].empty() ? nullptr : shard_phis[s].data());
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const Status& s : results) {
+    if (!s.ok()) return s;
+  }
+  return t->RecomputeBoxes();
+}
+
+Status ShardedSpbTree::Open(const std::string& storage_dir,
+                            const DistanceFunction* metric,
+                            const SpbTreeOptions& options,
+                            std::unique_ptr<ShardedSpbTree>* out) {
+  std::ifstream in(ManifestPath(storage_dir), std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no shard manifest in " + storage_dir);
+  }
+  uint64_t magic = 0, num_shards = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&num_shards), sizeof(num_shards));
+  if (!in || magic != kManifestMagic) {
+    return Status::Corruption("bad shard manifest in " + storage_dir);
+  }
+  if (!IsPowerOfTwo(num_shards)) {
+    return Status::Corruption("shard manifest: invalid shard count");
+  }
+
+  auto t = std::unique_ptr<ShardedSpbTree>(new ShardedSpbTree());
+  t->storage_dir_ = storage_dir;
+  t->base_metric_ = metric;
+  t->counting_ = std::make_unique<CountingDistance>(metric);
+  t->boundaries_.resize(num_shards - 1);
+  for (uint64_t& b : t->boundaries_) {
+    in.read(reinterpret_cast<char*>(&b), sizeof(b));
+  }
+  if (!in || !std::is_sorted(t->boundaries_.begin(), t->boundaries_.end())) {
+    return Status::Corruption("shard manifest: bad range boundaries");
+  }
+  t->shards_.resize(num_shards);
+  SpbTreeOptions sopts = options;
+  sopts.num_shards = 1;
+  for (size_t s = 0; s < num_shards; ++s) {
+    t->boxes_.emplace_back(std::make_unique<ShardBox>());
+    SPB_RETURN_IF_ERROR(
+        SpbTree::Open(storage_dir + "/shard_" + std::to_string(s), metric,
+                      sopts, &t->shards_[s]));
+  }
+  // The router's mapping is shard 0's restored mapping (every shard was
+  // built from one shared pivot table, delta and curve).
+  const SpbTree& s0 = *t->shards_[0];
+  t->space_ = std::make_unique<MappedSpace>(PivotTable(s0.space().pivots()),
+                                            *metric, s0.options().delta,
+                                            s0.options().curve);
+  if (num_shards > 1) {
+    SPB_RETURN_IF_ERROR(t->RecomputeBoxes());
+    for (auto& shard : t->shards_) shard->ResetCounters();
+  }
+  *out = std::move(t);
+  return Status::OK();
+}
+
+bool ShardedSpbTree::IsShardedDir(const std::string& storage_dir) {
+  std::error_code ec;
+  return std::filesystem::exists(ManifestPath(storage_dir), ec);
+}
+
+Status ShardedSpbTree::WriteManifest() const {
+  std::error_code ec;
+  std::filesystem::create_directories(storage_dir_, ec);
+  std::ofstream outf(ManifestPath(storage_dir_),
+                     std::ios::binary | std::ios::trunc);
+  if (!outf) {
+    return Status::IOError("cannot write shard manifest in " + storage_dir_);
+  }
+  const uint64_t magic = kManifestMagic;
+  const uint64_t n = shards_.size();
+  outf.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  outf.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const uint64_t b : boundaries_) {
+    outf.write(reinterpret_cast<const char*>(&b), sizeof(b));
+  }
+  outf.flush();
+  return outf ? Status::OK()
+              : Status::IOError("short write to shard manifest");
+}
+
+Status ShardedSpbTree::Save() {
+  if (storage_dir_.empty()) {
+    return Status::InvalidArgument("Save() needs a disk-backed index");
+  }
+  for (auto& shard : shards_) {
+    SPB_RETURN_IF_ERROR(shard->Save());
+  }
+  return WriteManifest();
+}
+
+Status ShardedSpbTree::RecomputeBoxes() {
+  const size_t dims = space_->dims();
+  std::vector<uint64_t> keys;
+  MappedSpace::CellBlock block;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardBox& box = *boxes_[s];
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.valid = false;
+    SpbTree& shard = *shards_[s];
+    const Snapshot snap = shard.AcquireSnapshot();
+    const IndexVersion& v = snap.version();
+    if (v.num_entries == 0) continue;
+    keys.clear();
+    BPlusTree::LeafCursor cur(&shard.btree(),
+                              TreeVersion{v.root, v.height, v.num_entries});
+    SPB_RETURN_IF_ERROR(cur.SeekFirst());
+    while (cur.valid()) {
+      keys.push_back(cur.entry().key);
+      SPB_RETURN_IF_ERROR(cur.Next());
+    }
+    space_->DecodeKeys(keys.data(), keys.size(), &block);
+    box.lo.assign(dims, 0);
+    box.hi.assign(dims, 0);
+    for (size_t d = 0; d < dims; ++d) {
+      uint32_t lo = block.At(d, 0), hi = block.At(d, 0);
+      for (size_t i = 1; i < keys.size(); ++i) {
+        lo = std::min(lo, block.At(d, i));
+        hi = std::max(hi, block.At(d, i));
+      }
+      box.lo[d] = lo;
+      box.hi[d] = hi;
+    }
+    box.valid = true;
+  }
+  return Status::OK();
+}
+
+void ShardedSpbTree::GrowBox(size_t s, const std::vector<uint32_t>& cells) {
+  ShardBox& box = *boxes_[s];
+  std::lock_guard<std::mutex> lock(box.mu);
+  if (!box.valid) {
+    box.lo = cells;
+    box.hi = cells;
+    box.valid = true;
+    return;
+  }
+  for (size_t d = 0; d < cells.size(); ++d) {
+    box.lo[d] = std::min(box.lo[d], cells[d]);
+    box.hi[d] = std::max(box.hi[d], cells[d]);
+  }
+}
+
+bool ShardedSpbTree::LoadBox(size_t s, std::vector<uint32_t>* lo,
+                             std::vector<uint32_t>* hi) const {
+  const ShardBox& box = *boxes_[s];
+  std::lock_guard<std::mutex> lock(box.mu);
+  if (!box.valid) return false;
+  *lo = box.lo;
+  *hi = box.hi;
+  return true;
+}
+
+Status ShardedSpbTree::Insert(const Blob& obj, ObjectId id) {
+  if (shards_.size() == 1) return shards_[0]->Insert(obj, id);
+  const std::vector<double> phi = space_->Phi(obj, *counting_);
+  const uint64_t key = space_->KeyFor(phi);
+  const size_t s = RouteKey(key);
+  // Grow the box before the shard publishes, so a scatter that sees the new
+  // object also sees a box covering it. If the shard turns out Busy the box
+  // merely over-covers — conservative, never wrong.
+  GrowBox(s, space_->ToCells(phi));
+  const SpbTree::MappedInsert item{&obj, id, key, phi.data()};
+  return shards_[s]->BatchInsertMapped(&item, 1);
+}
+
+Status ShardedSpbTree::BatchInsert(const std::vector<Blob>& objs,
+                                   const std::vector<ObjectId>& ids) {
+  if (objs.size() != ids.size()) {
+    return Status::InvalidArgument("BatchInsert: objs/ids size mismatch");
+  }
+  if (shards_.size() == 1) return shards_[0]->BatchInsert(objs, ids);
+  if (objs.empty()) return Status::OK();
+  const size_t dims = space_->dims();
+  std::vector<double> phis(objs.size() * dims);
+  space_->pivots().MapBatch(objs.data(), objs.size(), *counting_,
+                            phis.data());
+  std::vector<std::vector<SpbTree::MappedInsert>> per_shard(shards_.size());
+  std::vector<uint32_t> cells;
+  for (size_t i = 0; i < objs.size(); ++i) {
+    const double* row = phis.data() + i * dims;
+    const uint64_t key = space_->KeyFor(row, dims);
+    const size_t s = RouteKey(key);
+    per_shard[s].push_back(SpbTree::MappedInsert{&objs[i], ids[i], key, row});
+    cells.resize(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      cells[d] = space_->discretizer().ToCell(row[d]);
+    }
+    GrowBox(s, cells);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    SPB_RETURN_IF_ERROR(
+        shards_[s]->BatchInsertMapped(per_shard[s].data(),
+                                      per_shard[s].size()));
+  }
+  return Status::OK();
+}
+
+Status ShardedSpbTree::Delete(const Blob& obj, ObjectId id, bool* found) {
+  if (shards_.size() == 1) return shards_[0]->Delete(obj, id, found);
+  const std::vector<double> phi = space_->Phi(obj, *counting_);
+  const uint64_t key = space_->KeyFor(phi);
+  return shards_[RouteKey(key)]->DeleteMapped(obj, id, key, found);
+}
+
+Status ShardedSpbTree::RangeQuery(const Blob& q, double r,
+                                  std::vector<ObjectId>* result,
+                                  QueryStats* stats) {
+  if (shards_.size() == 1) return shards_[0]->RangeQuery(q, r, result, stats);
+  ShardedStatScope scope(*this, stats);
+  result->clear();
+  if (r < 0) return Status::OK();
+  const size_t dims = space_->dims();
+  std::vector<double> phi_q(dims);
+  space_->pivots().MapBatch(&q, 1, *counting_, phi_q.data());
+  std::vector<uint32_t> rr_lo, rr_hi, blo, bhi;
+  space_->RangeRegion(phi_q, r, &rr_lo, &rr_hi);
+  std::vector<ObjectId> shard_result;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    // Scatter pruning: a shard whose mapped extent misses RR(q, r) cannot
+    // hold a Lemma-1 survivor — skip the dispatch entirely.
+    if (!LoadBox(s, &blo, &bhi)) continue;
+    if (!MappedSpace::BoxesIntersect(rr_lo, rr_hi, blo, bhi)) continue;
+    SPB_RETURN_IF_ERROR(
+        shards_[s]->RangeQueryMapped(q, phi_q, r, &shard_result, nullptr));
+    result->insert(result->end(), shard_result.begin(), shard_result.end());
+  }
+  return Status::OK();
+}
+
+Status ShardedSpbTree::KnnQuery(const Blob& q, size_t k,
+                                std::vector<Neighbor>* result,
+                                QueryStats* stats, KnnTraversal traversal) {
+  if (shards_.size() == 1) {
+    return shards_[0]->KnnQuery(q, k, result, stats, traversal);
+  }
+  ShardedStatScope scope(*this, stats);
+  result->clear();
+  if (k == 0) return Status::OK();
+  const size_t dims = space_->dims();
+  std::vector<double> phi_q(dims);
+  space_->pivots().MapBatch(&q, 1, *counting_, phi_q.data());
+
+  // Visit shards nearest-first (by MIND(q, shard box)) so the shared bound
+  // tightens as early as possible; empty shards never dispatch.
+  struct Scatter {
+    double lb;
+    size_t s;
+  };
+  std::vector<Scatter> order;
+  std::vector<uint32_t> blo, bhi;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!LoadBox(s, &blo, &bhi)) continue;
+    order.push_back(Scatter{space_->LowerBoundToBox(phi_q, blo, bhi), s});
+  }
+  std::sort(order.begin(), order.end(), [](const Scatter& a,
+                                           const Scatter& b) {
+    return a.lb < b.lb || (a.lb == b.lb && a.s < b.s);
+  });
+
+  SharedKnnBound bound;
+  std::vector<Neighbor> candidates, shard_result;
+  for (const Scatter& sc : order) {
+    // A finite bound means some shard already produced k exact candidates;
+    // a shard whose whole extent lies at or beyond it cannot improve the
+    // result set (Lemma 3 at shard granularity).
+    if (sc.lb >= bound.load()) continue;
+    SPB_RETURN_IF_ERROR(shards_[sc.s]->KnnQueryMapped(
+        q, phi_q, k, &shard_result, nullptr, traversal, &bound));
+    candidates.insert(candidates.end(), shard_result.begin(),
+                      shard_result.end());
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance < b.distance ||
+                     (a.distance == b.distance && a.id < b.id);
+            });
+  if (candidates.size() > k) candidates.resize(k);
+  *result = std::move(candidates);
+  return Status::OK();
+}
+
+Status ShardedSpbTree::CheckIntegrity() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    SPB_RETURN_IF_ERROR(shards_[s]->CheckIntegrity());
+  }
+  if (shards_.size() == 1) return Status::OK();
+  // Routing invariant: every leaf key lives in the shard its top bits name.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Snapshot snap = shards_[s]->AcquireSnapshot();
+    const IndexVersion& v = snap.version();
+    if (v.num_entries == 0) continue;
+    BPlusTree::LeafCursor cur(&shards_[s]->btree(),
+                              TreeVersion{v.root, v.height, v.num_entries});
+    SPB_RETURN_IF_ERROR(cur.SeekFirst());
+    while (cur.valid()) {
+      if (RouteKey(cur.entry().key) != s) {
+        return Status::Corruption("misrouted key in shard " +
+                                  std::to_string(s));
+      }
+      SPB_RETURN_IF_ERROR(cur.Next());
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t ShardedSpbTree::size() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->size();
+  return n;
+}
+
+uint64_t ShardedSpbTree::storage_bytes() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->storage_bytes();
+  return n;
+}
+
+QueryStats ShardedSpbTree::cumulative_stats() const {
+  QueryStats total;
+  for (const auto& shard : shards_) total += shard->cumulative_stats();
+  total.distance_computations +=
+      counting_->count() + extra_distance_computations_;
+  return total;
+}
+
+void ShardedSpbTree::ResetCounters() {
+  for (auto& shard : shards_) shard->ResetCounters();
+  counting_->Reset();
+  extra_distance_computations_ = 0;
+}
+
+IoStats ShardedSpbTree::io_stats() const {
+  IoStats total;
+  for (const auto& shard : shards_) total += shard->io_stats();
+  return total;
+}
+
+void ShardedSpbTree::FlushCaches() {
+  for (auto& shard : shards_) shard->FlushCaches();
+}
+
+std::string ShardedSpbTree::name() const {
+  return "Sharded-SPB-tree(S=" + std::to_string(shards_.size()) + ")";
+}
+
+Status ShardedSpbTree::ApplyTuning(const TuningOptions& t) {
+  if (t.num_shards != shards_.size()) {
+    return Status::InvalidArgument(
+        "num_shards is a construction-time parameter: re-partitioning is a "
+        "rebuild, not a tune");
+  }
+  TuningOptions per_shard = t;
+  per_shard.num_shards = 1;
+  for (auto& shard : shards_) {
+    SPB_RETURN_IF_ERROR(shard->ApplyTuning(per_shard));
+  }
+  return Status::OK();
+}
+
+TuningOptions ShardedSpbTree::tuning() const {
+  TuningOptions t = shards_[0]->tuning();
+  t.num_shards = shards_.size();
+  return t;
+}
+
+}  // namespace spb

@@ -127,15 +127,23 @@ Status SpbTree::BuildWithPivots(const std::vector<Blob>& objects,
                                 const DistanceFunction* metric,
                                 PivotTable pivots,
                                 const SpbTreeOptions& options,
-                                std::unique_ptr<SpbTree>* out) {
-  return BuildInternal(objects, metric, std::move(pivots), options, out);
+                                std::unique_ptr<SpbTree>* out,
+                                const std::vector<ObjectId>* ids,
+                                const double* phis) {
+  if (ids != nullptr && ids->size() != objects.size()) {
+    return Status::InvalidArgument("BuildWithPivots: objects/ids mismatch");
+  }
+  return BuildInternal(objects, metric, std::move(pivots), options, out, ids,
+                       phis);
 }
 
 Status SpbTree::BuildInternal(const std::vector<Blob>& objects,
                               const DistanceFunction* metric,
                               PivotTable pivots,
                               const SpbTreeOptions& options,
-                              std::unique_ptr<SpbTree>* out) {
+                              std::unique_ptr<SpbTree>* out,
+                              const std::vector<ObjectId>* ids,
+                              const double* phis_in) {
   if (options.num_pivots == 0 || (pivots.empty() && !objects.empty())) {
     return Status::InvalidArgument("SPB-tree needs at least one pivot");
   }
@@ -160,24 +168,35 @@ Status SpbTree::BuildInternal(const std::vector<Blob>& objects,
   SPB_RETURN_IF_ERROR(
       Raf::Create(std::move(raf_file), options.raf_cache_pages, &tree->raf_));
 
-  // ---- Stage 1+2: map every object and sort by SFC value.
+  // ---- Stage 1+2: map every object and sort by SFC value. `pos` is the
+  // position in `objects` (needed to fetch the payload once ids are
+  // explicit and no longer double as positions).
   struct Mapped {
     uint64_t key;
     ObjectId id;
+    uint32_t pos;
   };
   std::vector<Mapped> mapped(objects.size());
   std::vector<std::vector<double>> sample;
   const size_t sample_cap = options.cost_sample_size;
   Rng sample_rng(options.seed ^ 0xc0);
   // Map the whole dataset into one row-major buffer (same distance-call
-  // order as per-object Phi, without a vector allocation per object).
+  // order as per-object Phi, without a vector allocation per object) —
+  // unless the caller (a sharding router) already did and passed the rows
+  // in, in which case the distance calls were counted at the router.
   const size_t dims = tree->space_->dims();
-  std::vector<double> phis(objects.size() * dims);
-  tree->space_->pivots().MapBatch(objects.data(), objects.size(),
-                                  tree->counting_, phis.data());
+  std::vector<double> phis_own;
+  const double* phis = phis_in;
+  if (phis == nullptr) {
+    phis_own.resize(objects.size() * dims);
+    tree->space_->pivots().MapBatch(objects.data(), objects.size(),
+                                    tree->counting_, phis_own.data());
+    phis = phis_own.data();
+  }
   for (size_t i = 0; i < objects.size(); ++i) {
-    const double* phi = phis.data() + i * dims;
-    mapped[i] = Mapped{tree->space_->KeyFor(phi, dims), ObjectId(i)};
+    const double* phi = phis + i * dims;
+    const ObjectId id = ids != nullptr ? (*ids)[i] : ObjectId(i);
+    mapped[i] = Mapped{tree->space_->KeyFor(phi, dims), id, uint32_t(i)};
     if (sample_cap > 0) {
       if (sample.size() < sample_cap) {
         sample.emplace_back(phi, phi + dims);
@@ -197,7 +216,7 @@ Status SpbTree::BuildInternal(const std::vector<Blob>& objects,
   entries.reserve(mapped.size());
   for (const Mapped& m : mapped) {
     uint64_t offset;
-    SPB_RETURN_IF_ERROR(tree->raf_->Append(m.id, objects[m.id], &offset));
+    SPB_RETURN_IF_ERROR(tree->raf_->Append(m.id, objects[m.pos], &offset));
     entries.push_back(LeafEntry{m.key, offset});
   }
   SPB_RETURN_IF_ERROR(tree->raf_->Sync());
@@ -541,7 +560,13 @@ void SpbTree::PublishCurrent(std::vector<PageId> superseded) {
 Status SpbTree::InsertOneLocked(const Blob& obj, ObjectId id,
                                 std::vector<PageId>* superseded) {
   const std::vector<double> phi = space_->Phi(obj, counting_);
-  const uint64_t key = space_->KeyFor(phi);
+  return InsertOneMappedLocked(obj, id, phi.data(), space_->KeyFor(phi),
+                               superseded);
+}
+
+Status SpbTree::InsertOneMappedLocked(const Blob& obj, ObjectId id,
+                                      const double* phi, uint64_t key,
+                                      std::vector<PageId>* superseded) {
   // RAF first: the new leaf entry references the record's offset, and the
   // appender's release-store of the watermark happens before the version
   // holding this entry can be published.
@@ -556,8 +581,8 @@ Status SpbTree::InsertOneLocked(const Blob& obj, ObjectId id,
     std::lock_guard<std::mutex> lock(cost_mu_);
     cost_model_.set_total_objects(n);
     if (options_.cost_sample_size > 0) {
-      cost_model_.AddSample(phi, inserts_seen_,
-                            sample_rng_.Uniform(UINT64_MAX));
+      cost_model_.AddSample(std::vector<double>(phi, phi + space_->dims()),
+                            inserts_seen_, sample_rng_.Uniform(UINT64_MAX));
     }
   }
   return Status::OK();
@@ -596,14 +621,37 @@ Status SpbTree::BatchInsert(const std::vector<Blob>& objs,
   return Status::OK();
 }
 
+Status SpbTree::BatchInsertMapped(const MappedInsert* items, size_t count) {
+  std::unique_lock<std::mutex> wlock(writer_mu_, std::try_to_lock);
+  if (!wlock.owns_lock()) {
+    return Status::Busy(
+        "BatchInsertMapped raced another writer; retry when it drains");
+  }
+  // Same one-publish-per-batch contract as BatchInsert.
+  std::vector<PageId> superseded;
+  for (size_t i = 0; i < count; ++i) {
+    const MappedInsert& m = items[i];
+    SPB_RETURN_IF_ERROR(
+        InsertOneMappedLocked(*m.obj, m.id, m.phi, m.key, &superseded));
+  }
+  PublishCurrent(std::move(superseded));
+  return Status::OK();
+}
+
 Status SpbTree::Delete(const Blob& obj, ObjectId id, bool* found) {
+  // Mapping outside the writer lock is safe: the mapped space is immutable
+  // and the distance counter atomic.
+  return DeleteMapped(obj, id, space_->KeyFor(space_->Phi(obj, counting_)),
+                      found);
+}
+
+Status SpbTree::DeleteMapped(const Blob& obj, ObjectId id, uint64_t key,
+                             bool* found) {
   *found = false;
   std::unique_lock<std::mutex> wlock(writer_mu_, std::try_to_lock);
   if (!wlock.owns_lock()) {
     return Status::Busy("Delete raced another writer; retry when it drains");
   }
-  const std::vector<double> phi = space_->Phi(obj, counting_);
-  const uint64_t key = space_->KeyFor(phi);
   // Locate the duplicate whose RAF record matches (id, payload) with a
   // chain-free cursor (the leaf chain is stale once COW writes happen).
   BPlusTree::LeafCursor cur(btree_.get(), btree_->version());
@@ -626,6 +674,9 @@ Status SpbTree::Delete(const Blob& obj, ObjectId id, bool* found) {
   std::vector<PageId> superseded;
   SPB_RETURN_IF_ERROR(btree_->DeleteCow(key, ptr, found, &tv, &superseded));
   if (!*found) return Status::OK();
+  // The unlinked RAF record (u32 id + u32 len header plus the payload) is
+  // garbage until a rebuild/compaction: tally it as compaction debt.
+  raf_->AddDeadBytes(8 + robj.size());
   btree_->AdoptVersion(tv);
   const uint64_t n = num_objects_.fetch_sub(1, std::memory_order_relaxed) - 1;
   {
@@ -717,6 +768,27 @@ Status SpbTree::RangeQuery(const Blob& q, double r,
   A.phi_q.resize(space_->dims());
   // Same distance-call count and values as Phi(), without the allocation.
   space_->pivots().MapBatch(&q, 1, counting_, A.phi_q.data());
+  return RangeSearch(q, r, snap, A, result);
+}
+
+Status SpbTree::RangeQueryMapped(const Blob& q,
+                                 const std::vector<double>& phi_q, double r,
+                                 std::vector<ObjectId>* result,
+                                 QueryStats* stats) {
+  StatScope scope(*this, stats);
+  result->clear();
+  if (phi_q.size() != space_->dims()) {
+    return Status::InvalidArgument("RangeQueryMapped: phi dimensionality");
+  }
+  const Snapshot snap = AcquireSnapshot();
+  if (snap.version().num_objects == 0) return Status::OK();
+  QueryArena& A = ThreadArena();
+  A.phi_q.assign(phi_q.begin(), phi_q.end());
+  return RangeSearch(q, r, snap, A, result);
+}
+
+Status SpbTree::RangeSearch(const Blob& q, double r, const Snapshot& snap,
+                            QueryArena& A, std::vector<ObjectId>* result) {
   space_->RangeRegion(A.phi_q, r, &A.rr_lo, &A.rr_hi);
 
   const size_t dims = space_->dims();
@@ -816,7 +888,28 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
   A.phi_q.resize(space_->dims());
   // Same distance-call count and values as Phi(), without the allocation.
   space_->pivots().MapBatch(&q, 1, counting_, A.phi_q.data());
+  return KnnSearch(q, k, snap, A, result, traversal, nullptr);
+}
 
+Status SpbTree::KnnQueryMapped(const Blob& q, const std::vector<double>& phi_q,
+                               size_t k, std::vector<Neighbor>* result,
+                               QueryStats* stats, KnnTraversal traversal,
+                               SharedKnnBound* shared) {
+  StatScope scope(*this, stats);
+  result->clear();
+  if (phi_q.size() != space_->dims()) {
+    return Status::InvalidArgument("KnnQueryMapped: phi dimensionality");
+  }
+  const Snapshot snap = AcquireSnapshot();
+  if (snap.version().num_objects == 0 || k == 0) return Status::OK();
+  QueryArena& A = ThreadArena();
+  A.phi_q.assign(phi_q.begin(), phi_q.end());
+  return KnnSearch(q, k, snap, A, result, traversal, shared);
+}
+
+Status SpbTree::KnnSearch(const Blob& q, size_t k, const Snapshot& snap,
+                          QueryArena& A, std::vector<Neighbor>* result,
+                          KnnTraversal traversal, SharedKnnBound* shared) {
   // Max-heap of current k best over the arena vector (std::push_heap /
   // pop_heap — the standard mandates the same element evolution as a
   // std::priority_queue): front is the current k-th NN distance.
@@ -828,6 +921,15 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
     return A.best.size() < k ? std::numeric_limits<double>::infinity()
                              : A.best.front().distance;
   };
+  // The pruning bound: the local NDk, tightened by the cross-shard bound
+  // when this traversal is one shard of a scatter-gather kNN. Used for
+  // every Lemma 3 decision (frontier cutoff, node pushes, leaf filters) but
+  // NOT as the DistanceWithCutoff threshold — see SharedKnnBound.
+  auto prune_ndk = [&]() {
+    const double local = cur_ndk();
+    if (shared == nullptr) return local;
+    return std::min(local, shared->load());
+  };
   auto offer = [&](ObjectId id, double d) {
     if (A.best.size() < k) {
       A.best.push_back(Neighbor{id, d});
@@ -836,6 +938,12 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
       std::pop_heap(A.best.begin(), A.best.end(), best_cmp);
       A.best.back() = Neighbor{id, d};
       std::push_heap(A.best.begin(), A.best.end(), best_cmp);
+    }
+    // Publish only exact, heap-full k-th distances: every stored distance
+    // is exact (the cutoff threshold is the local NDk), and a partial heap
+    // bounds nothing.
+    if (shared != nullptr && A.best.size() == k) {
+      shared->Offer(A.best.front().distance);
     }
   };
   // With the cutoff enabled, the current k-th NN distance is the pruning
@@ -886,7 +994,7 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
     const QueryArena::KnnHeapItem item = A.heap.front();
     std::pop_heap(A.heap.begin(), A.heap.end(), heap_cmp);
     A.heap.pop_back();
-    if (item.mind >= cur_ndk()) break;  // Lemma 3 early termination
+    if (item.mind >= prune_ndk()) break;  // Lemma 3 early termination
 
     if (item.is_entry) {
       // Speculative prefetch of the next heap-front entry: it is the most
@@ -908,7 +1016,7 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
       for (size_t i = 0; i < node.internal_entries.size(); ++i) {
         const double mind =
             space_->LowerBoundToBox(A.phi_q, h->lo(i), h->hi(i));
-        if (mind < cur_ndk()) {
+        if (mind < prune_ndk()) {
           A.heap.push_back(QueryArena::KnnHeapItem{
               mind, false, node.internal_entries[i].child, {}});
           std::push_heap(A.heap.begin(), A.heap.end(), heap_cmp);
@@ -923,7 +1031,7 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
     // harmless, unclaimed pages never count.
     A.leaf.pages.clear();
     for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
-      if (A.leaf.mind[i] < cur_ndk()) {
+      if (A.leaf.mind[i] < prune_ndk()) {
         const PageId first = Raf::PageOf(node.leaf_entries[i].ptr);
         A.leaf.pages.push_back(first);
         A.leaf.pages.push_back(first + 1);
@@ -936,13 +1044,13 @@ Status SpbTree::KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
       // NDk comparison stays inside the loop (it tightens as entries are
       // verified); only the bound computation was hoisted.
       for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
-        if (A.leaf.mind[i] < cur_ndk()) {
+        if (A.leaf.mind[i] < prune_ndk()) {
           SPB_RETURN_IF_ERROR(verify_entry(node.leaf_entries[i]));
         }
       }
     } else {
       for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
-        if (A.leaf.mind[i] < cur_ndk()) {
+        if (A.leaf.mind[i] < prune_ndk()) {
           A.heap.push_back(QueryArena::KnnHeapItem{
               A.leaf.mind[i], true, kInvalidPageId, node.leaf_entries[i]});
           std::push_heap(A.heap.begin(), A.heap.end(), heap_cmp);
@@ -1017,6 +1125,11 @@ void SpbTree::FlushCaches() {
 }
 
 Status SpbTree::ApplyTuning(const TuningOptions& t) {
+  if (t.num_shards != 1) {
+    return Status::InvalidArgument(
+        "num_shards is a construction-time parameter: a plain SPB-tree has "
+        "exactly one shard (re-partitioning is a ShardedSpbTree rebuild)");
+  }
   std::unique_lock<std::mutex> wlock(writer_mu_, std::try_to_lock);
   if (!wlock.owns_lock()) {
     return Status::Busy(

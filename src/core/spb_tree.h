@@ -2,6 +2,7 @@
 #define SPB_CORE_SPB_TREE_H_
 
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -83,6 +84,41 @@ struct SpbTreeOptions {
   /// exist for ablation and the identity harness.
   size_t node_cache_entries = 1024;
   bool enable_zero_copy = true;
+  /// Number of SFC key-range shards (power of two; 1 = a single tree).
+  /// Consumed by ShardedSpbTree::Build, which splits the Hilbert key space
+  /// into `num_shards` contiguous ranges and builds one independent SpbTree
+  /// (own B+-tree + RAF + buffer pools + snapshot manager) per range.
+  /// Ignored by SpbTree itself.
+  size_t num_shards = 1;
+};
+
+/// The global NDk bound one kNN query shares across shards: a monotonically
+/// tightening upper bound on the k-th nearest-neighbor distance, published
+/// by whichever shard currently holds the best k candidates and consumed by
+/// every shard's traversal for Lemma 3 pruning (frontier cutoff, node
+/// pushes, leaf filters). Only *exact* k-th distances from a full local
+/// candidate heap are ever offered, never early-abandoned lower bounds —
+/// an under-estimate here would prune true neighbors in sibling shards.
+/// Shards keep their *local* NDk as the DistanceWithCutoff threshold for
+/// the same reason: an abandoned value only lower-bounds the true distance,
+/// so admitting one past a foreign (tighter) threshold into the local heap
+/// could later be published as a too-small global bound.
+class SharedKnnBound {
+ public:
+  /// Current bound (+inf until the first shard fills its heap).
+  double load() const { return bound_.load(std::memory_order_relaxed); }
+
+  /// CAS-min: tightens the bound to `d` if d is smaller. Lock-free; safe
+  /// from concurrent shard traversals.
+  void Offer(double d) {
+    double cur = bound_.load(std::memory_order_relaxed);
+    while (d < cur &&
+           !bound_.compare_exchange_weak(cur, d, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> bound_{std::numeric_limits<double>::infinity()};
 };
 
 /// kNN traversal strategies of Section 4.3 / Table 5.
@@ -132,12 +168,20 @@ class SpbTree : public MetricIndex {
                       std::unique_ptr<SpbTree>* out);
 
   /// Same, but with a caller-supplied pivot table — required for similarity
-  /// joins, where both operands must share one mapping.
+  /// joins, where both operands must share one mapping, and for sharded
+  /// builds, where every shard shares the router's pivots. `ids` (optional)
+  /// assigns explicit object ids instead of positions — ids[i] names
+  /// objects[i]. `phis` (optional) supplies the precomputed pivot mapping as
+  /// a row-major objects.size() x num_pivots buffer so a router that already
+  /// mapped the dataset for partitioning does not pay the distance calls a
+  /// second time; it must match what MapBatch would produce.
   static Status BuildWithPivots(const std::vector<Blob>& objects,
                                 const DistanceFunction* metric,
                                 PivotTable pivots,
                                 const SpbTreeOptions& options,
-                                std::unique_ptr<SpbTree>* out);
+                                std::unique_ptr<SpbTree>* out,
+                                const std::vector<ObjectId>* ids = nullptr,
+                                const double* phis = nullptr);
 
   /// Reopens an index persisted with Save() in `storage_dir`. The caller
   /// supplies the same metric the index was built with (metrics are code,
@@ -167,9 +211,31 @@ class SpbTree : public MetricIndex {
 
   /// Removes the object with the given payload and id. `*found` reports
   /// whether it was present. The RAF record becomes garbage (space is
-  /// reclaimed on rebuild), matching the lazy-deletion design. Safe under
+  /// reclaimed on rebuild; the orphaned bytes are tallied in the RAF's
+  /// dead_bytes counter), matching the lazy-deletion design. Safe under
   /// concurrent queries (COW + publish); Status::Busy on a writer race.
   Status Delete(const Blob& obj, ObjectId id, bool* found) override;
+
+  /// One pre-mapped write, for routers that computed phi/key once to pick a
+  /// shard: `obj`/`phi` must outlive the call, `phi` is space().dims()
+  /// doubles and `key` its SFC key.
+  struct MappedInsert {
+    const Blob* obj;
+    ObjectId id;
+    uint64_t key;
+    const double* phi;
+  };
+
+  /// BatchInsert over pre-mapped records: identical publication semantics
+  /// (one snapshot publish for the whole batch, Status::Busy on a writer
+  /// race) without re-computing the |P| mapping distances per record —
+  /// those were already spent, and counted, at the caller's router.
+  Status BatchInsertMapped(const MappedInsert* items, size_t count);
+
+  /// Delete with the SFC key precomputed by a router (the mapping is only
+  /// used to locate the leaf). Same contract as Delete otherwise.
+  Status DeleteMapped(const Blob& obj, ObjectId id, uint64_t key,
+                      bool* found);
 
   /// RQ(q, O, r) — Algorithm 1 (RQA) with Lemmas 1-2 and the computeSFC leaf
   /// optimization. Result ids are in no particular order.
@@ -185,6 +251,25 @@ class SpbTree : public MetricIndex {
                   QueryStats* stats = nullptr) override {
     return KnnQuery(q, k, result, stats, KnnTraversal::kIncremental);
   }
+
+  /// RangeQuery with phi(q) precomputed by a router — identical traversal,
+  /// without re-spending the |P| mapping distance calls per shard.
+  Status RangeQueryMapped(const Blob& q, const std::vector<double>& phi_q,
+                          double r, std::vector<ObjectId>* result,
+                          QueryStats* stats = nullptr);
+
+  /// KnnQuery with phi(q) precomputed and an optional cross-shard NDk bound
+  /// (see SharedKnnBound). With `shared` non-null the traversal prunes on
+  /// min(local NDk, shared bound) — frontier cutoff, node pushes and leaf
+  /// filters all tighten — and publishes its own exact k-th distance
+  /// whenever the local heap is full. The local heap still collects up to k
+  /// candidates (the router merges across shards), and DistanceWithCutoff
+  /// keeps the *local* NDk threshold so early-abandoned (inexact) values
+  /// can never be admitted and later published as a global bound.
+  Status KnnQueryMapped(const Blob& q, const std::vector<double>& phi_q,
+                        size_t k, std::vector<Neighbor>* result,
+                        QueryStats* stats, KnnTraversal traversal,
+                        SharedKnnBound* shared);
 
   /// Cost models (Section 4.4). Each estimate costs |P| distance
   /// computations (mapping q).
@@ -218,30 +303,6 @@ class SpbTree : public MetricIndex {
   /// The currently applied tuning group.
   TuningOptions tuning() const;
 
-  /// Deprecated ablation hooks — thin wrappers over ApplyTuning() kept for
-  /// older call sites; new code builds a TuningOptions instead. Status
-  /// (incl. Busy) is dropped.
-  void set_enable_cutoff(bool v) {
-    TuningOptions t = tuning();
-    t.enable_cutoff = v;
-    ApplyTuning(t);
-  }
-  void set_enable_prefetch(bool v) {
-    TuningOptions t = tuning();
-    t.enable_prefetch = v;
-    ApplyTuning(t);
-  }
-  void set_node_cache_entries(size_t n) {
-    TuningOptions t = tuning();
-    t.node_cache_entries = n;
-    ApplyTuning(t);
-  }
-  void set_enable_zero_copy(bool v) {
-    TuningOptions t = tuning();
-    t.enable_zero_copy = v;
-    ApplyTuning(t);
-  }
-
   /// Opens a readahead session over the RAF for one caller thread (used by
   /// the joins, which drive their own leaf scans). Returns a session even
   /// when enable_prefetch is off — Schedule() is then a no-op (null
@@ -272,13 +333,6 @@ class SpbTree : public MetricIndex {
   /// Drops both LRU caches (the paper flushes caches before every query).
   void FlushCaches() override;
   std::string name() const override { return "SPB-tree"; }
-  /// Deprecated: resizes the RAF cache (Fig. 10 experiment). Use
-  /// ApplyTuning() with raf_cache_pages instead.
-  void SetRafCachePages(size_t pages) {
-    TuningOptions t = tuning();
-    t.raf_cache_pages = pages;
-    ApplyTuning(t);
-  }
 
   /// Runs a full structural self-check (B+-tree invariants + key/object
   /// agreement). Test hook; expensive.
@@ -291,7 +345,9 @@ class SpbTree : public MetricIndex {
   static Status BuildInternal(const std::vector<Blob>& objects,
                               const DistanceFunction* metric,
                               PivotTable pivots, const SpbTreeOptions& options,
-                              std::unique_ptr<SpbTree>* out);
+                              std::unique_ptr<SpbTree>* out,
+                              const std::vector<ObjectId>* ids = nullptr,
+                              const double* phis_in = nullptr);
 
   Status MakeFiles(std::unique_ptr<PageFile>* btree_file,
                    std::unique_ptr<PageFile>* raf_file) const;
@@ -348,6 +404,20 @@ class SpbTree : public MetricIndex {
   // PublishCurrent. Insert() publishes per call; BatchInsert() once.
   Status InsertOneLocked(const Blob& obj, ObjectId id,
                          std::vector<PageId>* superseded);
+
+  // Same, with phi/key already computed (by InsertOneLocked or a router).
+  Status InsertOneMappedLocked(const Blob& obj, ObjectId id,
+                               const double* phi, uint64_t key,
+                               std::vector<PageId>* superseded);
+
+  // The traversal bodies of RangeQuery/KnnQuery, shared with the *Mapped
+  // variants: the caller has pinned `snap`, cleared `result` and filled
+  // A.phi_q (either by mapping q or by copying a router's phi).
+  Status RangeSearch(const Blob& q, double r, const Snapshot& snap,
+                     QueryArena& A, std::vector<ObjectId>* result);
+  Status KnnSearch(const Blob& q, size_t k, const Snapshot& snap,
+                   QueryArena& A, std::vector<Neighbor>* result,
+                   KnnTraversal traversal, SharedKnnBound* shared);
 
   // Publishes the current adopted version, handing `superseded` to the
   // epoch retire queue.

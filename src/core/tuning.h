@@ -45,6 +45,11 @@ struct TuningOptions {
   size_t raf_cache_pages = 32;
   /// Per-readahead-session budget in pages (also the max span-read length).
   size_t max_readahead_pages = 64;
+  /// Number of SFC key-range shards (power of two). Read back from
+  /// ShardedSpbTree::tuning(); construction-time in practice — ApplyTuning
+  /// rejects a change with InvalidArgument (re-partitioning is a rebuild,
+  /// not a tune). Plain SpbTree reports and accepts only 1.
+  size_t num_shards = 1;
 };
 
 }  // namespace spb

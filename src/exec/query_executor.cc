@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 namespace spb {
 
@@ -171,6 +172,25 @@ Status QueryExecutor::RunKnnBatch(const std::vector<Blob>& queries, size_t k,
   return RunBatch(queries.size(), task, stats);
 }
 
+Status QueryExecutor::RunWrite(const std::function<Status()>& op) {
+  if (index_->writer_concurrency() <= 1) {
+    // Single-writer index: serialize batch siblings up front so its writer
+    // try-lock never fails against one of our own ops.
+    std::lock_guard<std::mutex> lock(write_mu_);
+    return op();
+  }
+  // Multi-writer index (sharded): dispatch concurrently — writes to
+  // different shards proceed in parallel — and absorb same-shard collisions
+  // here. A Busy from inside a mixed batch is transient by construction
+  // (the lock holder is a sibling op that will drain), so retry instead of
+  // surfacing kBusy as an op failure.
+  for (;;) {
+    Status s = op();
+    if (s.code() != Status::Code::kBusy) return s;
+    std::this_thread::yield();
+  }
+}
+
 Status QueryExecutor::RunMixedBatch(const std::vector<MixedOp>& ops,
                                     std::vector<MixedResult>* results,
                                     BatchStats* stats) {
@@ -187,16 +207,14 @@ Status QueryExecutor::RunMixedBatch(const std::vector<MixedOp>& ops,
       case MixedOp::Kind::kKnn:
         out.status = index_->KnnQuery(op.obj, op.k, &out.neighbors, nullptr);
         break;
-      case MixedOp::Kind::kInsert: {
-        std::lock_guard<std::mutex> lock(write_mu_);
-        out.status = index_->Insert(op.obj, op.id);
+      case MixedOp::Kind::kInsert:
+        out.status = RunWrite(
+            [&] { return index_->Insert(op.obj, op.id); });
         break;
-      }
-      case MixedOp::Kind::kDelete: {
-        std::lock_guard<std::mutex> lock(write_mu_);
-        out.status = index_->Delete(op.obj, op.id, &out.found);
+      case MixedOp::Kind::kDelete:
+        out.status = RunWrite(
+            [&] { return index_->Delete(op.obj, op.id, &out.found); });
         break;
-      }
     }
     return out.status;
   };

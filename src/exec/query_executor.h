@@ -117,12 +117,17 @@ class QueryExecutor {
                      BatchStats* stats = nullptr);
 
   /// Runs a mixed read/write batch: ops execute across the pool in an
-  /// arbitrary interleaving, writes serialized through the executor's writer
-  /// mutex, queries running concurrently against pinned snapshots.
-  /// `results` is resized to ops.size(); slot i holds op i's outcome
-  /// (per-op errors land in results[i].status as well as the returned
-  /// first-error). An op that the index does not support fails with
-  /// Status::Unimplemented; the rest of the batch still runs.
+  /// arbitrary interleaving, queries running concurrently against pinned
+  /// snapshots. Writes adapt to index_->writer_concurrency(): against a
+  /// single-writer index they serialize through the executor's writer
+  /// mutex (so the index's try-lock never fails against a sibling op);
+  /// against a multi-writer index (writer_concurrency() > 1, e.g. the
+  /// sharded SPB-tree) they dispatch concurrently and retry on the
+  /// transient per-shard Status::Busy, so writes to different shards
+  /// overlap. `results` is resized to ops.size(); slot i holds op i's
+  /// outcome (per-op errors land in results[i].status as well as the
+  /// returned first-error). An op that the index does not support fails
+  /// with Status::Unimplemented; the rest of the batch still runs.
   Status RunMixedBatch(const std::vector<MixedOp>& ops,
                        std::vector<MixedResult>* results,
                        BatchStats* stats = nullptr);
@@ -145,13 +150,19 @@ class QueryExecutor {
   /// latencies and the index counter delta.
   Status RunBatch(size_t n, const std::function<Status(size_t)>& task,
                   BatchStats* stats);
+  /// One write op under the policy RunMixedBatch documents: mutex when the
+  /// index is single-writer, lock-free dispatch + retry-on-Busy when it
+  /// supports concurrent writers.
+  Status RunWrite(const std::function<Status()>& op);
   void WorkerLoop();
 
   MetricIndex* index_;
   std::vector<std::thread> threads_;
 
-  /// Serializes write ops within mixed batches so the index's single-writer
-  /// try-lock never fails against a sibling op from the same batch.
+  /// Serializes write ops within mixed batches against single-writer
+  /// indexes (writer_concurrency() == 1) so the index's try-lock never
+  /// fails against a sibling op from the same batch. Unused for
+  /// multi-writer indexes — see RunWrite().
   std::mutex write_mu_;
 
   std::mutex mu_;

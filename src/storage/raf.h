@@ -157,6 +157,16 @@ class Raf {
   BufferPool& pool() { return pool_; }
   const IoStats& stats() const { return pool_.stats(); }
   void ResetStats() { pool_.stats().Reset(); }
+  /// Records `n` bytes of record data orphaned by a delete (the record
+  /// header plus payload stay in the file until a rebuild/compaction).
+  /// Called by the index's delete path under its writer lock; the counter
+  /// itself is atomic, so readers may report it concurrently.
+  void AddDeadBytes(uint64_t n) {
+    pool_.stats().dead_bytes.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t dead_bytes() const {
+    return stats().dead_bytes.load(std::memory_order_relaxed);
+  }
   /// Drops the LRU cache. Never touches the tail, so it cannot lose data;
   /// Status-returning for uniformity with the other mutators (always OK
   /// today).

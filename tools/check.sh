@@ -16,6 +16,7 @@
 #   tools/check.sh --iouring  # only the io_uring configure/build check
 #   tools/check.sh --warmab   # only the warm A/B identity sweep (ASan+TSan)
 #   tools/check.sh --updates  # only the update-engine stage (TSan+ASan)
+#   tools/check.sh --sharded  # only the sharded-tree stage (TSan+ASan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -85,6 +86,23 @@ run_updates() {
   ./build-asan/tests/updates_test
 }
 
+run_sharded() {
+  # The sharded-tree stage: scatter-gather identity vs the single tree,
+  # cross-shard kNN under the shared NDk bound, per-shard writer isolation
+  # and concurrent mixed executor batches. TSan catches races in the
+  # shared-bound CAS loop, the per-shard box growth and the retry-on-Busy
+  # dispatch; ASan covers the pre-mapped insert paths' pointer lifetimes
+  # (MappedInsert borrows the caller's phi rows).
+  echo "==> sharded: sharded SPB-tree tests under TSan"
+  cmake -B build-tsan -S . -DSPB_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target sharded_test
+  ./build-tsan/tests/sharded_test
+  echo "==> sharded: sharded SPB-tree tests under ASan"
+  cmake -B build-asan -S . -DSPB_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target sharded_test
+  ./build-asan/tests/sharded_test
+}
+
 run_iouring() {
   echo "==> iouring: -DSPB_IOURING=ON must build (falls back to pread"
   echo "    with a warning when liburing is absent)"
@@ -99,12 +117,14 @@ case "${1:-}" in
   --iouring) run_iouring ;;
   --warmab) run_warmab ;;
   --updates) run_updates ;;
+  --sharded) run_sharded ;;
   *)
     run_tier1
     run_tsan
     run_asan
     run_warmab
     run_updates
+    run_sharded
     run_iouring
     ;;
 esac

@@ -7,6 +7,10 @@
 //   spb_cli range --dir=/tmp/idx --metric=edit --query=defoliate --r=2
 //   spb_cli stats --dir=/tmp/idx --metric=edit
 //
+// `build --shards=N` (N a power of two > 1) builds an SFC-range-sharded
+// index instead; knn/range/stats detect the sharded layout on open (the
+// shards.spb manifest), so querying needs no extra flag.
+//
 // Input formats:
 //   --metric=edit      one word per line (edit distance)
 //   --metric=l2|l5     whitespace-separated floats per line (vectors)
@@ -19,6 +23,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/sharded_spb_tree.h"
 #include "core/spb_tree.h"
 #include "metrics/edit_distance.h"
 #include "metrics/hamming.h"
@@ -39,6 +44,7 @@ struct Args {
   size_t k = 5;
   size_t dim = 16;
   size_t pivots = 5;
+  size_t shards = 1;
   size_t repeat = 1;
   bool cold = false;
   bool no_prefetch = false;
@@ -70,6 +76,8 @@ bool Parse(int argc, char** argv, Args* args) {
       args->dim = size_t(std::atoll(v));
     } else if (const char* v = value("--pivots=")) {
       args->pivots = size_t(std::atoll(v));
+    } else if (const char* v = value("--shards=")) {
+      args->shards = size_t(std::atoll(v));
     } else if (const char* v = value("--repeat=")) {
       args->repeat = size_t(std::atoll(v));
     } else if (arg == "--cold") {
@@ -131,41 +139,54 @@ int Build(const Args& args, const DistanceFunction* metric) {
   SpbTreeOptions options;
   options.storage_dir = args.dir;
   options.num_pivots = args.pivots;
-  std::unique_ptr<SpbTree> index;
-  Status s = SpbTree::Build(objects, metric, options, &index);
-  if (s.ok()) s = index->Save();
+
+  auto report = [&](const auto& index) {
+    const QueryStats cost = index.cumulative_stats();
+    std::printf("%s built in %s: %llu objects, %.1f KB, "
+                "%llu distance computations\n",
+                index.name().c_str(), args.dir.c_str(),
+                (unsigned long long)index.size(),
+                double(index.storage_bytes()) / 1024.0,
+                (unsigned long long)cost.distance_computations);
+  };
+
+  Status s;
+  if (args.shards > 1) {
+    options.num_shards = args.shards;
+    std::unique_ptr<ShardedSpbTree> index;
+    s = ShardedSpbTree::Build(objects, metric, options, &index);
+    if (s.ok()) s = index->Save();
+    if (s.ok()) report(*index);
+  } else {
+    std::unique_ptr<SpbTree> index;
+    s = SpbTree::Build(objects, metric, options, &index);
+    if (s.ok()) s = index->Save();
+    if (s.ok()) report(*index);
+  }
   if (!s.ok()) {
     std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  const QueryStats cost = index->cumulative_stats();
-  std::printf("index built in %s: %llu objects, %.1f KB, "
-              "%llu distance computations\n",
-              args.dir.c_str(), (unsigned long long)index->size(),
-              double(index->storage_bytes()) / 1024.0,
-              (unsigned long long)cost.distance_computations);
   return 0;
 }
 
-int Query(const Args& args, const DistanceFunction* metric) {
-  SpbTreeOptions options;
-  std::unique_ptr<SpbTree> index;
-  Status s = SpbTree::Open(args.dir, metric, options, &index);
-  if (!s.ok()) {
-    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
-    return 1;
-  }
-  if (args.command == "stats") {
-    std::printf("objects: %llu\nstorage: %.1f KB\npivots: %zu\n"
-                "curve bits/dim: %d\ncells/dim: %u\nprecision: %.3f\n",
-                (unsigned long long)index->size(),
-                double(index->storage_bytes()) / 1024.0,
-                index->space().pivots().size(), index->space().curve().bits(),
-                index->space().discretizer().num_cells(),
-                index->cost_model().precision());
-    return 0;
-  }
+// Common stats header shared by the plain and sharded layouts; `index` is
+// SpbTree or ShardedSpbTree (both expose size/storage_bytes/space).
+template <typename Index>
+void PrintCommonStats(const Index& index) {
+  std::printf("objects: %llu\nstorage: %.1f KB\npivots: %zu\n"
+              "curve bits/dim: %d\ncells/dim: %u\n",
+              (unsigned long long)index.size(),
+              double(index.storage_bytes()) / 1024.0,
+              index.space().pivots().size(), index.space().curve().bits(),
+              index.space().discretizer().num_cells());
+}
 
+// The knn/range loop, shared by both layouts (only MetricIndex-surface
+// methods plus ApplyTuning/tuning, which both types provide).
+template <typename Index>
+int RunQuery(const Args& args, Index* index) {
+  Status s;
   Blob q;
   if (!ParseObject(args, args.query, &q)) {
     std::fprintf(stderr, "cannot parse --query under metric %s\n",
@@ -243,6 +264,51 @@ int Query(const Args& args, const DistanceFunction* metric) {
   return 0;
 }
 
+int Query(const Args& args, const DistanceFunction* metric) {
+  SpbTreeOptions options;
+  // The on-disk layout picks the engine: a shards.spb manifest means the
+  // directory holds an SFC-range-sharded index.
+  if (ShardedSpbTree::IsShardedDir(args.dir)) {
+    std::unique_ptr<ShardedSpbTree> index;
+    Status s = ShardedSpbTree::Open(args.dir, metric, options, &index);
+    if (!s.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (args.command == "stats") {
+      PrintCommonStats(*index);
+      std::printf("shards: %zu\n", index->num_shards());
+      const IoStats io = index->io_stats();
+      std::printf("dead bytes: %llu (lazy deletes awaiting compaction)\n",
+                  (unsigned long long)io.dead_bytes.load(
+                      std::memory_order_relaxed));
+      for (size_t sh = 0; sh < index->num_shards(); ++sh) {
+        std::printf("  shard %zu: %llu objects, %.1f KB, %llu dead bytes\n",
+                    sh, (unsigned long long)index->shard(sh).size(),
+                    double(index->shard(sh).storage_bytes()) / 1024.0,
+                    (unsigned long long)index->shard(sh).raf().dead_bytes());
+      }
+      return 0;
+    }
+    return RunQuery(args, index.get());
+  }
+
+  std::unique_ptr<SpbTree> index;
+  Status s = SpbTree::Open(args.dir, metric, options, &index);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (args.command == "stats") {
+    PrintCommonStats(*index);
+    std::printf("precision: %.3f\n", index->cost_model().precision());
+    std::printf("dead bytes: %llu (lazy deletes awaiting compaction)\n",
+                (unsigned long long)index->raf().dead_bytes());
+    return 0;
+  }
+  return RunQuery(args, index.get());
+}
+
 int Main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, &args)) {
@@ -250,7 +316,8 @@ int Main(int argc, char** argv) {
         stderr,
         "usage: spb_cli <build|knn|range|stats> --dir=PATH [--metric=edit|"
         "l2|l5|hamming|dna] [--input=FILE] [--query=Q] [--r=R] [--k=K] "
-        "[--dim=D] [--pivots=P] [--repeat=N] [--cold] [--no-prefetch]\n");
+        "[--dim=D] [--pivots=P] [--shards=S] [--repeat=N] [--cold] "
+        "[--no-prefetch]\n");
     return 2;
   }
   auto metric = MakeMetric(args);
