@@ -50,6 +50,10 @@ Status BPlusTree::WriteMeta() {
   EncodeFixed32(meta.bytes() + 12, height_);
   EncodeFixed64(meta.bytes() + 16, num_entries_);
   EncodeFixed32(meta.bytes() + 24, first_leaf_);
+  // The chain-validity flag must survive a save/reopen: COW writes and
+  // compaction leave first_leaf_ stale by design, and a reopened tree must
+  // not mistake the stale chain for a checkable one.
+  EncodeFixed32(meta.bytes() + 28, leaf_chain_valid_ ? 1 : 0);
   return owned_file_->Write(kMetaPage, meta);
 }
 
@@ -65,6 +69,7 @@ Status BPlusTree::ReadMeta() {
   height_ = DecodeFixed32(meta.bytes() + 12);
   num_entries_ = DecodeFixed64(meta.bytes() + 16);
   first_leaf_ = DecodeFixed32(meta.bytes() + 24);
+  leaf_chain_valid_ = DecodeFixed32(meta.bytes() + 28) != 0;
   return Status::OK();
 }
 
@@ -145,6 +150,136 @@ void BPlusTree::AdoptVersion(const TreeVersion& v) {
   root_ = v.root;
   height_ = v.height;
   num_entries_ = v.num_entries;
+}
+
+Status BPlusTree::ReadNodeRaw(PageId id, BptNode* node) {
+  Page page;
+  SPB_RETURN_IF_ERROR(owned_file_->Read(id, &page));
+  return node->DeserializeFrom(page, id);
+}
+
+Status BPlusTree::WriteNodeRaw(const BptNode& node) {
+  Page page;
+  node.SerializeTo(&page);
+  node_cache_.Erase(node.id);
+  return owned_file_->Write(node.id, page);
+}
+
+Status BPlusTree::CollectVersionPages(const TreeVersion& version,
+                                      std::vector<PageId>* pages) {
+  pages->clear();
+  if (version.root == kInvalidPageId) return Status::OK();
+  std::vector<PageId> frontier{version.root};
+  while (!frontier.empty()) {
+    PageId id = frontier.back();
+    frontier.pop_back();
+    pages->push_back(id);
+    BptNode node;
+    SPB_RETURN_IF_ERROR(ReadNodeRaw(id, &node));
+    if (!node.is_leaf) {
+      for (const InternalEntry& e : node.internal_entries) {
+        frontier.push_back(e.child);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CollectLeafEntriesRaw(const TreeVersion& version,
+                                        std::vector<LeafEntry>* out) {
+  out->clear();
+  out->reserve(version.num_entries);
+  if (version.root == kInvalidPageId) return Status::OK();
+  // Explicit DFS stack, children pushed right-to-left so leaves emit in
+  // ascending key order.
+  std::vector<PageId> stack{version.root};
+  BptNode node;
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    SPB_RETURN_IF_ERROR(ReadNodeRaw(id, &node));
+    if (node.is_leaf) {
+      out->insert(out->end(), node.leaf_entries.begin(),
+                  node.leaf_entries.end());
+    } else {
+      for (auto it = node.internal_entries.rbegin();
+           it != node.internal_entries.rend(); ++it) {
+        stack.push_back(it->child);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::BulkLoadCow(const std::vector<LeafEntry>& entries,
+                              TreeVersion* out) {
+  if (!std::is_sorted(entries.begin(), entries.end(),
+                      [](const LeafEntry& a, const LeafEntry& b) {
+                        return a.key < b.key ||
+                               (a.key == b.key && a.ptr < b.ptr);
+                      })) {
+    return Status::InvalidArgument("BulkLoadCow input must be sorted");
+  }
+
+  // ---- Leaf level on fresh/recycled ids. No next_leaf chain: COW-produced
+  // versions are iterated with LeafCursor only.
+  const size_t num_leaves =
+      entries.empty()
+          ? 1
+          : (entries.size() + BptNode::kLeafCapacity - 1) /
+                BptNode::kLeafCapacity;
+  std::vector<InternalEntry> level;
+  level.reserve(num_leaves);
+  size_t pos = 0;
+  for (size_t i = 0; i < num_leaves; ++i) {
+    BptNode leaf;
+    SPB_RETURN_IF_ERROR(AllocateCowPage(&leaf.id));
+    leaf.is_leaf = true;
+    leaf.next_leaf = kInvalidPageId;
+    const size_t take = std::min(BptNode::kLeafCapacity, entries.size() - pos);
+    leaf.leaf_entries.assign(entries.begin() + ptrdiff_t(pos),
+                             entries.begin() + ptrdiff_t(pos + take));
+    pos += take;
+    SPB_RETURN_IF_ERROR(WriteNodeRaw(leaf));
+    uint64_t mbb_min, mbb_max;
+    ComputeLeafBox(leaf, &mbb_min, &mbb_max);
+    const uint64_t min_key =
+        leaf.leaf_entries.empty() ? 0 : leaf.min_key();
+    level.push_back(InternalEntry{min_key, leaf.id, mbb_min, mbb_max});
+  }
+
+  // ---- Internal levels, bottom-up.
+  uint32_t height = 1;
+  while (level.size() > 1) {
+    std::vector<InternalEntry> next_level;
+    const size_t num_nodes = (level.size() + BptNode::kInternalCapacity - 1) /
+                             BptNode::kInternalCapacity;
+    next_level.reserve(num_nodes);
+    size_t lpos = 0;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      BptNode node;
+      SPB_RETURN_IF_ERROR(AllocateCowPage(&node.id));
+      node.is_leaf = false;
+      node.next_leaf = kInvalidPageId;
+      const size_t take =
+          std::min(BptNode::kInternalCapacity, level.size() - lpos);
+      node.internal_entries.assign(level.begin() + ptrdiff_t(lpos),
+                                   level.begin() + ptrdiff_t(lpos + take));
+      lpos += take;
+      SPB_RETURN_IF_ERROR(WriteNodeRaw(node));
+      uint64_t mbb_min, mbb_max;
+      ComputeInternalBox(node, &mbb_min, &mbb_max);
+      next_level.push_back(
+          InternalEntry{node.min_key(), node.id, mbb_min, mbb_max});
+    }
+    level = std::move(next_level);
+    ++height;
+  }
+  leaf_chain_valid_ = false;
+  out->root = level[0].child;
+  out->height = height;
+  out->num_entries = entries.size();
+  return Status::OK();
 }
 
 namespace {

@@ -113,6 +113,30 @@ class BPlusTree {
   /// calls and version() reflect `v`. Does not touch storage.
   void AdoptVersion(const TreeVersion& v);
 
+  /// Collects every page id reachable from `version` (root and all
+  /// descendants) via raw, *uncounted* file reads — no buffer-pool traffic,
+  /// no IoStats. Compaction uses this to retire a whole superseded version
+  /// through the snapshot protocol.
+  Status CollectVersionPages(const TreeVersion& version,
+                             std::vector<PageId>* pages);
+
+  /// Collects the live leaf entries of `version` in ascending (key, ptr)
+  /// order via raw, uncounted file reads. Maintenance-path counterpart of
+  /// LeafCursor: identical output, zero accounting footprint.
+  Status CollectLeafEntriesRaw(const TreeVersion& version,
+                               std::vector<LeafEntry>* out);
+
+  /// Builds a complete fresh tree version from sorted `entries` (by
+  /// (key, ptr)) bottom-up — full nodes, exact separators and MBBs, like
+  /// BulkLoad — but on COW-allocated page ids (recycled when available) and
+  /// through raw, uncounted node writes, leaving the published state
+  /// untouched. The caller adopts and publishes `*out` like any COW result,
+  /// retiring the old version's pages (CollectVersionPages) once readers
+  /// drain. Empty input yields a version with one empty leaf. The rebuilt
+  /// version does not use the leaf sibling chain (LeafCursor semantics,
+  /// same as every COW-produced version).
+  Status BulkLoadCow(const std::vector<LeafEntry>& entries, TreeVersion* out);
+
   /// The current version (writer-side view; readers get theirs from a
   /// Snapshot).
   TreeVersion version() const {
@@ -259,6 +283,12 @@ class BPlusTree {
   };
 
   Status WriteNode(const BptNode& node);
+  /// Raw sibling of ReadNode/WriteNode: direct file I/O, no pool, no stats.
+  /// Safe because the pool is write-through (every published page's bytes
+  /// are in the file) and callers only write pages unreachable from every
+  /// live version (fresh or retired-and-purged ids).
+  Status ReadNodeRaw(PageId id, BptNode* node);
+  Status WriteNodeRaw(const BptNode& node);
   Status AllocateNode(bool is_leaf, BptNode* node);
   /// COW page allocation: recycles a retired id when available, else grows
   /// the file.

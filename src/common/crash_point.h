@@ -1,0 +1,31 @@
+#ifndef SPB_COMMON_CRASH_POINT_H_
+#define SPB_COMMON_CRASH_POINT_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <unistd.h>
+
+namespace spb {
+
+/// Process exit code used by the fault-injection hook, chosen to be
+/// distinguishable from assertion failures (134) and clean exits (0).
+inline constexpr int kCrashExitCode = 42;
+
+/// Fault-injection kill point. When the SPB_CRASH_POINT environment variable
+/// names `point`, the process exits immediately with kCrashExitCode — no
+/// destructors, no buffered-IO flush — simulating a crash at exactly that
+/// instruction. Recovery tests (tests/wal_test.cc) spawn a child with the
+/// variable set, assert the exit code, then reopen the child's files.
+///
+/// Points are compile-time string literals; grep for MaybeCrash( to list the
+/// matrix. The env var is read once per process (first call).
+inline void MaybeCrash(const char* point) {
+  static const char* target = std::getenv("SPB_CRASH_POINT");
+  if (target != nullptr && std::strcmp(target, point) == 0) {
+    _exit(kCrashExitCode);
+  }
+}
+
+}  // namespace spb
+
+#endif  // SPB_COMMON_CRASH_POINT_H_

@@ -38,12 +38,14 @@ struct IoStats {
   std::atomic<uint64_t> prefetch_hits{0};
   /// Pages fetched as part of multi-page span reads (runs of length >= 2).
   std::atomic<uint64_t> coalesced_pages{0};
-  /// Bytes of RAF records orphaned by Delete since the last Reset(). The
-  /// lazy-deletion design never reclaims RAF space in place (records are
-  /// unlinked from the B+-tree only), so this counter is the compaction
-  /// debt a future WAL/compaction pass would recover. Excluded from
-  /// page_accesses(); surfaced per shard and in aggregate by
-  /// ShardedSpbTree::io_stats() and `spb_cli stats`.
+  /// Bytes of RAF records orphaned by Delete (or superseded by an in-place
+  /// re-insert of an existing id). The lazy-deletion design never reclaims
+  /// RAF space in place (records are unlinked from the B+-tree only), so
+  /// this counter is the compaction debt the background compactor recovers.
+  /// It is *state*, not a measurement: Reset() leaves it alone (only a
+  /// compaction zeroes it, and Save/Open persist it), unlike every other
+  /// counter here. Excluded from page_accesses(); surfaced per shard and in
+  /// aggregate by ShardedSpbTree::io_stats() and `spb_cli stats`.
   std::atomic<uint64_t> dead_bytes{0};
 
   IoStats() = default;
@@ -83,7 +85,8 @@ struct IoStats {
     prefetch_issued.store(0, std::memory_order_relaxed);
     prefetch_hits.store(0, std::memory_order_relaxed);
     coalesced_pages.store(0, std::memory_order_relaxed);
-    dead_bytes.store(0, std::memory_order_relaxed);
+    // dead_bytes deliberately NOT reset: it is compaction debt, not a
+    // per-measurement counter.
   }
 
   IoStats& operator+=(const IoStats& other) {

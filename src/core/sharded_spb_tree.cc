@@ -289,6 +289,40 @@ Status ShardedSpbTree::Save() {
   return WriteManifest();
 }
 
+Status ShardedSpbTree::Compact() {
+  for (auto& shard : shards_) {
+    SPB_RETURN_IF_ERROR(shard->Compact());
+  }
+  return Status::OK();
+}
+
+Wal::Stats ShardedSpbTree::wal_stats() const {
+  Wal::Stats agg;
+  for (const auto& shard : shards_) {
+    const Wal::Stats s = shard->wal_stats();
+    agg.segment_bytes += s.segment_bytes;
+    agg.checkpoint_lsn += s.checkpoint_lsn;
+    agg.next_lsn += s.next_lsn;
+    agg.pending_records += s.pending_records;
+    agg.groups += s.groups;
+    agg.fsyncs += s.fsyncs;
+    agg.replayed_records += s.replayed_records;
+  }
+  return agg;
+}
+
+WriteQueue::Stats ShardedSpbTree::write_queue_stats() const {
+  WriteQueue::Stats agg;
+  for (const auto& shard : shards_) {
+    const WriteQueue::Stats s = shard->write_queue_stats();
+    agg.ops += s.ops;
+    agg.groups += s.groups;
+    agg.max_group = std::max(agg.max_group, s.max_group);
+    agg.compactions += s.compactions;
+  }
+  return agg;
+}
+
 Status ShardedSpbTree::RecomputeBoxes() {
   const size_t dims = space_->dims();
   std::vector<uint64_t> keys;

@@ -88,7 +88,19 @@ class ShardedSpbTree : public MetricIndex {
   static bool IsShardedDir(const std::string& storage_dir);
 
   /// Persists every shard plus the manifest. Disk-backed indexes only.
+  /// With WALs on this checkpoints every shard (log truncation included).
   Status Save();
+
+  /// Compacts every shard's RAF (see SpbTree::Compact). Shards compact in
+  /// order; queries keep running against their pinned snapshots throughout.
+  Status Compact();
+
+  /// Sum of every shard's WAL counters (checkpoint_lsn/next_lsn summed too:
+  /// meaningful as totals, not as a single log's position). Per-shard
+  /// drill-down via shard(s).wal_stats().
+  Wal::Stats wal_stats() const;
+  /// Sum of every shard's commit-queue counters (max_group is the max).
+  WriteQueue::Stats write_queue_stats() const;
 
   /// Routed single insert: phi/key are computed once at the router, the
   /// owning shard is the top log2(S) key bits, and the shard's pre-mapped
@@ -165,7 +177,14 @@ class ShardedSpbTree : public MetricIndex {
   /// dead_bytes; use shard(s).raf().dead_bytes() for the drill-down).
   IoStats io_stats() const override;
   void FlushCaches() override;
-  size_t writer_concurrency() const override { return shards_.size(); }
+  /// Writers contend per shard; with the commit queues on, each shard
+  /// additionally absorbs concurrent writers by grouping, so the width is
+  /// the sum of the shards' own widths.
+  size_t writer_concurrency() const override {
+    size_t n = 0;
+    for (const auto& s : shards_) n += s->writer_concurrency();
+    return n;
+  }
   std::string name() const override;
 
   /// Fans the tunable group out to every shard. t.num_shards must equal

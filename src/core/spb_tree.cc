@@ -1,6 +1,7 @@
 #include "core/spb_tree.h"
 
 #include "common/coding.h"
+#include "common/crash_point.h"
 
 #include <algorithm>
 #include <chrono>
@@ -9,6 +10,7 @@
 #include <cstring>
 #include <queue>
 #include <thread>
+#include <unordered_map>
 
 namespace spb {
 
@@ -165,8 +167,12 @@ Status SpbTree::BuildInternal(const std::vector<Blob>& objects,
                                         &tree->space_->curve(), &tree->btree_));
   SPB_RETURN_IF_ERROR(
       tree->btree_->SetNodeCacheEntries(options.node_cache_entries));
-  SPB_RETURN_IF_ERROR(
-      Raf::Create(std::move(raf_file), options.raf_cache_pages, &tree->raf_));
+  {
+    std::unique_ptr<Raf> raf;
+    SPB_RETURN_IF_ERROR(
+        Raf::Create(std::move(raf_file), options.raf_cache_pages, &raf));
+    tree->raf_ = std::move(raf);
+  }
 
   // ---- Stage 1+2: map every object and sort by SFC value. `pos` is the
   // position in `objects` (needed to fetch the payload once ids are
@@ -266,6 +272,7 @@ Status SpbTree::BuildInternal(const std::vector<Blob>& objects,
   }
   tree->InitFetcher();
   tree->InitSnapshots();
+  SPB_RETURN_IF_ERROR(tree->InitEngine());
   *out = std::move(tree);
   return Status::OK();
 }
@@ -391,6 +398,14 @@ class MetaReader {
 }  // namespace
 
 Status SpbTree::Save() {
+  // Blocking lock, not try-lock: a checkpoint queues behind in-flight
+  // commit groups (and vice versa), so it can never truncate WAL records a
+  // group appended but has not applied yet.
+  std::lock_guard<std::mutex> wlock(writer_mu_);
+  return SaveLocked();
+}
+
+Status SpbTree::SaveLocked() {
   if (options_.storage_dir.empty()) {
     return Status::InvalidArgument("Save() requires a disk-backed index");
   }
@@ -416,11 +431,39 @@ Status SpbTree::Save() {
   for (const auto& phi : sample) {
     for (double d : phi) w.F64(d);
   }
+  // The RAF generation this checkpoint captured (appended last: MetaReader
+  // returns false past EOF, so pre-PR7 meta files read back as 0, matching
+  // pre-PR7 RAF headers). A mismatch on Open means a crash separated a
+  // compaction's file swap from its checkpoint.
+  w.U64(raf_->generation());
+  // The dead-byte debt at checkpoint time, so a reopened tree still owes
+  // the compactor what it owed before the restart (replayed deletes re-add
+  // their own debt on top). Pre-PR7 meta files read back as 0.
+  w.U64(raf_->dead_bytes());
 
   std::unique_ptr<PageFile> meta;
   SPB_RETURN_IF_ERROR(
       PageFile::CreateOnDisk(options_.storage_dir + "/meta.spb", &meta));
-  return WriteBufferToPageFile(w.buf(), meta.get());
+  SPB_RETURN_IF_ERROR(WriteBufferToPageFile(w.buf(), meta.get()));
+
+  if (wal_ != nullptr) {
+    // Everything the log covers is durable in the tree files now; a crash
+    // here replays already-applied records, which is idempotent.
+    MaybeCrash("checkpoint_before_truncate");
+    SPB_RETURN_IF_ERROR(wal_->Checkpoint());
+  }
+  // Pages retired since the last checkpoint are now safe to recycle: no
+  // remaining WAL record predates the tree state that superseded them, so
+  // a replay can never need their old bytes (the pool writes through —
+  // recycling earlier could overwrite a page an interrupted epoch still
+  // reaches from the checkpointed root).
+  std::vector<PageId> recyclable;
+  {
+    std::lock_guard<std::mutex> lock(recycle_mu_);
+    recyclable.swap(pending_recycle_);
+  }
+  if (!recyclable.empty()) btree_->AddFreePages(recyclable);
+  return Status::OK();
 }
 
 Status SpbTree::Open(const std::string& storage_dir,
@@ -453,6 +496,12 @@ Status SpbTree::Open(const std::string& storage_dir,
   tree->space_ = std::make_unique<MappedSpace>(std::move(pivots), *metric,
                                                opts.delta, opts.curve);
 
+  // A leftover compaction temp file means a crash hit before the atomic
+  // rename: the real raf.spb is intact, the temp is garbage.
+  {
+    std::error_code ec;
+    std::filesystem::remove(storage_dir + "/raf.compact.spb", ec);
+  }
   std::unique_ptr<PageFile> btree_file, raf_file;
   SPB_RETURN_IF_ERROR(
       PageFile::OpenOnDisk(storage_dir + "/btree.spb", &btree_file));
@@ -463,8 +512,12 @@ Status SpbTree::Open(const std::string& storage_dir,
                                       &tree->space_->curve(), &tree->btree_));
   SPB_RETURN_IF_ERROR(
       tree->btree_->SetNodeCacheEntries(opts.node_cache_entries));
-  SPB_RETURN_IF_ERROR(
-      Raf::Open(std::move(raf_file), opts.raf_cache_pages, &tree->raf_));
+  {
+    std::unique_ptr<Raf> raf;
+    SPB_RETURN_IF_ERROR(
+        Raf::Open(std::move(raf_file), opts.raf_cache_pages, &raf));
+    tree->raf_ = std::move(raf);
+  }
   tree->num_objects_ = num_objects;
   tree->inserts_seen_ = num_objects;
 
@@ -489,6 +542,26 @@ Status SpbTree::Open(const std::string& storage_dir,
       if (!r.F64(&d)) return Status::Corruption("truncated sample vector");
     }
   }
+  // RAF generation vs. the one the meta checkpoint recorded (absent in
+  // pre-PR7 meta files: both read 0). A mismatch means a crash landed
+  // between a compaction's rename and its checkpoint — btree.spb still
+  // references offsets of the replaced file and is garbage; rebuild it
+  // from the surviving (compacted) RAF.
+  uint64_t meta_raf_generation = 0;
+  r.U64(&meta_raf_generation);
+  uint64_t meta_dead_bytes = 0;
+  r.U64(&meta_dead_bytes);
+  if (tree->raf_->generation() != meta_raf_generation) {
+    SPB_RETURN_IF_ERROR(tree->RebuildBtreeFromRaf());
+    num_objects = tree->num_objects_.load(std::memory_order_relaxed);
+    tree->inserts_seen_ = num_objects;
+    // meta_dead_bytes described the replaced pre-compaction file; the
+    // rebuild already tallied the new file's own debt.
+  } else {
+    // Restore the checkpoint's compaction debt (replayed deletes re-add
+    // theirs on top during InitEngine's WAL replay).
+    tree->raf_->AddDeadBytes(meta_dead_bytes);
+  }
   std::vector<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>> boxes;
   SPB_RETURN_IF_ERROR(tree->CollectNodeBoxes(&boxes));
   tree->cost_model_ =
@@ -498,6 +571,9 @@ Status SpbTree::Open(const std::string& storage_dir,
   tree->cost_model_.set_distance_distribution(std::move(pair_distances), rho);
   tree->InitFetcher();
   tree->InitSnapshots();
+  // InitEngine replays WAL records past the checkpoint (idempotently, so a
+  // checkpoint that raced the crash is harmless) before counters reset.
+  SPB_RETURN_IF_ERROR(tree->InitEngine());
   tree->ResetCounters();
   *out = std::move(tree);
   return Status::OK();
@@ -538,7 +614,17 @@ void SpbTree::InitSnapshots() {
       CurrentVersion(), [this](std::vector<PageId> pages) {
         for (PageId p : pages) btree_->node_cache().Erase(p);
         btree_->pool().Retire(pages);
-        btree_->AddFreePages(pages);
+        if (wal_ != nullptr) {
+          // Checkpoint-gated recycling: the pool writes through, so a
+          // recycled id would be overwritten on disk while WAL records that
+          // replay against the checkpointed tree may still reach the old
+          // page. Hold the ids until the next checkpoint truncates the log.
+          std::lock_guard<std::mutex> lock(recycle_mu_);
+          pending_recycle_.insert(pending_recycle_.end(), pages.begin(),
+                                  pages.end());
+        } else {
+          btree_->AddFreePages(pages);
+        }
       });
 }
 
@@ -548,7 +634,8 @@ IndexVersion SpbTree::CurrentVersion() const {
   v.root = tv.root;
   v.height = tv.height;
   v.num_entries = tv.num_entries;
-  v.raf_end_offset = raf_->end_offset();
+  v.raf = RafPtr();
+  v.raf_end_offset = v.raf->end_offset();
   v.num_objects = num_objects_.load(std::memory_order_relaxed);
   return v;
 }
@@ -567,6 +654,33 @@ Status SpbTree::InsertOneLocked(const Blob& obj, ObjectId id,
 Status SpbTree::InsertOneMappedLocked(const Blob& obj, ObjectId id,
                                       const double* phi, uint64_t key,
                                       std::vector<PageId>* superseded) {
+  // Upsert: re-inserting an id that already lives at this key replaces the
+  // old entry, and the replaced RAF record's bytes join the dead-byte debt
+  // (they used to escape the accounting — the record was orphaned but never
+  // tallied). This is also what makes WAL replay of an already-applied
+  // insert idempotent.
+  {
+    BPlusTree::LeafCursor cur(btree_.get(), btree_->version());
+    SPB_RETURN_IF_ERROR(cur.Seek(key));
+    ObjectId rid;
+    Blob robj;
+    while (cur.valid() && cur.entry().key == key) {
+      SPB_RETURN_IF_ERROR(raf_->Get(cur.entry().ptr, &rid, &robj));
+      if (rid == id) {
+        bool found = false;
+        TreeVersion tv;
+        SPB_RETURN_IF_ERROR(
+            btree_->DeleteCow(key, cur.entry().ptr, &found, &tv, superseded));
+        if (found) {
+          btree_->AdoptVersion(tv);
+          raf_->AddDeadBytes(8 + robj.size());
+          num_objects_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      SPB_RETURN_IF_ERROR(cur.Next());
+    }
+  }
   // RAF first: the new leaf entry references the record's offset, and the
   // appender's release-store of the watermark happens before the version
   // holding this entry can be published.
@@ -589,9 +703,25 @@ Status SpbTree::InsertOneMappedLocked(const Blob& obj, ObjectId id,
 }
 
 Status SpbTree::Insert(const Blob& obj, ObjectId id) {
+  if (write_queue_ != nullptr) {
+    // Map outside any lock (the mapped space is immutable, the distance
+    // counter atomic); the group-commit leader applies the request.
+    WriteQueue::Request req;
+    req.kind = WriteQueue::OpKind::kInsert;
+    req.obj = obj;
+    req.id = id;
+    req.phi = space_->Phi(obj, counting_);
+    req.key = space_->KeyFor(req.phi);
+    return write_queue_->Submit(std::move(req));
+  }
   std::unique_lock<std::mutex> wlock(writer_mu_, std::try_to_lock);
   if (!wlock.owns_lock()) {
     return Status::Busy("Insert raced another writer; retry when it drains");
+  }
+  if (wal_ != nullptr) {
+    Wal::Record rec{Wal::RecordType::kInsert, id, obj};
+    SPB_RETURN_IF_ERROR(wal_->AppendGroup(
+        &rec, 1, wal_fsync_.load(std::memory_order_relaxed)));
   }
   std::vector<PageId> superseded;
   SPB_RETURN_IF_ERROR(InsertOneLocked(obj, id, &superseded));
@@ -604,10 +734,36 @@ Status SpbTree::BatchInsert(const std::vector<Blob>& objs,
   if (objs.size() != ids.size()) {
     return Status::InvalidArgument("BatchInsert: objs/ids size mismatch");
   }
+  if (write_queue_ != nullptr) {
+    // Map the whole batch up front (same distance-call order as per-object
+    // Phi), then enqueue the records individually: they may commit across
+    // several groups, interleaved with other writers.
+    const size_t dims = space_->dims();
+    std::vector<double> phis(objs.size() * dims);
+    space_->pivots().MapBatch(objs.data(), objs.size(), counting_,
+                              phis.data());
+    std::vector<WriteQueue::Request> reqs(objs.size());
+    for (size_t i = 0; i < objs.size(); ++i) {
+      reqs[i].kind = WriteQueue::OpKind::kInsert;
+      reqs[i].obj = objs[i];
+      reqs[i].id = ids[i];
+      reqs[i].phi.assign(phis.data() + i * dims, phis.data() + (i + 1) * dims);
+      reqs[i].key = space_->KeyFor(reqs[i].phi);
+    }
+    return write_queue_->SubmitBatch(&reqs);
+  }
   std::unique_lock<std::mutex> wlock(writer_mu_, std::try_to_lock);
   if (!wlock.owns_lock()) {
     return Status::Busy(
         "BatchInsert raced another writer; retry when it drains");
+  }
+  if (wal_ != nullptr) {
+    std::vector<Wal::Record> recs(objs.size());
+    for (size_t i = 0; i < objs.size(); ++i) {
+      recs[i] = Wal::Record{Wal::RecordType::kInsert, ids[i], objs[i]};
+    }
+    SPB_RETURN_IF_ERROR(wal_->AppendGroup(
+        recs.data(), recs.size(), wal_fsync_.load(std::memory_order_relaxed)));
   }
   // One publish for the whole batch: readers keep the pre-batch version
   // until every object is in; intermediate versions are adopted privately
@@ -622,10 +778,31 @@ Status SpbTree::BatchInsert(const std::vector<Blob>& objs,
 }
 
 Status SpbTree::BatchInsertMapped(const MappedInsert* items, size_t count) {
+  if (write_queue_ != nullptr) {
+    std::vector<WriteQueue::Request> reqs(count);
+    const size_t dims = space_->dims();
+    for (size_t i = 0; i < count; ++i) {
+      reqs[i].kind = WriteQueue::OpKind::kInsert;
+      reqs[i].obj = *items[i].obj;
+      reqs[i].id = items[i].id;
+      reqs[i].key = items[i].key;
+      reqs[i].phi.assign(items[i].phi, items[i].phi + dims);
+    }
+    return write_queue_->SubmitBatch(&reqs);
+  }
   std::unique_lock<std::mutex> wlock(writer_mu_, std::try_to_lock);
   if (!wlock.owns_lock()) {
     return Status::Busy(
         "BatchInsertMapped raced another writer; retry when it drains");
+  }
+  if (wal_ != nullptr) {
+    std::vector<Wal::Record> recs(count);
+    for (size_t i = 0; i < count; ++i) {
+      recs[i] = Wal::Record{Wal::RecordType::kInsert, items[i].id,
+                            *items[i].obj};
+    }
+    SPB_RETURN_IF_ERROR(wal_->AppendGroup(
+        recs.data(), recs.size(), wal_fsync_.load(std::memory_order_relaxed)));
   }
   // Same one-publish-per-batch contract as BatchInsert.
   std::vector<PageId> superseded;
@@ -648,10 +825,34 @@ Status SpbTree::Delete(const Blob& obj, ObjectId id, bool* found) {
 Status SpbTree::DeleteMapped(const Blob& obj, ObjectId id, uint64_t key,
                              bool* found) {
   *found = false;
+  if (write_queue_ != nullptr) {
+    WriteQueue::Request req;
+    req.kind = WriteQueue::OpKind::kDelete;
+    req.obj = obj;
+    req.id = id;
+    req.key = key;
+    return write_queue_->Submit(std::move(req), found);
+  }
   std::unique_lock<std::mutex> wlock(writer_mu_, std::try_to_lock);
   if (!wlock.owns_lock()) {
     return Status::Busy("Delete raced another writer; retry when it drains");
   }
+  if (wal_ != nullptr) {
+    Wal::Record rec{Wal::RecordType::kDelete, id, obj};
+    SPB_RETURN_IF_ERROR(wal_->AppendGroup(
+        &rec, 1, wal_fsync_.load(std::memory_order_relaxed)));
+  }
+  std::vector<PageId> superseded;
+  SPB_RETURN_IF_ERROR(
+      DeleteOneMappedLocked(obj, id, key, found, &superseded));
+  PublishCurrent(std::move(superseded));
+  return Status::OK();
+}
+
+Status SpbTree::DeleteOneMappedLocked(const Blob& obj, ObjectId id,
+                                      uint64_t key, bool* found,
+                                      std::vector<PageId>* superseded) {
+  if (found != nullptr) *found = false;
   // Locate the duplicate whose RAF record matches (id, payload) with a
   // chain-free cursor (the leaf chain is stale once COW writes happen).
   BPlusTree::LeafCursor cur(btree_.get(), btree_->version());
@@ -669,11 +870,14 @@ Status SpbTree::DeleteMapped(const Blob& obj, ObjectId id, uint64_t key,
     }
     SPB_RETURN_IF_ERROR(cur.Next());
   }
+  // Missing record: not-found, kOk — which is exactly what makes WAL replay
+  // of an already-applied delete idempotent.
   if (!located) return Status::OK();
   TreeVersion tv;
-  std::vector<PageId> superseded;
-  SPB_RETURN_IF_ERROR(btree_->DeleteCow(key, ptr, found, &tv, &superseded));
-  if (!*found) return Status::OK();
+  bool removed = false;
+  SPB_RETURN_IF_ERROR(btree_->DeleteCow(key, ptr, &removed, &tv, superseded));
+  if (!removed) return Status::OK();
+  if (found != nullptr) *found = true;
   // The unlinked RAF record (u32 id + u32 len header plus the payload) is
   // garbage until a rebuild/compaction: tally it as compaction debt.
   raf_->AddDeadBytes(8 + robj.size());
@@ -683,12 +887,11 @@ Status SpbTree::DeleteMapped(const Blob& obj, ObjectId id, uint64_t key,
     std::lock_guard<std::mutex> lock(cost_mu_);
     cost_model_.set_total_objects(n);
   }
-  PublishCurrent(std::move(superseded));
   return Status::OK();
 }
 
-Status SpbTree::VerifyLeafBatch(const LeafEntry* entries, size_t count,
-                                const Blob& q,
+Status SpbTree::VerifyLeafBatch(Raf* raf, const LeafEntry* entries,
+                                size_t count, const Blob& q,
                                 const std::vector<double>& phi_q, double r,
                                 bool check_region,
                                 const std::vector<uint32_t>& rr_lo,
@@ -737,10 +940,10 @@ Status SpbTree::VerifyLeafBatch(const LeafEntry* entries, size_t count,
     BlobRef obj;
     if (options_.enable_zero_copy) {
       SPB_RETURN_IF_ERROR(
-          raf_->GetView(entries[i].ptr, &id, &scratch->view, ra));
+          raf->GetView(entries[i].ptr, &id, &scratch->view, ra));
       obj = scratch->view.ref();
     } else {
-      SPB_RETURN_IF_ERROR(raf_->Get(entries[i].ptr, &id, &scratch->obj, ra));
+      SPB_RETURN_IF_ERROR(raf->Get(entries[i].ptr, &id, &scratch->obj, ra));
       obj = scratch->obj;
     }
     if (options_.enable_lemma2 && scratch->guaranteed[i]) {
@@ -798,7 +1001,11 @@ Status SpbTree::RangeSearch(const Blob& q, double r, const Snapshot& snap,
   A.todo.clear();
   A.box_buf.clear();
   A.todo.push_back(QueryArena::RangeTodo{snap.version().root, 0, false});
-  Readahead ra = NewReadaheadSession();
+  // The snapshot's RAF, not the tree's current one: a concurrent compaction
+  // may swap raf_ mid-traversal, but this version's offsets only resolve
+  // against the file it was published with (which the snapshot co-owns).
+  Raf* const sraf = snap.version().raf.get();
+  Readahead ra = NewReadaheadSession(*sraf);
   NodeHandle h;
 
   for (size_t cursor = 0; cursor < A.todo.size(); ++cursor) {
@@ -831,7 +1038,7 @@ Status SpbTree::RangeSearch(const Blob& q, double r, const Snapshot& snap,
       if (MappedSpace::BoxContains(A.rr_lo.data(), A.rr_hi.data(), blo, bhi,
                                    dims)) {
         // MBB(N) fully inside RR: membership is implied.
-        SPB_RETURN_IF_ERROR(VerifyLeafBatch(node.leaf_entries.data(),
+        SPB_RETURN_IF_ERROR(VerifyLeafBatch(sraf, node.leaf_entries.data(),
                                             node.leaf_entries.size(), q,
                                             A.phi_q, r, false, A.rr_lo,
                                             A.rr_hi, &A.leaf, result, &ra));
@@ -860,7 +1067,7 @@ Status SpbTree::RangeSearch(const Blob& q, double r, const Snapshot& snap,
             ++ei;
           }
         }
-        SPB_RETURN_IF_ERROR(VerifyLeafBatch(A.leaf.matched.data(),
+        SPB_RETURN_IF_ERROR(VerifyLeafBatch(sraf, A.leaf.matched.data(),
                                             A.leaf.matched.size(), q,
                                             A.phi_q, r, false, A.rr_lo,
                                             A.rr_hi, &A.leaf, result, &ra));
@@ -868,7 +1075,7 @@ Status SpbTree::RangeSearch(const Blob& q, double r, const Snapshot& snap,
       }
     }
     if (!enumerated) {
-      SPB_RETURN_IF_ERROR(VerifyLeafBatch(node.leaf_entries.data(),
+      SPB_RETURN_IF_ERROR(VerifyLeafBatch(sraf, node.leaf_entries.data(),
                                           node.leaf_entries.size(), q,
                                           A.phi_q, r, true, A.rr_lo, A.rr_hi,
                                           &A.leaf, result, &ra));
@@ -952,15 +1159,17 @@ Status SpbTree::KnnSearch(const Blob& q, size_t k, const Snapshot& snap,
   // when d > NDk — so offer() makes the same decision, and any distance that
   // does get stored is the exact one. While the heap is not yet full, NDk is
   // +inf and the computation runs to completion.
-  Readahead ra = NewReadaheadSession();
+  // Snapshot-pinned RAF, same reasoning as RangeSearch.
+  Raf* const sraf = snap.version().raf.get();
+  Readahead ra = NewReadaheadSession(*sraf);
   auto verify_entry = [&](const LeafEntry& e) -> Status {
     ObjectId id;
     BlobRef obj;
     if (options_.enable_zero_copy) {
-      SPB_RETURN_IF_ERROR(raf_->GetView(e.ptr, &id, &A.leaf.view, &ra));
+      SPB_RETURN_IF_ERROR(sraf->GetView(e.ptr, &id, &A.leaf.view, &ra));
       obj = A.leaf.view.ref();
     } else {
-      SPB_RETURN_IF_ERROR(raf_->Get(e.ptr, &id, &A.leaf.obj, &ra));
+      SPB_RETURN_IF_ERROR(sraf->Get(e.ptr, &id, &A.leaf.obj, &ra));
       obj = A.leaf.obj;
     }
     const double d = options_.enable_cutoff
@@ -1082,7 +1291,7 @@ CostEstimate SpbTree::EstimateKnnCost(const Blob& q, size_t k) const {
 }
 
 uint64_t SpbTree::storage_bytes() const {
-  return btree_->file_bytes() + raf_->file_bytes() +
+  return btree_->file_bytes() + RafPtr()->file_bytes() +
          space_->pivots().Serialize().size();
 }
 
@@ -1099,21 +1308,21 @@ void SpbTree::InitFetcher() {
 IoStats SpbTree::io_stats() const {
   IoStats s;
   s += btree_->stats();
-  s += raf_->stats();
+  s += RafPtr()->stats();
   return s;
 }
 
 QueryStats SpbTree::cumulative_stats() const {
   QueryStats s;
   s.page_accesses =
-      btree_->stats().page_accesses() + raf_->stats().page_accesses();
+      btree_->stats().page_accesses() + RafPtr()->stats().page_accesses();
   s.distance_computations = counting_.count() + extra_distance_computations_;
   return s;
 }
 
 void SpbTree::ResetCounters() {
   btree_->pool().stats().Reset();
-  raf_->ResetStats();
+  RafPtr()->ResetStats();
   counting_.Reset();
   extra_distance_computations_ = 0;
 }
@@ -1121,7 +1330,7 @@ void SpbTree::ResetCounters() {
 void SpbTree::FlushCaches() {
   btree_->pool().Flush();
   btree_->node_cache().Clear();
-  raf_->FlushCache();
+  RafPtr()->FlushCache();
 }
 
 Status SpbTree::ApplyTuning(const TuningOptions& t) {
@@ -1156,6 +1365,17 @@ Status SpbTree::ApplyTuning(const TuningOptions& t) {
     options_.raf_cache_pages = t.raf_cache_pages;
     SPB_RETURN_IF_ERROR(raf_->SetCachePages(t.raf_cache_pages));
   }
+  // Write-path engine knobs: the group-commit leader and the compactor read
+  // these through atomics / the queue's own lock, so they retune live.
+  options_.wal_group_max = t.wal_group_max;
+  options_.wal_fsync = t.wal_fsync;
+  options_.compact_dead_bytes_threshold = t.compact_dead_bytes_threshold;
+  wal_fsync_.store(t.wal_fsync, std::memory_order_relaxed);
+  compact_threshold_.store(t.compact_dead_bytes_threshold,
+                           std::memory_order_relaxed);
+  if (write_queue_ != nullptr) {
+    write_queue_->set_group_max(std::max<size_t>(1, t.wal_group_max));
+  }
   return Status::OK();
 }
 
@@ -1170,7 +1390,271 @@ TuningOptions SpbTree::tuning() const {
   t.btree_cache_pages = options_.btree_cache_pages;
   t.raf_cache_pages = options_.raf_cache_pages;
   t.max_readahead_pages = options_.max_readahead_pages;
+  t.wal_group_max = options_.wal_group_max;
+  t.wal_fsync = wal_fsync_.load(std::memory_order_relaxed);
+  t.compact_dead_bytes_threshold =
+      compact_threshold_.load(std::memory_order_relaxed);
   return t;
+}
+
+// ---------------------------------------------------------------------------
+// Write-path engine: group-commit WAL, writer queueing, recovery, compaction.
+// ---------------------------------------------------------------------------
+
+SpbTree::~SpbTree() {
+  // Stop the queue's compactor thread before members tear down: its hooks
+  // touch btree_/raf_/snapshots_.
+  if (write_queue_ != nullptr) write_queue_->Stop();
+}
+
+Status SpbTree::InitEngine() {
+  wal_fsync_.store(options_.wal_fsync, std::memory_order_relaxed);
+  compact_threshold_.store(options_.compact_dead_bytes_threshold,
+                           std::memory_order_relaxed);
+  if (options_.enable_wal) {
+    if (options_.storage_dir.empty()) {
+      return Status::InvalidArgument(
+          "enable_wal requires a disk-backed index (storage_dir)");
+    }
+    SPB_RETURN_IF_ERROR(Wal::Open(options_.storage_dir + "/wal.spb", &wal_));
+    SPB_RETURN_IF_ERROR(ReplayWal());
+  }
+  // The queue exists for group commit AND for the background compactor (it
+  // owns the worker thread); a compactor-only tree still routes its writes
+  // through it, which only upgrades kBusy into queueing.
+  if (options_.enable_group_commit ||
+      options_.compact_dead_bytes_threshold > 0) {
+    write_queue_ = std::make_unique<WriteQueue>(
+        [this](std::vector<WriteQueue::Request*>& group) {
+          CommitGroup(group);
+        },
+        std::max<size_t>(1, options_.wal_group_max));
+    if (options_.compact_dead_bytes_threshold > 0) {
+      write_queue_->StartCompactor([this] { return NeedsCompaction(); },
+                                   [this] { Compact(); });
+    }
+  }
+  return Status::OK();
+}
+
+void SpbTree::CommitGroup(std::vector<WriteQueue::Request*>& group) {
+  // Blocking lock — the leader queues behind a checkpoint/compaction rather
+  // than failing, and holding it across append+fsync+apply+publish is what
+  // guarantees a concurrent Save can never truncate WAL records that are
+  // appended but not yet applied.
+  std::lock_guard<std::mutex> wlock(writer_mu_);
+  if (wal_ != nullptr) {
+    std::vector<Wal::Record> recs(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      recs[i].type = group[i]->kind == WriteQueue::OpKind::kInsert
+                         ? Wal::RecordType::kInsert
+                         : Wal::RecordType::kDelete;
+      recs[i].id = group[i]->id;
+      recs[i].payload = group[i]->obj;
+    }
+    // ONE segment write + ONE fsync for the whole group.
+    const Status ws = wal_->AppendGroup(
+        recs.data(), recs.size(), wal_fsync_.load(std::memory_order_relaxed));
+    if (!ws.ok()) {
+      for (WriteQueue::Request* r : group) r->status = ws;
+      return;
+    }
+  }
+  std::vector<PageId> superseded;
+  for (WriteQueue::Request* r : group) {
+    if (r->kind == WriteQueue::OpKind::kInsert) {
+      r->status = InsertOneMappedLocked(r->obj, r->id, r->phi.data(), r->key,
+                                        &superseded);
+    } else {
+      r->status =
+          DeleteOneMappedLocked(r->obj, r->id, r->key, &r->found, &superseded);
+    }
+  }
+  // ONE snapshot epoch for the whole group.
+  PublishCurrent(std::move(superseded));
+}
+
+Status SpbTree::ReplayWal() {
+  std::vector<Wal::Record> records;
+  SPB_RETURN_IF_ERROR(wal_->ReadAll(&records));
+  if (records.empty()) return Status::OK();
+  // Records below the checkpoint LSN are already captured by the tree files
+  // (the checkpoint truncates, so normally none exist — a crash between the
+  // meta write and the truncate leaves some, and replaying them is a no-op
+  // thanks to upsert/missing-delete idempotence; skipping the provably
+  // captured ones just saves the work).
+  const uint64_t checkpoint_lsn = wal_->stats().checkpoint_lsn;
+  std::lock_guard<std::mutex> wlock(writer_mu_);
+  std::vector<PageId> superseded;
+  for (const Wal::Record& rec : records) {
+    if (rec.lsn < checkpoint_lsn) continue;
+    if (rec.type == Wal::RecordType::kInsert) {
+      const std::vector<double> phi = space_->Phi(rec.payload, counting_);
+      SPB_RETURN_IF_ERROR(InsertOneMappedLocked(
+          rec.payload, rec.id, phi.data(), space_->KeyFor(phi), &superseded));
+    } else {
+      bool found = false;
+      SPB_RETURN_IF_ERROR(DeleteOneMappedLocked(
+          rec.payload, rec.id,
+          space_->KeyFor(space_->Phi(rec.payload, counting_)), &found,
+          &superseded));
+    }
+  }
+  PublishCurrent(std::move(superseded));
+  return Status::OK();
+}
+
+Status SpbTree::RebuildBtreeFromRaf() {
+  // The B+-tree references offsets of a RAF file that no longer exists (a
+  // crash split a compaction's rename from its checkpoint). Every record in
+  // the surviving file is authoritative; keep the LAST occurrence per id (a
+  // post-swap re-insert supersedes earlier records) and bulk-load a fresh
+  // tree over them. Raw reads: recovery I/O never enters the accounting.
+  struct Rec {
+    uint64_t key;
+    uint64_t ptr;
+    ObjectId id;
+    uint32_t len;
+  };
+  std::vector<Rec> recs;
+  std::unordered_map<ObjectId, size_t> by_id;
+  Raf::RawReadCache cache;
+  uint64_t dead = 0;
+  const uint64_t end = raf_->end_offset();
+  uint64_t off = kPageSize;
+  ObjectId id;
+  Blob obj;
+  while (off < end) {
+    SPB_RETURN_IF_ERROR(raf_->GetRaw(off, &id, &obj, &cache));
+    const uint64_t key = space_->KeyFor(space_->Phi(obj, counting_));
+    const auto [it, inserted] = by_id.try_emplace(id, recs.size());
+    if (inserted) {
+      recs.push_back(Rec{key, off, id, uint32_t(obj.size())});
+    } else {
+      Rec& old = recs[it->second];
+      dead += 8 + old.len;
+      old = Rec{key, off, id, uint32_t(obj.size())};
+    }
+    off += 8 + obj.size();
+  }
+  // (key, ptr) order reproduces the compacted file's leaf order exactly.
+  std::sort(recs.begin(), recs.end(), [](const Rec& a, const Rec& b) {
+    return a.key < b.key || (a.key == b.key && a.ptr < b.ptr);
+  });
+  std::vector<LeafEntry> entries;
+  entries.reserve(recs.size());
+  for (const Rec& rc : recs) entries.push_back(LeafEntry{rc.key, rc.ptr});
+
+  btree_.reset();
+  std::unique_ptr<PageFile> bf;
+  SPB_RETURN_IF_ERROR(
+      PageFile::CreateOnDisk(options_.storage_dir + "/btree.spb", &bf));
+  SPB_RETURN_IF_ERROR(BPlusTree::Create(
+      std::move(bf), options_.btree_cache_pages, &space_->curve(), &btree_));
+  SPB_RETURN_IF_ERROR(
+      btree_->SetNodeCacheEntries(options_.node_cache_entries));
+  SPB_RETURN_IF_ERROR(btree_->BulkLoad(entries));
+  SPB_RETURN_IF_ERROR(btree_->Sync());
+  raf_->AddDeadBytes(dead);
+  num_objects_.store(recs.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status SpbTree::Compact() {
+  // Blocking lock: compaction queues behind in-flight commit groups.
+  std::lock_guard<std::mutex> wlock(writer_mu_);
+  return CompactLocked();
+}
+
+Status SpbTree::CompactLocked() {
+  const TreeVersion tv = btree_->version();
+  // Live entries of the current version, ascending key order (raw reads —
+  // the walk stays out of the accounting).
+  std::vector<LeafEntry> entries;
+  SPB_RETURN_IF_ERROR(btree_->CollectLeafEntriesRaw(tv, &entries));
+
+  const bool on_disk = !options_.storage_dir.empty();
+  const std::string tmp_path = options_.storage_dir + "/raf.compact.spb";
+  std::unique_ptr<PageFile> file;
+  if (on_disk) {
+    SPB_RETURN_IF_ERROR(PageFile::CreateOnDisk(tmp_path, &file));
+  } else {
+    file = PageFile::CreateInMemory();
+  }
+  std::unique_ptr<Raf> fresh;
+  SPB_RETURN_IF_ERROR(Raf::Create(std::move(file), options_.raf_cache_pages,
+                                  &fresh, raf_->generation() + 1));
+  // Copy the live records in SFC order: the new file is dense and restored
+  // to bulk-load locality, and every orphaned record is left behind.
+  Raf::RawReadCache cache;
+  ObjectId id;
+  Blob obj;
+  std::vector<LeafEntry> new_entries;
+  new_entries.reserve(entries.size());
+  for (const LeafEntry& e : entries) {
+    SPB_RETURN_IF_ERROR(raf_->GetRaw(e.ptr, &id, &obj, &cache));
+    uint64_t offset;
+    SPB_RETURN_IF_ERROR(fresh->Append(id, obj, &offset));
+    new_entries.push_back(LeafEntry{e.key, offset});
+  }
+  SPB_RETURN_IF_ERROR(fresh->Sync());
+  // Cumulative counters carry across the swap (compaction is invisible to
+  // PA accounting — its own writes are overwritten here); dead debt resets.
+  fresh->CarryStatsFrom(*raf_);
+
+  // The whole outgoing tree version is superseded, exactly like a COW
+  // write's page set: retired once the last pinning snapshot drains.
+  std::vector<PageId> old_pages;
+  SPB_RETURN_IF_ERROR(btree_->CollectVersionPages(tv, &old_pages));
+  TreeVersion new_tv;
+  SPB_RETURN_IF_ERROR(btree_->BulkLoadCow(new_entries, &new_tv));
+
+  MaybeCrash("compact_before_rename");
+  if (on_disk) {
+    // Atomic swap on disk. The old Raf's fd survives the rename-over
+    // (POSIX), so snapshots pinned to pre-swap versions keep reading the
+    // unlinked inode until they drain.
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, options_.storage_dir + "/raf.spb", ec);
+    if (ec) {
+      return Status::IOError("compaction rename failed: " + ec.message());
+    }
+  }
+  MaybeCrash("compact_after_rename");
+  {
+    std::lock_guard<std::mutex> lock(raf_mu_);
+    raf_ = std::shared_ptr<Raf>(std::move(fresh));
+  }
+  btree_->AdoptVersion(new_tv);
+  PublishCurrent(std::move(old_pages));
+  // Checkpoint immediately: the meta must record the new generation (a
+  // crash before this line is the rebuild-on-open case the kill-point tests
+  // exercise).
+  if (on_disk) SPB_RETURN_IF_ERROR(SaveLocked());
+  return Status::OK();
+}
+
+bool SpbTree::NeedsCompaction() const {
+  const uint64_t threshold =
+      compact_threshold_.load(std::memory_order_relaxed);
+  if (threshold == 0) return false;
+  return RafPtr()->dead_bytes() >= threshold;
+}
+
+Wal::Stats SpbTree::wal_stats() const {
+  return wal_ != nullptr ? wal_->stats() : Wal::Stats{};
+}
+
+WriteQueue::Stats SpbTree::write_queue_stats() const {
+  return write_queue_ != nullptr ? write_queue_->stats()
+                                 : WriteQueue::Stats{};
+}
+
+size_t SpbTree::writer_concurrency() const {
+  // With the commit queue, any number of writers make progress (they
+  // group-commit instead of failing with kBusy); report a width that tells
+  // QueryExecutor not to serialize them behind its own mutex.
+  return write_queue_ != nullptr ? 64 : 1;
 }
 
 Status SpbTree::CheckIntegrity() {

@@ -17,11 +17,13 @@
 #include "core/metric_index.h"
 #include "core/tuning.h"
 #include "exec/snapshot.h"
+#include "exec/write_queue.h"
 #include "metrics/distance.h"
 #include "common/rng.h"
 #include "pivots/selection.h"
 #include "storage/io_engine.h"
 #include "storage/raf.h"
+#include "storage/wal.h"
 
 namespace spb {
 
@@ -90,6 +92,25 @@ struct SpbTreeOptions {
   /// (own B+-tree + RAF + buffer pools + snapshot manager) per range.
   /// Ignored by SpbTree itself.
   size_t num_shards = 1;
+  /// Write-path engine (docs/OPERATIONS.md §"Durability"). With
+  /// `enable_group_commit` on, Insert/Delete/BatchInsert enqueue into a
+  /// per-tree commit queue instead of try-locking the writer mutex: a
+  /// leader drains up to `wal_group_max` requests, appends them as ONE WAL
+  /// segment write with ONE fsync (when `enable_wal` and `wal_fsync` are
+  /// on), applies them through the COW write path and publishes ONE
+  /// snapshot epoch — so concurrent writers queue instead of bouncing off
+  /// Status::Busy. `enable_wal` (requires a disk-backed tree) adds the
+  /// group-commit log itself: logical records are replayed on Open past the
+  /// last checkpoint (a Save() checkpoints and truncates the log).
+  bool enable_group_commit = false;
+  bool enable_wal = false;
+  size_t wal_group_max = 64;
+  bool wal_fsync = true;
+  /// Dead-byte debt at which the background compactor rewrites the RAF back
+  /// into SFC order on fresh pages (0 disables the compactor thread). The
+  /// swap goes through the snapshot/retire protocol, so in-flight queries
+  /// keep reading their pinned version's file.
+  uint64_t compact_dead_bytes_threshold = 0;
 };
 
 /// The global NDk bound one kNN query shares across shards: a monotonically
@@ -192,10 +213,39 @@ class SpbTree : public MetricIndex {
                      const SpbTreeOptions& options,
                      std::unique_ptr<SpbTree>* out);
 
+  /// Stops the write-queue leader/compactor threads before members tear
+  /// down (the compactor touches btree_/raf_/snapshots_).
+  ~SpbTree() override;
+
   /// Persists the meta file (pivot table, mapping parameters, cost model)
   /// and syncs the B+-tree and RAF. Only valid for disk-backed indexes
-  /// (non-empty options.storage_dir).
+  /// (non-empty options.storage_dir). With the WAL enabled this is the
+  /// checkpoint: after the tree state is durable the log is truncated and
+  /// pages retired since the last checkpoint become recyclable. Blocks
+  /// behind in-flight commit groups (takes the writer lock, waiting).
   Status Save();
+
+  /// Rewrites the RAF into SFC order on fresh pages, dropping every record
+  /// orphaned by deletes/re-inserts, and swaps it in through the snapshot
+  /// protocol — concurrent queries keep reading their pinned version's old
+  /// file and never block. Cumulative PA/compdists counters carry over
+  /// unchanged (compaction I/O is raw, outside the buffer pool) and
+  /// dead_bytes resets to zero. Disk-backed trees swap via an atomic
+  /// rename and checkpoint afterwards; a crash between the two is healed
+  /// on Open by a generation check that rebuilds the B+-tree from the RAF.
+  /// Blocks behind in-flight writers (takes the writer lock, waiting).
+  Status Compact();
+
+  /// WAL counters (zeros when the WAL is off): segment bytes, checkpoint
+  /// LSN, records appended since the checkpoint, group/fsync totals.
+  Wal::Stats wal_stats() const;
+  /// Commit-queue counters (zeros when group commit is off).
+  WriteQueue::Stats write_queue_stats() const;
+
+  /// With the commit queue on, concurrent writers enqueue and never see
+  /// Status::Busy, so the executor may dispatch them freely; without it the
+  /// single try-lock admits one writer at a time.
+  size_t writer_concurrency() const override;
 
   /// Inserts one object with explicit id (Appendix C path: map, append to
   /// RAF, copy-on-write B+-tree insert, snapshot publish). Safe under
@@ -303,20 +353,21 @@ class SpbTree : public MetricIndex {
   /// The currently applied tuning group.
   TuningOptions tuning() const;
 
-  /// Opens a readahead session over the RAF for one caller thread (used by
-  /// the joins, which drive their own leaf scans). Returns a session even
-  /// when enable_prefetch is off — Schedule() is then a no-op (null
-  /// fetcher), so the session degrades to the demand path.
-  Readahead NewReadaheadSession() {
-    return Readahead(&raf_->pool(),
-                     options_.enable_prefetch ? fetcher_.get() : nullptr,
-                     ReadaheadOptions{options_.max_readahead_pages});
-  }
+  /// Opens a readahead session over the current RAF for one caller thread
+  /// (used by the joins, which drive their own leaf scans; they run with
+  /// writes quiesced, so the RAF cannot be swapped out from under the
+  /// session). Returns a session even when enable_prefetch is off —
+  /// Schedule() is then a no-op (null fetcher), so the session degrades to
+  /// the demand path. Query traversals use the private overload bound to
+  /// their snapshot's RAF instead.
+  Readahead NewReadaheadSession() { return NewReadaheadSession(*RafPtr()); }
 
   /// Aggregate I/O counters of both files (logical + physical + prefetch).
   IoStats io_stats() const override;
   BPlusTree& btree() { return *btree_; }
   const BPlusTree& btree() const { return *btree_; }
+  /// The current-generation RAF. Quiesced-only accessor (joins, CLI stats,
+  /// tests): a concurrent compaction swaps the pointer this dereferences.
   Raf& raf() { return *raf_; }
   const CostModel& cost_model() const { return cost_model_; }
   const SpbTreeOptions& options() const { return options_; }
@@ -379,9 +430,9 @@ class SpbTree : public MetricIndex {
   // and Lemma 2 as per-dimension sweeps, then fetches/verifies survivors in
   // entry order — same results, RAF access order and compdists as the
   // entry-at-a-time loop. `check_region` is Algorithm 1's `flag` parameter.
-  Status VerifyLeafBatch(const LeafEntry* entries, size_t count, const Blob& q,
-                         const std::vector<double>& phi_q, double r,
-                         bool check_region,
+  Status VerifyLeafBatch(Raf* raf, const LeafEntry* entries, size_t count,
+                         const Blob& q, const std::vector<double>& phi_q,
+                         double r, bool check_region,
                          const std::vector<uint32_t>& rr_lo,
                          const std::vector<uint32_t>& rr_hi,
                          LeafScratch* scratch, std::vector<ObjectId>* result,
@@ -406,8 +457,19 @@ class SpbTree : public MetricIndex {
                          std::vector<PageId>* superseded);
 
   // Same, with phi/key already computed (by InsertOneLocked or a router).
+  // Upsert semantics: an existing entry with the same (key, id, payload)
+  // is first unlinked and its RAF record's bytes added to the dead-byte
+  // debt — re-inserting an id never double-counts an object, and WAL
+  // replay of an already-applied insert is a clean no-op-shaped rewrite.
   Status InsertOneMappedLocked(const Blob& obj, ObjectId id,
                                const double* phi, uint64_t key,
+                               std::vector<PageId>* superseded);
+
+  // One delete under the already-held writer lock, WITHOUT publishing.
+  // Sets `*found` (may be null); missing records are kOk/not-found, which
+  // makes WAL replay of an already-applied delete idempotent.
+  Status DeleteOneMappedLocked(const Blob& obj, ObjectId id, uint64_t key,
+                               bool* found,
                                std::vector<PageId>* superseded);
 
   // The traversal bodies of RangeQuery/KnnQuery, shared with the *Mapped
@@ -423,6 +485,51 @@ class SpbTree : public MetricIndex {
   // epoch retire queue.
   void PublishCurrent(std::vector<PageId> superseded);
 
+  // Readahead session bound to one specific RAF (the snapshot's, for query
+  // traversals; the current one, for the public wrapper).
+  Readahead NewReadaheadSession(Raf& raf) {
+    return Readahead(&raf.pool(),
+                     options_.enable_prefetch ? fetcher_.get() : nullptr,
+                     ReadaheadOptions{options_.max_readahead_pages});
+  }
+
+  // The current RAF under the swap lock (shared_ptr copy: callers keep the
+  // file alive across a concurrent compaction swap).
+  std::shared_ptr<Raf> RafPtr() const {
+    std::lock_guard<std::mutex> lock(raf_mu_);
+    return raf_;
+  }
+
+  // Wires the write-path engine (WAL + commit queue + compactor) per
+  // options_. Called once, after InitSnapshots(), from BuildInternal/Open.
+  Status InitEngine();
+
+  // The group-commit leader body: takes the writer lock (blocking — commit
+  // groups queue behind checkpoints/compactions, never fail), appends the
+  // whole group as one WAL write + one fsync, applies every request through
+  // the COW write path and publishes ONE snapshot epoch. Per-request
+  // statuses land in the requests.
+  void CommitGroup(std::vector<WriteQueue::Request*>& group);
+
+  // Replays WAL records past the last checkpoint through the locked write
+  // path (one publish at the end). Called from Open before counters reset.
+  Status ReplayWal();
+
+  // Rebuilds btree.spb from a full raw RAF scan (re-mapping every record).
+  // Open's recovery path for a crash that landed between a compaction's
+  // rename and its checkpoint (RAF generation != meta generation).
+  Status RebuildBtreeFromRaf();
+
+  // Save()'s body under the already-held writer lock; also drains
+  // checkpoint-gated page recycling into the B+-tree free list.
+  Status SaveLocked();
+
+  // Compact()'s body under the already-held writer lock.
+  Status CompactLocked();
+
+  // True when the dead-byte debt crossed the compactor threshold.
+  bool NeedsCompaction() const;
+
   // Collects node MBBs for the cost model (post-bulk-load tree walk).
   Status CollectNodeBoxes(
       std::vector<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>>*
@@ -433,7 +540,11 @@ class SpbTree : public MetricIndex {
   CountingDistance counting_;
   std::unique_ptr<MappedSpace> space_;
   std::unique_ptr<BPlusTree> btree_;
-  std::unique_ptr<Raf> raf_;
+  // shared_ptr: published IndexVersions co-own the RAF they were built
+  // against, so a compaction swap retires the old file only after the last
+  // snapshot referencing it drains. raf_mu_ guards the pointer swap.
+  std::shared_ptr<Raf> raf_;
+  mutable std::mutex raf_mu_;
   std::unique_ptr<PageFetcher> fetcher_;
   CostModel cost_model_;
   std::atomic<uint64_t> num_objects_{0};
@@ -444,11 +555,32 @@ class SpbTree : public MetricIndex {
   Rng sample_rng_{12345};
 
   // Single-writer gate: Insert/Delete/BatchInsert/ApplyTuning try-lock it
-  // and return Status::Busy when it is held. Readers never take it.
+  // and return Status::Busy when it is held. Readers never take it. The
+  // group-commit leader, Save and Compact take it BLOCKING — they queue
+  // behind each other instead of failing, which is what keeps a checkpoint
+  // from truncating WAL records a concurrent group appended but has not
+  // yet applied.
   std::mutex writer_mu_;
   // Guards the cost model, which the writer mutates (AddSample /
   // set_total_objects) while readers run Estimate*Cost.
   mutable std::mutex cost_mu_;
+
+  // ---- Write-path engine (null / empty when disabled) ----
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<WriteQueue> write_queue_;
+  // With the WAL on, pages retired by the snapshot queue are NOT recycled
+  // immediately: the buffer pool writes through, so a recycled page could
+  // be overwritten on disk while the WAL records that rebuild its epoch
+  // still matter for recovery. They queue here and join the free list at
+  // the next checkpoint (Save), whose truncation makes them unreachable
+  // from any replay.
+  std::mutex recycle_mu_;
+  std::vector<PageId> pending_recycle_;
+  // Runtime-tunable engine knobs: the leader/compactor threads read these
+  // while ApplyTuning writes them.
+  std::atomic<bool> wal_fsync_{true};
+  std::atomic<uint64_t> compact_threshold_{0};
+
   // Declared after btree_/raf_ so it is destroyed first: its teardown
   // drains the retire queue, whose callback touches the B+-tree caches.
   std::unique_ptr<SnapshotManager> snapshots_;

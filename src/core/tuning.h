@@ -2,6 +2,7 @@
 #define SPB_CORE_TUNING_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace spb {
 
@@ -50,6 +51,17 @@ struct TuningOptions {
   /// rejects a change with InvalidArgument (re-partitioning is a rebuild,
   /// not a tune). Plain SpbTree reports and accepts only 1.
   size_t num_shards = 1;
+  /// Write-path engine knobs (docs/OPERATIONS.md §"Durability"). Only
+  /// meaningful when the corresponding SpbTreeOptions switches enabled the
+  /// engine at construction time; ApplyTuning on a tree without the queue /
+  /// WAL / compactor simply records the values for tuning() readback.
+  /// Max logical records one group commit drains (and fsyncs) at once.
+  size_t wal_group_max = 64;
+  /// fsync the WAL once per commit group (off trades durability of the
+  /// last group for throughput; replay still stops at the torn tail).
+  bool wal_fsync = true;
+  /// RAF dead-byte debt that wakes the background compactor (0 = never).
+  uint64_t compact_dead_bytes_threshold = 0;
 };
 
 }  // namespace spb

@@ -103,6 +103,7 @@ Status QueryExecutor::RunBatch(size_t n,
   }
   if (n == 0) return Status::OK();
 
+  busy_retries_.store(0, std::memory_order_relaxed);
   const QueryStats before = index_->cumulative_stats();
   const IoStats io_before = index_->io_stats();
   const auto start = std::chrono::steady_clock::now();
@@ -142,6 +143,7 @@ Status QueryExecutor::RunBatch(size_t n,
     std::sort(sorted.begin(), sorted.end());
     stats->p50_seconds = PercentileSorted(sorted, 0.50);
     stats->p99_seconds = PercentileSorted(sorted, 0.99);
+    stats->busy_retries = busy_retries_.load(std::memory_order_relaxed);
   }
   return batch->first_error;
 }
@@ -182,13 +184,30 @@ Status QueryExecutor::RunWrite(const std::function<Status()>& op) {
   // Multi-writer index (sharded): dispatch concurrently — writes to
   // different shards proceed in parallel — and absorb same-shard collisions
   // here. A Busy from inside a mixed batch is transient by construction
-  // (the lock holder is a sibling op that will drain), so retry instead of
-  // surfacing kBusy as an op failure.
-  for (;;) {
-    Status s = op();
-    if (s.code() != Status::Code::kBusy) return s;
-    std::this_thread::yield();
+  // (the lock holder is a sibling op that will drain), so retry with capped
+  // exponential backoff: a handful of free spins first (sibling ops are
+  // usually microseconds), then sleeps doubling from 1us to a 1ms cap.
+  // The retry budget is bounded — if the shard stays busy past the whole
+  // schedule (~1s: an external writer or a manual Compact() is holding the
+  // writer lock, which the batch contract forbids), kBusy is surfaced to
+  // the caller instead of spinning forever.
+  constexpr int kSpinRetries = 8;
+  constexpr int kMaxRetries = 1024;
+  constexpr auto kMaxSleep = std::chrono::microseconds(1000);
+  std::chrono::microseconds sleep(1);
+  Status s = op();
+  for (int attempt = 0; s.code() == Status::Code::kBusy; ++attempt) {
+    if (attempt >= kMaxRetries) return s;
+    busy_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt < kSpinRetries) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(sleep);
+      sleep = std::min(sleep * 2, kMaxSleep);
+    }
+    s = op();
   }
+  return s;
 }
 
 Status QueryExecutor::RunMixedBatch(const std::vector<MixedOp>& ops,

@@ -40,6 +40,11 @@ struct BatchStats {
   /// logical/physical gap is what the I/O engine saved: single-flight
   /// sharing across these concurrent queries plus coalesced span reads.
   IoStats io_totals;
+  /// Times a write op observed Status::Busy and was retried by the
+  /// executor's backoff loop (multi-writer indexes only; 0 for read-only
+  /// batches and for group-commit indexes, whose writers queue instead of
+  /// colliding).
+  uint64_t busy_retries = 0;
 };
 
 /// One operation of a mixed read/write batch (RunMixedBatch). Queries run
@@ -151,13 +156,18 @@ class QueryExecutor {
   Status RunBatch(size_t n, const std::function<Status(size_t)>& task,
                   BatchStats* stats);
   /// One write op under the policy RunMixedBatch documents: mutex when the
-  /// index is single-writer, lock-free dispatch + retry-on-Busy when it
-  /// supports concurrent writers.
+  /// index is single-writer; lock-free dispatch with BOUNDED retry-on-Busy
+  /// (capped exponential backoff, kBusy surfaced if the budget drains) when
+  /// it supports concurrent writers. Retries are tallied in busy_retries_.
   Status RunWrite(const std::function<Status()>& op);
   void WorkerLoop();
 
   MetricIndex* index_;
   std::vector<std::thread> threads_;
+
+  /// kBusy retries across the current batch (reset per RunBatch, reported
+  /// as BatchStats::busy_retries).
+  std::atomic<uint64_t> busy_retries_{0};
 
   /// Serializes write ops within mixed batches against single-writer
   /// indexes (writer_concurrency() == 1) so the index's try-lock never

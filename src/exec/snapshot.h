@@ -13,6 +13,8 @@
 
 namespace spb {
 
+class Raf;
+
 /// One published state of an index: the B+-tree root a reader traverses
 /// from, plus the RAF tail watermark that bounds which record offsets the
 /// version can reference. Everything a query touches is reachable from
@@ -30,6 +32,13 @@ struct IndexVersion {
   uint64_t raf_end_offset = 0;
   /// Live objects in this version.
   uint64_t num_objects = 0;
+  /// The RAF generation this version's leaf entries point into. Background
+  /// compaction swaps the tree's RAF for a rewritten one; versions published
+  /// before the swap keep the old file alive through this reference, so a
+  /// query pinning them still resolves its offsets against the bytes they
+  /// were built for. Null only for indexes without the snapshot/compaction
+  /// machinery wired (bare unit-test setups).
+  std::shared_ptr<Raf> raf;
 };
 
 class SnapshotManager;

@@ -14,8 +14,9 @@ constexpr uint64_t kRafMagic = 0x5350425241463031ULL;  // "SPBRAF01"
 }  // namespace
 
 Status Raf::Create(std::unique_ptr<PageFile> file, size_t cache_pages,
-                   std::unique_ptr<Raf>* out) {
+                   std::unique_ptr<Raf>* out, uint64_t generation) {
   auto raf = std::unique_ptr<Raf>(new Raf(std::move(file), cache_pages));
+  raf->generation_ = generation;
   PageId header_id;
   SPB_RETURN_IF_ERROR(raf->file_->Allocate(&header_id));
   if (header_id != 0) {
@@ -39,6 +40,7 @@ Status Raf::Open(std::unique_ptr<PageFile> file, size_t cache_pages,
   }
   raf->end_offset_ = DecodeFixed64(header.bytes() + 8);
   raf->num_records_ = DecodeFixed64(header.bytes() + 16);
+  raf->generation_ = DecodeFixed64(header.bytes() + 24);
   *out = std::move(raf);
   return Status::OK();
 }
@@ -48,6 +50,7 @@ Status Raf::WriteHeader() {
   EncodeFixed64(header.bytes(), kRafMagic);
   EncodeFixed64(header.bytes() + 8, end_offset());
   EncodeFixed64(header.bytes() + 16, num_records());
+  EncodeFixed64(header.bytes() + 24, generation_);
   return file_->Write(0, header);
 }
 
@@ -130,6 +133,61 @@ Status Raf::ReadBytes(uint64_t offset, uint8_t* dst, size_t n,
     offset += chunk;
     dst += chunk;
     n -= chunk;
+  }
+  return Status::OK();
+}
+
+Status Raf::ReadBytesRaw(uint64_t offset, uint8_t* dst, size_t n,
+                         RawReadCache* cache) const {
+  while (n > 0) {
+    const PageId page = static_cast<PageId>(offset / kPageSize);
+    const size_t in_page = offset % kPageSize;
+    const size_t chunk = std::min(n, kPageSize - in_page);
+
+    bool served = false;
+    if (page == dirty_tail_id_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(tail_mu_);
+      if (page == tail_id_ && tail_dirty_) {
+        std::memcpy(dst, tail_.bytes() + in_page, chunk);
+        served = true;
+      }
+    }
+    if (!served) {
+      if (cache != nullptr) {
+        if (cache->id != page) {
+          SPB_RETURN_IF_ERROR(file_->Read(page, &cache->page));
+          cache->id = page;
+        }
+        std::memcpy(dst, cache->page.bytes() + in_page, chunk);
+      } else {
+        Page scratch;
+        SPB_RETURN_IF_ERROR(file_->Read(page, &scratch));
+        std::memcpy(dst, scratch.bytes() + in_page, chunk);
+      }
+    }
+    offset += chunk;
+    dst += chunk;
+    n -= chunk;
+  }
+  return Status::OK();
+}
+
+Status Raf::GetRaw(uint64_t offset, ObjectId* id, Blob* obj,
+                   RawReadCache* cache) const {
+  const uint64_t end = end_offset();
+  if (offset < kPageSize || offset + 8 > end) {
+    return Status::InvalidArgument("RAF offset out of range");
+  }
+  uint8_t header[8];
+  SPB_RETURN_IF_ERROR(ReadBytesRaw(offset, header, sizeof(header), cache));
+  *id = DecodeFixed32(header);
+  const uint32_t len = DecodeFixed32(header + 4);
+  if (offset + 8 + len > end) {
+    return Status::Corruption("RAF record extends past end of data");
+  }
+  obj->resize(len);
+  if (len > 0) {
+    SPB_RETURN_IF_ERROR(ReadBytesRaw(offset + 8, obj->data(), len, cache));
   }
   return Status::OK();
 }

@@ -92,9 +92,14 @@ class BlobView {
 class Raf {
  public:
   /// Creates an empty RAF over a fresh page file. `cache_pages` sizes the LRU
-  /// buffer pool used for reads.
+  /// buffer pool used for reads. `generation` stamps the header: compaction
+  /// writes its replacement file with the old generation + 1, and the index
+  /// meta records which generation it was checkpointed against — a mismatch
+  /// on open means a crash landed between the compaction swap and its
+  /// checkpoint, and the B+-tree must be rebuilt from the RAF. Pre-existing
+  /// files (header bytes 24..31 zero) read back as generation 0.
   static Status Create(std::unique_ptr<PageFile> file, size_t cache_pages,
-                       std::unique_ptr<Raf>* out);
+                       std::unique_ptr<Raf>* out, uint64_t generation = 0);
 
   /// Opens an existing RAF (header page must be valid).
   static Status Open(std::unique_ptr<PageFile> file, size_t cache_pages,
@@ -130,6 +135,35 @@ class Raf {
   Status ScanAll(
       const std::function<void(uint64_t, ObjectId, const Blob&)>& fn,
       Readahead* ra = nullptr);
+
+  /// One-page cache a caller threads through consecutive GetRaw calls so a
+  /// run of same-page records costs one file read, not one per record.
+  struct RawReadCache {
+    PageId id = kInvalidPageId;
+    Page page;
+  };
+
+  /// Maintenance-path read of the record at `offset`: direct file I/O (plus
+  /// the dirty-tail buffer), completely outside the buffer pool — no PA, no
+  /// cache hits, no LRU perturbation. Compaction and crash recovery use
+  /// this so their internal I/O never shows up in the paper's query-cost
+  /// accounting. Single concurrent appender allowed (same tail protocol as
+  /// Get); `cache` may be null.
+  Status GetRaw(uint64_t offset, ObjectId* id, Blob* obj,
+                RawReadCache* cache) const;
+
+  /// Overwrites this RAF's IoStats with `other`'s, zeroing dead_bytes.
+  /// Compaction calls this on the replacement RAF so the tree's cumulative
+  /// counters continue seamlessly across the swap — compaction is invisible
+  /// to PA accounting — while the dead-byte debt resets to zero (every
+  /// surviving record is live). Requires quiesced stats readers (the
+  /// compactor holds the writer lock; stats races are benign counters).
+  void CarryStatsFrom(const Raf& other) {
+    pool_.stats() = other.stats();
+    pool_.stats().dead_bytes.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t generation() const { return generation_; }
 
   /// Page holding byte `offset` (records may span onto the next page too).
   static PageId PageOf(uint64_t offset) {
@@ -191,6 +225,8 @@ class Raf {
 
   Status WriteBytes(uint64_t offset, const uint8_t* src, size_t n);
   Status ReadBytes(uint64_t offset, uint8_t* dst, size_t n, Readahead* ra);
+  Status ReadBytesRaw(uint64_t offset, uint8_t* dst, size_t n,
+                      RawReadCache* cache) const;
   /// GetView's copy fallback: a plain Get into the view's owned buffer.
   Status GetIntoOwned(uint64_t offset, ObjectId* id, BlobView* view,
                       Readahead* ra);
@@ -206,6 +242,7 @@ class Raf {
   // reader that observes an offset also observes the bytes behind it.
   std::atomic<uint64_t> end_offset_{kPageSize};
   std::atomic<uint64_t> num_records_{0};
+  uint64_t generation_ = 0;
 
   // In-memory tail page: the last, possibly partial, data page. Kept out of
   // the buffer pool until full so appends don't inflate write counts.

@@ -1,0 +1,299 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crash_point.h"
+
+namespace spb {
+
+namespace {
+
+constexpr uint64_t kWalMagic = 0x53504257414c3031ull;  // "SPBWAL01"
+constexpr size_t kHeaderSize = 32;
+// crc u32 | payload_len u32 | lsn u64 | type u8 | id u32
+constexpr size_t kRecordHeaderSize = 4 + 4 + 8 + 1 + 4;
+
+/// CRC-32 (reflected, polynomial 0xEDB88320), table-driven. Small and
+/// dependency-free; throughput is irrelevant next to the fsync that follows
+/// every group.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  const auto& table = CrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status PWriteFull(int fd, uint64_t offset, const uint8_t* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::pwrite(fd, data, n, static_cast<off_t>(offset));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("wal pwrite failed");
+    }
+    data += w;
+    offset += static_cast<uint64_t>(w);
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status PReadFull(int fd, uint64_t offset, uint8_t* data, size_t n,
+                 size_t* got) {
+  *got = 0;
+  while (n > 0) {
+    ssize_t r = ::pread(fd, data, n, static_cast<off_t>(offset));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("wal pread failed");
+    }
+    if (r == 0) break;  // EOF
+    data += r;
+    offset += static_cast<uint64_t>(r);
+    n -= static_cast<size_t>(r);
+    *got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Wal::Open(const std::string& path, std::unique_ptr<Wal>* out) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open wal file: " + path);
+  }
+  std::unique_ptr<Wal> wal(new Wal(path, fd));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return Status::IOError("wal fstat failed: " + path);
+  }
+  if (st.st_size == 0) {
+    wal->file_bytes_ = kHeaderSize;
+    Status s = wal->WriteHeader();
+    if (!s.ok()) return s;
+    if (::fsync(fd) != 0) return Status::IOError("wal fsync failed");
+  } else {
+    wal->file_bytes_ = static_cast<uint64_t>(st.st_size);
+    Status s = wal->ScanExisting();
+    if (!s.ok()) return s;
+  }
+  *out = std::move(wal);
+  return Status::OK();
+}
+
+Status Wal::WriteHeader() {
+  uint8_t header[kHeaderSize] = {0};
+  EncodeFixed64(header, kWalMagic);
+  EncodeFixed64(header + 8, checkpoint_lsn_);
+  return PWriteFull(fd_, 0, header, kHeaderSize);
+}
+
+Status Wal::ScanExisting() {
+  uint8_t header[kHeaderSize];
+  size_t got = 0;
+  Status s = PReadFull(fd_, 0, header, kHeaderSize, &got);
+  if (!s.ok()) return s;
+  if (got < kHeaderSize || DecodeFixed64(header) != kWalMagic) {
+    return Status::Corruption("bad wal header: " + path_);
+  }
+  checkpoint_lsn_ = DecodeFixed64(header + 8);
+  next_lsn_ = checkpoint_lsn_;
+  pending_records_ = 0;
+  // Walk the records to find next_lsn and the count of pending (replayable)
+  // records. A torn tail simply stops the walk.
+  uint64_t offset = kHeaderSize;
+  uint8_t rec_header[kRecordHeaderSize];
+  Blob payload;
+  while (offset + kRecordHeaderSize <= file_bytes_) {
+    s = PReadFull(fd_, offset, rec_header, kRecordHeaderSize, &got);
+    if (!s.ok()) return s;
+    if (got < kRecordHeaderSize) break;
+    uint32_t crc = DecodeFixed32(rec_header);
+    uint32_t len = DecodeFixed32(rec_header + 4);
+    if (offset + kRecordHeaderSize + len > file_bytes_) break;
+    payload.resize(len);
+    if (len > 0) {
+      s = PReadFull(fd_, offset + kRecordHeaderSize, payload.data(), len,
+                    &got);
+      if (!s.ok()) return s;
+      if (got < len) break;
+    }
+    // Re-assemble the crc'd region contiguously to verify.
+    Blob body(kRecordHeaderSize - 4 + len);
+    std::memcpy(body.data(), rec_header + 4, kRecordHeaderSize - 4);
+    if (len > 0) {
+      std::memcpy(body.data() + kRecordHeaderSize - 4, payload.data(), len);
+    }
+    if (Crc32(body.data(), body.size()) != crc) break;
+    uint64_t lsn = DecodeFixed64(rec_header + 8);
+    next_lsn_ = lsn + 1;
+    ++pending_records_;
+    offset += kRecordHeaderSize + len;
+  }
+  // Anything past the last whole record is a torn tail; logically the file
+  // ends here (the next append overwrites it).
+  file_bytes_ = offset;
+  return Status::OK();
+}
+
+Status Wal::AppendGroup(Record* records, size_t n, bool fsync) {
+  if (n == 0) return Status::OK();
+  MaybeCrash("wal_before_append");
+  // Serialize the whole group into one buffer: one write, one fsync.
+  Blob buf;
+  {
+    size_t total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      total += kRecordHeaderSize + records[i].payload.size();
+    }
+    buf.reserve(total);
+  }
+  uint64_t lsn;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    lsn = next_lsn_;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Record& r = records[i];
+    r.lsn = lsn++;
+    const size_t base = buf.size();
+    buf.resize(base + kRecordHeaderSize + r.payload.size());
+    uint8_t* p = buf.data() + base;
+    EncodeFixed32(p + 4, static_cast<uint32_t>(r.payload.size()));
+    EncodeFixed64(p + 8, r.lsn);
+    p[16] = static_cast<uint8_t>(r.type);
+    EncodeFixed32(p + 17, r.id);
+    if (!r.payload.empty()) {
+      std::memcpy(p + kRecordHeaderSize, r.payload.data(), r.payload.size());
+    }
+    EncodeFixed32(p, Crc32(p + 4, kRecordHeaderSize - 4 + r.payload.size()));
+  }
+  // The mid-append kill point lands between the two halves of the group
+  // buffer: recovery must replay the prefix of complete records and stop at
+  // the torn one.
+  const size_t half = buf.size() / 2;
+  Status s = PWriteFull(fd_, file_bytes_, buf.data(), half);
+  if (!s.ok()) return s;
+  MaybeCrash("wal_mid_append");
+  s = PWriteFull(fd_, file_bytes_ + half, buf.data() + half,
+                 buf.size() - half);
+  if (!s.ok()) return s;
+  MaybeCrash("wal_before_fsync");
+  if (fsync) {
+    if (::fsync(fd_) != 0) return Status::IOError("wal fsync failed");
+  }
+  MaybeCrash("wal_after_fsync");
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    file_bytes_ += buf.size();
+    next_lsn_ = lsn;
+    pending_records_ += n;
+    ++groups_;
+    if (fsync) ++fsyncs_;
+  }
+  return Status::OK();
+}
+
+Status Wal::ReadAll(std::vector<Record>* out) {
+  out->clear();
+  uint64_t offset = kHeaderSize;
+  uint8_t rec_header[kRecordHeaderSize];
+  size_t got = 0;
+  while (offset + kRecordHeaderSize <= file_bytes_) {
+    Status s = PReadFull(fd_, offset, rec_header, kRecordHeaderSize, &got);
+    if (!s.ok()) return s;
+    if (got < kRecordHeaderSize) break;
+    uint32_t crc = DecodeFixed32(rec_header);
+    uint32_t len = DecodeFixed32(rec_header + 4);
+    if (offset + kRecordHeaderSize + len > file_bytes_) break;
+    Record rec;
+    rec.payload.resize(len);
+    if (len > 0) {
+      s = PReadFull(fd_, offset + kRecordHeaderSize, rec.payload.data(), len,
+                    &got);
+      if (!s.ok()) return s;
+      if (got < len) break;
+    }
+    Blob body(kRecordHeaderSize - 4 + len);
+    std::memcpy(body.data(), rec_header + 4, kRecordHeaderSize - 4);
+    if (len > 0) {
+      std::memcpy(body.data() + kRecordHeaderSize - 4, rec.payload.data(),
+                  len);
+    }
+    if (Crc32(body.data(), body.size()) != crc) break;
+    rec.lsn = DecodeFixed64(rec_header + 8);
+    uint8_t type = rec_header[16];
+    if (type != static_cast<uint8_t>(RecordType::kInsert) &&
+        type != static_cast<uint8_t>(RecordType::kDelete)) {
+      break;
+    }
+    rec.type = static_cast<RecordType>(type);
+    rec.id = DecodeFixed32(rec_header + 17);
+    out->push_back(std::move(rec));
+    offset += kRecordHeaderSize + len;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  replayed_ = out->size();
+  return Status::OK();
+}
+
+Status Wal::Checkpoint() {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    checkpoint_lsn_ = next_lsn_;
+  }
+  Status s = WriteHeader();
+  if (!s.ok()) return s;
+  if (::ftruncate(fd_, kHeaderSize) != 0) {
+    return Status::IOError("wal ftruncate failed");
+  }
+  if (::fsync(fd_) != 0) return Status::IOError("wal fsync failed");
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  file_bytes_ = kHeaderSize;
+  pending_records_ = 0;
+  ++fsyncs_;
+  return Status::OK();
+}
+
+Wal::Stats Wal::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  Stats s;
+  s.segment_bytes = file_bytes_;
+  s.checkpoint_lsn = checkpoint_lsn_;
+  s.next_lsn = next_lsn_;
+  s.pending_records = pending_records_;
+  s.groups = groups_;
+  s.fsyncs = fsyncs_;
+  s.replayed_records = replayed_;
+  return s;
+}
+
+}  // namespace spb

@@ -1,0 +1,122 @@
+#ifndef SPB_STORAGE_WAL_H_
+#define SPB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/blob.h"
+#include "common/status.h"
+
+namespace spb {
+
+/// Write-ahead log for the SPB-tree's group-commit write path.
+///
+/// The log is a single append-only file of *logical* records (insert id +
+/// payload / delete id + payload), not physical page images: replay re-runs
+/// each record through the normal mapped COW write path, so a recovered tree
+/// is produced by exactly the code that produced the original. One WAL file
+/// exists per tree (per shard under ShardedSpbTree); the group-commit leader
+/// serializes a whole group of records into one buffer, appends it with one
+/// write, and issues one fsync for the group.
+///
+/// File layout:
+///   header (32 bytes): magic u64 | checkpoint_lsn u64 | reserved u64 x2
+///   records, back to back:
+///     crc u32 | payload_len u32 | lsn u64 | type u8 | id u32 | payload bytes
+/// The crc (CRC-32, polynomial 0xEDB88320) covers everything after the crc
+/// field, including the payload. Replay stops at the first record whose
+/// header is short, whose payload is short, or whose crc mismatches — a torn
+/// group-commit write therefore replays as a prefix of the group, which is
+/// safe because records are independent (no multi-record transactions).
+///
+/// A checkpoint (SpbTree::Save) makes the tree files durable first, then
+/// calls Checkpoint() here, which truncates the log back to the header and
+/// advances checkpoint_lsn: everything below it is now captured by the tree
+/// files. A crash between the tree sync and the truncate replays records
+/// that were already applied; replay is idempotent because insert has upsert
+/// semantics on (key, id) and delete of a missing record is a no-op.
+///
+/// Thread safety: AppendGroup/Checkpoint/ReadAll are called by one thread at
+/// a time (the group-commit leader or the checkpointing writer, both under
+/// the tree's writer protocol). Stats accessors are safe from any thread.
+class Wal {
+ public:
+  enum class RecordType : uint8_t {
+    kInsert = 1,
+    kDelete = 2,
+  };
+
+  /// One logical record. For kInsert, `payload` is the object blob; for
+  /// kDelete it is the payload the delete must match (the SPB-tree resolves
+  /// deletes by (key, id, payload) equality).
+  struct Record {
+    RecordType type;
+    ObjectId id;
+    Blob payload;
+    uint64_t lsn = 0;  // assigned by AppendGroup; filled in by ReadAll
+  };
+
+  /// Counters mirrored into the CLI `stats` output and the bench JSON.
+  struct Stats {
+    uint64_t segment_bytes = 0;    // log file size, header included
+    uint64_t checkpoint_lsn = 0;   // first LSN NOT captured by a checkpoint
+    uint64_t next_lsn = 0;         // LSN the next appended record receives
+    uint64_t pending_records = 0;  // records appended since last checkpoint
+    uint64_t groups = 0;           // AppendGroup calls this process
+    uint64_t fsyncs = 0;           // fsync calls this process
+    uint64_t replayed_records = 0; // records replayed by the last ReadAll
+  };
+
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens `path`, creating an empty log (header only) if absent. An
+  /// existing log is scanned to restore next_lsn/pending_records; a torn
+  /// tail is tolerated (it is truncated away by the next AppendGroup).
+  static Status Open(const std::string& path, std::unique_ptr<Wal>* out);
+
+  /// Appends `n` records as one contiguous write, assigning consecutive
+  /// LSNs starting at next_lsn, then fsyncs once when `fsync` is set. On
+  /// return every record's lsn field is filled in. Kill points:
+  /// wal_before_append, wal_mid_append (first half of the group buffer
+  /// written), wal_before_fsync, wal_after_fsync.
+  Status AppendGroup(Record* records, size_t n, bool fsync);
+
+  /// Reads every well-formed record from the start of the log, stopping at
+  /// the first torn/corrupt one. Sets stats().replayed_records.
+  Status ReadAll(std::vector<Record>* out);
+
+  /// Truncates the log to the bare header and advances checkpoint_lsn to
+  /// next_lsn: the caller has made everything below durable elsewhere.
+  /// Fsyncs the truncated header.
+  Status Checkpoint();
+
+  Stats stats() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  Status WriteHeader();
+  Status ScanExisting();
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t file_bytes_ = 0;
+  uint64_t checkpoint_lsn_ = 0;
+  uint64_t next_lsn_ = 0;
+  uint64_t pending_records_ = 0;
+  uint64_t groups_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t replayed_ = 0;
+  mutable std::mutex stats_mu_;
+};
+
+}  // namespace spb
+
+#endif  // SPB_STORAGE_WAL_H_

@@ -17,6 +17,7 @@
 #   tools/check.sh --warmab   # only the warm A/B identity sweep (ASan+TSan)
 #   tools/check.sh --updates  # only the update-engine stage (TSan+ASan)
 #   tools/check.sh --sharded  # only the sharded-tree stage (TSan+ASan)
+#   tools/check.sh --wal      # only the write-path engine stage (TSan+ASan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -103,6 +104,26 @@ run_sharded() {
   ./build-asan/tests/sharded_test
 }
 
+run_wal() {
+  # The write-path engine stage: group-commit WAL, writer queueing and
+  # epoch-safe compaction under both sanitizers. TSan covers the leader
+  # hand-off in the commit queue (concurrent Submit/SubmitBatch callers
+  # electing a drain leader), the background compactor thread racing
+  # pinned-snapshot readers, and the checkpoint-gated page recycling; ASan
+  # covers WAL replay buffers, the RAF rewrite's fresh-page staging and the
+  # retire-callback lifetimes across the compaction swap. The kill-point
+  # matrix re-execs the test binary with SPB_CRASH_POINT set, which works
+  # unchanged under either sanitizer (children _exit at the kill point).
+  echo "==> wal: write-path engine tests under TSan"
+  cmake -B build-tsan -S . -DSPB_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target wal_test
+  ./build-tsan/tests/wal_test
+  echo "==> wal: write-path engine tests under ASan"
+  cmake -B build-asan -S . -DSPB_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target wal_test
+  ./build-asan/tests/wal_test
+}
+
 run_iouring() {
   echo "==> iouring: -DSPB_IOURING=ON must build (falls back to pread"
   echo "    with a warning when liburing is absent)"
@@ -118,6 +139,7 @@ case "${1:-}" in
   --warmab) run_warmab ;;
   --updates) run_updates ;;
   --sharded) run_sharded ;;
+  --wal) run_wal ;;
   *)
     run_tier1
     run_tsan
@@ -125,6 +147,7 @@ case "${1:-}" in
     run_warmab
     run_updates
     run_sharded
+    run_wal
     run_iouring
     ;;
 esac

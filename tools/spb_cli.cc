@@ -2,10 +2,11 @@
 //
 // Build an index over a text file and query it from the shell:
 //
-//   spb_cli build --dir=/tmp/idx --metric=edit --input=words.txt
-//   spb_cli knn   --dir=/tmp/idx --metric=edit --query=defoliate --k=5
-//   spb_cli range --dir=/tmp/idx --metric=edit --query=defoliate --r=2
-//   spb_cli stats --dir=/tmp/idx --metric=edit
+//   spb_cli build   --dir=/tmp/idx --metric=edit --input=words.txt
+//   spb_cli knn     --dir=/tmp/idx --metric=edit --query=defoliate --k=5
+//   spb_cli range   --dir=/tmp/idx --metric=edit --query=defoliate --r=2
+//   spb_cli stats   --dir=/tmp/idx --metric=edit
+//   spb_cli compact --dir=/tmp/idx --metric=edit
 //
 // `build --shards=N` (N a power of two > 1) builds an SFC-range-sharded
 // index instead; knn/range/stats detect the sharded layout on open (the
@@ -170,6 +171,42 @@ int Build(const Args& args, const DistanceFunction* metric) {
   return 0;
 }
 
+// True when `dir` holds a write-ahead log; such an index is opened with the
+// WAL enabled so records a crashed writer left behind replay before any
+// query or stat runs.
+bool HasWal(const std::string& dir) {
+  std::ifstream f(dir + "/wal.spb");
+  return f.good();
+}
+
+// One WAL counter line (aggregate or per shard).
+void PrintWalStats(const Wal::Stats& ws, const char* prefix) {
+  std::printf(
+      "%swal: %llu segment bytes, checkpoint lsn %llu, "
+      "%llu pending records, %llu replayed on open\n",
+      prefix, (unsigned long long)ws.segment_bytes,
+      (unsigned long long)ws.checkpoint_lsn,
+      (unsigned long long)ws.pending_records,
+      (unsigned long long)ws.replayed_records);
+}
+
+// The `compact` command body, shared by both layouts: rewrite the RAF(s)
+// into SFC order, dropping the dead-byte debt, and checkpoint.
+template <typename Index>
+int RunCompact(Index* index) {
+  const uint64_t before =
+      index->io_stats().dead_bytes.load(std::memory_order_relaxed);
+  const Status s = index->Compact();
+  if (!s.ok()) {
+    std::fprintf(stderr, "compact failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("compacted: reclaimed %llu dead bytes, %.1f KB on disk\n",
+              (unsigned long long)before,
+              double(index->storage_bytes()) / 1024.0);
+  return 0;
+}
+
 // Common stats header shared by the plain and sharded layouts; `index` is
 // SpbTree or ShardedSpbTree (both expose size/storage_bytes/space).
 template <typename Index>
@@ -269,12 +306,14 @@ int Query(const Args& args, const DistanceFunction* metric) {
   // The on-disk layout picks the engine: a shards.spb manifest means the
   // directory holds an SFC-range-sharded index.
   if (ShardedSpbTree::IsShardedDir(args.dir)) {
+    options.enable_wal = HasWal(args.dir + "/shard_0");
     std::unique_ptr<ShardedSpbTree> index;
     Status s = ShardedSpbTree::Open(args.dir, metric, options, &index);
     if (!s.ok()) {
       std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
       return 1;
     }
+    if (args.command == "compact") return RunCompact(index.get());
     if (args.command == "stats") {
       PrintCommonStats(*index);
       std::printf("shards: %zu\n", index->num_shards());
@@ -282,28 +321,35 @@ int Query(const Args& args, const DistanceFunction* metric) {
       std::printf("dead bytes: %llu (lazy deletes awaiting compaction)\n",
                   (unsigned long long)io.dead_bytes.load(
                       std::memory_order_relaxed));
+      if (options.enable_wal) PrintWalStats(index->wal_stats(), "");
       for (size_t sh = 0; sh < index->num_shards(); ++sh) {
         std::printf("  shard %zu: %llu objects, %.1f KB, %llu dead bytes\n",
                     sh, (unsigned long long)index->shard(sh).size(),
                     double(index->shard(sh).storage_bytes()) / 1024.0,
                     (unsigned long long)index->shard(sh).raf().dead_bytes());
+        if (options.enable_wal) {
+          PrintWalStats(index->shard(sh).wal_stats(), "    ");
+        }
       }
       return 0;
     }
     return RunQuery(args, index.get());
   }
 
+  options.enable_wal = HasWal(args.dir);
   std::unique_ptr<SpbTree> index;
   Status s = SpbTree::Open(args.dir, metric, options, &index);
   if (!s.ok()) {
     std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
     return 1;
   }
+  if (args.command == "compact") return RunCompact(index.get());
   if (args.command == "stats") {
     PrintCommonStats(*index);
     std::printf("precision: %.3f\n", index->cost_model().precision());
     std::printf("dead bytes: %llu (lazy deletes awaiting compaction)\n",
                 (unsigned long long)index->raf().dead_bytes());
+    if (options.enable_wal) PrintWalStats(index->wal_stats(), "");
     return 0;
   }
   return RunQuery(args, index.get());
@@ -314,7 +360,8 @@ int Main(int argc, char** argv) {
   if (!Parse(argc, argv, &args)) {
     std::fprintf(
         stderr,
-        "usage: spb_cli <build|knn|range|stats> --dir=PATH [--metric=edit|"
+        "usage: spb_cli <build|knn|range|stats|compact> --dir=PATH "
+        "[--metric=edit|"
         "l2|l5|hamming|dna] [--input=FILE] [--query=Q] [--r=R] [--k=K] "
         "[--dim=D] [--pivots=P] [--shards=S] [--repeat=N] [--cold] "
         "[--no-prefetch]\n");
@@ -327,7 +374,7 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "build") return Build(args, metric.get());
   if (args.command == "knn" || args.command == "range" ||
-      args.command == "stats") {
+      args.command == "stats" || args.command == "compact") {
     return Query(args, metric.get());
   }
   std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
