@@ -28,7 +28,9 @@
 // the table so results can be scraped like the other bench targets'
 // outputs.
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 
 #include "bench/bench_common.h"
@@ -1197,6 +1199,346 @@ void RunWriteEngine(const BenchConfig& config, const Dataset& ds,
   PrintRule(96);
 }
 
+// ------------------------------------- parallel fan-out sweep (PR 8)
+
+double MedianOf(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// The PR 8 sweep (BENCH_PR8.json, schema in docs/OPERATIONS.md):
+/// S in {1,4} x T in {1,8}, serial vs parallel cross-shard scatter.
+///
+/// Per cell, the A/B runs are *interleaved* (serial, parallel, serial, ...)
+/// so drift — cache warm-up, frequency scaling — lands on both sides
+/// equally, and medians are reported. Every parallel rep's results are
+/// compared against the serial rep's byte-for-byte; a mismatch aborts the
+/// bench. Per-query PA/compdist identity is gated separately through
+/// single-query batches (one query alone on the tree at a time — the only
+/// regime where cumulative-counter deltas attribute per query — with the
+/// query's own shard fan-out still parallel).
+///
+/// The mixed cell at T=8 additionally A/Bs the arena itself: the lock-free
+/// ticket ring vs the SPB_ARENA_MUTEX=1 mutex/condvar fallback (the
+/// pre-PR 8 executor shape), reporting p99 and busy_retries for both, plus
+/// the contention-registry counters accumulated during the measured phase.
+void RunFanoutSweep(const BenchConfig& config, const Dataset& ds,
+                    const std::vector<Blob>& queries, double r, size_t k) {
+  const size_t n = queries.size();
+  constexpr int kReps = 5;
+
+  std::printf("\n[parallel fan-out sweep: S in {1,4} x T in {1,8}, "
+              "interleaved serial/parallel A/B, median of %d]\n",
+              kReps);
+  PrintRule(96);
+  std::printf("%-9s | %10s | %10s | %8s | %10s | %10s\n", "cell",
+              "ser QPS", "par QPS", "par/ser", "ser p99ms", "par p99ms");
+  PrintRule(96);
+
+  struct Cell {
+    size_t shards, threads;
+    double serial_qps, parallel_qps, serial_p99_ms, parallel_p99_ms;
+  };
+  std::vector<Cell> cells;
+
+  for (size_t S : {size_t(1), size_t(4)}) {
+    SpbTreeOptions opts;
+    opts.seed = config.seed;
+    opts.num_shards = S;
+    std::unique_ptr<ShardedSpbTree> tree;
+    if (!ShardedSpbTree::Build(ds.objects, ds.metric.get(), opts, &tree)
+             .ok()) {
+      std::abort();
+    }
+
+    // Per-query identity gate: serial baseline on this thread, parallel
+    // rerun through single-query groups on a T=8 pool.
+    {
+      tree->set_parallel_scatter(false);
+      std::vector<std::vector<ObjectId>> want_ids(n);
+      std::vector<uint64_t> want_pa(n), want_cd(n);
+      for (size_t i = 0; i < n; ++i) {
+        QueryStats rs, ks;
+        std::vector<Neighbor> nn;
+        // Cold per query on both sides of the gate: logical PA depends on
+        // what the decoded-node cache absorbs, so identity is asserted
+        // cold-vs-cold (same discipline as the PR 6 S=1 gate).
+        tree->FlushCaches();
+        if (!tree->RangeQuery(queries[i], r, &want_ids[i], &rs).ok()) {
+          std::abort();
+        }
+        tree->FlushCaches();
+        if (!tree->KnnQuery(queries[i], k, &nn, &ks).ok()) std::abort();
+        want_pa[i] = rs.page_accesses + ks.page_accesses;
+        want_cd[i] = rs.distance_computations + ks.distance_computations;
+      }
+      tree->set_parallel_scatter(true);
+      QueryExecutor exec(tree.get(), 8);
+      for (size_t i = 0; i < n; ++i) {
+        QueryStats rs, ks;
+        std::vector<ObjectId> ids;
+        std::vector<Neighbor> nn;
+        bool ok = true;
+        const std::function<void(size_t)> one = [&](size_t) {
+          ok = tree->RangeQuery(queries[i], r, &ids, &rs).ok();
+        };
+        const std::function<void(size_t)> two = [&](size_t) {
+          ok = ok && tree->KnnQuery(queries[i], k, &nn, &ks).ok();
+        };
+        tree->FlushCaches();
+        exec.arena()->RunGroup(1, one, /*help=*/false);
+        tree->FlushCaches();
+        exec.arena()->RunGroup(1, two, /*help=*/false);
+        if (!ok) std::abort();
+        if (ids != want_ids[i] ||
+            rs.page_accesses + ks.page_accesses != want_pa[i] ||
+            rs.distance_computations + ks.distance_computations !=
+                want_cd[i]) {
+          std::printf("FAIL: parallel scatter not identical to serial at "
+                      "S=%zu q%zu (ids %zu vs %zu, pa %llu vs %llu, cd "
+                      "%llu vs %llu)\n",
+                      S, i, ids.size(), want_ids[i].size(),
+                      (unsigned long long)(rs.page_accesses +
+                                           ks.page_accesses),
+                      (unsigned long long)want_pa[i],
+                      (unsigned long long)(rs.distance_computations +
+                                           ks.distance_computations),
+                      (unsigned long long)want_cd[i]);
+          std::abort();
+        }
+      }
+    }
+
+    for (size_t T : {size_t(1), size_t(8)}) {
+      QueryExecutor exec(tree.get(), T);
+      // Warm-up pass (also the identity reference for the batch reps).
+      tree->set_parallel_scatter(false);
+      std::vector<std::vector<ObjectId>> want_rr;
+      std::vector<std::vector<Neighbor>> want_kr;
+      if (!exec.RunRangeBatch(queries, r, &want_rr, nullptr).ok() ||
+          !exec.RunKnnBatch(queries, k, &want_kr, nullptr).ok()) {
+        std::abort();
+      }
+
+      std::vector<double> ser_qps, par_qps, ser_p99, par_p99;
+      for (int rep = 0; rep < kReps; ++rep) {
+        for (bool parallel : {false, true}) {
+          tree->set_parallel_scatter(parallel);
+          std::vector<std::vector<ObjectId>> rr;
+          std::vector<std::vector<Neighbor>> kr;
+          BatchStats rstats, kstats;
+          if (!exec.RunRangeBatch(queries, r, &rr, &rstats).ok() ||
+              !exec.RunKnnBatch(queries, k, &kr, &kstats).ok()) {
+            std::abort();
+          }
+          if (rr != want_rr || kr.size() != want_kr.size()) {
+            std::printf("FAIL: A/B results diverged at S=%zu T=%zu "
+                        "parallel=%d\n",
+                        S, T, int(parallel));
+            std::abort();
+          }
+          for (size_t i = 0; i < kr.size(); ++i) {
+            if (kr[i].size() != want_kr[i].size()) std::abort();
+            for (size_t j = 0; j < kr[i].size(); ++j) {
+              if (kr[i][j].id != want_kr[i][j].id ||
+                  kr[i][j].distance != want_kr[i][j].distance) {
+                std::printf("FAIL: kNN A/B diverged at S=%zu T=%zu\n", S, T);
+                std::abort();
+              }
+            }
+          }
+          const double qps =
+              rstats.qps > 0 && kstats.qps > 0
+                  ? double(2 * n) /
+                        (double(n) / rstats.qps + double(n) / kstats.qps)
+                  : 0.0;
+          const double p99 =
+              std::max(rstats.p99_seconds, kstats.p99_seconds) * 1e3;
+          (parallel ? par_qps : ser_qps).push_back(qps);
+          (parallel ? par_p99 : ser_p99).push_back(p99);
+        }
+      }
+      Cell c;
+      c.shards = S;
+      c.threads = T;
+      c.serial_qps = MedianOf(ser_qps);
+      c.parallel_qps = MedianOf(par_qps);
+      c.serial_p99_ms = MedianOf(ser_p99);
+      c.parallel_p99_ms = MedianOf(par_p99);
+      cells.push_back(c);
+      std::printf("S=%zu T=%-3zu | %10.1f | %10.1f | %7.2fx | %10.3f | "
+                  "%10.3f\n",
+                  S, T, c.serial_qps, c.parallel_qps,
+                  c.serial_qps > 0 ? c.parallel_qps / c.serial_qps : 0.0,
+                  c.serial_p99_ms, c.parallel_p99_ms);
+    }
+  }
+  PrintRule(96);
+
+  // Mixed 90/10 at T=8 on S=4: lock-free ring vs mutex-fallback arena, with
+  // the contention registry accumulating over each measured phase.
+  struct MixedCell {
+    const char* arena;
+    double qps = 0.0, p99_ms = 0.0;
+    uint64_t busy_retries = 0;
+    ArenaQueueStats queue;
+    std::vector<LockStatsSnapshot> locks;
+  };
+  std::vector<MixedCell> mixed_cells;
+  for (const bool mutex_arena : {false, true}) {
+    SpbTreeOptions opts;
+    opts.seed = config.seed;
+    opts.num_shards = 4;
+    std::unique_ptr<ShardedSpbTree> tree;
+    if (!ShardedSpbTree::Build(ds.objects, ds.metric.get(), opts, &tree)
+             .ok()) {
+      std::abort();
+    }
+    if (mutex_arena) ::setenv("SPB_ARENA_MUTEX", "1", 1);
+    QueryExecutor exec(tree.get(), 8);
+    if (mutex_arena) ::unsetenv("SPB_ARENA_MUTEX");
+
+    std::vector<MixedOp> ops;
+    ObjectId next_id = ObjectId(ds.objects.size());
+    for (size_t b = 0; b < n; ++b) {
+      for (size_t j = 0; j < 9; ++j) {
+        MixedOp op;
+        op.kind = MixedOp::Kind::kRange;
+        op.obj = queries[(b + j) % n];
+        op.radius = r;
+        ops.push_back(std::move(op));
+      }
+      for (size_t j = 0; j < 9; ++j) {
+        MixedOp op;
+        op.kind = MixedOp::Kind::kKnn;
+        op.obj = queries[(b + j + 3) % n];
+        op.k = k;
+        ops.push_back(std::move(op));
+      }
+      MixedOp ins;
+      ins.kind = MixedOp::Kind::kInsert;
+      ins.obj = ds.objects[b % ds.objects.size()];
+      ins.id = next_id++;
+      ops.push_back(std::move(ins));
+      MixedOp del;
+      del.kind = MixedOp::Kind::kDelete;
+      del.obj = ds.objects[b];
+      del.id = ObjectId(b);
+      ops.push_back(std::move(del));
+    }
+
+    std::vector<MixedResult> mresults;
+    BatchStats warm;
+    if (!exec.RunMixedBatch(ops, &mresults, &warm).ok()) std::abort();
+
+    ContentionReset();
+    std::vector<double> qps, p99;
+    uint64_t busy = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      // Re-target the per-rep writes: each insert gets a fresh id (payload
+      // keyed off the id so insert/delete pairs agree), each delete targets
+      // the previous round's insert from the same block — always present.
+      for (MixedOp& op : ops) {
+        if (op.kind == MixedOp::Kind::kInsert) {
+          op.id = next_id++;
+          op.obj = ds.objects[size_t(op.id) % ds.objects.size()];
+        }
+        if (op.kind == MixedOp::Kind::kDelete) {
+          op.id = ObjectId(uint64_t(next_id) - 1 - n);
+          op.obj = ds.objects[size_t(op.id) % ds.objects.size()];
+        }
+      }
+      BatchStats mstats;
+      if (!exec.RunMixedBatch(ops, &mresults, &mstats).ok()) std::abort();
+      for (size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].kind == MixedOp::Kind::kDelete && !mresults[i].found) {
+          std::printf("FAIL: mixed-rep delete missed its target\n");
+          std::abort();
+        }
+      }
+      qps.push_back(mstats.qps);
+      p99.push_back(mstats.p99_seconds * 1e3);
+      busy += mstats.busy_retries;
+    }
+    MixedCell mc;
+    mc.arena = mutex_arena ? "mutex_fallback" : "ring";
+    mc.qps = MedianOf(qps);
+    mc.p99_ms = MedianOf(p99);
+    mc.busy_retries = busy;
+    mc.queue = exec.arena()->queue_stats();
+    mc.locks = ContentionSnapshot();
+    mixed_cells.push_back(std::move(mc));
+    std::printf("mixed 90/10 T=8 S=4 arena=%-14s: %10.1f QPS, p99 %.3f ms, "
+                "%llu busy retries\n",
+                mixed_cells.back().arena, mixed_cells.back().qps,
+                mixed_cells.back().p99_ms,
+                (unsigned long long)mixed_cells.back().busy_retries);
+  }
+
+  FILE* json = std::fopen("BENCH_PR8.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n  \"bench\": \"parallel_fanout\",\n"
+        "  \"dataset\": \"synthetic\",\n  \"scale\": %zu,\n"
+        "  \"queries\": %zu,\n  \"reps\": %d,\n"
+        "  \"identity\": \"parallel scatter byte-identical to serial per "
+        "query (results, PA, compdists) and per batch (asserted, abort on "
+        "mismatch)\",\n"
+        "  \"cells\": [\n",
+        config.scale, n, kReps);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(json,
+                   "    {\"shards\": %zu, \"threads\": %zu, "
+                   "\"serial_qps\": %.1f, \"parallel_qps\": %.1f, "
+                   "\"serial_p99_ms\": %.3f, \"parallel_p99_ms\": %.3f}%s\n",
+                   c.shards, c.threads, c.serial_qps, c.parallel_qps,
+                   c.serial_p99_ms, c.parallel_p99_ms,
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"mixed_t8_s4\": [\n");
+    for (size_t i = 0; i < mixed_cells.size(); ++i) {
+      const MixedCell& mc = mixed_cells[i];
+      std::fprintf(
+          json,
+          "    {\"arena\": \"%s\", \"qps\": %.1f, \"p99_ms\": %.3f, "
+          "\"busy_retries\": %llu,\n"
+          "     \"queue\": {\"tickets_pushed\": %llu, \"tickets_popped\": "
+          "%llu, \"stale_tickets\": %llu, \"inline_drains\": %llu, "
+          "\"parks\": %llu, \"unparks\": %llu, \"fallback_lock_claims\": "
+          "%llu, \"fallback_tickets_claimed\": %llu},\n"
+          "     \"locks\": [",
+          mc.arena, mc.qps, mc.p99_ms, (unsigned long long)mc.busy_retries,
+          (unsigned long long)mc.queue.tickets_pushed,
+          (unsigned long long)mc.queue.tickets_popped,
+          (unsigned long long)mc.queue.stale_tickets,
+          (unsigned long long)mc.queue.inline_drains,
+          (unsigned long long)mc.queue.parks,
+          (unsigned long long)mc.queue.unparks,
+          (unsigned long long)mc.queue.fallback_lock_claims,
+          (unsigned long long)mc.queue.fallback_tickets_claimed);
+      bool first = true;
+      for (const LockStatsSnapshot& l : mc.locks) {
+        if (l.acquires == 0) continue;
+        std::fprintf(json,
+                     "%s\n       {\"name\": \"%s\", \"acquires\": %llu, "
+                     "\"contended\": %llu, \"wait_ms\": %.3f}",
+                     first ? "" : ",", l.name.c_str(),
+                     (unsigned long long)l.acquires,
+                     (unsigned long long)l.contended, l.wait_ns / 1e6);
+        first = false;
+      }
+      std::fprintf(json, "\n     ]}%s\n",
+                   i + 1 < mixed_cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_PR8.json\n");
+  }
+}
+
 void Run(const BenchConfig& config) {
   std::printf("Concurrency + cold-path I/O engine: throughput sweeps\n");
   std::printf("scale=%zu queries=%zu\n", config.scale, config.queries);
@@ -1227,6 +1569,10 @@ void Run(const BenchConfig& config) {
   // compaction, disk-backed.
   RunWriteEngine(config, ds, queries, r, kK);
 
+  // Parallel fan-out sweep (PR 8): serial vs parallel cross-shard scatter,
+  // identity-gated, plus the ring vs mutex-fallback arena A/B.
+  RunFanoutSweep(config, ds, queries, r, kK);
+
   std::printf(
       "\nCold rows: prefetch vs demand is the I/O engine's win (speedup "
       "column); logical PA is invariant by construction. Warm rows: QPS "
@@ -1243,6 +1589,17 @@ void RunShardsOnly(const BenchConfig& config) {
   const auto queries = QueryWorkload(ds, config.queries);
   const double r = 0.08 * ds.metric->max_distance();
   RunShardSweep(config, ds, queries, r, /*k=*/8);
+}
+
+// Runs only the parallel fan-out sweep (ctest / check.sh entry point:
+// identity gates plus BENCH_PR8.json at a small scale).
+void RunFanoutOnly(const BenchConfig& config) {
+  std::printf("Parallel fan-out sweep (standalone)\n");
+  std::printf("scale=%zu queries=%zu\n", config.scale, config.queries);
+  Dataset ds = MakeDatasetByName("synthetic", config.scale, config.seed);
+  const auto queries = QueryWorkload(ds, config.queries);
+  const double r = 0.08 * ds.metric->max_distance();
+  RunFanoutSweep(config, ds, queries, r, /*k=*/8);
 }
 
 // Runs only the write-path engine sweep (produces BENCH_PR7.json in the
@@ -1265,14 +1622,18 @@ int main(int argc, char** argv) {
   // with --scale/--queries/--seed.
   bool shards_only = false;
   bool wal_only = false;
+  bool fanout_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards-only") == 0) shards_only = true;
     if (std::strcmp(argv[i], "--wal-only") == 0) wal_only = true;
+    if (std::strcmp(argv[i], "--fanout-only") == 0) fanout_only = true;
   }
   const spb::bench::BenchConfig config = spb::bench::ParseArgs(
       argc, argv, /*default_scale=*/20000, /*default_queries=*/256);
   if (shards_only) {
     spb::bench::RunShardsOnly(config);
+  } else if (fanout_only) {
+    spb::bench::RunFanoutOnly(config);
   } else if (wal_only) {
     spb::bench::RunWalOnly(config);
   } else {

@@ -59,7 +59,7 @@ void NodeCache::Resize(size_t capacity) {
 
 std::shared_ptr<const DecodedNode> NodeCache::Lookup(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<InstrumentedMutex> lock(shard.mu);
   auto it = shard.index.find(id);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -72,7 +72,7 @@ std::shared_ptr<const DecodedNode> NodeCache::Lookup(PageId id) {
 
 void NodeCache::Insert(PageId id, std::shared_ptr<const DecodedNode> node) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<InstrumentedMutex> lock(shard.mu);
   auto it = shard.index.find(id);
   if (it != shard.index.end()) {
     it->second->node = std::move(node);
@@ -90,7 +90,7 @@ void NodeCache::Insert(PageId id, std::shared_ptr<const DecodedNode> node) {
 
 void NodeCache::Erase(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<InstrumentedMutex> lock(shard.mu);
   auto it = shard.index.find(id);
   if (it == shard.index.end()) return;
   shard.lru.erase(it->second);
@@ -99,7 +99,7 @@ void NodeCache::Erase(PageId id) {
 
 void NodeCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::lock_guard<InstrumentedMutex> lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
   }

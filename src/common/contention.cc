@@ -1,0 +1,89 @@
+#include "common/contention.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace spb {
+
+ContentionRegistry& ContentionRegistry::Instance() {
+  // Leaked singleton: counter sets must outlive every static-storage mutex
+  // that might be destroyed after main() returns.
+  static ContentionRegistry* r = new ContentionRegistry();
+  return *r;
+}
+
+ContentionRegistry::Counters* ContentionRegistry::Register(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counters* c : locks_) {
+    if (c->name == name) return c;
+  }
+  locks_.push_back(new Counters(name));  // leaked, see Instance()
+  return locks_.back();
+}
+
+std::vector<LockStatsSnapshot> ContentionRegistry::Snapshot() const {
+  std::vector<LockStatsSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(locks_.size());
+    for (const Counters* c : locks_) {
+      LockStatsSnapshot s;
+      s.name = c->name;
+      s.acquires = c->acquires.load();
+      s.contended = c->contended.load();
+      s.wait_ns = c->wait_ns.load();
+      for (size_t b = 0; b < kContentionBuckets; ++b) {
+        s.wait_hist[b] = c->wait_hist[b].load(std::memory_order_relaxed);
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LockStatsSnapshot& a, const LockStatsSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void ContentionRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counters* c : locks_) {
+    c->acquires.store(0);
+    c->contended.store(0);
+    c->wait_ns.store(0);
+    for (size_t b = 0; b < kContentionBuckets; ++b) {
+      c->wait_hist[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void InstrumentedMutex::lock() {
+  if (mu_.try_lock()) {
+    c_->acquires.fetch_add(1);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  mu_.lock();
+  const uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  c_->acquires.fetch_add(1);
+  c_->contended.fetch_add(1);
+  c_->wait_ns.fetch_add(ns);
+  // Bucket by waited microseconds: floor(log2(us)), clamped to the open
+  // top bucket.
+  const uint64_t us = ns / 1000;
+  size_t b = 0;
+  while (b + 1 < kContentionBuckets && (uint64_t(2) << b) <= us) ++b;
+  c_->wait_hist[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+bool InstrumentedMutex::try_lock() {
+  const bool ok = mu_.try_lock();
+  if (ok) c_->acquires.fetch_add(1);
+  return ok;
+}
+
+}  // namespace spb

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/striped.h"
+
 namespace spb {
 
 /// Page-access accounting shared by every disk-resident structure (B+-tree,
@@ -16,28 +18,30 @@ namespace spb {
 /// by the buffer pool, including reads served from the RAF's pinned tail
 /// page) are counted but deliberately excluded from page_accesses().
 ///
-/// The counters are atomics so that concurrent readers sharing one structure
-/// (see docs/ARCHITECTURE.md §"Threading model") keep the totals exact;
-/// relaxed ordering suffices because the counters carry no synchronization —
-/// they are read for reporting only, after the racing work has been joined.
+/// The counters are striped per-thread slabs (StripedU64, PR 8): concurrent
+/// readers sharing one structure keep the totals exact without bouncing one
+/// cache line between every core on every page touch — writes land on the
+/// caller's slab, reads fold the slabs. Like the atomics they replace, the
+/// counters carry no synchronization: they are read for reporting only,
+/// after the racing work has been joined.
 struct IoStats {
-  std::atomic<uint64_t> page_reads{0};
-  std::atomic<uint64_t> page_writes{0};
-  std::atomic<uint64_t> cache_hits{0};
+  StripedU64 page_reads;
+  StripedU64 page_writes;
+  StripedU64 cache_hits;
   /// Read operations actually issued to the PageFile. One coalesced span
   /// read counts once no matter how many pages it covers, and single-flight
   /// sharing collapses concurrent misses of one page to one physical read —
   /// so physical_reads <= page_reads always, and the gap measures what the
   /// I/O engine saved. Excluded from page_accesses(): the paper's PA metric
   /// is the logical count.
-  std::atomic<uint64_t> physical_reads{0};
+  StripedU64 physical_reads;
   /// Pages handed to the background fetcher by readahead scheduling.
-  std::atomic<uint64_t> prefetch_issued{0};
+  StripedU64 prefetch_issued;
   /// Logical page requests served from a readahead staging buffer instead
   /// of a blocking file read (each also counts one page_read).
-  std::atomic<uint64_t> prefetch_hits{0};
+  StripedU64 prefetch_hits;
   /// Pages fetched as part of multi-page span reads (runs of length >= 2).
-  std::atomic<uint64_t> coalesced_pages{0};
+  StripedU64 coalesced_pages;
   /// Bytes of RAF records orphaned by Delete (or superseded by an in-place
   /// re-insert of an existing id). The lazy-deletion design never reclaims
   /// RAF space in place (records are unlinked from the B+-tree only), so
@@ -46,7 +50,7 @@ struct IoStats {
   /// compaction zeroes it, and Save/Open persist it), unlike every other
   /// counter here. Excluded from page_accesses(); surfaced per shard and in
   /// aggregate by ShardedSpbTree::io_stats() and `spb_cli stats`.
-  std::atomic<uint64_t> dead_bytes{0};
+  StripedU64 dead_bytes;
 
   IoStats() = default;
   IoStats(const IoStats& other) { *this = other; }

@@ -1,0 +1,82 @@
+#ifndef SPB_COMMON_STRIPED_H_
+#define SPB_COMMON_STRIPED_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace spb {
+
+/// Stable small integer id for the calling thread, assigned on first use.
+/// Used to pick a stripe slot so hot counters touched by different threads
+/// land on different cache lines. Ids are never recycled — a process that
+/// churns threads wraps around the stripe count, which only costs some
+/// sharing, never correctness.
+inline uint32_t ThreadStripeId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// A monotonically updated uint64 counter striped over cache-line-padded
+/// per-thread slots: writers fetch_add into their own slot (no line
+/// bouncing between cores), readers sum all slots. The aggregation rule —
+/// "writes hit the caller's slab, reads fold the slabs" — is the stats-slab
+/// contract documented in docs/ARCHITECTURE.md §"Threading model".
+///
+/// The API mirrors std::atomic<uint64_t> (load / store / fetch_add with
+/// optional memory orders) so call sites written against atomic counters
+/// compile unchanged. Like those counters it carries no synchronization:
+/// relaxed slot updates, totals exact only after the racing work is joined.
+/// store() collapses the value into slot 0 and clears the rest — callers
+/// only store under quiesced conditions (Reset, snapshot copies), same as
+/// before.
+class StripedU64 {
+ public:
+  static constexpr size_t kSlots = 8;
+
+  StripedU64() = default;
+  explicit StripedU64(uint64_t v) { store(v); }
+
+  StripedU64(const StripedU64& other) { store(other.load()); }
+  StripedU64& operator=(const StripedU64& other) {
+    store(other.load());
+    return *this;
+  }
+
+  // std::atomic-style conversions, so `uint64_t x = counter;` and
+  // `counter = x;` keep working at call sites.
+  operator uint64_t() const { return load(); }  // NOLINT(runtime/explicit)
+  StripedU64& operator=(uint64_t v) {
+    store(v);
+    return *this;
+  }
+
+  void fetch_add(uint64_t v,
+                 std::memory_order o = std::memory_order_relaxed) {
+    slots_[ThreadStripeId() & (kSlots - 1)].v.fetch_add(v, o);
+  }
+
+  uint64_t load(std::memory_order o = std::memory_order_relaxed) const {
+    uint64_t sum = 0;
+    for (const Slot& s : slots_) sum += s.v.load(o);
+    return sum;
+  }
+
+  void store(uint64_t v, std::memory_order o = std::memory_order_relaxed) {
+    slots_[0].v.store(v, o);
+    for (size_t i = 1; i < kSlots; ++i) slots_[i].v.store(0, o);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{0};
+  };
+  Slot slots_[kSlots];
+};
+
+}  // namespace spb
+
+#endif  // SPB_COMMON_STRIPED_H_

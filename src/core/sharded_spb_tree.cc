@@ -5,7 +5,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <limits>
 #include <thread>
+
+#include "exec/task_arena.h"
 
 namespace spb {
 
@@ -323,66 +327,130 @@ WriteQueue::Stats ShardedSpbTree::write_queue_stats() const {
   return agg;
 }
 
+namespace {
+
+/// Allocates a box's cell arrays on its first write. Caller holds box.mu;
+/// the plain stores to dims/lo/hi are published to readers by the release
+/// store of the first even seq value. (Templates so the private nested
+/// ShardBox type is named by deduction only.)
+template <typename Box>
+void EnsureBoxStorage(Box& box, size_t dims) {
+  if (box.lo != nullptr) return;
+  box.dims = dims;
+  box.lo.reset(new std::atomic<uint32_t>[dims]);
+  box.hi.reset(new std::atomic<uint32_t>[dims]);
+}
+
+/// Seqlock write section: bump odd, mutate via `fill`, bump even. Caller
+/// holds box.mu (writers are serialized, so plain load of seq is fine).
+template <typename Box, typename Fill>
+void WriteBox(Box& box, Fill fill) {
+  const uint32_t s0 = box.seq.load(std::memory_order_relaxed);
+  box.seq.store(s0 + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  fill();
+  box.seq.store(s0 + 2, std::memory_order_release);
+}
+
+}  // namespace
+
 Status ShardedSpbTree::RecomputeBoxes() {
   const size_t dims = space_->dims();
   std::vector<uint64_t> keys;
   MappedSpace::CellBlock block;
+  std::vector<uint32_t> lo(dims), hi(dims);
   for (size_t s = 0; s < shards_.size(); ++s) {
-    ShardBox& box = *boxes_[s];
-    std::lock_guard<std::mutex> lock(box.mu);
-    box.valid = false;
+    // Compute the extent outside the write section: the leaf scan does real
+    // I/O, and seqlock readers spin (not sleep) while seq is odd.
     SpbTree& shard = *shards_[s];
     const Snapshot snap = shard.AcquireSnapshot();
     const IndexVersion& v = snap.version();
-    if (v.num_entries == 0) continue;
-    keys.clear();
-    BPlusTree::LeafCursor cur(&shard.btree(),
-                              TreeVersion{v.root, v.height, v.num_entries});
-    SPB_RETURN_IF_ERROR(cur.SeekFirst());
-    while (cur.valid()) {
-      keys.push_back(cur.entry().key);
-      SPB_RETURN_IF_ERROR(cur.Next());
-    }
-    space_->DecodeKeys(keys.data(), keys.size(), &block);
-    box.lo.assign(dims, 0);
-    box.hi.assign(dims, 0);
-    for (size_t d = 0; d < dims; ++d) {
-      uint32_t lo = block.At(d, 0), hi = block.At(d, 0);
-      for (size_t i = 1; i < keys.size(); ++i) {
-        lo = std::min(lo, block.At(d, i));
-        hi = std::max(hi, block.At(d, i));
+    bool has_entries = v.num_entries != 0;
+    if (has_entries) {
+      keys.clear();
+      BPlusTree::LeafCursor cur(&shard.btree(),
+                                TreeVersion{v.root, v.height, v.num_entries});
+      SPB_RETURN_IF_ERROR(cur.SeekFirst());
+      while (cur.valid()) {
+        keys.push_back(cur.entry().key);
+        SPB_RETURN_IF_ERROR(cur.Next());
       }
-      box.lo[d] = lo;
-      box.hi[d] = hi;
+      space_->DecodeKeys(keys.data(), keys.size(), &block);
+      for (size_t d = 0; d < dims; ++d) {
+        uint32_t l = block.At(d, 0), h = block.At(d, 0);
+        for (size_t i = 1; i < keys.size(); ++i) {
+          l = std::min(l, block.At(d, i));
+          h = std::max(h, block.At(d, i));
+        }
+        lo[d] = l;
+        hi[d] = h;
+      }
     }
-    box.valid = true;
+    ShardBox& box = *boxes_[s];
+    std::lock_guard<InstrumentedMutex> lock(box.mu);
+    EnsureBoxStorage(box, dims);
+    WriteBox(box, [&] {
+      box.valid.store(has_entries, std::memory_order_relaxed);
+      if (has_entries) {
+        for (size_t d = 0; d < dims; ++d) {
+          box.lo[d].store(lo[d], std::memory_order_relaxed);
+          box.hi[d].store(hi[d], std::memory_order_relaxed);
+        }
+      }
+    });
   }
   return Status::OK();
 }
 
 void ShardedSpbTree::GrowBox(size_t s, const std::vector<uint32_t>& cells) {
   ShardBox& box = *boxes_[s];
-  std::lock_guard<std::mutex> lock(box.mu);
-  if (!box.valid) {
-    box.lo = cells;
-    box.hi = cells;
-    box.valid = true;
-    return;
-  }
-  for (size_t d = 0; d < cells.size(); ++d) {
-    box.lo[d] = std::min(box.lo[d], cells[d]);
-    box.hi[d] = std::max(box.hi[d], cells[d]);
-  }
+  std::lock_guard<InstrumentedMutex> lock(box.mu);
+  EnsureBoxStorage(box, cells.size());
+  WriteBox(box, [&] {
+    if (!box.valid.load(std::memory_order_relaxed)) {
+      for (size_t d = 0; d < cells.size(); ++d) {
+        box.lo[d].store(cells[d], std::memory_order_relaxed);
+        box.hi[d].store(cells[d], std::memory_order_relaxed);
+      }
+      box.valid.store(true, std::memory_order_relaxed);
+      return;
+    }
+    for (size_t d = 0; d < cells.size(); ++d) {
+      const uint32_t c = cells[d];
+      if (c < box.lo[d].load(std::memory_order_relaxed)) {
+        box.lo[d].store(c, std::memory_order_relaxed);
+      }
+      if (c > box.hi[d].load(std::memory_order_relaxed)) {
+        box.hi[d].store(c, std::memory_order_relaxed);
+      }
+    }
+  });
 }
 
 bool ShardedSpbTree::LoadBox(size_t s, std::vector<uint32_t>* lo,
                              std::vector<uint32_t>* hi) const {
   const ShardBox& box = *boxes_[s];
-  std::lock_guard<std::mutex> lock(box.mu);
-  if (!box.valid) return false;
-  *lo = box.lo;
-  *hi = box.hi;
-  return true;
+  for (;;) {
+    const uint32_t s0 = box.seq.load(std::memory_order_acquire);
+    if (s0 == 0) return false;  // never written: shard still empty
+    if (s0 & 1) {
+      // Writer in flight; insert-path growth is a few stores, recompute
+      // copies precomputed extents — both sub-microsecond windows.
+      std::this_thread::yield();
+      continue;
+    }
+    const bool valid = box.valid.load(std::memory_order_relaxed);
+    if (valid) {
+      lo->resize(box.dims);
+      hi->resize(box.dims);
+      for (size_t d = 0; d < box.dims; ++d) {
+        (*lo)[d] = box.lo[d].load(std::memory_order_relaxed);
+        (*hi)[d] = box.hi[d].load(std::memory_order_relaxed);
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (box.seq.load(std::memory_order_relaxed) == s0) return valid;
+  }
 }
 
 Status ShardedSpbTree::Insert(const Blob& obj, ObjectId id) {
@@ -450,12 +518,40 @@ Status ShardedSpbTree::RangeQuery(const Blob& q, double r,
   space_->pivots().MapBatch(&q, 1, *counting_, phi_q.data());
   std::vector<uint32_t> rr_lo, rr_hi, blo, bhi;
   space_->RangeRegion(phi_q, r, &rr_lo, &rr_hi);
-  std::vector<ObjectId> shard_result;
+  // Scatter pruning: a shard whose mapped extent misses RR(q, r) cannot
+  // hold a Lemma-1 survivor — skip the dispatch entirely.
+  std::vector<size_t> survivors;
   for (size_t s = 0; s < shards_.size(); ++s) {
-    // Scatter pruning: a shard whose mapped extent misses RR(q, r) cannot
-    // hold a Lemma-1 survivor — skip the dispatch entirely.
     if (!LoadBox(s, &blo, &bhi)) continue;
     if (!MappedSpace::BoxesIntersect(rr_lo, rr_hi, blo, bhi)) continue;
+    survivors.push_back(s);
+  }
+
+  TaskArena* arena = TaskArena::Current();
+  if (survivors.size() > 1 && arena != nullptr &&
+      parallel_scatter_.load(std::memory_order_relaxed)) {
+    // Parallel scatter: one nested task group on the executor's own pool,
+    // one slot per surviving shard. help=true — this thread is an arena
+    // worker and claims its own subqueries (deadlock-free at any pool
+    // size). Subqueries share nothing, so results (concatenated in the
+    // same shard order the serial loop uses), logical PA and compdists are
+    // byte-identical to serial execution.
+    std::vector<std::vector<ObjectId>> slots(survivors.size());
+    std::vector<Status> statuses(survivors.size(), Status::OK());
+    const std::function<void(size_t)> sub = [&](size_t i) {
+      statuses[i] = shards_[survivors[i]]->RangeQueryMapped(
+          q, phi_q, r, &slots[i], nullptr);
+    };
+    arena->RunGroup(survivors.size(), sub, /*help=*/true);
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      SPB_RETURN_IF_ERROR(statuses[i]);
+      result->insert(result->end(), slots[i].begin(), slots[i].end());
+    }
+    return Status::OK();
+  }
+
+  std::vector<ObjectId> shard_result;
+  for (const size_t s : survivors) {
     SPB_RETURN_IF_ERROR(
         shards_[s]->RangeQueryMapped(q, phi_q, r, &shard_result, nullptr));
     result->insert(result->end(), shard_result.begin(), shard_result.end());
@@ -476,8 +572,9 @@ Status ShardedSpbTree::KnnQuery(const Blob& q, size_t k,
   std::vector<double> phi_q(dims);
   space_->pivots().MapBatch(&q, 1, *counting_, phi_q.data());
 
-  // Visit shards nearest-first (by MIND(q, shard box)) so the shared bound
-  // tightens as early as possible; empty shards never dispatch.
+  // Rank shards by (MIND(q, shard box), shard index); empty shards never
+  // dispatch. The tie-break on the index makes the rank order — and with
+  // it the whole seeding cascade — deterministic.
   struct Scatter {
     double lb;
     size_t s;
@@ -493,17 +590,59 @@ Status ShardedSpbTree::KnnQuery(const Blob& q, size_t k,
     return a.lb < b.lb || (a.lb == b.lb && a.s < b.s);
   });
 
-  SharedKnnBound bound;
+  // Phase 1 — sequential seeding: visit ranks in order, each with its own
+  // bound, until one publishes a finite exact k-th distance (rank 0 alone
+  // whenever it holds >= k objects). Always sequential, in both modes: the
+  // seed must be a deterministic function of the snapshot and the query.
+  const double kInf = std::numeric_limits<double>::infinity();
+  double seed = kInf;
   std::vector<Neighbor> candidates, shard_result;
-  for (const Scatter& sc : order) {
-    // A finite bound means some shard already produced k exact candidates;
-    // a shard whose whole extent lies at or beyond it cannot improve the
-    // result set (Lemma 3 at shard granularity).
-    if (sc.lb >= bound.load()) continue;
-    SPB_RETURN_IF_ERROR(shards_[sc.s]->KnnQueryMapped(
+  size_t next_rank = 0;
+  for (; next_rank < order.size() && seed == kInf; ++next_rank) {
+    SharedKnnBound bound;
+    SPB_RETURN_IF_ERROR(shards_[order[next_rank].s]->KnnQueryMapped(
         q, phi_q, k, &shard_result, nullptr, traversal, &bound));
     candidates.insert(candidates.end(), shard_result.begin(),
                       shard_result.end());
+    seed = bound.load();
+  }
+
+  // Phase 2 — fixed-seed wave over the remaining ranks. A shard whose
+  // whole extent lies at or beyond the seed cannot improve the result set
+  // (Lemma 3 at shard granularity); every other shard runs with a fresh
+  // bound seeded to exactly `seed`, so its traversal — results, logical
+  // PA, compdists — depends only on (snapshot, q, k, seed), never on a
+  // sibling's progress. That is what makes parallel and serial execution
+  // of the wave byte-identical.
+  std::vector<size_t> wave;
+  for (; next_rank < order.size(); ++next_rank) {
+    if (order[next_rank].lb < seed) wave.push_back(order[next_rank].s);
+  }
+  TaskArena* arena = TaskArena::Current();
+  if (wave.size() > 1 && arena != nullptr &&
+      parallel_scatter_.load(std::memory_order_relaxed)) {
+    std::vector<std::vector<Neighbor>> slots(wave.size());
+    std::vector<Status> statuses(wave.size(), Status::OK());
+    const std::function<void(size_t)> sub = [&](size_t i) {
+      SharedKnnBound bound;
+      bound.Offer(seed);
+      statuses[i] = shards_[wave[i]]->KnnQueryMapped(
+          q, phi_q, k, &slots[i], nullptr, traversal, &bound);
+    };
+    arena->RunGroup(wave.size(), sub, /*help=*/true);
+    for (size_t i = 0; i < wave.size(); ++i) {
+      SPB_RETURN_IF_ERROR(statuses[i]);
+      candidates.insert(candidates.end(), slots[i].begin(), slots[i].end());
+    }
+  } else {
+    for (const size_t s : wave) {
+      SharedKnnBound bound;
+      bound.Offer(seed);
+      SPB_RETURN_IF_ERROR(shards_[s]->KnnQueryMapped(
+          q, phi_q, k, &shard_result, nullptr, traversal, &bound));
+      candidates.insert(candidates.end(), shard_result.begin(),
+                        shard_result.end());
+    }
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Neighbor& a, const Neighbor& b) {

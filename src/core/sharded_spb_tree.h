@@ -2,11 +2,13 @@
 #define SPB_CORE_SHARDED_SPB_TREE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/contention.h"
 #include "core/spb_tree.h"
 
 namespace spb {
@@ -43,9 +45,20 @@ namespace spb {
 /// cell-space MBB (grown on insert, never shrunk on delete — conservative
 /// by construction), so the router prunes whole shards before dispatch:
 /// a range query only visits shards whose box intersects the range region
-/// RR(q, r); a kNN query visits shards in ascending MIND(q, box) order and
-/// threads one SharedKnnBound through them so the running global k-th NN
-/// distance prunes later (and, under concurrent dispatch, sibling) shards.
+/// RR(q, r); a kNN query visits shards in ascending MIND(q, box) order
+/// under the deterministic seeding cascade described at KnnQuery.
+///
+/// Surviving subqueries dispatch in parallel (PR 8) when the caller is a
+/// TaskArena worker — i.e. the query runs inside a QueryExecutor batch —
+/// and parallel_scatter() is on: per-shard subqueries become one nested
+/// task group on the same pool (help-first, so a pool of any size stays
+/// deadlock-free), with per-shard result slots concatenated in shard-rank
+/// order. By construction the parallel path is *byte-identical* to the
+/// serial one — same results, same logical PA, same compdists — because no
+/// cross-shard state flows between subqueries at run time: range scatter
+/// shares nothing, and kNN fan-out seeds every wave shard with the same
+/// fixed bound (see KnnQuery). The ctest identity sweep and the bench A/B
+/// gate both assert this equivalence per query.
 ///
 /// S == 1 is pure delegation: every operation forwards to the single
 /// backing SpbTree's public entry points, so results, logical PA, compdists
@@ -56,7 +69,8 @@ namespace spb {
 /// Thread safety matches SpbTree, per shard: any number of concurrent
 /// queries, at most one writer *per shard* (a second writer on the same
 /// shard gets Status::Busy). Router-level mutable state is limited to the
-/// per-shard boxes (mutex-guarded) and the counting metric (atomic).
+/// per-shard boxes (seqlock: lock-free readers, mutex-serialized writers)
+/// and the counting metric (striped counters).
 /// Save/FlushCaches/ResetCounters/ApplyTuning remain quiesced-only, as on
 /// SpbTree.
 class ShardedSpbTree : public MetricIndex {
@@ -130,11 +144,19 @@ class ShardedSpbTree : public MetricIndex {
   Status RangeQuery(const Blob& q, double r, std::vector<ObjectId>* result,
                     QueryStats* stats = nullptr) override;
 
-  /// Scatter-gather kNN(q, k): shards are visited in ascending
-  /// MIND(q, shard box) order sharing one SharedKnnBound, so as soon as k
-  /// candidates exist globally, every later shard prunes against the global
-  /// k-th distance (and is skipped outright when its box lower bound
-  /// already exceeds it). Results merged by (distance, id), truncated to k.
+  /// Scatter-gather kNN(q, k) under the deterministic MIND-order seeding
+  /// cascade (docs/ARCHITECTURE.md §"Sharding"): shards are ranked by
+  /// (MIND(q, shard box), shard index) and visited sequentially — each with
+  /// its own k-th-NN bound — until one publishes a finite exact k-th
+  /// distance (rank 0 alone, whenever it holds >= k objects). That value
+  /// becomes the *fixed seed* for every remaining shard: shards whose box
+  /// lower bound reaches the seed are skipped outright, the rest each run
+  /// with a fresh bound seeded to exactly that value — concurrently when
+  /// parallel scatter is active, in rank order otherwise. Because every
+  /// post-seed subquery depends only on (snapshot, q, k, seed) — never on a
+  /// sibling's progress — results, logical PA and compdists are identical
+  /// whichever way the wave executes. Results merged by (distance, id),
+  /// truncated to k.
   Status KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
                   QueryStats* stats, KnnTraversal traversal);
   Status KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
@@ -147,6 +169,19 @@ class ShardedSpbTree : public MetricIndex {
   Status CheckIntegrity();
 
   size_t num_shards() const { return shards_.size(); }
+
+  /// Toggles parallel cross-shard fan-out (default on). Even when on,
+  /// queries fan out only when issued from inside a TaskArena worker (a
+  /// QueryExecutor batch); top-level callers always run the serial scatter.
+  /// The off position is the A/B lever the identity gates and the
+  /// contention bench use. May be flipped at any time (queries in flight
+  /// finish under the policy they started with).
+  void set_parallel_scatter(bool on) {
+    parallel_scatter_.store(on, std::memory_order_relaxed);
+  }
+  bool parallel_scatter() const {
+    return parallel_scatter_.load(std::memory_order_relaxed);
+  }
   /// Direct access to one shard (tests, stats drill-down). The shard is
   /// still owned by the router; treat it as read-only unless you know no
   /// router-level invariant (boxes) depends on your write.
@@ -197,13 +232,30 @@ class ShardedSpbTree : public MetricIndex {
 
  private:
   // Conservative cell-space bounding box of one shard's mapped objects.
-  // Grown under `mu` by the insert path *before* the shard publishes, so a
-  // concurrent scatter never misses a just-inserted object; never shrunk
-  // (deletes leave it over-covering, which only costs a wasted dispatch).
+  // Grown by the insert path *before* the shard publishes, so a concurrent
+  // scatter never misses a just-inserted object; never shrunk (deletes
+  // leave it over-covering, which only costs a wasted dispatch).
+  //
+  // Readers go through a seqlock (PR 8) — every query loads every shard's
+  // box, making this the hottest router structure, and the old per-box
+  // mutex serialized all of them. Writers (rare: inserts and recompute)
+  // still serialize on `mu`, bump `seq` odd, mutate, bump it back even;
+  // readers snapshot the cells and retry if `seq` moved. The cells are
+  // relaxed atomics so the deliberate read/write overlap is a data race to
+  // the seqlock protocol, not to the memory model (TSan-clean).
   struct ShardBox {
-    mutable std::mutex mu;
-    bool valid = false;  // false until the shard holds >= 1 object
-    std::vector<uint32_t> lo, hi;
+    /// Writer serialization only; instrumented so the contention surface
+    /// shows up in bench JSON. Readers never touch it.
+    InstrumentedMutex mu{"shard.box"};
+    /// 0 = never written, odd = write in flight, even >= 2 = stable.
+    std::atomic<uint32_t> seq{0};
+    /// Whether the shard currently holds >= 1 object. Versioned by `seq`
+    /// like the cells.
+    std::atomic<bool> valid{false};
+    /// Set once under mu before the first seq publish; readers see it only
+    /// after an acquire load of a nonzero seq.
+    size_t dims = 0;
+    std::unique_ptr<std::atomic<uint32_t>[]> lo, hi;
   };
 
   ShardedSpbTree() = default;
@@ -242,6 +294,8 @@ class ShardedSpbTree : public MetricIndex {
   // owned by shard s+1 (shard 0 starts at key 0). Fixed at build time,
   // persisted in the manifest.
   std::vector<uint64_t> boundaries_;
+  // See set_parallel_scatter().
+  std::atomic<bool> parallel_scatter_{true};
 };
 
 }  // namespace spb

@@ -14,84 +14,28 @@ double PercentileSorted(const std::vector<double>& sorted, double p) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
-uint64_t CounterDelta(const std::atomic<uint64_t>& after,
-                      const std::atomic<uint64_t>& before) {
-  return after.load(std::memory_order_relaxed) -
-         before.load(std::memory_order_relaxed);
-}
-
 IoStats IoDelta(const IoStats& after, const IoStats& before) {
+  const auto delta = [](const StripedU64& a, const StripedU64& b) {
+    return a.load(std::memory_order_relaxed) -
+           b.load(std::memory_order_relaxed);
+  };
   IoStats d;
-  d.page_reads = CounterDelta(after.page_reads, before.page_reads);
-  d.page_writes = CounterDelta(after.page_writes, before.page_writes);
-  d.cache_hits = CounterDelta(after.cache_hits, before.cache_hits);
-  d.physical_reads = CounterDelta(after.physical_reads, before.physical_reads);
-  d.prefetch_issued =
-      CounterDelta(after.prefetch_issued, before.prefetch_issued);
-  d.prefetch_hits = CounterDelta(after.prefetch_hits, before.prefetch_hits);
-  d.coalesced_pages =
-      CounterDelta(after.coalesced_pages, before.coalesced_pages);
+  d.page_reads.store(delta(after.page_reads, before.page_reads));
+  d.page_writes.store(delta(after.page_writes, before.page_writes));
+  d.cache_hits.store(delta(after.cache_hits, before.cache_hits));
+  d.physical_reads.store(delta(after.physical_reads, before.physical_reads));
+  d.prefetch_issued.store(
+      delta(after.prefetch_issued, before.prefetch_issued));
+  d.prefetch_hits.store(delta(after.prefetch_hits, before.prefetch_hits));
+  d.coalesced_pages.store(
+      delta(after.coalesced_pages, before.coalesced_pages));
   return d;
 }
 
 }  // namespace
 
 QueryExecutor::QueryExecutor(MetricIndex* index, size_t num_threads)
-    : index_(index) {
-  const size_t n = std::max<size_t>(1, num_threads);
-  threads_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
-  }
-}
-
-QueryExecutor::~QueryExecutor() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
-}
-
-void QueryExecutor::WorkerLoop() {
-  uint64_t seen_seq = 0;
-  for (;;) {
-    std::shared_ptr<Batch> batch;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || batch_seq_ != seen_seq; });
-      if (stop_) return;
-      seen_seq = batch_seq_;
-      batch = current_;
-    }
-    // A worker can sleep through an entire batch: RunBatch may have already
-    // reset current_ by the time it wakes, even though batch_seq_ advanced.
-    // There is no work left for it, so go back to waiting for the next batch.
-    if (!batch) continue;
-    for (;;) {
-      const size_t i =
-          batch->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= batch->total) break;
-      const auto start = std::chrono::steady_clock::now();
-      Status s = (*batch->task)(i);
-      batch->latencies[i] =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
-      if (!s.ok()) {
-        std::lock_guard<std::mutex> lock(batch->error_mu);
-        if (batch->first_error.ok()) batch->first_error = s;
-      }
-      if (batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-          batch->total) {
-        std::lock_guard<std::mutex> lock(mu_);
-        done_cv_.notify_all();
-      }
-    }
-  }
-}
+    : index_(index), arena_(std::max<size_t>(1, num_threads)) {}
 
 Status QueryExecutor::RunBatch(size_t n,
                                const std::function<Status(size_t)>& task,
@@ -99,7 +43,7 @@ Status QueryExecutor::RunBatch(size_t n,
   if (stats != nullptr) {
     *stats = BatchStats{};
     stats->num_queries = n;
-    stats->num_threads = threads_.size();
+    stats->num_threads = arena_.num_threads();
   }
   if (n == 0) return Status::OK();
 
@@ -108,23 +52,23 @@ Status QueryExecutor::RunBatch(size_t n,
   const IoStats io_before = index_->io_stats();
   const auto start = std::chrono::steady_clock::now();
 
-  auto batch = std::make_shared<Batch>();
-  batch->task = &task;
-  batch->total = n;
-  batch->latencies.assign(n, 0.0);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    current_ = batch;
-    ++batch_seq_;
-  }
-  work_cv_.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
-      return batch->completed.load(std::memory_order_acquire) == n;
-    });
-    current_.reset();
-  }
+  std::vector<double> latencies(n, 0.0);
+  std::mutex error_mu;
+  Status first_error;
+  const std::function<void(size_t)> wrapped = [&](size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Status s = task(i);
+    latencies[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = std::move(s);
+    }
+  };
+  // help=false: the calling thread waits, exactly num_threads() workers run
+  // the ops (the pre-PR 8 contract bench numbers are calibrated against).
+  arena_.RunGroup(n, wrapped, /*help=*/false);
 
   if (stats != nullptr) {
     stats->wall_seconds =
@@ -138,14 +82,14 @@ Status QueryExecutor::RunBatch(size_t n,
     stats->totals.distance_computations =
         after.distance_computations - before.distance_computations;
     stats->io_totals = IoDelta(index_->io_stats(), io_before);
-    for (double l : batch->latencies) stats->totals.elapsed_seconds += l;
-    std::vector<double> sorted = batch->latencies;
+    for (double l : latencies) stats->totals.elapsed_seconds += l;
+    std::vector<double> sorted = latencies;
     std::sort(sorted.begin(), sorted.end());
     stats->p50_seconds = PercentileSorted(sorted, 0.50);
     stats->p99_seconds = PercentileSorted(sorted, 0.99);
     stats->busy_retries = busy_retries_.load(std::memory_order_relaxed);
   }
-  return batch->first_error;
+  return first_error;
 }
 
 Status QueryExecutor::RunRangeBatch(const std::vector<Blob>& queries,
@@ -178,7 +122,7 @@ Status QueryExecutor::RunWrite(const std::function<Status()>& op) {
   if (index_->writer_concurrency() <= 1) {
     // Single-writer index: serialize batch siblings up front so its writer
     // try-lock never fails against one of our own ops.
-    std::lock_guard<std::mutex> lock(write_mu_);
+    std::lock_guard<InstrumentedMutex> lock(write_mu_);
     return op();
   }
   // Multi-writer index (sharded): dispatch concurrently — writes to

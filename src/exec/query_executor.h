@@ -2,26 +2,25 @@
 #define SPB_EXEC_QUERY_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/blob.h"
+#include "common/contention.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "core/metric_index.h"
+#include "exec/task_arena.h"
 
 namespace spb {
 
 /// Aggregate outcome of one batch run. Throughput and latency percentiles
 /// come from per-query wall clocks measured inside the workers; PA and
-/// compdists totals come from the index's atomic cumulative counters
-/// (exact in aggregate — per-query attribution is impossible once queries
-/// overlap, see docs/ARCHITECTURE.md §"Cost accounting").
+/// compdists totals come from the index's cumulative counters (exact in
+/// aggregate — per-query attribution is impossible once queries overlap,
+/// see docs/ARCHITECTURE.md §"Cost accounting").
 struct BatchStats {
   size_t num_queries = 0;
   size_t num_threads = 0;
@@ -70,22 +69,30 @@ struct MixedResult {
   bool found = false;               ///< kDelete
 };
 
-/// A fixed-size thread pool that fans batches of operations over one
-/// MetricIndex, driving every MAM purely through the MetricIndex interface
-/// (no downcasts — baselines that lack an operation report
-/// Status::Unimplemented per op). Read-only batches rely on the
-/// concurrent-reader guarantees of SpbTree/BPlusTree/Raf/BufferPool; mixed
-/// batches additionally rely on the index's epoch-based snapshot protocol
-/// (docs/ARCHITECTURE.md §"Epoch-based snapshots"): queries pin a snapshot
-/// and never block, while the executor's own writer mutex admits writers
-/// one at a time so the index's single-writer try-lock (Status::Busy) never
-/// trips from inside a batch.
+/// Fans batches of operations over one MetricIndex, driving every MAM
+/// purely through the MetricIndex interface (no downcasts — baselines that
+/// lack an operation report Status::Unimplemented per op). Read-only
+/// batches rely on the concurrent-reader guarantees of
+/// SpbTree/BPlusTree/Raf/BufferPool; mixed batches additionally rely on the
+/// index's epoch-based snapshot protocol (docs/ARCHITECTURE.md
+/// §"Epoch-based snapshots"): queries pin a snapshot and never block, while
+/// the executor's own writer mutex admits writers one at a time so the
+/// index's single-writer try-lock (Status::Busy) never trips from inside a
+/// batch.
 ///
-/// The executor owns `num_threads` worker threads for its whole lifetime
-/// (created eagerly, joined in the destructor). Batches run one at a time;
+/// Scheduling is delegated to an owned TaskArena (PR 8): each batch is one
+/// task group, each op one task, and the arena's lock-free ticket ring +
+/// per-worker parking replace the old mutex/condvar hand-off. Because the
+/// arena is shared, a query task may itself fan out — ShardedSpbTree
+/// dispatches per-shard subqueries onto TaskArena::Current(), i.e. this
+/// same pool, with help-first waiting so batch tasks and subqueries
+/// interleave deadlock-free at any pool size.
+///
 /// RunRangeBatch/RunKnnBatch block the calling thread until the batch
-/// drains. Workers pull query indices from a shared atomic cursor, so skew
-/// between query costs self-balances.
+/// drains; the calling thread does not execute tasks (num_threads() worker
+/// threads do the work, exactly as before PR 8). Workers claim op indices
+/// from the group's atomic cursor, so skew between query costs
+/// self-balances.
 ///
 /// Each worker thread implicitly owns a per-thread query arena
 /// (SpbTree::ThreadArena): all transient traversal state — FIFO/heap
@@ -102,7 +109,7 @@ class QueryExecutor {
  public:
   /// `index` must outlive the executor. `num_threads` is clamped to >= 1.
   QueryExecutor(MetricIndex* index, size_t num_threads);
-  ~QueryExecutor();
+  ~QueryExecutor() = default;
 
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
@@ -137,20 +144,14 @@ class QueryExecutor {
                        std::vector<MixedResult>* results,
                        BatchStats* stats = nullptr);
 
-  size_t num_threads() const { return threads_.size(); }
+  size_t num_threads() const { return arena_.num_threads(); }
   MetricIndex* index() { return index_; }
+  /// The executor's scheduling pool. Exposed for observability
+  /// (queue_stats() in bench JSON) and for tests that drive nested fan-out
+  /// directly.
+  TaskArena* arena() { return &arena_; }
 
  private:
-  struct Batch {
-    const std::function<Status(size_t)>* task = nullptr;
-    size_t total = 0;
-    std::atomic<size_t> next{0};
-    std::atomic<size_t> completed{0};
-    std::vector<double> latencies;
-    std::mutex error_mu;
-    Status first_error;
-  };
-
   /// Fans `task(0..n-1)` over the pool, filling `stats` from the per-query
   /// latencies and the index counter delta.
   Status RunBatch(size_t n, const std::function<Status(size_t)>& task,
@@ -160,10 +161,9 @@ class QueryExecutor {
   /// (capped exponential backoff, kBusy surfaced if the budget drains) when
   /// it supports concurrent writers. Retries are tallied in busy_retries_.
   Status RunWrite(const std::function<Status()>& op);
-  void WorkerLoop();
 
   MetricIndex* index_;
-  std::vector<std::thread> threads_;
+  TaskArena arena_;
 
   /// kBusy retries across the current batch (reset per RunBatch, reported
   /// as BatchStats::busy_retries).
@@ -173,14 +173,7 @@ class QueryExecutor {
   /// indexes (writer_concurrency() == 1) so the index's try-lock never
   /// fails against a sibling op from the same batch. Unused for
   /// multi-writer indexes — see RunWrite().
-  std::mutex write_mu_;
-
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::shared_ptr<Batch> current_;
-  uint64_t batch_seq_ = 0;
-  bool stop_ = false;
+  InstrumentedMutex write_mu_{"exec.write_mu"};
 };
 
 }  // namespace spb

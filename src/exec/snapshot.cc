@@ -1,128 +1,187 @@
 #include "exec/snapshot.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace spb {
 
-/// The refcounted body of a Snapshot. The destructor of the *last* reference
-/// is the epoch-drain signal: it runs on whichever thread drops that
-/// reference, so OnEpochReleased (and the retire callback behind it) must be
-/// safe from any thread.
-struct Snapshot::State {
-  IndexVersion version;
-  uint64_t epoch = 0;
-  SnapshotManager* manager = nullptr;
-
-  ~State() {
-    if (manager != nullptr) manager->OnEpochReleased(epoch);
-  }
-};
-
-const IndexVersion& Snapshot::version() const { return state_->version; }
-
-uint64_t Snapshot::epoch() const { return state_->epoch; }
+using detail::kFreeState;
+using detail::SnapshotState;
 
 SnapshotManager::SnapshotManager(const IndexVersion& initial, RetireFn retire)
     : retire_(std::move(retire)) {
-  auto state = std::make_shared<Snapshot::State>();
-  state->version = initial;
-  state->epoch = epoch_;
-  state->manager = this;
-  current_ = std::move(state);
-  live_epochs_.insert(epoch_);
+  all_states_.push_back(std::make_unique<SnapshotState>());
+  SnapshotState* s = all_states_.back().get();
+  s->version = initial;
+  s->epoch = 0;
+  // The manager's own pin on the current version. No reader can see the
+  // node before the release store below.
+  s->refs.store(1, std::memory_order_relaxed);
+  current_.store(s, std::memory_order_release);
 }
 
 SnapshotManager::~SnapshotManager() {
-  // Release the manager's own pin inside the destructor body, while mu_ and
-  // the queue are still alive: if this is the last reference the epoch
-  // drains here and the remaining retire entries run their callback. Any
-  // *reader* snapshot outliving the manager is a caller bug (the index must
-  // outlive its queries), same as the rest of the library.
-  std::shared_ptr<const Snapshot::State> last;
+  // Drop the manager's pin and drain while mu_ and the queue are still
+  // alive: with no readers left (a reader snapshot outliving the manager is
+  // a caller bug — the index must outlive its queries, same as the rest of
+  // the library) every epoch is dead and every queued retirement fires.
+  std::vector<RetireEntry> fire;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    last = std::move(current_);
+    std::lock_guard<InstrumentedMutex> lock(mu_);
+    SnapshotState* cur = current_.load(std::memory_order_relaxed);
+    if (cur != nullptr) cur->refs.fetch_sub(1, std::memory_order_release);
+    DrainLocked(&fire);
   }
-  last.reset();
+  Fire(std::move(fire));
 }
 
 Snapshot SnapshotManager::Acquire() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return Snapshot(current_);
+  for (;;) {
+    SnapshotState* s = current_.load(std::memory_order_seq_cst);
+    // Optimistic pin. seq_cst pairs with the seq_cst current_ store in
+    // Publish and the seq_cst refs load in DrainLocked (a Dekker-style
+    // store/load crossing): if the validation below still sees `s` as
+    // current, the writer's drain is guaranteed to observe this increment
+    // and keep the epoch alive.
+    s->refs.fetch_add(1, std::memory_order_seq_cst);
+    if (current_.load(std::memory_order_seq_cst) == s) {
+      return Snapshot(s);
+    }
+    // Lost a race with Publish — or dereferenced a recycled node (benign:
+    // we only touched refs). Undo and retry with the fresh current. If the
+    // node was re-published as current in between (ABA), the validation
+    // simply succeeds above and we have pinned the *new* version, which is
+    // exactly what Acquire promises.
+    s->refs.fetch_sub(1, std::memory_order_release);
+  }
 }
 
 void SnapshotManager::Publish(const IndexVersion& version,
                               std::vector<PageId> superseded) {
-  auto state = std::make_shared<Snapshot::State>();
-  state->version = version;
-  state->manager = this;
-
-  std::shared_ptr<const Snapshot::State> old;
+  std::vector<RetireEntry> fire;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    state->epoch = ++epoch_;
-    live_epochs_.insert(state->epoch);
+    std::lock_guard<InstrumentedMutex> lock(mu_);
+    SnapshotState* s = ClaimFreeStateLocked();
+    if (s == nullptr) {
+      all_states_.push_back(std::make_unique<SnapshotState>());
+      s = all_states_.back().get();
+      s->refs.store(1, std::memory_order_relaxed);  // the manager's pin
+    }
+    const uint64_t e = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+    s->version = version;
+    s->epoch = e;
     if (!superseded.empty()) {
       // Pages of the version being replaced: readers pinning any epoch up
       // to (and including) the replaced one may still traverse them.
-      retire_queue_.push_back(RetireEntry{epoch_ - 1, std::move(superseded)});
+      retire_queue_.push_back(RetireEntry{e - 1, std::move(superseded)});
     }
-    old = std::move(current_);
-    current_ = std::move(state);
+    SnapshotState* old = current_.load(std::memory_order_relaxed);
+    // seq_cst: see the Dekker pairing note in Acquire().
+    current_.store(s, std::memory_order_seq_cst);
+    // Move the manager's pin from the old current to the new one.
+    old->refs.fetch_sub(1, std::memory_order_release);
+    DrainLocked(&fire);
   }
-  // Drop the manager's pin on the replaced version outside mu_: if this was
-  // the last reference, ~State runs OnEpochReleased, which re-locks mu_ and
-  // may fire the retire callback.
-  old.reset();
+  Fire(std::move(fire));
 }
 
 IndexVersion SnapshotManager::current_version() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return current_->version;
+  return Acquire().version();
 }
 
 uint64_t SnapshotManager::current_epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return epoch_;
+  return epoch_.load(std::memory_order_relaxed);
 }
 
 size_t SnapshotManager::live_epochs() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return live_epochs_.size();
+  std::vector<RetireEntry> fire;
+  size_t live = 0;
+  {
+    std::lock_guard<InstrumentedMutex> lock(mu_);
+    live = DrainLocked(&fire);
+  }
+  Fire(std::move(fire));
+  return live;
 }
 
 size_t SnapshotManager::pending_retirements() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return retire_queue_.size();
+  std::vector<RetireEntry> fire;
+  size_t pending = 0;
+  {
+    std::lock_guard<InstrumentedMutex> lock(mu_);
+    DrainLocked(&fire);
+    pending = retire_queue_.size();
+  }
+  Fire(std::move(fire));
+  return pending;
 }
 
-std::vector<SnapshotManager::RetireEntry>
-SnapshotManager::CollectRetirableLocked() {
-  std::vector<RetireEntry> out;
-  // live_epochs_ is only empty during manager teardown (the manager itself
-  // pins the current version while alive) — then everything is retirable.
-  const uint64_t min_live =
-      live_epochs_.empty() ? UINT64_MAX : *live_epochs_.begin();
+size_t SnapshotManager::DrainLocked(std::vector<RetireEntry>* out) const {
+  size_t live = 0;
+  uint64_t min_live = UINT64_MAX;
+  for (const auto& up : all_states_) {
+    SnapshotState* s = up.get();
+    // seq_cst: pairs with the refs increment in Acquire — a reader whose
+    // validation kept a pin is guaranteed visible here (see Acquire).
+    const int64_t r = s->refs.load(std::memory_order_seq_cst);
+    if (r < 0) continue;  // on the freelist (maybe with a transient stray +1)
+    if (r > 0) {
+      ++live;
+      min_live = std::min(min_live, s->epoch);
+      continue;
+    }
+    // r == 0: the epoch is dead. Run its one-time bookkeeping, then try to
+    // recycle the node. The CAS can lose to a stray reader's transient
+    // increment (load current_ / inc / validate-fails / undo); the node is
+    // then simply picked up by a later drain — `retired` keeps the
+    // bookkeeping idempotent across such bounces.
+    if (!s->retired) {
+      s->retired = true;
+      // Releases the version payload, in particular the pinned RAF
+      // generation a background compaction may be waiting to delete.
+      s->version = IndexVersion{};
+    }
+    int64_t zero = 0;
+    if (s->refs.compare_exchange_strong(zero, kFreeState,
+                                        std::memory_order_seq_cst)) {
+      free_list_.push_back(s);
+    }
+  }
+  // min_live == UINT64_MAX (no pins — only possible mid-destructor) drains
+  // everything, matching the teardown semantics of the old implementation.
   while (!retire_queue_.empty() &&
          retire_queue_.front().epoch_bound < min_live) {
-    out.push_back(std::move(retire_queue_.front()));
+    out->push_back(std::move(retire_queue_.front()));
     retire_queue_.pop_front();
   }
-  return out;
+  return live;
 }
 
-void SnapshotManager::OnEpochReleased(uint64_t epoch) {
-  std::vector<RetireEntry> retirable;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    live_epochs_.erase(epoch);
-    retirable = CollectRetirableLocked();
+SnapshotState* SnapshotManager::ClaimFreeStateLocked() {
+  if (free_list_.empty()) return nullptr;
+  SnapshotState* s = free_list_.back();
+  for (int spin = 0; spin < 1024; ++spin) {
+    int64_t expect = kFreeState;
+    // Claim as "1 ref" — the manager's pin on what is about to become the
+    // current version. The CAS can transiently fail while a stray reader
+    // holds a +1 on the freelist node; the undo is a few instructions away.
+    if (s->refs.compare_exchange_weak(expect, 1,
+                                      std::memory_order_seq_cst)) {
+      free_list_.pop_back();
+      s->retired = false;
+      return s;
+    }
   }
+  // Persistent stray traffic (should not happen) — leave the node parked
+  // and let the caller allocate a fresh one.
+  return nullptr;
+}
+
+void SnapshotManager::Fire(std::vector<RetireEntry> entries) const {
   // Run the callback outside mu_: it takes its own locks (buffer pool,
-  // node cache, free list) and may be running on a reader thread.
-  if (retire_) {
-    for (RetireEntry& e : retirable) retire_(std::move(e.pages));
-  }
+  // node cache, free list).
+  if (!retire_) return;
+  for (RetireEntry& e : entries) retire_(std::move(e.pages));
 }
 
 }  // namespace spb

@@ -1,14 +1,15 @@
 #ifndef SPB_EXEC_SNAPSHOT_H_
 #define SPB_EXEC_SNAPSHOT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <vector>
 
+#include "common/contention.h"
 #include "storage/page.h"
 
 namespace spb {
@@ -43,34 +44,111 @@ struct IndexVersion {
 
 class SnapshotManager;
 
-/// A pinned, refcounted reference to one published IndexVersion. Copyable
-/// and cheap (one shared_ptr); the pinned epoch stays live — and every page
-/// of its version stays un-retired — until the last copy is destroyed.
+namespace detail {
+
+/// The manually refcounted body of a Snapshot. `refs` counts pins: the
+/// manager's own pin on the current version plus one per live Snapshot.
+/// Readers only ever touch `refs` (and, once validly pinned, read `version`
+/// and `epoch`); all other bookkeeping — `retired`, recycling, the version
+/// payload rewrite — is done by writers under the manager's admin mutex.
+/// Nodes are owned by the manager for its whole lifetime (never freed while
+/// it lives), which is what makes the readers' unsynchronized `refs`
+/// increment safe: the worst a stale pointer can dereference is a recycled
+/// node, and the validation step below turns that into either a retry or a
+/// benign "pin whatever is current now".
+struct SnapshotState {
+  IndexVersion version;
+  uint64_t epoch = 0;
+  std::atomic<int64_t> refs{0};
+  /// Writer-side flag (guarded by the admin mutex): the dead-epoch
+  /// bookkeeping for this node already ran, don't run it again if a stray
+  /// reader bounced `refs` off zero in between.
+  bool retired = false;
+};
+
+/// `refs` value marking a node parked on the manager's freelist. Hugely
+/// negative so a stray reader's transient +1 (immediately undone once its
+/// validation fails) can never make a freelist node look live.
+inline constexpr int64_t kFreeState = INT64_MIN / 2;
+
+}  // namespace detail
+
+/// A pinned reference to one published IndexVersion. Copyable and cheap
+/// (one relaxed refcount increment); the pinned epoch stays live — and every
+/// page of its version stays un-retired — until the last copy is destroyed.
 /// Queries acquire one Snapshot up front and hold it across the whole
 /// traversal; writers publish freely in the meantime.
 class Snapshot {
  public:
   Snapshot() = default;
 
+  Snapshot(const Snapshot& other) : state_(other.state_) {
+    // We are duplicating a pin the caller already holds, so the node cannot
+    // be concurrently recycled: relaxed is enough.
+    if (state_ != nullptr) state_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  Snapshot(Snapshot&& other) noexcept : state_(other.state_) {
+    other.state_ = nullptr;
+  }
+  Snapshot& operator=(const Snapshot& other) {
+    if (other.state_ != nullptr) {
+      other.state_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+    Unpin();
+    state_ = other.state_;
+    return *this;
+  }
+  Snapshot& operator=(Snapshot&& other) noexcept {
+    if (this != &other) {
+      Unpin();
+      state_ = other.state_;
+      other.state_ = nullptr;
+    }
+    return *this;
+  }
+  ~Snapshot() { Unpin(); }
+
   bool valid() const { return state_ != nullptr; }
-  const IndexVersion& version() const;
-  uint64_t epoch() const;
+  const IndexVersion& version() const { return state_->version; }
+  uint64_t epoch() const { return state_->epoch; }
 
  private:
   friend class SnapshotManager;
-  struct State;
-  explicit Snapshot(std::shared_ptr<const State> state)
-      : state_(std::move(state)) {}
+  explicit Snapshot(detail::SnapshotState* state) : state_(state) {}
 
-  std::shared_ptr<const State> state_;
+  void Unpin() {
+    // Release so every read of the pinned version happens-before a writer's
+    // later reclamation of the node. Nothing else runs here: dead-epoch
+    // drains are writer-driven (see SnapshotManager), so dropping the last
+    // pin is mutex-free and wait-free.
+    if (state_ != nullptr) state_->refs.fetch_sub(1, std::memory_order_release);
+    state_ = nullptr;
+  }
+
+  detail::SnapshotState* state_ = nullptr;
 };
 
 /// Epoch-based publication of IndexVersions (the update engine's reclamation
-/// protocol, docs/ARCHITECTURE.md §"Epoch-based snapshots"):
+/// protocol, docs/ARCHITECTURE.md §"Epoch-based snapshots").
+///
+/// The reader fast path is mutex-free (PR 8): Acquire is load-current /
+/// increment-refs / validate-current-unchanged (undo and retry on a lost
+/// race), and Release is one refcount decrement. Neither ever takes a lock
+/// or runs reclamation — the stress test in tests/fanout_test.cc asserts the
+/// instrumented admin mutex records *zero* acquisitions under pure reader
+/// churn.
+///
+/// All bookkeeping migrated to writers: dead epochs are detected and their
+/// retire entries drained under the admin mutex ("snapshot.admin") at the
+/// end of every Publish, by the live_epochs()/pending_retirements()
+/// accessors (which double as explicit drain points for tests and tools),
+/// and by the destructor. Consequently the retire callback now runs on the
+/// *writer* (or accessor) thread, not on whichever reader drops the last
+/// pin — strictly friendlier: readers never pay for reclamation, and the
+/// callback still may not assume any particular thread.
 ///
 ///  - Readers call Acquire() and get the current version pinned under its
-///    epoch. Acquire is one mutex acquisition plus one shared_ptr copy —
-///    negligible against a query traversal.
+///    epoch.
 ///  - The writer prepares a new version out of line (COW pages, RAF tail
 ///    appends) and calls Publish(new_version, superseded_pages). Publication
 ///    is atomic: after Publish returns, every Acquire sees the new version;
@@ -78,13 +156,11 @@ class Snapshot {
 ///  - `superseded_pages` — the page ids the COW walk replaced — are queued
 ///    with the retired epoch as their bound and handed to the retire
 ///    callback only once every snapshot with epoch <= bound has been
-///    destroyed. The callback typically drops buffer-pool frames and
-///    node-cache entries and recycles the page ids; it may run on *any*
-///    thread (whichever releases the last pinning snapshot), so everything
-///    it touches must be internally synchronized.
+///    destroyed *and* a drain point has run. The callback typically drops
+///    buffer-pool frames and node-cache entries and recycles the page ids.
 ///
-/// The manager itself always pins the current version, so the live-epoch set
-/// is never empty and the current version's pages can never be retired.
+/// The manager itself always pins the current version, so the current
+/// version's pages can never be retired.
 class SnapshotManager {
  public:
   using RetireFn = std::function<void(std::vector<PageId>)>;
@@ -96,46 +172,65 @@ class SnapshotManager {
   SnapshotManager(const SnapshotManager&) = delete;
   SnapshotManager& operator=(const SnapshotManager&) = delete;
 
-  /// Pins and returns the current version. Thread-safe, wait-free against
-  /// other readers (one uncontended mutex in the common case).
+  /// Pins and returns the current version. Thread-safe and mutex-free: two
+  /// atomic RMWs in the worst case, with a retry only when a Publish lands
+  /// between the load and the validation.
   Snapshot Acquire() const;
 
   /// Atomically replaces the current version (writer-side; the caller holds
   /// the single-writer lock). Pages in `superseded` are retired once the
-  /// last snapshot pinning an epoch <= the superseded epoch drains.
+  /// last snapshot pinning an epoch <= the superseded epoch drains; this
+  /// call is itself a drain point, so fully unpinned pages retire before it
+  /// returns.
   void Publish(const IndexVersion& version, std::vector<PageId> superseded);
 
-  /// Current version without pinning (diagnostics / writer bookkeeping).
+  /// Current version without a lasting pin (diagnostics / writer
+  /// bookkeeping). Mutex-free (pins internally for the copy).
   IndexVersion current_version() const;
   uint64_t current_epoch() const;
 
-  /// Number of epochs still pinned (including the current one). Test hook.
+  /// Number of epochs still pinned (including the current one). Drain
+  /// point + test hook: runs dead-epoch bookkeeping first, so the count
+  /// reflects pins only, and any retirements it unblocks fire before it
+  /// returns.
   size_t live_epochs() const;
-  /// Retire-queue entries not yet handed to the callback. Test hook.
+  /// Retire-queue entries not yet handed to the callback, after draining —
+  /// the same drain Publish runs, so calling this hands every unblocked
+  /// entry to the callback. Test hook.
   size_t pending_retirements() const;
 
  private:
-  /// State's destructor is the epoch-drain signal calling back into
-  /// OnEpochReleased.
-  friend struct Snapshot::State;
-
   struct RetireEntry {
     uint64_t epoch_bound;
     std::vector<PageId> pages;
   };
 
-  void OnEpochReleased(uint64_t epoch);
-  /// Pops every retire entry whose bound is below the minimum live epoch.
-  /// Must be called with mu_ held; returns the popped entries so the caller
-  /// can run the callback outside the lock.
-  std::vector<RetireEntry> CollectRetirableLocked();
+  /// Scans every state under mu_: counts live (pinned) epochs, runs the
+  /// one-time bookkeeping for dead ones (dropping their RAF reference,
+  /// recycling the node onto the freelist), and pops every retire entry
+  /// whose bound is below the minimum live epoch into `out` so the caller
+  /// can run the callback outside the lock. Returns the live-epoch count.
+  size_t DrainLocked(std::vector<RetireEntry>* out) const;
+  /// Pops a freelist node and claims it (CAS kFreeState -> 1), spinning
+  /// briefly past stray readers' transient increments. Returns nullptr when
+  /// the freelist is empty (caller allocates a fresh node).
+  detail::SnapshotState* ClaimFreeStateLocked();
+  void Fire(std::vector<RetireEntry> entries) const;
 
-  mutable std::mutex mu_;
+  /// Admin mutex: Publish, the drain-point accessors and the destructor.
+  /// Never touched by Acquire/Release — the fanout_test stress test pins
+  /// that property via the contention registry.
+  mutable InstrumentedMutex mu_{"snapshot.admin"};
   RetireFn retire_;
-  uint64_t epoch_ = 0;
-  std::shared_ptr<const Snapshot::State> current_;
-  std::set<uint64_t> live_epochs_;
-  std::deque<RetireEntry> retire_queue_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<detail::SnapshotState*> current_{nullptr};
+  /// Every state ever allocated, owned for the manager's whole lifetime
+  /// (nodes are recycled, never freed — that is what licenses the readers'
+  /// unsynchronized refs increment). Guarded by mu_, as are the freelist and
+  /// the retire queue. Mutable because the const accessors are drain points.
+  mutable std::vector<std::unique_ptr<detail::SnapshotState>> all_states_;
+  mutable std::vector<detail::SnapshotState*> free_list_;
+  mutable std::deque<RetireEntry> retire_queue_;
 };
 
 }  // namespace spb

@@ -26,7 +26,7 @@ void WriteQueue::Stop() {
 }
 
 Status WriteQueue::Submit(Request req, bool* found) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<InstrumentedMutex> lock(mu_);
   pending_.push_back(&req);
   DriveUntilDone(lock, &req);
   if (found != nullptr) *found = req.found;
@@ -35,7 +35,7 @@ Status WriteQueue::Submit(Request req, bool* found) {
 
 Status WriteQueue::SubmitBatch(std::vector<Request>* reqs) {
   if (reqs->empty()) return Status::OK();
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<InstrumentedMutex> lock(mu_);
   for (Request& r : *reqs) pending_.push_back(&r);
   // Waiting on the last request suffices to drive the whole batch through
   // (groups drain in FIFO order), but a request of ours could still be
@@ -49,7 +49,7 @@ Status WriteQueue::SubmitBatch(std::vector<Request>* reqs) {
   return first_error;
 }
 
-void WriteQueue::DriveUntilDone(std::unique_lock<std::mutex>& lock,
+void WriteQueue::DriveUntilDone(std::unique_lock<InstrumentedMutex>& lock,
                                 Request* req) {
   for (;;) {
     if (req->done) return;
@@ -62,7 +62,8 @@ void WriteQueue::DriveUntilDone(std::unique_lock<std::mutex>& lock,
   }
 }
 
-void WriteQueue::LeadLocked(std::unique_lock<std::mutex>& lock, Request* own) {
+void WriteQueue::LeadLocked(std::unique_lock<InstrumentedMutex>& lock,
+                            Request* own) {
   leader_active_ = true;
   std::vector<Request*> group;
   while (!own->done && !pending_.empty()) {
@@ -113,24 +114,24 @@ void WriteQueue::CompactorLoop() {
         if (stop_) return;
       }
       compact_();
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<InstrumentedMutex> lock(mu_);
       ++stats_.compactions;
     }
   }
 }
 
 void WriteQueue::set_group_max(size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<InstrumentedMutex> lock(mu_);
   group_max_ = std::max<size_t>(1, n);
 }
 
 size_t WriteQueue::group_max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<InstrumentedMutex> lock(mu_);
   return group_max_;
 }
 
 WriteQueue::Stats WriteQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<InstrumentedMutex> lock(mu_);
   return stats_;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/blob.h"
+#include "common/contention.h"
 #include "common/status.h"
 
 namespace spb {
@@ -107,15 +108,19 @@ class WriteQueue {
  private:
   /// Caller-side wait/lead loop shared by Submit and SubmitBatch: blocks
   /// until `req` is done, becoming leader whenever the slot is free.
-  void DriveUntilDone(std::unique_lock<std::mutex>& lock, Request* req);
+  void DriveUntilDone(std::unique_lock<InstrumentedMutex>& lock,
+                      Request* req);
   /// Leader body: drains groups until `own` is done (then steps down).
-  void LeadLocked(std::unique_lock<std::mutex>& lock, Request* own);
+  void LeadLocked(std::unique_lock<InstrumentedMutex>& lock, Request* own);
   void CompactorLoop();
 
   CommitFn commit_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  /// Instrumented ("write_queue.mu"): contention here is writers queueing
+  /// behind the leader — expected by design; the wait histogram shows how
+  /// long followers sit per group commit.
+  mutable InstrumentedMutex mu_{"write_queue.mu"};
+  std::condition_variable_any cv_;
   std::deque<Request*> pending_;
   bool leader_active_ = false;
   size_t group_max_;

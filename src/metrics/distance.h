@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/blob.h"
+#include "common/striped.h"
 
 namespace spb {
 
@@ -50,10 +51,12 @@ class DistanceFunction {
 
 /// Decorator counting every distance evaluation — the paper's compdists
 /// metric. All index code computes distances through one of these so the
-/// count is complete by construction. The counter is atomic (relaxed): one
-/// wrapper is shared by all threads querying an index concurrently, and the
-/// aggregate compdists total must stay exact (docs/ARCHITECTURE.md
-/// §"Threading model").
+/// count is complete by construction. The counters are per-thread striped
+/// slabs (StripedU64): one wrapper is shared by all threads querying an
+/// index concurrently, every one of them bumps the counter on *every*
+/// distance call — the single hottest counter in the system — and striping
+/// keeps the aggregate exact without making each call a cross-core cache
+/// miss (docs/ARCHITECTURE.md §"Threading model").
 class CountingDistance final : public DistanceFunction {
  public:
   /// `base` must outlive this wrapper.
@@ -97,9 +100,9 @@ class CountingDistance final : public DistanceFunction {
 
  private:
   const DistanceFunction* base_;
-  mutable std::atomic<uint64_t> count_{0};
-  mutable std::atomic<uint64_t> cutoff_calls_{0};
-  mutable std::atomic<uint64_t> cutoff_hits_{0};
+  mutable StripedU64 count_;
+  mutable StripedU64 cutoff_calls_;
+  mutable StripedU64 cutoff_hits_;
 };
 
 }  // namespace spb

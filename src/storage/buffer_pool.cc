@@ -44,7 +44,7 @@ Status BufferPool::ReadPinned(PageId id, PagePin* out) {
   std::shared_ptr<PendingFetch> fetch;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<InstrumentedMutex> lock(shard.mu);
     auto it = shard.index.find(id);
     if (it != shard.index.end()) {
       stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -68,7 +68,7 @@ Status BufferPool::ReadPinned(PageId id, PagePin* out) {
     fetch->page = std::make_shared<Page>();
     fetch->status = file_->Read(id, fetch->page.get());
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      std::lock_guard<InstrumentedMutex> lock(shard.mu);
       // Insert and un-pend atomically: a page is never in neither table.
       // The cache shares the frame with this request's pin — no copy.
       if (fetch->status.ok()) shard.InsertLocked(id, fetch->page);
@@ -100,7 +100,7 @@ Status BufferPool::ReadPinned(PageId id, PagePin* out) {
 Status BufferPool::Touch(PageId id) {
   {
     Shard& shard = ShardFor(id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<InstrumentedMutex> lock(shard.mu);
     auto it = shard.index.find(id);
     if (it != shard.index.end()) {
       stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -127,7 +127,7 @@ Status BufferPool::ReadIntoStaged(PageId id, size_t offset, size_t n,
 Status BufferPool::ReadPinnedStaged(PageId id, const Page& staged,
                                     PagePin* out) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<InstrumentedMutex> lock(shard.mu);
   auto it = shard.index.find(id);
   if (it != shard.index.end()) {
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -149,7 +149,7 @@ Status BufferPool::ReadPinnedStaged(PageId id, const Page& staged,
 
 bool BufferPool::Contains(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<InstrumentedMutex> lock(shard.mu);
   return shard.index.find(id) != shard.index.end();
 }
 
@@ -157,7 +157,7 @@ Status BufferPool::Write(PageId id, const Page& page) {
   SPB_RETURN_IF_ERROR(file_->Write(id, page));
   stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<InstrumentedMutex> lock(shard.mu);
   shard.InsertLocked(id, std::make_shared<const Page>(page));
   return Status::OK();
 }
@@ -165,7 +165,7 @@ Status BufferPool::Write(PageId id, const Page& page) {
 void BufferPool::Retire(const PageId* ids, size_t count) {
   for (size_t i = 0; i < count; ++i) {
     Shard& shard = ShardFor(ids[i]);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<InstrumentedMutex> lock(shard.mu);
     auto it = shard.index.find(ids[i]);
     if (it == shard.index.end()) continue;
     shard.lru.erase(it->second);
@@ -175,7 +175,7 @@ void BufferPool::Retire(const PageId* ids, size_t count) {
 
 void BufferPool::Flush() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::lock_guard<InstrumentedMutex> lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
   }

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/contention.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "storage/page.h"
@@ -180,8 +181,10 @@ class BufferPool {
   };
 
   /// One independent LRU slice. Most-recently-used at the front of `lru`.
+  /// The stripe mutex is instrumented ("pool.shard"): its contended count is
+  /// the direct measure of hot-page stripe collisions under concurrency.
   struct Shard {
-    std::mutex mu;
+    InstrumentedMutex mu{"pool.shard"};
     size_t capacity = 0;
     std::list<Entry> lru;
     std::unordered_map<PageId, std::list<Entry>::iterator> index;

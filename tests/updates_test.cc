@@ -70,9 +70,12 @@ TEST(SnapshotManagerTest, RetireWaitsForPinningSnapshot) {
   EXPECT_EQ(mgr.pending_retirements(), 1u);
   EXPECT_EQ(mgr.live_epochs(), 2u);  // pinned epoch 0 + current epoch 1
 
-  pin = Snapshot();  // drop the pin: epoch 0 drains, retirement fires
-  EXPECT_EQ(retired, (std::vector<PageId>{10, 11}));
+  pin = Snapshot();  // drop the pin: epoch 0 is now reclaimable
+  // PR 8: Release is a pure fetch_sub (mutex-free fast path) — the drain
+  // and the retire callback run on the next writer/accessor pass, not on
+  // the reader's release. pending_retirements() is such a drain point.
   EXPECT_EQ(mgr.pending_retirements(), 0u);
+  EXPECT_EQ(retired, (std::vector<PageId>{10, 11}));
   EXPECT_EQ(mgr.live_epochs(), 1u);
 }
 
@@ -112,6 +115,9 @@ TEST(SnapshotManagerTest, RetirementsDrainInEpochOrder) {
   EXPECT_EQ(mgr.pending_retirements(), 2u);
 
   pin = Snapshot();
+  // Drain on the accessor pass (see RetireWaitsForPinningSnapshot): both
+  // entries fire in epoch order once the pin is gone.
+  EXPECT_EQ(mgr.pending_retirements(), 0u);
   EXPECT_EQ(retired, (std::vector<PageId>{30, 31}));
 }
 

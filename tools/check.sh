@@ -18,6 +18,7 @@
 #   tools/check.sh --updates  # only the update-engine stage (TSan+ASan)
 #   tools/check.sh --sharded  # only the sharded-tree stage (TSan+ASan)
 #   tools/check.sh --wal      # only the write-path engine stage (TSan+ASan)
+#   tools/check.sh --fanout   # only the fan-out/contention stage (TSan+ASan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -124,6 +125,26 @@ run_wal() {
   ./build-asan/tests/wal_test
 }
 
+run_fanout() {
+  # The multi-core query engine stage: TaskArena ticket ring + per-worker
+  # parking, nested fan-out from workers (pool-size-1 deadlock regression),
+  # the mutex-free snapshot Acquire/Release fast path racing publish/retire
+  # churn (the zero-mutex claim is only credible TSan-clean), striped
+  # counters, and parallel-scatter byte-identity. The small --fanout-only
+  # sweep re-runs the serial-vs-parallel identity gates at batch scale
+  # under both sanitizers.
+  echo "==> fanout: task arena + snapshot fast path tests under TSan"
+  cmake -B build-tsan -S . -DSPB_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target fanout_test bench_concurrency
+  ./build-tsan/tests/fanout_test
+  (cd build-tsan && ./bench/bench_concurrency --fanout-only --scale=1200 --queries=12)
+  echo "==> fanout: task arena + snapshot fast path tests under ASan"
+  cmake -B build-asan -S . -DSPB_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target fanout_test bench_concurrency
+  ./build-asan/tests/fanout_test
+  (cd build-asan && ./bench/bench_concurrency --fanout-only --scale=1200 --queries=12)
+}
+
 run_iouring() {
   echo "==> iouring: -DSPB_IOURING=ON must build (falls back to pread"
   echo "    with a warning when liburing is absent)"
@@ -140,6 +161,7 @@ case "${1:-}" in
   --updates) run_updates ;;
   --sharded) run_sharded ;;
   --wal) run_wal ;;
+  --fanout) run_fanout ;;
   *)
     run_tier1
     run_tsan
@@ -148,6 +170,7 @@ case "${1:-}" in
     run_updates
     run_sharded
     run_wal
+    run_fanout
     run_iouring
     ;;
 esac

@@ -24,6 +24,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/contention.h"
 #include "core/sharded_spb_tree.h"
 #include "core/spb_tree.h"
 #include "metrics/edit_distance.h"
@@ -207,6 +208,29 @@ int RunCompact(Index* index) {
   return 0;
 }
 
+// Lock-contention counters accumulated over this process's work (open,
+// queries, compaction). Zero-acquire locks are omitted; the histogram is
+// summarized as the worst waited bucket (docs/OPERATIONS.md §"Reading
+// contention counters").
+void PrintContentionStats() {
+  bool any = false;
+  for (const LockStatsSnapshot& l : ContentionSnapshot()) {
+    if (l.acquires == 0) continue;
+    if (!any) std::printf("lock contention (this process):\n");
+    any = true;
+    int worst = -1;
+    for (size_t b = 0; b < kContentionBuckets; ++b) {
+      if (l.wait_hist[b] > 0) worst = int(b);
+    }
+    std::printf("  %-18s %10llu acquires, %8llu contended, %8.3f ms "
+                "waited%s%s\n",
+                l.name.c_str(), (unsigned long long)l.acquires,
+                (unsigned long long)l.contended, l.wait_ns / 1e6,
+                worst >= 0 ? ", worst bucket us 2^" : "",
+                worst >= 0 ? std::to_string(worst).c_str() : "");
+  }
+}
+
 // Common stats header shared by the plain and sharded layouts; `index` is
 // SpbTree or ShardedSpbTree (both expose size/storage_bytes/space).
 template <typename Index>
@@ -286,10 +310,8 @@ int RunQuery(const Args& args, Index* index) {
                double(totals.distance_computations) * per,
                double(totals.page_accesses) * per,
                totals.elapsed_seconds * 1000.0 * per, repeat);
-  auto delta = [&](const std::atomic<uint64_t>& a,
-                   const std::atomic<uint64_t>& b) {
-    return (unsigned long long)(a.load(std::memory_order_relaxed) -
-                                b.load(std::memory_order_relaxed));
+  auto delta = [&](const StripedU64& a, const StripedU64& b) {
+    return (unsigned long long)(a.load() - b.load());
   };
   std::fprintf(stderr,
                "[io: %llu physical reads, %llu prefetch issued, "
@@ -298,6 +320,7 @@ int RunQuery(const Args& args, Index* index) {
                delta(io_after.prefetch_issued, io_before.prefetch_issued),
                delta(io_after.prefetch_hits, io_before.prefetch_hits),
                delta(io_after.coalesced_pages, io_before.coalesced_pages));
+  PrintContentionStats();
   return 0;
 }
 
@@ -322,6 +345,7 @@ int Query(const Args& args, const DistanceFunction* metric) {
                   (unsigned long long)io.dead_bytes.load(
                       std::memory_order_relaxed));
       if (options.enable_wal) PrintWalStats(index->wal_stats(), "");
+      PrintContentionStats();
       for (size_t sh = 0; sh < index->num_shards(); ++sh) {
         std::printf("  shard %zu: %llu objects, %.1f KB, %llu dead bytes\n",
                     sh, (unsigned long long)index->shard(sh).size(),
@@ -350,6 +374,7 @@ int Query(const Args& args, const DistanceFunction* metric) {
     std::printf("dead bytes: %llu (lazy deletes awaiting compaction)\n",
                 (unsigned long long)index->raf().dead_bytes());
     if (options.enable_wal) PrintWalStats(index->wal_stats(), "");
+    PrintContentionStats();
     return 0;
   }
   return RunQuery(args, index.get());
