@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/metric_index.h"
@@ -115,6 +117,72 @@ inline std::vector<Blob> QueryWorkload(const Dataset& ds, size_t n) {
 inline void PrintRule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// Host provenance stamped into every bench JSON so numbers from different
+/// machines are never compared blind: hardware thread count, the CPU model
+/// string, and whether the run happened inside a container (throughput
+/// numbers from shared/cgroup-limited hosts are directional only).
+struct HostInfo {
+  unsigned hardware_threads = 0;
+  std::string cpu_model;  // "unknown" when /proc/cpuinfo has no model name
+  bool container = false;
+};
+
+inline HostInfo QueryHostInfo() {
+  HostInfo h;
+  h.hardware_threads = std::thread::hardware_concurrency();
+  h.cpu_model = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  for (std::string line; std::getline(cpuinfo, line);) {
+    if (line.rfind("model name", 0) == 0) {
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        size_t start = line.find_first_not_of(" \t", colon + 1);
+        if (start != std::string::npos) h.cpu_model = line.substr(start);
+      }
+      break;
+    }
+  }
+  // Containers either mount /.dockerenv or run pid 1 in a non-root cgroup.
+  if (std::ifstream("/.dockerenv").good()) {
+    h.container = true;
+  } else {
+    std::ifstream cg("/proc/1/cgroup");
+    for (std::string line; std::getline(cg, line);) {
+      if (line.find("docker") != std::string::npos ||
+          line.find("containerd") != std::string::npos ||
+          line.find("kubepods") != std::string::npos ||
+          line.find("lxc") != std::string::npos) {
+        h.container = true;
+        break;
+      }
+    }
+  }
+  return h;
+}
+
+/// Escapes a string for embedding in a JSON literal (quotes + backslashes;
+/// CPU model strings never need more).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Emits the host block: `"host": {...}` (no trailing comma) on `f`.
+inline void WriteHostJson(std::FILE* f) {
+  const HostInfo h = QueryHostInfo();
+  std::fprintf(f,
+               "  \"host\": {\"hardware_threads\": %u, \"cpu_model\": "
+               "\"%s\", \"container\": %s}",
+               h.hardware_threads, JsonEscape(h.cpu_model).c_str(),
+               h.container ? "true" : "false");
 }
 
 }  // namespace bench

@@ -437,8 +437,11 @@ void RunEngineAb(const BenchConfig& config, const Dataset& ds,
 
   FILE* json = std::fopen("BENCH_PR4.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    WriteHostJson(json);
+    std::fprintf(json, ",\n");
     std::fprintf(json,
-                 "{\n  \"bench\": \"warm_path_decode_engine\",\n"
+                 "  \"bench\": \"warm_path_decode_engine\",\n"
                  "  \"dataset\": \"synthetic\",\n  \"scale\": %zu,\n"
                  "  \"queries\": %zu,\n  \"threads\": 1,\n"
                  "  \"trials\": 3,\n  \"node_cache_entries\": %zu,\n"
@@ -603,8 +606,11 @@ void RunMixedSweep(const BenchConfig& config, const Dataset& ds,
 
   FILE* json = std::fopen("BENCH_PR5.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    WriteHostJson(json);
+    std::fprintf(json, ",\n");
     std::fprintf(json,
-                 "{\n  \"bench\": \"mixed_read_write\",\n"
+                 "  \"bench\": \"mixed_read_write\",\n"
                  "  \"dataset\": \"synthetic\",\n  \"scale\": %zu,\n"
                  "  \"ops_per_batch\": %zu,\n  \"read_fraction\": 0.9,\n"
                  "  \"mix\": \"per 20 ops: 9 range, 9 knn, 1 insert, "
@@ -837,8 +843,11 @@ void RunShardSweep(const BenchConfig& config, const Dataset& ds,
 
   FILE* json = std::fopen("BENCH_PR6.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    WriteHostJson(json);
+    std::fprintf(json, ",\n");
     std::fprintf(json,
-                 "{\n  \"bench\": \"sharded_scatter_gather\",\n"
+                 "  \"bench\": \"sharded_scatter_gather\",\n"
                  "  \"dataset\": \"synthetic\",\n  \"scale\": %zu,\n"
                  "  \"queries\": %zu,\n  \"threads\": 4,\n"
                  "  \"mix\": \"per 20 ops: 9 range, 9 knn, 1 insert, "
@@ -1150,9 +1159,12 @@ void RunWriteEngine(const BenchConfig& config, const Dataset& ds,
 
   FILE* json = std::fopen("BENCH_PR7.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    WriteHostJson(json);
+    std::fprintf(json, ",\n");
     std::fprintf(
         json,
-        "{\n  \"bench\": \"write_path_engine\",\n"
+        "  \"bench\": \"write_path_engine\",\n"
         "  \"dataset\": \"synthetic\",\n  \"scale\": %zu,\n"
         "  \"queries\": %zu,\n  \"shards\": 1,\n"
         "  \"durability\": \"wal + group commit + one fsync per group\",\n"
@@ -1478,9 +1490,12 @@ void RunFanoutSweep(const BenchConfig& config, const Dataset& ds,
 
   FILE* json = std::fopen("BENCH_PR8.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    WriteHostJson(json);
+    std::fprintf(json, ",\n");
     std::fprintf(
         json,
-        "{\n  \"bench\": \"parallel_fanout\",\n"
+        "  \"bench\": \"parallel_fanout\",\n"
         "  \"dataset\": \"synthetic\",\n  \"scale\": %zu,\n"
         "  \"queries\": %zu,\n  \"reps\": %d,\n"
         "  \"identity\": \"parallel scatter byte-identical to serial per "

@@ -158,6 +158,12 @@ Status BPlusTree::ReadNodeRaw(PageId id, BptNode* node) {
   return node->DeserializeFrom(page, id);
 }
 
+Status BPlusTree::DecodeNodeUncounted(PageId id, DecodedNode* out) {
+  Page page;
+  SPB_RETURN_IF_ERROR(owned_file_->Read(id, &page));
+  return out->Decode(page, id, *curve_);
+}
+
 Status BPlusTree::WriteNodeRaw(const BptNode& node) {
   Page page;
   node.SerializeTo(&page);

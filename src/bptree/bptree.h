@@ -225,6 +225,16 @@ class BPlusTree {
   /// invalidates the cached node).
   Status GetNode(PageId id, DecodedNode* scratch, NodeHandle* out);
 
+  /// Raw, *uncounted* decode of any node: direct file read (no buffer pool,
+  /// no IoStats, no node cache) into `out`, internal MBB corners included.
+  /// Maintenance-path sibling of GetNode, same zero-footprint contract as
+  /// CollectVersionPages — the learned leaf locator builds its per-version
+  /// model image through this, so model construction never perturbs the
+  /// paper's PA/cache_hits accounting. Safe concurrently with readers (the
+  /// pool is write-through, so every published page's bytes are in the
+  /// file); callers must only decode pages reachable from a live version.
+  Status DecodeNodeUncounted(PageId id, DecodedNode* out);
+
   /// Resizes the decoded-node cache (0 disables it). Single-writer only,
   /// like BufferPool::set_capacity; drops contents.
   Status SetNodeCacheEntries(size_t entries) {

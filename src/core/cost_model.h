@@ -1,6 +1,7 @@
 #ifndef SPB_CORE_COST_MODEL_H_
 #define SPB_CORE_COST_MODEL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -79,6 +80,18 @@ class CostModel {
     return pair_distances_;
   }
   double intrinsic_dim() const { return intrinsic_dim_; }
+
+  /// Fraction of the sampled overall distance distribution (Eq. 1) at or
+  /// below `r` — the query planner's O(log sample) candidate-selectivity
+  /// proxy (EstimateRange's exact Eq. 4 term sweeps the full phi sample;
+  /// this stays cheap enough for every query). 0 with no distribution.
+  double DistanceFractionLE(double r) const {
+    if (pair_distances_.empty()) return 0.0;
+    const auto it = std::upper_bound(pair_distances_.begin(),
+                                     pair_distances_.end(), r);
+    return double(it - pair_distances_.begin()) /
+           double(pair_distances_.size());
+  }
 
   uint64_t total_objects() const { return total_objects_; }
   void set_total_objects(uint64_t n) { total_objects_ = n; }

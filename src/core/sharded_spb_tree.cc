@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -695,6 +696,47 @@ QueryStats ShardedSpbTree::cumulative_stats() const {
   for (const auto& shard : shards_) total += shard->cumulative_stats();
   total.distance_computations +=
       counting_->count() + extra_distance_computations_;
+  return total;
+}
+
+LocatorStats ShardedSpbTree::locator_stats() const {
+  LocatorStats total;
+  total.model_present = !shards_.empty();
+  total.pla_ok = !shards_.empty();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const LocatorStats one = shards_[s]->locator_stats();
+    total.model_present = total.model_present && one.model_present;
+    total.pla_ok = total.pla_ok && one.pla_ok;
+    total.epoch = std::max(total.epoch, one.epoch);
+    total.leaves += one.leaves;
+    total.internal_nodes += one.internal_nodes;
+    total.segments += one.segments;
+    if (s == 0) total.epsilon = one.epsilon;
+    total.hits += one.hits;
+    total.fallbacks += one.fallbacks;
+    total.stale += one.stale;
+    total.seek_misses += one.seek_misses;
+    total.rebuilds += one.rebuilds;
+  }
+  return total;
+}
+
+PlannerStats ShardedSpbTree::planner_stats() const {
+  PlannerStats total;
+  double ema_sum = 0.0;
+  for (const auto& shard : shards_) {
+    const PlannerStats one = shard->planner_stats();
+    total.planned_range += one.planned_range;
+    total.planned_knn += one.planned_knn;
+    total.routed_greedy += one.routed_greedy;
+    total.routed_incremental += one.routed_incremental;
+    total.cutoff_disabled += one.cutoff_disabled;
+    ema_sum += one.calibration;
+  }
+  if (!shards_.empty()) {
+    total.calibration = ema_sum / double(shards_.size());
+    total.drift = std::abs(std::log(std::max(total.calibration, 1e-12)));
+  }
   return total;
 }
 

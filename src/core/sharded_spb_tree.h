@@ -159,10 +159,23 @@ class ShardedSpbTree : public MetricIndex {
   /// truncated to k.
   Status KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
                   QueryStats* stats, KnnTraversal traversal);
+  /// Default traversal is kAuto: each dispatched shard resolves it against
+  /// its own cost model (planner on) or to the kIncremental default
+  /// (planner off) — so per-shard routing decisions can differ within one
+  /// scatter, which is exactly right: the seeding shard sees k against its
+  /// own density, wave shards see the fixed seed.
   Status KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
                   QueryStats* stats = nullptr) override {
-    return KnnQuery(q, k, result, stats, KnnTraversal::kIncremental);
+    return KnnQuery(q, k, result, stats, KnnTraversal::kAuto);
   }
+
+  /// Aggregated learned-locator counters: sums over shards; model_present /
+  /// pla_ok hold iff they hold on every shard, epoch is the max, epsilon is
+  /// shard 0's (ApplyTuning fans one value out to all shards).
+  LocatorStats locator_stats() const;
+  /// Aggregated planner counters: decision counts summed, calibration is
+  /// the mean of the per-shard EMAs, drift = |log(mean)|.
+  PlannerStats planner_stats() const;
 
   /// Structural self-check: every shard's CheckIntegrity plus the routing
   /// invariant (every leaf key routes to the shard holding it).

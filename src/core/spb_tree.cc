@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <filesystem>
 #include <cstring>
@@ -273,6 +274,8 @@ Status SpbTree::BuildInternal(const std::vector<Blob>& objects,
   tree->InitFetcher();
   tree->InitSnapshots();
   SPB_RETURN_IF_ERROR(tree->InitEngine());
+  // No writer lock needed: the tree is not shared until *out is assigned.
+  tree->RebuildLocatorLocked();
   *out = std::move(tree);
   return Status::OK();
 }
@@ -440,6 +443,13 @@ Status SpbTree::SaveLocked() {
   // the compactor what it owed before the restart (replayed deletes re-add
   // their own debt on top). Pre-PR7 meta files read back as 0.
   w.U64(raf_->dead_bytes());
+  // Planner calibration EMA, so a reopened tree keeps the calibration it
+  // learned from live traffic. Appended last: pre-PR9 meta files read back
+  // the neutral 1.0.
+  {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    w.F64(planner_ema_);
+  }
 
   std::unique_ptr<PageFile> meta;
   SPB_RETURN_IF_ERROR(
@@ -551,6 +561,8 @@ Status SpbTree::Open(const std::string& storage_dir,
   r.U64(&meta_raf_generation);
   uint64_t meta_dead_bytes = 0;
   r.U64(&meta_dead_bytes);
+  double planner_ema = 1.0;
+  r.F64(&planner_ema);  // absent in pre-PR9 meta files: neutral 1.0
   if (tree->raf_->generation() != meta_raf_generation) {
     SPB_RETURN_IF_ERROR(tree->RebuildBtreeFromRaf());
     num_objects = tree->num_objects_.load(std::memory_order_relaxed);
@@ -569,11 +581,15 @@ Status SpbTree::Open(const std::string& storage_dir,
                 std::move(boxes));
   tree->cost_model_.set_precision(precision);
   tree->cost_model_.set_distance_distribution(std::move(pair_distances), rho);
+  tree->planner_ema_ = planner_ema;
   tree->InitFetcher();
   tree->InitSnapshots();
   // InitEngine replays WAL records past the checkpoint (idempotently, so a
   // checkpoint that raced the crash is harmless) before counters reset.
   SPB_RETURN_IF_ERROR(tree->InitEngine());
+  // Model the replayed (current) version; no writer lock needed, the tree
+  // is not shared until *out is assigned.
+  tree->RebuildLocatorLocked();
   tree->ResetCounters();
   *out = std::move(tree);
   return Status::OK();
@@ -659,7 +675,51 @@ Status SpbTree::InsertOneMappedLocked(const Blob& obj, ObjectId id,
   // (they used to escape the accounting — the record was orphaned but never
   // tallied). This is also what makes WAL replay of an already-applied
   // insert idempotent.
-  {
+  if (WriterLocatorUsable()) {
+    // Locator descent: SeekRank lands on the leaf owning `key` directly, so
+    // the probe skips every inner node the cursor's root-to-leaf walk would
+    // read. The duplicate run is scanned in the same global key order as the
+    // cursor (a run may span leaves), so the RAF probe sequence — and the
+    // entry the upsert unlinks — is identical.
+    const LeafModel& model = *locator_;
+    DecodedNode scratch;
+    NodeHandle h;
+    ObjectId rid;
+    Blob robj;
+    bool done = false, past = false;
+    for (size_t rank = model.SeekRank(key);
+         !done && !past && rank < model.num_leaves() &&
+         model.min_key(rank) <= key;
+         ++rank) {
+      SPB_RETURN_IF_ERROR(btree_->GetNode(model.leaf_id(rank), &scratch, &h));
+      const auto& les = h->node.leaf_entries;
+      auto it = std::lower_bound(
+          les.begin(), les.end(), key,
+          [](const LeafEntry& e, uint64_t want) { return e.key < want; });
+      for (; it != les.end(); ++it) {
+        if (it->key != key) {
+          past = true;
+          break;
+        }
+        const uint64_t ptr = it->ptr;
+        SPB_RETURN_IF_ERROR(raf_->Get(ptr, &rid, &robj));
+        if (rid == id) {
+          bool found = false;
+          TreeVersion tv;
+          SPB_RETURN_IF_ERROR(
+              btree_->DeleteCow(key, ptr, &found, &tv, superseded));
+          if (found) {
+            btree_->AdoptVersion(tv);
+            InvalidateLocator();
+            raf_->AddDeadBytes(8 + robj.size());
+            num_objects_.fetch_sub(1, std::memory_order_relaxed);
+          }
+          done = true;
+          break;
+        }
+      }
+    }
+  } else {
     BPlusTree::LeafCursor cur(btree_.get(), btree_->version());
     SPB_RETURN_IF_ERROR(cur.Seek(key));
     ObjectId rid;
@@ -673,6 +733,7 @@ Status SpbTree::InsertOneMappedLocked(const Blob& obj, ObjectId id,
             btree_->DeleteCow(key, cur.entry().ptr, &found, &tv, superseded));
         if (found) {
           btree_->AdoptVersion(tv);
+          InvalidateLocator();
           raf_->AddDeadBytes(8 + robj.size());
           num_objects_.fetch_sub(1, std::memory_order_relaxed);
         }
@@ -689,6 +750,7 @@ Status SpbTree::InsertOneMappedLocked(const Blob& obj, ObjectId id,
   TreeVersion tv;
   SPB_RETURN_IF_ERROR(btree_->InsertCow(key, offset, &tv, superseded));
   btree_->AdoptVersion(tv);
+  InvalidateLocator();
   const uint64_t n = num_objects_.fetch_add(1, std::memory_order_relaxed) + 1;
   ++inserts_seen_;
   {
@@ -726,6 +788,7 @@ Status SpbTree::Insert(const Blob& obj, ObjectId id) {
   std::vector<PageId> superseded;
   SPB_RETURN_IF_ERROR(InsertOneLocked(obj, id, &superseded));
   PublishCurrent(std::move(superseded));
+  MaybeRefreshLocatorLocked();
   return Status::OK();
 }
 
@@ -774,6 +837,7 @@ Status SpbTree::BatchInsert(const std::vector<Blob>& objs,
     SPB_RETURN_IF_ERROR(InsertOneLocked(objs[i], ids[i], &superseded));
   }
   PublishCurrent(std::move(superseded));
+  MaybeRefreshLocatorLocked();
   return Status::OK();
 }
 
@@ -812,6 +876,7 @@ Status SpbTree::BatchInsertMapped(const MappedInsert* items, size_t count) {
         InsertOneMappedLocked(*m.obj, m.id, m.phi, m.key, &superseded));
   }
   PublishCurrent(std::move(superseded));
+  MaybeRefreshLocatorLocked();
   return Status::OK();
 }
 
@@ -846,6 +911,7 @@ Status SpbTree::DeleteMapped(const Blob& obj, ObjectId id, uint64_t key,
   SPB_RETURN_IF_ERROR(
       DeleteOneMappedLocked(obj, id, key, found, &superseded));
   PublishCurrent(std::move(superseded));
+  MaybeRefreshLocatorLocked();
   return Status::OK();
 }
 
@@ -853,22 +919,54 @@ Status SpbTree::DeleteOneMappedLocked(const Blob& obj, ObjectId id,
                                       uint64_t key, bool* found,
                                       std::vector<PageId>* superseded) {
   if (found != nullptr) *found = false;
-  // Locate the duplicate whose RAF record matches (id, payload) with a
-  // chain-free cursor (the leaf chain is stale once COW writes happen).
-  BPlusTree::LeafCursor cur(btree_.get(), btree_->version());
-  SPB_RETURN_IF_ERROR(cur.Seek(key));
+  // Locate the duplicate whose RAF record matches (id, payload). With a
+  // current locator model SeekRank jumps straight to the owning leaf; the
+  // fallback is a chain-free cursor (the leaf chain is stale once COW
+  // writes happen). Both scan the duplicate run in global key order, so
+  // they locate the same entry with the same RAF probe sequence.
   uint64_t ptr = 0;
   bool located = false;
   ObjectId rid;
   Blob robj;
-  while (cur.valid() && cur.entry().key == key) {
-    SPB_RETURN_IF_ERROR(raf_->Get(cur.entry().ptr, &rid, &robj));
-    if (rid == id && robj == obj) {
-      ptr = cur.entry().ptr;
-      located = true;
-      break;
+  if (WriterLocatorUsable()) {
+    const LeafModel& model = *locator_;
+    DecodedNode scratch;
+    NodeHandle h;
+    bool past = false;
+    for (size_t rank = model.SeekRank(key);
+         !located && !past && rank < model.num_leaves() &&
+         model.min_key(rank) <= key;
+         ++rank) {
+      SPB_RETURN_IF_ERROR(btree_->GetNode(model.leaf_id(rank), &scratch, &h));
+      const auto& les = h->node.leaf_entries;
+      auto it = std::lower_bound(
+          les.begin(), les.end(), key,
+          [](const LeafEntry& e, uint64_t want) { return e.key < want; });
+      for (; it != les.end(); ++it) {
+        if (it->key != key) {
+          past = true;
+          break;
+        }
+        SPB_RETURN_IF_ERROR(raf_->Get(it->ptr, &rid, &robj));
+        if (rid == id && robj == obj) {
+          ptr = it->ptr;
+          located = true;
+          break;
+        }
+      }
     }
-    SPB_RETURN_IF_ERROR(cur.Next());
+  } else {
+    BPlusTree::LeafCursor cur(btree_.get(), btree_->version());
+    SPB_RETURN_IF_ERROR(cur.Seek(key));
+    while (cur.valid() && cur.entry().key == key) {
+      SPB_RETURN_IF_ERROR(raf_->Get(cur.entry().ptr, &rid, &robj));
+      if (rid == id && robj == obj) {
+        ptr = cur.entry().ptr;
+        located = true;
+        break;
+      }
+      SPB_RETURN_IF_ERROR(cur.Next());
+    }
   }
   // Missing record: not-found, kOk — which is exactly what makes WAL replay
   // of an already-applied delete idempotent.
@@ -882,6 +980,7 @@ Status SpbTree::DeleteOneMappedLocked(const Blob& obj, ObjectId id,
   // garbage until a rebuild/compaction: tally it as compaction debt.
   raf_->AddDeadBytes(8 + robj.size());
   btree_->AdoptVersion(tv);
+  InvalidateLocator();
   const uint64_t n = num_objects_.fetch_sub(1, std::memory_order_relaxed) - 1;
   {
     std::lock_guard<std::mutex> lock(cost_mu_);
@@ -893,7 +992,7 @@ Status SpbTree::DeleteOneMappedLocked(const Blob& obj, ObjectId id,
 Status SpbTree::VerifyLeafBatch(Raf* raf, const LeafEntry* entries,
                                 size_t count, const Blob& q,
                                 const std::vector<double>& phi_q, double r,
-                                bool check_region,
+                                bool check_region, bool use_cutoff,
                                 const std::vector<uint32_t>& rr_lo,
                                 const std::vector<uint32_t>& rr_hi,
                                 LeafScratch* scratch,
@@ -951,9 +1050,8 @@ Status SpbTree::VerifyLeafBatch(Raf* raf, const LeafEntry* entries,
       result->push_back(id);
       continue;
     }
-    const double d = options_.enable_cutoff
-                         ? counting_.DistanceWithCutoff(q, obj, r)
-                         : counting_.Distance(q, obj);
+    const double d = use_cutoff ? counting_.DistanceWithCutoff(q, obj, r)
+                                : counting_.Distance(q, obj);
     if (d <= r) result->push_back(id);
   }
   return Status::OK();
@@ -992,6 +1090,52 @@ Status SpbTree::RangeQueryMapped(const Blob& q,
 
 Status SpbTree::RangeSearch(const Blob& q, double r, const Snapshot& snap,
                             QueryArena& A, std::vector<ObjectId>* result) {
+  const std::shared_ptr<const LeafModel> model = LocatorForSnapshot(snap);
+  const bool use_cutoff = options_.enable_cutoff;
+
+  // Planner: the O(log) selectivity proxy predicts the verification count
+  // and sizes the readahead session; the prediction is squared against the
+  // measured distance-call delta afterwards (feedback). Zero distance
+  // computations — everything works off phi_q and the sampled distribution.
+  const bool planned = options_.enable_planner;
+  double predicted = 0.0;
+  size_t ra_budget = options_.max_readahead_pages;
+  uint64_t dist_before = 0;
+  if (planned) {
+    plan_range_.fetch_add(1, std::memory_order_relaxed);
+    double frac, f, ema;
+    uint64_t total;
+    {
+      std::lock_guard<std::mutex> lock(cost_mu_);
+      frac = cost_model_.DistanceFractionLE(r);
+      f = cost_model_.objects_per_page();
+      total = cost_model_.total_objects();
+      ema = planner_ema_;
+    }
+    predicted = std::max(1.0, frac * double(total) * ema);
+    ra_budget = PlannedBudget(f > 0.0 ? predicted / f : predicted);
+    dist_before = counting_.count();
+  }
+
+  // The snapshot's RAF, not the tree's current one: a concurrent compaction
+  // may swap raf_ mid-traversal, but this version's offsets only resolve
+  // against the file it was published with (which the snapshot co-owns).
+  Raf* const sraf = snap.version().raf.get();
+  Readahead ra = NewReadaheadSession(*sraf, ra_budget);
+
+  // Point lookup with a valid model: skip the descent entirely (SeekRank →
+  // owning leaf → duplicate run). Byte-identical results/compdists to the
+  // classic r == 0 traversal; only B+-tree inner-node accesses differ.
+  if (r == 0.0 && model != nullptr && model->num_leaves() > 0) {
+    const Status s =
+        PointSearchWithLocator(q, *model, snap, A, use_cutoff, result, &ra);
+    if (planned && s.ok()) {
+      UpdatePlannerFeedback(predicted,
+                            double(counting_.count() - dist_before));
+    }
+    return s;
+  }
+
   space_->RangeRegion(A.phi_q, r, &A.rr_lo, &A.rr_hi);
 
   const size_t dims = space_->dims();
@@ -1001,16 +1145,24 @@ Status SpbTree::RangeSearch(const Blob& q, double r, const Snapshot& snap,
   A.todo.clear();
   A.box_buf.clear();
   A.todo.push_back(QueryArena::RangeTodo{snap.version().root, 0, false});
-  // The snapshot's RAF, not the tree's current one: a concurrent compaction
-  // may swap raf_ mid-traversal, but this version's offsets only resolve
-  // against the file it was published with (which the snapshot co-owns).
-  Raf* const sraf = snap.version().raf.get();
-  Readahead ra = NewReadaheadSession(*sraf);
   NodeHandle h;
 
   for (size_t cursor = 0; cursor < A.todo.size(); ++cursor) {
     const QueryArena::RangeTodo ref = A.todo[cursor];  // copy: todo may grow
-    SPB_RETURN_IF_ERROR(btree_->GetNode(ref.id, &A.scratch_node, &h));
+    // Inner nodes come from the model's image when one is valid for this
+    // snapshot: the image covers ALL internal pages of the version, so an
+    // image miss proves `ref.id` is a leaf and the counted demand path
+    // runs. The visit *sequence* is untouched — only where the decoded
+    // bytes come from changes — which keeps results and compdists
+    // byte-identical while inner-node page accesses drop to zero.
+    const DecodedNode* img =
+        model != nullptr ? model->FindInternal(ref.id) : nullptr;
+    if (img != nullptr) {
+      h.SetBorrowed(img);
+      loc_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      SPB_RETURN_IF_ERROR(btree_->GetNode(ref.id, &A.scratch_node, &h));
+    }
     const BptNode& node = h->node;
 
     if (!node.is_leaf) {
@@ -1040,8 +1192,9 @@ Status SpbTree::RangeSearch(const Blob& q, double r, const Snapshot& snap,
         // MBB(N) fully inside RR: membership is implied.
         SPB_RETURN_IF_ERROR(VerifyLeafBatch(sraf, node.leaf_entries.data(),
                                             node.leaf_entries.size(), q,
-                                            A.phi_q, r, false, A.rr_lo,
-                                            A.rr_hi, &A.leaf, result, &ra));
+                                            A.phi_q, r, false, use_cutoff,
+                                            A.rr_lo, A.rr_hi, &A.leaf, result,
+                                            &ra));
         continue;
       }
       if (!MappedSpace::IntersectBoxes(blo, bhi, A.rr_lo.data(),
@@ -1069,17 +1222,65 @@ Status SpbTree::RangeSearch(const Blob& q, double r, const Snapshot& snap,
         }
         SPB_RETURN_IF_ERROR(VerifyLeafBatch(sraf, A.leaf.matched.data(),
                                             A.leaf.matched.size(), q,
-                                            A.phi_q, r, false, A.rr_lo,
-                                            A.rr_hi, &A.leaf, result, &ra));
+                                            A.phi_q, r, false, use_cutoff,
+                                            A.rr_lo, A.rr_hi, &A.leaf, result,
+                                            &ra));
         enumerated = true;
       }
     }
     if (!enumerated) {
       SPB_RETURN_IF_ERROR(VerifyLeafBatch(sraf, node.leaf_entries.data(),
                                           node.leaf_entries.size(), q,
-                                          A.phi_q, r, true, A.rr_lo, A.rr_hi,
-                                          &A.leaf, result, &ra));
+                                          A.phi_q, r, true, use_cutoff,
+                                          A.rr_lo, A.rr_hi, &A.leaf, result,
+                                          &ra));
     }
+  }
+  if (planned) {
+    UpdatePlannerFeedback(predicted, double(counting_.count() - dist_before));
+  }
+  return Status::OK();
+}
+
+Status SpbTree::PointSearchWithLocator(const Blob& q, const LeafModel& model,
+                                       const Snapshot& snap, QueryArena& A,
+                                       bool use_cutoff,
+                                       std::vector<ObjectId>* result,
+                                       Readahead* ra) {
+  // Identity argument (docs/ARCHITECTURE.md §"Learned locator + planner"):
+  // at r == 0 the classic traversal verifies exactly the entries whose SFC
+  // key equals key(q) — every leaf regime reduces to that set, in entry
+  // order — and Lemma 2's batch sweep performs no metric distance calls.
+  // This path collects the same run from the same leaves in the same order,
+  // so results, RAF accesses and compdists are byte-identical; the elided
+  // root-to-leaf descent is the only difference.
+  const uint64_t key_q = space_->KeyFor(A.phi_q.data(), space_->dims());
+  bool miss = false;
+  size_t rank = model.SeekRank(key_q, &miss);
+  if (miss) loc_seek_misses_.fetch_add(1, std::memory_order_relaxed);
+  Raf* const sraf = snap.version().raf.get();
+  NodeHandle h;
+  bool past = false;
+  for (; !past && rank < model.num_leaves() && model.min_key(rank) <= key_q;
+       ++rank) {
+    SPB_RETURN_IF_ERROR(
+        btree_->GetNode(model.leaf_id(rank), &A.scratch_node, &h));
+    const auto& les = h->node.leaf_entries;
+    A.leaf.matched.clear();
+    auto it = std::lower_bound(
+        les.begin(), les.end(), key_q,
+        [](const LeafEntry& e, uint64_t want) { return e.key < want; });
+    for (; it != les.end(); ++it) {
+      if (it->key != key_q) {
+        past = true;
+        break;
+      }
+      A.leaf.matched.push_back(*it);
+    }
+    SPB_RETURN_IF_ERROR(VerifyLeafBatch(
+        sraf, A.leaf.matched.data(), A.leaf.matched.size(), q, A.phi_q,
+        /*r=*/0.0, /*check_region=*/false, use_cutoff, A.rr_lo, A.rr_hi,
+        &A.leaf, result, ra));
   }
   return Status::OK();
 }
@@ -1117,6 +1318,27 @@ Status SpbTree::KnnQueryMapped(const Blob& q, const std::vector<double>& phi_q,
 Status SpbTree::KnnSearch(const Blob& q, size_t k, const Snapshot& snap,
                           QueryArena& A, std::vector<Neighbor>* result,
                           KnnTraversal traversal, SharedKnnBound* shared) {
+  const std::shared_ptr<const LeafModel> model = LocatorForSnapshot(snap);
+
+  // kAuto resolves here: the planner picks greedy vs best-first, per-query
+  // cutoff and the readahead budget from the cost model (zero distance
+  // calls); with the planner off it degrades to the kIncremental default.
+  // Explicit traversals bypass planning entirely. Every routing choice
+  // returns identical results; compdists match whichever static
+  // configuration the plan resolves to.
+  KnnPlan plan;
+  const bool planned =
+      traversal == KnnTraversal::kAuto && options_.enable_planner;
+  if (traversal == KnnTraversal::kAuto) {
+    if (planned) plan = PlanKnn(A.phi_q, k);
+    traversal = plan.traversal;
+  }
+  const bool use_cutoff = options_.enable_cutoff && plan.use_cutoff;
+  const size_t ra_budget =
+      planned ? plan.readahead_budget : options_.max_readahead_pages;
+  const uint64_t dist_before = planned ? counting_.count() : 0;
+  const auto time_before = std::chrono::steady_clock::now();
+
   // Max-heap of current k best over the arena vector (std::push_heap /
   // pop_heap — the standard mandates the same element evolution as a
   // std::priority_queue): front is the current k-th NN distance.
@@ -1161,7 +1383,7 @@ Status SpbTree::KnnSearch(const Blob& q, size_t k, const Snapshot& snap,
   // +inf and the computation runs to completion.
   // Snapshot-pinned RAF, same reasoning as RangeSearch.
   Raf* const sraf = snap.version().raf.get();
-  Readahead ra = NewReadaheadSession(*sraf);
+  Readahead ra = NewReadaheadSession(*sraf, ra_budget);
   auto verify_entry = [&](const LeafEntry& e) -> Status {
     ObjectId id;
     BlobRef obj;
@@ -1172,7 +1394,7 @@ Status SpbTree::KnnSearch(const Blob& q, size_t k, const Snapshot& snap,
       SPB_RETURN_IF_ERROR(sraf->Get(e.ptr, &id, &A.leaf.obj, &ra));
       obj = A.leaf.obj;
     }
-    const double d = options_.enable_cutoff
+    const double d = use_cutoff
                          ? counting_.DistanceWithCutoff(q, obj, cur_ndk())
                          : counting_.Distance(q, obj);
     offer(id, d);
@@ -1217,7 +1439,17 @@ Status SpbTree::KnnSearch(const Blob& q, size_t k, const Snapshot& snap,
       SPB_RETURN_IF_ERROR(verify_entry(item.entry));
       continue;
     }
-    SPB_RETURN_IF_ERROR(btree_->GetNode(item.node, &A.scratch_node, &h));
+    // Same image-serving rule as RangeSearch: inner nodes of a snapshot
+    // with a valid model never touch the buffer pool; a miss proves the
+    // page is a leaf and the counted demand path runs.
+    const DecodedNode* img =
+        model != nullptr ? model->FindInternal(item.node) : nullptr;
+    if (img != nullptr) {
+      h.SetBorrowed(img);
+      loc_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      SPB_RETURN_IF_ERROR(btree_->GetNode(item.node, &A.scratch_node, &h));
+    }
     const BptNode& node = h->node;
     if (!node.is_leaf) {
       // Lemma 3 over the cached entry-major MBB corners: no per-entry curve
@@ -1274,6 +1506,14 @@ Status SpbTree::KnnSearch(const Blob& q, size_t k, const Snapshot& snap,
     std::pop_heap(A.best.begin(), A.best.end(), best_cmp);
     A.best.pop_back();
   }
+  if (planned) {
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - time_before)
+                               .count();
+    UpdateKnnPlannerFeedback(plan.predicted_verifications,
+                             double(counting_.count() - dist_before),
+                             traversal, elapsed);
+  }
   return Status::OK();
 }
 
@@ -1288,6 +1528,239 @@ CostEstimate SpbTree::EstimateKnnCost(const Blob& q, size_t k) const {
   const std::vector<double> phi_q = space_->Phi(q, counting_);
   std::lock_guard<std::mutex> lock(cost_mu_);
   return cost_model_.EstimateKnn(*space_, phi_q, k);
+}
+
+CostEstimate SpbTree::EstimateRangeCostMapped(
+    const std::vector<double>& phi_q, double r) const {
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  return cost_model_.EstimateRange(*space_, phi_q, r);
+}
+
+CostEstimate SpbTree::EstimateKnnCostMapped(const std::vector<double>& phi_q,
+                                            size_t k) const {
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  return cost_model_.EstimateKnn(*space_, phi_q, k);
+}
+
+// ---------------------------------------------------------------------------
+// Learned leaf locator + cost-model query planner.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const LeafModel> SpbTree::LocatorForSnapshot(
+    const Snapshot& snap) const {
+  if (!options_.enable_learned_locator) return nullptr;
+  std::shared_ptr<const LeafModel> m;
+  {
+    std::lock_guard<InstrumentedMutex> lock(locator_mu_);
+    m = locator_;
+  }
+  if (m == nullptr) {
+    loc_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Validity is tagged, not checked: the model is only good for the exact
+  // epoch it was built at. Any COW publish since then bumped the epoch, so
+  // a stale model can never be consulted — this comparison IS the
+  // correctness argument for concurrent writes.
+  if (m->epoch() != snap.epoch()) {
+    loc_stale_.fetch_add(1, std::memory_order_relaxed);
+    loc_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  return m;
+}
+
+void SpbTree::RebuildLocatorLocked() {
+  std::shared_ptr<const LeafModel> m;
+  if (options_.enable_learned_locator) {
+    const Status s = LeafModel::Build(btree_.get(), btree_->version(),
+                                      options_.locator_epsilon,
+                                      snapshots_->current_epoch(), &m);
+    if (!s.ok()) {
+      m = nullptr;  // best-effort: every query falls back to classic descent
+    } else {
+      loc_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  {
+    std::lock_guard<InstrumentedMutex> lock(locator_mu_);
+    locator_ = m;
+  }
+  locator_current_ = (m != nullptr);
+  locator_stale_writes_ = 0;
+}
+
+void SpbTree::MaybeRefreshLocatorLocked() {
+  if (!options_.enable_learned_locator || locator_current_) return;
+  if (locator_stale_writes_ < kLocatorRefreshWrites) return;
+  RebuildLocatorLocked();
+}
+
+void SpbTree::InvalidateLocator() {
+  if (!options_.enable_learned_locator) return;
+  locator_current_ = false;
+  ++locator_stale_writes_;
+}
+
+LocatorStats SpbTree::locator_stats() const {
+  LocatorStats s;
+  std::shared_ptr<const LeafModel> m;
+  {
+    std::lock_guard<InstrumentedMutex> lock(locator_mu_);
+    m = locator_;
+  }
+  if (m != nullptr) {
+    s.model_present = true;
+    s.pla_ok = m->pla_ok();
+    s.epoch = m->epoch();
+    s.leaves = m->num_leaves();
+    s.internal_nodes = m->num_internal_nodes();
+    s.segments = m->num_segments();
+    s.epsilon = m->epsilon();
+  } else {
+    s.epsilon = options_.locator_epsilon;
+  }
+  s.hits = loc_hits_.load(std::memory_order_relaxed);
+  s.fallbacks = loc_fallbacks_.load(std::memory_order_relaxed);
+  s.stale = loc_stale_.load(std::memory_order_relaxed);
+  s.seek_misses = loc_seek_misses_.load(std::memory_order_relaxed);
+  s.rebuilds = loc_rebuilds_.load(std::memory_order_relaxed);
+  return s;
+}
+
+PlannerStats SpbTree::planner_stats() const {
+  PlannerStats s;
+  s.planned_range = plan_range_.load(std::memory_order_relaxed);
+  s.planned_knn = plan_knn_.load(std::memory_order_relaxed);
+  s.routed_greedy = plan_greedy_.load(std::memory_order_relaxed);
+  s.routed_incremental = plan_incremental_.load(std::memory_order_relaxed);
+  s.cutoff_disabled = plan_cutoff_off_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    s.calibration = planner_ema_;
+  }
+  s.drift = std::abs(std::log(std::max(s.calibration, 1e-12)));
+  return s;
+}
+
+namespace {
+
+// Route to greedy when the predicted candidate set exceeds this fraction of
+// the data: the regime (the paper's low-precision datasets, Table 5) where
+// best-first's per-entry heap churn and repeated RAF page visits cost more
+// than the extra verifications greedy spends.
+constexpr double kGreedyCandidateFraction = 0.05;
+// Disable the per-distance early-abandon check when nearly everything is
+// predicted inside the radius anyway — the cutoff then never fires and is
+// pure per-call overhead. Never changes results or compdists counts.
+constexpr double kCutoffOffFraction = 0.75;
+
+}  // namespace
+
+SpbTree::KnnPlan SpbTree::PlanKnn(const std::vector<double>& phi_q,
+                                  size_t k) const {
+  KnnPlan plan;
+  const uint64_t seq = plan_knn_.fetch_add(1, std::memory_order_relaxed);
+  double radius, frac, ema, f;
+  uint64_t total;
+  double cost_inc, cost_grd;
+  uint64_t obs_inc, obs_grd;
+  {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    radius = cost_model_.EstimateKnnRadius(phi_q, k);
+    frac = cost_model_.DistanceFractionLE(radius);
+    ema = planner_ema_;
+    total = cost_model_.total_objects();
+    f = cost_model_.objects_per_page();
+    cost_inc = arm_cost_[0];
+    cost_grd = arm_cost_[1];
+    obs_inc = arm_obs_[0];
+    obs_grd = arm_obs_[1];
+  }
+  const double candidates =
+      std::max(double(k), frac * double(total) * ema);
+  plan.predicted_verifications = std::max(1.0, candidates);
+  const double cand_frac = total > 0 ? candidates / double(total) : 0.0;
+  // Routing, in preference order: measured per-arm runtime once both arms
+  // have observations; an unobserved arm first (one forced probe each at
+  // startup); the selectivity prior while completely cold. A fixed-cadence
+  // probe of the losing arm keeps its EMA honest under workload drift.
+  if (obs_inc > 0 && obs_grd > 0) {
+    plan.traversal = cost_grd < cost_inc ? KnnTraversal::kGreedy
+                                         : KnnTraversal::kIncremental;
+    // Probe the losing arm less often the further behind it is: the probe
+    // overhead is (gap-1)/cadence of total throughput, so a hopeless arm
+    // is re-checked rarely and a closely-contested one often.
+    const double lo = std::min(cost_inc, cost_grd);
+    const double gap = lo > 0.0 ? std::max(cost_inc, cost_grd) / lo : 1.0;
+    const uint64_t cadence = gap < 2.0   ? kPlannerExploreEvery
+                             : gap < 8.0 ? kPlannerExploreEvery * 4
+                                         : kPlannerExploreEvery * 16;
+    if (seq % cadence == cadence - 1) {
+      plan.traversal = plan.traversal == KnnTraversal::kGreedy
+                           ? KnnTraversal::kIncremental
+                           : KnnTraversal::kGreedy;
+    }
+  } else if (obs_inc > 0 || obs_grd > 0) {
+    plan.traversal =
+        obs_grd == 0 ? KnnTraversal::kGreedy : KnnTraversal::kIncremental;
+  } else {
+    plan.traversal = cand_frac > kGreedyCandidateFraction
+                         ? KnnTraversal::kGreedy
+                         : KnnTraversal::kIncremental;
+  }
+  if (plan.traversal == KnnTraversal::kGreedy) {
+    plan_greedy_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    plan_incremental_.fetch_add(1, std::memory_order_relaxed);
+  }
+  plan.use_cutoff = frac <= kCutoffOffFraction;
+  if (!plan.use_cutoff) {
+    plan_cutoff_off_.fetch_add(1, std::memory_order_relaxed);
+  }
+  plan.readahead_budget =
+      PlannedBudget(f > 0.0 ? candidates / f : candidates);
+  return plan;
+}
+
+size_t SpbTree::PlannedBudget(double predicted_pages) const {
+  // Only ever shrinks the configured budget (physical I/O shaping; logical
+  // PA is untouched), with slack for record spill and estimate error.
+  const size_t cap = std::max<size_t>(1, options_.max_readahead_pages);
+  if (!(predicted_pages > 0.0)) return std::min<size_t>(8, cap);
+  const double want = std::min(predicted_pages + 8.0, double(cap));
+  return std::max<size_t>(std::min<size_t>(size_t(want), cap), 1);
+}
+
+void SpbTree::UpdateKnnPlannerFeedback(double predicted, double measured,
+                                       KnnTraversal used,
+                                       double elapsed_seconds) {
+  if (predicted > 0.0 && elapsed_seconds > 0.0) {
+    const size_t arm = used == KnnTraversal::kGreedy ? 1 : 0;
+    const double unit = elapsed_seconds / predicted;
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    arm_cost_[arm] = arm_obs_[arm] == 0
+                         ? unit
+                         : 0.8 * arm_cost_[arm] + 0.2 * unit;
+    ++arm_obs_[arm];
+  }
+  UpdatePlannerFeedback(predicted, measured);
+}
+
+void SpbTree::UpdatePlannerFeedback(double predicted, double measured) {
+  if (!(predicted > 0.0)) return;
+  // Clamp so one pathological query cannot wreck the calibration.
+  const double ratio =
+      std::clamp(measured / predicted, 1.0 / 64.0, 64.0);
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  planner_ema_ = 0.9 * planner_ema_ + 0.1 * ratio;
+  // Nudge the pivot-set precision (Definition 1) the same direction, gently
+  // and clamped: measured > predicted means the radius/selectivity estimate
+  // ran hot, i.e. the mapped lower bounds are looser than the recorded
+  // precision claims.
+  const double p = cost_model_.precision();
+  cost_model_.set_precision(
+      std::clamp(p * std::pow(ratio, -0.05), 0.02, 1.0));
 }
 
 uint64_t SpbTree::storage_bytes() const {
@@ -1325,6 +1798,18 @@ void SpbTree::ResetCounters() {
   RafPtr()->ResetStats();
   counting_.Reset();
   extra_distance_computations_ = 0;
+  // Locator/planner counters are counters; the calibration EMA is model
+  // state and deliberately survives (same rule as the cost model itself).
+  loc_hits_.store(0, std::memory_order_relaxed);
+  loc_fallbacks_.store(0, std::memory_order_relaxed);
+  loc_stale_.store(0, std::memory_order_relaxed);
+  loc_seek_misses_.store(0, std::memory_order_relaxed);
+  loc_rebuilds_.store(0, std::memory_order_relaxed);
+  plan_range_.store(0, std::memory_order_relaxed);
+  plan_knn_.store(0, std::memory_order_relaxed);
+  plan_greedy_.store(0, std::memory_order_relaxed);
+  plan_incremental_.store(0, std::memory_order_relaxed);
+  plan_cutoff_off_.store(0, std::memory_order_relaxed);
 }
 
 void SpbTree::FlushCaches() {
@@ -1376,6 +1861,19 @@ Status SpbTree::ApplyTuning(const TuningOptions& t) {
   if (write_queue_ != nullptr) {
     write_queue_->set_group_max(std::max<size_t>(1, t.wal_group_max));
   }
+  // Locator/planner knobs. Toggling the locator on (or changing ε) builds
+  // the model here, under the writer lock; toggling it off drops it. Both
+  // are flag-safe under concurrent queries — readers copy the shared_ptr
+  // per query and validate by epoch.
+  const bool locator_was = options_.enable_learned_locator;
+  const size_t epsilon_was = options_.locator_epsilon;
+  options_.enable_learned_locator = t.enable_learned_locator;
+  options_.locator_epsilon = t.locator_epsilon;
+  options_.enable_planner = t.enable_planner;
+  if (t.enable_learned_locator != locator_was ||
+      (t.enable_learned_locator && t.locator_epsilon != epsilon_was)) {
+    RebuildLocatorLocked();
+  }
   return Status::OK();
 }
 
@@ -1394,6 +1892,9 @@ TuningOptions SpbTree::tuning() const {
   t.wal_fsync = wal_fsync_.load(std::memory_order_relaxed);
   t.compact_dead_bytes_threshold =
       compact_threshold_.load(std::memory_order_relaxed);
+  t.enable_learned_locator = options_.enable_learned_locator;
+  t.locator_epsilon = options_.locator_epsilon;
+  t.enable_planner = options_.enable_planner;
   return t;
 }
 
@@ -1472,6 +1973,7 @@ void SpbTree::CommitGroup(std::vector<WriteQueue::Request*>& group) {
   }
   // ONE snapshot epoch for the whole group.
   PublishCurrent(std::move(superseded));
+  MaybeRefreshLocatorLocked();
 }
 
 Status SpbTree::ReplayWal() {
@@ -1501,6 +2003,7 @@ Status SpbTree::ReplayWal() {
     }
   }
   PublishCurrent(std::move(superseded));
+  MaybeRefreshLocatorLocked();
   return Status::OK();
 }
 
@@ -1627,6 +2130,9 @@ Status SpbTree::CompactLocked() {
   }
   btree_->AdoptVersion(new_tv);
   PublishCurrent(std::move(old_pages));
+  // The whole tree was rebuilt: model the fresh version immediately (the
+  // compaction swap is exactly the "refresh per snapshot epoch" moment).
+  RebuildLocatorLocked();
   // Checkpoint immediately: the meta must record the new generation (a
   // crash before this line is the rebuild-on-open case the kill-point tests
   // exercise).

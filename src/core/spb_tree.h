@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "bptree/bptree.h"
+#include "bptree/leaf_model.h"
 #include "common/blob.h"
+#include "common/contention.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "core/cost_model.h"
@@ -111,6 +113,32 @@ struct SpbTreeOptions {
   /// swap goes through the snapshot/retire protocol, so in-flight queries
   /// keep reading their pinned version's file.
   uint64_t compact_dead_bytes_threshold = 0;
+  /// Learned leaf locator (docs/ARCHITECTURE.md §"Learned locator +
+  /// planner"): a per-TreeVersion PGM-style model — leaf directory +
+  /// internal-node image + ε-bounded piecewise-linear segments — built in
+  /// one uncounted pass at Build/Open/compaction and refreshed per snapshot
+  /// epoch. Point lookups, RQA/NNA traversals, SJA leaf scans and the write
+  /// path's descent then skip inner B+-tree pages entirely; any miss or
+  /// stale (COW-invalidated) model falls back to classic descent. Results
+  /// and compdists are byte-identical either way; B+-tree inner-node page
+  /// accesses are NOT — eliding them is the optimization — which is why the
+  /// default is off: the paper-protocol figures keep their classic PA
+  /// accounting unless a bench opts in (the accounting-parity rule applies
+  /// to the default configuration only).
+  bool enable_learned_locator = false;
+  /// Locator PLA error bound ε, in directory ranks (probe window ±(ε+2)).
+  /// Smaller = more segments, tighter probes; 0 still works (pure directory
+  /// binary search per miss).
+  size_t locator_epsilon = 16;
+  /// Cost-model query planner: routes each query online from the persisted
+  /// cost model — greedy vs best-first NNA, per-query cutoff, readahead
+  /// budget, sharded scatter parallelism — and calibrates itself with a
+  /// measured-vs-predicted distance-computation feedback loop (EMA +
+  /// precision_ nudges). Results are identical for every routing choice;
+  /// compdists match whichever static configuration the plan resolves to.
+  /// Default off so the fig15/fig16 estimate-accuracy experiments see the
+  /// untouched build-time model.
+  bool enable_planner = false;
 };
 
 /// The global NDk bound one kNN query shares across shards: a monotonically
@@ -150,6 +178,40 @@ enum class KnnTraversal {
   /// Verifies whole leaves as soon as they are reached — optimal in RAF page
   /// accesses, the paper's default for low-precision datasets (DNA).
   kGreedy,
+  /// Let the cost-model planner pick per query (resolves to kIncremental
+  /// when enable_planner is off). The resolved traversal runs byte-identical
+  /// to passing it explicitly.
+  kAuto,
+};
+
+/// Learned-locator observability (spb_cli stats, bench_learned,
+/// docs/OPERATIONS.md §"Reading locator/planner counters").
+struct LocatorStats {
+  bool model_present = false;
+  bool pla_ok = false;
+  uint64_t epoch = 0;         // snapshot epoch the model was built at
+  uint64_t leaves = 0;        // non-empty leaves in the directory
+  uint64_t internal_nodes = 0;
+  uint64_t segments = 0;      // PLA segments
+  uint64_t epsilon = 0;
+  uint64_t hits = 0;          // inner-node reads served from the model image
+  uint64_t fallbacks = 0;     // queries that ran classic descent instead
+  uint64_t stale = 0;         // fallbacks due to a snapshot/model epoch mismatch
+  uint64_t seek_misses = 0;   // SeekRank probes outside the ±(ε+2) window
+  uint64_t rebuilds = 0;
+};
+
+/// Planner observability: routing decisions + calibration state.
+struct PlannerStats {
+  uint64_t planned_range = 0;
+  uint64_t planned_knn = 0;
+  uint64_t routed_greedy = 0;
+  uint64_t routed_incremental = 0;
+  uint64_t cutoff_disabled = 0;  // kNN queries planned without the cutoff
+  /// EMA of measured/predicted distance computations (1.0 = perfectly
+  /// calibrated); drift = |log(calibration)|.
+  double calibration = 1.0;
+  double drift = 0.0;
 };
 
 /// The Space-filling-curve and Pivot-based B+-tree (the paper's primary
@@ -299,7 +361,7 @@ class SpbTree : public MetricIndex {
                   QueryStats* stats, KnnTraversal traversal);
   Status KnnQuery(const Blob& q, size_t k, std::vector<Neighbor>* result,
                   QueryStats* stats = nullptr) override {
-    return KnnQuery(q, k, result, stats, KnnTraversal::kIncremental);
+    return KnnQuery(q, k, result, stats, KnnTraversal::kAuto);
   }
 
   /// RangeQuery with phi(q) precomputed by a router — identical traversal,
@@ -325,6 +387,28 @@ class SpbTree : public MetricIndex {
   /// computations (mapping q).
   CostEstimate EstimateRangeCost(const Blob& q, double r) const;
   CostEstimate EstimateKnnCost(const Blob& q, size_t k) const;
+
+  /// The same estimates with phi(q) precomputed: ZERO distance computations.
+  /// This is what the online planner consumes (a router already mapped q, or
+  /// the query entry point maps once and shares), so planning never perturbs
+  /// a query's compdists.
+  CostEstimate EstimateRangeCostMapped(const std::vector<double>& phi_q,
+                                       double r) const;
+  CostEstimate EstimateKnnCostMapped(const std::vector<double>& phi_q,
+                                     size_t k) const;
+
+  /// The learned leaf-location model matching `snap`, or nullptr when the
+  /// locator is off, not yet built, or built for a different epoch (the
+  /// caller then uses classic descent — this check IS the fallback path).
+  /// The returned model is immutable and safe to use for as long as the
+  /// snapshot is held. Public for the joins' leaf scans and for tests.
+  std::shared_ptr<const LeafModel> LocatorForSnapshot(
+      const Snapshot& snap) const;
+
+  /// Locator/planner counters (cumulative since ResetCounters; calibration
+  /// survives resets — it is model state, not a counter).
+  LocatorStats locator_stats() const;
+  PlannerStats planner_stats() const;
 
   uint64_t size() const { return num_objects_.load(std::memory_order_relaxed); }
   const MappedSpace& space() const { return *space_; }
@@ -430,9 +514,12 @@ class SpbTree : public MetricIndex {
   // and Lemma 2 as per-dimension sweeps, then fetches/verifies survivors in
   // entry order — same results, RAF access order and compdists as the
   // entry-at-a-time loop. `check_region` is Algorithm 1's `flag` parameter.
+  // `use_cutoff` is the per-query cutoff decision (== options_.enable_cutoff
+  // unless the planner turned it off for this query; never changes results
+  // or compdists — only work inside each distance call).
   Status VerifyLeafBatch(Raf* raf, const LeafEntry* entries, size_t count,
                          const Blob& q, const std::vector<double>& phi_q,
-                         double r, bool check_region,
+                         double r, bool check_region, bool use_cutoff,
                          const std::vector<uint32_t>& rr_lo,
                          const std::vector<uint32_t>& rr_hi,
                          LeafScratch* scratch, std::vector<ObjectId>* result,
@@ -481,16 +568,74 @@ class SpbTree : public MetricIndex {
                    QueryArena& A, std::vector<Neighbor>* result,
                    KnnTraversal traversal, SharedKnnBound* shared);
 
+  // The r == 0 locator fast path of RangeSearch: SeekRank straight to the
+  // owning leaf, scan the duplicate run, batch-verify the exact-key matches.
+  // Proven byte-identical in results/compdists to the classic descent
+  // (docs/ARCHITECTURE.md §"Learned locator + planner"); only inner-node
+  // page accesses differ. Requires a model valid for `snap`.
+  Status PointSearchWithLocator(const Blob& q, const LeafModel& model,
+                                const Snapshot& snap, QueryArena& A,
+                                bool use_cutoff, std::vector<ObjectId>* result,
+                                Readahead* ra);
+
+  // ---- Learned locator maintenance (writer lock held for all of these).
+  // Rebuilds the model from the writer's current adopted+published version,
+  // stamped with the current snapshot epoch. Best-effort: on failure the
+  // model is dropped and every query falls back to classic descent.
+  void RebuildLocatorLocked();
+  // Rebuild-on-churn policy: after kLocatorRefreshWrites COW mutations since
+  // the model went stale, rebuild it (called after PublishCurrent on the
+  // write paths, so the epoch stamp matches what readers acquire).
+  void MaybeRefreshLocatorLocked();
+  // Marks the writer's model stale (called on every COW mutation).
+  void InvalidateLocator();
+  // True when the writer may use the model's leaf directory for its own
+  // descent (model built for exactly the current adopted version).
+  bool WriterLocatorUsable() const {
+    return options_.enable_learned_locator && locator_current_ &&
+           locator_ != nullptr;
+  }
+
+  // ---- Planner.
+  // One kNN routing decision, from the cost model's O(log) components (the
+  // full Eq. 6/8 estimates stay available via Estimate*CostMapped; the hot
+  // path avoids their sample/box sweeps). Zero distance computations.
+  struct KnnPlan {
+    KnnTraversal traversal = KnnTraversal::kIncremental;
+    bool use_cutoff = true;
+    size_t readahead_budget = 0;
+    double predicted_verifications = 0.0;  // feedback baseline
+  };
+  KnnPlan PlanKnn(const std::vector<double>& phi_q, size_t k) const;
+  // Readahead budget from a predicted page-access count: clamped to
+  // [8, options_.max_readahead_pages] — the planner only ever shrinks the
+  // configured budget (physical I/O shaping; logical PA is untouched).
+  size_t PlannedBudget(double predicted_pages) const;
+  // Measured-vs-predicted feedback: folds measured/predicted verification
+  // counts into the calibration EMA and nudges the cost model's precision_
+  // (Definition 1) so radius estimates track live traffic.
+  void UpdatePlannerFeedback(double predicted, double measured);
+  // kNN variant: additionally feeds the per-traversal runtime EMAs that
+  // drive the greedy/incremental routing (elapsed normalized by the plan's
+  // predicted work, so observations from different (k, query) mixes stay
+  // comparable). `used` is the traversal that actually ran.
+  void UpdateKnnPlannerFeedback(double predicted, double measured,
+                                KnnTraversal used, double elapsed_seconds);
+
   // Publishes the current adopted version, handing `superseded` to the
   // epoch retire queue.
   void PublishCurrent(std::vector<PageId> superseded);
 
   // Readahead session bound to one specific RAF (the snapshot's, for query
-  // traversals; the current one, for the public wrapper).
+  // traversals; the current one, for the public wrapper). The planner
+  // overload caps the session budget at its predicted need.
   Readahead NewReadaheadSession(Raf& raf) {
+    return NewReadaheadSession(raf, options_.max_readahead_pages);
+  }
+  Readahead NewReadaheadSession(Raf& raf, size_t budget) {
     return Readahead(&raf.pool(),
                      options_.enable_prefetch ? fetcher_.get() : nullptr,
-                     ReadaheadOptions{options_.max_readahead_pages});
+                     ReadaheadOptions{budget});
   }
 
   // The current RAF under the swap lock (shared_ptr copy: callers keep the
@@ -564,6 +709,47 @@ class SpbTree : public MetricIndex {
   // Guards the cost model, which the writer mutates (AddSample /
   // set_total_objects) while readers run Estimate*Cost.
   mutable std::mutex cost_mu_;
+
+  // ---- Learned leaf locator (null when disabled / dropped) ----
+  // locator_ is the published model: writers install under locator_mu_,
+  // readers copy the shared_ptr under it once per query and validate by
+  // epoch. Instrumented ("locator.model"): the copy is the only lock a
+  // locator-enabled query adds, and its contention should stay invisible.
+  mutable InstrumentedMutex locator_mu_{"locator.model"};
+  std::shared_ptr<const LeafModel> locator_;
+  // Writer-side validity + churn counter (writer lock): the model matches
+  // the current adopted version until the first COW mutation; after
+  // kLocatorRefreshWrites stale writes the write path rebuilds it.
+  bool locator_current_ = false;
+  uint64_t locator_stale_writes_ = 0;
+  static constexpr uint64_t kLocatorRefreshWrites = 64;
+  mutable std::atomic<uint64_t> loc_hits_{0};
+  mutable std::atomic<uint64_t> loc_fallbacks_{0};
+  mutable std::atomic<uint64_t> loc_stale_{0};
+  mutable std::atomic<uint64_t> loc_seek_misses_{0};
+  mutable std::atomic<uint64_t> loc_rebuilds_{0};
+
+  // ---- Planner counters + calibration (calibration under cost_mu_) ----
+  mutable std::atomic<uint64_t> plan_range_{0};
+  mutable std::atomic<uint64_t> plan_knn_{0};
+  mutable std::atomic<uint64_t> plan_greedy_{0};
+  mutable std::atomic<uint64_t> plan_incremental_{0};
+  mutable std::atomic<uint64_t> plan_cutoff_off_{0};
+  // EMA of measured/predicted verification counts (persisted in meta so a
+  // reopened tree keeps its calibration).
+  mutable double planner_ema_ = 1.0;
+  // Per-traversal runtime EMAs (seconds / predicted verification), index
+  // 0 = kIncremental, 1 = kGreedy, under cost_mu_. Compdists say which
+  // traversal is work-optimal (Lemma 4: always best-first), but wall clock
+  // depends on the metric's cost — a cheap metric makes greedy's
+  // whole-leaf sweeps beat best-first's per-entry heap churn. These EMAs
+  // learn that trade-off online; PlanKnn routes to the cheaper arm once
+  // both have observations and re-probes the losing arm on a fixed cadence
+  // (kPlannerExploreEvery) so the estimate tracks workload drift.
+  // Transient (not persisted): runtime is a property of this process.
+  mutable double arm_cost_[2] = {0.0, 0.0};
+  mutable uint64_t arm_obs_[2] = {0, 0};
+  static constexpr uint64_t kPlannerExploreEvery = 32;
 
   // ---- Write-path engine (null / empty when disabled) ----
   std::unique_ptr<Wal> wal_;

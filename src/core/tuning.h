@@ -62,6 +62,15 @@ struct TuningOptions {
   bool wal_fsync = true;
   /// RAF dead-byte debt that wakes the background compactor (0 = never).
   uint64_t compact_dead_bytes_threshold = 0;
+  /// Learned leaf locator (see SpbTreeOptions::enable_learned_locator).
+  /// Turning it on (or changing ε) builds the model inside ApplyTuning —
+  /// one uncounted pass over the leaf level; turning it off drops it.
+  /// Flag-safe under concurrent queries either way: readers pick the model
+  /// up (or lose it) on their next snapshot acquire.
+  bool enable_learned_locator = false;
+  size_t locator_epsilon = 16;
+  /// Cost-model query planner (see SpbTreeOptions::enable_planner).
+  bool enable_planner = false;
 };
 
 }  // namespace spb

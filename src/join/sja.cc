@@ -7,8 +7,16 @@ namespace spb {
 namespace {
 
 // Forward scan over one SPB-tree's leaf level in ascending SFC order,
-// driven by the B+-tree's parent-stack LeafCursor against a pinned snapshot
-// (the leaf sibling chain is not maintained under copy-on-write updates).
+// against a pinned snapshot. Two drivers, same entry sequence:
+//
+//  - With a learned-locator model valid for the snapshot, the scan walks the
+//    model's leaf directory flat — one counted GetNode per non-empty leaf,
+//    zero inner-node reads (the cursor's parent-stack descent is elided
+//    entirely; the directory skips empty leaves exactly like the cursor
+//    does).
+//  - Otherwise the B+-tree's parent-stack LeafCursor drives it (the leaf
+//    sibling chain is not maintained under copy-on-write updates).
+//
 // Each time the scan enters a new leaf, the RAF pages of all its entries are
 // handed to the tree's readahead session: leaf entries are SFC-sorted and
 // the RAF stores objects in the same order, so the page ids form
@@ -16,31 +24,56 @@ namespace {
 class JoinLeafScan {
  public:
   JoinLeafScan(SpbTree* tree, const Snapshot& snap, Readahead* ra)
-      : cur_(&tree->btree(), TreeVersion{snap.version().root,
+      : tree_(tree),
+        model_(tree->LocatorForSnapshot(snap)),
+        cur_(&tree->btree(), TreeVersion{snap.version().root,
                                          snap.version().height,
                                          snap.version().num_entries}),
         ra_(ra) {}
 
   Status Init() {
+    if (model_ != nullptr) return LoadLeaf();
     SPB_RETURN_IF_ERROR(cur_.SeekFirst());
-    if (cur_.valid()) ScheduleLeaf();
+    if (cur_.valid()) ScheduleLeaf(cur_.leaf());
     return Status::OK();
   }
 
-  bool done() const { return !cur_.valid(); }
-  const LeafEntry& current() const { return cur_.entry(); }
+  bool done() const {
+    return model_ != nullptr ? !leaf_valid_ : !cur_.valid();
+  }
+  const LeafEntry& current() const {
+    return model_ != nullptr ? h_->node.leaf_entries[pos_] : cur_.entry();
+  }
 
   Status Next() {
+    if (model_ != nullptr) {
+      if (++pos_ < h_->node.leaf_entries.size()) return Status::OK();
+      ++rank_;
+      return LoadLeaf();
+    }
     const PageId before = cur_.leaf().id;
     SPB_RETURN_IF_ERROR(cur_.Next());
-    if (cur_.valid() && cur_.leaf().id != before) ScheduleLeaf();
+    if (cur_.valid() && cur_.leaf().id != before) ScheduleLeaf(cur_.leaf());
     return Status::OK();
   }
 
  private:
-  void ScheduleLeaf() {
+  // Directory mode: fetch the leaf at rank_ (every directory leaf is
+  // non-empty by construction). Leaf reads stay counted — only the inner
+  // descent differs from cursor mode.
+  Status LoadLeaf() {
+    leaf_valid_ = false;
+    pos_ = 0;
+    if (rank_ >= model_->num_leaves()) return Status::OK();
+    SPB_RETURN_IF_ERROR(
+        tree_->btree().GetNode(model_->leaf_id(rank_), &scratch_, &h_));
+    leaf_valid_ = true;
+    ScheduleLeaf(h_->node);
+    return Status::OK();
+  }
+
+  void ScheduleLeaf(const BptNode& leaf) {
     if (ra_ == nullptr) return;
-    const BptNode& leaf = cur_.leaf();
     pages_.clear();
     pages_.reserve(leaf.leaf_entries.size() * 2);
     for (const LeafEntry& e : leaf.leaf_entries) {
@@ -51,9 +84,17 @@ class JoinLeafScan {
     ra_->Schedule(pages_);
   }
 
+  SpbTree* tree_;
+  std::shared_ptr<const LeafModel> model_;
   BPlusTree::LeafCursor cur_;
   Readahead* ra_;
   std::vector<PageId> pages_;
+  // Directory-mode state.
+  size_t rank_ = 0;
+  size_t pos_ = 0;
+  bool leaf_valid_ = false;
+  DecodedNode scratch_;
+  NodeHandle h_;
 };
 
 // A visited object kept in one of SJA's two lists.

@@ -1,0 +1,415 @@
+// Learned leaf-locator + cost-model planner tests (bptree/leaf_model.h,
+// core/spb_tree.h §"Learned leaf locator"): SeekRank exactness as a
+// property over the real directory, byte-identity of locator-on queries
+// against the classic descent (results AND compdists, with strictly fewer
+// B+-tree node touches), stale-model fallback under COW churn (flat and
+// S=4 sharded), planner routing identity (planner-on results equal both
+// static traversals; compdists equal one of them), and planner-EMA
+// persistence across Save/Open. tools/check.sh also runs this binary under
+// ThreadSanitizer and AddressSanitizer (--learned stage).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <random>
+#include <vector>
+
+#include "bptree/leaf_model.h"
+#include "core/sharded_spb_tree.h"
+#include "core/spb_tree.h"
+#include "data/datasets.h"
+
+namespace spb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<ObjectId> SortedIds(std::vector<ObjectId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+SpbTreeOptions BaseOptions() {
+  SpbTreeOptions opts;
+  opts.num_pivots = 4;
+  opts.seed = 77;
+  return opts;
+}
+
+SpbTreeOptions LocatorOptions(size_t epsilon = 16) {
+  SpbTreeOptions opts = BaseOptions();
+  opts.enable_learned_locator = true;
+  opts.locator_epsilon = epsilon;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// LeafModel property tests: the rank SeekRank returns must equal the
+// lower_bound over the directory's max keys for *any* key, at any ε —
+// including ε=0, where the PLA window is smallest and misses (full binary
+// search fallback) are most likely. Exactness must hold either way.
+TEST(LeafModelTest, SeekRankIsExactForAnyKeyAtAnyEpsilon) {
+  Dataset ds = MakeSynthetic(3000, 41);
+  for (size_t epsilon : {size_t{0}, size_t{4}, size_t{64}}) {
+    SpbTreeOptions opts = LocatorOptions(epsilon);
+    std::unique_ptr<SpbTree> tree;
+    ASSERT_TRUE(SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok());
+    const Snapshot snap = tree->AcquireSnapshot();
+    const std::shared_ptr<const LeafModel> model =
+        tree->LocatorForSnapshot(snap);
+    ASSERT_NE(model, nullptr) << "eps=" << epsilon;
+    EXPECT_EQ(model->epsilon(), epsilon);
+    EXPECT_EQ(model->epoch(), snap.epoch());
+    ASSERT_GT(model->num_leaves(), 1u);
+
+    // Directory invariants: per-leaf min <= max, max keys nondecreasing.
+    std::vector<uint64_t> max_keys;
+    for (size_t i = 0; i < model->num_leaves(); ++i) {
+      EXPECT_LE(model->min_key(i), model->max_key(i));
+      if (i > 0) {
+        EXPECT_GE(model->max_key(i), model->max_key(i - 1));
+      }
+      max_keys.push_back(model->max_key(i));
+    }
+
+    auto truth = [&](uint64_t key) {
+      return size_t(std::lower_bound(max_keys.begin(), max_keys.end(), key) -
+                    max_keys.begin());
+    };
+
+    // Every directory boundary key, its neighbours, and a swept range of
+    // arbitrary keys (uniform over the key range plus far beyond it).
+    size_t pla_misses = 0;
+    auto check = [&](uint64_t key) {
+      bool miss = false;
+      EXPECT_EQ(model->SeekRank(key, &miss), truth(key))
+          << "eps=" << epsilon << " key=" << key;
+      if (miss) ++pla_misses;
+    };
+    for (size_t i = 0; i < model->num_leaves(); ++i) {
+      check(model->min_key(i));
+      check(model->max_key(i));
+      if (model->max_key(i) > 0) check(model->max_key(i) - 1);
+      check(model->max_key(i) + 1);
+    }
+    std::mt19937_64 rng(123);
+    const uint64_t top = max_keys.back();
+    for (int i = 0; i < 2000; ++i) {
+      check(rng() % (top + top / 2 + 1));
+    }
+    check(top + 1);  // past every leaf: rank == num_leaves()
+    EXPECT_EQ(model->SeekRank(top + 1), model->num_leaves());
+    // A PLA miss is legal (it degrades to binary search, verified exact
+    // above); with ε=64 on this tree the cone should hold everywhere.
+    if (epsilon == 64 && model->pla_ok()) {
+      EXPECT_EQ(pla_misses, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity: the locator changes *where decoded inner nodes come from*,
+// never which entries are visited. Results and compdists must match the
+// classic tree exactly, query by query, while the B+-tree's total node
+// touches (reads + cache hits) drop.
+class LocatorIdentityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = MakeSynthetic(2500, 19);
+    ASSERT_TRUE(
+        SpbTree::Build(ds_.objects, ds_.metric.get(), BaseOptions(), &classic_)
+            .ok());
+    ASSERT_TRUE(
+        SpbTree::Build(ds_.objects, ds_.metric.get(), LocatorOptions(),
+                       &learned_)
+            .ok());
+  }
+
+  Dataset ds_;
+  std::unique_ptr<SpbTree> classic_, learned_;
+};
+
+TEST_F(LocatorIdentityTest, QueriesAreByteIdenticalWithFewerNodeTouches) {
+  classic_->ResetCounters();
+  learned_->ResetCounters();
+  for (size_t qi = 0; qi < 20; ++qi) {
+    const Blob& q = ds_.objects[qi * 37 % ds_.objects.size()];
+    QueryStats a, b;
+    // Point lookups (r=0, the locator's fast path) and real radii.
+    for (double r : {0.0, 0.1, 0.35}) {
+      std::vector<ObjectId> ra, rb;
+      ASSERT_TRUE(classic_->RangeQuery(q, r, &ra, &a).ok());
+      ASSERT_TRUE(learned_->RangeQuery(q, r, &rb, &b).ok());
+      EXPECT_EQ(SortedIds(ra), SortedIds(rb)) << "qi=" << qi << " r=" << r;
+      EXPECT_EQ(a.distance_computations, b.distance_computations)
+          << "qi=" << qi << " r=" << r;
+    }
+    for (KnnTraversal t : {KnnTraversal::kIncremental, KnnTraversal::kGreedy}) {
+      std::vector<Neighbor> na, nb;
+      ASSERT_TRUE(classic_->KnnQuery(q, 7, &na, &a, t).ok());
+      ASSERT_TRUE(learned_->KnnQuery(q, 7, &nb, &b, t).ok());
+      EXPECT_EQ(na, nb) << "qi=" << qi;
+      EXPECT_EQ(a.distance_computations, b.distance_computations) << "qi=" << qi;
+    }
+  }
+  // The learned tree's queries ran entirely from the model (no classic
+  // fallbacks) and touched strictly fewer B+-tree nodes.
+  const LocatorStats ls = learned_->locator_stats();
+  EXPECT_TRUE(ls.model_present);
+  EXPECT_GT(ls.hits, 0u);
+  EXPECT_EQ(ls.fallbacks, 0u);
+  EXPECT_EQ(ls.stale, 0u);
+  const IoStats ca = classic_->io_stats();
+  const IoStats cb = learned_->io_stats();
+  EXPECT_LT(cb.page_reads.load() + cb.cache_hits.load(),
+            ca.page_reads.load() + ca.cache_hits.load());
+}
+
+// ---------------------------------------------------------------------------
+// COW churn: every write invalidates the writer's model copy; snapshots
+// published after the write must never consult the stale model (epoch
+// mismatch → counted fallback to classic descent), and results must stay
+// identical to an unindexed-by-model tree throughout. After enough churn
+// the tree re-trains and fresh queries hit the model again.
+TEST(LocatorChurnTest, StaleModelIsNeverConsultedAndRebuilds) {
+  Dataset ds = MakeSynthetic(1200, 29);
+  Dataset extra = MakeSynthetic(100, 5150);
+  std::unique_ptr<SpbTree> classic, learned;
+  ASSERT_TRUE(
+      SpbTree::Build(ds.objects, ds.metric.get(), BaseOptions(), &classic)
+          .ok());
+  ASSERT_TRUE(
+      SpbTree::Build(ds.objects, ds.metric.get(), LocatorOptions(), &learned)
+          .ok());
+  const uint64_t rebuilds_at_build = learned->locator_stats().rebuilds;
+
+  // Interleave writes with queries. The first write invalidates; the next
+  // queries must fall back (stale) yet return identical results.
+  for (size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(classic->Insert(extra.objects[i], ObjectId(20000 + i)).ok());
+    ASSERT_TRUE(learned->Insert(extra.objects[i], ObjectId(20000 + i)).ok());
+    const Blob& q = ds.objects[(i * 131) % ds.objects.size()];
+    std::vector<ObjectId> ra, rb;
+    QueryStats a, b;
+    ASSERT_TRUE(classic->RangeQuery(q, 0.25, &ra, &a).ok());
+    ASSERT_TRUE(learned->RangeQuery(q, 0.25, &rb, &b).ok());
+    EXPECT_EQ(SortedIds(ra), SortedIds(rb)) << "i=" << i;
+    EXPECT_EQ(a.distance_computations, b.distance_computations) << "i=" << i;
+    std::vector<Neighbor> na, nb;
+    ASSERT_TRUE(classic->KnnQuery(q, 5, &na, &a).ok());
+    ASSERT_TRUE(learned->KnnQuery(q, 5, &nb, &b).ok());
+    EXPECT_EQ(na, nb) << "i=" << i;
+  }
+  const LocatorStats mid = learned->locator_stats();
+  EXPECT_GT(mid.stale, 0u) << "churn queries must have seen a stale model";
+  EXPECT_GT(mid.fallbacks, 0u);
+
+  // Deletes count as churn too.
+  bool found = false;
+  ASSERT_TRUE(classic->Delete(ds.objects[3], ObjectId(3), &found).ok());
+  ASSERT_TRUE(found);
+  ASSERT_TRUE(learned->Delete(ds.objects[3], ObjectId(3), &found).ok());
+  ASSERT_TRUE(found);
+
+  // Land exactly on the refresh threshold (8 inserts + 1 delete so far, 55
+  // more writes = 64 stale writes): the last write re-trains the model, so
+  // fresh snapshots hit it again (hits grow, stale stops growing).
+  for (size_t i = 8; i < 63; ++i) {
+    ASSERT_TRUE(classic->Insert(extra.objects[i], ObjectId(20000 + i)).ok());
+    ASSERT_TRUE(learned->Insert(extra.objects[i], ObjectId(20000 + i)).ok());
+  }
+  const LocatorStats late = learned->locator_stats();
+  EXPECT_GT(late.rebuilds, rebuilds_at_build);
+  const uint64_t stale_before = late.stale, hits_before = late.hits;
+  for (size_t qi = 0; qi < 10; ++qi) {
+    const Blob& q = ds.objects[(qi * 211) % ds.objects.size()];
+    std::vector<ObjectId> ra, rb;
+    ASSERT_TRUE(classic->RangeQuery(q, 0.25, &ra).ok());
+    ASSERT_TRUE(learned->RangeQuery(q, 0.25, &rb).ok());
+    EXPECT_EQ(SortedIds(ra), SortedIds(rb));
+  }
+  const LocatorStats fresh = learned->locator_stats();
+  EXPECT_EQ(fresh.stale, stale_before);
+  EXPECT_GT(fresh.hits, hits_before);
+  EXPECT_TRUE(learned->CheckIntegrity().ok());
+}
+
+// Same churn discipline through the sharded router (S=4): per-shard models
+// invalidate independently; results stay identical to a classic flat tree.
+TEST(LocatorChurnTest, ShardedChurnStaysIdenticalToClassic) {
+  Dataset ds = MakeSynthetic(1000, 47);
+  Dataset extra = MakeSynthetic(40, 909);
+  std::unique_ptr<SpbTree> classic;
+  ASSERT_TRUE(
+      SpbTree::Build(ds.objects, ds.metric.get(), BaseOptions(), &classic)
+          .ok());
+  SpbTreeOptions opts = LocatorOptions();
+  opts.num_shards = 4;
+  std::unique_ptr<ShardedSpbTree> sharded;
+  ASSERT_TRUE(
+      ShardedSpbTree::Build(ds.objects, ds.metric.get(), opts, &sharded).ok());
+  const LocatorStats built = sharded->locator_stats();
+  EXPECT_TRUE(built.model_present);
+  EXPECT_GE(built.rebuilds, 4u);  // one per non-empty shard
+
+  for (size_t i = 0; i < extra.objects.size(); ++i) {
+    ASSERT_TRUE(classic->Insert(extra.objects[i], ObjectId(30000 + i)).ok());
+    ASSERT_TRUE(sharded->Insert(extra.objects[i], ObjectId(30000 + i)).ok());
+    if (i % 5 != 0) continue;
+    const Blob& q = ds.objects[(i * 73) % ds.objects.size()];
+    std::vector<ObjectId> ra, rb;
+    ASSERT_TRUE(classic->RangeQuery(q, 0.3, &ra).ok());
+    ASSERT_TRUE(sharded->RangeQuery(q, 0.3, &rb).ok());
+    EXPECT_EQ(SortedIds(ra), SortedIds(rb)) << "i=" << i;
+    std::vector<Neighbor> na, nb;
+    ASSERT_TRUE(classic->KnnQuery(q, 6, &na).ok());
+    ASSERT_TRUE(sharded->KnnQuery(q, 6, &nb).ok());
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t j = 0; j < na.size(); ++j) {
+      EXPECT_DOUBLE_EQ(na[j].distance, nb[j].distance) << "i=" << i;
+    }
+  }
+  EXPECT_TRUE(sharded->CheckIntegrity().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Planner routing identity: whatever the planner picks, results must equal
+// both static traversals' results, and compdists must equal one of the two
+// (the one the plan resolved to) — routing is a pure either/or, never a
+// third behaviour.
+TEST(PlannerTest, RoutedKnnMatchesOneOfTheStaticConfigs) {
+  Dataset ds = MakeSynthetic(2000, 61);
+  SpbTreeOptions opts = BaseOptions();
+  opts.enable_planner = true;
+  std::unique_ptr<SpbTree> planned, static_tree;
+  ASSERT_TRUE(SpbTree::Build(ds.objects, ds.metric.get(), opts, &planned).ok());
+  ASSERT_TRUE(
+      SpbTree::Build(ds.objects, ds.metric.get(), BaseOptions(), &static_tree)
+          .ok());
+
+  size_t greedy_like = 0, incremental_like = 0;
+  for (size_t qi = 0; qi < 25; ++qi) {
+    const Blob& q = ds.objects[(qi * 83) % ds.objects.size()];
+    for (size_t k : {size_t{3}, size_t{15}}) {
+      QueryStats si, sg, sp;
+      std::vector<Neighbor> ni, ng, np;
+      ASSERT_TRUE(static_tree
+                      ->KnnQuery(q, k, &ni, &si, KnnTraversal::kIncremental)
+                      .ok());
+      ASSERT_TRUE(
+          static_tree->KnnQuery(q, k, &ng, &sg, KnnTraversal::kGreedy).ok());
+      // 3-arg overload → kAuto → the planner routes.
+      ASSERT_TRUE(planned->KnnQuery(q, k, &np, &sp).ok());
+      EXPECT_EQ(np, ni) << "qi=" << qi << " k=" << k;
+      EXPECT_EQ(np, ng) << "qi=" << qi << " k=" << k;
+      const bool matches_incremental =
+          sp.distance_computations == si.distance_computations;
+      const bool matches_greedy =
+          sp.distance_computations == sg.distance_computations;
+      EXPECT_TRUE(matches_incremental || matches_greedy)
+          << "qi=" << qi << " k=" << k << " planned="
+          << sp.distance_computations << " inc=" << si.distance_computations
+          << " greedy=" << sg.distance_computations;
+      if (matches_greedy && !matches_incremental) ++greedy_like;
+      if (matches_incremental) ++incremental_like;
+    }
+  }
+  const PlannerStats ps = planned->planner_stats();
+  EXPECT_EQ(ps.planned_knn, 50u);
+  EXPECT_EQ(ps.routed_greedy + ps.routed_incremental, ps.planned_knn);
+  // Feedback ran: the EMA moved off its 1.0 prior (any workload this size
+  // has nonzero prediction error) and drift stays |log(calibration)|.
+  EXPECT_NE(ps.calibration, 1.0);
+  EXPECT_NEAR(ps.drift, std::abs(std::log(ps.calibration)), 1e-12);
+}
+
+// Planner-on range queries return the classic results (the planner only
+// shapes cutoff/readahead on the range path — never the visit set).
+TEST(PlannerTest, PlannedRangeQueriesMatchClassicResults) {
+  Dataset ds = MakeSynthetic(1500, 71);
+  SpbTreeOptions opts = BaseOptions();
+  opts.enable_planner = true;
+  std::unique_ptr<SpbTree> planned, classic;
+  ASSERT_TRUE(SpbTree::Build(ds.objects, ds.metric.get(), opts, &planned).ok());
+  ASSERT_TRUE(
+      SpbTree::Build(ds.objects, ds.metric.get(), BaseOptions(), &classic)
+          .ok());
+  for (size_t qi = 0; qi < 20; ++qi) {
+    const Blob& q = ds.objects[(qi * 101) % ds.objects.size()];
+    for (double r : {0.0, 0.15, 0.4}) {
+      std::vector<ObjectId> ra, rb;
+      ASSERT_TRUE(classic->RangeQuery(q, r, &ra).ok());
+      ASSERT_TRUE(planned->RangeQuery(q, r, &rb).ok());
+      EXPECT_EQ(SortedIds(ra), SortedIds(rb)) << "qi=" << qi << " r=" << r;
+    }
+  }
+  EXPECT_GT(planned->planner_stats().planned_range, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The planner's calibration EMA survives Save/Open (persisted in meta);
+// pre-existing behaviour — tuning toggles — rebuild/drop the model live.
+TEST(PlannerTest, CalibrationEmaSurvivesSaveOpen) {
+  const std::string dir =
+      (fs::temp_directory_path() / "spb_learned_test").string();
+  fs::remove_all(dir);
+  Dataset ds = MakeSynthetic(800, 13);
+  SpbTreeOptions opts = LocatorOptions();
+  opts.enable_planner = true;
+  opts.storage_dir = dir;
+  std::unique_ptr<SpbTree> tree;
+  ASSERT_TRUE(SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok());
+  std::vector<Neighbor> nn;
+  std::vector<ObjectId> ids;
+  for (size_t qi = 0; qi < 15; ++qi) {
+    ASSERT_TRUE(tree->KnnQuery(ds.objects[qi], 5, &nn).ok());
+    ASSERT_TRUE(tree->RangeQuery(ds.objects[qi], 0.2, &ids).ok());
+  }
+  const double ema = tree->planner_stats().calibration;
+  EXPECT_NE(ema, 1.0);
+  ASSERT_TRUE(tree->Save().ok());
+  tree.reset();
+
+  std::unique_ptr<SpbTree> reopened;
+  ASSERT_TRUE(SpbTree::Open(dir, ds.metric.get(), opts, &reopened).ok());
+  EXPECT_DOUBLE_EQ(reopened->planner_stats().calibration, ema);
+  // Open rebuilt the locator for the restored version.
+  EXPECT_TRUE(reopened->locator_stats().model_present);
+  ASSERT_TRUE(reopened->RangeQuery(ds.objects[0], 0.0, &ids).ok());
+  EXPECT_TRUE(std::find(ids.begin(), ids.end(), ObjectId(0)) != ids.end());
+  fs::remove_all(dir);
+}
+
+// ApplyTuning toggles the locator live: off drops the model (queries fall
+// back), on re-trains it at the requested ε.
+TEST(LocatorTuningTest, ToggleDropsAndRetrainsModel) {
+  Dataset ds = MakeSynthetic(600, 83);
+  std::unique_ptr<SpbTree> tree;
+  ASSERT_TRUE(
+      SpbTree::Build(ds.objects, ds.metric.get(), LocatorOptions(8), &tree)
+          .ok());
+  EXPECT_TRUE(tree->locator_stats().model_present);
+  EXPECT_EQ(tree->locator_stats().epsilon, 8u);
+
+  TuningOptions t = tree->tuning();
+  EXPECT_TRUE(t.enable_learned_locator);
+  t.enable_learned_locator = false;
+  ASSERT_TRUE(tree->ApplyTuning(t).ok());
+  EXPECT_FALSE(tree->locator_stats().model_present);
+  std::vector<ObjectId> ids;
+  ASSERT_TRUE(tree->RangeQuery(ds.objects[1], 0.0, &ids).ok());
+  EXPECT_TRUE(std::find(ids.begin(), ids.end(), ObjectId(1)) != ids.end());
+
+  t.enable_learned_locator = true;
+  t.locator_epsilon = 2;
+  ASSERT_TRUE(tree->ApplyTuning(t).ok());
+  const LocatorStats back = tree->locator_stats();
+  EXPECT_TRUE(back.model_present);
+  EXPECT_EQ(back.epsilon, 2u);
+  ASSERT_TRUE(tree->RangeQuery(ds.objects[1], 0.0, &ids).ok());
+  EXPECT_TRUE(std::find(ids.begin(), ids.end(), ObjectId(1)) != ids.end());
+}
+
+}  // namespace
+}  // namespace spb

@@ -19,6 +19,7 @@
 #   tools/check.sh --sharded  # only the sharded-tree stage (TSan+ASan)
 #   tools/check.sh --wal      # only the write-path engine stage (TSan+ASan)
 #   tools/check.sh --fanout   # only the fan-out/contention stage (TSan+ASan)
+#   tools/check.sh --learned  # only the learned locator/planner stage (TSan+ASan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -145,6 +146,27 @@ run_fanout() {
   (cd build-asan && ./bench/bench_concurrency --fanout-only --scale=1200 --queries=12)
 }
 
+run_learned() {
+  # The learned-layer stage: leaf-locator property tests (SeekRank exactness
+  # at any epsilon, COW-churn invalidation and threshold rebuild) and the
+  # planner identity tests, plus the bench's 2x2 locator x planner identity
+  # sweep. TSan covers the model swap under MaybeRefreshLocatorLocked racing
+  # readers that hold the previous shared_ptr, and the planner's cost_mu_
+  # feedback path racing concurrent queries; ASan covers the borrowed
+  # internal-node image lifetimes (NodeHandle::SetBorrowed must never
+  # outlive the model that owns the DecodedNode).
+  echo "==> learned: locator/planner tests under TSan"
+  cmake -B build-tsan -S . -DSPB_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target learned_test bench_learned
+  ./build-tsan/tests/learned_test
+  (cd build-tsan && ./bench/bench_learned --identity-only --scale=2000 --queries=20)
+  echo "==> learned: locator/planner tests under ASan"
+  cmake -B build-asan -S . -DSPB_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target learned_test bench_learned
+  ./build-asan/tests/learned_test
+  (cd build-asan && ./bench/bench_learned --identity-only --scale=2000 --queries=20)
+}
+
 run_iouring() {
   echo "==> iouring: -DSPB_IOURING=ON must build (falls back to pread"
   echo "    with a warning when liburing is absent)"
@@ -162,6 +184,7 @@ case "${1:-}" in
   --sharded) run_sharded ;;
   --wal) run_wal ;;
   --fanout) run_fanout ;;
+  --learned) run_learned ;;
   *)
     run_tier1
     run_tsan
@@ -171,6 +194,7 @@ case "${1:-}" in
     run_sharded
     run_wal
     run_fanout
+    run_learned
     run_iouring
     ;;
 esac

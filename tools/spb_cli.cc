@@ -12,6 +12,10 @@
 // index instead; knn/range/stats detect the sharded layout on open (the
 // shards.spb manifest), so querying needs no extra flag.
 //
+// `--learned` turns on the learned leaf locator and the cost-model query
+// planner (build or open); `stats` then reports the locator/planner
+// counter lines (docs/OPERATIONS.md §"Reading locator/planner counters").
+//
 // Input formats:
 //   --metric=edit      one word per line (edit distance)
 //   --metric=l2|l5     whitespace-separated floats per line (vectors)
@@ -50,6 +54,7 @@ struct Args {
   size_t repeat = 1;
   bool cold = false;
   bool no_prefetch = false;
+  bool learned = false;  // learned leaf locator + cost-model planner
 };
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -86,6 +91,8 @@ bool Parse(int argc, char** argv, Args* args) {
       args->cold = true;
     } else if (arg == "--no-prefetch") {
       args->no_prefetch = true;
+    } else if (arg == "--learned") {
+      args->learned = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -141,6 +148,8 @@ int Build(const Args& args, const DistanceFunction* metric) {
   SpbTreeOptions options;
   options.storage_dir = args.dir;
   options.num_pivots = args.pivots;
+  options.enable_learned_locator = args.learned;
+  options.enable_planner = args.learned;
 
   auto report = [&](const auto& index) {
     const QueryStats cost = index.cumulative_stats();
@@ -228,6 +237,44 @@ void PrintContentionStats() {
                 (unsigned long long)l.contended, l.wait_ns / 1e6,
                 worst >= 0 ? ", worst bucket us 2^" : "",
                 worst >= 0 ? std::to_string(worst).c_str() : "");
+  }
+}
+
+// Learned-layer counters (docs/OPERATIONS.md §"Reading locator/planner
+// counters"); both layouts expose the same stats surface, the sharded one
+// aggregated across shards. The locator line is omitted when the knob is
+// off and no model was ever built.
+template <typename Index>
+void PrintLearnedStats(const Index& index) {
+  const LocatorStats ls = index.locator_stats();
+  const TuningOptions tn = index.tuning();
+  if (tn.enable_learned_locator || ls.model_present) {
+    std::printf("locator: %s, %llu leaves / %llu segments (eps=%llu, "
+                "pla_ok=%d), %llu internal nodes imaged\n",
+                ls.model_present ? "model present" : "no model",
+                (unsigned long long)ls.leaves,
+                (unsigned long long)ls.segments,
+                (unsigned long long)ls.epsilon, int(ls.pla_ok),
+                (unsigned long long)ls.internal_nodes);
+    std::printf("locator counters: %llu hits, %llu fallbacks, %llu stale, "
+                "%llu seek misses, %llu rebuilds\n",
+                (unsigned long long)ls.hits,
+                (unsigned long long)ls.fallbacks,
+                (unsigned long long)ls.stale,
+                (unsigned long long)ls.seek_misses,
+                (unsigned long long)ls.rebuilds);
+  }
+  if (tn.enable_planner) {
+    const PlannerStats ps = index.planner_stats();
+    std::printf("planner: %llu range / %llu knn planned; routed %llu greedy "
+                "/ %llu incremental, cutoff off on %llu\n",
+                (unsigned long long)ps.planned_range,
+                (unsigned long long)ps.planned_knn,
+                (unsigned long long)ps.routed_greedy,
+                (unsigned long long)ps.routed_incremental,
+                (unsigned long long)ps.cutoff_disabled);
+    std::printf("planner calibration: %.4f (drift %.4f)\n", ps.calibration,
+                ps.drift);
   }
 }
 
@@ -326,6 +373,8 @@ int RunQuery(const Args& args, Index* index) {
 
 int Query(const Args& args, const DistanceFunction* metric) {
   SpbTreeOptions options;
+  options.enable_learned_locator = args.learned;
+  options.enable_planner = args.learned;
   // The on-disk layout picks the engine: a shards.spb manifest means the
   // directory holds an SFC-range-sharded index.
   if (ShardedSpbTree::IsShardedDir(args.dir)) {
@@ -345,6 +394,7 @@ int Query(const Args& args, const DistanceFunction* metric) {
                   (unsigned long long)io.dead_bytes.load(
                       std::memory_order_relaxed));
       if (options.enable_wal) PrintWalStats(index->wal_stats(), "");
+      PrintLearnedStats(*index);
       PrintContentionStats();
       for (size_t sh = 0; sh < index->num_shards(); ++sh) {
         std::printf("  shard %zu: %llu objects, %.1f KB, %llu dead bytes\n",
@@ -374,6 +424,7 @@ int Query(const Args& args, const DistanceFunction* metric) {
     std::printf("dead bytes: %llu (lazy deletes awaiting compaction)\n",
                 (unsigned long long)index->raf().dead_bytes());
     if (options.enable_wal) PrintWalStats(index->wal_stats(), "");
+    PrintLearnedStats(*index);
     PrintContentionStats();
     return 0;
   }
@@ -389,7 +440,7 @@ int Main(int argc, char** argv) {
         "[--metric=edit|"
         "l2|l5|hamming|dna] [--input=FILE] [--query=Q] [--r=R] [--k=K] "
         "[--dim=D] [--pivots=P] [--shards=S] [--repeat=N] [--cold] "
-        "[--no-prefetch]\n");
+        "[--no-prefetch] [--learned]\n");
     return 2;
   }
   auto metric = MakeMetric(args);
