@@ -467,7 +467,7 @@ void RunEngineAb(const BenchConfig& config, const Dataset& ds,
 
 // The update engine's throughput claim: a 90/10 read/write mix (sized in
 // blocks of 20 ops: 9 range + 9 kNN + 1 insert + 1 delete) runs through
-// RunMixedBatch at the same thread counts as the read-only warm sweep, on a
+// Submit at the same thread counts as the read-only warm sweep, on a
 // warm tree, with writers serialized by the executor and queries pinning
 // snapshots. Each batch inserts fresh ids and deletes the ids the previous
 // batch inserted, so the tree's cardinality is steady across the sweep and
@@ -495,32 +495,32 @@ void RunMixedSweep(const BenchConfig& config, const Dataset& ds,
   // Ids inserted by the previous batch; the next batch deletes them.
   std::vector<ObjectId> prev_ids;
   ObjectId next_id = ObjectId(ds.objects.size());
-  auto make_batch = [&](std::vector<MixedOp>* ops) {
+  auto make_batch = [&](std::vector<Request>* ops) {
     ops->clear();
     std::vector<ObjectId> new_ids;
     for (size_t b = 0; b < blocks; ++b) {
       for (size_t j = 0; j < 9; ++j) {
-        MixedOp op;
-        op.kind = MixedOp::Kind::kRange;
+        Request op;
+        op.kind = Request::Kind::kRange;
         op.obj = queries[(b + j) % queries.size()];
         op.radius = r;
         ops->push_back(std::move(op));
       }
       for (size_t j = 0; j < 9; ++j) {
-        MixedOp op;
-        op.kind = MixedOp::Kind::kKnn;
+        Request op;
+        op.kind = Request::Kind::kKnn;
         op.obj = queries[(b + j + 3) % queries.size()];
         op.k = k;
         ops->push_back(std::move(op));
       }
-      MixedOp ins;
-      ins.kind = MixedOp::Kind::kInsert;
+      Request ins;
+      ins.kind = Request::Kind::kInsert;
       ins.obj = ds.objects[b % ds.objects.size()];
       ins.id = next_id++;
       new_ids.push_back(ins.id);
       ops->push_back(std::move(ins));
-      MixedOp del;
-      del.kind = MixedOp::Kind::kDelete;
+      Request del;
+      del.kind = Request::Kind::kDelete;
       if (prev_ids.empty()) {
         // First batch: nothing to delete yet; delete the id this batch
         // inserts (the executor's write serialization publishes the insert
@@ -560,18 +560,19 @@ void RunMixedSweep(const BenchConfig& config, const Dataset& ds,
       std::abort();
     }
 
-    std::vector<MixedOp> ops;
+    std::vector<Request> ops;
     make_batch(&ops);
-    std::vector<MixedResult> results;
-    BatchStats stats;
-    if (!exec.RunMixedBatch(ops, &results, &stats).ok()) {
+    BatchResult batch = exec.Submit(ops);
+    if (!batch.first_error.ok()) {
       std::printf("FAIL: mixed batch reported an error at T=%zu\n", threads);
       std::abort();
     }
+    const std::vector<OpResult>& results = batch.results;
+    const BatchStats& stats = batch.stats;
     size_t deletes_found = 0, deletes = 0;
     for (size_t i = 0; i < ops.size(); ++i) {
       if (!results[i].status.ok()) std::abort();
-      if (ops[i].kind == MixedOp::Kind::kDelete) {
+      if (ops[i].kind == Request::Kind::kDelete) {
         ++deletes;
         deletes_found += results[i].found ? 1 : 0;
       }
@@ -747,45 +748,44 @@ void RunShardSweep(const BenchConfig& config, const Dataset& ds,
     // Mixed 90/10 batch (blocks of 20: 9 range, 9 kNN, 1 insert, 1 delete;
     // deletes target distinct dataset ids — always present on this fresh
     // tree).
-    std::vector<MixedOp> ops;
+    std::vector<Request> ops;
     ObjectId next_id = ObjectId(ds.objects.size());
     for (size_t b = 0; b < blocks; ++b) {
       for (size_t j = 0; j < 9; ++j) {
-        MixedOp op;
-        op.kind = MixedOp::Kind::kRange;
+        Request op;
+        op.kind = Request::Kind::kRange;
         op.obj = queries[(b + j) % n];
         op.radius = r;
         ops.push_back(std::move(op));
       }
       for (size_t j = 0; j < 9; ++j) {
-        MixedOp op;
-        op.kind = MixedOp::Kind::kKnn;
+        Request op;
+        op.kind = Request::Kind::kKnn;
         op.obj = queries[(b + j + 3) % n];
         op.k = k;
         ops.push_back(std::move(op));
       }
-      MixedOp ins;
-      ins.kind = MixedOp::Kind::kInsert;
+      Request ins;
+      ins.kind = Request::Kind::kInsert;
       ins.obj = ds.objects[b % ds.objects.size()];
       ins.id = next_id++;
       ops.push_back(std::move(ins));
-      MixedOp del;
-      del.kind = MixedOp::Kind::kDelete;
+      Request del;
+      del.kind = Request::Kind::kDelete;
       del.obj = ds.objects[b];
       del.id = ObjectId(b);
       ops.push_back(std::move(del));
     }
-    std::vector<MixedResult> mresults;
-    BatchStats mstats;
-    if (!exec.RunMixedBatch(ops, &mresults, &mstats).ok()) std::abort();
+    BatchResult mixed = exec.Submit(ops);
+    if (!mixed.first_error.ok()) std::abort();
     for (size_t i = 0; i < ops.size(); ++i) {
-      if (!mresults[i].status.ok()) std::abort();
-      if (ops[i].kind == MixedOp::Kind::kDelete && !mresults[i].found) {
+      if (!mixed.results[i].status.ok()) std::abort();
+      if (ops[i].kind == Request::Kind::kDelete && !mixed.results[i].found) {
         std::printf("FAIL: delete missed its target at S=%zu\n", S);
         std::abort();
       }
     }
-    const double mixed_qps = mstats.qps;
+    const double mixed_qps = mixed.stats.qps;
     // 2 writes per 20-op block; write ops/s inside the mixed batch.
     const double write_ops_s = mixed_qps * 2.0 / 20.0;
 
@@ -793,15 +793,15 @@ void RunShardSweep(const BenchConfig& config, const Dataset& ds,
     // per-shard win here is structural — shallower COW spines — not
     // parallelism (writes still serialize on one core).
     const size_t n_inserts = 512;
-    std::vector<MixedOp> ins_ops(n_inserts);
+    std::vector<Request> ins_ops(n_inserts);
     for (size_t i = 0; i < n_inserts; ++i) {
-      ins_ops[i].kind = MixedOp::Kind::kInsert;
+      ins_ops[i].kind = Request::Kind::kInsert;
       ins_ops[i].obj = ds.objects[(7 * i) % ds.objects.size()];
       ins_ops[i].id = next_id++;
     }
-    BatchStats istats;
-    if (!exec.RunMixedBatch(ins_ops, &mresults, &istats).ok()) std::abort();
-    for (const MixedResult& res : mresults) {
+    BatchResult ins_batch = exec.Submit(ins_ops);
+    if (!ins_batch.first_error.ok()) std::abort();
+    for (const OpResult& res : ins_batch.results) {
       if (!res.status.ok()) std::abort();
     }
     if (!tree->CheckIntegrity().ok()) {
@@ -815,16 +815,16 @@ void RunShardSweep(const BenchConfig& config, const Dataset& ds,
       sizes += std::to_string(tree->shard(s).size());
     }
     std::printf("S=%-3zu | %8.2f | %9.1f | %9.1f | %10.1f | %10.1f | %s\n", S,
-                build_s, read_qps, mixed_qps, write_ops_s, istats.qps,
+                build_s, read_qps, mixed_qps, write_ops_s, ins_batch.stats.qps,
                 sizes.c_str());
     std::printf(
         "JSON {\"bench\":\"sharded\",\"shards\":%zu,\"build_s\":%.3f,"
         "\"read_qps\":%.1f,\"mixed_qps\":%.1f,\"write_ops_s\":%.1f,"
         "\"insert_qps\":%.1f,\"shard_sizes\":\"%s\"}\n",
-        S, build_s, read_qps, mixed_qps, write_ops_s, istats.qps,
+        S, build_s, read_qps, mixed_qps, write_ops_s, ins_batch.stats.qps,
         sizes.c_str());
     cells.push_back(
-        Cell{S, build_s, read_qps, mixed_qps, write_ops_s, istats.qps, sizes});
+        Cell{S, build_s, read_qps, mixed_qps, write_ops_s, ins_batch.stats.qps, sizes});
   }
   PrintRule(96);
   const Cell& s1 = cells[0];
@@ -919,27 +919,27 @@ WalCell MeasureWalCell(SpbTree* tree, const Dataset& ds,
   if (!tree->Save().ok()) std::abort();
 
   const size_t blocks = queries.size();
-  std::vector<MixedOp> ops;
+  std::vector<Request> ops;
   std::vector<ObjectId> new_ids;
   for (size_t b = 0; b < blocks; ++b) {
-    MixedOp rq;
-    rq.kind = MixedOp::Kind::kRange;
+    Request rq;
+    rq.kind = Request::Kind::kRange;
     rq.obj = queries[b % queries.size()];
     rq.radius = r;
     ops.push_back(std::move(rq));
-    MixedOp kq;
-    kq.kind = MixedOp::Kind::kKnn;
+    Request kq;
+    kq.kind = Request::Kind::kKnn;
     kq.obj = queries[(b + 3) % queries.size()];
     kq.k = k;
     ops.push_back(std::move(kq));
-    MixedOp ins;
-    ins.kind = MixedOp::Kind::kInsert;
+    Request ins;
+    ins.kind = Request::Kind::kInsert;
     ins.obj = ds.objects[b % ds.objects.size()];
     ins.id = (*next_id)++;
     new_ids.push_back(ins.id);
     ops.push_back(std::move(ins));
-    MixedOp del;
-    del.kind = MixedOp::Kind::kDelete;
+    Request del;
+    del.kind = Request::Kind::kDelete;
     if (prev_ids->empty()) {
       del.obj = ds.objects[b];  // dataset ids: present on the fresh tree
       del.id = ObjectId(b);
@@ -952,24 +952,25 @@ WalCell MeasureWalCell(SpbTree* tree, const Dataset& ds,
   *prev_ids = std::move(new_ids);
 
   QueryExecutor exec(tree, threads);
-  const uint64_t fsyncs_before = tree->wal_stats().fsyncs;
-  std::vector<MixedResult> results;
-  BatchStats stats;
-  if (!exec.RunMixedBatch(ops, &results, &stats).ok()) std::abort();
+  const uint64_t fsyncs_before = tree->CollectStats().wal_fsyncs;
+  BatchResult batch = exec.Submit(ops);
+  if (!batch.first_error.ok()) std::abort();
+  const std::vector<OpResult>& results = batch.results;
+  const BatchStats& stats = batch.stats;
   size_t writes = 0;
   for (size_t i = 0; i < ops.size(); ++i) {
     if (!results[i].status.ok()) std::abort();
-    if (ops[i].kind == MixedOp::Kind::kDelete && !results[i].found) {
+    if (ops[i].kind == Request::Kind::kDelete && !results[i].found) {
       std::printf("FAIL: delete missed its target at W=%zu G=%zu\n", threads,
                   group_max);
       std::abort();
     }
-    if (ops[i].kind == MixedOp::Kind::kInsert ||
-        ops[i].kind == MixedOp::Kind::kDelete) {
+    if (ops[i].kind == Request::Kind::kInsert ||
+        ops[i].kind == Request::Kind::kDelete) {
       ++writes;
     }
   }
-  const uint64_t fsyncs = tree->wal_stats().fsyncs - fsyncs_before;
+  const uint64_t fsyncs = tree->CollectStats().wal_fsyncs - fsyncs_before;
 
   WalCell c;
   c.threads = threads;
@@ -1411,38 +1412,37 @@ void RunFanoutSweep(const BenchConfig& config, const Dataset& ds,
     QueryExecutor exec(tree.get(), 8);
     if (mutex_arena) ::unsetenv("SPB_ARENA_MUTEX");
 
-    std::vector<MixedOp> ops;
+    std::vector<Request> ops;
     ObjectId next_id = ObjectId(ds.objects.size());
     for (size_t b = 0; b < n; ++b) {
       for (size_t j = 0; j < 9; ++j) {
-        MixedOp op;
-        op.kind = MixedOp::Kind::kRange;
+        Request op;
+        op.kind = Request::Kind::kRange;
         op.obj = queries[(b + j) % n];
         op.radius = r;
         ops.push_back(std::move(op));
       }
       for (size_t j = 0; j < 9; ++j) {
-        MixedOp op;
-        op.kind = MixedOp::Kind::kKnn;
+        Request op;
+        op.kind = Request::Kind::kKnn;
         op.obj = queries[(b + j + 3) % n];
         op.k = k;
         ops.push_back(std::move(op));
       }
-      MixedOp ins;
-      ins.kind = MixedOp::Kind::kInsert;
+      Request ins;
+      ins.kind = Request::Kind::kInsert;
       ins.obj = ds.objects[b % ds.objects.size()];
       ins.id = next_id++;
       ops.push_back(std::move(ins));
-      MixedOp del;
-      del.kind = MixedOp::Kind::kDelete;
+      Request del;
+      del.kind = Request::Kind::kDelete;
       del.obj = ds.objects[b];
       del.id = ObjectId(b);
       ops.push_back(std::move(del));
     }
 
-    std::vector<MixedResult> mresults;
-    BatchStats warm;
-    if (!exec.RunMixedBatch(ops, &mresults, &warm).ok()) std::abort();
+    BatchResult warm = exec.Submit(ops);
+    if (!warm.first_error.ok()) std::abort();
 
     ContentionReset();
     std::vector<double> qps, p99;
@@ -1451,27 +1451,28 @@ void RunFanoutSweep(const BenchConfig& config, const Dataset& ds,
       // Re-target the per-rep writes: each insert gets a fresh id (payload
       // keyed off the id so insert/delete pairs agree), each delete targets
       // the previous round's insert from the same block — always present.
-      for (MixedOp& op : ops) {
-        if (op.kind == MixedOp::Kind::kInsert) {
+      for (Request& op : ops) {
+        if (op.kind == Request::Kind::kInsert) {
           op.id = next_id++;
           op.obj = ds.objects[size_t(op.id) % ds.objects.size()];
         }
-        if (op.kind == MixedOp::Kind::kDelete) {
+        if (op.kind == Request::Kind::kDelete) {
           op.id = ObjectId(uint64_t(next_id) - 1 - n);
           op.obj = ds.objects[size_t(op.id) % ds.objects.size()];
         }
       }
-      BatchStats mstats;
-      if (!exec.RunMixedBatch(ops, &mresults, &mstats).ok()) std::abort();
+      BatchResult rep_batch = exec.Submit(ops);
+      if (!rep_batch.first_error.ok()) std::abort();
       for (size_t i = 0; i < ops.size(); ++i) {
-        if (ops[i].kind == MixedOp::Kind::kDelete && !mresults[i].found) {
+        if (ops[i].kind == Request::Kind::kDelete &&
+            !rep_batch.results[i].found) {
           std::printf("FAIL: mixed-rep delete missed its target\n");
           std::abort();
         }
       }
-      qps.push_back(mstats.qps);
-      p99.push_back(mstats.p99_seconds * 1e3);
-      busy += mstats.busy_retries;
+      qps.push_back(rep_batch.stats.qps);
+      p99.push_back(rep_batch.stats.p99_seconds * 1e3);
+      busy += rep_batch.stats.busy_retries;
     }
     MixedCell mc;
     mc.arena = mutex_arena ? "mutex_fallback" : "ring";

@@ -228,9 +228,9 @@ int RunIdentitySweep(const BenchConfig& config) {
         Check(na == nb, label);
       }
       if (loc == 1) {
-        const LocatorStats ls = tree->locator_stats();
-        Check(ls.model_present, "locator model missing");
-        Check(ls.hits > 0, "locator never consulted");
+        const StatsSnapshot ls = tree->CollectStats();
+        Check(ls.locator_model_present, "locator model missing");
+        Check(ls.locator_hits > 0, "locator never consulted");
       }
     }
   }
@@ -342,7 +342,7 @@ int RunFull(const BenchConfig& config) {
   const double k_off = Best(knn1_off), k_on = Best(knn1_on);
   const double k10_off = Best(knn10_off), k10_on = Best(knn10_on);
   const double s10 = Best(sys10);
-  const LocatorStats ls = on->locator_stats();
+  const StatsSnapshot ls = on->CollectStats();
 
   // Gate speedups come from query-paired time ratios (see QueryPairedRatio):
   // the qps columns above are best-of-trials for display, but quotients of
@@ -396,8 +396,8 @@ int RunFull(const BenchConfig& config) {
               touches_off, touches_on);
   std::printf("  model: %zu leaves, %" PRIu64 " segments, eps=%" PRIu64
               ", pla_ok=%d, hits=%" PRIu64 ", fallbacks=%" PRIu64 "\n",
-              size_t(ls.leaves), ls.segments, ls.epsilon, int(ls.pla_ok),
-              ls.hits, ls.fallbacks);
+              size_t(ls.locator_leaves), ls.locator_segments, ls.locator_epsilon, int(ls.locator_pla_ok),
+              ls.locator_hits, ls.locator_fallbacks);
 
   // ---- Planner vs static configs, default caches.
   SpbTreeOptions plan_opts = BaseOptions(config.seed);
@@ -503,12 +503,12 @@ int RunFull(const BenchConfig& config) {
                 w.name.c_str(), w.best_static.c_str(), w.qps_best_static,
                 w.qps_other_static, w.qps_planner, w.ratio);
   }
-  const PlannerStats ps = planned->planner_stats();
+  const StatsSnapshot ps = planned->CollectStats();
   std::printf("  routed: %" PRIu64 " greedy / %" PRIu64
               " incremental, cutoff off on %" PRIu64
               " | calibration=%.3f drift=%.3f\n",
-              ps.routed_greedy, ps.routed_incremental, ps.cutoff_disabled,
-              ps.calibration, ps.drift);
+              ps.planner_routed_greedy, ps.planner_routed_incremental, ps.planner_cutoff_disabled,
+              ps.planner_calibration, ps.planner_drift);
 
   // ---- Gates.
   PrintRule();
@@ -555,8 +555,8 @@ int RunFull(const BenchConfig& config) {
                  "    \"node_touches_off\": %" PRIu64
                  ", \"node_touches_on\": %" PRIu64 ",\n"
                  "    \"identity\": true\n  },\n",
-                 ls.epsilon, ls.leaves, ls.segments,
-                 ls.pla_ok ? "true" : "false", p_off, p_on, r_point,
+                 ls.locator_epsilon, ls.locator_leaves, ls.locator_segments,
+                 ls.locator_pla_ok ? "true" : "false", p_off, p_on, r_point,
                  k_off, k_on, r_k1, k10_off, k10_on, r_k10,
                  s10, r_sys, touches_off, touches_on);
     std::fprintf(json, "  \"planner\": {\n    \"workloads\": [\n");
@@ -576,8 +576,8 @@ int RunFull(const BenchConfig& config) {
                  ", \"routed_incremental\": %" PRIu64
                  ", \"cutoff_disabled\": %" PRIu64 ",\n"
                  "    \"calibration\": %.4f, \"drift\": %.4f\n  },\n",
-                 min_ratio, wins, ps.routed_greedy, ps.routed_incremental,
-                 ps.cutoff_disabled, ps.calibration, ps.drift);
+                 min_ratio, wins, ps.planner_routed_greedy, ps.planner_routed_incremental,
+                 ps.planner_cutoff_disabled, ps.planner_calibration, ps.planner_drift);
     std::fprintf(json, "  \"gates_pass\": %s\n}\n", pass ? "true" : "false");
     std::fclose(json);
     std::printf("wrote BENCH_PR9.json\n");

@@ -1,0 +1,320 @@
+// Closed-loop serving bench for the network layer (PR 10, src/net): N
+// client threads (N in {1, 4, 16}) each drive one TCP connection over
+// loopback against a server multiplexing onto one QueryExecutor pool, with
+// a mixed 90/10 read/write workload (5 range + 4 kNN + 1 insert-or-delete
+// per 10-op block). Reported per client count: achieved QPS, client-side
+// p50/p99 latency, and the busy-reply rate under the server's admission
+// control (busy ops are retried with capped backoff — the PR 7 taxonomy —
+// and still counted against latency). Results land in BENCH_PR10.json.
+//
+//   --identity-only   run just the wire-identity gate: the same Request
+//                     sequence over TCP vs in-process Submit() on an
+//                     identically-built twin index must produce
+//                     byte-identical results, PA and compdists. Aborts on
+//                     any divergence; registered as the tier-1 `net_sweep`
+//                     ctest.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/spb_tree.h"
+#include "exec/query_executor.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+
+namespace spb {
+namespace bench {
+namespace {
+
+constexpr double kRadius = 0.2;
+constexpr size_t kK = 5;
+
+SpbTreeOptions BaseOptions(const BenchConfig& config) {
+  SpbTreeOptions opts;
+  opts.num_pivots = 4;
+  opts.seed = config.seed;
+  return opts;
+}
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ------------------------------------------------------------ identity gate
+
+// Wire-identity gate (tier-1 `net_sweep`): mixed blocks — range + kNN
+// reads, one insert and one delete each — submitted over loopback TCP and
+// through an in-process QueryExecutor::Submit() on a twin index built
+// identically. Serialized results must match byte for byte and the
+// PA/compdists aggregates in the reply trailer must equal the in-process
+// BatchStats, block after block.
+int RunIdentity(const BenchConfig& config) {
+  Dataset ds = MakeSynthetic(config.scale, 23);
+  std::unique_ptr<SpbTree> served, twin;
+  if (!SpbTree::Build(ds.objects, ds.metric.get(), BaseOptions(config),
+                      &served)
+           .ok() ||
+      !SpbTree::Build(ds.objects, ds.metric.get(), BaseOptions(config),
+                      &twin)
+           .ok()) {
+    std::abort();
+  }
+  // Single-threaded executors on both sides: logical PA depends on what the
+  // decoded-node cache absorbs, which depends on op interleaving, so the PA
+  // leg of the gate needs deterministic serial execution (same discipline as
+  // the fanout_sweep per-query gate — concurrency identity is its job; this
+  // gate isolates the wire layer).
+  QueryExecutor served_exec(served.get(), 1);
+  QueryExecutor twin_exec(twin.get(), 1);
+  net::Server server(&served_exec, net::ServerOptions{});
+  if (!server.Start().ok()) std::abort();
+  net::Client client;
+  if (!client.Connect("127.0.0.1", server.port()).ok()) std::abort();
+
+  const size_t n = ds.objects.size();
+  const size_t blocks = std::max<size_t>(1, config.queries / 4);
+  ObjectId next_id = ObjectId(n);
+  for (size_t block = 0; block < blocks; ++block) {
+    std::vector<Request> ops;
+    for (size_t j = 0; j < 4; ++j) {
+      ops.push_back(Request::Range(ds.objects[(7 * block + j) % n], kRadius));
+      ops.push_back(Request::Knn(ds.objects[(11 * block + j) % n], kK));
+    }
+    ops.push_back(Request::Insert(ds.objects[(3 * block) % n], next_id++));
+    ops.push_back(Request::Delete(ds.objects[block % n], ObjectId(block % n)));
+
+    served->FlushCaches();
+    twin->FlushCaches();
+    served->ResetCounters();
+    twin->ResetCounters();
+    std::vector<OpResult> wire_results;
+    net::WireBatchStats wire_stats;
+    if (!client.Submit(ops, &wire_results, &wire_stats).ok()) std::abort();
+    BatchResult local = twin_exec.Submit(ops);
+    if (!local.first_error.ok()) std::abort();
+
+    std::vector<uint8_t> wire_bytes, local_bytes;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      net::EncodeOpResult(ops[i], wire_results[i], &wire_bytes);
+      net::EncodeOpResult(ops[i], local.results[i], &local_bytes);
+    }
+    if (wire_bytes != local_bytes) {
+      std::printf("FAIL: wire results diverge from in-process in block %zu\n",
+                  block);
+      std::abort();
+    }
+    if (wire_stats.page_accesses != local.stats.totals.page_accesses ||
+        wire_stats.distance_computations !=
+            local.stats.totals.distance_computations) {
+      std::printf(
+          "FAIL: wire costs diverge in block %zu: PA %llu vs %llu, "
+          "compdists %llu vs %llu\n",
+          block, (unsigned long long)wire_stats.page_accesses,
+          (unsigned long long)local.stats.totals.page_accesses,
+          (unsigned long long)wire_stats.distance_computations,
+          (unsigned long long)local.stats.totals.distance_computations);
+      std::abort();
+    }
+  }
+  server.Stop();
+  std::printf(
+      "net identity sweep: %zu blocks byte-identical over the wire "
+      "(results + PA + compdists)\n",
+      blocks);
+  return 0;
+}
+
+// --------------------------------------------------------- closed-loop bench
+
+struct Cell {
+  size_t clients = 0;
+  size_t ops = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double busy_rate = 0.0;  // busy replies / (ops + busy replies)
+  uint64_t busy_replies = 0;
+};
+
+// One client thread's closed loop: `ops` mixed operations, one at a time,
+// retrying BUSY with capped exponential backoff. Latencies include retries
+// (the client-visible cost of pushback).
+void ClientLoop(const Dataset& ds, uint16_t port, size_t client_idx,
+                size_t ops, std::vector<double>* latencies,
+                std::atomic<uint64_t>* busy_replies,
+                std::atomic<bool>* failed) {
+  net::Client client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    failed->store(true);
+    return;
+  }
+  const size_t n = ds.objects.size();
+  // Per-client id space so deletes always target this client's inserts.
+  ObjectId next_id = ObjectId(1000000 + client_idx * 100000);
+  std::vector<std::pair<ObjectId, size_t>> live;  // (id, object index)
+  latencies->reserve(ops);
+  for (size_t i = 0; i < ops; ++i) {
+    const size_t phase = i % 10;
+    const size_t oi = (client_idx * 7919 + i * 131) % n;
+    Status s;
+    const double start = Now();
+    for (int attempt = 0;; ++attempt) {
+      if (phase < 5) {
+        std::vector<ObjectId> ids;
+        s = client.Range(ds.objects[oi], kRadius, &ids);
+      } else if (phase < 9) {
+        std::vector<Neighbor> nn;
+        s = client.Knn(ds.objects[oi], kK, &nn);
+      } else if (live.empty() || (i / 10) % 2 == 0) {
+        s = client.Insert(ds.objects[oi], next_id);
+        if (s.ok()) live.emplace_back(next_id++, oi);
+      } else {
+        const auto [id, obj] = live.back();
+        s = client.Delete(ds.objects[obj], id);
+        if (s.ok()) live.pop_back();
+      }
+      if (s.code() != Status::Code::kBusy) break;
+      busy_replies->fetch_add(1, std::memory_order_relaxed);
+      // Capped exponential backoff, same shape as the executor's write
+      // retry loop (PR 7): 50us doubling to 1ms.
+      const int shift = std::min(attempt, 4);
+      std::this_thread::sleep_for(std::chrono::microseconds(50 << shift));
+    }
+    if (!s.ok()) {
+      failed->store(true);
+      return;
+    }
+    latencies->push_back(Now() - start);
+  }
+}
+
+int RunServingSweep(const BenchConfig& config) {
+  Dataset ds = MakeSynthetic(config.scale, 23);
+  std::unique_ptr<SpbTree> tree;
+  if (!SpbTree::Build(ds.objects, ds.metric.get(), BaseOptions(config),
+                      &tree)
+           .ok()) {
+    std::abort();
+  }
+  QueryExecutor exec(tree.get(), 4);
+  net::ServerOptions sopts;
+  sopts.num_dispatchers = 4;
+  net::Server server(&exec, sopts);
+  if (!server.Start().ok()) std::abort();
+
+  std::printf("serving sweep: %zu objects, mixed 90/10 workload, loopback, "
+              "4 executor threads / 4 dispatchers\n",
+              ds.objects.size());
+  std::printf("N(clients) | achieved QPS |  p50 ms |  p99 ms | busy rate\n");
+  PrintRule(60);
+
+  std::vector<Cell> cells;
+  for (size_t clients : {size_t{1}, size_t{4}, size_t{16}}) {
+    const size_t ops_per_client =
+        std::max<size_t>(100, config.queries * 10 / clients);
+    std::vector<std::vector<double>> latencies(clients);
+    std::atomic<uint64_t> busy_replies{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    const double start = Now();
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back(ClientLoop, std::cref(ds), server.port(), c,
+                           ops_per_client, &latencies[c], &busy_replies,
+                           &failed);
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall = Now() - start;
+    if (failed.load()) {
+      std::printf("FAIL: a client saw a non-busy error at N=%zu\n", clients);
+      std::abort();
+    }
+    std::vector<double> all;
+    for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    Cell cell;
+    cell.clients = clients;
+    cell.ops = all.size();
+    cell.qps = wall > 0 ? double(all.size()) / wall : 0.0;
+    cell.p50_ms = all.empty() ? 0.0 : all[all.size() / 2] * 1e3;
+    cell.p99_ms = all.empty() ? 0.0 : all[size_t(double(all.size()) * 0.99)] *
+                                          1e3;
+    cell.busy_replies = busy_replies.load();
+    cell.busy_rate =
+        double(cell.busy_replies) / double(cell.ops + cell.busy_replies);
+    cells.push_back(cell);
+    std::printf("N=%-8zu | %12.1f | %7.3f | %7.3f | %9.4f\n", clients,
+                cell.qps, cell.p50_ms, cell.p99_ms, cell.busy_rate);
+    std::printf(
+        "JSON {\"bench\":\"serving\",\"clients\":%zu,\"ops\":%zu,"
+        "\"qps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"busy_rate\":%.4f}\n",
+        clients, cell.ops, cell.qps, cell.p50_ms, cell.p99_ms,
+        cell.busy_rate);
+  }
+  PrintRule(60);
+  if (!tree->CheckIntegrity().ok()) {
+    std::printf("FAIL: integrity check after serving sweep\n");
+    std::abort();
+  }
+  const net::ServerStats ss = server.stats();
+  std::printf("server totals: %llu ops, %llu frames in / %llu out, "
+              "%llu busy-rejected, %llu protocol errors\n",
+              (unsigned long long)ss.ops_executed,
+              (unsigned long long)ss.frames_received,
+              (unsigned long long)ss.frames_sent,
+              (unsigned long long)ss.ops_rejected_busy,
+              (unsigned long long)ss.protocol_errors);
+  server.Stop();
+
+  FILE* json = std::fopen("BENCH_PR10.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"serving\",\n");
+    WriteHostJson(json);
+    std::fprintf(json, ",\n  \"config\": {\"scale\": %zu, \"queries\": %zu, "
+                       "\"workload\": \"mixed 90/10 closed loop, loopback\", "
+                       "\"executor_threads\": 4, \"dispatchers\": 4},\n",
+                 config.scale, config.queries);
+    std::fprintf(json, "  \"cells\": [\n");
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(json,
+                   "    {\"clients\": %zu, \"ops\": %zu, \"qps\": %.1f, "
+                   "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"busy_rate\": "
+                   "%.4f, \"busy_replies\": %llu}%s\n",
+                   c.clients, c.ops, c.qps, c.p50_ms, c.p99_ms, c.busy_rate,
+                   (unsigned long long)c.busy_replies,
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"identity\": \"enforced by the net_sweep "
+                       "ctest (--identity-only)\"\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_PR10.json\n");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  bool identity_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--identity-only") == 0) identity_only = true;
+  }
+  const BenchConfig config = ParseArgs(argc, argv, /*default_scale=*/4000,
+                                       /*default_queries=*/40);
+  if (identity_only) return RunIdentity(config);
+  return RunServingSweep(config);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spb
+
+int main(int argc, char** argv) { return spb::bench::Main(argc, argv); }

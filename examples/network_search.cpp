@@ -1,0 +1,86 @@
+// Network search: build an SPB-tree, put it behind the SPB1 wire protocol
+// (docs/PROTOCOL.md) with net::Server, and query it over loopback TCP with
+// the blocking net::Client — single ops, a mixed batch, and the STATS op.
+// The client results are byte-identical to in-process calls (that identity
+// is a CI gate, tests/net_test.cc); this example shows the round trip.
+//
+//   ./network_search
+#include <cstdio>
+
+#include "core/spb_tree.h"
+#include "data/datasets.h"
+#include "exec/query_executor.h"
+#include "net/client.h"
+#include "net/server.h"
+
+int main() {
+  using namespace spb;
+
+  // 1. Build the index and stand a server up on an ephemeral port. The
+  //    server multiplexes every connection onto one QueryExecutor pool:
+  //    an epoll I/O thread owns the sockets, dispatcher threads hand
+  //    decoded frames to Submit().
+  Dataset ds = MakeSynthetic(20000, /*seed=*/42);
+  std::unique_ptr<SpbTree> index;
+  Status s = SpbTree::Build(ds.objects, ds.metric.get(), SpbTreeOptions{},
+                            &index);
+  if (!s.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  QueryExecutor executor(index.get(), /*num_threads=*/4);
+  net::ServerOptions sopts;  // port=0 -> ephemeral; defaults otherwise
+  net::Server server(&executor, sopts);
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %llu objects on 127.0.0.1:%u\n",
+              (unsigned long long)index->size(), unsigned(server.port()));
+
+  // 2. Connect a client (blocking, one outstanding request — open one per
+  //    worker thread in real applications) and run single ops. A kBusy
+  //    status here would be admission-control pushback: back off, retry.
+  net::Client client;
+  s = client.Connect("127.0.0.1", server.port());
+  if (!s.ok()) return 1;
+
+  const Blob& q = ds.objects[7];
+  std::vector<ObjectId> ids;
+  s = client.Range(q, 0.08 * ds.metric->max_distance(), &ids);
+  if (!s.ok()) return 1;
+  std::vector<Neighbor> nn;
+  s = client.Knn(q, 5, &nn);
+  if (!s.ok()) return 1;
+  std::printf("over the wire: %zu in range, nearest d=%.6f\n", ids.size(),
+              nn.empty() ? -1.0 : nn[0].distance);
+
+  // 3. A mixed batch in one frame — the wire twin of Submit(). The reply
+  //    trailer carries the executor's exact PA/compdists for the batch.
+  std::vector<Request> ops;
+  ops.push_back(Request::Range(q, 0.1));
+  ops.push_back(Request::Knn(ds.objects[11], 3));
+  ops.push_back(Request::Insert(ds.objects[0], ObjectId(90001)));
+  std::vector<OpResult> results;
+  net::WireBatchStats wire_stats;
+  s = client.Submit(ops, &results, &wire_stats);
+  if (!s.ok()) return 1;
+  std::printf("batch of %zu: %llu page accesses, %llu compdists\n",
+              results.size(),
+              (unsigned long long)wire_stats.page_accesses,
+              (unsigned long long)wire_stats.distance_computations);
+
+  // 4. The STATS op returns the server index's full StatsSnapshot — the
+  //    same struct CollectStats() returns in-process.
+  StatsSnapshot snap;
+  s = client.CollectStats(&snap);
+  if (!s.ok()) return 1;
+  std::printf("server stats: %s, %llu objects, %llu compdists total\n",
+              snap.name.c_str(), (unsigned long long)snap.num_objects,
+              (unsigned long long)snap.distance_computations);
+
+  client.Close();
+  server.Stop();
+  return 0;
+}

@@ -1,0 +1,41 @@
+#ifndef SPB_COMMON_CRC32_H_
+#define SPB_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace spb {
+
+/// CRC-32 (reflected, polynomial 0xEDB88320), table-driven. Small and
+/// dependency-free; shared by the WAL's record framing and the network
+/// protocol's frame checksums (docs/PROTOCOL.md). Throughput is irrelevant
+/// in both users — the WAL fsyncs after every group and the network frames
+/// are dominated by the socket round-trip.
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+inline uint32_t Crc32(const uint8_t* data, size_t n) {
+  const auto& table = Crc32Table();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace spb
+
+#endif  // SPB_COMMON_CRC32_H_

@@ -7,6 +7,7 @@
 #include "common/blob.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "core/stats_snapshot.h"
 
 namespace spb {
 
@@ -76,6 +77,25 @@ class MetricIndex {
   /// engine's physical_reads / prefetch / coalescing stats) since the last
   /// ResetCounters(). Indexes without instrumented storage return zeros.
   virtual IoStats io_stats() const { return IoStats{}; }
+
+  /// The one stats surface (PR 10): everything the index can report in a
+  /// single plain-value snapshot — the paper's cost counters, the I/O
+  /// engine's, and (where the index has them) WAL / commit-queue / learned
+  /// locator / planner counters, with per-shard drill-down for sharded
+  /// indexes. This is what `spb_cli stats` prints and what the wire
+  /// protocol's STATS op serializes. The base implementation fills the
+  /// sections every MetricIndex has; SpbTree and ShardedSpbTree override to
+  /// add theirs.
+  virtual StatsSnapshot CollectStats() const {
+    StatsSnapshot s;
+    s.name = name();
+    s.storage_bytes = storage_bytes();
+    const QueryStats q = cumulative_stats();
+    s.page_accesses = q.page_accesses;
+    s.distance_computations = q.distance_computations;
+    s.SetIoStats(io_stats());
+    return s;
+  }
 
   /// Drops LRU caches (done before each measured query, as in the paper).
   virtual void FlushCaches() = 0;

@@ -721,6 +721,70 @@ LocatorStats ShardedSpbTree::locator_stats() const {
   return total;
 }
 
+StatsSnapshot ShardedSpbTree::CollectStats() const {
+  StatsSnapshot s;
+  s.name = name();
+  s.num_objects = size();
+  s.storage_bytes = storage_bytes();
+  s.num_shards = uint32_t(shards_.size());
+  // Top-level PA/compdists come from the router's cumulative_stats(), which
+  // folds in the router's own mapping/pivot-selection distance calls on top
+  // of the per-shard sums — so construction and update accounting matches
+  // what the unsharded tree would report.
+  const QueryStats q = cumulative_stats();
+  s.page_accesses = q.page_accesses;
+  s.distance_computations = q.distance_computations;
+  s.SetIoStats(io_stats());
+  // Aggregate the subsystem sections from the per-shard snapshots under the
+  // same rules the per-subsystem accessors use: sums, except wq_max_group
+  // (max), the locator flags (AND) / epoch (max) / epsilon (shard 0's), and
+  // the planner calibration (mean of the per-shard EMAs).
+  s.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) s.shards.push_back(shard->CollectStats());
+  s.locator_model_present = !s.shards.empty();
+  s.locator_pla_ok = !s.shards.empty();
+  double ema_sum = 0.0;
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    const StatsSnapshot& c = s.shards[i];
+    s.wal_segment_bytes += c.wal_segment_bytes;
+    s.wal_checkpoint_lsn += c.wal_checkpoint_lsn;
+    s.wal_next_lsn += c.wal_next_lsn;
+    s.wal_pending_records += c.wal_pending_records;
+    s.wal_groups += c.wal_groups;
+    s.wal_fsyncs += c.wal_fsyncs;
+    s.wal_replayed_records += c.wal_replayed_records;
+    s.wq_ops += c.wq_ops;
+    s.wq_groups += c.wq_groups;
+    s.wq_max_group = std::max(s.wq_max_group, c.wq_max_group);
+    s.wq_compactions += c.wq_compactions;
+    s.locator_model_present =
+        s.locator_model_present && c.locator_model_present;
+    s.locator_pla_ok = s.locator_pla_ok && c.locator_pla_ok;
+    s.locator_epoch = std::max(s.locator_epoch, c.locator_epoch);
+    s.locator_leaves += c.locator_leaves;
+    s.locator_internal_nodes += c.locator_internal_nodes;
+    s.locator_segments += c.locator_segments;
+    if (i == 0) s.locator_epsilon = c.locator_epsilon;
+    s.locator_hits += c.locator_hits;
+    s.locator_fallbacks += c.locator_fallbacks;
+    s.locator_stale += c.locator_stale;
+    s.locator_seek_misses += c.locator_seek_misses;
+    s.locator_rebuilds += c.locator_rebuilds;
+    s.planner_planned_range += c.planner_planned_range;
+    s.planner_planned_knn += c.planner_planned_knn;
+    s.planner_routed_greedy += c.planner_routed_greedy;
+    s.planner_routed_incremental += c.planner_routed_incremental;
+    s.planner_cutoff_disabled += c.planner_cutoff_disabled;
+    ema_sum += c.planner_calibration;
+  }
+  if (!s.shards.empty()) {
+    s.planner_calibration = ema_sum / double(s.shards.size());
+    s.planner_drift =
+        std::abs(std::log(std::max(s.planner_calibration, 1e-12)));
+  }
+  return s;
+}
+
 PlannerStats ShardedSpbTree::planner_stats() const {
   PlannerStats total;
   double ema_sum = 0.0;

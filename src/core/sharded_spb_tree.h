@@ -110,11 +110,21 @@ class ShardedSpbTree : public MetricIndex {
   Status Compact();
 
   /// Sum of every shard's WAL counters (checkpoint_lsn/next_lsn summed too:
-  /// meaningful as totals, not as a single log's position). Per-shard
-  /// drill-down via shard(s).wal_stats().
+  /// meaningful as totals, not as a single log's position). Deprecated:
+  /// read the wal_* fields of CollectStats() (per-shard drill-down in
+  /// CollectStats().shards).
   Wal::Stats wal_stats() const;
   /// Sum of every shard's commit-queue counters (max_group is the max).
+  /// Deprecated: read the wq_* fields of CollectStats().
   WriteQueue::Stats write_queue_stats() const;
+
+  /// The one stats surface (PR 10): the aggregate over every shard under
+  /// the same summation rules the per-subsystem accessors used (sums;
+  /// wq_max_group the max; locator flags AND-ed, epoch the max, epsilon
+  /// shard 0's; planner calibration the mean of the per-shard EMAs), plus
+  /// the router's own mapping distance computations. `shards` holds one
+  /// full per-shard snapshot — the drill-down `spb_cli stats` prints.
+  StatsSnapshot CollectStats() const override;
 
   /// Routed single insert: phi/key are computed once at the router, the
   /// owning shard is the top log2(S) key bits, and the shard's pre-mapped

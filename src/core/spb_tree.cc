@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <filesystem>
 #include <cstring>
@@ -1749,9 +1750,25 @@ void SpbTree::UpdateKnnPlannerFeedback(double predicted, double measured,
 
 void SpbTree::UpdatePlannerFeedback(double predicted, double measured) {
   if (!(predicted > 0.0)) return;
-  // Clamp so one pathological query cannot wreck the calibration.
-  const double ratio =
-      std::clamp(measured / predicted, 1.0 / 64.0, 64.0);
+  // Clamp so one pathological query cannot wreck the calibration. The
+  // clamp is tunable (planner_feedback_clamp): on datasets where the
+  // radius/selectivity estimate is off by more than the clamp on EVERY
+  // query (synthetic-uniform kNN underestimates >= 64x), the default pins
+  // each observation and the EMA saturates below the true ratio — warn
+  // once so such runs are diagnosable, and let operators widen it.
+  const double clamp =
+      std::max(1.0, options_.planner_feedback_clamp);
+  const double raw = measured / predicted;
+  const double ratio = std::clamp(raw, 1.0 / clamp, clamp);
+  if (ratio != raw &&
+      !planner_clamp_warned_.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "[spb] planner feedback pinned at its %gx clamp "
+                 "(measured/predicted = %.3g); calibration can no longer "
+                 "follow this workload — consider raising "
+                 "TuningOptions::planner_feedback_clamp\n",
+                 clamp, raw);
+  }
   std::lock_guard<std::mutex> lock(cost_mu_);
   planner_ema_ = 0.9 * planner_ema_ + 0.1 * ratio;
   // Nudge the pivot-set precision (Definition 1) the same direction, gently
@@ -1824,6 +1841,11 @@ Status SpbTree::ApplyTuning(const TuningOptions& t) {
         "num_shards is a construction-time parameter: a plain SPB-tree has "
         "exactly one shard (re-partitioning is a ShardedSpbTree rebuild)");
   }
+  if (!(t.planner_feedback_clamp >= 1.0)) {
+    return Status::InvalidArgument(
+        "planner_feedback_clamp must be >= 1 (the ratio is clamped to "
+        "[1/clamp, clamp])");
+  }
   std::unique_lock<std::mutex> wlock(writer_mu_, std::try_to_lock);
   if (!wlock.owns_lock()) {
     return Status::Busy(
@@ -1870,6 +1892,12 @@ Status SpbTree::ApplyTuning(const TuningOptions& t) {
   options_.enable_learned_locator = t.enable_learned_locator;
   options_.locator_epsilon = t.locator_epsilon;
   options_.enable_planner = t.enable_planner;
+  if (t.planner_feedback_clamp != options_.planner_feedback_clamp) {
+    options_.planner_feedback_clamp = t.planner_feedback_clamp;
+    // A widened clamp gives the EMA new headroom — re-arm the pinned
+    // warning so it fires again if the new bound saturates too.
+    planner_clamp_warned_.store(false, std::memory_order_relaxed);
+  }
   if (t.enable_learned_locator != locator_was ||
       (t.enable_learned_locator && t.locator_epsilon != epsilon_was)) {
     RebuildLocatorLocked();
@@ -1895,6 +1923,7 @@ TuningOptions SpbTree::tuning() const {
   t.enable_learned_locator = options_.enable_learned_locator;
   t.locator_epsilon = options_.locator_epsilon;
   t.enable_planner = options_.enable_planner;
+  t.planner_feedback_clamp = options_.planner_feedback_clamp;
   return t;
 }
 
@@ -2154,6 +2183,52 @@ Wal::Stats SpbTree::wal_stats() const {
 WriteQueue::Stats SpbTree::write_queue_stats() const {
   return write_queue_ != nullptr ? write_queue_->stats()
                                  : WriteQueue::Stats{};
+}
+
+StatsSnapshot SpbTree::CollectStats() const {
+  StatsSnapshot s;
+  s.name = name();
+  s.num_objects = size();
+  s.storage_bytes = storage_bytes();
+  const QueryStats q = cumulative_stats();
+  s.page_accesses = q.page_accesses;
+  s.distance_computations = q.distance_computations;
+  s.SetIoStats(io_stats());
+  const Wal::Stats w = wal_stats();
+  s.wal_segment_bytes = w.segment_bytes;
+  s.wal_checkpoint_lsn = w.checkpoint_lsn;
+  s.wal_next_lsn = w.next_lsn;
+  s.wal_pending_records = w.pending_records;
+  s.wal_groups = w.groups;
+  s.wal_fsyncs = w.fsyncs;
+  s.wal_replayed_records = w.replayed_records;
+  const WriteQueue::Stats wq = write_queue_stats();
+  s.wq_ops = wq.ops;
+  s.wq_groups = wq.groups;
+  s.wq_max_group = wq.max_group;
+  s.wq_compactions = wq.compactions;
+  const LocatorStats ls = locator_stats();
+  s.locator_model_present = ls.model_present;
+  s.locator_pla_ok = ls.pla_ok;
+  s.locator_epoch = ls.epoch;
+  s.locator_leaves = ls.leaves;
+  s.locator_internal_nodes = ls.internal_nodes;
+  s.locator_segments = ls.segments;
+  s.locator_epsilon = ls.epsilon;
+  s.locator_hits = ls.hits;
+  s.locator_fallbacks = ls.fallbacks;
+  s.locator_stale = ls.stale;
+  s.locator_seek_misses = ls.seek_misses;
+  s.locator_rebuilds = ls.rebuilds;
+  const PlannerStats ps = planner_stats();
+  s.planner_planned_range = ps.planned_range;
+  s.planner_planned_knn = ps.planned_knn;
+  s.planner_routed_greedy = ps.routed_greedy;
+  s.planner_routed_incremental = ps.routed_incremental;
+  s.planner_cutoff_disabled = ps.cutoff_disabled;
+  s.planner_calibration = ps.calibration;
+  s.planner_drift = ps.drift;
+  return s;
 }
 
 size_t SpbTree::writer_concurrency() const {

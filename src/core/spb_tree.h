@@ -139,6 +139,10 @@ struct SpbTreeOptions {
   /// Default off so the fig15/fig16 estimate-accuracy experiments see the
   /// untouched build-time model.
   bool enable_planner = false;
+  /// Clamp on each measured/predicted planner-feedback ratio before it
+  /// enters the calibration EMA (see TuningOptions::planner_feedback_clamp
+  /// for the tuning story; runtime-adjustable there).
+  double planner_feedback_clamp = 64.0;
 };
 
 /// The global NDk bound one kNN query shares across shards: a monotonically
@@ -300,9 +304,18 @@ class SpbTree : public MetricIndex {
 
   /// WAL counters (zeros when the WAL is off): segment bytes, checkpoint
   /// LSN, records appended since the checkpoint, group/fsync totals.
+  /// Deprecated: read the wal_* fields of CollectStats() instead (kept one
+  /// PR for drill-down call sites; see docs/API.md §"Stats surface").
   Wal::Stats wal_stats() const;
-  /// Commit-queue counters (zeros when group commit is off).
+  /// Commit-queue counters (zeros when group commit is off). Deprecated:
+  /// read the wq_* fields of CollectStats() instead.
   WriteQueue::Stats write_queue_stats() const;
+
+  /// The one stats surface (PR 10): every counter group this tree has —
+  /// paper cost metrics, I/O engine, WAL, commit queue, learned locator,
+  /// planner — in a single plain-value snapshot. Supersedes the six
+  /// per-subsystem accessors.
+  StatsSnapshot CollectStats() const override;
 
   /// With the commit queue on, concurrent writers enqueue and never see
   /// Status::Busy, so the executor may dispatch them freely; without it the
@@ -406,7 +419,8 @@ class SpbTree : public MetricIndex {
       const Snapshot& snap) const;
 
   /// Locator/planner counters (cumulative since ResetCounters; calibration
-  /// survives resets — it is model state, not a counter).
+  /// survives resets — it is model state, not a counter). Deprecated: read
+  /// the locator_* / planner_* fields of CollectStats() instead.
   LocatorStats locator_stats() const;
   PlannerStats planner_stats() const;
 
@@ -738,6 +752,10 @@ class SpbTree : public MetricIndex {
   // EMA of measured/predicted verification counts (persisted in meta so a
   // reopened tree keeps its calibration).
   mutable double planner_ema_ = 1.0;
+  // One-shot latch for the "feedback pinned at the clamp" warning (see
+  // UpdatePlannerFeedback): first pinned observation logs, the rest stay
+  // silent so a miscalibrated workload does not flood stderr.
+  mutable std::atomic<bool> planner_clamp_warned_{false};
   // Per-traversal runtime EMAs (seconds / predicted verification), index
   // 0 = kIncremental, 1 = kGreedy, under cost_mu_. Compdists say which
   // traversal is work-optimal (Lemma 4: always best-first), but wall clock

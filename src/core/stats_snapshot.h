@@ -1,0 +1,114 @@
+#ifndef SPB_CORE_STATS_SNAPSHOT_H_
+#define SPB_CORE_STATS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace spb {
+
+/// The one stats surface (PR 10): everything an index can report, collected
+/// at a single point in time by MetricIndex::CollectStats(). Replaces the
+/// six parallel accessors that accreted over PRs 1-9 (cumulative_stats /
+/// io_stats / wal_stats / write_queue_stats / locator_stats /
+/// planner_stats) with a single plain-value struct that
+///  - `spb_cli stats` prints,
+///  - the bench JSON emitters scrape, and
+///  - the wire protocol's STATS op serializes verbatim (every field is a
+///    fixed-width scalar; the per-shard drill-down is a nested repetition
+///    of the same layout — see docs/PROTOCOL.md).
+///
+/// All values are snapshots of cumulative counters (since the last
+/// ResetCounters() unless noted); sections an index does not implement stay
+/// zero. For a ShardedSpbTree the top-level struct holds the aggregate
+/// (same summation rules the old per-subsystem accessors used) and `shards`
+/// holds one entry per shard, preserving the drill-down `spb_cli stats`
+/// always printed. Plain SpbTree and the baselines leave `shards` empty.
+struct StatsSnapshot {
+  /// MetricIndex::name() of the index that produced the snapshot.
+  std::string name;
+  uint64_t num_objects = 0;
+  uint64_t storage_bytes = 0;
+  uint32_t num_shards = 1;
+
+  // Paper cost metrics (cumulative_stats()): PA and compdists.
+  uint64_t page_accesses = 0;
+  uint64_t distance_computations = 0;
+
+  // I/O engine counters (io_stats()). dead_bytes is state, not a
+  // measurement: it survives ResetCounters and only a compaction zeroes it.
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t physical_reads = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t coalesced_pages = 0;
+  uint64_t dead_bytes = 0;
+
+  // Write-ahead-log counters (zeros when the WAL is off). Sharded:
+  // summed — meaningful as totals, not as one log's position.
+  uint64_t wal_segment_bytes = 0;
+  uint64_t wal_checkpoint_lsn = 0;
+  uint64_t wal_next_lsn = 0;
+  uint64_t wal_pending_records = 0;
+  uint64_t wal_groups = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_replayed_records = 0;
+
+  // Group-commit queue counters (zeros when group commit is off). Sharded:
+  // summed, except wq_max_group which is the max.
+  uint64_t wq_ops = 0;
+  uint64_t wq_groups = 0;
+  uint64_t wq_max_group = 0;
+  uint64_t wq_compactions = 0;
+
+  // Learned-locator model + counters (zeros when the locator is off).
+  // Sharded: counters summed; model_present/pla_ok hold iff they hold on
+  // every shard; epoch is the max; epsilon is shard 0's.
+  bool locator_model_present = false;
+  bool locator_pla_ok = false;
+  uint64_t locator_epoch = 0;
+  uint64_t locator_leaves = 0;
+  uint64_t locator_internal_nodes = 0;
+  uint64_t locator_segments = 0;
+  uint64_t locator_epsilon = 0;
+  uint64_t locator_hits = 0;
+  uint64_t locator_fallbacks = 0;
+  uint64_t locator_stale = 0;
+  uint64_t locator_seek_misses = 0;
+  uint64_t locator_rebuilds = 0;
+
+  // Planner routing counters + calibration state (calibration survives
+  // ResetCounters — it is model state). Sharded: counts summed,
+  // calibration is the mean of the per-shard EMAs, drift = |log(mean)|.
+  uint64_t planner_planned_range = 0;
+  uint64_t planner_planned_knn = 0;
+  uint64_t planner_routed_greedy = 0;
+  uint64_t planner_routed_incremental = 0;
+  uint64_t planner_cutoff_disabled = 0;
+  double planner_calibration = 1.0;
+  double planner_drift = 0.0;
+
+  /// Per-shard drill-down (ShardedSpbTree only; one level deep — shard
+  /// entries never have sub-shards).
+  std::vector<StatsSnapshot> shards;
+
+  /// Folds the striped I/O counters into the plain fields.
+  void SetIoStats(const IoStats& io) {
+    page_reads = io.page_reads.load(std::memory_order_relaxed);
+    page_writes = io.page_writes.load(std::memory_order_relaxed);
+    cache_hits = io.cache_hits.load(std::memory_order_relaxed);
+    physical_reads = io.physical_reads.load(std::memory_order_relaxed);
+    prefetch_issued = io.prefetch_issued.load(std::memory_order_relaxed);
+    prefetch_hits = io.prefetch_hits.load(std::memory_order_relaxed);
+    coalesced_pages = io.coalesced_pages.load(std::memory_order_relaxed);
+    dead_bytes = io.dead_bytes.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace spb
+
+#endif  // SPB_CORE_STATS_SNAPSHOT_H_

@@ -71,6 +71,16 @@ struct TuningOptions {
   size_t locator_epsilon = 16;
   /// Cost-model query planner (see SpbTreeOptions::enable_planner).
   bool enable_planner = false;
+  /// Per-observation clamp on the planner's measured/predicted feedback
+  /// ratio (the calibration EMA absorbs ratios clamped to
+  /// [1/clamp, clamp]). The default 64 protects the EMA from one
+  /// pathological query, but synthetic-uniform data underestimates kNN
+  /// radii by >= 64x (EXPERIMENTS.md §"learned leaf locator"), pinning
+  /// every observation at the clamp and capping what the EMA can learn —
+  /// widen it (e.g. 4096) to let the calibration follow such data. A
+  /// one-line warning is logged (once per tree) when observations pin at
+  /// the clamp. Values < 1 are rejected by ApplyTuning.
+  double planner_feedback_clamp = 64.0;
 };
 
 }  // namespace spb

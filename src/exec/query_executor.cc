@@ -37,9 +37,9 @@ IoStats IoDelta(const IoStats& after, const IoStats& before) {
 QueryExecutor::QueryExecutor(MetricIndex* index, size_t num_threads)
     : index_(index), arena_(std::max<size_t>(1, num_threads)) {}
 
-Status QueryExecutor::RunBatch(size_t n,
-                               const std::function<Status(size_t)>& task,
-                               BatchStats* stats) {
+Status QueryExecutor::FanOut(size_t n,
+                             const std::function<Status(size_t)>& task,
+                             BatchStats* stats) {
   if (stats != nullptr) {
     *stats = BatchStats{};
     stats->num_queries = n;
@@ -105,7 +105,7 @@ Status QueryExecutor::RunRangeBatch(const std::vector<Blob>& queries,
     std::sort((*results)[i].begin(), (*results)[i].end());
     return Status::OK();
   };
-  return RunBatch(queries.size(), task, stats);
+  return FanOut(queries.size(), task, stats);
 }
 
 Status QueryExecutor::RunKnnBatch(const std::vector<Blob>& queries, size_t k,
@@ -115,10 +115,10 @@ Status QueryExecutor::RunKnnBatch(const std::vector<Blob>& queries, size_t k,
   auto task = [&](size_t i) -> Status {
     return index_->KnnQuery(queries[i], k, &(*results)[i], nullptr);
   };
-  return RunBatch(queries.size(), task, stats);
+  return FanOut(queries.size(), task, stats);
 }
 
-Status QueryExecutor::RunWrite(const std::function<Status()>& op) {
+Status QueryExecutor::ExecuteWrite(const std::function<Status()>& op) {
   if (index_->writer_concurrency() <= 1) {
     // Single-writer index: serialize batch siblings up front so its writer
     // try-lock never fails against one of our own ops.
@@ -154,34 +154,48 @@ Status QueryExecutor::RunWrite(const std::function<Status()>& op) {
   return s;
 }
 
-Status QueryExecutor::RunMixedBatch(const std::vector<MixedOp>& ops,
-                                    std::vector<MixedResult>* results,
-                                    BatchStats* stats) {
-  results->assign(ops.size(), MixedResult{});
+BatchResult QueryExecutor::Submit(std::span<const Request> requests) {
+  BatchResult batch;
+  batch.results.assign(requests.size(), OpResult{});
   auto task = [&](size_t i) -> Status {
-    const MixedOp& op = ops[i];
-    MixedResult& out = (*results)[i];
+    const Request& op = requests[i];
+    OpResult& out = batch.results[i];
     switch (op.kind) {
-      case MixedOp::Kind::kRange:
+      case Request::Kind::kRange:
         out.status = index_->RangeQuery(op.obj, op.radius, &out.range_ids,
                                         nullptr);
         std::sort(out.range_ids.begin(), out.range_ids.end());
         break;
-      case MixedOp::Kind::kKnn:
+      case Request::Kind::kKnn:
         out.status = index_->KnnQuery(op.obj, op.k, &out.neighbors, nullptr);
         break;
-      case MixedOp::Kind::kInsert:
-        out.status = RunWrite(
+      case Request::Kind::kInsert:
+        out.status = ExecuteWrite(
             [&] { return index_->Insert(op.obj, op.id); });
         break;
-      case MixedOp::Kind::kDelete:
-        out.status = RunWrite(
+      case Request::Kind::kDelete:
+        out.status = ExecuteWrite(
             [&] { return index_->Delete(op.obj, op.id, &out.found); });
+        break;
+      default:
+        // A kind outside the enum can only come from a hand-built Request
+        // (the wire decoder rejects unknown kinds before they get here).
+        out.status = Status::InvalidArgument("Submit: unknown request kind");
         break;
     }
     return out.status;
   };
-  return RunBatch(ops.size(), task, stats);
+  batch.first_error = FanOut(requests.size(), task, &batch.stats);
+  return batch;
+}
+
+Status QueryExecutor::RunMixedBatch(const std::vector<MixedOp>& ops,
+                                    std::vector<MixedResult>* results,
+                                    BatchStats* stats) {
+  BatchResult batch = Submit(std::span<const Request>(ops));
+  *results = std::move(batch.results);
+  if (stats != nullptr) *stats = batch.stats;
+  return batch.first_error;
 }
 
 }  // namespace spb

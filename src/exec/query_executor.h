@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "common/blob.h"
@@ -12,6 +13,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "core/metric_index.h"
+#include "exec/request.h"
 #include "exec/task_arena.h"
 
 namespace spb {
@@ -46,27 +48,19 @@ struct BatchStats {
   uint64_t busy_retries = 0;
 };
 
-/// One operation of a mixed read/write batch (RunMixedBatch). Queries run
-/// concurrently; writes are serialized by the executor (one writer at a
-/// time) but interleave freely with in-flight queries under the index's
-/// snapshot protocol.
-struct MixedOp {
-  enum class Kind { kRange, kKnn, kInsert, kDelete };
-  Kind kind = Kind::kRange;
-  /// Query object (kRange/kKnn) or record payload (kInsert/kDelete).
-  Blob obj;
-  double radius = 0.0;  ///< kRange
-  size_t k = 0;         ///< kKnn
-  ObjectId id = 0;      ///< kInsert / kDelete
-};
+/// Deprecated names for the unified request/result shapes (exec/request.h).
+/// PR 10 collapsed the RunBatch/RunMixedBatch/RunWrite entry points into
+/// Submit(); these aliases keep pre-PR 10 call sites compiling for one PR.
+using MixedOp = Request;
+using MixedResult = OpResult;
 
-/// Per-op outcome of a mixed batch. Only the member matching the op's kind
-/// is populated.
-struct MixedResult {
-  Status status;
-  std::vector<ObjectId> range_ids;  ///< kRange, sorted ascending
-  std::vector<Neighbor> neighbors;  ///< kKnn, ascending distance
-  bool found = false;               ///< kDelete
+/// Everything one Submit() call produced: per-op outcomes in submission
+/// order, the first per-op error (Status::OK() when every op succeeded —
+/// the remaining ops still ran either way), and the batch-level aggregates.
+struct BatchResult {
+  std::vector<OpResult> results;
+  Status first_error;
+  BatchStats stats;
 };
 
 /// Fans batches of operations over one MetricIndex, driving every MAM
@@ -114,32 +108,38 @@ class QueryExecutor {
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
-  /// Runs RQ(q, r) for every q in `queries`. `results` is resized to
-  /// queries.size(); slot i holds the ids for queries[i], sorted ascending
-  /// so the output is deterministic regardless of thread interleaving.
-  /// Returns the first query error, if any (remaining queries still run).
-  Status RunRangeBatch(const std::vector<Blob>& queries, double r,
-                       std::vector<std::vector<ObjectId>>* results,
-                       BatchStats* stats = nullptr);
-
-  /// Runs kNN(q, k) for every q in `queries`; slot i holds queries[i]'s
-  /// neighbors sorted by ascending distance (the index's own order).
-  Status RunKnnBatch(const std::vector<Blob>& queries, size_t k,
-                     std::vector<std::vector<Neighbor>>* results,
-                     BatchStats* stats = nullptr);
-
-  /// Runs a mixed read/write batch: ops execute across the pool in an
-  /// arbitrary interleaving, queries running concurrently against pinned
+  /// THE submission entry point (PR 10): runs any mix of read/write ops —
+  /// the same tagged Request the wire protocol decodes — across the pool in
+  /// an arbitrary interleaving, queries running concurrently against pinned
   /// snapshots. Writes adapt to index_->writer_concurrency(): against a
   /// single-writer index they serialize through the executor's writer
   /// mutex (so the index's try-lock never fails against a sibling op);
   /// against a multi-writer index (writer_concurrency() > 1, e.g. the
   /// sharded SPB-tree) they dispatch concurrently and retry on the
   /// transient per-shard Status::Busy, so writes to different shards
-  /// overlap. `results` is resized to ops.size(); slot i holds op i's
-  /// outcome (per-op errors land in results[i].status as well as the
-  /// returned first-error). An op that the index does not support fails
-  /// with Status::Unimplemented; the rest of the batch still runs.
+  /// overlap. The returned BatchResult holds one OpResult per request in
+  /// submission order (per-op errors land in results[i].status as well as
+  /// first_error). An op the index does not support fails with
+  /// Status::Unimplemented; the rest of the batch still runs.
+  BatchResult Submit(std::span<const Request> requests);
+
+  /// Convenience wrapper: RQ(q, r) for every q in `queries`; slot i holds
+  /// the ids for queries[i], sorted ascending so the output is
+  /// deterministic regardless of thread interleaving. Returns the first
+  /// query error, if any (remaining queries still run).
+  Status RunRangeBatch(const std::vector<Blob>& queries, double r,
+                       std::vector<std::vector<ObjectId>>* results,
+                       BatchStats* stats = nullptr);
+
+  /// Convenience wrapper: kNN(q, k) for every q in `queries`; slot i holds
+  /// queries[i]'s neighbors sorted by ascending distance.
+  Status RunKnnBatch(const std::vector<Blob>& queries, size_t k,
+                     std::vector<std::vector<Neighbor>>* results,
+                     BatchStats* stats = nullptr);
+
+  /// Deprecated pre-PR 10 mixed-batch entry point; forwards to Submit().
+  /// Will be removed next PR — new call sites use Submit().
+  [[deprecated("use Submit()")]]
   Status RunMixedBatch(const std::vector<MixedOp>& ops,
                        std::vector<MixedResult>* results,
                        BatchStats* stats = nullptr);
@@ -154,13 +154,13 @@ class QueryExecutor {
  private:
   /// Fans `task(0..n-1)` over the pool, filling `stats` from the per-query
   /// latencies and the index counter delta.
-  Status RunBatch(size_t n, const std::function<Status(size_t)>& task,
-                  BatchStats* stats);
-  /// One write op under the policy RunMixedBatch documents: mutex when the
-  /// index is single-writer; lock-free dispatch with BOUNDED retry-on-Busy
+  Status FanOut(size_t n, const std::function<Status(size_t)>& task,
+                BatchStats* stats);
+  /// One write op under the policy Submit documents: mutex when the index
+  /// is single-writer; lock-free dispatch with BOUNDED retry-on-Busy
   /// (capped exponential backoff, kBusy surfaced if the budget drains) when
   /// it supports concurrent writers. Retries are tallied in busy_retries_.
-  Status RunWrite(const std::function<Status()>& op);
+  Status ExecuteWrite(const std::function<Status()>& op);
 
   MetricIndex* index_;
   TaskArena arena_;

@@ -1,0 +1,241 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace spb {
+namespace net {
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::InvalidArgument("client already connected");
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("connect failed: " + std::string(strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::WriteAll(const uint8_t* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd_, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::IOError("client write failed");
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadAll(uint8_t* data, size_t n) {
+  while (n > 0) {
+    ssize_t r = ::read(fd_, data, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::IOError("client read failed");
+    }
+    if (r == 0) {
+      // The server drops the connection after a framing violation; a client
+      // that kept the stream clean only sees this on server shutdown.
+      Close();
+      return Status::IOError("server closed connection");
+    }
+    data += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status Client::Call(FrameType type, const std::vector<uint8_t>& payload,
+                    FrameType expected_reply, std::vector<uint8_t>* reply) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  AppendFrame(type, payload.data(), payload.size(), &frame);
+  SPB_RETURN_IF_ERROR(WriteAll(frame.data(), frame.size()));
+
+  uint8_t header_buf[kFrameHeaderSize];
+  SPB_RETURN_IF_ERROR(ReadAll(header_buf, kFrameHeaderSize));
+  FrameHeader header;
+  Status s = DecodeFrameHeader(header_buf, &header);
+  if (!s.ok()) {
+    Close();  // cannot resync a corrupt reply stream
+    return s;
+  }
+  if (header.payload_len > kDefaultMaxFrameBytes) {
+    Close();
+    return Status::InvalidArgument("reply frame exceeds size limit");
+  }
+  reply->resize(header.payload_len);
+  SPB_RETURN_IF_ERROR(ReadAll(reply->data(), header.payload_len));
+  s = VerifyPayload(header, reply->data());
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  if (header.type == FrameType::kReplyError ||
+      header.type == FrameType::kReplyBusy) {
+    // Typed server-side status (kReplyBusy carries kBusy — transient
+    // pushback, same taxonomy as the in-process write path).
+    return DecodeErrorPayload(reply->data(), reply->size());
+  }
+  if (header.type != expected_reply) {
+    Close();
+    return Status::Corruption("unexpected reply frame type");
+  }
+  return Status::OK();
+}
+
+Status Client::Ping(const std::string& token) {
+  std::vector<uint8_t> payload(token.begin(), token.end());
+  std::vector<uint8_t> reply;
+  SPB_RETURN_IF_ERROR(
+      Call(FrameType::kPing, payload, FrameType::kReplyPong, &reply));
+  if (reply != payload) return Status::Corruption("pong payload mismatch");
+  return Status::OK();
+}
+
+namespace {
+
+/// Unpacks the single OpResult a single-op frame produced.
+Status SingleResult(const std::vector<uint8_t>& reply, OpResult* out) {
+  std::vector<OpResult> results;
+  WireBatchStats stats;
+  SPB_RETURN_IF_ERROR(
+      DecodeResultsPayload(reply.data(), reply.size(), &results, &stats));
+  if (results.size() != 1) {
+    return Status::Corruption("expected exactly one result");
+  }
+  *out = std::move(results[0]);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Client::Range(const Blob& query, double radius,
+                     std::vector<ObjectId>* ids) {
+  std::vector<uint8_t> payload;
+  EncodeRequest(Request::Range(query, radius), &payload);
+  std::vector<uint8_t> reply;
+  SPB_RETURN_IF_ERROR(
+      Call(FrameType::kRange, payload, FrameType::kReplyResults, &reply));
+  OpResult result;
+  SPB_RETURN_IF_ERROR(SingleResult(reply, &result));
+  *ids = std::move(result.range_ids);
+  return result.status;
+}
+
+Status Client::Knn(const Blob& query, uint64_t k,
+                   std::vector<Neighbor>* out) {
+  std::vector<uint8_t> payload;
+  EncodeRequest(Request::Knn(query, k), &payload);
+  std::vector<uint8_t> reply;
+  SPB_RETURN_IF_ERROR(
+      Call(FrameType::kKnn, payload, FrameType::kReplyResults, &reply));
+  OpResult result;
+  SPB_RETURN_IF_ERROR(SingleResult(reply, &result));
+  *out = std::move(result.neighbors);
+  return result.status;
+}
+
+Status Client::Insert(const Blob& obj, ObjectId id) {
+  std::vector<uint8_t> payload;
+  EncodeRequest(Request::Insert(obj, id), &payload);
+  std::vector<uint8_t> reply;
+  SPB_RETURN_IF_ERROR(
+      Call(FrameType::kInsert, payload, FrameType::kReplyResults, &reply));
+  OpResult result;
+  SPB_RETURN_IF_ERROR(SingleResult(reply, &result));
+  return result.status;
+}
+
+Status Client::Delete(const Blob& obj, ObjectId id, bool* found) {
+  std::vector<uint8_t> payload;
+  EncodeRequest(Request::Delete(obj, id), &payload);
+  std::vector<uint8_t> reply;
+  SPB_RETURN_IF_ERROR(
+      Call(FrameType::kDelete, payload, FrameType::kReplyResults, &reply));
+  OpResult result;
+  SPB_RETURN_IF_ERROR(SingleResult(reply, &result));
+  if (found != nullptr) *found = result.found;
+  return result.status;
+}
+
+Status Client::Submit(const std::vector<Request>& requests,
+                      std::vector<OpResult>* results,
+                      WireBatchStats* stats) {
+  std::vector<uint8_t> payload;
+  EncodeRequestsPayload(requests, &payload);
+  std::vector<uint8_t> reply;
+  SPB_RETURN_IF_ERROR(
+      Call(FrameType::kBatch, payload, FrameType::kReplyResults, &reply));
+  WireBatchStats local;
+  SPB_RETURN_IF_ERROR(DecodeResultsPayload(reply.data(), reply.size(),
+                                           results, &local));
+  if (results->size() != requests.size()) {
+    return Status::Corruption("result count does not match request count");
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status Client::BatchInsert(const std::vector<Request>& inserts) {
+  for (const Request& req : inserts) {
+    if (req.kind != Request::Kind::kInsert) {
+      return Status::InvalidArgument("BatchInsert takes only kInsert ops");
+    }
+  }
+  std::vector<uint8_t> payload;
+  EncodeRequestsPayload(inserts, &payload);
+  std::vector<uint8_t> reply;
+  SPB_RETURN_IF_ERROR(Call(FrameType::kBatchInsert, payload,
+                           FrameType::kReplyResults, &reply));
+  std::vector<OpResult> results;
+  WireBatchStats stats;
+  SPB_RETURN_IF_ERROR(
+      DecodeResultsPayload(reply.data(), reply.size(), &results, &stats));
+  for (const OpResult& result : results) {
+    SPB_RETURN_IF_ERROR(result.status);
+  }
+  return Status::OK();
+}
+
+Status Client::CollectStats(StatsSnapshot* out) {
+  std::vector<uint8_t> reply;
+  SPB_RETURN_IF_ERROR(
+      Call(FrameType::kStats, {}, FrameType::kReplyStats, &reply));
+  return DecodeStatsPayload(reply.data(), reply.size(), out);
+}
+
+}  // namespace net
+}  // namespace spb

@@ -1,0 +1,77 @@
+#ifndef SPB_NET_CLIENT_H_
+#define SPB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/blob.h"
+#include "common/status.h"
+#include "core/metric_index.h"
+#include "core/stats_snapshot.h"
+#include "net/protocol.h"
+
+namespace spb {
+namespace net {
+
+/// Thin blocking client for the SPB1 protocol: one TCP connection, one
+/// outstanding request at a time (write frame, read reply). Not thread-safe
+/// — benches and examples open one Client per worker thread. The op methods
+/// mirror MetricIndex's signatures on purpose: swapping an in-process index
+/// call for a wire call is a one-line change, and the results are
+/// byte-identical (tests/net_test.cc holds the gate).
+///
+/// A kReplyBusy from the server surfaces as Status::Busy — the same
+/// transient-pushback contract as the in-process write path (PR 7): back
+/// off and retry.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Round-trips `token` through kPing / kReplyPong; fails on any mismatch.
+  Status Ping(const std::string& token = "ping");
+
+  Status Range(const Blob& query, double radius,
+               std::vector<ObjectId>* ids);
+  Status Knn(const Blob& query, uint64_t k, std::vector<Neighbor>* out);
+  Status Insert(const Blob& obj, ObjectId id);
+  Status Delete(const Blob& obj, ObjectId id, bool* found = nullptr);
+
+  /// Any mix of ops in one kBatch frame — the wire twin of
+  /// QueryExecutor::Submit(). `stats` (optional) receives the server-side
+  /// batch aggregates (PA / compdists / busy retries / wall time).
+  Status Submit(const std::vector<Request>& requests,
+                std::vector<OpResult>* results,
+                WireBatchStats* stats = nullptr);
+
+  /// All-insert batch in one kBatchInsert frame.
+  Status BatchInsert(const std::vector<Request>& inserts);
+
+  /// Fetches the server index's full StatsSnapshot (per-shard drill-down
+  /// included) via the STATS op.
+  Status CollectStats(StatsSnapshot* out);
+
+ private:
+  /// Writes one frame, reads exactly one reply frame. Maps kReplyError /
+  /// kReplyBusy payloads to their Status; otherwise checks the reply type
+  /// and hands back the payload.
+  Status Call(FrameType type, const std::vector<uint8_t>& payload,
+              FrameType expected_reply, std::vector<uint8_t>* reply);
+  Status WriteAll(const uint8_t* data, size_t n);
+  Status ReadAll(uint8_t* data, size_t n);
+
+  int fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace spb
+
+#endif  // SPB_NET_CLIENT_H_

@@ -10,6 +10,7 @@
 
 #include "common/coding.h"
 #include "common/crash_point.h"
+#include "common/crc32.h"
 
 namespace spb {
 
@@ -20,32 +21,8 @@ constexpr size_t kHeaderSize = 32;
 // crc u32 | payload_len u32 | lsn u64 | type u8 | id u32
 constexpr size_t kRecordHeaderSize = 4 + 4 + 8 + 1 + 4;
 
-/// CRC-32 (reflected, polynomial 0xEDB88320), table-driven. Small and
-/// dependency-free; throughput is irrelevant next to the fsync that follows
-/// every group.
-const std::array<uint32_t, 256>& CrcTable() {
-  static const std::array<uint32_t, 256> table = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-uint32_t Crc32(const uint8_t* data, size_t n) {
-  const auto& table = CrcTable();
-  uint32_t c = 0xFFFFFFFFu;
-  for (size_t i = 0; i < n; ++i) {
-    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
+// CRC-32 comes from common/crc32.h (shared with the network protocol's
+// frame checksums since PR 10); the record layout is unchanged.
 
 Status PWriteFull(int fd, uint64_t offset, const uint8_t* data, size_t n) {
   while (n > 0) {

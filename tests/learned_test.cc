@@ -155,11 +155,11 @@ TEST_F(LocatorIdentityTest, QueriesAreByteIdenticalWithFewerNodeTouches) {
   }
   // The learned tree's queries ran entirely from the model (no classic
   // fallbacks) and touched strictly fewer B+-tree nodes.
-  const LocatorStats ls = learned_->locator_stats();
-  EXPECT_TRUE(ls.model_present);
-  EXPECT_GT(ls.hits, 0u);
-  EXPECT_EQ(ls.fallbacks, 0u);
-  EXPECT_EQ(ls.stale, 0u);
+  const StatsSnapshot ls = learned_->CollectStats();
+  EXPECT_TRUE(ls.locator_model_present);
+  EXPECT_GT(ls.locator_hits, 0u);
+  EXPECT_EQ(ls.locator_fallbacks, 0u);
+  EXPECT_EQ(ls.locator_stale, 0u);
   const IoStats ca = classic_->io_stats();
   const IoStats cb = learned_->io_stats();
   EXPECT_LT(cb.page_reads.load() + cb.cache_hits.load(),
@@ -182,7 +182,7 @@ TEST(LocatorChurnTest, StaleModelIsNeverConsultedAndRebuilds) {
   ASSERT_TRUE(
       SpbTree::Build(ds.objects, ds.metric.get(), LocatorOptions(), &learned)
           .ok());
-  const uint64_t rebuilds_at_build = learned->locator_stats().rebuilds;
+  const uint64_t rebuilds_at_build = learned->CollectStats().locator_rebuilds;
 
   // Interleave writes with queries. The first write invalidates; the next
   // queries must fall back (stale) yet return identical results.
@@ -201,9 +201,9 @@ TEST(LocatorChurnTest, StaleModelIsNeverConsultedAndRebuilds) {
     ASSERT_TRUE(learned->KnnQuery(q, 5, &nb, &b).ok());
     EXPECT_EQ(na, nb) << "i=" << i;
   }
-  const LocatorStats mid = learned->locator_stats();
-  EXPECT_GT(mid.stale, 0u) << "churn queries must have seen a stale model";
-  EXPECT_GT(mid.fallbacks, 0u);
+  const StatsSnapshot mid = learned->CollectStats();
+  EXPECT_GT(mid.locator_stale, 0u) << "churn queries must have seen a stale model";
+  EXPECT_GT(mid.locator_fallbacks, 0u);
 
   // Deletes count as churn too.
   bool found = false;
@@ -219,9 +219,9 @@ TEST(LocatorChurnTest, StaleModelIsNeverConsultedAndRebuilds) {
     ASSERT_TRUE(classic->Insert(extra.objects[i], ObjectId(20000 + i)).ok());
     ASSERT_TRUE(learned->Insert(extra.objects[i], ObjectId(20000 + i)).ok());
   }
-  const LocatorStats late = learned->locator_stats();
-  EXPECT_GT(late.rebuilds, rebuilds_at_build);
-  const uint64_t stale_before = late.stale, hits_before = late.hits;
+  const StatsSnapshot late = learned->CollectStats();
+  EXPECT_GT(late.locator_rebuilds, rebuilds_at_build);
+  const uint64_t stale_before = late.locator_stale, hits_before = late.locator_hits;
   for (size_t qi = 0; qi < 10; ++qi) {
     const Blob& q = ds.objects[(qi * 211) % ds.objects.size()];
     std::vector<ObjectId> ra, rb;
@@ -229,9 +229,9 @@ TEST(LocatorChurnTest, StaleModelIsNeverConsultedAndRebuilds) {
     ASSERT_TRUE(learned->RangeQuery(q, 0.25, &rb).ok());
     EXPECT_EQ(SortedIds(ra), SortedIds(rb));
   }
-  const LocatorStats fresh = learned->locator_stats();
-  EXPECT_EQ(fresh.stale, stale_before);
-  EXPECT_GT(fresh.hits, hits_before);
+  const StatsSnapshot fresh = learned->CollectStats();
+  EXPECT_EQ(fresh.locator_stale, stale_before);
+  EXPECT_GT(fresh.locator_hits, hits_before);
   EXPECT_TRUE(learned->CheckIntegrity().ok());
 }
 
@@ -249,9 +249,9 @@ TEST(LocatorChurnTest, ShardedChurnStaysIdenticalToClassic) {
   std::unique_ptr<ShardedSpbTree> sharded;
   ASSERT_TRUE(
       ShardedSpbTree::Build(ds.objects, ds.metric.get(), opts, &sharded).ok());
-  const LocatorStats built = sharded->locator_stats();
-  EXPECT_TRUE(built.model_present);
-  EXPECT_GE(built.rebuilds, 4u);  // one per non-empty shard
+  const StatsSnapshot built = sharded->CollectStats();
+  EXPECT_TRUE(built.locator_model_present);
+  EXPECT_GE(built.locator_rebuilds, 4u);  // one per non-empty shard
 
   for (size_t i = 0; i < extra.objects.size(); ++i) {
     ASSERT_TRUE(classic->Insert(extra.objects[i], ObjectId(30000 + i)).ok());
@@ -315,13 +315,13 @@ TEST(PlannerTest, RoutedKnnMatchesOneOfTheStaticConfigs) {
       if (matches_incremental) ++incremental_like;
     }
   }
-  const PlannerStats ps = planned->planner_stats();
-  EXPECT_EQ(ps.planned_knn, 50u);
-  EXPECT_EQ(ps.routed_greedy + ps.routed_incremental, ps.planned_knn);
+  const StatsSnapshot ps = planned->CollectStats();
+  EXPECT_EQ(ps.planner_planned_knn, 50u);
+  EXPECT_EQ(ps.planner_routed_greedy + ps.planner_routed_incremental, ps.planner_planned_knn);
   // Feedback ran: the EMA moved off its 1.0 prior (any workload this size
   // has nonzero prediction error) and drift stays |log(calibration)|.
-  EXPECT_NE(ps.calibration, 1.0);
-  EXPECT_NEAR(ps.drift, std::abs(std::log(ps.calibration)), 1e-12);
+  EXPECT_NE(ps.planner_calibration, 1.0);
+  EXPECT_NEAR(ps.planner_drift, std::abs(std::log(ps.planner_calibration)), 1e-12);
 }
 
 // Planner-on range queries return the classic results (the planner only
@@ -344,7 +344,7 @@ TEST(PlannerTest, PlannedRangeQueriesMatchClassicResults) {
       EXPECT_EQ(SortedIds(ra), SortedIds(rb)) << "qi=" << qi << " r=" << r;
     }
   }
-  EXPECT_GT(planned->planner_stats().planned_range, 0u);
+  EXPECT_GT(planned->CollectStats().planner_planned_range, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -366,16 +366,16 @@ TEST(PlannerTest, CalibrationEmaSurvivesSaveOpen) {
     ASSERT_TRUE(tree->KnnQuery(ds.objects[qi], 5, &nn).ok());
     ASSERT_TRUE(tree->RangeQuery(ds.objects[qi], 0.2, &ids).ok());
   }
-  const double ema = tree->planner_stats().calibration;
+  const double ema = tree->CollectStats().planner_calibration;
   EXPECT_NE(ema, 1.0);
   ASSERT_TRUE(tree->Save().ok());
   tree.reset();
 
   std::unique_ptr<SpbTree> reopened;
   ASSERT_TRUE(SpbTree::Open(dir, ds.metric.get(), opts, &reopened).ok());
-  EXPECT_DOUBLE_EQ(reopened->planner_stats().calibration, ema);
+  EXPECT_DOUBLE_EQ(reopened->CollectStats().planner_calibration, ema);
   // Open rebuilt the locator for the restored version.
-  EXPECT_TRUE(reopened->locator_stats().model_present);
+  EXPECT_TRUE(reopened->CollectStats().locator_model_present);
   ASSERT_TRUE(reopened->RangeQuery(ds.objects[0], 0.0, &ids).ok());
   EXPECT_TRUE(std::find(ids.begin(), ids.end(), ObjectId(0)) != ids.end());
   fs::remove_all(dir);
@@ -389,14 +389,14 @@ TEST(LocatorTuningTest, ToggleDropsAndRetrainsModel) {
   ASSERT_TRUE(
       SpbTree::Build(ds.objects, ds.metric.get(), LocatorOptions(8), &tree)
           .ok());
-  EXPECT_TRUE(tree->locator_stats().model_present);
-  EXPECT_EQ(tree->locator_stats().epsilon, 8u);
+  EXPECT_TRUE(tree->CollectStats().locator_model_present);
+  EXPECT_EQ(tree->CollectStats().locator_epsilon, 8u);
 
   TuningOptions t = tree->tuning();
   EXPECT_TRUE(t.enable_learned_locator);
   t.enable_learned_locator = false;
   ASSERT_TRUE(tree->ApplyTuning(t).ok());
-  EXPECT_FALSE(tree->locator_stats().model_present);
+  EXPECT_FALSE(tree->CollectStats().locator_model_present);
   std::vector<ObjectId> ids;
   ASSERT_TRUE(tree->RangeQuery(ds.objects[1], 0.0, &ids).ok());
   EXPECT_TRUE(std::find(ids.begin(), ids.end(), ObjectId(1)) != ids.end());
@@ -404,9 +404,9 @@ TEST(LocatorTuningTest, ToggleDropsAndRetrainsModel) {
   t.enable_learned_locator = true;
   t.locator_epsilon = 2;
   ASSERT_TRUE(tree->ApplyTuning(t).ok());
-  const LocatorStats back = tree->locator_stats();
-  EXPECT_TRUE(back.model_present);
-  EXPECT_EQ(back.epsilon, 2u);
+  const StatsSnapshot back = tree->CollectStats();
+  EXPECT_TRUE(back.locator_model_present);
+  EXPECT_EQ(back.locator_epsilon, 2u);
   ASSERT_TRUE(tree->RangeQuery(ds.objects[1], 0.0, &ids).ok());
   EXPECT_TRUE(std::find(ids.begin(), ids.end(), ObjectId(1)) != ids.end());
 }

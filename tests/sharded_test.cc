@@ -305,28 +305,29 @@ TEST(ShardedExecutorTest, MixedBatchRunsConcurrentWriters) {
 
   Dataset extra = MakeSynthetic(60, 555);
   QueryExecutor exec(tree.get(), 4);
-  std::vector<MixedOp> ops;
+  std::vector<Request> ops;
   for (size_t i = 0; i < 60; ++i) {
-    MixedOp op;
+    Request op;
     if (i % 3 == 0) {
-      op.kind = MixedOp::Kind::kInsert;
+      op.kind = Request::Kind::kInsert;
       op.obj = extra.objects[i];
       op.id = ObjectId(5000 + i);
     } else if (i % 3 == 1) {
-      op.kind = MixedOp::Kind::kRange;
+      op.kind = Request::Kind::kRange;
       op.obj = ds.objects[i];
       op.radius = 0.2;
     } else {
-      op.kind = MixedOp::Kind::kKnn;
+      op.kind = Request::Kind::kKnn;
       op.obj = ds.objects[i];
       op.k = 5;
     }
     ops.push_back(op);
   }
-  std::vector<MixedResult> results;
-  ASSERT_TRUE(exec.RunMixedBatch(ops, &results).ok());
+  BatchResult batch = exec.Submit(ops);
+  ASSERT_TRUE(batch.first_error.ok()) << batch.first_error.message();
+  const std::vector<OpResult>& results = batch.results;
   for (size_t i = 0; i < results.size(); ++i) {
-    // RunWrite retries transient Busy, so every op must land.
+    // The executor's write path retries transient Busy, so every op lands.
     EXPECT_TRUE(results[i].status.ok()) << i << ": "
                                         << results[i].status.message();
   }

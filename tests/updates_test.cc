@@ -393,55 +393,55 @@ TEST_F(SpbInterleavedTest, BatchInsertMatchesLoopedInserts) {
 
 // --------------------------------------------------------- executor facade
 
-TEST_F(SpbInterleavedTest, RunMixedBatchInterleavesReadsAndWrites) {
+TEST_F(SpbInterleavedTest, SubmitInterleavesReadsAndWrites) {
   const std::vector<std::set<ObjectId>> initial = QuiescedRange();
 
-  std::vector<MixedOp> ops;
+  std::vector<Request> ops;
   for (size_t i = 0; i < queries_.size(); ++i) {
-    MixedOp range;
-    range.kind = MixedOp::Kind::kRange;
+    Request range;
+    range.kind = Request::Kind::kRange;
     range.obj = queries_[i];
     range.radius = kRadius;
     ops.push_back(std::move(range));
 
-    MixedOp knn;
-    knn.kind = MixedOp::Kind::kKnn;
+    Request knn;
+    knn.kind = Request::Kind::kKnn;
     knn.obj = queries_[i];
     knn.k = 5;
     ops.push_back(std::move(knn));
 
-    MixedOp ins;
-    ins.kind = MixedOp::Kind::kInsert;
+    Request ins;
+    ins.kind = Request::Kind::kInsert;
     ins.obj = far_[i % far_.size()];
     ins.id = ObjectId(50000 + i);
     ops.push_back(std::move(ins));
   }
-  MixedOp del;
-  del.kind = MixedOp::Kind::kDelete;
+  Request del;
+  del.kind = Request::Kind::kDelete;
   del.obj = far_[0];
   del.id = ObjectId(50000);
   ops.push_back(std::move(del));
 
   QueryExecutor exec(tree_.get(), 4);
-  std::vector<MixedResult> results;
-  BatchStats stats;
-  ASSERT_TRUE(exec.RunMixedBatch(ops, &results, &stats).ok());
+  BatchResult batch = exec.Submit(ops);
+  ASSERT_TRUE(batch.first_error.ok()) << batch.first_error.message();
+  const std::vector<OpResult>& results = batch.results;
   ASSERT_EQ(results.size(), ops.size());
-  EXPECT_EQ(stats.num_queries, ops.size());
+  EXPECT_EQ(batch.stats.num_queries, ops.size());
 
   for (size_t i = 0; i < ops.size(); ++i) {
     EXPECT_TRUE(results[i].status.ok()) << i << ": "
                                         << results[i].status.ToString();
     // Far inserts never enter a query ball: every range result matches the
     // quiesced baseline exactly even though writes interleave.
-    if (ops[i].kind == MixedOp::Kind::kRange) {
+    if (ops[i].kind == Request::Kind::kRange) {
       EXPECT_EQ(std::set<ObjectId>(results[i].range_ids.begin(),
                                    results[i].range_ids.end()),
                 initial[i / 3]);
       EXPECT_TRUE(std::is_sorted(results[i].range_ids.begin(),
                                  results[i].range_ids.end()));
     }
-    if (ops[i].kind == MixedOp::Kind::kKnn) {
+    if (ops[i].kind == Request::Kind::kKnn) {
       EXPECT_EQ(results[i].neighbors.size(), 5u);
     }
   }
@@ -463,18 +463,17 @@ TEST(MixedBatchBaselineTest, DeleteOnBaselineReportsUnimplemented) {
   EXPECT_EQ(direct.code(), Status::Code::kUnimplemented);
 
   QueryExecutor exec(vp.get(), 2);
-  std::vector<MixedOp> ops(2);
-  ops[0].kind = MixedOp::Kind::kRange;
+  std::vector<Request> ops(2);
+  ops[0].kind = Request::Kind::kRange;
   ops[0].obj = ds.objects[0];
   ops[0].radius = 0.2;
-  ops[1].kind = MixedOp::Kind::kDelete;
+  ops[1].kind = Request::Kind::kDelete;
   ops[1].obj = ds.objects[0];
   ops[1].id = 0;
-  std::vector<MixedResult> results;
-  const Status s = exec.RunMixedBatch(ops, &results);
-  EXPECT_EQ(s.code(), Status::Code::kUnimplemented);
-  EXPECT_TRUE(results[0].status.ok());
-  EXPECT_EQ(results[1].status.code(), Status::Code::kUnimplemented);
+  BatchResult batch = exec.Submit(ops);
+  EXPECT_EQ(batch.first_error.code(), Status::Code::kUnimplemented);
+  EXPECT_TRUE(batch.results[0].status.ok());
+  EXPECT_EQ(batch.results[1].status.code(), Status::Code::kUnimplemented);
 }
 
 }  // namespace

@@ -254,12 +254,12 @@ TEST(GroupCommitTest, ConcurrentWritersAllSucceedWithoutBusy) {
   for (auto& t : writers) t.join();
 
   EXPECT_EQ(tree->size(), ds.objects.size() + kWriters * kPerWriter);
-  const WriteQueue::Stats qs = tree->write_queue_stats();
-  EXPECT_EQ(qs.ops, kWriters * kPerWriter);
-  EXPECT_GE(qs.groups, 1u);
-  EXPECT_LE(qs.groups, qs.ops);
-  EXPECT_GE(qs.max_group, 1u);
-  EXPECT_LE(qs.max_group, 16u);
+  const StatsSnapshot qs = tree->CollectStats();
+  EXPECT_EQ(qs.wq_ops, kWriters * kPerWriter);
+  EXPECT_GE(qs.wq_groups, 1u);
+  EXPECT_LE(qs.wq_groups, qs.wq_ops);
+  EXPECT_GE(qs.wq_max_group, 1u);
+  EXPECT_LE(qs.wq_max_group, 16u);
   EXPECT_TRUE(tree->CheckIntegrity().ok());
 }
 
@@ -268,8 +268,8 @@ TEST(GroupCommitTest, WalStatsAreZeroWhenDisabled) {
   SpbTreeOptions opts;
   std::unique_ptr<SpbTree> tree;
   ASSERT_TRUE(SpbTree::Build(ds.objects, ds.metric.get(), opts, &tree).ok());
-  EXPECT_EQ(tree->wal_stats().segment_bytes, 0u);
-  EXPECT_EQ(tree->write_queue_stats().ops, 0u);
+  EXPECT_EQ(tree->CollectStats().wal_segment_bytes, 0u);
+  EXPECT_EQ(tree->CollectStats().wq_ops, 0u);
   EXPECT_EQ(tree->writer_concurrency(), 1u);
 }
 
@@ -297,7 +297,7 @@ TEST_F(WalReplayTest, UncleanCloseReplaysOnOpen) {
             .ok());
     ASSERT_TRUE(tree->Save().ok());
     ASSERT_TRUE(ApplyOps(tree.get(), ops, ops.size()).ok());
-    EXPECT_EQ(tree->wal_stats().pending_records, ops.size());
+    EXPECT_EQ(tree->CollectStats().wal_pending_records, ops.size());
     // No Save: the tree files still describe the checkpoint state and the
     // ops live only in the log. Destruction is an unclean close.
   }
@@ -305,7 +305,7 @@ TEST_F(WalReplayTest, UncleanCloseReplaysOnOpen) {
   ASSERT_TRUE(SpbTree::Open(dir_, ds_.metric.get(), WalOptions(dir_),
                             &reopened)
                   .ok());
-  EXPECT_EQ(reopened->wal_stats().replayed_records, ops.size());
+  EXPECT_EQ(reopened->CollectStats().wal_replayed_records, ops.size());
   EXPECT_EQ(reopened->size(), ds_.objects.size() + 8 - 4);
   ExpectOpsApplied(reopened.get(), ops, ops.size());
   EXPECT_TRUE(reopened->CheckIntegrity().ok());
@@ -320,16 +320,16 @@ TEST_F(WalReplayTest, CheckpointTruncatesLog) {
   const std::vector<WalOp> ops = MakeWalOps(ds_);
   ASSERT_TRUE(ApplyOps(tree.get(), ops, ops.size()).ok());
 
-  Wal::Stats ws = tree->wal_stats();
-  EXPECT_EQ(ws.pending_records, ops.size());
-  EXPECT_GT(ws.segment_bytes, 32u);  // header + records
-  EXPECT_GT(ws.fsyncs, 0u);
+  StatsSnapshot ws = tree->CollectStats();
+  EXPECT_EQ(ws.wal_pending_records, ops.size());
+  EXPECT_GT(ws.wal_segment_bytes, 32u);  // header + records
+  EXPECT_GT(ws.wal_fsyncs, 0u);
 
   ASSERT_TRUE(tree->Save().ok());
-  ws = tree->wal_stats();
-  EXPECT_EQ(ws.pending_records, 0u);
-  EXPECT_EQ(ws.segment_bytes, 32u);  // truncated back to the bare header
-  EXPECT_EQ(ws.checkpoint_lsn, ws.next_lsn);
+  ws = tree->CollectStats();
+  EXPECT_EQ(ws.wal_pending_records, 0u);
+  EXPECT_EQ(ws.wal_segment_bytes, 32u);  // truncated back to the bare header
+  EXPECT_EQ(ws.wal_checkpoint_lsn, ws.wal_next_lsn);
 
   // The checkpointed tree reopens from the files alone (nothing to replay).
   tree.reset();
@@ -337,7 +337,7 @@ TEST_F(WalReplayTest, CheckpointTruncatesLog) {
   ASSERT_TRUE(SpbTree::Open(dir_, ds_.metric.get(), WalOptions(dir_),
                             &reopened)
                   .ok());
-  EXPECT_EQ(reopened->wal_stats().replayed_records, 0u);
+  EXPECT_EQ(reopened->CollectStats().wal_replayed_records, 0u);
   ExpectOpsApplied(reopened.get(), ops, ops.size());
 }
 
@@ -353,13 +353,13 @@ TEST_F(WalReplayTest, ShardedTreeReplaysEveryShard) {
                              ObjectId(30000 + i))
                     .ok());
   }
-  EXPECT_EQ(tree->wal_stats().pending_records, 16u);
+  EXPECT_EQ(tree->CollectStats().wal_pending_records, 16u);
   tree.reset();  // unclean close
 
   std::unique_ptr<ShardedSpbTree> reopened;
   ASSERT_TRUE(
       ShardedSpbTree::Open(dir_, ds_.metric.get(), opts, &reopened).ok());
-  EXPECT_EQ(reopened->wal_stats().replayed_records, 16u);
+  EXPECT_EQ(reopened->CollectStats().wal_replayed_records, 16u);
   EXPECT_EQ(reopened->size(), ds_.objects.size() + 16);
   for (size_t i = 0; i < 16; ++i) {
     std::vector<ObjectId> got;
@@ -522,7 +522,7 @@ TEST_F(CompactionTest, BackgroundCompactorTriggersOnThreshold) {
   // debt (bounded, ~5 s worst case).
   bool compacted = false;
   for (int spin = 0; spin < 500; ++spin) {
-    if (tree->write_queue_stats().compactions > 0 &&
+    if (tree->CollectStats().wq_compactions > 0 &&
         tree->io_stats().dead_bytes.load(std::memory_order_relaxed) == 0) {
       compacted = true;
       break;
@@ -602,7 +602,7 @@ TEST_F(WalCrashTest, GroupFsyncKillPoints) {
 
     std::unique_ptr<SpbTree> recovered = Recover();
     ASSERT_NE(recovered, nullptr);
-    const uint64_t replayed = recovered->wal_stats().replayed_records;
+    const uint64_t replayed = recovered->CollectStats().wal_replayed_records;
     EXPECT_GE(replayed, c.min_records);
     EXPECT_LE(replayed, c.max_records);
 
@@ -629,7 +629,7 @@ TEST_F(WalCrashTest, CheckpointKillPointReplaysIdempotently) {
 
   std::unique_ptr<SpbTree> recovered = Recover();
   ASSERT_NE(recovered, nullptr);
-  EXPECT_EQ(recovered->wal_stats().replayed_records, ops_.size());
+  EXPECT_EQ(recovered->CollectStats().wal_replayed_records, ops_.size());
   EXPECT_EQ(recovered->size(), ds_.objects.size() + 8 - 4);
   ExpectOpsApplied(recovered.get(), ops_, ops_.size());
 

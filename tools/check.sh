@@ -20,6 +20,7 @@
 #   tools/check.sh --wal      # only the write-path engine stage (TSan+ASan)
 #   tools/check.sh --fanout   # only the fan-out/contention stage (TSan+ASan)
 #   tools/check.sh --learned  # only the learned locator/planner stage (TSan+ASan)
+#   tools/check.sh --net      # only the network serving stage (TSan+ASan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -167,6 +168,27 @@ run_learned() {
   (cd build-asan && ./bench/bench_learned --identity-only --scale=2000 --queries=20)
 }
 
+run_net() {
+  # The network serving stage: frame assembly/protocol robustness, the
+  # epoll I/O thread handing sockets' outboxes to dispatcher threads (the
+  # per-conn mutex + eventfd wake protocol is only credible TSan-clean),
+  # admission-control CAS on the in-flight op counter, concurrent clients,
+  # and mid-frame disconnects. ASan covers the shared_ptr<Conn> lifecycle
+  # across I/O-thread close vs in-flight dispatcher replies, torn-frame
+  # reassembly buffers, and decode bounds on hostile payloads. The
+  # --identity-only sweep re-runs the wire identity gate under both.
+  echo "==> net: serving layer tests under TSan"
+  cmake -B build-tsan -S . -DSPB_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target net_test bench_serving
+  ./build-tsan/tests/net_test
+  (cd build-tsan && ./bench/bench_serving --identity-only --scale=1500 --queries=16)
+  echo "==> net: serving layer tests under ASan"
+  cmake -B build-asan -S . -DSPB_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target net_test bench_serving
+  ./build-asan/tests/net_test
+  (cd build-asan && ./bench/bench_serving --identity-only --scale=1500 --queries=16)
+}
+
 run_iouring() {
   echo "==> iouring: -DSPB_IOURING=ON must build (falls back to pread"
   echo "    with a warning when liburing is absent)"
@@ -185,6 +207,7 @@ case "${1:-}" in
   --wal) run_wal ;;
   --fanout) run_fanout ;;
   --learned) run_learned ;;
+  --net) run_net ;;
   *)
     run_tier1
     run_tsan
@@ -195,6 +218,7 @@ case "${1:-}" in
     run_wal
     run_fanout
     run_learned
+    run_net
     run_iouring
     ;;
 esac

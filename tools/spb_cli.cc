@@ -8,6 +8,14 @@
 //   spb_cli stats   --dir=/tmp/idx --metric=edit
 //   spb_cli compact --dir=/tmp/idx --metric=edit
 //
+// Serve the same index over TCP (docs/PROTOCOL.md) and query it remotely:
+//
+//   spb_cli serve --dir=/tmp/idx --metric=edit --port=7878 --threads=4
+//   spb_cli knn   --connect=127.0.0.1:7878 --metric=edit --query=word --k=5
+//   spb_cli range --connect=127.0.0.1:7878 --metric=edit --query=word --r=2
+//   spb_cli stats --connect=127.0.0.1:7878
+//   spb_cli ping  --connect=127.0.0.1:7878
+//
 // `build --shards=N` (N a power of two > 1) builds an SFC-range-sharded
 // index instead; knn/range/stats detect the sharded layout on open (the
 // shards.spb manifest), so querying needs no extra flag.
@@ -21,20 +29,25 @@
 //   --metric=l2|l5     whitespace-separated floats per line (vectors)
 //   --metric=hamming   one symbol string per line
 //   --metric=dna       one ACGT sequence per line (tri-gram cosine)
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/contention.h"
 #include "core/sharded_spb_tree.h"
 #include "core/spb_tree.h"
+#include "exec/query_executor.h"
 #include "metrics/edit_distance.h"
 #include "metrics/hamming.h"
 #include "metrics/lp_norm.h"
 #include "metrics/trigram_cosine.h"
+#include "net/client.h"
+#include "net/server.h"
 
 namespace spb {
 namespace cli {
@@ -55,6 +68,11 @@ struct Args {
   bool cold = false;
   bool no_prefetch = false;
   bool learned = false;  // learned leaf locator + cost-model planner
+  // Network serving layer (PR 10).
+  std::string connect;     // host:port — run the command against a server
+  uint16_t port = 7878;    // serve: listen port
+  size_t threads = 4;      // serve: executor pool size
+  size_t dispatchers = 2;  // serve: dispatcher threads
 };
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -87,6 +105,14 @@ bool Parse(int argc, char** argv, Args* args) {
       args->shards = size_t(std::atoll(v));
     } else if (const char* v = value("--repeat=")) {
       args->repeat = size_t(std::atoll(v));
+    } else if (const char* v = value("--connect=")) {
+      args->connect = v;
+    } else if (const char* v = value("--port=")) {
+      args->port = uint16_t(std::atoi(v));
+    } else if (const char* v = value("--threads=")) {
+      args->threads = size_t(std::atoll(v));
+    } else if (const char* v = value("--dispatchers=")) {
+      args->dispatchers = size_t(std::atoll(v));
     } else if (arg == "--cold") {
       args->cold = true;
     } else if (arg == "--no-prefetch") {
@@ -98,7 +124,7 @@ bool Parse(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  return !args->dir.empty();
+  return !args->dir.empty() || !args->connect.empty();
 }
 
 std::unique_ptr<DistanceFunction> MakeMetric(const Args& args) {
@@ -189,15 +215,90 @@ bool HasWal(const std::string& dir) {
   return f.good();
 }
 
-// One WAL counter line (aggregate or per shard).
-void PrintWalStats(const Wal::Stats& ws, const char* prefix) {
+// Renders one StatsSnapshot — THE stats surface since PR 10
+// (MetricIndex::CollectStats(), also what the wire STATS op carries, so
+// local and --connect stats print identically). Sections an index never
+// exercised are omitted; `indent` nests the per-shard drill-down.
+void PrintSnapshotScalars(const StatsSnapshot& s, const char* indent) {
+  std::printf("%scost: %llu page accesses, %llu distance computations\n",
+              indent, (unsigned long long)s.page_accesses,
+              (unsigned long long)s.distance_computations);
   std::printf(
-      "%swal: %llu segment bytes, checkpoint lsn %llu, "
-      "%llu pending records, %llu replayed on open\n",
-      prefix, (unsigned long long)ws.segment_bytes,
-      (unsigned long long)ws.checkpoint_lsn,
-      (unsigned long long)ws.pending_records,
-      (unsigned long long)ws.replayed_records);
+      "%sio: %llu page reads (%llu cache hits, %llu physical), "
+      "%llu page writes\n",
+      indent, (unsigned long long)s.page_reads,
+      (unsigned long long)s.cache_hits, (unsigned long long)s.physical_reads,
+      (unsigned long long)s.page_writes);
+  std::printf(
+      "%sio: %llu prefetch issued, %llu prefetch hits, %llu coalesced "
+      "pages\n",
+      indent, (unsigned long long)s.prefetch_issued,
+      (unsigned long long)s.prefetch_hits,
+      (unsigned long long)s.coalesced_pages);
+  std::printf("%sdead bytes: %llu (lazy deletes awaiting compaction)\n",
+              indent, (unsigned long long)s.dead_bytes);
+  if (s.wal_segment_bytes > 0 || s.wal_next_lsn > 0) {
+    std::printf(
+        "%swal: %llu segment bytes, checkpoint lsn %llu, %llu pending "
+        "records, %llu replayed on open\n",
+        indent, (unsigned long long)s.wal_segment_bytes,
+        (unsigned long long)s.wal_checkpoint_lsn,
+        (unsigned long long)s.wal_pending_records,
+        (unsigned long long)s.wal_replayed_records);
+  }
+  if (s.wq_ops > 0 || s.wq_groups > 0) {
+    std::printf(
+        "%swrite queue: %llu ops in %llu groups (max group %llu), "
+        "%llu compactions\n",
+        indent, (unsigned long long)s.wq_ops,
+        (unsigned long long)s.wq_groups, (unsigned long long)s.wq_max_group,
+        (unsigned long long)s.wq_compactions);
+  }
+  if (s.locator_model_present || s.locator_hits > 0 ||
+      s.locator_fallbacks > 0) {
+    std::printf(
+        "%slocator: %s, %llu leaves / %llu segments (eps=%llu, pla_ok=%d), "
+        "%llu internal nodes imaged\n",
+        indent, s.locator_model_present ? "model present" : "no model",
+        (unsigned long long)s.locator_leaves,
+        (unsigned long long)s.locator_segments,
+        (unsigned long long)s.locator_epsilon, int(s.locator_pla_ok),
+        (unsigned long long)s.locator_internal_nodes);
+    std::printf(
+        "%slocator counters: %llu hits, %llu fallbacks, %llu stale, "
+        "%llu seek misses, %llu rebuilds\n",
+        indent, (unsigned long long)s.locator_hits,
+        (unsigned long long)s.locator_fallbacks,
+        (unsigned long long)s.locator_stale,
+        (unsigned long long)s.locator_seek_misses,
+        (unsigned long long)s.locator_rebuilds);
+  }
+  if (s.planner_planned_range > 0 || s.planner_planned_knn > 0) {
+    std::printf(
+        "%splanner: %llu range / %llu knn planned; routed %llu greedy / "
+        "%llu incremental, cutoff off on %llu\n",
+        indent, (unsigned long long)s.planner_planned_range,
+        (unsigned long long)s.planner_planned_knn,
+        (unsigned long long)s.planner_routed_greedy,
+        (unsigned long long)s.planner_routed_incremental,
+        (unsigned long long)s.planner_cutoff_disabled);
+    std::printf("%splanner calibration: %.4f (drift %.4f)\n", indent,
+                s.planner_calibration, s.planner_drift);
+  }
+}
+
+void PrintSnapshot(const StatsSnapshot& s) {
+  std::printf("index: %s\nobjects: %llu\nstorage: %.1f KB\nshards: %u\n",
+              s.name.c_str(), (unsigned long long)s.num_objects,
+              double(s.storage_bytes) / 1024.0, s.num_shards);
+  PrintSnapshotScalars(s, "");
+  for (size_t sh = 0; sh < s.shards.size(); ++sh) {
+    const StatsSnapshot& shard = s.shards[sh];
+    std::printf("  shard %zu: %llu objects, %.1f KB\n", sh,
+                (unsigned long long)shard.num_objects,
+                double(shard.storage_bytes) / 1024.0);
+    PrintSnapshotScalars(shard, "    ");
+  }
 }
 
 // The `compact` command body, shared by both layouts: rewrite the RAF(s)
@@ -237,44 +338,6 @@ void PrintContentionStats() {
                 (unsigned long long)l.contended, l.wait_ns / 1e6,
                 worst >= 0 ? ", worst bucket us 2^" : "",
                 worst >= 0 ? std::to_string(worst).c_str() : "");
-  }
-}
-
-// Learned-layer counters (docs/OPERATIONS.md §"Reading locator/planner
-// counters"); both layouts expose the same stats surface, the sharded one
-// aggregated across shards. The locator line is omitted when the knob is
-// off and no model was ever built.
-template <typename Index>
-void PrintLearnedStats(const Index& index) {
-  const LocatorStats ls = index.locator_stats();
-  const TuningOptions tn = index.tuning();
-  if (tn.enable_learned_locator || ls.model_present) {
-    std::printf("locator: %s, %llu leaves / %llu segments (eps=%llu, "
-                "pla_ok=%d), %llu internal nodes imaged\n",
-                ls.model_present ? "model present" : "no model",
-                (unsigned long long)ls.leaves,
-                (unsigned long long)ls.segments,
-                (unsigned long long)ls.epsilon, int(ls.pla_ok),
-                (unsigned long long)ls.internal_nodes);
-    std::printf("locator counters: %llu hits, %llu fallbacks, %llu stale, "
-                "%llu seek misses, %llu rebuilds\n",
-                (unsigned long long)ls.hits,
-                (unsigned long long)ls.fallbacks,
-                (unsigned long long)ls.stale,
-                (unsigned long long)ls.seek_misses,
-                (unsigned long long)ls.rebuilds);
-  }
-  if (tn.enable_planner) {
-    const PlannerStats ps = index.planner_stats();
-    std::printf("planner: %llu range / %llu knn planned; routed %llu greedy "
-                "/ %llu incremental, cutoff off on %llu\n",
-                (unsigned long long)ps.planned_range,
-                (unsigned long long)ps.planned_knn,
-                (unsigned long long)ps.routed_greedy,
-                (unsigned long long)ps.routed_incremental,
-                (unsigned long long)ps.cutoff_disabled);
-    std::printf("planner calibration: %.4f (drift %.4f)\n", ps.calibration,
-                ps.drift);
   }
 }
 
@@ -371,6 +434,115 @@ int RunQuery(const Args& args, Index* index) {
   return 0;
 }
 
+// `serve` blocks until SIGINT/SIGTERM.
+volatile std::sig_atomic_t g_stop_serving = 0;
+void HandleStopSignal(int) { g_stop_serving = 1; }
+
+// The `serve` command body: one executor pool over the opened index, one
+// TCP server multiplexing every connection onto it (docs/PROTOCOL.md).
+int Serve(const Args& args, MetricIndex* index) {
+  QueryExecutor exec(index, args.threads == 0 ? 1 : args.threads);
+  net::ServerOptions sopts;
+  sopts.port = args.port;
+  sopts.num_dispatchers = args.dispatchers;
+  net::Server server(&exec, sopts);
+  Status s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::printf("serving %s on %s:%u (%zu executor threads, %zu dispatchers); "
+              "Ctrl-C to stop\n",
+              index->name().c_str(), sopts.host.c_str(), server.port(),
+              exec.num_threads(), sopts.num_dispatchers);
+  std::fflush(stdout);
+  while (g_stop_serving == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  const net::ServerStats ss = server.stats();
+  std::printf("served %llu ops over %llu connections (%llu frames in, "
+              "%llu out, %llu busy-rejected, %llu protocol errors)\n",
+              (unsigned long long)ss.ops_executed,
+              (unsigned long long)ss.connections_accepted,
+              (unsigned long long)ss.frames_received,
+              (unsigned long long)ss.frames_sent,
+              (unsigned long long)ss.ops_rejected_busy,
+              (unsigned long long)ss.protocol_errors);
+  return 0;
+}
+
+// Runs knn/range/stats/ping against a running server (--connect=host:port)
+// through the blocking client. Same output shape as the local commands.
+int Remote(const Args& args) {
+  const size_t colon = args.connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect wants host:port, got %s\n",
+                 args.connect.c_str());
+    return 2;
+  }
+  const std::string host = args.connect.substr(0, colon);
+  const uint16_t port = uint16_t(std::atoi(args.connect.c_str() + colon + 1));
+  net::Client client;
+  Status s = client.Connect(host, port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (args.command == "ping") {
+    s = client.Ping();
+    if (!s.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("pong from %s\n", args.connect.c_str());
+    return 0;
+  }
+  if (args.command == "stats") {
+    StatsSnapshot snapshot;
+    s = client.CollectStats(&snapshot);
+    if (!s.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    PrintSnapshot(snapshot);
+    return 0;
+  }
+  Blob q;
+  if (!ParseObject(args, args.query, &q)) {
+    std::fprintf(stderr, "cannot parse --query under metric %s\n",
+                 args.metric.c_str());
+    return 1;
+  }
+  if (args.command == "knn") {
+    std::vector<Neighbor> result;
+    s = client.Knn(q, args.k, &result);
+    if (!s.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (const Neighbor& n : result) {
+      std::printf("id=%u distance=%.6g\n", n.id, n.distance);
+    }
+    return 0;
+  }
+  if (args.command == "range") {
+    std::vector<ObjectId> result;
+    s = client.Range(q, args.r, &result);
+    if (!s.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (ObjectId id : result) std::printf("id=%u\n", id);
+    return 0;
+  }
+  std::fprintf(stderr, "command %s does not support --connect\n",
+               args.command.c_str());
+  return 2;
+}
+
 int Query(const Args& args, const DistanceFunction* metric) {
   SpbTreeOptions options;
   options.enable_learned_locator = args.learned;
@@ -388,25 +560,11 @@ int Query(const Args& args, const DistanceFunction* metric) {
     if (args.command == "compact") return RunCompact(index.get());
     if (args.command == "stats") {
       PrintCommonStats(*index);
-      std::printf("shards: %zu\n", index->num_shards());
-      const IoStats io = index->io_stats();
-      std::printf("dead bytes: %llu (lazy deletes awaiting compaction)\n",
-                  (unsigned long long)io.dead_bytes.load(
-                      std::memory_order_relaxed));
-      if (options.enable_wal) PrintWalStats(index->wal_stats(), "");
-      PrintLearnedStats(*index);
+      PrintSnapshot(index->CollectStats());
       PrintContentionStats();
-      for (size_t sh = 0; sh < index->num_shards(); ++sh) {
-        std::printf("  shard %zu: %llu objects, %.1f KB, %llu dead bytes\n",
-                    sh, (unsigned long long)index->shard(sh).size(),
-                    double(index->shard(sh).storage_bytes()) / 1024.0,
-                    (unsigned long long)index->shard(sh).raf().dead_bytes());
-        if (options.enable_wal) {
-          PrintWalStats(index->shard(sh).wal_stats(), "    ");
-        }
-      }
       return 0;
     }
+    if (args.command == "serve") return Serve(args, index.get());
     return RunQuery(args, index.get());
   }
 
@@ -421,13 +579,11 @@ int Query(const Args& args, const DistanceFunction* metric) {
   if (args.command == "stats") {
     PrintCommonStats(*index);
     std::printf("precision: %.3f\n", index->cost_model().precision());
-    std::printf("dead bytes: %llu (lazy deletes awaiting compaction)\n",
-                (unsigned long long)index->raf().dead_bytes());
-    if (options.enable_wal) PrintWalStats(index->wal_stats(), "");
-    PrintLearnedStats(*index);
+    PrintSnapshot(index->CollectStats());
     PrintContentionStats();
     return 0;
   }
+  if (args.command == "serve") return Serve(args, index.get());
   return RunQuery(args, index.get());
 }
 
@@ -436,11 +592,21 @@ int Main(int argc, char** argv) {
   if (!Parse(argc, argv, &args)) {
     std::fprintf(
         stderr,
-        "usage: spb_cli <build|knn|range|stats|compact> --dir=PATH "
-        "[--metric=edit|"
+        "usage: spb_cli <build|knn|range|stats|compact|serve|ping> "
+        "--dir=PATH | --connect=HOST:PORT [--metric=edit|"
         "l2|l5|hamming|dna] [--input=FILE] [--query=Q] [--r=R] [--k=K] "
         "[--dim=D] [--pivots=P] [--shards=S] [--repeat=N] [--cold] "
-        "[--no-prefetch] [--learned]\n");
+        "[--no-prefetch] [--learned] [--port=P] [--threads=T] "
+        "[--dispatchers=D]\n");
+    return 2;
+  }
+  if (!args.connect.empty()) {
+    if (args.command == "knn" || args.command == "range" ||
+        args.command == "stats" || args.command == "ping") {
+      return Remote(args);
+    }
+    std::fprintf(stderr, "command %s does not support --connect\n",
+                 args.command.c_str());
     return 2;
   }
   auto metric = MakeMetric(args);
@@ -450,7 +616,8 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "build") return Build(args, metric.get());
   if (args.command == "knn" || args.command == "range" ||
-      args.command == "stats" || args.command == "compact") {
+      args.command == "stats" || args.command == "compact" ||
+      args.command == "serve") {
     return Query(args, metric.get());
   }
   std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
