@@ -1757,7 +1757,7 @@ void SpbTree::UpdatePlannerFeedback(double predicted, double measured) {
   // each observation and the EMA saturates below the true ratio — warn
   // once so such runs are diagnosable, and let operators widen it.
   const double clamp =
-      std::max(1.0, options_.planner_feedback_clamp);
+      std::max(1.0, planner_clamp_.load(std::memory_order_relaxed));
   const double raw = measured / predicted;
   const double ratio = std::clamp(raw, 1.0 / clamp, clamp);
   if (ratio != raw &&
@@ -1894,6 +1894,8 @@ Status SpbTree::ApplyTuning(const TuningOptions& t) {
   options_.enable_planner = t.enable_planner;
   if (t.planner_feedback_clamp != options_.planner_feedback_clamp) {
     options_.planner_feedback_clamp = t.planner_feedback_clamp;
+    planner_clamp_.store(t.planner_feedback_clamp,
+                         std::memory_order_relaxed);
     // A widened clamp gives the EMA new headroom — re-arm the pinned
     // warning so it fires again if the new bound saturates too.
     planner_clamp_warned_.store(false, std::memory_order_relaxed);
@@ -1923,7 +1925,7 @@ TuningOptions SpbTree::tuning() const {
   t.enable_learned_locator = options_.enable_learned_locator;
   t.locator_epsilon = options_.locator_epsilon;
   t.enable_planner = options_.enable_planner;
-  t.planner_feedback_clamp = options_.planner_feedback_clamp;
+  t.planner_feedback_clamp = planner_clamp_.load(std::memory_order_relaxed);
   return t;
 }
 
@@ -1941,6 +1943,8 @@ Status SpbTree::InitEngine() {
   wal_fsync_.store(options_.wal_fsync, std::memory_order_relaxed);
   compact_threshold_.store(options_.compact_dead_bytes_threshold,
                            std::memory_order_relaxed);
+  planner_clamp_.store(options_.planner_feedback_clamp,
+                       std::memory_order_relaxed);
   if (options_.enable_wal) {
     if (options_.storage_dir.empty()) {
       return Status::InvalidArgument(

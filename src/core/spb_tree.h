@@ -756,6 +756,11 @@ class SpbTree : public MetricIndex {
   // UpdatePlannerFeedback): first pinned observation logs, the rest stay
   // silent so a miscalibrated workload does not flood stderr.
   mutable std::atomic<bool> planner_clamp_warned_{false};
+  // Atomic mirror of options_.planner_feedback_clamp: ApplyTuning writes
+  // under writer_mu_ while UpdatePlannerFeedback reads on the query hot
+  // path, so the feedback path reads this (like wal_fsync_) instead of
+  // racing on the plain double in options_. Default mirrors SpbTreeOptions.
+  std::atomic<double> planner_clamp_{64.0};
   // Per-traversal runtime EMAs (seconds / predicted verification), index
   // 0 = kIncremental, 1 = kGreedy, under cost_mu_. Compdists say which
   // traversal is work-optimal (Lemma 4: always best-first), but wall clock

@@ -75,6 +75,27 @@ void AppendLenPrefixed(std::vector<uint8_t>* out, const uint8_t* data,
 
 Status Truncated() { return Status::Corruption("truncated payload"); }
 
+Status Overcount() {
+  return Status::Corruption("declared element count exceeds payload size");
+}
+
+// Minimum encoded size of each repeated wire element. A decoder must never
+// reserve/resize on a peer-declared count alone: a tiny, CRC-valid frame
+// can declare count = 0xFFFFFFFF and turn one reserve() into a multi-GB
+// allocation (bad_alloc on the serving thread). Every honest count is
+// bounded by remaining_bytes / min_element_size; anything larger is a lie
+// told by the length header and decodes as kCorruption. These are LOWER
+// bounds (empty names/blobs), so growing an element never invalidates them.
+constexpr size_t kMinEncodedRequest = 25;   // kind + id + radius + k + obj_len
+constexpr size_t kMinEncodedOpResult = 6;   // status code + msg_len + kind
+constexpr size_t kMinEncodedRangeId = 4;    // u32 id
+constexpr size_t kMinEncodedNeighbor = 12;  // u32 id + f64 distance
+constexpr size_t kMinStatsScalars = 330;    // empty name + every scalar field
+
+bool CountFits(const Cursor& c, uint64_t count, size_t min_elem_bytes) {
+  return count <= (c.n - c.pos) / min_elem_bytes;
+}
+
 bool KnownFrameType(uint8_t t) {
   switch (static_cast<FrameType>(t)) {
     case FrameType::kPing:
@@ -325,6 +346,7 @@ Status DecodeRequestsPayload(const uint8_t* data, size_t n,
   Cursor c{data, n, 0};
   uint32_t count = 0;
   if (!c.ReadU32(&count)) return Truncated();
+  if (!CountFits(c, count, kMinEncodedRequest)) return Overcount();
   out->reserve(count);
   size_t pos = c.pos;
   for (uint32_t i = 0; i < count; ++i) {
@@ -384,6 +406,7 @@ Status DecodeOpResult(const uint8_t* data, size_t n, size_t* pos,
     case Request::Kind::kRange: {
       uint32_t count = 0;
       if (!c.ReadU32(&count)) return Truncated();
+      if (!CountFits(c, count, kMinEncodedRangeId)) return Overcount();
       out->range_ids.reserve(count);
       for (uint32_t i = 0; i < count; ++i) {
         uint32_t id = 0;
@@ -395,6 +418,7 @@ Status DecodeOpResult(const uint8_t* data, size_t n, size_t* pos,
     case Request::Kind::kKnn: {
       uint32_t count = 0;
       if (!c.ReadU32(&count)) return Truncated();
+      if (!CountFits(c, count, kMinEncodedNeighbor)) return Overcount();
       out->neighbors.reserve(count);
       for (uint32_t i = 0; i < count; ++i) {
         Neighbor nb;
@@ -441,6 +465,7 @@ Status DecodeResultsPayload(const uint8_t* data, size_t n,
   Cursor c{data, n, 0};
   uint32_t count = 0;
   if (!c.ReadU32(&count)) return Truncated();
+  if (!CountFits(c, count, kMinEncodedOpResult)) return Overcount();
   results->reserve(count);
   size_t pos = c.pos;
   for (uint32_t i = 0; i < count; ++i) {
@@ -473,6 +498,7 @@ Status DecodeStatsPayload(const uint8_t* data, size_t n, StatsSnapshot* out) {
   if (!ReadStatsScalars(&c, out)) return Truncated();
   uint32_t shard_count = 0;
   if (!c.ReadU32(&shard_count)) return Truncated();
+  if (!CountFits(c, shard_count, kMinStatsScalars)) return Overcount();
   out->shards.resize(shard_count);
   for (uint32_t i = 0; i < shard_count; ++i) {
     if (!ReadStatsScalars(&c, &out->shards[i])) return Truncated();

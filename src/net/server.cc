@@ -43,6 +43,12 @@ struct Server::Conn {
   std::atomic<bool> closed{false};
   bool close_after_flush = false;  // I/O thread only
   std::atomic<size_t> queued_frames{0};
+  // Encoded reply bytes the socket has not yet accepted (mirror of
+  // outbox.size() - outbox_pos, refreshed under mu). Admission control
+  // reads it lock-free: queued_frames alone cannot bound memory, because
+  // it is released at dispatch time — before the reply is flushed — so a
+  // peer that never reads replies would otherwise grow the outbox forever.
+  std::atomic<size_t> outbox_unflushed{0};
 
   // Per-client stats.
   std::atomic<uint64_t> frames_received{0};
@@ -167,6 +173,15 @@ void Server::IoLoop() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (!stop_.load(std::memory_order_acquire)) {
+    if (listen_paused_ &&
+        std::chrono::steady_clock::now() >= listen_resume_at_) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = listen_fd_;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev) == 0) {
+        listen_paused_ = false;
+      }
+    }
     int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout_ms=*/100);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -221,6 +236,24 @@ void Server::AcceptReady() {
   while (true) {
     int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion is not cured by retrying: the backlog stays
+        // full, so with level-triggered epoll an immediate return would
+        // make epoll_wait re-signal the listen fd instantly and spin this
+        // thread at 100%. Stop polling the listen fd briefly; IoLoop
+        // re-arms it once the pause elapses.
+        epoll_event ev{};
+        ev.events = 0;
+        ev.data.fd = listen_fd_;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev) == 0) {
+          listen_paused_ = true;
+          listen_resume_at_ = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(100);
+        }
+        return;
+      }
       // EAGAIN: drained the backlog. Anything else: transient, retry on the
       // next readiness event.
       return;
@@ -370,8 +403,11 @@ bool Server::HandleFrame(const std::shared_ptr<Conn>& conn, FrameType type,
       // does on Status::Busy (PR 7 taxonomy).
       const size_t batch = reqs.size();
       const size_t queued = conn->queued_frames.load(std::memory_order_relaxed);
+      const size_t backlog =
+          conn->outbox_unflushed.load(std::memory_order_relaxed);
       size_t inflight = inflight_ops_.load(std::memory_order_relaxed);
-      bool admitted = queued < options_.max_conn_queue;
+      bool admitted = queued < options_.max_conn_queue &&
+                      backlog <= options_.max_conn_outbox_bytes;
       while (admitted) {
         if (inflight + batch > options_.max_inflight_ops) {
           admitted = false;
@@ -461,6 +497,8 @@ void Server::SendFrame(const std::shared_ptr<Conn>& conn, FrameType type,
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     AppendFrame(type, payload.data(), payload.size(), &conn->outbox);
+    conn->outbox_unflushed.store(conn->outbox.size() - conn->outbox_pos,
+                                 std::memory_order_relaxed);
   }
   frames_sent_.fetch_add(1, std::memory_order_relaxed);
   conn->frames_sent.fetch_add(1, std::memory_order_relaxed);
@@ -478,6 +516,14 @@ bool Server::FlushConn(const std::shared_ptr<Conn>& conn) {
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const size_t backlog = conn->outbox.size() - conn->outbox_pos;
+      conn->outbox_unflushed.store(backlog, std::memory_order_relaxed);
+      if (backlog > options_.max_conn_outbox_bytes) {
+        // The peer pipelines requests but is not reading replies; parking
+        // its bytes indefinitely would let one connection exhaust server
+        // memory. Drop it — a reply the peer never reads owes nothing.
+        return false;
+      }
       // Socket full: arm EPOLLOUT and resume on writability.
       epoll_event ev{};
       ev.events = EPOLLIN | EPOLLOUT;
@@ -491,6 +537,7 @@ bool Server::FlushConn(const std::shared_ptr<Conn>& conn) {
   // Fully flushed: compact and disarm EPOLLOUT.
   conn->outbox.clear();
   conn->outbox_pos = 0;
+  conn->outbox_unflushed.store(0, std::memory_order_relaxed);
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = conn->fd;

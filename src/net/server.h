@@ -2,6 +2,7 @@
 #define SPB_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,12 @@ struct ServerOptions {
   size_t max_conn_queue = 64;
   /// Frames declaring a larger payload are a protocol violation.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-connection cap on encoded reply bytes not yet accepted by the
+  /// socket. A peer that pipelines requests but never reads replies parks
+  /// its results here; once the unflushed outbox exceeds this cap the
+  /// connection is dropped (and new frames on it get kReplyBusy first), so
+  /// one slow reader cannot grow server memory without bound.
+  size_t max_conn_outbox_bytes = size_t(128) << 20;
 };
 
 /// Aggregate server counters (relaxed snapshots; exact once quiesced).
@@ -138,6 +145,12 @@ class Server {
 
   std::thread io_thread_;
   std::vector<std::thread> dispatchers_;
+
+  // Accept backoff (I/O thread only): on fd exhaustion the listen fd leaves
+  // the epoll interest set until the deadline, instead of letting the
+  // level-triggered backlog re-signal — and spin — the I/O thread.
+  bool listen_paused_ = false;
+  std::chrono::steady_clock::time_point listen_resume_at_{};
 
   // Dispatch queue (dispatchers block here; the I/O thread only pushes).
   std::mutex queue_mu_;

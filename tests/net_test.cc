@@ -10,9 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <cerrno>
 
 #include <atomic>
 #include <cstring>
@@ -102,6 +105,66 @@ TEST(ProtocolTest, StatsSnapshotRoundTripsWithShards) {
   EXPECT_EQ(got.shards.size(), 2u);
   EXPECT_EQ(got.shards[0].wal_fsyncs, 3u);
   EXPECT_EQ(got.shards[1].dead_bytes, 77u);
+}
+
+// Every repeated-element count on the wire must be validated against the
+// bytes actually present BEFORE any reserve/resize is sized from it: a
+// tiny, CRC-valid payload declaring count = 0xFFFFFFFF must decode as
+// kCorruption, not force a multi-GB allocation (bad_alloc would kill the
+// serving thread — a trivially exploitable remote crash).
+TEST(ProtocolTest, LyingElementCountsAreCorruptionNotBadAlloc) {
+  const auto lie = [](std::vector<uint8_t>* buf, size_t at) {
+    (*buf)[at] = (*buf)[at + 1] = (*buf)[at + 2] = (*buf)[at + 3] = 0xFF;
+  };
+
+  {  // batch-of-requests payload: leading u32 count
+    std::vector<uint8_t> buf;
+    net::EncodeRequestsPayload({Request::Knn(Blob{1, 2}, 3)}, &buf);
+    lie(&buf, 0);
+    std::vector<Request> got;
+    EXPECT_EQ(net::DecodeRequestsPayload(buf.data(), buf.size(), &got).code(),
+              Status::Code::kCorruption);
+  }
+  {  // range result: trailing u32 id count
+    std::vector<uint8_t> buf;
+    net::EncodeOpResult(Request::Range(Blob{1}, 0.5), OpResult{}, &buf);
+    lie(&buf, buf.size() - 4);
+    OpResult got;
+    size_t pos = 0;
+    EXPECT_EQ(net::DecodeOpResult(buf.data(), buf.size(), &pos, &got).code(),
+              Status::Code::kCorruption);
+  }
+  {  // kNN result: trailing u32 neighbor count
+    std::vector<uint8_t> buf;
+    net::EncodeOpResult(Request::Knn(Blob{1}, 5), OpResult{}, &buf);
+    lie(&buf, buf.size() - 4);
+    OpResult got;
+    size_t pos = 0;
+    EXPECT_EQ(net::DecodeOpResult(buf.data(), buf.size(), &pos, &got).code(),
+              Status::Code::kCorruption);
+  }
+  {  // results payload: leading u32 result count
+    std::vector<uint8_t> buf;
+    net::EncodeResultsPayload({}, {}, WireBatchStats{}, &buf);
+    lie(&buf, 0);
+    std::vector<OpResult> got;
+    WireBatchStats stats;
+    EXPECT_EQ(net::DecodeResultsPayload(buf.data(), buf.size(), &got, &stats)
+                  .code(),
+              Status::Code::kCorruption);
+  }
+  {  // stats payload: trailing u32 shard count
+    std::vector<uint8_t> buf;
+    net::EncodeStatsPayload(StatsSnapshot{}, &buf);
+    // The decoder bounds shard_count by remaining/330 (kMinStatsScalars in
+    // protocol.cc). That constant must stay a LOWER bound on the encoded
+    // scalar section; if this fails, a field was removed — shrink it.
+    EXPECT_GE(buf.size() - 4, 330u);
+    lie(&buf, buf.size() - 4);
+    StatsSnapshot got;
+    EXPECT_EQ(net::DecodeStatsPayload(buf.data(), buf.size(), &got).code(),
+              Status::Code::kCorruption);
+  }
 }
 
 TEST(ProtocolTest, FrameAssemblerHandlesBytewiseDelivery) {
@@ -494,6 +557,23 @@ TEST_F(NetServerTest, NonInsertInBatchInsertGetsTypedErrorThenDrop) {
   EXPECT_EQ(tree_->size(), 600u);  // nothing was applied
 }
 
+TEST_F(NetServerTest, HugeDeclaredBatchCountGetsTypedErrorThenDrop) {
+  // CRC-valid kBatch frame whose 4-byte payload claims 2^32-1 requests:
+  // the server must answer with typed corruption, never attempt the
+  // ~240 GB reserve the count implies.
+  const std::vector<uint8_t> payload = {0xFF, 0xFF, 0xFF, 0xFF};
+  std::vector<uint8_t> frame;
+  net::AppendFrame(FrameType::kBatch, payload.data(), payload.size(), &frame);
+  FrameType type;
+  const Status s = DecodeErrorFrame(SendRawExpectDrop(frame), &type);
+  EXPECT_EQ(type, FrameType::kReplyError);
+  EXPECT_EQ(s.code(), Status::Code::kCorruption);
+  // The server keeps serving.
+  Client client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
 TEST_F(NetServerTest, MidFrameDisconnectLeavesServerHealthy) {
   // Half a header, then slam the connection shut.
   std::vector<uint8_t> frame;
@@ -578,6 +658,64 @@ TEST(NetAdmissionTest, SaturatedServerRepliesBusyNotHang) {
   // frames still flow.
   EXPECT_TRUE(client.Ping().ok());
   EXPECT_GE(server.stats().ops_rejected_busy, 1u);
+  server.Stop();
+}
+
+TEST(NetAdmissionTest, SlowReaderOverflowingOutboxIsDropped) {
+  Dataset ds = MakeSynthetic(300, 7);
+  std::unique_ptr<SpbTree> tree;
+  ASSERT_TRUE(
+      SpbTree::Build(ds.objects, ds.metric.get(), BaseOptions(), &tree)
+          .ok());
+  QueryExecutor exec(tree.get(), 2);
+  ServerOptions opts;
+  opts.max_conn_outbox_bytes = 16 * 1024;  // tiny cap: overflow quickly
+  Server server(&exec, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A greedy pipeliner: streams large PING frames (each echoed back at
+  // full size) and never reads a single reply byte. Once kernel buffers
+  // fill, the server's unflushed outbox crosses the cap and the
+  // connection must be dropped rather than buffering without bound.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ASSERT_EQ(::fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+
+  const std::vector<uint8_t> body(32 * 1024, 0x42);
+  std::vector<uint8_t> frame;
+  net::AppendFrame(FrameType::kPing, body.data(), body.size(), &frame);
+  bool dropped = false;
+  size_t off = 0;
+  for (int i = 0; i < 20000 && !dropped; ++i) {
+    ssize_t w =
+        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += size_t(w);
+      if (off == frame.size()) off = 0;
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Our send buffer is full; give the server a beat to echo into its
+      // outbox, hit EAGAIN itself, and trip the cap.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    dropped = true;  // EPIPE/ECONNRESET: the overflow cap closed us
+  }
+  EXPECT_TRUE(dropped);
+  ::close(fd);
+
+  // One hoarder gone; well-behaved clients are unaffected.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
   server.Stop();
 }
 
